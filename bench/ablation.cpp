@@ -1,0 +1,103 @@
+// Ablation study for the compiler/runtime design choices DESIGN.md §5
+// calls out, on the heavy-hitter workload:
+//
+//   1. guard-trie update strategy: sparse (miss-skip + letter-class
+//      equivalence) vs always-eager (§5's general guarded-state update);
+//   2. letter-class skip: on vs off (off still uses the sparse walk but
+//      materializes every candidate combination and prunes afterwards);
+//   3. iter fusion: FoldOp (the §6 incremental-aggregation peephole) vs the
+//      generic iter(/./?v, sum) machine.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/engine.hpp"
+
+namespace {
+
+using namespace netqre;
+using core::AggOp;
+using core::CompiledQuery;
+using core::Engine;
+using core::Formula;
+using core::QueryBuilder;
+using core::Re;
+using core::ScopeMode;
+using core::Type;
+using core::Value;
+
+CompiledQuery hh_query(bool eager, bool fused) {
+  QueryBuilder b;
+  int x = b.new_param("x", Type::Ip);
+  int y = b.new_param("y", Type::Ip);
+  auto pred = Formula::conj(b.atom_param("srcip", x),
+                            b.atom_param("dstip", y));
+  QueryBuilder::Expr counter =
+      fused ? b.count_size()
+            : b.iter(b.cond(Re::any(), b.last_field("len")), AggOp::Sum);
+  auto inner = b.comp(b.filter(std::move(pred)), std::move(counter));
+  ScopeMode mode;
+  mode.kind = ScopeMode::Kind::Aggregate;
+  mode.agg = AggOp::Sum;
+  auto scope = std::make_shared<core::ParamScopeOp>(
+      0, 2, mode, std::move(inner.op), b.table(), eager);
+  CompiledQuery q;
+  q.root = std::move(scope);
+  q.table = b.table();
+  q.n_slots = 2;
+  return q;
+}
+
+struct Row {
+  double mpps;
+  int64_t result;
+};
+
+Row run(const CompiledQuery& q, const std::vector<net::Packet>& trace) {
+  Engine eng(q);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& p : trace) eng.on_packet(p);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return {static_cast<double>(trace.size()) / s / 1e6, eng.eval().as_int()};
+}
+
+}  // namespace
+
+int main() {
+  // A smaller trace: the eager variant is quadratic in live flows.
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = std::min<uint64_t>(bench::bench_packets(), 40'000);
+  cfg.n_flows = 2'000;
+  const auto trace = trafficgen::backbone_trace(cfg);
+
+  std::printf("Ablation (heavy hitter, %zu packets)\n\n", trace.size());
+  std::printf("%-44s %10s %14s\n", "configuration", "MPPS", "result");
+
+  const Row full = run(hh_query(false, true), trace);
+  std::printf("%-44s %10.3f %14lld\n",
+              "sparse + letter-class skip + fold fusion", full.mpps,
+              static_cast<long long>(full.result));
+
+  core::ParamScopeOp::set_skip_optimization(false);
+  const Row noskip = run(hh_query(false, true), trace);
+  core::ParamScopeOp::set_skip_optimization(true);
+  std::printf("%-44s %10.3f %14lld\n", "sparse, no letter-class skip",
+              noskip.mpps, static_cast<long long>(noskip.result));
+
+  const Row unfused = run(hh_query(false, false), trace);
+  std::printf("%-44s %10.3f %14lld\n", "sparse + skip, generic iter counter",
+              unfused.mpps, static_cast<long long>(unfused.result));
+
+  const Row eager = run(hh_query(true, true), trace);
+  std::printf("%-44s %10.3f %14lld\n",
+              "eager guarded-state update (Algorithm 1)", eager.mpps,
+              static_cast<long long>(eager.result));
+
+  const bool agree = full.result == noskip.result &&
+                     full.result == unfused.result &&
+                     full.result == eager.result;
+  std::printf("\nall configurations agree: %s\n", agree ? "yes" : "NO");
+  return agree ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Shared workload setup for the benchmark binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre::bench {
+
+// Number of backbone packets to replay; override with NETQRE_BENCH_PACKETS.
+// The paper replays a 37M-packet CAIDA minute; the default here keeps a full
+// benchmark run in CI-scale time while preserving all relative shapes.
+inline uint64_t bench_packets() {
+  if (const char* env = std::getenv("NETQRE_BENCH_PACKETS")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 400'000;
+}
+
+// The CAIDA-like backbone trace (DESIGN.md §3), built once per process.
+inline const std::vector<net::Packet>& backbone() {
+  static const std::vector<net::Packet> trace = [] {
+    trafficgen::BackboneConfig cfg;
+    cfg.n_packets = bench_packets();
+    cfg.n_flows = static_cast<uint32_t>(
+        std::max<uint64_t>(1000, bench_packets() / 20));
+    return trafficgen::backbone_trace(cfg);
+  }();
+  return trace;
+}
+
+// Attack trace for the SYN-flood application: the query keys its guarded
+// states on handshake sequence numbers, so it runs on handshake traffic
+// (windowed in deployment, §4.2).
+inline const std::vector<net::Packet>& synflood_trace() {
+  static const std::vector<net::Packet> trace = [] {
+    trafficgen::SynFloodConfig cfg;
+    cfg.benign_handshakes = 2000;
+    cfg.attack_handshakes = 6000;
+    return trafficgen::syn_flood_trace(cfg);
+  }();
+  return trace;
+}
+
+inline const std::vector<net::Packet>& slowloris_workload() {
+  static const std::vector<net::Packet> trace = [] {
+    trafficgen::SlowlorisConfig cfg;
+    cfg.normal_conns = 300;
+    cfg.slow_conns = 450;
+    return trafficgen::slowloris_trace(cfg);
+  }();
+  return trace;
+}
+
+inline core::CompiledQuery compile(const std::string& file,
+                                   const std::string& main) {
+  return apps::compile_app(file, main).query;
+}
+
+}  // namespace netqre::bench

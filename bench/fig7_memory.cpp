@@ -1,0 +1,104 @@
+// Fig. 7b (§7.2): memory footprint of NetQRE state vs. the manually
+// optimized baselines vs. the OpenSketch pipelines, after processing the
+// benchmark traces.
+//
+// Expected shape (paper): NetQRE within ~1.6x of the manual baselines;
+// OpenSketch smaller than both on heavy hitter (sketches trade accuracy for
+// memory), NetQRE only ~11% above OpenSketch on super spreader.
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "bench/common.hpp"
+#include "core/window.hpp"
+#include "sketch/sketch.hpp"
+
+namespace {
+
+using namespace netqre;
+
+void row(const std::string& app, const std::string& impl, size_t bytes,
+         const std::string& note = "") {
+  std::printf("%-18s %-12s %12.1f KB   %s\n", app.c_str(), impl.c_str(),
+              static_cast<double>(bytes) / 1024.0, note.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto& trace = bench::backbone();
+  std::printf(
+      "Fig 7b: state memory after processing %zu backbone packets\n\n",
+      trace.size());
+
+  {
+    core::Engine eng(bench::compile("heavy_hitter.nqre", "hh"));
+    baselines::HeavyHitter base;
+    sketch::OpenSketchHeavyHitter sk;
+    for (const auto& p : trace) {
+      eng.on_packet(p);
+      base.on_packet(p);
+      sk.on_packet(p);
+    }
+    row("heavy hitter", "NetQRE", eng.state_memory());
+    row("heavy hitter", "baseline", base.memory(),
+        std::to_string(base.flows()) + " exact flows");
+    row("heavy hitter", "OpenSketch", sk.memory(), "approximate");
+  }
+  {
+    core::Engine eng(bench::compile("super_spreader.nqre", "ss"));
+    baselines::SuperSpreader base;
+    sketch::OpenSketchSuperSpreader sk;
+    for (const auto& p : trace) {
+      eng.on_packet(p);
+      base.on_packet(p);
+      sk.on_packet(p);
+    }
+    row("super spreader", "NetQRE", eng.state_memory());
+    row("super spreader", "baseline", base.memory());
+    row("super spreader", "OpenSketch", sk.memory(), "approximate");
+  }
+  {
+    core::Engine eng(bench::compile("entropy.nqre", "src_pkts"));
+    baselines::EntropyEstimator base;
+    for (const auto& p : trace) {
+      eng.on_packet(p);
+      base.on_packet(p);
+    }
+    row("entropy", "NetQRE", eng.state_memory());
+    row("entropy", "baseline", base.memory());
+  }
+  {
+    core::TumblingWindow win(bench::compile("syn_flood.nqre",
+                                            "incomplete_total"), 1.0);
+    baselines::SynFloodDetector base;
+    for (const auto& p : bench::synflood_trace()) {
+      win.on_packet(p);
+      base.on_packet(p);
+    }
+    row("syn flood", "NetQRE", win.engine().state_memory(), "per window");
+    row("syn flood", "baseline", base.memory());
+  }
+  {
+    core::Engine eng(bench::compile("completed_flows.nqre",
+                                    "completed_flows"));
+    baselines::CompletedFlows base;
+    for (const auto& p : trace) {
+      eng.on_packet(p);
+      base.on_packet(p);
+    }
+    row("completed flows", "NetQRE", eng.state_memory());
+    row("completed flows", "baseline", base.memory());
+  }
+  {
+    core::Engine eng(bench::compile("slowloris.nqre", "avg_rate"));
+    baselines::SlowlorisDetector base;
+    for (const auto& p : bench::slowloris_workload()) {
+      eng.on_packet(p);
+      base.on_packet(p);
+    }
+    row("slowloris", "NetQRE", eng.state_memory());
+    row("slowloris", "baseline", base.memory());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// make_traces: write the synthetic workloads to pcap files so the other
+// examples (and external tools like tcpdump/wireshark) can consume them.
+//
+//   make_traces [output-dir]
+#include <cstdio>
+#include <string>
+
+#include "net/pcap.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace netqre;
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  auto dump = [&](const std::string& name,
+                  const std::vector<net::Packet>& trace) {
+    const std::string path = dir + "/" + name;
+    net::write_all(path, trace);
+    std::printf("%-24s %8zu packets\n", path.c_str(), trace.size());
+  };
+
+  trafficgen::BackboneConfig backbone;
+  backbone.n_packets = 100'000;
+  backbone.n_flows = 5'000;
+  dump("backbone.pcap", trafficgen::backbone_trace(backbone));
+
+  dump("synflood.pcap", trafficgen::syn_flood_trace({}));
+  dump("slowloris.pcap", trafficgen::slowloris_trace({}));
+  dump("sip.pcap", trafficgen::sip_trace({}));
+  dump("dns.pcap", trafficgen::dns_trace({}));
+  dump("smtp.pcap", trafficgen::smtp_trace({}));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// synflood_guard: live enforcement on the emulated SDN substrate (§7.3) —
+// a NetQRE SYN-flood detector on a switch mirror port that blocks the
+// attacker through the controller, printing the resulting server bandwidth.
+#include <cstdio>
+
+#include "sdn/experiments.hpp"
+
+int main() {
+  using namespace netqre::sdn;
+  E2EResult r = run_synflood_experiment();
+  if (r.detect_time < 0) {
+    std::printf("attack was not detected\n");
+    return 1;
+  }
+  std::printf("SYN flood detected at t=%.2fs, source blocked at t=%.2fs "
+              "(%llu attack packets dropped)\n\n",
+              r.detect_time, r.block_time,
+              static_cast<unsigned long long>(r.dropped_by_rule));
+  std::printf("%s", format_series(r).c_str());
+  return 0;
+}

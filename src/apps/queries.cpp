@@ -1,0 +1,65 @@
+#include "apps/queries.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace netqre::apps {
+
+#ifndef NETQRE_QUERIES_DIR
+#define NETQRE_QUERIES_DIR "queries"
+#endif
+
+const std::vector<QueryInfo>& table1() {
+  static const std::vector<QueryInfo> kApps = {
+      {"Heavy Hitter (S4.1)", "heavy_hitter.nqre", "hh"},
+      {"Super Spreader (S4.1)", "super_spreader.nqre", "ss"},
+      {"Entropy Estimation [40]", "entropy.nqre", "src_pkts"},
+      {"Flow size dist. [18]", "flow_size_dist.nqre", "flow_pkts"},
+      {"Traffic change detection [35]", "traffic_change.nqre",
+       "recent_src_bytes"},
+      {"Count traffic [40]", "count_traffic.nqre", "total_bytes"},
+      {"Completed flows (S4.2)", "completed_flows.nqre", "completed_flows"},
+      {"SYN flood detection (S4.2)", "syn_flood.nqre", "syn_flood"},
+      {"Slowloris detection (S4.2)", "slowloris.nqre", "avg_rate"},
+      {"Lifetime of connection", "lifetime.nqre", "lifetime"},
+      {"Newly opened connection recently", "new_conns.nqre",
+       "recent_new_conns"},
+      {"# duplicated ACKs", "dup_acks.nqre", "dup_acks"},
+      {"# VoIP call", "voip_count.nqre", "voip_call_count"},
+      {"VoIP usage (S4.3)", "voip_usage.nqre", "usage_per_user"},
+      {"Key word counting in emails", "email_keywords.nqre", "keyword_pkts"},
+      {"DNS tunnel detection [12]", "dns_tunnel.nqre", "dns_long_queries"},
+      {"DNS amplification [20]", "dns_amplification.nqre", "dns_amp_alert"},
+  };
+  return kApps;
+}
+
+std::string load_source(const std::string& file) {
+  const std::string path = std::string(NETQRE_QUERIES_DIR) + "/" + file;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open query file: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int count_loc(const std::string& file) {
+  std::istringstream in(load_source(file));
+  std::string line;
+  int loc = 0;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '#') continue;          // comment
+    ++loc;
+  }
+  return loc;
+}
+
+lang::CompiledProgram compile_app(const std::string& file,
+                                  const std::string& main) {
+  return lang::compile_source(load_source(file), main);
+}
+
+}  // namespace netqre::apps

@@ -1,0 +1,33 @@
+// The Table-1 application suite: the 17 quantitative monitoring programs the
+// paper's expressiveness study lists (§7.1), written in NetQRE under
+// queries/*.nqre and compiled through the full language pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/lower.hpp"
+
+namespace netqre::apps {
+
+struct QueryInfo {
+  std::string title;  // row name used in Table 1
+  std::string file;   // file under queries/
+  std::string main;   // entry sfun compiled by default
+};
+
+// All Table-1 rows, in the paper's order.
+const std::vector<QueryInfo>& table1();
+
+// Reads queries/<file> (from the source tree).
+std::string load_source(const std::string& file);
+
+// Lines of code of a query file: non-blank, non-comment lines — the metric
+// Table 1 reports.
+int count_loc(const std::string& file);
+
+// Compiles `main` from queries/<file> (prelude included).
+lang::CompiledProgram compile_app(const std::string& file,
+                                  const std::string& main);
+
+}  // namespace netqre::apps

@@ -1,0 +1,67 @@
+#include "baselines/baselines.hpp"
+
+#include <cmath>
+
+namespace netqre::baselines {
+
+double EntropyEstimator::entropy() const {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [ip, n] : counts_) {
+    acc += static_cast<double>(n) * std::log2(static_cast<double>(n));
+  }
+  const double n = static_cast<double>(total_);
+  return std::log2(n) - acc / n;
+}
+
+void SynFloodDetector::on_packet(const net::Packet& p) {
+  if (!p.is_tcp()) return;
+  const bool syn = p.syn();
+  const bool ack = p.ack();
+  if (syn && !ack) {
+    syn_seen_.insert(p.seq);
+    return;
+  }
+  if (syn && ack) {
+    if (syn_seen_.contains(p.ack_no - 1)) {
+      syn_acked_.emplace(p.seq, p.ack_no - 1);
+    }
+    return;
+  }
+  if (ack) {
+    // A completing ACK acknowledges the server ISN + 1.
+    syn_acked_.erase(p.ack_no - 1);
+  }
+}
+
+void CompletedFlows::on_packet(const net::Packet& p) {
+  if (!p.is_tcp()) return;
+  const net::Conn c = net::Conn::of(p).canonical();
+  if (p.syn()) {
+    open_.insert(c);
+  } else if (p.fin()) {
+    if (open_.erase(c)) ++completed_;
+  }
+}
+
+void SlowlorisDetector::on_packet(const net::Packet& p) {
+  if (!p.is_tcp()) return;
+  auto [it, inserted] = conns_.try_emplace(net::Conn::of(p).canonical());
+  if (inserted) it->second.first_ts = p.ts;
+  it->second.last_ts = p.ts;
+  it->second.bytes += p.wire_len;
+}
+
+double SlowlorisDetector::average_rate() const {
+  double total = 0;
+  size_t n = 0;
+  for (const auto& [c, s] : conns_) {
+    const double dt = s.last_ts - s.first_ts;
+    if (dt <= 0) continue;
+    total += static_cast<double>(s.bytes) / dt;
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+}  // namespace netqre::baselines

@@ -1,0 +1,145 @@
+// Manually optimized imperative implementations of the Fig. 7 applications.
+//
+// These are the "Baseline" bars of the paper's evaluation (§7.2): each is a
+// purpose-built streaming program with explicit state management — the code
+// a network operator would have to hand-write without NetQRE (and which
+// NetQRE's compiler is supposed to come within ~9% of).  They double as
+// correctness oracles for the compiled queries in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::baselines {
+
+// Heavy hitter (§4.1): bytes per (src, dst) pair.
+class HeavyHitter {
+ public:
+  void on_packet(const net::Packet& p) {
+    bytes_[key(p)] += p.wire_len;
+  }
+  [[nodiscard]] uint64_t bytes(uint32_t src, uint32_t dst) const {
+    auto it = bytes_.find((uint64_t{src} << 32) | dst);
+    return it == bytes_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] size_t flows() const { return bytes_.size(); }
+  [[nodiscard]] uint64_t total() const {
+    uint64_t t = 0;
+    for (const auto& [k, v] : bytes_) t += v;
+    return t;
+  }
+  [[nodiscard]] size_t memory() const {
+    return bytes_.size() * (sizeof(uint64_t) * 2 + 16) + sizeof(*this);
+  }
+
+ private:
+  static uint64_t key(const net::Packet& p) {
+    return (uint64_t{p.src_ip} << 32) | p.dst_ip;
+  }
+  std::unordered_map<uint64_t, uint64_t> bytes_;
+};
+
+// Super spreader (§4.1): distinct destinations per source.
+class SuperSpreader {
+ public:
+  void on_packet(const net::Packet& p) {
+    dsts_[p.src_ip].insert(p.dst_ip);
+  }
+  [[nodiscard]] size_t fanout(uint32_t src) const {
+    auto it = dsts_.find(src);
+    return it == dsts_.end() ? 0 : it->second.size();
+  }
+  [[nodiscard]] size_t max_fanout() const {
+    size_t best = 0;
+    for (const auto& [s, d] : dsts_) best = std::max(best, d.size());
+    return best;
+  }
+  [[nodiscard]] size_t memory() const {
+    size_t m = sizeof(*this);
+    for (const auto& [s, d] : dsts_) m += 48 + d.size() * 12;
+    return m;
+  }
+
+ private:
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> dsts_;
+};
+
+// Entropy estimation [40]: empirical entropy of the source-IP distribution.
+class EntropyEstimator {
+ public:
+  void on_packet(const net::Packet& p) {
+    ++counts_[p.src_ip];
+    ++total_;
+  }
+  // H = log2(N) - (1/N) * sum n_i log2 n_i.
+  [[nodiscard]] double entropy() const;
+  [[nodiscard]] uint64_t total() const { return total_; }
+  [[nodiscard]] size_t memory() const {
+    return counts_.size() * 24 + sizeof(*this);
+  }
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// SYN flood detection (§4.2): half-open handshakes (SYN + matching SYN-ACK,
+// no completing ACK).
+class SynFloodDetector {
+ public:
+  void on_packet(const net::Packet& p);
+  [[nodiscard]] uint64_t incomplete() const { return syn_acked_.size(); }
+  [[nodiscard]] size_t memory() const {
+    return (syn_seen_.size() + syn_acked_.size()) * 24 + sizeof(*this);
+  }
+  void reset() {
+    syn_seen_.clear();
+    syn_acked_.clear();
+  }
+
+ private:
+  // Handshakes keyed by the client ISN (x in the paper's pattern); a second
+  // table keyed by the server ISN awaits the completing ACK.
+  std::unordered_set<uint32_t> syn_seen_;    // SYN seen, awaiting SYN-ACK
+  std::unordered_map<uint32_t, uint32_t> syn_acked_;  // server ISN -> client ISN
+};
+
+// Completed flows (§4.2): connections with a full SYN ... FIN lifecycle.
+class CompletedFlows {
+ public:
+  void on_packet(const net::Packet& p);
+  [[nodiscard]] uint64_t completed() const { return completed_; }
+  [[nodiscard]] size_t memory() const {
+    return open_.size() * 24 + sizeof(*this);
+  }
+
+ private:
+  std::unordered_set<net::Conn, net::ConnHash> open_;  // SYN seen, no FIN yet
+  uint64_t completed_ = 0;
+};
+
+// Slowloris detection (§4.2): average transfer rate over TCP connections.
+class SlowlorisDetector {
+ public:
+  void on_packet(const net::Packet& p);
+  [[nodiscard]] double average_rate() const;
+  [[nodiscard]] size_t flows() const { return conns_.size(); }
+  [[nodiscard]] size_t memory() const {
+    return conns_.size() * 56 + sizeof(*this);
+  }
+
+ private:
+  struct ConnState {
+    double first_ts = 0;
+    double last_ts = 0;
+    uint64_t bytes = 0;
+  };
+  std::unordered_map<net::Conn, ConnState, net::ConnHash> conns_;
+};
+
+}  // namespace netqre::baselines

@@ -1,0 +1,224 @@
+#include "brolike/brolike.hpp"
+
+#include <stdexcept>
+
+#include "core/fields.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::brolike {
+
+// -------------------------------------------------------------------- VM
+
+void Interpreter::run(const Script& script,
+                      const std::vector<ScriptValue>& event) {
+  stack_.clear();
+  auto pop = [&]() {
+    ScriptValue v = std::move(stack_.back());
+    stack_.pop_back();
+    return v;
+  };
+  auto as_int = [](const ScriptValue& v) {
+    if (auto* i = std::get_if<int64_t>(&v)) return *i;
+    if (auto* d = std::get_if<double>(&v)) return static_cast<int64_t>(*d);
+    throw std::runtime_error("brolike: expected numeric value");
+  };
+  auto as_str = [](const ScriptValue& v) -> const std::string& {
+    return std::get<std::string>(v);
+  };
+
+  size_t pc = 0;
+  while (pc < script.code.size()) {
+    const Instr& in = script.code[pc];
+    switch (in.op) {
+      case OpCode::PushConst: stack_.push_back(script.constants[in.a]); break;
+      case OpCode::LoadEvent: stack_.push_back(event[in.a]); break;
+      case OpCode::LoadGlobal: stack_.push_back(globals[in.a]); break;
+      case OpCode::StoreGlobal: globals[in.a] = pop(); break;
+      case OpCode::TableHas: {
+        ScriptValue k = pop();
+        stack_.push_back(
+            int64_t{tables[in.a].contains(as_str(k)) ? 1 : 0});
+        break;
+      }
+      case OpCode::TableAdd: tables[in.a].insert(as_str(pop())); break;
+      case OpCode::TableIncr: ++counters[in.a][as_str(pop())]; break;
+      case OpCode::TableGet: {
+        ScriptValue k = pop();
+        auto it = counters[in.a].find(as_str(k));
+        stack_.push_back(it == counters[in.a].end() ? int64_t{0}
+                                                    : it->second);
+        break;
+      }
+      case OpCode::Concat: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        stack_.push_back(as_str(a) + as_str(b));
+        break;
+      }
+      case OpCode::Add: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        stack_.push_back(as_int(a) + as_int(b));
+        break;
+      }
+      case OpCode::Sub: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        stack_.push_back(as_int(a) - as_int(b));
+        break;
+      }
+      case OpCode::Mul: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        stack_.push_back(as_int(a) * as_int(b));
+        break;
+      }
+      case OpCode::CmpEq: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        bool eq = a.index() == b.index() &&
+                  (a.index() == 2 ? as_str(a) == as_str(b)
+                                  : as_int(a) == as_int(b));
+        stack_.push_back(int64_t{eq ? 1 : 0});
+        break;
+      }
+      case OpCode::CmpGt: {
+        ScriptValue b = pop();
+        ScriptValue a = pop();
+        stack_.push_back(int64_t{as_int(a) > as_int(b) ? 1 : 0});
+        break;
+      }
+      case OpCode::JmpIfZero:
+        if (as_int(pop()) == 0) {
+          pc = static_cast<size_t>(in.a);
+          continue;
+        }
+        break;
+      case OpCode::Jmp:
+        pc = static_cast<size_t>(in.a);
+        continue;
+      case OpCode::Halt: return;
+    }
+    ++pc;
+  }
+}
+
+size_t Interpreter::memory() const {
+  size_t m = sizeof(*this) + globals.size() * sizeof(ScriptValue);
+  for (const auto& t : tables) {
+    for (const auto& k : t) m += 48 + k.size();
+  }
+  for (const auto& c : counters) {
+    for (const auto& [k, v] : c) m += 56 + k.size();
+  }
+  return m;
+}
+
+// ------------------------------------------------------------ event core
+
+void EventEngine::on_packet(const net::Packet& p) {
+  // Connection bookkeeping for every packet (Bro tracks all flows).
+  const net::Conn conn = net::Conn::of(p).canonical();
+  auto [it, inserted] = conns_.try_emplace(conn);
+  if (inserted) it->second.first_ts = p.ts;
+  ++it->second.packets;
+  it->second.bytes += p.wire_len;
+  ++n_events_;
+
+  // Per-packet event to the interpreted policy layer (Bro dispatches
+  // new_packet / connection events into script land for every packet).
+  if (pkt_handler_) {
+    std::string key = net::format_ip(conn.src_ip) + ":" +
+                      std::to_string(conn.src_port) + ">" +
+                      net::format_ip(conn.dst_ip) + ":" +
+                      std::to_string(conn.dst_port);
+    pkt_handler_(key, p.wire_len);
+  }
+
+  // SIP analyzer on the well-known port.
+  if (p.is_udp() && (p.src_port == 5060 || p.dst_port == 5060) &&
+      sip_handler_) {
+    auto method = core::sip_method(p.payload);
+    if (!method.empty()) {
+      SipEvent ev;
+      ev.method = std::string(method);
+      ev.is_request = method != "200";
+      ev.call_id = std::string(core::sip_header(p.payload, "Call-ID"));
+      ev.from = std::string(core::sip_header(p.payload, "From"));
+      ev.to = std::string(core::sip_header(p.payload, "To"));
+      ++n_events_;
+      sip_handler_(ev);
+    }
+  }
+}
+
+// -------------------------------------------------------- VoIP policy
+
+VoipCallCounter::VoipCallCounter() {
+  // Script (per sip_request event, fields: 0=method, 1=call_id, 2=from):
+  //   if (method == "INVITE" && !seen_calls.contains(call_id)) {
+  //     seen_calls.add(call_id);
+  //     total = total + 1;
+  //     per_user[from] += 1;
+  //   }
+  Script s;
+  s.constants = {std::string("INVITE"), int64_t{1}};
+  // method == "INVITE"?
+  s.code.push_back({OpCode::LoadEvent, 0});
+  s.code.push_back({OpCode::PushConst, 0});
+  s.code.push_back({OpCode::CmpEq, 0});
+  s.code.push_back({OpCode::JmpIfZero, 18});
+  // seen before?
+  s.code.push_back({OpCode::LoadEvent, 1});
+  s.code.push_back({OpCode::TableHas, 0});
+  s.code.push_back({OpCode::JmpIfZero, 8});
+  s.code.push_back({OpCode::Jmp, 18});
+  // record the call
+  s.code.push_back({OpCode::LoadEvent, 1});   // 8
+  s.code.push_back({OpCode::TableAdd, 0});
+  s.code.push_back({OpCode::LoadGlobal, 0});
+  s.code.push_back({OpCode::PushConst, 1});
+  s.code.push_back({OpCode::Add, 0});
+  s.code.push_back({OpCode::StoreGlobal, 0});
+  s.code.push_back({OpCode::LoadEvent, 2});
+  s.code.push_back({OpCode::TableIncr, 0});
+  s.code.push_back({OpCode::Halt, 0});        // 16
+  s.code.push_back({OpCode::Halt, 0});
+  s.code.push_back({OpCode::Halt, 0});        // 18
+  on_invite_ = std::move(s);
+
+  engine_.set_sip_handler([this](const SipEvent& ev) {
+    interp_.run(on_invite_,
+                {ev.method, ev.call_id, ev.from});
+  });
+
+  // Per-packet script (fields: 0=conn key, 1=len):
+  //   conn_pkts[conn] += 1;  total_bytes = total_bytes + len;
+  Script pkt;
+  pkt.code.push_back({OpCode::LoadEvent, 0});
+  pkt.code.push_back({OpCode::TableIncr, 1});
+  pkt.code.push_back({OpCode::LoadGlobal, 1});
+  pkt.code.push_back({OpCode::LoadEvent, 1});
+  pkt.code.push_back({OpCode::Add, 0});
+  pkt.code.push_back({OpCode::StoreGlobal, 1});
+  pkt.code.push_back({OpCode::Halt, 0});
+  on_packet_ = std::move(pkt);
+  engine_.set_packet_handler([this](const std::string& conn, int64_t len) {
+    interp_.run(on_packet_, {conn, len});
+  });
+}
+
+void VoipCallCounter::on_packet(const net::Packet& p) {
+  engine_.on_packet(p);
+}
+
+int64_t VoipCallCounter::total_calls() const {
+  return std::get<int64_t>(interp_.globals[0]);
+}
+
+int64_t VoipCallCounter::calls_for(const std::string& user) const {
+  auto it = interp_.counters[0].find(user);
+  return it == interp_.counters[0].end() ? 0 : it->second;
+}
+
+}  // namespace netqre::brolike

@@ -1,0 +1,89 @@
+// Aggregation operators (§3.3–§3.5): sum, avg, max, min.
+//
+// `avg` needs a (sum, count) pair to be mergeable, so accumulators carry the
+// count alongside the numeric fold.  This also gives the incremental update
+// the compiler applies for sum/avg (§6 optimizations) and makes shard merge
+// in the parallel runtime exact.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/value.hpp"
+
+namespace netqre::core {
+
+enum class AggOp : uint8_t { Sum, Avg, Max, Min };
+
+std::string agg_name(AggOp op);
+
+struct AggAcc {
+  AggOp op = AggOp::Sum;
+  int64_t count = 0;
+  double num = 0.0;      // running sum for Sum/Avg, extreme for Max/Min
+  bool integral = true;  // all inputs were integers (formats result as int)
+
+  static AggAcc identity(AggOp op) {
+    AggAcc a;
+    a.op = op;
+    if (op == AggOp::Max) a.num = -std::numeric_limits<double>::infinity();
+    if (op == AggOp::Min) a.num = std::numeric_limits<double>::infinity();
+    return a;
+  }
+
+  void add(const Value& v) {
+    if (!v.defined()) return;
+    const double x = v.as_double();
+    if (v.kind() != Value::Kind::Int) integral = false;
+    ++count;
+    switch (op) {
+      case AggOp::Sum:
+      case AggOp::Avg: num += x; break;
+      case AggOp::Max: num = std::max(num, x); break;
+      case AggOp::Min: num = std::min(num, x); break;
+    }
+  }
+
+  // Removes a previously added value; valid for Sum/Avg only (the
+  // incremental-aggregation optimization replaces old leaf values).
+  void retract(const Value& v) {
+    if (!v.defined()) return;
+    --count;
+    num -= v.as_double();
+  }
+
+  void merge(const AggAcc& o) {
+    count += o.count;
+    integral = integral && o.integral;
+    switch (op) {
+      case AggOp::Sum:
+      case AggOp::Avg: num += o.num; break;
+      case AggOp::Max: num = std::max(num, o.num); break;
+      case AggOp::Min: num = std::min(num, o.num); break;
+    }
+  }
+
+  // Aggregate of zero inputs: sum = 0, avg/max/min = undef.
+  [[nodiscard]] Value result() const {
+    switch (op) {
+      case AggOp::Sum:
+        return integral ? Value::integer(static_cast<int64_t>(num))
+                        : Value::real(num);
+      case AggOp::Avg:
+        if (count == 0) return Value::undef();
+        return Value::real(num / static_cast<double>(count));
+      case AggOp::Max:
+      case AggOp::Min:
+        if (count == 0) return Value::undef();
+        return integral ? Value::integer(static_cast<int64_t>(num))
+                        : Value::real(num);
+    }
+    return Value::undef();
+  }
+
+  friend bool operator==(const AggAcc&, const AggAcc&) = default;
+};
+
+}  // namespace netqre::core

@@ -1,0 +1,277 @@
+#include "core/builder.hpp"
+
+#include <stdexcept>
+
+namespace netqre::core {
+
+QueryBuilder::QueryBuilder() : table_(std::make_shared<AtomTable>()) {}
+
+FieldRef QueryBuilder::field_or_throw(const std::string& name) {
+  auto ref = resolve_field(name);
+  if (!ref) throw std::runtime_error("unknown field: " + name);
+  return *ref;
+}
+
+int QueryBuilder::new_param(const std::string& name, Type t) {
+  (void)name;
+  slot_types_.push_back(t);
+  return n_slots_++;
+}
+
+Formula QueryBuilder::atom_eq(const std::string& field, Value lit) {
+  Atom a;
+  a.field = field_or_throw(field);
+  a.op = CmpOp::Eq;
+  a.literal = std::move(lit);
+  return Formula::atom(table_->intern(a));
+}
+
+Formula QueryBuilder::atom_cmp(const std::string& field, CmpOp op,
+                               Value lit) {
+  Atom a;
+  a.field = field_or_throw(field);
+  a.op = op;
+  a.literal = std::move(lit);
+  return Formula::atom(table_->intern(a));
+}
+
+Formula QueryBuilder::atom_param(const std::string& field, int slot,
+                                 int64_t offset) {
+  Atom a;
+  a.field = field_or_throw(field);
+  a.op = CmpOp::Eq;
+  a.is_param = true;
+  a.param = slot;
+  a.offset = offset;
+  if (!a.valid()) throw std::runtime_error("invalid parameterized atom");
+  return Formula::atom(table_->intern(a));
+}
+
+Formula QueryBuilder::is_tcp_conn(int slot) {
+  return Formula::conj(
+      atom_eq("proto", Value::integer(static_cast<int>(net::Proto::Tcp))),
+      atom_param("conn", slot));
+}
+
+Dfa QueryBuilder::compile_dom(const Re& re) {
+  return compile_regex(re, *table_);
+}
+
+QueryBuilder::Expr QueryBuilder::constant(Value v) {
+  Type t = v.type();
+  return {std::make_shared<ConstOp>(std::move(v)), Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::last_field(const std::string& field) {
+  FieldRef ref = field_or_throw(field);
+  return {std::make_shared<LastFieldOp>(ref), Re::plus(Re::any()),
+          field_type(ref)};
+}
+
+QueryBuilder::Expr QueryBuilder::param_ref(int slot) {
+  Type t = slot >= 0 && static_cast<size_t>(slot) < slot_types_.size()
+               ? slot_types_[slot]
+               : Type::Int;
+  return {std::make_shared<ParamRefOp>(slot), Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::match(Re re) {
+  Dfa dfa = compile_regex(re, *table_);
+  return {std::make_shared<MatchOp>(std::move(dfa), table_), Re::all(),
+          Type::Bool};
+}
+
+QueryBuilder::Expr QueryBuilder::cond(Re re, Expr then_e) {
+  Dfa dfa = compile_regex(re, *table_);
+  Re dom = Re::conj(re, then_e.dom);
+  Type t = then_e.type;
+  return {std::make_shared<CondOp>(std::move(dfa), table_,
+                                   std::move(then_e.op), nullptr),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::cond_else(Re re, Expr then_e, Expr else_e) {
+  Dfa dfa = compile_regex(re, *table_);
+  Re dom = Re::alt(Re::conj(re, then_e.dom), else_e.dom);
+  Type t = then_e.type;
+  return {std::make_shared<CondOp>(std::move(dfa), table_,
+                                   std::move(then_e.op),
+                                   std::move(else_e.op)),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::bin(BinKind kind, Expr a, Expr b) {
+  Re dom = Re::conj(a.dom, b.dom);
+  Type t = kind == BinKind::Add || kind == BinKind::Sub ||
+                   kind == BinKind::Mul
+               ? a.type
+           : kind == BinKind::Div ? Type::Double
+                                  : Type::Bool;
+  return {std::make_shared<BinOp>(kind, std::move(a.op), std::move(b.op)),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::split(Expr f, Expr g, AggOp agg) {
+  Dfa df = compile_dom(f.dom);
+  Dfa dg = compile_dom(g.dom);
+  if (!concat_unambiguous(df, dg, *table_)) {
+    warnings_.push_back("split: possibly ambiguous decomposition");
+  }
+  g.op->set_domain(std::make_shared<const Dfa>(std::move(dg)));
+  Re dom = Re::concat(f.dom, g.dom);
+  Type t = f.type;
+  return {std::make_shared<SplitOp>(std::move(f.op), std::move(g.op), agg,
+                                    table_),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::split3(Expr a, Expr b, Expr c, AggOp agg) {
+  Expr bc = split(std::move(b), std::move(c), agg);
+  return split(std::move(a), std::move(bc), agg);
+}
+
+QueryBuilder::Expr QueryBuilder::iter(Expr f, AggOp agg) {
+  Dfa df = compile_dom(f.dom);
+  if (!star_unambiguous(df, *table_)) {
+    warnings_.push_back("iter: possibly ambiguous factorization");
+  }
+  f.op->set_domain(std::make_shared<const Dfa>(std::move(df)));
+  Re dom = Re::star(f.dom);
+  Type t = agg == AggOp::Avg ? Type::Double : f.type;
+  return {std::make_shared<IterOp>(std::move(f.op), agg, table_),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::comp(Expr f, Expr g) {
+  // Domain of a composition is approximated as Σ* (no pruning through >>).
+  Type t = g.type;
+  return {std::make_shared<CompOp>(std::move(f.op), std::move(g.op)),
+          Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::action(const std::string& name,
+                                        std::vector<Expr> args) {
+  std::vector<OpPtr> ops;
+  ops.reserve(args.size());
+  for (auto& a : args) ops.push_back(std::move(a.op));
+  return {std::make_shared<ActionOp>(name, std::move(ops)), Re::all(),
+          Type::Action};
+}
+
+QueryBuilder::Expr QueryBuilder::ternary(Expr c, Expr then_e,
+                                         std::optional<Expr> else_e) {
+  Re dom = else_e ? Re::alt(Re::conj(c.dom, then_e.dom), else_e->dom)
+                  : Re::conj(c.dom, then_e.dom);
+  Type t = then_e.type;
+  return {std::make_shared<TernaryOp>(std::move(c.op), std::move(then_e.op),
+                                      else_e ? std::move(else_e->op)
+                                             : nullptr),
+          std::move(dom), t};
+}
+
+QueryBuilder::Expr QueryBuilder::proj(ProjOp::Component comp, Expr sub) {
+  Re dom = sub.dom;
+  Type t = comp == ProjOp::Component::SrcIp ||
+                   comp == ProjOp::Component::DstIp
+               ? Type::Ip
+               : Type::Port;
+  return {std::make_shared<ProjOp>(comp, std::move(sub.op)), std::move(dom),
+          t};
+}
+
+QueryBuilder::Expr QueryBuilder::aggregate(AggOp agg,
+                                           const std::vector<int>& slots,
+                                           Expr inner) {
+  if (slots.empty()) throw std::runtime_error("aggregate: no parameters");
+  for (size_t i = 1; i < slots.size(); ++i) {
+    if (slots[i] != slots[i - 1] + 1) {
+      throw std::runtime_error("aggregate: slots must be contiguous");
+    }
+  }
+  ScopeMode mode;
+  mode.kind = ScopeMode::Kind::Aggregate;
+  mode.agg = agg;
+  Type t = agg == AggOp::Avg ? Type::Double : inner.type;
+  auto scope = std::make_shared<ParamScopeOp>(
+      slots.front(), static_cast<int>(slots.size()), mode,
+      std::move(inner.op), table_);
+  if (scope->eager()) {
+    warnings_.push_back(
+        "aggregate: sparse update invalid, falling back to eager scope");
+  }
+  return {std::move(scope), Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::eval_at(
+    const std::vector<int>& slots, const std::vector<std::string>& key_fields,
+    Expr inner) {
+  if (slots.size() != key_fields.size()) {
+    throw std::runtime_error("eval_at: key/slot arity mismatch");
+  }
+  ScopeMode mode;
+  mode.kind = ScopeMode::Kind::EvalAt;
+  for (const auto& k : key_fields) mode.keys.push_back(field_or_throw(k));
+  Type t = inner.type;
+  auto scope = std::make_shared<ParamScopeOp>(
+      slots.front(), static_cast<int>(slots.size()), mode,
+      std::move(inner.op), table_);
+  if (scope->eager()) {
+    warnings_.push_back(
+        "eval_at: sparse update invalid, falling back to eager scope");
+  }
+  return {std::move(scope), Re::plus(Re::any()), t};
+}
+
+QueryBuilder::Expr QueryBuilder::filter(Formula pred) {
+  // /.*[p]/ ? last — forwards matching packets through >>.  Composition only
+  // consumes the filter's *definedness* (Algorithm 4), so the `last` value
+  // is represented by a stateless constant; this keeps filter state to a
+  // single DFA state, which the guard trie's miss-skip analysis relies on.
+  Re re = Re::concat(Re::all(), Re::pred_of(std::move(pred)));
+  Expr e = cond(std::move(re), constant(Value::boolean(true)));
+  e.type = Type::Packet;
+  return e;
+}
+
+QueryBuilder::Expr QueryBuilder::fold_const(AggOp agg, Value v) {
+  Type t = agg == AggOp::Avg ? Type::Double : v.type();
+  return {std::make_shared<FoldOp>(agg, false, FieldRef{}, std::move(v)),
+          Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::fold_field(AggOp agg,
+                                            const std::string& field) {
+  FieldRef ref = field_or_throw(field);
+  Type t = agg == AggOp::Avg ? Type::Double : field_type(ref);
+  return {std::make_shared<FoldOp>(agg, true, ref, Value::undef()),
+          Re::all(), t};
+}
+
+QueryBuilder::Expr QueryBuilder::count() {
+  return fold_const(AggOp::Sum, Value::integer(1));
+}
+
+QueryBuilder::Expr QueryBuilder::count_size() {
+  return fold_field(AggOp::Sum, "len");
+}
+
+QueryBuilder::Expr QueryBuilder::exists(Formula pred) {
+  Re re = Re::concat(Re::concat(Re::all(), Re::pred_of(std::move(pred))),
+                     Re::all());
+  return cond_else(std::move(re), constant(Value::integer(1)),
+                   constant(Value::integer(0)));
+}
+
+CompiledQuery QueryBuilder::finish(Expr e,
+                                   std::vector<std::string> param_names) {
+  CompiledQuery q;
+  q.root = std::move(e.op);
+  q.table = table_;
+  q.n_slots = n_slots_;
+  q.result_type = e.type;
+  q.param_names = std::move(param_names);
+  q.warnings = warnings_;
+  return q;
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,107 @@
+// QueryBuilder — the compilation entry point (§5).
+//
+// Builds the operator tree from expression combinators, while performing the
+// paper's compile-time work: PSRE → minimal DFA (§5.1, §6), domain-automaton
+// construction, split/iter unambiguity checking (§3.3), and the sparse-mode
+// validation for parameter scopes (DESIGN.md §5).  Both the NetQRE language
+// front-end (src/lang) and programmatic users (src/apps, tests) target this
+// API.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/ops.hpp"
+
+namespace netqre::core {
+
+// A fully compiled query ready to run on an Engine.
+struct CompiledQuery {
+  OpPtr root;
+  std::shared_ptr<const AtomTable> table;
+  int n_slots = 0;
+  Type result_type = Type::Int;
+  // Names of top-level parameters (empty when the query is closed).
+  std::vector<std::string> param_names;
+  // Compile-time diagnostics (ambiguous split/iter, eager scopes, ...).
+  std::vector<std::string> warnings;
+};
+
+class QueryBuilder {
+ public:
+  // An expression under construction: operator tree + domain regex + type.
+  struct Expr {
+    std::shared_ptr<Op> op;
+    Re dom = Re::all();
+    Type type = Type::Int;
+  };
+
+  QueryBuilder();
+
+  // ---- parameters -------------------------------------------------------
+  int new_param(const std::string& name, Type t);
+  [[nodiscard]] int n_slots() const { return n_slots_; }
+
+  // ---- predicates -------------------------------------------------------
+  Formula atom_eq(const std::string& field, Value lit);
+  Formula atom_cmp(const std::string& field, CmpOp op, Value lit);
+  Formula atom_param(const std::string& field, int slot, int64_t offset = 0);
+  // is_tcp(c): TCP packet belonging to connection parameter `slot`.
+  Formula is_tcp_conn(int slot);
+
+  // ---- expressions ------------------------------------------------------
+  Expr constant(Value v);
+  Expr last_field(const std::string& field);
+  Expr param_ref(int slot);
+  Expr match(Re re);
+  Expr cond(Re re, Expr then_e);
+  Expr cond_else(Re re, Expr then_e, Expr else_e);
+  Expr bin(BinKind kind, Expr a, Expr b);
+  Expr split(Expr f, Expr g, AggOp agg);
+  Expr split3(Expr a, Expr b, Expr c, AggOp agg);
+  Expr iter(Expr f, AggOp agg);
+  Expr comp(Expr f, Expr g);
+  Expr action(const std::string& name, std::vector<Expr> args);
+  // Value-level conditional (policy expressions, §4).
+  Expr ternary(Expr c, Expr then_e, std::optional<Expr> else_e);
+  // Conn component projection (c.srcip).
+  Expr proj(ProjOp::Component comp, Expr sub);
+  // aggop{ inner | slots }: aggregation over parameters (§3.5).
+  Expr aggregate(AggOp agg, const std::vector<int>& slots, Expr inner);
+  // inner(keys): per-packet instantiation, e.g. hh(last.srcip, last.dstip).
+  Expr eval_at(const std::vector<int>& slots,
+               const std::vector<std::string>& key_fields, Expr inner);
+
+  // ---- convenience ------------------------------------------------------
+  // filter(p) = /.*[p]/ ? last   (§3.6)
+  Expr filter(Formula pred);
+  // Fused iter(/./ ? v, agg) (§6 incremental aggregation).
+  Expr fold_const(AggOp agg, Value v);
+  Expr fold_field(AggOp agg, const std::string& field);
+  // count = iter(/./?1, sum)     (§3.4)
+  Expr count();
+  // count_size = iter(/./?size(last), sum)  (§4.1)
+  Expr count_size();
+  // exists(p) = /.*[p].*/ ? 1 : 0
+  Expr exists(Formula pred);
+
+  CompiledQuery finish(Expr e, std::vector<std::string> param_names = {});
+
+  [[nodiscard]] const std::shared_ptr<AtomTable>& table() { return table_; }
+  [[nodiscard]] const std::vector<std::string>& warnings() const {
+    return warnings_;
+  }
+
+ private:
+  std::shared_ptr<AtomTable> table_;
+  int n_slots_ = 0;
+  std::vector<Type> slot_types_;
+  std::vector<std::string> warnings_;
+
+  FieldRef field_or_throw(const std::string& name);
+  Dfa compile_dom(const Re& re);
+};
+
+}  // namespace netqre::core

@@ -1,0 +1,333 @@
+#include "core/codegen.hpp"
+
+#include <sstream>
+
+namespace netqre::core {
+namespace {
+
+// C++ accessor on the generated packet struct for a numeric built-in field.
+std::optional<std::string> field_accessor(Field f) {
+  switch (f) {
+    case Field::SrcIp: return "p.src_ip";
+    case Field::DstIp: return "p.dst_ip";
+    case Field::SrcPort: return "p.src_port";
+    case Field::DstPort: return "p.dst_port";
+    case Field::Proto: return "p.proto";
+    case Field::Syn: return "((p.tcp_flags >> 1) & 1)";
+    case Field::Ack: return "((p.tcp_flags >> 4) & 1)";
+    case Field::Fin: return "(p.tcp_flags & 1)";
+    case Field::Rst: return "((p.tcp_flags >> 2) & 1)";
+    case Field::Psh: return "((p.tcp_flags >> 3) & 1)";
+    case Field::Seq: return "p.seq";
+    case Field::AckNo: return "p.ack_no";
+    case Field::Len: return "p.wire_len";
+    default: return std::nullopt;
+  }
+}
+
+std::string cmp_cpp(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+    case CmpOp::Contains: return "/*unsupported*/";
+  }
+  return "==";
+}
+
+}  // namespace
+
+std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
+                                             const std::string& name) {
+  // Supported shapes, rooted at a parameter scope:
+  //   S1: scope(P){ comp(cond(dfa, const), fold) }       (counter family)
+  //   S2: scope(P1){ scope(P2){ cond[_else](dfa, c1, c0) } }
+  //       and its flat form scope(P){ cond[_else](...) }  (distinct family)
+  const auto* scope = dynamic_cast<const ParamScopeOp*>(query.root.get());
+  if (!scope || scope->eager()) return std::nullopt;
+  for (bool ok : scope->skip_param()) {
+    if (!ok) return std::nullopt;  // partial-hit letters are not no-ops
+  }
+
+  // Collect the (possibly nested) scope chain and the innermost expression.
+  std::vector<const ParamScopeOp*> scopes = {scope};
+  const Op* innermost = scope->inner();
+  while (const auto* nested = dynamic_cast<const ParamScopeOp*>(innermost)) {
+    if (nested->eager()) return std::nullopt;
+    for (bool ok : nested->skip_param()) {
+      if (!ok) return std::nullopt;
+    }
+    scopes.push_back(nested);
+    innermost = nested->inner();
+  }
+
+  // Key atoms across the whole chain (one per parameter, all numeric).
+  std::vector<Atom> key_atoms;
+  int slot_lo = scopes.front()->slot_lo();
+  int slot_hi = slot_lo;
+  for (const auto* sc : scopes) {
+    slot_hi = std::max(slot_hi, sc->slot_lo() + sc->n_params());
+    for (const auto& atoms : sc->cand_atoms()) {
+      if (atoms.size() != 1) return std::nullopt;
+      if (!field_accessor(atoms[0].field.field)) return std::nullopt;
+      key_atoms.push_back(atoms[0]);
+    }
+  }
+  const int n_params = static_cast<int>(key_atoms.size());
+  if (n_params < 1 || n_params > 2) return std::nullopt;
+
+  // Innermost expression: S1 counter or S2 distinct.
+  const CondOp* cond = nullptr;
+  const FoldOp* fold = nullptr;
+  int64_t then_value = 0;
+  int64_t else_value = 0;
+  bool has_else = false;
+  if (const auto* comp = dynamic_cast<const CompOp*>(innermost)) {
+    if (scopes.size() != 1) return std::nullopt;
+    cond = dynamic_cast<const CondOp*>(comp->f());
+    fold = dynamic_cast<const FoldOp*>(comp->g());
+    if (!cond || cond->else_op() || !fold) return std::nullopt;
+    if (!dynamic_cast<const ConstOp*>(cond->then_op())) return std::nullopt;
+    if (fold->agg() != AggOp::Sum) return std::nullopt;
+  } else if (const auto* c = dynamic_cast<const CondOp*>(innermost)) {
+    cond = c;
+    const auto* thn = dynamic_cast<const ConstOp*>(c->then_op());
+    if (!thn || thn->value().kind() != Value::Kind::Int) return std::nullopt;
+    then_value = thn->value().as_int();
+    if (c->else_op()) {
+      const auto* els = dynamic_cast<const ConstOp*>(c->else_op());
+      if (!els || els->value().kind() != Value::Kind::Int) {
+        return std::nullopt;
+      }
+      else_value = els->value().as_int();
+      has_else = true;
+    }
+    // The distinct family aggregates with sum at every level.
+    for (const auto* sc : scopes) {
+      if (sc->mode().kind == ScopeMode::Kind::Aggregate &&
+          sc->mode().agg != AggOp::Sum) {
+        return std::nullopt;
+      }
+    }
+  } else {
+    return std::nullopt;
+  }
+  const Dfa& dfa = cond->re();
+  if (dfa.n_bits() > 16) return std::nullopt;
+
+  // Atom expressions: parameterized atoms are true by construction for the
+  // looked-up entry; others are evaluated concretely.
+  std::vector<std::string> atom_exprs;
+  for (int id : dfa.atom_ids) {
+    const Atom& a = query.table->at(id);
+    auto acc = field_accessor(a.field.field);
+    if (!acc) return std::nullopt;
+    if (a.is_param) {
+      if (a.param < slot_lo || a.param >= slot_hi) {
+        return std::nullopt;  // parameter outside the scope chain
+      }
+      atom_exprs.push_back("1u");  // true for the candidate-keyed entry
+    } else {
+      if (a.literal.kind() != Value::Kind::Int) return std::nullopt;
+      atom_exprs.push_back("(uint64_t(" + *acc + ") " + cmp_cpp(a.op) +
+                           " uint64_t(" + std::to_string(a.literal.as_int()) +
+                           "))");
+    }
+  }
+
+  // Per-accept update: S1 folds a value into the entry's accumulator; S2
+  // contributes then/else values at evaluation time instead.
+  std::string fold_expr;
+  if (fold) {
+    if (fold->use_field()) {
+      auto acc = field_accessor(fold->field().field);
+      if (!acc) return std::nullopt;
+      fold_expr = "int64_t(" + *acc + ")";
+    } else {
+      if (fold->constant().kind() != Value::Kind::Int) return std::nullopt;
+      fold_expr = std::to_string(fold->constant().as_int());
+    }
+  }
+
+  std::ostringstream out;
+  out << "// Generated by the NetQRE compiler (specialized query: " << name
+      << ").\n"
+      << "#include <cstdint>\n#include <cstddef>\n#include <unordered_map>\n\n"
+      << "struct NetqrePacket {\n"
+      << "  double ts; uint32_t src_ip, dst_ip; uint16_t src_port, dst_port;\n"
+      << "  uint8_t proto, tcp_flags; uint32_t seq, ack_no, wire_len;\n"
+      << "};\n\n"
+      << "class " << name << " {\n public:\n";
+
+  // Transition / accept tables.
+  const int bits = dfa.n_bits();
+  out << "  static constexpr int kBits = " << bits << ";\n";
+  out << "  static constexpr int32_t kTrans[] = {";
+  for (size_t i = 0; i < dfa.trans.size(); ++i) {
+    out << (i ? "," : "") << dfa.trans[i];
+  }
+  out << "};\n  static constexpr bool kAccept[] = {";
+  for (size_t i = 0; i < dfa.accept.size(); ++i) {
+    out << (i ? "," : "") << (dfa.accept[i] ? "true" : "false");
+  }
+  out << "};\n  static constexpr int32_t kStart = " << dfa.start << ";\n\n";
+
+  out << "  void on_packet(const NetqrePacket& p) {\n";
+  // Key from the candidate atoms.
+  if (n_params == 1) {
+    const Atom& a = key_atoms[0];
+    out << "    const uint64_t key = uint64_t("
+        << *field_accessor(a.field.field) << ")"
+        << (a.offset ? " - " + std::to_string(a.offset) : "") << ";\n";
+  } else {
+    const Atom& a0 = key_atoms[0];
+    const Atom& a1 = key_atoms[1];
+    out << "    const uint64_t key = (uint64_t("
+        << *field_accessor(a0.field.field) << ")"
+        << (a0.offset ? " - " + std::to_string(a0.offset) : "")
+        << " << 32) | uint32_t(uint64_t("
+        << *field_accessor(a1.field.field) << ")"
+        << (a1.offset ? " - " + std::to_string(a1.offset) : "") << ");\n";
+  }
+  // Letter (param atoms true for this key's entry).
+  out << "    const uint64_t letter =";
+  for (size_t i = 0; i < atom_exprs.size(); ++i) {
+    out << (i ? " |" : "") << " ((" << atom_exprs[i] << ") << " << i << ")";
+  }
+  if (atom_exprs.empty()) out << " 0";
+  out << ";\n";
+  // Prune-equivalent: do not create entries that would stay at the start
+  // state without output.
+  out << "    auto it = table_.find(key);\n"
+      << "    if (it == table_.end()) {\n"
+      << "      const int32_t q1 = kTrans[(kStart << kBits) | letter];\n"
+      << "      if (q1 == kStart && !kAccept[q1]) return;\n"
+      << "      it = table_.emplace(key, State{}).first;\n"
+      << "    }\n"
+      << "    State& s = it->second;\n"
+      << "    s.q = kTrans[(s.q << kBits) | letter];\n";
+  if (fold) {
+    out << "    if (kAccept[s.q]) s.acc += " << fold_expr << ";\n";
+  }
+  out << "  }\n\n";
+
+  out << "  // Sum over all observed instantiations (the scope's aggregate)\n"
+      << "  long long aggregate() const {\n"
+      << "    long long total = 0;\n";
+  if (fold) {
+    out << "    for (const auto& kv : table_) total += kv.second.acc;\n";
+  } else if (has_else) {
+    out << "    for (const auto& kv : table_)\n"
+        << "      total += kAccept[kv.second.q] ? " << then_value << "LL : "
+        << else_value << "LL;\n";
+  } else {
+    out << "    for (const auto& kv : table_)\n"
+        << "      if (kAccept[kv.second.q]) total += " << then_value
+        << "LL;\n";
+  }
+  out << "    return total;\n"
+      << "  }\n"
+      << "  long long at(uint64_t key) const {\n"
+      << "    auto it = table_.find(key);\n";
+  if (fold) {
+    out << "    return it == table_.end() ? 0 : it->second.acc;\n";
+  } else {
+    out << "    if (it == table_.end()) return "
+        << (has_else ? else_value : 0) << "LL;\n"
+        << "    return kAccept[it->second.q] ? " << then_value << "LL : "
+        << (has_else ? else_value : 0) << "LL;\n";
+  }
+  out << "  }\n"
+      << "  size_t entries() const { return table_.size(); }\n\n"
+      << " private:\n"
+      << "  struct State { int32_t q = kStart; long long acc = 0; };\n"
+      << "  std::unordered_map<uint64_t, State> table_;\n"
+      << "};\n";
+
+  GeneratedProgram prog;
+  prog.source = out.str();
+  prog.entry_class = name;
+  return prog;
+}
+
+std::string generate_pcap_main(const GeneratedProgram& prog) {
+  std::ostringstream out;
+  out << prog.source << R"(
+// ---- standalone pcap replay driver (classic libpcap format) ----
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+bool parse_frame(const unsigned char* d, size_t n, uint32_t orig_len,
+                 double ts, NetqrePacket& p) {
+  if (n < 34 || d[12] != 0x08 || d[13] != 0x00) return false;
+  const unsigned char* ip = d + 14;
+  const size_t ihl = (ip[0] & 0x0f) * 4u;
+  if ((ip[0] >> 4) != 4 || n < 14 + ihl + 4) return false;
+  p.ts = ts;
+  p.wire_len = orig_len;
+  p.src_ip = (uint32_t(ip[12]) << 24) | (uint32_t(ip[13]) << 16) |
+             (uint32_t(ip[14]) << 8) | ip[15];
+  p.dst_ip = (uint32_t(ip[16]) << 24) | (uint32_t(ip[17]) << 16) |
+             (uint32_t(ip[18]) << 8) | ip[19];
+  p.proto = ip[9];
+  const unsigned char* l4 = ip + ihl;
+  p.src_port = (uint16_t(l4[0]) << 8) | l4[1];
+  p.dst_port = (uint16_t(l4[2]) << 8) | l4[3];
+  p.seq = p.ack_no = 0;
+  p.tcp_flags = 0;
+  if (ip[9] == 6 && n >= 14 + ihl + 20) {
+    p.seq = (uint32_t(l4[4]) << 24) | (uint32_t(l4[5]) << 16) |
+            (uint32_t(l4[6]) << 8) | l4[7];
+    p.ack_no = (uint32_t(l4[8]) << 24) | (uint32_t(l4[9]) << 16) |
+               (uint32_t(l4[10]) << 8) | l4[11];
+    p.tcp_flags = l4[13];
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) { std::fprintf(stderr, "usage: %s <pcap>\n", argv[0]); return 2; }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) { std::fprintf(stderr, "cannot open %s\n", argv[1]); return 2; }
+  unsigned char gh[24];
+  in.read(reinterpret_cast<char*>(gh), 24);
+  std::vector<NetqrePacket> packets;
+  std::vector<unsigned char> buf;
+  for (;;) {
+    unsigned char rh[16];
+    in.read(reinterpret_cast<char*>(rh), 16);
+    if (!in) break;
+    uint32_t ts_sec, ts_usec, incl, orig;
+    std::memcpy(&ts_sec, rh, 4); std::memcpy(&ts_usec, rh + 4, 4);
+    std::memcpy(&incl, rh + 8, 4); std::memcpy(&orig, rh + 12, 4);
+    buf.resize(incl);
+    in.read(reinterpret_cast<char*>(buf.data()), incl);
+    if (!in) break;
+    NetqrePacket p;
+    if (parse_frame(buf.data(), buf.size(), orig, ts_sec + 1e-6 * ts_usec, p)) {
+      packets.push_back(p);
+    }
+  }
+  )" << prog.entry_class << R"( monitor;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& p : packets) monitor.on_packet(p);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("%lld %zu %.6f\n", monitor.aggregate(), packets.size(), secs);
+  return 0;
+}
+)";
+  return out.str();
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,37 @@
+// C++ code generation — the paper's compilation back-end (§6: "the compiler
+// first generates a C++ program from an input NetQRE program, which is then
+// compiled by the gcc compiler into executable").
+//
+// The generator specializes the common query shape
+//
+//     scope(params){ filter(conjunction of param/literal atoms) >> fold }
+//
+// (heavy hitter, entropy, flow-size distribution, per-source byte counters,
+// the DNS counters, ...) into a flat hash-map program equivalent to the
+// hand-written baselines, after *proving* from the DFA's letter classes that
+// every non-full-match letter is a no-op.  Queries outside the supported
+// shape return nullopt and run on the interpreting runtime instead.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/builder.hpp"
+
+namespace netqre::core {
+
+struct GeneratedProgram {
+  std::string source;       // complete translation unit
+  std::string entry_class;  // name of the generated monitor class
+};
+
+// Generates specialized C++ for `query`, or nullopt when the query's shape
+// is not supported by the specializer.
+std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
+                                             const std::string& name);
+
+// Wraps a generated monitor in a main() that replays a pcap file and prints
+// `<result> <packets> <seconds>`; used by tests and the codegen benchmark.
+std::string generate_pcap_main(const GeneratedProgram& prog);
+
+}  // namespace netqre::core

@@ -1,0 +1,62 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace netqre::core {
+
+Engine::Engine(CompiledQuery query) : query_(std::move(query)) {
+  if (!query_.root) throw std::runtime_error("engine: empty query");
+  state_ = query_.root->make_state();
+  val_.assign(query_.n_slots, Value::undef());
+  top_scope_ = dynamic_cast<const ParamScopeOp*>(query_.root.get());
+}
+
+void Engine::on_packet(const net::Packet& p) {
+  begin_packet_fields();
+  EvalContext ctx{&p, &val_};
+  query_.root->step(*state_, ctx);
+  ++n_packets_;
+  if (action_ && query_.result_type == Type::Action) {
+    // Parameterized policies fire one action per observed valuation; each
+    // distinct action fires once (the runtime's alert/update semantics, §6).
+    auto fire = [&](const Value& v) {
+      if (v.type() != Type::Action) return;
+      if (fired_.insert(v.to_string()).second) action_(v, p);
+    };
+    if (top_scope_) {
+      top_scope_->enumerate(*state_, [&](const std::vector<Value>&,
+                                         const Value& v) { fire(v); });
+    } else {
+      Value v = eval();
+      if (v.defined()) fire(v);
+    }
+  }
+}
+
+void Engine::on_stream(const std::vector<net::Packet>& packets) {
+  for (const auto& p : packets) on_packet(p);
+}
+
+Value Engine::eval_at(const std::vector<Value>& key) const {
+  if (!top_scope_) {
+    throw std::runtime_error("eval_at: query has no top-level parameters");
+  }
+  return top_scope_->eval_at(*state_, key);
+}
+
+void Engine::enumerate(const std::function<void(const std::vector<Value>&,
+                                                const Value&)>& fn) const {
+  if (!top_scope_) {
+    throw std::runtime_error("enumerate: query has no top-level parameters");
+  }
+  top_scope_->enumerate(*state_, fn);
+}
+
+void Engine::reset() {
+  fired_.clear();
+  state_ = query_.root->make_state();
+  val_.assign(query_.n_slots, Value::undef());
+  n_packets_ = 0;
+}
+
+}  // namespace netqre::core

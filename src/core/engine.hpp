@@ -1,0 +1,57 @@
+// Streaming execution engine (§2 Fig. 1, §6 runtime).
+//
+// Feeds processed packets into a compiled query one at a time, evaluates the
+// result on demand, and dispatches actions (alert/block) to a handler — the
+// controller hookup of §7.3.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::core {
+
+class Engine {
+ public:
+  // Fired when the query's top-level action expression becomes defined.
+  using ActionFn =
+      std::function<void(const Value& action, const net::Packet& pkt)>;
+
+  explicit Engine(CompiledQuery query);
+
+  void on_packet(const net::Packet& p);
+  void on_stream(const std::vector<net::Packet>& packets);
+
+  // Current value of the query on the consumed stream.
+  [[nodiscard]] Value eval() const { return query_.root->eval(*state_); }
+
+  // For queries whose top level is a parameter scope (a parameterized sfun
+  // or an aggregation): evaluate at a concrete valuation / enumerate all
+  // observed valuations.
+  [[nodiscard]] Value eval_at(const std::vector<Value>& key) const;
+  void enumerate(const std::function<void(const std::vector<Value>&,
+                                          const Value&)>& fn) const;
+
+  void set_action_handler(ActionFn fn) { action_ = std::move(fn); }
+
+  void reset();
+
+  [[nodiscard]] uint64_t packets() const { return n_packets_; }
+  [[nodiscard]] size_t state_memory() const { return state_->memory(); }
+  [[nodiscard]] const CompiledQuery& query() const { return query_; }
+  [[nodiscard]] const OpState& state() const { return *state_; }
+
+ private:
+  CompiledQuery query_;
+  StateBox state_;
+  Valuation val_;
+  ActionFn action_;
+  uint64_t n_packets_ = 0;
+  const ParamScopeOp* top_scope_ = nullptr;  // when root is a scope
+  std::set<std::string> fired_;  // action dedup (one fire per action text)
+};
+
+}  // namespace netqre::core

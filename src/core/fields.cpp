@@ -1,0 +1,300 @@
+#include "core/fields.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace netqre::core {
+namespace {
+
+bool ieq(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+}  // namespace
+
+Value extract_builtin(Field f, const net::Packet& p) {
+  switch (f) {
+    case Field::SrcIp: return Value::ip(p.src_ip);
+    case Field::DstIp: return Value::ip(p.dst_ip);
+    case Field::SrcPort: return Value::integer(p.src_port, Type::Port);
+    case Field::DstPort: return Value::integer(p.dst_port, Type::Port);
+    case Field::Proto:
+      return Value::integer(static_cast<int64_t>(p.proto));
+    case Field::Syn: return Value::boolean(p.syn());
+    case Field::Ack: return Value::boolean(p.ack());
+    case Field::Fin: return Value::boolean(p.fin());
+    case Field::Rst: return Value::boolean(p.rst());
+    case Field::Psh: return Value::boolean(p.psh());
+    case Field::Seq: return Value::integer(p.seq);
+    case Field::AckNo: return Value::integer(p.ack_no);
+    case Field::Len: return Value::integer(p.wire_len);
+    case Field::PayLen:
+      return Value::integer(static_cast<int64_t>(p.payload.size()));
+    case Field::Time: return Value::real(p.ts);
+    case Field::ConnId: return Value::conn(net::Conn::of(p).canonical());
+    case Field::Payload: return Value::str(p.payload);
+    case Field::Custom: break;
+  }
+  return Value::undef();
+}
+
+// ---------------------------------------------------------------- registry
+
+FieldRegistry& FieldRegistry::instance() {
+  static FieldRegistry reg;
+  return reg;
+}
+
+int FieldRegistry::register_fn(const std::string& name, ParseFn fn) {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    fns_[it->second] = std::move(fn);
+    return it->second;
+  }
+  int id = static_cast<int>(fns_.size());
+  names_.push_back(name);
+  fns_.push_back(std::move(fn));
+  by_name_[name] = id;
+  return id;
+}
+
+std::optional<int> FieldRegistry::lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& FieldRegistry::name_of(int id) const {
+  return names_.at(id);
+}
+
+Value FieldRegistry::extract(int id, const net::Packet& p) const {
+  return fns_.at(id)(p);
+}
+
+FieldRegistry::FieldRegistry() {
+  register_fn("sip.method", [](const net::Packet& p) {
+    return Value::str(std::string(sip_method(p.payload)));
+  });
+  register_fn("sip.callid", [](const net::Packet& p) {
+    return Value::str(std::string(sip_header(p.payload, "Call-ID")));
+  });
+  register_fn("sip.from", [](const net::Packet& p) {
+    return Value::str(std::string(sip_header(p.payload, "From")));
+  });
+  register_fn("sip.to", [](const net::Packet& p) {
+    return Value::str(std::string(sip_header(p.payload, "To")));
+  });
+  register_fn("dns.qname", [](const net::Packet& p) {
+    return Value::str(dns_qname(p.payload));
+  });
+  register_fn("dns.qtype", [](const net::Packet& p) {
+    return Value::integer(dns_qtype(p.payload));
+  });
+  register_fn("dns.response", [](const net::Packet& p) {
+    return Value::boolean(dns_is_response(p.payload));
+  });
+  register_fn("dns.ancount", [](const net::Packet& p) {
+    return Value::integer(dns_ancount(p.payload));
+  });
+  register_fn("dns.qnamelen", [](const net::Packet& p) {
+    return Value::integer(
+        static_cast<int64_t>(dns_qname(p.payload).size()));
+  });
+  // TLS handshake ClientHello: record type 0x16 (handshake), version 3.x,
+  // handshake type 0x01.  Repeated ClientHellos inside one connection are
+  // the renegotiation signature of the paper's intro use case.
+  register_fn("tls.hello", [](const net::Packet& p) {
+    const std::string& d = p.payload;
+    const bool hello = d.size() >= 6 &&
+                       static_cast<uint8_t>(d[0]) == 0x16 &&
+                       static_cast<uint8_t>(d[1]) == 0x03 &&
+                       static_cast<uint8_t>(d[5]) == 0x01;
+    return Value::boolean(hello);
+  });
+  // First line token for text protocols (HTTP method, SMTP verb).
+  register_fn("http.method", [](const net::Packet& p) {
+    std::string_view s = p.payload;
+    size_t sp = s.find(' ');
+    return Value::str(std::string(sp == std::string_view::npos
+                                      ? std::string_view{}
+                                      : s.substr(0, sp)));
+  });
+}
+
+namespace {
+
+// Per-packet memoization of custom field extraction: application-layer
+// parsing (SIP headers, DNS names) is referenced by several atoms per
+// packet; parse once per packet instead.
+struct FieldCache {
+  uint64_t generation = 0;
+  std::vector<std::pair<uint64_t, Value>> by_id;  // generation, value
+};
+thread_local FieldCache g_field_cache;
+
+}  // namespace
+
+void begin_packet_fields() { ++g_field_cache.generation; }
+
+std::optional<FieldRef> resolve_field(const std::string& name) {
+  static const std::unordered_map<std::string, Field> kBuiltins = {
+      {"srcip", Field::SrcIp},   {"dstip", Field::DstIp},
+      {"srcport", Field::SrcPort}, {"dstport", Field::DstPort},
+      {"proto", Field::Proto},   {"syn", Field::Syn},
+      {"ack", Field::Ack},       {"fin", Field::Fin},
+      {"rst", Field::Rst},       {"psh", Field::Psh},
+      {"seq", Field::Seq},       {"ackno", Field::AckNo},
+      {"len", Field::Len},       {"size", Field::Len},
+      {"paylen", Field::PayLen}, {"time", Field::Time},
+      {"conn", Field::ConnId},   {"data", Field::Payload},
+      {"payload", Field::Payload},
+  };
+  if (auto it = kBuiltins.find(name); it != kBuiltins.end()) {
+    return FieldRef{it->second, -1};
+  }
+  if (auto id = FieldRegistry::instance().lookup(name)) {
+    return FieldRef{Field::Custom, *id};
+  }
+  return std::nullopt;
+}
+
+std::string field_name(const FieldRef& ref) {
+  if (ref.field == Field::Custom) {
+    return FieldRegistry::instance().name_of(ref.custom_id);
+  }
+  static constexpr std::array kNames = {
+      "srcip", "dstip", "srcport", "dstport", "proto", "syn",  "ack",
+      "fin",   "rst",   "psh",     "seq",     "ackno", "len",  "paylen",
+      "time",  "conn",  "payload", "custom"};
+  return kNames[static_cast<size_t>(ref.field)];
+}
+
+Value extract(const FieldRef& ref, const net::Packet& p) {
+  if (ref.field == Field::Custom) {
+    auto& cache = g_field_cache;
+    if (cache.by_id.size() <= static_cast<size_t>(ref.custom_id)) {
+      cache.by_id.resize(ref.custom_id + 1);
+    }
+    auto& slot = cache.by_id[ref.custom_id];
+    if (slot.first != cache.generation || cache.generation == 0) {
+      slot.first = cache.generation;
+      slot.second = FieldRegistry::instance().extract(ref.custom_id, p);
+    }
+    return slot.second;
+  }
+  return extract_builtin(ref.field, p);
+}
+
+Type field_type(const FieldRef& ref) {
+  switch (ref.field) {
+    case Field::SrcIp:
+    case Field::DstIp: return Type::Ip;
+    case Field::SrcPort:
+    case Field::DstPort: return Type::Port;
+    case Field::Syn:
+    case Field::Ack:
+    case Field::Fin:
+    case Field::Rst:
+    case Field::Psh: return Type::Bool;
+    case Field::Time: return Type::Double;
+    case Field::ConnId: return Type::Conn;
+    case Field::Payload: return Type::String;
+    case Field::Custom: return Type::String;  // refined by usage
+    default: return Type::Int;
+  }
+}
+
+// ------------------------------------------------------ app-layer parsers
+
+std::string_view sip_method(std::string_view payload) {
+  static constexpr std::array<std::string_view, 7> kMethods = {
+      "INVITE", "ACK", "BYE", "CANCEL", "REGISTER", "OPTIONS", "INFO"};
+  for (auto m : kMethods) {
+    if (payload.substr(0, m.size()) == m && payload.size() > m.size() &&
+        payload[m.size()] == ' ') {
+      return m;
+    }
+  }
+  // Responses: "SIP/2.0 200 OK" -> "200".
+  constexpr std::string_view kResp = "SIP/2.0 ";
+  if (payload.substr(0, kResp.size()) == kResp) {
+    auto rest = payload.substr(kResp.size());
+    size_t end = rest.find(' ');
+    return rest.substr(0, end == std::string_view::npos ? rest.size() : end);
+  }
+  return {};
+}
+
+std::string_view sip_header(std::string_view payload, std::string_view name) {
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    auto line = payload.substr(pos, eol - pos);
+    if (line.empty()) break;  // end of headers
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos && ieq(line.substr(0, colon), name)) {
+      auto v = line.substr(colon + 1);
+      while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+      return v;
+    }
+    pos = eol + 2;
+  }
+  return {};
+}
+
+namespace {
+
+// DNS message layout: 12-byte header, then questions.
+constexpr size_t kDnsHeader = 12;
+
+uint16_t dns16(std::string_view m, size_t off) {
+  return static_cast<uint16_t>((static_cast<uint8_t>(m[off]) << 8) |
+                               static_cast<uint8_t>(m[off + 1]));
+}
+
+}  // namespace
+
+std::string dns_qname(std::string_view m) {
+  if (m.size() < kDnsHeader || dns16(m, 4) == 0) return {};
+  std::string name;
+  size_t pos = kDnsHeader;
+  while (pos < m.size()) {
+    uint8_t len = static_cast<uint8_t>(m[pos]);
+    if (len == 0) break;
+    if ((len & 0xc0) != 0 || pos + 1 + len > m.size()) return {};  // pointer
+    if (!name.empty()) name += '.';
+    name.append(m.substr(pos + 1, len));
+    pos += 1 + len;
+  }
+  return name;
+}
+
+int dns_qtype(std::string_view m) {
+  if (m.size() < kDnsHeader || dns16(m, 4) == 0) return 0;
+  size_t pos = kDnsHeader;
+  while (pos < m.size() && static_cast<uint8_t>(m[pos]) != 0) {
+    uint8_t len = static_cast<uint8_t>(m[pos]);
+    if ((len & 0xc0) != 0) return 0;
+    pos += 1 + len;
+  }
+  if (pos + 3 > m.size()) return 0;
+  return dns16(m, pos + 1);
+}
+
+bool dns_is_response(std::string_view m) {
+  return m.size() >= kDnsHeader &&
+         (static_cast<uint8_t>(m[2]) & 0x80) != 0;
+}
+
+int dns_ancount(std::string_view m) {
+  return m.size() >= kDnsHeader ? dns16(m, 6) : 0;
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,105 @@
+// Parsing functions (§3): extract typed values from packets.
+//
+// Built-in transport-level fields are a fast enum dispatch; application-level
+// fields (SIP, DNS, HTTP, SMTP) are registered parsing functions that inspect
+// the payload on demand — the customizable parsing functions the paper
+// mentions ("can be customized by the user, for example, to extract
+// application-level headers").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/value.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::core {
+
+enum class Field : uint8_t {
+  SrcIp,
+  DstIp,
+  SrcPort,
+  DstPort,
+  Proto,
+  Syn,
+  Ack,
+  Fin,
+  Rst,
+  Psh,
+  Seq,
+  AckNo,
+  Len,       // bytes on the wire
+  PayLen,    // application payload bytes
+  Time,
+  ConnId,    // canonical (direction-independent) connection
+  Payload,   // raw payload string
+  Custom,    // dispatched through the registry by custom_id
+};
+
+// Reference to a field: a built-in or a registered custom parsing function.
+struct FieldRef {
+  Field field = Field::SrcIp;
+  int custom_id = -1;
+
+  friend bool operator==(const FieldRef&, const FieldRef&) = default;
+};
+
+// Extracts a built-in field from a packet.
+Value extract_builtin(Field f, const net::Packet& p);
+
+// Registry of custom parsing functions, keyed by name (e.g. "sip.method").
+// The standard application-layer parsers are pre-registered.
+class FieldRegistry {
+ public:
+  using ParseFn = std::function<Value(const net::Packet&)>;
+
+  static FieldRegistry& instance();
+
+  // Registers `fn` under `name`; returns its id.  Re-registering a name
+  // replaces the function but keeps the id.
+  int register_fn(const std::string& name, ParseFn fn);
+
+  [[nodiscard]] std::optional<int> lookup(const std::string& name) const;
+  [[nodiscard]] const std::string& name_of(int id) const;
+  [[nodiscard]] Value extract(int id, const net::Packet& p) const;
+
+ private:
+  FieldRegistry();
+  std::vector<std::string> names_;
+  std::vector<ParseFn> fns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+// Invalidates the per-packet cache of custom (application-layer) field
+// extractions.  The engine calls this once per packet so that repeated atom
+// evaluations against the same packet parse the payload only once.
+void begin_packet_fields();
+
+// Resolves a field name ("srcip", "sip.method", ...) to a FieldRef.
+std::optional<FieldRef> resolve_field(const std::string& name);
+std::string field_name(const FieldRef& ref);
+Value extract(const FieldRef& ref, const net::Packet& p);
+
+// Declared result type of a field, for the type checker.
+Type field_type(const FieldRef& ref);
+
+// --- Application-layer helpers (used by the registry and by baselines) ---
+
+// First token of the payload if it is a SIP request method (INVITE, BYE, ...),
+// or "SIP/2.0 <code>" responses mapped to their status code as string.
+std::string_view sip_method(std::string_view payload);
+// Value of a SIP header such as "Call-ID" (case-insensitive), or "".
+std::string_view sip_header(std::string_view payload, std::string_view name);
+// DNS question name from a UDP DNS message, or "".
+std::string dns_qname(std::string_view payload);
+// DNS QTYPE of the first question, or 0.
+int dns_qtype(std::string_view payload);
+// DNS header flags: true if the message is a response.
+bool dns_is_response(std::string_view payload);
+// DNS answer record count.
+int dns_ancount(std::string_view payload);
+
+}  // namespace netqre::core

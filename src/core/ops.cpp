@@ -1,0 +1,1367 @@
+#include "core/ops.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <map>
+
+namespace netqre::core {
+namespace {
+
+size_t hash_combine(size_t a, size_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+// ------------------------------------------------------------- states
+
+struct EmptyState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  [[nodiscard]] StateBox clone() const override {
+    return std::make_unique<EmptyState>();
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    return o.tag() == tag();
+  }
+  [[nodiscard]] size_t hash() const override { return 1; }
+  [[nodiscard]] size_t memory() const override { return sizeof(*this); }
+};
+
+struct ValueState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  Value v;
+  bool seen = false;
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<ValueState>();
+    s->v = v;
+    s->seen = seen;
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const ValueState*>(&o);
+    return p->seen == seen && p->v == v;
+  }
+  [[nodiscard]] size_t hash() const override {
+    return hash_combine(v.hash(), seen ? 2 : 3);
+  }
+  [[nodiscard]] size_t memory() const override { return sizeof(*this); }
+};
+
+struct MatchState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  int32_t q = 0;
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<MatchState>();
+    s->q = q;
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const MatchState*>(&o);
+    return p->q == q;
+  }
+  [[nodiscard]] size_t hash() const override {
+    return hash_combine(5, static_cast<size_t>(q));
+  }
+  [[nodiscard]] size_t memory() const override { return sizeof(*this); }
+};
+
+struct CondState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  int32_t q = 0;
+  StateBox thn;
+  StateBox els;  // may be null
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<CondState>();
+    s->q = q;
+    s->thn = thn->clone();
+    if (els) s->els = els->clone();
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const CondState*>(&o);
+    if ( p->q != q || !p->thn->equals(*thn)) return false;
+    if (static_cast<bool>(els) != static_cast<bool>(p->els)) return false;
+    return !els || p->els->equals(*els);
+  }
+  [[nodiscard]] size_t hash() const override {
+    size_t h = hash_combine(7, static_cast<size_t>(q));
+    h = hash_combine(h, thn->hash());
+    if (els) h = hash_combine(h, els->hash());
+    return h;
+  }
+  [[nodiscard]] size_t memory() const override {
+    return sizeof(*this) + thn->memory() + (els ? els->memory() : 0);
+  }
+};
+
+struct PairState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  StateBox a;
+  StateBox b;
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<PairState>();
+    s->a = a->clone();
+    s->b = b->clone();
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const PairState*>(&o);
+    return p->a->equals(*a) && p->b->equals(*b);
+  }
+  [[nodiscard]] size_t hash() const override {
+    return hash_combine(hash_combine(11, a->hash()), b->hash());
+  }
+  [[nodiscard]] size_t memory() const override {
+    return sizeof(*this) + a->memory() + b->memory();
+  }
+};
+
+struct SplitState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  struct Case {
+    StateBox f;  // frozen at the split point
+    StateBox g;
+    int32_t g_dom = 0;
+  };
+  StateBox f_run;  // the not-yet-split run of f
+  std::vector<Case> cases;
+
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<SplitState>();
+    s->f_run = f_run->clone();
+    s->cases.reserve(cases.size());
+    for (const auto& c : cases) {
+      s->cases.push_back({c.f->clone(), c.g->clone(), c.g_dom});
+    }
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const SplitState*>(&o);
+    if ( !p->f_run->equals(*f_run) || p->cases.size() != cases.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < cases.size(); ++i) {
+      if (p->cases[i].g_dom != cases[i].g_dom ||
+          !p->cases[i].f->equals(*cases[i].f) ||
+          !p->cases[i].g->equals(*cases[i].g)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] size_t hash() const override {
+    size_t h = hash_combine(13, f_run->hash());
+    for (const auto& c : cases) {
+      h = hash_combine(h, hash_combine(c.f->hash(), c.g->hash()));
+    }
+    return h;
+  }
+  [[nodiscard]] size_t memory() const override {
+    size_t m = sizeof(*this) + f_run->memory();
+    for (const auto& c : cases) {
+      m = m + c.f->memory() + c.g->memory() + sizeof(Case);
+    }
+    return m;
+  }
+};
+
+struct IterState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  struct Entry {
+    AggAcc acc;
+    StateBox f;
+    int32_t dom = 0;
+    bool fresh = true;  // f has consumed nothing since the last cut
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<IterState>();
+    s->entries.reserve(entries.size());
+    for (const auto& e : entries) {
+      s->entries.push_back({e.acc, e.f->clone(), e.dom, e.fresh});
+    }
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const IterState*>(&o);
+    if ( p->entries.size() != entries.size()) return false;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!(p->entries[i].acc == entries[i].acc) ||
+          p->entries[i].dom != entries[i].dom ||
+          p->entries[i].fresh != entries[i].fresh ||
+          !p->entries[i].f->equals(*entries[i].f)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  [[nodiscard]] size_t hash() const override {
+    size_t h = 17;
+    for (const auto& e : entries) {
+      h = hash_combine(h, hash_combine(e.f->hash(),
+                                       static_cast<size_t>(e.acc.count)));
+    }
+    return h;
+  }
+  [[nodiscard]] size_t memory() const override {
+    size_t m = sizeof(*this);
+    for (const auto& e : entries) m += sizeof(Entry) + e.f->memory();
+    return m;
+  }
+};
+
+struct ActionState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  std::vector<StateBox> args;
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<ActionState>();
+    s->args.reserve(args.size());
+    for (const auto& a : args) s->args.push_back(a->clone());
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const ActionState*>(&o);
+    if ( p->args.size() != args.size()) return false;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (!p->args[i]->equals(*args[i])) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] size_t hash() const override {
+    size_t h = 19;
+    for (const auto& a : args) h = hash_combine(h, a->hash());
+    return h;
+  }
+  [[nodiscard]] size_t memory() const override {
+    size_t m = sizeof(*this);
+    for (const auto& a : args) m += a->memory();
+    return m;
+  }
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- base
+
+void Op::set_domain(std::shared_ptr<const Dfa> d) {
+  domain_ = std::move(d);
+  domain_dead_.clear();
+  if (domain_) {
+    domain_dead_.resize(domain_->n_states());
+    for (int s = 0; s < domain_->n_states(); ++s) {
+      domain_dead_[s] = domain_->is_dead(s);
+    }
+  }
+}
+
+// ------------------------------------------------------------- leaf ops
+
+StateBox ConstOp::make_state() const { return std::make_unique<EmptyState>(); }
+
+StateBox LastFieldOp::make_state() const {
+  return std::make_unique<ValueState>();
+}
+
+void LastFieldOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<ValueState&>(s);
+  st.v = extract(field_, *ctx.pkt);
+  st.seen = true;
+}
+
+Value LastFieldOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const ValueState&>(s);
+  return st.seen ? st.v : Value::undef();
+}
+
+StateBox ParamRefOp::make_state() const {
+  return std::make_unique<ValueState>();
+}
+
+void ParamRefOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<ValueState&>(s);
+  if (slot_ >= 0 && static_cast<size_t>(slot_) < ctx.val->size()) {
+    st.v = (*ctx.val)[slot_];
+    st.seen = st.v.defined();
+  }
+}
+
+Value ParamRefOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const ValueState&>(s);
+  return st.seen ? st.v : Value::undef();
+}
+
+// ---------------------------------------------------------------- match
+
+StateBox MatchOp::make_state() const {
+  auto s = std::make_unique<MatchState>();
+  s->q = dfa_.start;
+  return s;
+}
+
+void MatchOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<MatchState&>(s);
+  st.q = dfa_.step(st.q, dfa_.letter_of(*table_, *ctx.pkt, *ctx.val));
+}
+
+Value MatchOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const MatchState&>(s);
+  return Value::boolean(dfa_.accept[st.q]);
+}
+
+void MatchOp::collect_atoms(std::vector<int>& out) const {
+  out.insert(out.end(), dfa_.atom_ids.begin(), dfa_.atom_ids.end());
+}
+
+void MatchOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                           bool segment) const {
+  out.push_back({&dfa_, gated, segment});
+}
+
+// ----------------------------------------------------------------- cond
+
+StateBox CondOp::make_state() const {
+  auto s = std::make_unique<CondState>();
+  s->q = re_.start;
+  s->thn = then_->make_state();
+  if (else_) s->els = else_->make_state();
+  return s;
+}
+
+void CondOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<CondState&>(s);
+  st.q = re_.step(st.q, re_.letter_of(*table_, *ctx.pkt, *ctx.val));
+  then_->step(*st.thn, ctx);
+  if (else_) else_->step(*st.els, ctx);
+}
+
+Value CondOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const CondState&>(s);
+  if (re_.accept[st.q]) return then_->eval(*st.thn);
+  if (else_) return else_->eval(*st.els);
+  return Value::undef();
+}
+
+void CondOp::collect_atoms(std::vector<int>& out) const {
+  out.insert(out.end(), re_.atom_ids.begin(), re_.atom_ids.end());
+  then_->collect_atoms(out);
+  if (else_) else_->collect_atoms(out);
+}
+
+void CondOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                          bool segment) const {
+  out.push_back({&re_, gated, segment});
+  then_->collect_dfas(out, gated, segment);
+  if (else_) else_->collect_dfas(out, gated, segment);
+}
+
+// ------------------------------------------------------------------ bin
+
+StateBox BinOp::make_state() const {
+  auto s = std::make_unique<PairState>();
+  s->a = lhs_->make_state();
+  s->b = rhs_->make_state();
+  return s;
+}
+
+void BinOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<PairState&>(s);
+  lhs_->step(*st.a, ctx);
+  rhs_->step(*st.b, ctx);
+}
+
+Value BinOp::apply(BinKind kind, const Value& a, const Value& b) {
+  if (!a.defined() || !b.defined()) return Value::undef();
+  const bool ints = a.kind() == Value::Kind::Int &&
+                    b.kind() == Value::Kind::Int;
+  switch (kind) {
+    case BinKind::Add:
+      return ints ? Value::integer(a.as_int() + b.as_int())
+                  : Value::real(a.as_double() + b.as_double());
+    case BinKind::Sub:
+      return ints ? Value::integer(a.as_int() - b.as_int())
+                  : Value::real(a.as_double() - b.as_double());
+    case BinKind::Mul:
+      return ints ? Value::integer(a.as_int() * b.as_int())
+                  : Value::real(a.as_double() * b.as_double());
+    case BinKind::Div:
+      if (b.as_double() == 0.0) return Value::undef();
+      return Value::real(a.as_double() / b.as_double());
+    case BinKind::Gt: return Value::boolean(a.compare(b) > 0);
+    case BinKind::Ge: return Value::boolean(a.compare(b) >= 0);
+    case BinKind::Lt: return Value::boolean(a.compare(b) < 0);
+    case BinKind::Le: return Value::boolean(a.compare(b) <= 0);
+    case BinKind::Eq: return Value::boolean(a == b);
+    case BinKind::Ne: return Value::boolean(!(a == b));
+    case BinKind::And: return Value::boolean(a.as_bool() && b.as_bool());
+    case BinKind::Or: return Value::boolean(a.as_bool() || b.as_bool());
+  }
+  return Value::undef();
+}
+
+Value BinOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const PairState&>(s);
+  return apply(kind_, lhs_->eval(*st.a), rhs_->eval(*st.b));
+}
+
+void BinOp::collect_atoms(std::vector<int>& out) const {
+  lhs_->collect_atoms(out);
+  rhs_->collect_atoms(out);
+}
+
+void BinOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                         bool segment) const {
+  lhs_->collect_dfas(out, gated, segment);
+  rhs_->collect_dfas(out, gated, segment);
+}
+
+// ---------------------------------------------------------------- split
+
+StateBox SplitOp::make_state() const {
+  auto s = std::make_unique<SplitState>();
+  s->f_run = f_->make_state();
+  // Split before the first packet: valid when f is defined on the empty
+  // stream (Algorithm 2 starts from the (q0_f, true) guarded state; the
+  // epsilon-prefix case materializes here).
+  if (f_->eval_empty().defined()) {
+    s->cases.push_back({f_->make_state(), g_->make_state(),
+                        g_->domain() ? g_->domain()->start : 0});
+  }
+  return s;
+}
+
+void SplitOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<SplitState&>(s);
+  const Dfa* gdom = g_->domain();
+  const uint64_t gl = gdom ? gdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
+
+  // Advance g in every existing split case (Algorithm 2, lines 10-12),
+  // pruning cases whose g can never become defined again.
+  size_t keep = 0;
+  for (auto& c : st.cases) {
+    g_->step(*c.g, ctx);
+    if (gdom) {
+      c.g_dom = gdom->step(c.g_dom, gl);
+      if (g_->domain_dead(c.g_dom)) continue;
+    }
+    st.cases[keep++] = std::move(c);
+  }
+  st.cases.resize(keep);
+
+  // Advance the unsplit run of f (lines 2-8) and open a new split case at
+  // the boundary after this packet when f is defined here.
+  f_->step(*st.f_run, ctx);
+  if (f_->eval(*st.f_run).defined()) {
+    SplitState::Case c{st.f_run->clone(), g_->make_state(),
+                       gdom ? gdom->start : 0};
+    bool dup = false;
+    for (const auto& e : st.cases) {
+      if (e.g_dom == c.g_dom && e.f->equals(*c.f) && e.g->equals(*c.g)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) st.cases.push_back(std::move(c));
+  }
+}
+
+Value SplitOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const SplitState&>(s);
+  auto combine = [&](const Value& vf, const Value& vg) {
+    if (!vf.defined() || !vg.defined()) return Value::undef();
+    AggAcc acc = AggAcc::identity(agg_);
+    acc.add(vf);
+    acc.add(vg);
+    return acc.result();
+  };
+  // Whole stream to f, empty suffix to g.
+  Value whole = combine(f_->eval(*st.f_run), g_->eval_empty());
+  if (whole.defined()) return whole;
+  for (const auto& c : st.cases) {
+    Value v = combine(f_->eval(*c.f), g_->eval(*c.g));
+    if (v.defined()) return v;  // unambiguity: at most one case is defined
+  }
+  return Value::undef();
+}
+
+void SplitOp::collect_atoms(std::vector<int>& out) const {
+  f_->collect_atoms(out);
+  g_->collect_atoms(out);
+}
+
+void SplitOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                           bool segment) const {
+  // f's definedness opens split cases; g's definedness validates them.
+  f_->collect_dfas(out, gated, /*segment=*/true);
+  g_->collect_dfas(out, gated, /*segment=*/true);
+  if (g_->domain()) out.push_back({g_->domain(), gated, segment});
+}
+
+// ----------------------------------------------------------------- iter
+
+StateBox IterOp::make_state() const {
+  auto s = std::make_unique<IterState>();
+  s->entries.push_back({AggAcc::identity(agg_), f_->make_state(),
+                        f_->domain() ? f_->domain()->start : 0, true});
+  return s;
+}
+
+void IterOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<IterState&>(s);
+  const Dfa* fdom = f_->domain();
+  const uint64_t fl = fdom ? fdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
+
+  std::vector<IterState::Entry> next;
+  next.reserve(st.entries.size() + 1);
+  auto push = [&](IterState::Entry e) {
+    for (const auto& o : next) {
+      if (o.fresh == e.fresh && o.dom == e.dom && o.acc == e.acc &&
+          o.f->equals(*e.f)) {
+        return;
+      }
+    }
+    next.push_back(std::move(e));
+  };
+
+  for (auto& e : st.entries) {
+    f_->step(*e.f, ctx);
+    const int32_t dom = fdom ? fdom->step(e.dom, fl) : 0;
+    const Value v = f_->eval(*e.f);
+    // Cut at the boundary after this packet (Algorithm 3, lines 3-6).
+    if (v.defined()) {
+      AggAcc acc = e.acc;
+      acc.add(v);
+      push({std::move(acc), f_->make_state(),
+            fdom ? fdom->start : 0, true});
+    }
+    // Continue the open segment (line 7) unless it can never complete.
+    if (!fdom || !f_->domain_dead(dom)) {
+      push({e.acc, std::move(e.f), dom, false});
+    }
+  }
+  st.entries = std::move(next);
+}
+
+Value IterOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const IterState&>(s);
+  for (const auto& e : st.entries) {
+    if (e.fresh) return e.acc.result();  // unambiguity: unique fresh entry
+  }
+  return Value::undef();
+}
+
+void IterOp::collect_atoms(std::vector<int>& out) const {
+  f_->collect_atoms(out);
+}
+
+void IterOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                          bool segment) const {
+  // f's definedness drives cut decisions (Algorithm 3).
+  f_->collect_dfas(out, gated, /*segment=*/true);
+  if (f_->domain()) out.push_back({f_->domain(), gated, segment});
+}
+
+// ----------------------------------------------------------------- fold
+
+namespace {
+
+struct FoldState final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  AggAcc acc;
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<FoldState>();
+    s->acc = acc;
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const FoldState*>(&o);
+    return p->acc == acc;
+  }
+  [[nodiscard]] size_t hash() const override {
+    return hash_combine(29, static_cast<size_t>(acc.count) ^
+                                static_cast<size_t>(acc.num));
+  }
+  [[nodiscard]] size_t memory() const override { return sizeof(*this); }
+};
+
+}  // namespace
+
+StateBox FoldOp::make_state() const {
+  auto s = std::make_unique<FoldState>();
+  s->acc = AggAcc::identity(agg_);
+  return s;
+}
+
+void FoldOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<FoldState&>(s);
+  if (!use_field_) {
+    st.acc.add(constant_);
+    return;
+  }
+  uint64_t raw;
+  if (Atom::raw_numeric(field_.field, *ctx.pkt, raw)) {
+    st.acc.add(Value::integer(static_cast<int64_t>(raw)));
+  } else {
+    st.acc.add(extract(field_, *ctx.pkt));
+  }
+}
+
+Value FoldOp::eval(const OpState& s) const {
+  return static_cast<const FoldState&>(s).acc.result();
+}
+
+Value FoldOp::ref_eval(std::span<const net::Packet> stream,
+                       Valuation&) const {
+  AggAcc acc = AggAcc::identity(agg_);
+  for (const auto& p : stream) {
+    acc.add(use_field_ ? extract(field_, p) : constant_);
+  }
+  return acc.result();
+}
+
+// ----------------------------------------------------------------- comp
+
+StateBox CompOp::make_state() const {
+  auto s = std::make_unique<PairState>();
+  s->a = f_->make_state();
+  s->b = g_->make_state();
+  return s;
+}
+
+void CompOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<PairState&>(s);
+  f_->step(*st.a, ctx);
+  // §3.6 / Algorithm 4: f is applied to every prefix; when defined, its
+  // output (the current packet for filter-shaped f) is piped into g.
+  if (f_->eval(*st.a).defined()) g_->step(*st.b, ctx);
+}
+
+Value CompOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const PairState&>(s);
+  return g_->eval(*st.b);
+}
+
+void CompOp::collect_atoms(std::vector<int>& out) const {
+  f_->collect_atoms(out);
+  g_->collect_atoms(out);
+}
+
+void CompOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                          bool segment) const {
+  // f's acceptance is consulted immediately after stepping (Algorithm 4):
+  // it must reject on skipped letters so that no g update is missed.
+  f_->collect_dfas(out, /*gated=*/true, segment);
+  g_->collect_dfas(out, gated, segment);
+}
+
+// --------------------------------------------------------------- action
+
+StateBox ActionOp::make_state() const {
+  auto s = std::make_unique<ActionState>();
+  s->args.reserve(args_.size());
+  for (const auto& a : args_) s->args.push_back(a->make_state());
+  return s;
+}
+
+void ActionOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<ActionState&>(s);
+  for (size_t i = 0; i < args_.size(); ++i) args_[i]->step(*st.args[i], ctx);
+}
+
+Value ActionOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const ActionState&>(s);
+  std::string text = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i) text += ", ";
+    text += args_[i]->eval(*st.args[i]).to_string();
+  }
+  text += ")";
+  return Value::str(std::move(text), Type::Action);
+}
+
+void ActionOp::collect_atoms(std::vector<int>& out) const {
+  for (const auto& a : args_) a->collect_atoms(out);
+}
+
+void ActionOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                            bool segment) const {
+  for (const auto& a : args_) a->collect_dfas(out, gated, segment);
+}
+
+// -------------------------------------------------------------- ternary
+
+StateBox TernaryOp::make_state() const {
+  auto s = std::make_unique<CondState>();
+  s->q = 0;  // unused
+  s->thn = std::make_unique<PairState>();
+  auto* pair = static_cast<PairState*>(s->thn.get());
+  pair->a = cond_->make_state();
+  pair->b = then_->make_state();
+  if (else_) s->els = else_->make_state();
+  return s;
+}
+
+void TernaryOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<CondState&>(s);
+  auto& pair = static_cast<PairState&>(*st.thn);
+  cond_->step(*pair.a, ctx);
+  then_->step(*pair.b, ctx);
+  if (else_) else_->step(*st.els, ctx);
+}
+
+Value TernaryOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const CondState&>(s);
+  const auto& pair = static_cast<const PairState&>(*st.thn);
+  Value c = cond_->eval(*pair.a);
+  if (!c.defined()) return Value::undef();
+  if (c.as_bool()) return then_->eval(*pair.b);
+  return else_ ? else_->eval(*st.els) : Value::undef();
+}
+
+Value TernaryOp::ref_eval(std::span<const net::Packet> stream,
+                          Valuation& val) const {
+  Value c = cond_->ref_eval(stream, val);
+  if (!c.defined()) return Value::undef();
+  if (c.as_bool()) return then_->ref_eval(stream, val);
+  return else_ ? else_->ref_eval(stream, val) : Value::undef();
+}
+
+void TernaryOp::collect_atoms(std::vector<int>& out) const {
+  cond_->collect_atoms(out);
+  then_->collect_atoms(out);
+  if (else_) else_->collect_atoms(out);
+}
+
+void TernaryOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                             bool segment) const {
+  cond_->collect_dfas(out, gated, segment);
+  then_->collect_dfas(out, gated, segment);
+  if (else_) else_->collect_dfas(out, gated, segment);
+}
+
+// ----------------------------------------------------------------- proj
+
+StateBox ProjOp::make_state() const { return sub_->make_state(); }
+
+void ProjOp::step(OpState& s, const EvalContext& ctx) const {
+  sub_->step(s, ctx);
+}
+
+Value ProjOp::project(Component c, const Value& v) {
+  if (v.kind() != Value::Kind::Conn) return Value::undef();
+  const net::Conn& conn = v.as_conn();
+  switch (c) {
+    case Component::SrcIp: return Value::ip(conn.src_ip);
+    case Component::DstIp: return Value::ip(conn.dst_ip);
+    case Component::SrcPort:
+      return Value::integer(conn.src_port, Type::Port);
+    case Component::DstPort:
+      return Value::integer(conn.dst_port, Type::Port);
+  }
+  return Value::undef();
+}
+
+Value ProjOp::eval(const OpState& s) const {
+  return project(comp_, sub_->eval(s));
+}
+
+Value ProjOp::ref_eval(std::span<const net::Packet> stream,
+                       Valuation& val) const {
+  return project(comp_, sub_->ref_eval(stream, val));
+}
+
+void ProjOp::collect_atoms(std::vector<int>& out) const {
+  sub_->collect_atoms(out);
+}
+
+void ProjOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                          bool segment) const {
+  sub_->collect_dfas(out, gated, segment);
+}
+
+// ---------------------------------------------------------- param scope
+
+namespace {
+std::atomic<bool> g_skip_optimization{true};
+}  // namespace
+
+void ParamScopeOp::set_skip_optimization(bool enabled) {
+  g_skip_optimization.store(enabled, std::memory_order_relaxed);
+}
+bool ParamScopeOp::skip_optimization_enabled() {
+  return g_skip_optimization.load(std::memory_order_relaxed);
+}
+
+// Trie over parameter valuations (§5.1 guarded states, §6 guard tree).
+// Level i branches on the value of bound parameter i; `dflt` is the default
+// branch standing for every value not listed among the siblings.  Leaves
+// (depth == n_params) hold the composite state of the inner expression.
+struct ParamScopeOp::Node {
+  std::unordered_map<Value, std::unique_ptr<Node>, ValueHash> kids;
+  std::unique_ptr<Node> dflt;  // non-null iff depth < n_params
+  StateBox leaf;               // non-null iff depth == n_params
+
+  [[nodiscard]] std::unique_ptr<Node> clone() const {
+    auto n = std::make_unique<Node>();
+    if (leaf) n->leaf = leaf->clone();
+    if (dflt) n->dflt = dflt->clone();
+    for (const auto& [k, v] : kids) n->kids.emplace(k, v->clone());
+    return n;
+  }
+
+  [[nodiscard]] bool equals(const Node& o) const {
+    if (static_cast<bool>(leaf) != static_cast<bool>(o.leaf)) return false;
+    if (leaf && !leaf->equals(*o.leaf)) return false;
+    if (static_cast<bool>(dflt) != static_cast<bool>(o.dflt)) return false;
+    if (dflt && !dflt->equals(*o.dflt)) return false;
+    if (kids.size() != o.kids.size()) return false;
+    for (const auto& [k, v] : kids) {
+      auto it = o.kids.find(k);
+      if (it == o.kids.end() || !v->equals(*it->second)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] size_t hash() const {
+    size_t h = leaf ? leaf->hash() : 23;
+    if (dflt) h = hash_combine(h, dflt->hash());
+    size_t kh = 0;  // order-independent fold over children
+    for (const auto& [k, v] : kids) {
+      kh ^= hash_combine(k.hash(), v->hash());
+    }
+    return hash_combine(h, kh);
+  }
+
+  [[nodiscard]] size_t memory() const {
+    size_t m = sizeof(Node);
+    if (leaf) m += leaf->memory();
+    if (dflt) m += dflt->memory();
+    for (const auto& [k, v] : kids) {
+      m += sizeof(Value) + 32 + v->memory();  // 32 ~ bucket overhead
+    }
+    return m;
+  }
+};
+
+namespace {
+
+struct ScopeStateImpl final : OpState {
+  [[nodiscard]] const void* tag() const override {
+    static const char t{};
+    return &t;
+  }
+  const ParamScopeOp* owner = nullptr;
+  std::unique_ptr<ParamScopeOp::Node> root;
+  std::vector<Value> keys;  // EvalAt: cached key values
+  uint64_t eager_steps = 0;
+  uint64_t combos_skipped = 0;
+
+  // Per-packet scratch, reused across steps (not part of the logical state;
+  // clone()/equals() ignore it).  Kept per state instance: nested scopes
+  // each use their own buffers.
+  std::vector<std::vector<Value>> cand_pool;
+  std::vector<ParamScopeOp::DfaCtx> dfa_scratch;
+  std::vector<std::pair<ParamScopeOp::Node*, Value>> prune_scratch;
+  std::vector<const OpState*> stepped_scratch;
+
+  [[nodiscard]] StateBox clone() const override {
+    auto s = std::make_unique<ScopeStateImpl>();
+    s->owner = owner;
+    s->root = root->clone();
+    s->keys = keys;
+    s->eager_steps = eager_steps;
+    s->combos_skipped = combos_skipped;
+    return s;
+  }
+  [[nodiscard]] bool equals(const OpState& o) const override {
+    if (o.tag() != tag()) return false;
+    auto* p = static_cast<const ScopeStateImpl*>(&o);
+    return p->keys == keys && p->root->equals(*root);
+  }
+  [[nodiscard]] size_t hash() const override { return root->hash(); }
+  [[nodiscard]] size_t memory() const override {
+    return sizeof(*this) + root->memory();
+  }
+};
+
+}  // namespace
+
+ParamScopeOp::ParamScopeOp(int slot_lo, int n_params, ScopeMode mode,
+                           OpPtr inner,
+                           std::shared_ptr<const AtomTable> table,
+                           bool force_eager)
+    : slot_lo_(slot_lo),
+      n_params_(n_params),
+      mode_(std::move(mode)),
+      inner_(std::move(inner)),
+      table_(std::move(table)),
+      cand_atoms_(n_params) {
+  if (n_params_ < 1 || n_params_ > kMaxParams) {
+    throw std::runtime_error("parameter scope supports 1.." +
+                             std::to_string(kMaxParams) + " parameters");
+  }
+  const SparseValidation v =
+      validate_sparse_scope(*inner_, *table_, slot_lo_, n_params_);
+  eager_ = force_eager || !v.miss_ok;
+  skip_param_ = v.skip_param;
+  dyn_check_ = inner_->has_ungated_updates();
+  std::vector<int> atom_ids;
+  inner_->collect_atoms(atom_ids);
+  std::ranges::sort(atom_ids);
+  atom_ids.erase(std::unique(atom_ids.begin(), atom_ids.end()),
+                 atom_ids.end());
+  for (int id : atom_ids) {
+    const Atom& a = table_->at(id);
+    if (a.is_param && a.param >= slot_lo_ && a.param < slot_lo_ + n_params_) {
+      cand_atoms_[a.param - slot_lo_].push_back(a);
+    }
+  }
+
+  // Letter-class tables for the combo-skip test.  Value-carrying reads of
+  // parameters (ParamRefOp) make two equivalent letters distinguishable, so
+  // the test is disabled when eager anyway or when any ParamRefOp exists —
+  // approximated by checking the scope's actions: ParamRefOp only occurs in
+  // action arguments, and actions always sit above scopes in our lowering,
+  // so the test is safe for the inner subtree.
+  combo_skip_ok_ = !eager_;
+  std::vector<DfaUse> uses;
+  inner_->collect_dfas(uses, false, false);
+  for (const auto& use : uses) {
+    const Dfa& d = *use.dfa;
+    ScopedDfa sd;
+    sd.dfa = &d;
+    uint64_t uncertain = 0;
+    for (size_t i = 0; i < d.atom_ids.size(); ++i) {
+      const Atom& a = table_->at(d.atom_ids[i]);
+      if (a.is_param && a.param >= slot_lo_ &&
+          a.param < slot_lo_ + n_params_) {
+        sd.patoms.push_back({static_cast<int>(i), a.param - slot_lo_, a});
+      } else if (a.is_param && a.param >= slot_lo_ + n_params_) {
+        // Parameter of a scope nested inside this one (slots allocate in
+        // pre-order): unbound now, bound during the inner update.
+        uncertain |= uint64_t{1} << i;
+      }
+    }
+    if (sd.patoms.empty()) continue;  // unaffected by this scope's params
+    if (std::popcount(uncertain) > 6) {
+      combo_skip_ok_ = false;  // too many uncertain bits to enumerate
+    } else {
+      // All subsets of the uncertain mask.
+      for (uint64_t sub = uncertain;; sub = (sub - 1) & uncertain) {
+        sd.uncertain_subsets.push_back(sub);
+        if (sub == 0) break;
+      }
+    }
+    if (sd.patoms.size() > 8) {
+      combo_skip_ok_ = false;  // per-packet candidate cache is fixed-size
+    }
+    if (d.n_bits() > 16) {
+      combo_skip_ok_ = false;  // dense class table too large
+      scoped_dfas_.push_back(std::move(sd));
+      continue;
+    }
+    const uint64_t n_letters = uint64_t{1} << d.n_bits();
+    sd.letter_class.resize(n_letters);
+    std::map<std::vector<int32_t>, uint32_t> columns;
+    for (uint64_t l = 0; l < n_letters; ++l) {
+      std::vector<int32_t> col(d.n_states());
+      for (int q = 0; q < d.n_states(); ++q) col[q] = d.step(q, l);
+      auto [it, ins] = columns.emplace(std::move(col), columns.size());
+      sd.letter_class[l] = it->second;
+    }
+    scoped_dfas_.push_back(std::move(sd));
+  }
+}
+
+namespace {
+
+std::unique_ptr<ParamScopeOp::Node> make_chain(const Op& inner, int depth,
+                                               int n) {
+  auto node = std::make_unique<ParamScopeOp::Node>();
+  if (depth == n) {
+    node->leaf = inner.make_state();
+  } else {
+    node->dflt = make_chain(inner, depth + 1, n);
+  }
+  return node;
+}
+
+}  // namespace
+
+StateBox ParamScopeOp::make_state() const {
+  auto s = std::make_unique<ScopeStateImpl>();
+  s->owner = this;
+  s->root = make_chain(*inner_, 0, n_params_);
+  if (mode_.kind == ScopeMode::Kind::EvalAt) {
+    s->keys.assign(mode_.keys.size(), Value::undef());
+  }
+  return s;
+}
+
+void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
+  auto& st = static_cast<ScopeStateImpl&>(s);
+  Valuation& val = *ctx.val;
+
+  // Candidate values per bound parameter, induced by this packet through the
+  // atoms `field == param + k` (Algorithm 1's on-demand instantiation).
+  if (st.cand_pool.size() < static_cast<size_t>(n_params_)) {
+    st.cand_pool.resize(n_params_);
+  }
+  auto& cands = st.cand_pool;
+  for (int i = 0; i < n_params_; ++i) {
+    cands[i].clear();
+    for (const Atom& a : cand_atoms_[i]) {
+      Value v = a.candidate(*ctx.pkt);
+      if (!v.defined()) continue;
+      if (std::ranges::find(cands[i], v) == cands[i].end()) {
+        cands[i].push_back(std::move(v));
+      }
+    }
+  }
+
+  // Letter-class pre-computation for the skip test (§5.1 on-demand
+  // instantiation + §6 guard-tree compaction): base letter of each DFA with
+  // all bound params unbound, and per parameterized atom the one value that
+  // satisfies it on this packet.
+  auto& dfa_ctx = st.dfa_scratch;
+  const bool use_skip =
+      combo_skip_ok_ && !dyn_check_ && skip_optimization_enabled();
+  if (use_skip) {
+    dfa_ctx.resize(scoped_dfas_.size());
+    for (size_t d = 0; d < scoped_dfas_.size(); ++d) {
+      const auto& sd = scoped_dfas_[d];
+      DfaCtx& c = dfa_ctx[d];
+      c.base = sd.dfa->letter_of(*table_, *ctx.pkt, val);
+      c.base_class = sd.letter_class[c.base];
+      for (size_t a = 0; a < sd.patoms.size() && a < 8; ++a) {
+        c.atom_cand[a] = sd.patoms[a].atom.candidate(*ctx.pkt);
+      }
+    }
+  }
+
+  // True when, under the valuation currently bound in the scope's slots,
+  // every DFA letter stays in the miss equivalence class: such a leaf cannot
+  // diverge from its sibling default this packet.
+  auto leaf_equiv = [&]() -> bool {
+    for (size_t d = 0; d < scoped_dfas_.size(); ++d) {
+      const auto& sd = scoped_dfas_[d];
+      const auto& c = dfa_ctx[d];
+      uint64_t letter = c.base;
+      for (size_t a = 0; a < sd.patoms.size(); ++a) {
+        const auto& pa = sd.patoms[a];
+        const Value& v = val[slot_lo_ + pa.param_rel];
+        if (v.defined() && c.atom_cand[a].defined() &&
+            v == c.atom_cand[a]) {
+          letter |= uint64_t{1} << pa.local_bit;
+        }
+      }
+      if (letter == c.base) continue;
+      // Equivalence must hold for every assignment of nested-scope atom
+      // bits (they are bound during the inner scope's own update).
+      for (uint64_t sub : sd.uncertain_subsets) {
+        if (sd.letter_class[letter | sub] != sd.letter_class[c.base | sub]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  // Extension form: does every candidate/default completion below `depth`
+  // stay in the miss class?  (Checked before materializing a branch.)
+  auto combo_equiv = [&](auto&& self, int depth) -> bool {
+    if (depth == n_params_) return leaf_equiv();
+    val[slot_lo_ + depth] = Value::undef();
+    if (!self(self, depth + 1)) return false;
+    for (const Value& v : cands[depth]) {
+      val[slot_lo_ + depth] = v;
+      const bool ok = self(self, depth + 1);
+      val[slot_lo_ + depth] = Value::undef();
+      if (!ok) return false;
+    }
+    return true;
+  };
+
+  // Does any level below `depth` carry a candidate?  Branches failing the
+  // per-level skip analysis must then be descended even when their own value
+  // is not a candidate (e.g. the (x=10, y=20) guarded state of a SYN whose
+  // ACK instantiates only y).
+  bool deeper_cands[kMaxParams + 1];
+  deeper_cands[n_params_] = false;
+  for (int i = n_params_ - 1; i >= 0; --i) {
+    deeper_cands[i] = deeper_cands[i + 1] || !cands[i].empty();
+  }
+
+  // ---- Phase 1: materialize candidate branches (§5.1), cloning from the
+  // not-yet-stepped default subtrees.
+  auto materialize = [&](auto&& self, Node* node, int depth) -> void {
+    if (depth == n_params_) return;
+    self(self, node->dflt.get(), depth + 1);
+    for (const Value& v : cands[depth]) {
+      auto it = node->kids.find(v);
+      val[slot_lo_ + depth] = v;
+      if (it == node->kids.end()) {
+        if (use_skip && combo_equiv(combo_equiv, depth + 1)) {
+          ++st.combos_skipped;
+          val[slot_lo_ + depth] = Value::undef();
+          continue;
+        }
+        it = node->kids.emplace(v, node->dflt->clone()).first;
+      }
+      self(self, it->second.get(), depth + 1);
+      val[slot_lo_ + depth] = Value::undef();
+    }
+    if (!skip_param_[depth] && deeper_cands[depth + 1]) {
+      for (auto& [k, child] : node->kids) {
+        if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+          val[slot_lo_ + depth] = k;
+          self(self, child.get(), depth + 1);
+          val[slot_lo_ + depth] = Value::undef();
+        }
+      }
+    }
+  };
+  materialize(materialize, st.root.get(), 0);
+
+  // Snapshot the all-default leaf when ungated updates may change it under
+  // the miss letter (DESIGN.md §5, miss-skip analysis).
+  Node* default_chain = st.root.get();
+  for (int i = 0; i < n_params_; ++i) default_chain = default_chain->dflt.get();
+  OpState* default_leaf = default_chain->leaf.get();
+  StateBox default_pre;
+  if (!eager_ && dyn_check_) default_pre = default_leaf->clone();
+
+  // ---- Phase 2: step the touched leaves in place.  Leaves whose letters
+  // are miss-equivalent are skipped outright; a stepped concrete leaf that
+  // converges back to its sibling default is queued for pruning.
+  auto& prune_list = st.prune_scratch;
+  prune_list.clear();
+
+  auto step_walk = [&](auto&& self, Node* node, int depth,
+                       bool concrete) -> void {
+    if (depth == n_params_) {
+      if (use_skip && leaf_equiv()) {
+        ++st.combos_skipped;
+        return;
+      }
+      inner_->step(*node->leaf, ctx);
+      return;
+    }
+    val[slot_lo_ + depth] = Value::undef();
+    self(self, node->dflt.get(), depth + 1, concrete);
+    for (const Value& v : cands[depth]) {
+      auto it = node->kids.find(v);
+      if (it == node->kids.end()) continue;  // skipped at materialization
+      val[slot_lo_ + depth] = v;
+      self(self, it->second.get(), depth + 1, true);
+      val[slot_lo_ + depth] = Value::undef();
+      // Converged back to the default? Queue the branch for removal.
+      if (depth == n_params_ - 1 && it->second->equals(*node->dflt)) {
+        prune_list.emplace_back(node, v);
+      }
+    }
+    if (!skip_param_[depth] && deeper_cands[depth + 1]) {
+      for (auto& [k, child] : node->kids) {
+        if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+          val[slot_lo_ + depth] = k;
+          self(self, child.get(), depth + 1, true);
+          val[slot_lo_ + depth] = Value::undef();
+          if (depth == n_params_ - 1 && child->equals(*node->dflt)) {
+            prune_list.emplace_back(node, k);
+          }
+        }
+      }
+    }
+  };
+  step_walk(step_walk, st.root.get(), 0, false);
+
+  // Miss letter not an identity (or validation failed): every leaf must be
+  // stepped; leaves already stepped above are identified by generation
+  // marks... the general slow path simply re-runs over the remaining leaves.
+  if (eager_ || (default_pre && !default_pre->equals(*default_leaf))) {
+    ++st.eager_steps;
+    // Which leaves were already stepped?  Exactly those reachable via the
+    // cands/default/descent traversal above; re-walk marks them.
+    auto& stepped = st.stepped_scratch;
+    stepped.clear();
+    auto mark = [&](auto&& self, Node* node, int depth) -> void {
+      if (depth == n_params_) {
+        if (!use_skip || !leaf_equiv()) stepped.push_back(node->leaf.get());
+        return;
+      }
+      val[slot_lo_ + depth] = Value::undef();
+      self(self, node->dflt.get(), depth + 1);
+      for (const Value& v : cands[depth]) {
+        auto it = node->kids.find(v);
+        if (it == node->kids.end()) continue;
+        val[slot_lo_ + depth] = v;
+        self(self, it->second.get(), depth + 1);
+        val[slot_lo_ + depth] = Value::undef();
+      }
+      if (!skip_param_[depth] && deeper_cands[depth + 1]) {
+        for (auto& [k, child] : node->kids) {
+          if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+            val[slot_lo_ + depth] = k;
+            self(self, child.get(), depth + 1);
+            val[slot_lo_ + depth] = Value::undef();
+          }
+        }
+      }
+    };
+    mark(mark, st.root.get(), 0);
+    auto sweep = [&](auto&& self, Node* node, int depth) -> void {
+      if (depth == n_params_) {
+        if (std::ranges::find(stepped, node->leaf.get()) == stepped.end()) {
+          inner_->step(*node->leaf, ctx);
+        }
+        return;
+      }
+      val[slot_lo_ + depth] = Value::undef();
+      self(self, node->dflt.get(), depth + 1);
+      for (auto& [k, child] : node->kids) {
+        val[slot_lo_ + depth] = k;
+        self(self, child.get(), depth + 1);
+        val[slot_lo_ + depth] = Value::undef();
+      }
+    };
+    sweep(sweep, st.root.get(), 0);
+  }
+
+  // Apply queued prunes, then opportunistically fold equal ancestors.
+  for (const auto& [parent, key] : prune_list) {
+    parent->kids.erase(key);
+  }
+  if (!prune_list.empty() && n_params_ > 1) {
+    auto fold = [&](auto&& self, Node* node, int depth) -> void {
+      if (depth >= n_params_ - 1) return;
+      for (auto it = node->kids.begin(); it != node->kids.end();) {
+        self(self, it->second.get(), depth + 1);
+        if (it->second->equals(*node->dflt)) {
+          it = node->kids.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      self(self, node->dflt.get(), depth + 1);
+    };
+    fold(fold, st.root.get(), 0);
+  }
+
+  // Restore unbound slots and cache EvalAt keys.
+  for (int i = 0; i < n_params_; ++i) {
+    val[slot_lo_ + i] = Value::undef();
+  }
+  if (mode_.kind == ScopeMode::Kind::EvalAt) {
+    for (size_t i = 0; i < mode_.keys.size(); ++i) {
+      st.keys[i] = extract(mode_.keys[i], *ctx.pkt);
+    }
+  }
+}
+
+Value ParamScopeOp::eval(const OpState& s) const {
+  const auto& st = static_cast<const ScopeStateImpl&>(s);
+  if (mode_.kind == ScopeMode::Kind::EvalAt) {
+    return eval_at(s, st.keys);
+  }
+  AggAcc acc = AggAcc::identity(mode_.agg);
+  enumerate(s, [&](const std::vector<Value>&, const Value& v) {
+    acc.add(v);
+  });
+  return acc.result();
+}
+
+Value ParamScopeOp::eval_at(const OpState& s,
+                            const std::vector<Value>& key) const {
+  const auto& st = static_cast<const ScopeStateImpl&>(s);
+  const Node* node = st.root.get();
+  for (int i = 0; i < n_params_; ++i) {
+    if (i < static_cast<int>(key.size()) && key[i].defined()) {
+      auto it = node->kids.find(key[i]);
+      node = it != node->kids.end() ? it->second.get() : node->dflt.get();
+    } else {
+      node = node->dflt.get();
+    }
+  }
+  return inner_->eval(*node->leaf);
+}
+
+void ParamScopeOp::enumerate(
+    const OpState& s,
+    const std::function<void(const std::vector<Value>&, const Value&)>& fn)
+    const {
+  const auto& st = static_cast<const ScopeStateImpl&>(s);
+  std::vector<Value> vals(n_params_);
+  auto walk = [&](auto&& self, const Node* node, int depth) -> void {
+    if (depth == n_params_) {
+      Value v = inner_->eval(*node->leaf);
+      if (v.defined()) fn(vals, v);
+      return;
+    }
+    for (const auto& [k, child] : node->kids) {
+      vals[depth] = k;
+      self(self, child.get(), depth + 1);
+    }
+  };
+  walk(walk, st.root.get(), 0);
+}
+
+void ParamScopeOp::collect_atoms(std::vector<int>& out) const {
+  inner_->collect_atoms(out);
+}
+
+void ParamScopeOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
+                                bool segment) const {
+  inner_->collect_dfas(out, gated, segment);
+}
+
+ParamScopeOp::Stats ParamScopeOp::stats(const OpState& s) const {
+  const auto& st = static_cast<const ScopeStateImpl&>(s);
+  Stats out;
+  out.eager_steps = st.eager_steps;
+  auto walk = [&](auto&& self, const Node* node, int depth) -> void {
+    if (depth == n_params_) {
+      ++out.leaves;
+      return;
+    }
+    self(self, node->dflt.get(), depth + 1);
+    for (const auto& [k, child] : node->kids) self(self, child.get(), depth + 1);
+  };
+  walk(walk, st.root.get(), 0);
+  return out;
+}
+
+}  // namespace netqre::core

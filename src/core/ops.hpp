@@ -1,0 +1,541 @@
+// Compiled streaming operators — the target of NetQRE compilation (§5).
+//
+// A NetQRE expression lowers to a tree of Ops.  Each Op defines a state
+// shape (OpState), a per-packet update (`step`, Algorithms 1–4 of the
+// paper), and an on-demand evaluation (`eval`).  Parameters are handled by
+// ParamScopeOp, which maintains the guarded states of §5.1 as a trie over
+// parameter valuations with a default branch (the guard tree of §6); all
+// other operators run *within* one leaf of that trie, i.e. under a fixed
+// valuation, exactly as the paper's guarded triples (s_f, s_g, F) do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggop.hpp"
+#include "core/predicate.hpp"
+#include "core/regex.hpp"
+#include "core/value.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::core {
+
+struct EvalContext {
+  const net::Packet* pkt = nullptr;
+  Valuation* val = nullptr;  // all parameter slots of the query
+};
+
+// Base class for per-op state.  States are value-like: cloneable (the guard
+// trie forks the default branch on demand), comparable (split/iter case
+// deduplication, default-convergence pruning) and hashable.
+class OpState {
+ public:
+  virtual ~OpState() = default;
+  // Cheap type discriminator for equals() (one static address per class).
+  [[nodiscard]] virtual const void* tag() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<OpState> clone() const = 0;
+  [[nodiscard]] virtual bool equals(const OpState& other) const = 0;
+  [[nodiscard]] virtual size_t hash() const = 0;
+  // Approximate heap footprint in bytes, for the memory benchmarks.
+  [[nodiscard]] virtual size_t memory() const = 0;
+};
+
+using StateBox = std::unique_ptr<OpState>;
+
+class Op {
+ public:
+  virtual ~Op() = default;
+
+  [[nodiscard]] virtual StateBox make_state() const = 0;
+  virtual void step(OpState& state, const EvalContext& ctx) const = 0;
+  // Current value on the consumed stream; Undef when not defined.
+  [[nodiscard]] virtual Value eval(const OpState& state) const = 0;
+  // Atom ids used anywhere in this subtree (for candidate extraction).
+  virtual void collect_atoms(std::vector<int>&) const {}
+  // DFAs used anywhere in this subtree, annotated with how their acceptance
+  // is consumed: `gated` = only read right after stepping, behind a
+  // composition filter (Algorithm 4); `segment` = drives split/iter cut
+  // decisions (Algorithms 2-3).  Used by the sparse-mode validator.
+  struct DfaUse {
+    const Dfa* dfa;
+    bool gated;
+    bool segment;
+  };
+  virtual void collect_dfas(std::vector<DfaUse>&, bool, bool) const {}
+
+  // True when stepping this subtree can mutate state even on packets where
+  // every parameterized predicate is false (e.g. a LastFieldOp caching each
+  // packet).  When false for a validated sparse scope, the per-packet
+  // default-leaf change check can be skipped.
+  [[nodiscard]] virtual bool has_ungated_updates() const { return true; }
+
+  // Reference (specification) evaluator: the declarative semantics of §3
+  // computed directly over a stored stream, trying all splits.  Ground truth
+  // for the streaming implementation in property tests; exponential, only
+  // for short streams.
+  [[nodiscard]] virtual Value ref_eval(std::span<const net::Packet> stream,
+                                       Valuation& val) const = 0;
+
+  // Value on the empty stream.
+  [[nodiscard]] Value eval_empty() const { return eval(*make_state()); }
+
+  // Domain automaton: the language of streams on which this expression can
+  // (ever) become defined.  Used by split/iter to prune dead cases; may be
+  // null when unknown (no pruning).
+  void set_domain(std::shared_ptr<const Dfa> d);
+  [[nodiscard]] const Dfa* domain() const { return domain_.get(); }
+  [[nodiscard]] bool domain_dead(int state) const {
+    return !domain_dead_.empty() && domain_dead_[state];
+  }
+
+ protected:
+  std::shared_ptr<const Dfa> domain_;
+  std::vector<bool> domain_dead_;
+};
+
+using OpPtr = std::shared_ptr<const Op>;
+
+// ----------------------------------------------------------- leaf ops
+
+// Constant value; defined on every stream.
+class ConstOp final : public Op {
+ public:
+  explicit ConstOp(Value v) : value_(std::move(v)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState&, const EvalContext&) const override {}
+  [[nodiscard]] Value eval(const OpState&) const override { return value_; }
+  [[nodiscard]] bool has_ungated_updates() const override { return false; }
+  [[nodiscard]] const Value& value() const { return value_; }
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+
+ private:
+  Value value_;
+};
+
+// Field of the most recent packet (`last.srcip`, `size(last)`, ...).
+// Defined on non-empty streams.
+class LastFieldOp final : public Op {
+ public:
+  explicit LastFieldOp(FieldRef field) : field_(field) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+
+ private:
+  FieldRef field_;
+};
+
+// Current value of a parameter slot (e.g. `alert(user)` inside an
+// aggregation body).  Defined whenever the slot is bound.
+class ParamRefOp final : public Op {
+ public:
+  explicit ParamRefOp(int slot) : slot_(slot) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+
+ private:
+  int slot_;
+};
+
+// PSRE run (§5.1): state is one DFA state; evaluates to the boolean
+// "stream matches".
+class MatchOp final : public Op {
+ public:
+  MatchOp(Dfa dfa, std::shared_ptr<const AtomTable> table)
+      : dfa_(std::move(dfa)), table_(std::move(table)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+  [[nodiscard]] const Dfa& dfa() const { return dfa_; }
+  [[nodiscard]] bool has_ungated_updates() const override { return false; }
+
+ private:
+  Dfa dfa_;
+  std::shared_ptr<const AtomTable> table_;
+};
+
+// Conditional `re ? then : else?` (§3.2).
+class CondOp final : public Op {
+ public:
+  CondOp(Dfa re, std::shared_ptr<const AtomTable> table, OpPtr then_op,
+         OpPtr else_op)
+      : re_(std::move(re)),
+        table_(std::move(table)),
+        then_(std::move(then_op)),
+        else_(std::move(else_op)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+  [[nodiscard]] bool has_ungated_updates() const override {
+    return then_->has_ungated_updates() ||
+           (else_ && else_->has_ungated_updates());
+  }
+  [[nodiscard]] const Dfa& re() const { return re_; }
+  [[nodiscard]] const Op* then_op() const { return then_.get(); }
+  [[nodiscard]] const Op* else_op() const { return else_.get(); }
+
+ private:
+  Dfa re_;
+  std::shared_ptr<const AtomTable> table_;
+  OpPtr then_;
+  OpPtr else_;  // may be null
+};
+
+// Pointwise arithmetic / comparison / boolean combination of two stream
+// functions.
+enum class BinKind : uint8_t {
+  Add, Sub, Mul, Div, Gt, Ge, Lt, Le, Eq, Ne, And, Or,
+};
+
+class BinOp final : public Op {
+ public:
+  BinOp(BinKind kind, OpPtr lhs, OpPtr rhs)
+      : kind_(kind), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+  static Value apply(BinKind kind, const Value& a, const Value& b);
+  [[nodiscard]] bool has_ungated_updates() const override {
+    return lhs_->has_ungated_updates() || rhs_->has_ungated_updates();
+  }
+
+ private:
+  BinKind kind_;
+  OpPtr lhs_;
+  OpPtr rhs_;
+};
+
+// split(f, g, aggop) — Algorithm 2.  Maintains the unsplit run of f plus a
+// deduplicated set of split cases (frozen f state, live g state); cases are
+// pruned when g's domain automaton says no extension can define g.
+class SplitOp final : public Op {
+ public:
+  SplitOp(OpPtr f, OpPtr g, AggOp agg, std::shared_ptr<const AtomTable> table)
+      : f_(std::move(f)), g_(std::move(g)), agg_(agg),
+        table_(std::move(table)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+
+ private:
+  OpPtr f_;
+  OpPtr g_;
+  AggOp agg_;
+  std::shared_ptr<const AtomTable> table_;
+};
+
+// iter(f, aggop) — Algorithm 3.  Entries are (aggregate-so-far, live f run);
+// the compiler's incremental-aggregation optimization (§6) is exactly the
+// AggAcc fold carried in each entry.
+class IterOp final : public Op {
+ public:
+  IterOp(OpPtr f, AggOp agg, std::shared_ptr<const AtomTable> table)
+      : f_(std::move(f)), agg_(agg), table_(std::move(table)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+
+ private:
+  OpPtr f_;
+  AggOp agg_;
+  std::shared_ptr<const AtomTable> table_;
+};
+
+// Fused form of iter(/./ ? v, agg): every packet contributes one value
+// (a constant or a field of the packet) folded into a running AggAcc.  This
+// is the §6 incremental-aggregation optimization applied to the ubiquitous
+// count / count_size / rate-style stream functions; the lowering pass
+// rewrites matching iter expressions into it.
+class FoldOp final : public Op {
+ public:
+  // Folds `field` when use_field, else the constant.
+  FoldOp(AggOp agg, bool use_field, FieldRef field, Value constant)
+      : agg_(agg), use_field_(use_field), field_(field),
+        constant_(std::move(constant)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  [[nodiscard]] AggOp agg() const { return agg_; }
+  [[nodiscard]] bool use_field() const { return use_field_; }
+  [[nodiscard]] FieldRef field() const { return field_; }
+  [[nodiscard]] const Value& constant() const { return constant_; }
+
+ private:
+  AggOp agg_;
+  bool use_field_;
+  FieldRef field_;
+  Value constant_;
+};
+
+// Stream composition f >> g (§3.6, Algorithm 4).  f acts as a filter: when
+// f is defined on the current prefix, the current packet is forwarded to g.
+// (The paper's examples always forward `last`; packet *transformation* is
+// not supported.)
+class CompOp final : public Op {
+ public:
+  CompOp(OpPtr f, OpPtr g) : f_(std::move(f)), g_(std::move(g)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+  [[nodiscard]] bool has_ungated_updates() const override {
+    return f_->has_ungated_updates();
+  }
+  [[nodiscard]] const Op* f() const { return f_.get(); }
+  [[nodiscard]] const Op* g() const { return g_.get(); }
+
+ private:
+  OpPtr f_;
+  OpPtr g_;
+};
+
+// Action constructor: alert(...) / block(...).  Always defined; the engine
+// fires the action when a conditional makes it reachable.
+class ActionOp final : public Op {
+ public:
+  ActionOp(std::string name, std::vector<OpPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+
+ private:
+  std::string name_;
+  std::vector<OpPtr> args_;
+};
+
+// Value-level conditional: `cond ? then : else?` where `cond` is a
+// boolean-valued stream function (e.g. `count > k`), as used by the policy
+// expressions of §4 (alert_hh, syn_flood).  Distinct from CondOp, whose
+// condition is a PSRE match.
+class TernaryOp final : public Op {
+ public:
+  TernaryOp(OpPtr c, OpPtr then_op, OpPtr else_op)
+      : cond_(std::move(c)), then_(std::move(then_op)),
+        else_(std::move(else_op)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+
+ private:
+  OpPtr cond_;
+  OpPtr then_;
+  OpPtr else_;  // may be null
+};
+
+// Projects a component out of a Conn-valued sub-expression (c.srcip in
+// `block(c.srcip)`, §4.2).
+class ProjOp final : public Op {
+ public:
+  enum class Component : uint8_t { SrcIp, DstIp, SrcPort, DstPort };
+  ProjOp(Component c, OpPtr sub) : comp_(c), sub_(std::move(sub)) {}
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+  static Value project(Component c, const Value& v);
+
+ private:
+  Component comp_;
+  OpPtr sub_;
+};
+
+// -------------------------------------------------------- parameter scope
+
+// How a ParamScopeOp combines its per-valuation instances.
+struct ScopeMode {
+  enum class Kind : uint8_t {
+    Aggregate,  // aggop{ f | T x, ... }  (§3.5)
+    EvalAt,     // f(e1, ..., ek) with per-packet key expressions, e.g.
+                // hh(last.srcip, last.dstip) (§4.1)
+  };
+  Kind kind = Kind::Aggregate;
+  AggOp agg = AggOp::Sum;
+  std::vector<FieldRef> keys;  // EvalAt: one key field per bound slot
+};
+
+// Binds parameter slots [slot_lo, slot_lo + n_params) around `inner` and
+// maintains the guarded states of §5.1: a trie over valuations whose default
+// branches stand for "any other value".  See DESIGN.md §5 for the update
+// and pruning rules.
+class ParamScopeOp final : public Op {
+ public:
+  // Bound on parameters per scope (Table-1 queries use at most 4).
+  static constexpr int kMaxParams = 8;
+
+  // The constructor runs validate_sparse_scope() on `inner` and configures
+  // the update strategy: sparse fast path, per-level descent, or fully
+  // eager.  `force_eager` overrides the analysis (used by tests and as an
+  // escape hatch).
+  ParamScopeOp(int slot_lo, int n_params, ScopeMode mode, OpPtr inner,
+               std::shared_ptr<const AtomTable> table,
+               bool force_eager = false);
+
+  [[nodiscard]] bool eager() const { return eager_; }
+  [[nodiscard]] const std::vector<bool>& skip_param() const {
+    return skip_param_;
+  }
+
+  [[nodiscard]] StateBox make_state() const override;
+  void step(OpState& s, const EvalContext& ctx) const override;
+  [[nodiscard]] Value eval(const OpState& s) const override;
+  [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
+                               Valuation& val) const override;
+  void collect_atoms(std::vector<int>& out) const override;
+  void collect_dfas(std::vector<DfaUse>& out, bool gated,
+                    bool segment) const override;
+
+  // Evaluate at one concrete valuation of the bound slots (runtime query
+  // API, also used by EvalAt mode internally).
+  [[nodiscard]] Value eval_at(const OpState& s,
+                              const std::vector<Value>& key) const;
+  // Enumerates (valuation, value) for all concrete leaves (observed
+  // valuations).  Used by tests, result dumps and the parallel merge.
+  void enumerate(const OpState& s,
+                 const std::function<void(const std::vector<Value>&,
+                                          const Value&)>& fn) const;
+
+  [[nodiscard]] int slot_lo() const { return slot_lo_; }
+  [[nodiscard]] int n_params() const { return n_params_; }
+  [[nodiscard]] const Op* inner() const { return inner_.get(); }
+  [[nodiscard]] const ScopeMode& mode() const { return mode_; }
+  [[nodiscard]] const std::vector<std::vector<Atom>>& cand_atoms() const {
+    return cand_atoms_;
+  }
+
+  struct Node;  // trie node (defined in ops.cpp; public for the state impl)
+
+  // Global toggle for the letter-class skip optimization (ablation studies
+  // only; always on in normal operation).
+  static void set_skip_optimization(bool enabled);
+  static bool skip_optimization_enabled();
+
+  // Per-packet letter-class scratch (see ops.cpp); lives in the scope state
+  // so that nested scopes cannot clobber each other's buffers.
+  struct DfaCtx {
+    uint64_t base = 0;
+    uint32_t base_class = 0;
+    Value atom_cand[8];
+  };
+
+  // Statistics for the memory/throughput analysis.
+  struct Stats {
+    uint64_t leaves = 0;
+    uint64_t eager_steps = 0;  // packets handled on the slow (eager) path
+  };
+  [[nodiscard]] Stats stats(const OpState& s) const;
+
+ private:
+  int slot_lo_;
+  int n_params_;
+  ScopeMode mode_;
+  bool eager_;
+  bool dyn_check_;  // default-leaf change check needed per packet
+  std::vector<bool> skip_param_;
+
+  // Per-DFA letter equivalence classes: two letters are equivalent when
+  // their transition columns coincide; a not-yet-materialized combo whose
+  // letters are all miss-equivalent cannot diverge from the default branch
+  // and is skipped entirely (the on-demand instantiation of §5.1 plus the
+  // tree compaction of §6).
+  struct ScopedDfa {
+    const Dfa* dfa;
+    std::vector<uint32_t> letter_class;  // dense over local letters
+    struct ParamAtom {
+      int local_bit;
+      int param_rel;  // bound-slot index within this scope
+      Atom atom;
+    };
+    std::vector<ParamAtom> patoms;
+    // Atoms of parameters bound by scopes nested *inside* this one are
+    // unbound when this scope computes letters, but will be bound during the
+    // inner scope's own update: the class test must hold for every
+    // assignment of those bits.  All subsets of that mask, including 0.
+    std::vector<uint64_t> uncertain_subsets;
+  };
+  std::vector<ScopedDfa> scoped_dfas_;
+  bool combo_skip_ok_ = false;  // letter-class test usable
+  OpPtr inner_;
+  std::shared_ptr<const AtomTable> table_;
+  // Atoms of `inner` that mention each bound slot, for candidate extraction.
+  std::vector<std::vector<Atom>> cand_atoms_;  // [param] -> atoms
+};
+
+// Compile-time soundness analysis for the sparse guard-trie update
+// (DESIGN.md §5).  For each DFA in `inner` and each bound parameter i, it
+// examines every letter in which all of parameter i's atoms are false (the
+// letters a leaf skipped at trie level i would receive) and requires the
+// letter to be left-erasable (skipping it cannot change any later
+// transition) and non-defining (gated/segment machines must reject;
+// eval-visible machines must keep their acceptance).
+//
+//  - miss_ok: all-parameters-false letters satisfy the rules; when false the
+//    scope runs in eager mode (every leaf stepped on every packet).
+//  - skip_param[i]: parameter-i-false letters satisfy the rules; when false
+//    the trie walk must descend existing concrete branches at level i
+//    whenever a deeper parameter has candidate values.
+struct SparseValidation {
+  bool miss_ok = true;
+  std::vector<bool> skip_param;
+};
+SparseValidation validate_sparse_scope(const Op& inner,
+                                       const AtomTable& table, int slot_lo,
+                                       int n_params);
+
+}  // namespace netqre::core

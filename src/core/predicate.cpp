@@ -1,0 +1,268 @@
+#include "core/predicate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace netqre::core {
+
+std::string cmp_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::Eq: return "==";
+    case CmpOp::Lt: return "<";
+    case CmpOp::Le: return "<=";
+    case CmpOp::Gt: return ">";
+    case CmpOp::Ge: return ">=";
+    case CmpOp::Contains: return "contains";
+  }
+  return "?";
+}
+
+namespace {
+
+bool compare(CmpOp op, const Value& lhs, const Value& rhs) {
+  if (op == CmpOp::Contains) {
+    if (lhs.kind() != Value::Kind::Str || rhs.kind() != Value::Kind::Str) {
+      return false;
+    }
+    return lhs.as_str().find(rhs.as_str()) != std::string::npos;
+  }
+  const int c = lhs.compare(rhs);
+  switch (op) {
+    case CmpOp::Eq: return c == 0;
+    case CmpOp::Lt: return c < 0;
+    case CmpOp::Le: return c <= 0;
+    case CmpOp::Gt: return c > 0;
+    case CmpOp::Ge: return c >= 0;
+    case CmpOp::Contains: return false;
+  }
+  return false;
+}
+
+// param + offset, for numeric parameter values.
+Value offset_value(const Value& v, int64_t offset) {
+  if (offset == 0) return v;
+  if (v.kind() == Value::Kind::Int) {
+    return Value::integer(v.as_int() + offset, v.type());
+  }
+  if (v.kind() == Value::Kind::Double) {
+    return Value::real(v.as_double() + offset);
+  }
+  return Value::undef();
+}
+
+}  // namespace
+
+bool Atom::raw_numeric(Field f, const net::Packet& p, uint64_t& out) {
+  switch (f) {
+    case Field::SrcIp: out = p.src_ip; return true;
+    case Field::DstIp: out = p.dst_ip; return true;
+    case Field::SrcPort: out = p.src_port; return true;
+    case Field::DstPort: out = p.dst_port; return true;
+    case Field::Proto: out = static_cast<uint64_t>(p.proto); return true;
+    case Field::Syn: out = p.syn(); return true;
+    case Field::Ack: out = p.ack(); return true;
+    case Field::Fin: out = p.fin(); return true;
+    case Field::Rst: out = p.rst(); return true;
+    case Field::Psh: out = p.psh(); return true;
+    case Field::Seq: out = p.seq; return true;
+    case Field::AckNo: out = p.ack_no; return true;
+    case Field::Len: out = p.wire_len; return true;
+    case Field::PayLen: out = p.payload.size(); return true;
+    default: return false;
+  }
+}
+
+bool Atom::eval(const net::Packet& p, const Valuation& val) const {
+  // Fast path: plain-numeric field against an integer operand.
+  uint64_t raw;
+  if (raw_numeric(field.field, p, raw)) {
+    int64_t rhs;
+    if (!is_param) {
+      if (literal.kind() != Value::Kind::Int) goto slow;
+      rhs = literal.as_int();
+    } else {
+      if (param < 0 || static_cast<size_t>(param) >= val.size()) return false;
+      const Value& v = val[param];
+      if (!v.defined()) return false;  // unbound = fresh value
+      if (v.kind() != Value::Kind::Int) goto slow;
+      rhs = v.as_int() + offset;
+    }
+    {
+      const auto lhs = static_cast<int64_t>(raw);
+      switch (op) {
+        case CmpOp::Eq: return lhs == rhs;
+        case CmpOp::Lt: return lhs < rhs;
+        case CmpOp::Le: return lhs <= rhs;
+        case CmpOp::Gt: return lhs > rhs;
+        case CmpOp::Ge: return lhs >= rhs;
+        case CmpOp::Contains: return false;
+      }
+    }
+  }
+slow:
+  const Value lhs = extract(field, p);
+  if (!is_param) return compare(op, lhs, literal);
+  assert(op == CmpOp::Eq);
+  if (param < 0 || static_cast<size_t>(param) >= val.size() ||
+      !val[param].defined()) {
+    return false;  // unbound = fresh value, equality cannot hold
+  }
+  const Value rhs = offset_value(val[param], offset);
+  return rhs.defined() && compare(CmpOp::Eq, lhs, rhs);
+}
+
+Value Atom::candidate(const net::Packet& p) const {
+  if (!is_param || op != CmpOp::Eq) return Value::undef();
+  const Value lhs = extract(field, p);
+  if (offset == 0) return lhs;
+  if (lhs.kind() == Value::Kind::Int) {
+    return Value::integer(lhs.as_int() - offset, lhs.type());
+  }
+  if (lhs.kind() == Value::Kind::Double) {
+    return Value::real(lhs.as_double() - offset);
+  }
+  return Value::undef();
+}
+
+std::string Atom::to_string() const {
+  std::string rhs = is_param
+      ? "$" + std::to_string(param) +
+            (offset ? "+" + std::to_string(offset) : "")
+      : literal.to_string();
+  return field_name(field) + " " + cmp_name(op) + " " + rhs;
+}
+
+int AtomTable::intern(const Atom& a) {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i] == a) return static_cast<int>(i);
+  }
+  atoms_.push_back(a);
+  return static_cast<int>(atoms_.size() - 1);
+}
+
+Formula Formula::conj(Formula a, Formula b) {
+  if (a.kind_ == Kind::False || b.kind_ == Kind::False) return make_false();
+  if (a.kind_ == Kind::True) return b;
+  if (b.kind_ == Kind::True) return a;
+  Formula f(Kind::And);
+  f.kids_.push_back(std::move(a));
+  f.kids_.push_back(std::move(b));
+  return f;
+}
+
+Formula Formula::disj(Formula a, Formula b) {
+  if (a.kind_ == Kind::True || b.kind_ == Kind::True) return make_true();
+  if (a.kind_ == Kind::False) return b;
+  if (b.kind_ == Kind::False) return a;
+  Formula f(Kind::Or);
+  f.kids_.push_back(std::move(a));
+  f.kids_.push_back(std::move(b));
+  return f;
+}
+
+Formula Formula::negate(Formula a) {
+  if (a.kind_ == Kind::True) return make_false();
+  if (a.kind_ == Kind::False) return make_true();
+  if (a.kind_ == Kind::Not) return a.kids_[0];
+  Formula f(Kind::Not);
+  f.kids_.push_back(std::move(a));
+  return f;
+}
+
+bool Formula::eval(const AtomTable& table, const net::Packet& p,
+                   const Valuation& val) const {
+  switch (kind_) {
+    case Kind::True: return true;
+    case Kind::False: return false;
+    case Kind::Atom: return table.at(atom_).eval(p, val);
+    case Kind::And:
+      return std::ranges::all_of(
+          kids_, [&](const Formula& k) { return k.eval(table, p, val); });
+    case Kind::Or:
+      return std::ranges::any_of(
+          kids_, [&](const Formula& k) { return k.eval(table, p, val); });
+    case Kind::Not: return !kids_[0].eval(table, p, val);
+  }
+  return false;
+}
+
+bool Formula::eval_bits(uint64_t bits) const {
+  switch (kind_) {
+    case Kind::True: return true;
+    case Kind::False: return false;
+    case Kind::Atom: return (bits >> atom_) & 1;
+    case Kind::And:
+      return std::ranges::all_of(
+          kids_, [&](const Formula& k) { return k.eval_bits(bits); });
+    case Kind::Or:
+      return std::ranges::any_of(
+          kids_, [&](const Formula& k) { return k.eval_bits(bits); });
+    case Kind::Not: return !kids_[0].eval_bits(bits);
+  }
+  return false;
+}
+
+void Formula::collect_atoms(std::vector<int>& out) const {
+  if (kind_ == Kind::Atom) {
+    out.push_back(atom_);
+    return;
+  }
+  for (const auto& k : kids_) k.collect_atoms(out);
+}
+
+std::string Formula::to_string(const AtomTable& table) const {
+  switch (kind_) {
+    case Kind::True: return "true";
+    case Kind::False: return "false";
+    case Kind::Atom: return table.at(atom_).to_string();
+    case Kind::And:
+      return "(" + kids_[0].to_string(table) + " && " +
+             kids_[1].to_string(table) + ")";
+    case Kind::Or:
+      return "(" + kids_[0].to_string(table) + " || " +
+             kids_[1].to_string(table) + ")";
+    case Kind::Not: return "!(" + kids_[0].to_string(table) + ")";
+  }
+  return "?";
+}
+
+bool assignment_consistent(const AtomTable& table,
+                           const std::vector<int>& atom_ids, uint64_t bits) {
+  const size_t n = atom_ids.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Atom& a = table.at(atom_ids[i]);
+    const bool ai = (bits >> i) & 1;
+    for (size_t j = i + 1; j < n; ++j) {
+      const Atom& b = table.at(atom_ids[j]);
+      if (!(a.field == b.field)) continue;
+      const bool bj = (bits >> j) & 1;
+      // Two literal Eq atoms on the same field cannot both hold with
+      // different values; if the values are equal they must agree.
+      if (!a.is_param && !b.is_param && a.op == CmpOp::Eq &&
+          b.op == CmpOp::Eq) {
+        const bool same = a.literal == b.literal;
+        if (same && ai != bj) return false;
+        if (!same && ai && bj) return false;
+      }
+      // Same parameterized atom content would have been interned together;
+      // two Eq atoms on the same field with the same param but different
+      // offsets cannot both hold.
+      if (a.is_param && b.is_param && a.param == b.param &&
+          a.offset != b.offset && ai && bj) {
+        return false;
+      }
+      // Literal order constraints, e.g. len == 5 contradicts len < 3.
+      if (!a.is_param && !b.is_param && a.op == CmpOp::Eq && ai && bj &&
+          b.op != CmpOp::Eq && b.op != CmpOp::Contains) {
+        if (!compare(b.op, a.literal, b.literal)) return false;
+      }
+      if (!a.is_param && !b.is_param && b.op == CmpOp::Eq && ai && bj &&
+          a.op != CmpOp::Eq && a.op != CmpOp::Contains) {
+        if (!compare(a.op, b.literal, a.literal)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,121 @@
+// Parameterized packet predicates — the atoms of PSRE (§3.1).
+//
+// An Atom compares one packet field against either a literal or a parameter
+// (optionally offset by a constant, e.g. `ackno == x+1` in the SYN-flood
+// pattern, §4.2).  Formulas combine atoms with and/or/not.  Parameters are
+// global slots in the compiled query; a Valuation assigns concrete values to
+// a subset of slots — an unbound slot means "a fresh value different from
+// every value this packet could instantiate", which is how the guard trie's
+// default branch evaluates predicates (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "core/value.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::core {
+
+// Valuation of the query's parameter slots.  Undef value = unbound slot.
+using Valuation = std::vector<Value>;
+
+enum class CmpOp : uint8_t { Eq, Lt, Le, Gt, Ge, Contains };
+
+std::string cmp_name(CmpOp op);
+
+struct Atom {
+  FieldRef field;
+  CmpOp op = CmpOp::Eq;
+  bool is_param = false;
+  Value literal;       // rhs when !is_param
+  int param = -1;      // parameter slot when is_param
+  int64_t offset = 0;  // rhs = param + offset (numeric params only)
+
+  // Parameters may only appear in Eq atoms: the guard trie's default-branch
+  // semantics ("fresh value") gives Eq a definite answer (false) but no
+  // definite answer for inequalities.  Enforced by the lowering pass.
+  [[nodiscard]] bool valid() const { return !is_param || op == CmpOp::Eq; }
+
+  // Evaluates against `p` under `val`.  An unbound parameter makes an Eq
+  // atom false.  Numeric built-in fields take an allocation-free fast path.
+  [[nodiscard]] bool eval(const net::Packet& p, const Valuation& val) const;
+
+  // Raw numeric extraction for built-in integer fields; false when the
+  // field is not plain-numeric (Conn, payload, time, custom).
+  static bool raw_numeric(Field f, const net::Packet& p, uint64_t& out);
+
+  // If this atom is `field == param + offset`, the only value of `param`
+  // that can satisfy it for packet `p`; Undef otherwise (including when the
+  // offset cannot be inverted for the field's value kind).
+  [[nodiscard]] Value candidate(const net::Packet& p) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+// Interned atom storage shared by a compiled query.  Atom ids index into it.
+class AtomTable {
+ public:
+  int intern(const Atom& a);
+  [[nodiscard]] const Atom& at(int id) const { return atoms_[id]; }
+  [[nodiscard]] size_t size() const { return atoms_.size(); }
+  [[nodiscard]] const std::vector<Atom>& atoms() const { return atoms_; }
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+// Boolean formula over atom ids.
+class Formula {
+ public:
+  enum class Kind : uint8_t { True, False, Atom, And, Or, Not };
+
+  static Formula make_true() { return Formula(Kind::True); }
+  static Formula make_false() { return Formula(Kind::False); }
+  static Formula atom(int id) {
+    Formula f(Kind::Atom);
+    f.atom_ = id;
+    return f;
+  }
+  static Formula conj(Formula a, Formula b);
+  static Formula disj(Formula a, Formula b);
+  static Formula negate(Formula a);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] int atom_id() const { return atom_; }
+  [[nodiscard]] const std::vector<Formula>& kids() const { return kids_; }
+
+  // Direct evaluation against a packet (used by the streaming engine).
+  [[nodiscard]] bool eval(const AtomTable& table, const net::Packet& p,
+                          const Valuation& val) const;
+
+  // Evaluation over an explicit truth assignment to atoms (used by the
+  // automaton constructions, where `bits` bit i = truth of atom i).
+  [[nodiscard]] bool eval_bits(uint64_t bits) const;
+
+  // Atom ids referenced by this formula, appended to `out`.
+  void collect_atoms(std::vector<int>& out) const;
+
+  [[nodiscard]] std::string to_string(const AtomTable& table) const;
+
+ private:
+  explicit Formula(Kind k) : kind_(k) {}
+  Kind kind_ = Kind::True;
+  int atom_ = -1;
+  std::vector<Formula> kids_;
+};
+
+// Conservative consistency check for a truth assignment over `table`'s atoms
+// restricted to those with ids in `atom_ids`: rejects assignments that set
+// two Eq atoms on the same field to true with different literal values, or
+// violate literal numeric-order constraints.  Assignments involving
+// parameters are kept (some valuation may satisfy them).
+bool assignment_consistent(const AtomTable& table,
+                           const std::vector<int>& atom_ids, uint64_t bits);
+
+}  // namespace netqre::core

@@ -1,0 +1,239 @@
+// Reference (specification) evaluator and the sparse-scope validator.
+//
+// ref_eval implements the declarative semantics of §3 directly: the stream
+// is stored, split points are enumerated, iterations are tried recursively.
+// It is exponential and used only as ground truth in tests, exactly the
+// "conceptual programming model" the paper describes before compilation
+// (§2.1: "the programmer may assume that all received packets have been
+// stored and presented as the input").
+#include <map>
+#include <set>
+
+#include "core/ops.hpp"
+
+namespace netqre::core {
+
+using Stream = std::span<const net::Packet>;
+
+Value ConstOp::ref_eval(Stream, Valuation&) const { return value_; }
+
+Value LastFieldOp::ref_eval(Stream stream, Valuation&) const {
+  if (stream.empty()) return Value::undef();
+  return extract(field_, stream.back());
+}
+
+Value ParamRefOp::ref_eval(Stream, Valuation& val) const {
+  if (slot_ < 0 || static_cast<size_t>(slot_) >= val.size()) {
+    return Value::undef();
+  }
+  return val[slot_].defined() ? val[slot_] : Value::undef();
+}
+
+namespace {
+
+bool dfa_accepts(const Dfa& dfa, const AtomTable& table, Stream stream,
+                 const Valuation& val) {
+  int q = dfa.start;
+  for (const auto& p : stream) q = dfa.step(q, dfa.letter_of(table, p, val));
+  return dfa.accept[q];
+}
+
+}  // namespace
+
+Value MatchOp::ref_eval(Stream stream, Valuation& val) const {
+  return Value::boolean(dfa_accepts(dfa_, *table_, stream, val));
+}
+
+Value CondOp::ref_eval(Stream stream, Valuation& val) const {
+  if (dfa_accepts(re_, *table_, stream, val)) {
+    return then_->ref_eval(stream, val);
+  }
+  return else_ ? else_->ref_eval(stream, val) : Value::undef();
+}
+
+Value BinOp::ref_eval(Stream stream, Valuation& val) const {
+  return apply(kind_, lhs_->ref_eval(stream, val),
+               rhs_->ref_eval(stream, val));
+}
+
+Value SplitOp::ref_eval(Stream stream, Valuation& val) const {
+  // Try all split points; with an unambiguous split at most one is defined.
+  for (size_t k = 0; k <= stream.size(); ++k) {
+    Value vf = f_->ref_eval(stream.first(k), val);
+    if (!vf.defined()) continue;
+    Value vg = g_->ref_eval(stream.subspan(k), val);
+    if (!vg.defined()) continue;
+    AggAcc acc = AggAcc::identity(agg_);
+    acc.add(vf);
+    acc.add(vg);
+    return acc.result();
+  }
+  return Value::undef();
+}
+
+Value IterOp::ref_eval(Stream stream, Valuation& val) const {
+  // Recursive factorization into f-segments, shortest-first; AggAcc folds
+  // the per-segment values.
+  std::optional<AggAcc> out;
+  auto go = [&](auto&& self, Stream rest, AggAcc acc) -> bool {
+    if (rest.empty()) {
+      out = acc;
+      return true;
+    }
+    for (size_t k = 1; k <= rest.size(); ++k) {
+      Value v = f_->ref_eval(rest.first(k), val);
+      if (!v.defined()) continue;
+      AggAcc next = acc;
+      next.add(v);
+      if (self(self, rest.subspan(k), next)) return true;
+    }
+    return false;
+  };
+  if (!go(go, stream, AggAcc::identity(agg_))) return Value::undef();
+  return out->result();
+}
+
+Value CompOp::ref_eval(Stream stream, Valuation& val) const {
+  // f over every prefix; prefixes on which f is defined contribute their
+  // last packet to the derived stream fed to g (§3.6).
+  std::vector<net::Packet> filtered;
+  for (size_t i = 1; i <= stream.size(); ++i) {
+    if (f_->ref_eval(stream.first(i), val).defined()) {
+      filtered.push_back(stream[i - 1]);
+    }
+  }
+  return g_->ref_eval(filtered, val);
+}
+
+Value ActionOp::ref_eval(Stream stream, Valuation& val) const {
+  std::string text = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i) text += ", ";
+    text += args_[i]->ref_eval(stream, val).to_string();
+  }
+  text += ")";
+  return Value::str(std::move(text), Type::Action);
+}
+
+Value ParamScopeOp::ref_eval(Stream stream, Valuation& val) const {
+  // Candidate values per bound slot over the whole stream: the observed
+  // valuations (the concrete guarded states of §5.1).
+  std::vector<std::set<Value, decltype([](const Value& a, const Value& b) {
+                         return a.compare(b) < 0;
+                       })>>
+      cands(n_params_);
+  for (const auto& p : stream) {
+    for (int i = 0; i < n_params_; ++i) {
+      for (const Atom& a : cand_atoms_[i]) {
+        Value v = a.candidate(p);
+        if (v.defined()) cands[i].insert(std::move(v));
+      }
+    }
+  }
+
+  if (mode_.kind == ScopeMode::Kind::EvalAt) {
+    if (stream.empty()) return Value::undef();
+    for (size_t i = 0; i < mode_.keys.size() &&
+                       i < static_cast<size_t>(n_params_);
+         ++i) {
+      val[slot_lo_ + i] = extract(mode_.keys[i], stream.back());
+    }
+    Value out = inner_->ref_eval(stream, val);
+    for (int i = 0; i < n_params_; ++i) {
+      val[slot_lo_ + i] = Value::undef();
+    }
+    return out;
+  }
+
+  AggAcc acc = AggAcc::identity(mode_.agg);
+  auto go = [&](auto&& self, int depth) -> void {
+    if (depth == n_params_) {
+      acc.add(inner_->ref_eval(stream, val));
+      return;
+    }
+    for (const Value& v : cands[depth]) {
+      val[slot_lo_ + depth] = v;
+      self(self, depth + 1);
+    }
+    val[slot_lo_ + depth] = Value::undef();
+  };
+  go(go, 0);
+  return acc.result();
+}
+
+// ------------------------------------------------------ sparse validation
+
+namespace {
+
+// Checks the skip rules for one DFA over the letters in which all atoms in
+// `false_mask` are false.  `gated`/`segment` machines must reject after such
+// a letter (their acceptance is consumed as definedness right after
+// stepping); eval-visible machines must keep their acceptance unchanged.
+bool letters_skippable(const Dfa& dfa, uint64_t false_mask, bool gated,
+                       bool segment) {
+  for (uint64_t letter : dfa.letters) {
+    if (letter & false_mask) continue;  // not a skipped letter
+    for (int q = 0; q < dfa.n_states(); ++q) {
+      const int q2 = dfa.step(q, letter);
+      if (gated || segment) {
+        // The machine must not be "defined" on a letter a skipped leaf
+        // would receive: a defined filter would forward the packet, a
+        // defined segment would cut (Algorithms 2-4).
+        if (dfa.accept[q2]) return false;
+      } else if (dfa.accept[q2] != dfa.accept[q]) {
+        return false;
+      }
+      if (q2 == q) continue;
+      // Left-erasability: skipping the letter must not change any later
+      // transition.
+      for (uint64_t m : dfa.letters) {
+        if (dfa.step(q2, m) != dfa.step(q, m)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SparseValidation validate_sparse_scope(const Op& inner,
+                                       const AtomTable& table, int slot_lo,
+                                       int n_params) {
+  std::vector<Op::DfaUse> dfas;
+  inner.collect_dfas(dfas, /*gated=*/false, /*segment=*/false);
+
+  SparseValidation out;
+  out.skip_param.assign(n_params, true);
+
+  for (const auto& use : dfas) {
+    const Dfa& dfa = *use.dfa;
+    // Per-parameter atom masks within this DFA's local alphabet.
+    std::vector<uint64_t> param_mask(n_params, 0);
+    uint64_t scope_mask = 0;
+    for (size_t i = 0; i < dfa.atom_ids.size(); ++i) {
+      const Atom& a = table.at(dfa.atom_ids[i]);
+      if (a.is_param && a.param >= slot_lo && a.param < slot_lo + n_params) {
+        param_mask[a.param - slot_lo] |= uint64_t{1} << i;
+        scope_mask |= uint64_t{1} << i;
+      }
+    }
+    if (scope_mask == 0) continue;  // parameter-free machine
+
+    if (out.miss_ok &&
+        !letters_skippable(dfa, scope_mask, use.gated, use.segment)) {
+      out.miss_ok = false;
+    }
+    for (int i = 0; i < n_params; ++i) {
+      if (!out.skip_param[i]) continue;
+      // A machine with no atoms of parameter i is exercised by *every*
+      // letter at a level-i-skipped leaf, so all its letters must qualify
+      // (false_mask = 0 admits every letter).
+      if (!letters_skippable(dfa, param_mask[i], use.gated, use.segment)) {
+        out.skip_param[i] = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netqre::core

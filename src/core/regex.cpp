@@ -1,0 +1,555 @@
+#include "core/regex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace netqre::core {
+namespace {
+
+// ------------------------------------------------------------------- NFA
+
+struct Nfa {
+  struct Edge {
+    Formula label;
+    int to;
+  };
+  std::vector<std::vector<Edge>> edges;
+  std::vector<std::vector<int>> eps;
+  int start = 0;
+  int accept = 1;
+
+  int add_state() {
+    edges.emplace_back();
+    eps.emplace_back();
+    return static_cast<int>(edges.size()) - 1;
+  }
+};
+
+// Fragment with dedicated entry/exit, Thompson style.
+struct Frag {
+  int in;
+  int out;
+};
+
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(const AtomTable& table) : table_(table) {}
+
+  Nfa build(const Re& re) {
+    Nfa nfa;
+    nfa.edges.clear();
+    nfa.eps.clear();
+    nfa_ = &nfa;
+    Frag f = visit(re);
+    nfa.start = f.in;
+    nfa.accept = f.out;
+    return nfa;
+  }
+
+ private:
+  const AtomTable& table_;
+  Nfa* nfa_ = nullptr;
+
+  int fresh() { return nfa_->add_state(); }
+  void eps(int a, int b) { nfa_->eps[a].push_back(b); }
+  void edge(int a, Formula f, int b) {
+    nfa_->edges[a].push_back({std::move(f), b});
+  }
+
+  Frag visit(const Re& re);
+  Frag embed_dfa(const Dfa& dfa);
+};
+
+uint64_t project_letter(uint64_t letter, const std::vector<int>& pos_map) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < pos_map.size(); ++i) {
+    if ((letter >> pos_map[i]) & 1) out |= uint64_t{1} << i;
+  }
+  return out;
+}
+
+// Positions of `sub` atoms inside `full` (both sorted-unique id lists).
+std::vector<int> position_map(const std::vector<int>& sub,
+                              const std::vector<int>& full) {
+  std::vector<int> out(sub.size());
+  for (size_t i = 0; i < sub.size(); ++i) {
+    auto it = std::find(full.begin(), full.end(), sub[i]);
+    assert(it != full.end());
+    out[i] = static_cast<int>(it - full.begin());
+  }
+  return out;
+}
+
+// Enumerates the assignment-consistent letters over `atom_ids`.
+std::vector<uint64_t> consistent_letters(const AtomTable& table,
+                                         const std::vector<int>& atom_ids) {
+  const size_t n = atom_ids.size();
+  if (n > static_cast<size_t>(kMaxAtoms)) {
+    throw std::runtime_error(
+        "PSRE uses too many distinct atoms (" + std::to_string(n) + " > " +
+        std::to_string(kMaxAtoms) + ")");
+  }
+  std::vector<uint64_t> out;
+  const uint64_t limit = uint64_t{1} << n;
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    if (assignment_consistent(table, atom_ids, bits)) out.push_back(bits);
+  }
+  return out;
+}
+
+// Conjunction of atom literals describing one local letter.
+Formula letter_formula(const std::vector<int>& atom_ids, uint64_t letter) {
+  Formula f = Formula::make_true();
+  for (size_t i = 0; i < atom_ids.size(); ++i) {
+    Formula lit = Formula::atom(atom_ids[i]);
+    if (!((letter >> i) & 1)) lit = Formula::negate(std::move(lit));
+    f = Formula::conj(std::move(f), std::move(lit));
+  }
+  return f;
+}
+
+std::vector<int> nfa_atoms(const Nfa& nfa) {
+  std::vector<int> atoms;
+  for (const auto& st : nfa.edges) {
+    for (const auto& e : st) e.label.collect_atoms(atoms);
+  }
+  std::ranges::sort(atoms);
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms;
+}
+
+void eps_closure(const Nfa& nfa, std::set<int>& states) {
+  std::deque<int> work(states.begin(), states.end());
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop_front();
+    for (int t : nfa.eps[s]) {
+      if (states.insert(t).second) work.push_back(t);
+    }
+  }
+}
+
+Dfa determinize(const Nfa& nfa, const AtomTable& table) {
+  Dfa dfa;
+  dfa.atom_ids = nfa_atoms(nfa);
+  dfa.letters = consistent_letters(table, dfa.atom_ids);
+  const int n_bits = static_cast<int>(dfa.atom_ids.size());
+
+  // Global-position expansion of each local letter, for Formula::eval_bits.
+  std::vector<uint64_t> global(dfa.letters.size(), 0);
+  for (size_t li = 0; li < dfa.letters.size(); ++li) {
+    for (int i = 0; i < n_bits; ++i) {
+      if ((dfa.letters[li] >> i) & 1) {
+        global[li] |= uint64_t{1} << dfa.atom_ids[i];
+      }
+    }
+  }
+
+  std::map<std::set<int>, int> ids;
+  std::vector<std::set<int>> subsets;
+  auto intern = [&](std::set<int> s) {
+    eps_closure(nfa, s);
+    auto [it, inserted] = ids.emplace(std::move(s), subsets.size());
+    if (inserted) subsets.push_back(it->first);
+    return it->second;
+  };
+
+  dfa.start = intern({nfa.start});
+  std::vector<std::vector<int32_t>> sparse;  // per state, per letter index
+  for (size_t si = 0; si < subsets.size(); ++si) {
+    const std::set<int> cur = subsets[si];  // intern() may grow `subsets`
+    sparse.emplace_back(dfa.letters.size());
+    for (size_t li = 0; li < dfa.letters.size(); ++li) {
+      std::set<int> next;
+      for (int s : cur) {
+        for (const auto& e : nfa.edges[s]) {
+          if (e.label.eval_bits(global[li])) next.insert(e.to);
+        }
+      }
+      sparse[si][li] = intern(std::move(next));
+    }
+  }
+
+  dfa.accept.resize(subsets.size());
+  for (size_t si = 0; si < subsets.size(); ++si) {
+    dfa.accept[si] = subsets[si].contains(nfa.accept);
+  }
+  // Dense table; entries for inconsistent letters are never exercised at
+  // runtime (a real packet cannot produce them) and self-loop.
+  dfa.trans.assign(subsets.size() << n_bits, 0);
+  for (size_t si = 0; si < subsets.size(); ++si) {
+    for (uint64_t l = 0; l < (uint64_t{1} << n_bits); ++l) {
+      dfa.trans[(si << n_bits) | l] = static_cast<int32_t>(si);
+    }
+    for (size_t li = 0; li < dfa.letters.size(); ++li) {
+      dfa.trans[(si << n_bits) | dfa.letters[li]] = sparse[si][li];
+    }
+  }
+  return dfa;
+}
+
+Dfa minimize(const Dfa& in) {
+  const int n = in.n_states();
+  std::vector<int> part(n);
+  for (int s = 0; s < n; ++s) part[s] = in.accept[s] ? 1 : 0;
+
+  // Moore refinement: signatures start with the old class, so classes only
+  // ever split; stop when the class count stops growing.
+  size_t n_classes = 0;
+  while (true) {
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> next(n);
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig;
+      sig.reserve(in.letters.size() + 1);
+      sig.push_back(part[s]);
+      for (uint64_t l : in.letters) sig.push_back(part[in.step(s, l)]);
+      auto [it, ins] = sig_ids.emplace(std::move(sig), sig_ids.size());
+      next[s] = it->second;
+    }
+    part = std::move(next);
+    if (sig_ids.size() == n_classes) break;
+    n_classes = sig_ids.size();
+  }
+
+  const int m = 1 + *std::ranges::max_element(part);
+  Dfa out;
+  out.atom_ids = in.atom_ids;
+  out.letters = in.letters;
+  out.start = part[in.start];
+  out.accept.assign(m, false);
+  const int n_bits = in.n_bits();
+  out.trans.assign(static_cast<size_t>(m) << n_bits, 0);
+  for (int s = 0; s < m; ++s) {
+    for (uint64_t l = 0; l < (uint64_t{1} << n_bits); ++l) {
+      out.trans[(static_cast<size_t>(s) << n_bits) | l] =
+          static_cast<int32_t>(s);
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    out.accept[part[s]] = out.accept[part[s]] || in.accept[s];
+    for (uint64_t l : in.letters) {
+      out.trans[(static_cast<size_t>(part[s]) << n_bits) | l] =
+          part[in.step(s, l)];
+    }
+  }
+  return out;
+}
+
+Frag NfaBuilder::embed_dfa(const Dfa& dfa) {
+  // Wrap a DFA as an NFA fragment: one NFA state per DFA state plus a fresh
+  // exit reached by epsilon from accepting states.  Edge labels are
+  // disjunctions of letter-minterm formulas.
+  std::vector<int> map(dfa.n_states());
+  for (int s = 0; s < dfa.n_states(); ++s) map[s] = fresh();
+  int out = fresh();
+  for (int s = 0; s < dfa.n_states(); ++s) {
+    std::map<int, Formula> by_target;
+    for (uint64_t l : dfa.letters) {
+      int t = dfa.step(s, l);
+      Formula f = letter_formula(dfa.atom_ids, l);
+      auto it = by_target.find(t);
+      if (it == by_target.end()) {
+        by_target.emplace(t, std::move(f));
+      } else {
+        it->second = Formula::disj(std::move(it->second), std::move(f));
+      }
+    }
+    for (auto& [t, f] : by_target) edge(map[s], std::move(f), map[t]);
+    if (dfa.accept[s]) eps(map[s], out);
+  }
+  // Thompson invariant: a fragment's entry must have no incoming edges
+  // (self-loops on the DFA start would otherwise re-trigger ε-bypasses
+  // added by ?/* around this fragment).
+  int in = fresh();
+  eps(in, map[dfa.start]);
+  return {in, out};
+}
+
+Frag NfaBuilder::visit(const Re& re) {
+  switch (re.kind) {
+    case Re::Kind::Epsilon: {
+      int a = fresh();
+      int b = fresh();
+      eps(a, b);
+      return {a, b};
+    }
+    case Re::Kind::Pred: {
+      int a = fresh();
+      int b = fresh();
+      edge(a, re.pred, b);
+      return {a, b};
+    }
+    case Re::Kind::Concat: {
+      Frag a = visit(re.kids[0]);
+      Frag b = visit(re.kids[1]);
+      eps(a.out, b.in);
+      return {a.in, b.out};
+    }
+    case Re::Kind::Alt: {
+      Frag a = visit(re.kids[0]);
+      Frag b = visit(re.kids[1]);
+      int in = fresh();
+      int out = fresh();
+      eps(in, a.in);
+      eps(in, b.in);
+      eps(a.out, out);
+      eps(b.out, out);
+      return {in, out};
+    }
+    case Re::Kind::Star: {
+      Frag a = visit(re.kids[0]);
+      int in = fresh();
+      int out = fresh();
+      eps(in, a.in);
+      eps(in, out);
+      eps(a.out, a.in);
+      eps(a.out, out);
+      return {in, out};
+    }
+    case Re::Kind::Plus: {
+      Frag a = visit(re.kids[0]);
+      int in = fresh();
+      int out = fresh();
+      eps(in, a.in);
+      eps(a.out, a.in);
+      eps(a.out, out);
+      return {in, out};
+    }
+    case Re::Kind::Opt: {
+      Frag a = visit(re.kids[0]);
+      eps(a.in, a.out);
+      return a;
+    }
+    case Re::Kind::And: {
+      Dfa left = compile_regex(re.kids[0], table_);
+      Dfa right = compile_regex(re.kids[1], table_);
+      return embed_dfa(dfa_product(left, right, table_, 0));
+    }
+    case Re::Kind::Not: {
+      Dfa inner = compile_regex(re.kids[0], table_);
+      Dfa flipped = inner;
+      for (size_t i = 0; i < flipped.accept.size(); ++i) {
+        flipped.accept[i] = !flipped.accept[i];
+      }
+      return embed_dfa(flipped);
+    }
+  }
+  throw std::logic_error("unreachable Re kind");
+}
+
+}  // namespace
+
+bool Dfa::is_dead(int state) const {
+  std::vector<bool> seen(n_states(), false);
+  std::deque<int> work{state};
+  seen[state] = true;
+  while (!work.empty()) {
+    int s = work.front();
+    work.pop_front();
+    if (accept[s]) return false;
+    for (uint64_t l : letters) {
+      int t = step(s, l);
+      if (!seen[t]) {
+        seen[t] = true;
+        work.push_back(t);
+      }
+    }
+  }
+  return true;
+}
+
+Dfa compile_regex(const Re& re, const AtomTable& table) {
+  NfaBuilder builder(table);
+  Nfa nfa = builder.build(re);
+  return minimize(determinize(nfa, table));
+}
+
+Dfa dfa_product(const Dfa& a, const Dfa& b, const AtomTable& table,
+                int mode) {
+  std::vector<int> atoms = a.atom_ids;
+  atoms.insert(atoms.end(), b.atom_ids.begin(), b.atom_ids.end());
+  std::ranges::sort(atoms);
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+
+  Dfa out;
+  out.atom_ids = atoms;
+  out.letters = consistent_letters(table, atoms);
+  const std::vector<int> amap = position_map(a.atom_ids, atoms);
+  const std::vector<int> bmap = position_map(b.atom_ids, atoms);
+
+  std::map<std::pair<int, int>, int> ids;
+  std::vector<std::pair<int, int>> pairs;
+  auto intern = [&](std::pair<int, int> p) {
+    auto [it, ins] = ids.emplace(p, pairs.size());
+    if (ins) pairs.push_back(p);
+    return it->second;
+  };
+  out.start = intern({a.start, b.start});
+
+  std::vector<std::vector<int32_t>> sparse;
+  for (size_t si = 0; si < pairs.size(); ++si) {
+    const auto [pa, pb] = pairs[si];  // intern() may grow `pairs`
+    sparse.emplace_back(out.letters.size());
+    for (size_t li = 0; li < out.letters.size(); ++li) {
+      uint64_t l = out.letters[li];
+      sparse[si][li] = intern({a.step(pa, project_letter(l, amap)),
+                               b.step(pb, project_letter(l, bmap))});
+    }
+  }
+  out.accept.resize(pairs.size());
+  for (size_t si = 0; si < pairs.size(); ++si) {
+    bool ia = a.accept[pairs[si].first];
+    bool ib = b.accept[pairs[si].second];
+    out.accept[si] = mode == 0 ? (ia && ib) : (ia || ib);
+  }
+  const int n_bits = static_cast<int>(atoms.size());
+  out.trans.assign(pairs.size() << n_bits, 0);
+  for (size_t si = 0; si < pairs.size(); ++si) {
+    for (uint64_t l = 0; l < (uint64_t{1} << n_bits); ++l) {
+      out.trans[(si << n_bits) | l] = static_cast<int32_t>(si);
+    }
+    for (size_t li = 0; li < out.letters.size(); ++li) {
+      out.trans[(si << n_bits) | out.letters[li]] = sparse[si][li];
+    }
+  }
+  return minimize(out);
+}
+
+// --------------------------------------------------------------- ambiguity
+
+namespace {
+
+struct UnionView {
+  std::vector<int> atoms;
+  std::vector<uint64_t> letters;
+  std::vector<int> fmap;
+  std::vector<int> gmap;
+};
+
+UnionView make_union(const Dfa& f, const Dfa& g, const AtomTable& table) {
+  UnionView u;
+  u.atoms = f.atom_ids;
+  u.atoms.insert(u.atoms.end(), g.atom_ids.begin(), g.atom_ids.end());
+  std::ranges::sort(u.atoms);
+  u.atoms.erase(std::unique(u.atoms.begin(), u.atoms.end()), u.atoms.end());
+  u.letters = consistent_letters(table, u.atoms);
+  u.fmap = position_map(f.atom_ids, u.atoms);
+  u.gmap = position_map(g.atom_ids, u.atoms);
+  return u;
+}
+
+}  // namespace
+
+bool concat_unambiguous(const Dfa& f, const Dfa& g, const AtomTable& table) {
+  const UnionView u = make_union(f, g, table);
+  // Two runs over the same stream, both decomposing it as D_f · D_g; run A
+  // switches strictly before run B.  Phases: 0 = neither switched,
+  // 1 = A switched at the current boundary (B may not switch yet),
+  // 2 = A switched and at least one letter consumed, 3 = both switched.
+  struct Cfg {
+    int a, b;
+    int phase;
+    bool operator<(const Cfg& o) const {
+      return std::tie(a, b, phase) < std::tie(o.a, o.b, o.phase);
+    }
+  };
+  std::set<Cfg> seen;
+  std::deque<Cfg> work;
+  auto push = [&](Cfg c) {
+    if (seen.insert(c).second) work.push_back(c);
+  };
+  // Boundary (epsilon) moves.
+  auto expand = [&](Cfg c) {
+    push(c);
+    if (c.phase == 0 && f.accept[c.a]) push({g.start, c.b, 1});
+    if (c.phase == 2 && f.accept[c.b]) push({c.a, g.start, 3});
+  };
+
+  expand({f.start, f.start, 0});
+  while (!work.empty()) {
+    Cfg c = work.front();
+    work.pop_front();
+    if (c.phase == 3 && g.accept[c.a] && g.accept[c.b]) return false;
+    for (uint64_t l : u.letters) {
+      uint64_t lf = project_letter(l, u.fmap);
+      uint64_t lg = project_letter(l, u.gmap);
+      Cfg n = c;
+      n.a = (c.phase == 0) ? f.step(c.a, lf) : g.step(c.a, lg);
+      n.b = (c.phase == 3) ? g.step(c.b, lg) : f.step(c.b, lf);
+      if (n.phase == 1) n.phase = 2;
+      expand(n);
+    }
+  }
+  return true;
+}
+
+bool star_unambiguous(const Dfa& f, const AtomTable& table) {
+  if (f.accepts_empty()) return false;  // empty segments: never unambiguous
+  const UnionView u = make_union(f, f, table);
+  struct Cfg {
+    int a, b;
+    bool div;
+    bool operator<(const Cfg& o) const {
+      return std::tie(a, b, div) < std::tie(o.a, o.b, o.div);
+    }
+  };
+  std::set<Cfg> seen;
+  std::deque<Cfg> work;
+  auto push = [&](Cfg c) {
+    if (seen.insert(c).second) work.push_back(c);
+  };
+  push({f.start, f.start, false});
+  while (!work.empty()) {
+    Cfg c = work.front();
+    work.pop_front();
+    // End of stream: both runs complete their final segment here.
+    if (c.div && f.accept[c.a] && f.accept[c.b]) return false;
+    for (uint64_t l : u.letters) {
+      uint64_t lf = project_letter(l, u.fmap);
+      // Boundary cut choices for each run (cut requires accepting state),
+      // then consume the letter.
+      for (int ca = 0; ca < 2; ++ca) {
+        if (ca && !f.accept[c.a]) continue;
+        for (int cb = 0; cb < 2; ++cb) {
+          if (cb && !f.accept[c.b]) continue;
+          Cfg n;
+          n.a = f.step(ca ? f.start : c.a, lf);
+          n.b = f.step(cb ? f.start : c.b, lf);
+          n.div = c.div || (ca != cb);
+          push(n);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string Re::to_string(const AtomTable& table) const {
+  switch (kind) {
+    case Kind::Epsilon: return "()";
+    case Kind::Pred:
+      if (pred.kind() == Formula::Kind::True) return ".";
+      return "[" + pred.to_string(table) + "]";
+    case Kind::Concat:
+      return kids[0].to_string(table) + " " + kids[1].to_string(table);
+    case Kind::Alt:
+      return "(" + kids[0].to_string(table) + " | " +
+             kids[1].to_string(table) + ")";
+    case Kind::Star: return "(" + kids[0].to_string(table) + ")*";
+    case Kind::Plus: return "(" + kids[0].to_string(table) + ")+";
+    case Kind::Opt: return "(" + kids[0].to_string(table) + ")?";
+    case Kind::And:
+      return "(" + kids[0].to_string(table) + " & " +
+             kids[1].to_string(table) + ")";
+    case Kind::Not: return "!(" + kids[0].to_string(table) + ")";
+  }
+  return "?";
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,129 @@
+// PSRE — parameterized symbolic regular expressions (§3.1) — and their
+// compilation to automata.
+//
+// Atoms are Formulas over parameterized packet predicates.  A PSRE compiles
+// (via a Thompson NFA and subset construction) to a complete DFA whose
+// alphabet is the set of truth assignments to the atoms occurring in the
+// expression; at runtime a packet + valuation is turned into one assignment
+// and drives a single table lookup (§5.1 instantiation).  Intersection and
+// complement are supported through DFA product/complement, matching the
+// predicate-level `&` and `!` of Fig. 2 lifted to expressions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predicate.hpp"
+
+namespace netqre::core {
+
+struct Re {
+  enum class Kind : uint8_t {
+    Epsilon,
+    Pred,    // single packet satisfying `pred`
+    Concat,
+    Alt,
+    Star,
+    Plus,
+    Opt,
+    And,     // intersection
+    Not,     // complement (over the full packet alphabet)
+  };
+
+  Kind kind = Kind::Epsilon;
+  Formula pred = Formula::make_true();
+  std::vector<Re> kids;
+
+  static Re eps() { return Re{}; }
+  static Re pred_of(Formula f) {
+    Re r;
+    r.kind = Kind::Pred;
+    r.pred = std::move(f);
+    return r;
+  }
+  static Re any() { return pred_of(Formula::make_true()); }
+  static Re concat(Re a, Re b) { return nary(Kind::Concat, std::move(a), std::move(b)); }
+  static Re alt(Re a, Re b) { return nary(Kind::Alt, std::move(a), std::move(b)); }
+  static Re star(Re a) { return unary(Kind::Star, std::move(a)); }
+  static Re plus(Re a) { return unary(Kind::Plus, std::move(a)); }
+  static Re opt(Re a) { return unary(Kind::Opt, std::move(a)); }
+  static Re conj(Re a, Re b) { return nary(Kind::And, std::move(a), std::move(b)); }
+  static Re negate(Re a) { return unary(Kind::Not, std::move(a)); }
+  // `.*` — matches every stream.
+  static Re all() { return star(any()); }
+
+  [[nodiscard]] std::string to_string(const AtomTable& table) const;
+
+ private:
+  static Re unary(Kind k, Re a) {
+    Re r;
+    r.kind = k;
+    r.kids.push_back(std::move(a));
+    return r;
+  }
+  static Re nary(Kind k, Re a, Re b) {
+    Re r;
+    r.kind = k;
+    r.kids.push_back(std::move(a));
+    r.kids.push_back(std::move(b));
+    return r;
+  }
+};
+
+// A complete, minimized DFA over truth assignments to `atom_ids`.
+// Letters are local: bit i of a letter is the truth of atom `atom_ids[i]`.
+class Dfa {
+ public:
+  int start = 0;
+  std::vector<bool> accept;
+  std::vector<int> atom_ids;
+  // Dense transition table: next = trans[state << n_bits | letter].
+  std::vector<int32_t> trans;
+
+  [[nodiscard]] int n_states() const { return static_cast<int>(accept.size()); }
+  [[nodiscard]] int n_bits() const { return static_cast<int>(atom_ids.size()); }
+
+  [[nodiscard]] int step(int state, uint64_t letter) const {
+    return trans[(static_cast<size_t>(state) << n_bits()) | letter];
+  }
+
+  // Computes the local letter for a packet under a valuation.
+  [[nodiscard]] uint64_t letter_of(const AtomTable& table,
+                                   const net::Packet& p,
+                                   const Valuation& val) const {
+    uint64_t bits = 0;
+    for (size_t i = 0; i < atom_ids.size(); ++i) {
+      if (table.at(atom_ids[i]).eval(p, val)) bits |= uint64_t{1} << i;
+    }
+    return bits;
+  }
+
+  [[nodiscard]] bool accepts_empty() const { return accept[start]; }
+  // True if no string is accepted from `state`.
+  [[nodiscard]] bool is_dead(int state) const;
+  // True if the language is empty.
+  [[nodiscard]] bool empty_language() const { return is_dead(start); }
+
+  // All satisfiable letters (assignment-consistent), cached at build time.
+  std::vector<uint64_t> letters;
+};
+
+// Compiles a PSRE to a minimal complete DFA.  Throws std::runtime_error when
+// the expression references more than `kMaxAtoms` distinct atoms.
+inline constexpr int kMaxAtoms = 20;
+Dfa compile_regex(const Re& re, const AtomTable& table);
+
+// Product construction over the union alphabet; `mode`: 0 = intersection,
+// 1 = union.  Used by And and by the ambiguity checks.
+Dfa dfa_product(const Dfa& a, const Dfa& b, const AtomTable& table, int mode);
+
+// Unambiguity checks (§3.3/§3.4, implemented as product reachability).
+// concat: no stream splits as D_f · D_g in two different positions.
+bool concat_unambiguous(const Dfa& f, const Dfa& g, const AtomTable& table);
+// star: no stream factors into D_f-segments in two different ways.  Also
+// false when f accepts the empty stream (infinitely many decompositions).
+bool star_unambiguous(const Dfa& f, const AtomTable& table);
+
+}  // namespace netqre::core

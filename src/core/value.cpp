@@ -1,0 +1,80 @@
+#include "core/value.hpp"
+
+#include "net/ipv4.hpp"
+
+namespace netqre::core {
+
+std::string type_name(Type t) {
+  switch (t) {
+    case Type::Int: return "int";
+    case Type::Bool: return "bool";
+    case Type::Double: return "double";
+    case Type::String: return "string";
+    case Type::Ip: return "IP";
+    case Type::Port: return "Port";
+    case Type::Conn: return "Conn";
+    case Type::Packet: return "packet";
+    case Type::Action: return "action";
+  }
+  return "?";
+}
+
+int Value::compare(const Value& o) const {
+  if (kind_ != o.kind_) {
+    // Numeric kinds compare by value across Int/Double.
+    if ((kind_ == Kind::Int || kind_ == Kind::Double) &&
+        (o.kind_ == Kind::Int || o.kind_ == Kind::Double)) {
+      double a = as_double();
+      double b = o.as_double();
+      return a < b ? -1 : a > b ? 1 : 0;
+    }
+    return kind_ < o.kind_ ? -1 : 1;
+  }
+  switch (kind_) {
+    case Kind::Undef: return 0;
+    case Kind::Int: return int_ < o.int_ ? -1 : int_ > o.int_ ? 1 : 0;
+    case Kind::Double: return dbl_ < o.dbl_ ? -1 : dbl_ > o.dbl_ ? 1 : 0;
+    case Kind::Str: return str_.compare(o.str_);
+    case Kind::Conn: {
+      if (conn_ == o.conn_) return 0;
+      return conn_ < o.conn_ ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+size_t Value::hash() const {
+  switch (kind_) {
+    case Kind::Undef: return 0x9e3779b9;
+    case Kind::Int: return net::mix64(static_cast<uint64_t>(int_));
+    case Kind::Double: {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(dbl_));
+      __builtin_memcpy(&bits, &dbl_, sizeof(bits));
+      return net::mix64(bits ^ 0x1234);
+    }
+    case Kind::Str: return std::hash<std::string>{}(str_);
+    case Kind::Conn: return net::ConnHash{}(conn_);
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::Undef: return "undef";
+    case Kind::Int:
+      if (type_ == Type::Ip) return net::format_ip(static_cast<uint32_t>(int_));
+      if (type_ == Type::Bool) return int_ ? "true" : "false";
+      return std::to_string(int_);
+    case Kind::Double: return std::to_string(dbl_);
+    case Kind::Str: return str_;
+    case Kind::Conn:
+      return net::format_ip(conn_.src_ip) + ":" +
+             std::to_string(conn_.src_port) + "<->" +
+             net::format_ip(conn_.dst_ip) + ":" +
+             std::to_string(conn_.dst_port);
+  }
+  return "?";
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,116 @@
+// Typed runtime values for NetQRE (§3: int, bool, string, double, plus the
+// domain-specific IP, Port, Conn and action types).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "net/flow.hpp"
+
+namespace netqre::core {
+
+// The NetQRE surface types.  Int/Bool/Ip/Port share the integer payload and
+// differ only in formatting and type checking.
+enum class Type : uint8_t {
+  Int,
+  Bool,
+  Double,
+  String,
+  Ip,
+  Port,
+  Conn,
+  Packet,
+  Action,
+};
+
+std::string type_name(Type t);
+
+// A runtime value.  `Undef` is the explicit "expression not defined on this
+// stream" result that NetQRE semantics produce for failed matches and
+// ambiguous splits (§3.2, §3.3).
+class Value {
+ public:
+  enum class Kind : uint8_t { Undef, Int, Double, Str, Conn };
+
+  Value() = default;  // Undef
+  static Value undef() { return Value{}; }
+  static Value integer(int64_t v, Type t = Type::Int) {
+    Value out;
+    out.kind_ = Kind::Int;
+    out.int_ = v;
+    out.type_ = t;
+    return out;
+  }
+  static Value boolean(bool v) { return integer(v ? 1 : 0, Type::Bool); }
+  static Value ip(uint32_t v) { return integer(v, Type::Ip); }
+  static Value real(double v) {
+    Value out;
+    out.kind_ = Kind::Double;
+    out.dbl_ = v;
+    out.type_ = Type::Double;
+    return out;
+  }
+  static Value str(std::string v, Type t = Type::String) {
+    Value out;
+    out.kind_ = Kind::Str;
+    out.str_ = std::move(v);
+    out.type_ = t;
+    return out;
+  }
+  static Value conn(const net::Conn& c) {
+    Value out;
+    out.kind_ = Kind::Conn;
+    out.conn_ = c;
+    out.type_ = Type::Conn;
+    return out;
+  }
+
+  [[nodiscard]] bool defined() const { return kind_ != Kind::Undef; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] Type type() const { return type_; }
+
+  [[nodiscard]] int64_t as_int() const { return int_; }
+  [[nodiscard]] bool as_bool() const { return int_ != 0; }
+  [[nodiscard]] double as_double() const {
+    return kind_ == Kind::Double ? dbl_ : static_cast<double>(int_);
+  }
+  [[nodiscard]] const std::string& as_str() const { return str_; }
+  [[nodiscard]] const net::Conn& as_conn() const { return conn_; }
+
+  // Structural equality (kind + payload; type tags are not compared so that
+  // e.g. an Int 80 equals a Port 80, which predicate matching relies on).
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case Kind::Undef: return true;
+      case Kind::Int: return int_ == o.int_;
+      case Kind::Double: return dbl_ == o.dbl_;
+      case Kind::Str: return str_ == o.str_;
+      case Kind::Conn: return conn_ == o.conn_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  // Total order used for max/min aggregation and trie keys.
+  [[nodiscard]] int compare(const Value& o) const;
+
+  [[nodiscard]] size_t hash() const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::Undef;
+  Type type_ = Type::Int;
+  int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  net::Conn conn_{};
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.hash(); }
+};
+
+}  // namespace netqre::core

@@ -1,0 +1,110 @@
+// Time-based stream filters (§3.6): every(t) and recent(t).
+//
+// `every(t)` restarts the query at t-second boundaries (exact tumbling
+// window).  `recent(t)` approximates a sliding window with K staggered
+// panes: K engine instances restarted every t seconds, offset by t/K; a
+// query is answered by the pane covering the most history within t seconds.
+// Exact sliding semantics would require retracting packets, which QRE
+// evaluation cannot do (documented substitution, DESIGN.md §5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace netqre::core {
+
+class TumblingWindow {
+ public:
+  // Called at each window boundary with the window start time and the
+  // engine holding that window's final state.
+  using WindowFn = std::function<void(double start, const Engine& engine)>;
+
+  TumblingWindow(CompiledQuery query, double period)
+      : engine_(std::move(query)), period_(period) {}
+
+  void on_packet(const net::Packet& p) {
+    if (start_ < 0) start_ = align(p.ts);
+    while (p.ts >= start_ + period_) {
+      if (on_window_) on_window_(start_, engine_);
+      engine_.reset();
+      start_ += period_;
+    }
+    engine_.on_packet(p);
+  }
+
+  void set_window_handler(WindowFn fn) { on_window_ = std::move(fn); }
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] double window_start() const { return start_; }
+
+ private:
+  [[nodiscard]] double align(double ts) const {
+    return period_ * static_cast<int64_t>(ts / period_);
+  }
+  Engine engine_;
+  double period_;
+  double start_ = -1;
+  WindowFn on_window_;
+};
+
+class SlidingWindow {
+ public:
+  SlidingWindow(const CompiledQuery& query, double window, int panes = 8)
+      : window_(window), pane_(window / panes) {
+    engines_.reserve(panes);
+    starts_.assign(panes, -1.0);
+    for (int i = 0; i < panes; ++i) engines_.emplace_back(query);
+  }
+
+  void on_packet(const net::Packet& p) {
+    if (t0_ < 0) {
+      t0_ = p.ts;
+      for (size_t i = 0; i < engines_.size(); ++i) {
+        starts_[i] = t0_ + static_cast<double>(i) * pane_;
+      }
+    }
+    // Restart any pane whose coverage would exceed the window.
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      while (p.ts >= starts_[i] + window_) {
+        engines_[i].reset();
+        starts_[i] += window_;
+      }
+    }
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      if (p.ts >= starts_[i]) engines_[i].on_packet(p);
+    }
+    now_ = p.ts;
+  }
+
+  // Pane covering the most history within the window at the current time.
+  [[nodiscard]] const Engine& best() const {
+    size_t best = 0;
+    double best_cover = -1;
+    for (size_t i = 0; i < engines_.size(); ++i) {
+      double cover = now_ - starts_[i];
+      if (cover >= 0 && cover <= window_ && cover > best_cover) {
+        best_cover = cover;
+        best = i;
+      }
+    }
+    return engines_[best];
+  }
+
+  [[nodiscard]] Value eval() const { return best().eval(); }
+  [[nodiscard]] Value eval_at(const std::vector<Value>& key) const {
+    return best().eval_at(key);
+  }
+
+ private:
+  double window_;
+  double pane_;
+  double t0_ = -1;
+  double now_ = 0;
+  std::vector<Engine> engines_;
+  std::vector<double> starts_;
+};
+
+}  // namespace netqre::core

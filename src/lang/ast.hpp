@@ -1,0 +1,115 @@
+// Abstract syntax of the NetQRE surface language (§3, Fig. 2; see
+// DESIGN.md §4 for the concrete grammar this repo implements).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggop.hpp"
+#include "core/value.hpp"
+
+namespace netqre::lang {
+
+// Predicate expressions — the contents of `[ ... ]` atoms and of
+// filter(...) arguments.
+struct PredExp {
+  enum class Kind : uint8_t {
+    True,
+    Cmp,   // field OP operand
+    And,
+    Or,
+    Not,
+    Macro,  // is_tcp(c), is_udp(c), ...
+  };
+
+  struct Operand {
+    enum class Kind : uint8_t { Literal, Name };
+    Kind kind = Kind::Literal;
+    core::Value lit;
+    std::string name;    // parameter reference
+    int64_t offset = 0;  // name + offset
+  };
+
+  Kind kind = Kind::True;
+  std::string field;  // Cmp: field name (may be dotted, e.g. sip.method)
+  std::string op;     // Cmp: "==", "!=", "<", "<=", ">", ">=", "contains"
+  Operand rhs;
+  std::vector<PredExp> kids;       // And/Or/Not
+  std::string macro;               // Macro name
+  std::vector<Operand> macro_args;
+  int line = 0;
+};
+
+// Regular-expression syntax (PSRE).
+struct ReExp {
+  enum class Kind : uint8_t {
+    Eps,
+    Any,    // .
+    Pred,   // [pred]
+    Concat,
+    Alt,
+    Star,
+    Plus,
+    Opt,
+    And,
+    Not,
+  };
+  Kind kind = Kind::Eps;
+  PredExp pred;
+  std::vector<ReExp> kids;
+  int line = 0;
+};
+
+struct Exp;
+using ExpPtr = std::shared_ptr<Exp>;
+
+struct Exp {
+  enum class Kind : uint8_t {
+    Lit,          // integer / double / string / bool / IP literal
+    Name,         // parameter or zero-argument sfun reference
+    FieldOf,      // base.field: last.srcip, c.srcip
+    Call,         // f(a1, ..., an); also filter/exists/alert/block/...
+    Regex,        // /re/
+    Concat,       // concat(r1, ..., rn): regex concatenation sugar
+    Cond,         // c ? t [: e]
+    Bin,          // arithmetic / comparison / boolean
+    Split,        // split(e1, ..., en, aggop)
+    Iter,         // iter(e, aggop)
+    Agg,          // aggop{ e | T x, ... }
+    Comp,         // e >> e
+  };
+
+  Kind kind = Kind::Lit;
+  int line = 0;
+
+  core::Value lit;
+  std::string name;   // Name / FieldOf base / Call callee
+  std::string field;  // FieldOf field (may be dotted)
+  std::string op;     // Bin operator
+  std::vector<ExpPtr> kids;
+  ReExp re;           // Regex
+  core::AggOp agg = core::AggOp::Sum;             // Split / Iter / Agg
+  std::vector<std::pair<std::string, std::string>> binders;  // Agg: type name
+};
+
+struct SFun {
+  std::string name;
+  std::string ret_type;  // surface type name ("int", "action", "re", ...)
+  std::vector<std::pair<std::string, std::string>> params;  // (type, name)
+  ExpPtr body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<SFun> sfuns;
+
+  [[nodiscard]] const SFun* find(const std::string& name) const {
+    for (const auto& f : sfuns) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace netqre::lang

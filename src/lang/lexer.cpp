@@ -1,0 +1,200 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+namespace netqre::lang {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto push = [&](Tok k) {
+    Token t;
+    t.kind = k;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && i + 1 < src.size() && src[i + 1] == '/')) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t j = i;
+      while (j < src.size() && ident_char(src[j])) ++j;
+      Token t;
+      t.kind = Tok::Ident;
+      t.text = src.substr(i, j - i);
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Count dotted numeric groups to distinguish int / double / IP.
+      size_t j = i;
+      int groups = 1;
+      bool all_digits = true;
+      while (j < src.size()) {
+        if (std::isdigit(static_cast<unsigned char>(src[j]))) {
+          ++j;
+        } else if (src[j] == '.' && j + 1 < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[j + 1]))) {
+          ++groups;
+          ++j;
+        } else {
+          break;
+        }
+      }
+      std::string text = src.substr(i, j - i);
+      Token t;
+      t.line = line;
+      if (groups == 4) {
+        auto ip = net::parse_ip(text);
+        if (!ip) throw LexError("bad IP literal: " + text);
+        t.kind = Tok::Ip;
+        t.int_value = *ip;
+      } else if (groups == 2) {
+        t.kind = Tok::Double;
+        t.dbl_value = std::stod(text);
+      } else if (groups == 1) {
+        t.kind = Tok::Int;
+        t.int_value = std::stoll(text);
+      } else {
+        throw LexError("bad numeric literal: " + text);
+      }
+      (void)all_digits;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      std::string text;
+      while (j < src.size() && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          ++j;
+          switch (src[j]) {
+            case 'n': text += '\n'; break;
+            case 'r': text += '\r'; break;
+            case 't': text += '\t'; break;
+            default: text += src[j];
+          }
+        } else {
+          text += src[j];
+        }
+        ++j;
+      }
+      if (j >= src.size()) throw LexError("unterminated string literal");
+      Token t;
+      t.kind = Tok::Str;
+      t.text = std::move(text);
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    auto two = [&](char n) {
+      return i + 1 < src.size() && src[i + 1] == n;
+    };
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case ',': push(Tok::Comma); break;
+      case ';': push(Tok::Semi); break;
+      case ':': push(Tok::Colon); break;
+      case '?': push(Tok::Question); break;
+      case '.': push(Tok::Dot); break;
+      case '*': push(Tok::Star); break;
+      case '+': push(Tok::Plus); break;
+      case '/': push(Tok::Slash); break;
+      case '%': push(Tok::Percent); break;
+      case '-': push(Tok::Minus); break;
+      case '|':
+        if (two('|')) {
+          push(Tok::OrOr);
+          ++i;
+        } else {
+          push(Tok::Pipe);
+        }
+        break;
+      case '&':
+        if (two('&')) {
+          push(Tok::AndAnd);
+          ++i;
+        } else {
+          push(Tok::Amp);
+        }
+        break;
+      case '!':
+        if (two('=')) {
+          push(Tok::Ne);
+          ++i;
+        } else {
+          push(Tok::Bang);
+        }
+        break;
+      case '=':
+        if (two('=')) {
+          push(Tok::Eq);
+          ++i;
+        } else {
+          push(Tok::Assign);
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(Tok::Le);
+          ++i;
+        } else {
+          push(Tok::Lt);
+        }
+        break;
+      case '>':
+        if (two('>')) {
+          push(Tok::Shr);
+          ++i;
+        } else if (two('=')) {
+          push(Tok::Ge);
+          ++i;
+        } else {
+          push(Tok::Gt);
+        }
+        break;
+      default:
+        throw LexError("unexpected character '" + std::string(1, c) +
+                       "' at line " + std::to_string(line));
+    }
+    ++i;
+  }
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace netqre::lang

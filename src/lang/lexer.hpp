@@ -1,0 +1,49 @@
+// Hand-rolled lexer for NetQRE source text.
+//
+// Notable conventions:
+//  - `a.b.c.d` with four numeric groups lexes as an IP literal; one dot
+//    between digits lexes as a double literal.
+//  - `/` is returned as a plain Slash token; the parser decides whether it
+//    starts a regex literal (primary position) or is division (operator
+//    position).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::lang {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,     // identifiers and keywords
+  Int,
+  Double,
+  Ip,
+  Str,
+  // punctuation / operators
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semi, Colon, Question, Dot, Pipe, Amp, Bang, Star, Plus,
+  Slash, Percent, Minus, Assign, Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr, Shr,  // >>
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;       // Ident / Str
+  int64_t int_value = 0;  // Int / Ip (host-order for Ip)
+  double dbl_value = 0;   // Double
+  int line = 1;
+};
+
+struct LexError : std::runtime_error {
+  explicit LexError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace netqre::lang

@@ -1,0 +1,632 @@
+#include "lang/lower.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "lang/parser.hpp"
+
+namespace netqre::lang {
+namespace {
+
+using core::AggOp;
+using core::BinKind;
+using core::Formula;
+using core::QueryBuilder;
+using core::Re;
+using core::Type;
+using core::Value;
+
+Type surface_type(const std::string& name, int line) {
+  if (name == "int") return Type::Int;
+  if (name == "bool") return Type::Bool;
+  if (name == "double") return Type::Double;
+  if (name == "string") return Type::String;
+  if (name == "IP") return Type::Ip;
+  if (name == "Port") return Type::Port;
+  if (name == "Conn") return Type::Conn;
+  if (name == "packet") return Type::Packet;
+  if (name == "action") return Type::Action;
+  if (name == "re") return Type::Bool;  // regex-valued helper sfun
+  throw LowerError("unknown type '" + name + "' at line " +
+                   std::to_string(line));
+}
+
+BinKind bin_kind(const std::string& op, int line) {
+  if (op == "+") return BinKind::Add;
+  if (op == "-") return BinKind::Sub;
+  if (op == "*") return BinKind::Mul;
+  if (op == "/") return BinKind::Div;
+  if (op == ">") return BinKind::Gt;
+  if (op == ">=") return BinKind::Ge;
+  if (op == "<") return BinKind::Lt;
+  if (op == "<=") return BinKind::Le;
+  if (op == "==") return BinKind::Eq;
+  if (op == "!=") return BinKind::Ne;
+  if (op == "&&") return BinKind::And;
+  if (op == "||") return BinKind::Or;
+  throw LowerError("unknown operator '" + op + "' at line " +
+                   std::to_string(line));
+}
+
+struct Binding {
+  enum class Kind : uint8_t { Slot, Lit };
+  Kind kind = Kind::Lit;
+  int slot = -1;
+  Value lit;
+  Type type = Type::Int;
+  int64_t shift = 0;  // binding is (slot + shift), from args like x+1
+};
+
+using Env = std::map<std::string, Binding>;
+
+class Lowerer {
+ public:
+  explicit Lowerer(const Program& prog) : prog_(prog) {}
+
+  CompiledProgram compile(const std::string& main_name) {
+    const SFun* main = prog_.find(main_name);
+    if (!main) throw LowerError("no sfun named '" + main_name + "'");
+
+    CompiledProgram out;
+    Env env;
+    std::vector<int> slots;
+    std::vector<std::string> names;
+    for (const auto& [t, n] : main->params) {
+      Type ty = surface_type(t, main->line);
+      int slot = b_.new_param(n, ty);
+      env[n] = {Binding::Kind::Slot, slot, Value::undef(), ty};
+      slots.push_back(slot);
+      names.push_back(n);
+    }
+
+    // Strip leading recent(t)/every(t) from a composition chain (§3.6:
+    // time-based filtering lives outside the core operators).
+    ExpPtr stripped = strip_window(main->body, out);
+
+    QueryBuilder::Expr e = lower(*stripped, env);
+    if (!slots.empty()) {
+      e = b_.aggregate(AggOp::Sum, slots, std::move(e));
+    }
+    out.query = b_.finish(std::move(e), std::move(names));
+    return out;
+  }
+
+ private:
+  const Program& prog_;
+  QueryBuilder b_;
+  std::vector<std::string> stack_;  // inlining recursion guard
+
+  // Comp chains parse left-associated, so the window call sits at the
+  // bottom of the left spine; rebuild the chain without it.
+  ExpPtr strip_window(const ExpPtr& body, CompiledProgram& out) {
+    if (body->kind != Exp::Kind::Comp) return body;
+    const ExpPtr& head = body->kids[0];
+    if (head->kind == Exp::Kind::Call &&
+        (head->name == "recent" || head->name == "every")) {
+      if (head->kids.size() != 1 || head->kids[0]->kind != Exp::Kind::Lit) {
+        throw LowerError(head->name + "(t) needs a numeric literal");
+      }
+      out.window = head->name == "recent" ? CompiledProgram::Window::Recent
+                                          : CompiledProgram::Window::Every;
+      out.window_seconds = head->kids[0]->lit.as_double();
+      return body->kids[1];
+    }
+    ExpPtr stripped = strip_window(head, out);
+    if (stripped == head) return body;
+    auto node = std::make_shared<Exp>(*body);
+    node->kids[0] = std::move(stripped);
+    return node;
+  }
+
+  [[noreturn]] void fail(const Exp& e, const std::string& msg) const {
+    throw LowerError(msg + " at line " + std::to_string(e.line));
+  }
+
+  // ---- predicates --------------------------------------------------------
+
+  Formula operand_atom(const std::string& field, const std::string& op,
+                       const PredExp::Operand& rhs, Env& env, int line) {
+    auto make_lit = [&](Value v) -> Formula {
+      if (op == "==") return b_.atom_eq(field, std::move(v));
+      if (op == "!=") return Formula::negate(b_.atom_eq(field, std::move(v)));
+      if (op == "<") return b_.atom_cmp(field, core::CmpOp::Lt, std::move(v));
+      if (op == "<=") return b_.atom_cmp(field, core::CmpOp::Le, std::move(v));
+      if (op == ">") return b_.atom_cmp(field, core::CmpOp::Gt, std::move(v));
+      if (op == ">=") return b_.atom_cmp(field, core::CmpOp::Ge, std::move(v));
+      if (op == "contains") {
+        return b_.atom_cmp(field, core::CmpOp::Contains, std::move(v));
+      }
+      throw LowerError("bad predicate operator '" + op + "' at line " +
+                       std::to_string(line));
+    };
+    if (rhs.kind == PredExp::Operand::Kind::Literal) {
+      return make_lit(rhs.lit);
+    }
+    auto it = env.find(rhs.name);
+    if (it == env.end()) {
+      throw LowerError("unknown name '" + rhs.name + "' in predicate at line " +
+                       std::to_string(line));
+    }
+    if (it->second.kind == Binding::Kind::Lit) {
+      Value v = it->second.lit;
+      if (rhs.offset + it->second.shift != 0) {
+        v = core::BinOp::apply(
+            BinKind::Add, v, Value::integer(rhs.offset + it->second.shift));
+      }
+      return make_lit(std::move(v));
+    }
+    const int64_t shift = rhs.offset + it->second.shift;
+    if (op == "==") {
+      return b_.atom_param(field, it->second.slot, shift);
+    }
+    if (op == "!=") {
+      return Formula::negate(b_.atom_param(field, it->second.slot, shift));
+    }
+    throw LowerError(
+        "parameters may only be compared with == or != (line " +
+        std::to_string(line) + ")");
+  }
+
+  Formula lower_pred(const PredExp& p, Env& env) {
+    switch (p.kind) {
+      case PredExp::Kind::True:
+        return Formula::make_true();
+      case PredExp::Kind::Cmp:
+        return operand_atom(p.field, p.op, p.rhs, env, p.line);
+      case PredExp::Kind::And:
+        return Formula::conj(lower_pred(p.kids[0], env),
+                             lower_pred(p.kids[1], env));
+      case PredExp::Kind::Or:
+        return Formula::disj(lower_pred(p.kids[0], env),
+                             lower_pred(p.kids[1], env));
+      case PredExp::Kind::Not:
+        return Formula::negate(lower_pred(p.kids[0], env));
+      case PredExp::Kind::Macro:
+        return lower_macro(p, env);
+    }
+    throw LowerError("bad predicate");
+  }
+
+  Formula lower_macro(const PredExp& p, Env& env) {
+    auto proto_atom = [&](net::Proto proto) {
+      return b_.atom_eq("proto", Value::integer(static_cast<int>(proto)));
+    };
+    auto conn_param = [&](const PredExp::Operand& arg) -> Formula {
+      if (arg.kind != PredExp::Operand::Kind::Name) {
+        throw LowerError("macro expects a Conn parameter (line " +
+                         std::to_string(p.line) + ")");
+      }
+      auto it = env.find(arg.name);
+      if (it == env.end() || it->second.kind != Binding::Kind::Slot) {
+        throw LowerError("unknown Conn parameter '" + arg.name + "' (line " +
+                         std::to_string(p.line) + ")");
+      }
+      return b_.atom_param("conn", it->second.slot);
+    };
+    if (p.macro == "is_tcp") {
+      Formula f = proto_atom(net::Proto::Tcp);
+      if (!p.macro_args.empty()) {
+        f = Formula::conj(std::move(f), conn_param(p.macro_args[0]));
+      }
+      return f;
+    }
+    if (p.macro == "is_udp") {
+      Formula f = proto_atom(net::Proto::Udp);
+      if (!p.macro_args.empty()) {
+        f = Formula::conj(std::move(f), conn_param(p.macro_args[0]));
+      }
+      return f;
+    }
+    if (p.macro == "in_conn") {
+      return conn_param(p.macro_args.at(0));
+    }
+    throw LowerError("unknown predicate macro '" + p.macro + "' (line " +
+                     std::to_string(p.line) + ")");
+  }
+
+  // Converts an expression used in predicate position (filter args) into a
+  // PredExp: comparisons, &&, ||, macro calls.
+  PredExp exp_to_pred(const Exp& e) {
+    PredExp out;
+    out.line = e.line;
+    switch (e.kind) {
+      case Exp::Kind::Bin: {
+        if (e.op == "&&" || e.op == "||") {
+          out.kind = e.op == "&&" ? PredExp::Kind::And : PredExp::Kind::Or;
+          out.kids = {exp_to_pred(*e.kids[0]), exp_to_pred(*e.kids[1])};
+          return out;
+        }
+        out.kind = PredExp::Kind::Cmp;
+        const Exp& lhs = *e.kids[0];
+        if (lhs.kind == Exp::Kind::Name) {
+          out.field = lhs.name;
+        } else if (lhs.kind == Exp::Kind::FieldOf) {
+          // Dotted custom field (sip.method == "INVITE").
+          out.field = lhs.name == "last" ? lhs.field
+                                         : lhs.name + "." + lhs.field;
+        } else {
+          fail(e, "predicate comparisons need a field on the left");
+        }
+        out.op = e.op;
+        out.rhs = exp_to_operand(*e.kids[1]);
+        return out;
+      }
+      case Exp::Kind::Call: {
+        out.kind = PredExp::Kind::Macro;
+        out.macro = e.name;
+        for (const auto& k : e.kids) out.macro_args.push_back(exp_to_operand(*k));
+        return out;
+      }
+      default:
+        fail(e, "expected a predicate");
+    }
+  }
+
+  PredExp::Operand exp_to_operand(const Exp& e) {
+    PredExp::Operand op;
+    switch (e.kind) {
+      case Exp::Kind::Lit:
+        op.lit = e.lit;
+        return op;
+      case Exp::Kind::Name:
+        op.kind = PredExp::Operand::Kind::Name;
+        op.name = e.name;
+        return op;
+      case Exp::Kind::Bin:
+        // x + k / x - k
+        if ((e.op == "+" || e.op == "-") &&
+            e.kids[0]->kind == Exp::Kind::Name &&
+            e.kids[1]->kind == Exp::Kind::Lit) {
+          op.kind = PredExp::Operand::Kind::Name;
+          op.name = e.kids[0]->name;
+          op.offset = e.kids[1]->lit.as_int() * (e.op == "-" ? -1 : 1);
+          return op;
+        }
+        [[fallthrough]];
+      default:
+        fail(e, "expected a literal or parameter operand");
+    }
+  }
+
+  // ---- regular expressions ----------------------------------------------
+
+  Re lower_re(const ReExp& r, Env& env) {
+    switch (r.kind) {
+      case ReExp::Kind::Eps: return Re::eps();
+      case ReExp::Kind::Any: return Re::any();
+      case ReExp::Kind::Pred: return Re::pred_of(lower_pred(r.pred, env));
+      case ReExp::Kind::Concat:
+        return Re::concat(lower_re(r.kids[0], env), lower_re(r.kids[1], env));
+      case ReExp::Kind::Alt:
+        return Re::alt(lower_re(r.kids[0], env), lower_re(r.kids[1], env));
+      case ReExp::Kind::Star: return Re::star(lower_re(r.kids[0], env));
+      case ReExp::Kind::Plus: return Re::plus(lower_re(r.kids[0], env));
+      case ReExp::Kind::Opt: return Re::opt(lower_re(r.kids[0], env));
+      case ReExp::Kind::And:
+        return Re::conj(lower_re(r.kids[0], env), lower_re(r.kids[1], env));
+      case ReExp::Kind::Not: return Re::negate(lower_re(r.kids[0], env));
+    }
+    throw LowerError("bad regex");
+  }
+
+  // True when `e` denotes a regex (regex literal, concat sugar, or a call /
+  // reference to an sfun declared with return type `re`).
+  bool is_regex_exp(const Exp& e) const {
+    switch (e.kind) {
+      case Exp::Kind::Regex:
+      case Exp::Kind::Concat:
+        return true;
+      case Exp::Kind::Call:
+      case Exp::Kind::Name: {
+        const SFun* f = prog_.find(e.name);
+        return f && f->ret_type == "re";
+      }
+      default:
+        return false;
+    }
+  }
+
+  Re lower_re_exp(const Exp& e, Env& env) {
+    switch (e.kind) {
+      case Exp::Kind::Regex:
+        return lower_re(e.re, env);
+      case Exp::Kind::Concat: {
+        Re out = lower_re_exp(*e.kids[0], env);
+        for (size_t i = 1; i < e.kids.size(); ++i) {
+          out = Re::concat(std::move(out), lower_re_exp(*e.kids[i], env));
+        }
+        return out;
+      }
+      case Exp::Kind::Call:
+      case Exp::Kind::Name: {
+        const SFun* f = prog_.find(e.name);
+        if (!f || f->ret_type != "re") fail(e, "expected a regex");
+        Env callee = bind_static_args(*f, e, env);
+        if (f->body->kind == Exp::Kind::Cond) fail(e, "re sfun must be a regex");
+        return lower_re_exp(*f->body, callee);
+      }
+      default:
+        fail(e, "expected a regex");
+    }
+  }
+
+  // ---- expressions --------------------------------------------------------
+
+  Env bind_static_args(const SFun& f, const Exp& call, Env& env) {
+    if (call.kind == Exp::Kind::Name && !f.params.empty()) {
+      fail(call, "'" + f.name + "' needs " + std::to_string(f.params.size()) +
+                     " arguments");
+    }
+    if (call.kind == Exp::Kind::Call && call.kids.size() != f.params.size()) {
+      fail(call, "'" + f.name + "' arity mismatch");
+    }
+    Env out;
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      const Exp& arg = *call.kids[i];
+      out[f.params[i].second] = static_binding(arg, env, f.name);
+    }
+    return out;
+  }
+
+  // Resolves a static call argument: literal, caller parameter, or
+  // parameter +/- constant (synack(y, x+1), §4.2).
+  Binding static_binding(const Exp& arg, Env& env,
+                         const std::string& callee) {
+    Binding b;
+    if (arg.kind == Exp::Kind::Lit) {
+      b.kind = Binding::Kind::Lit;
+      b.lit = arg.lit;
+      b.type = arg.lit.type();
+      return b;
+    }
+    if (arg.kind == Exp::Kind::Name && env.contains(arg.name)) {
+      return env[arg.name];
+    }
+    if (arg.kind == Exp::Kind::Bin && (arg.op == "+" || arg.op == "-") &&
+        arg.kids[0]->kind == Exp::Kind::Name &&
+        env.contains(arg.kids[0]->name) &&
+        arg.kids[1]->kind == Exp::Kind::Lit) {
+      b = env[arg.kids[0]->name];
+      const int64_t k =
+          arg.kids[1]->lit.as_int() * (arg.op == "-" ? -1 : 1);
+      if (b.kind == Binding::Kind::Lit) {
+        b.lit = core::BinOp::apply(BinKind::Add, b.lit, Value::integer(k));
+      } else {
+        b.shift += k;
+      }
+      return b;
+    }
+    fail(arg, "argument to '" + callee + "' must be a literal or parameter");
+  }
+
+  QueryBuilder::Expr lower_sfun_call(const SFun& f, const Exp& call,
+                                     Env& env) {
+    if (std::ranges::find(stack_, f.name) != stack_.end()) {
+      fail(call, "recursive sfun '" + f.name + "'");
+    }
+    stack_.push_back(f.name);
+
+    // Classify arguments: static (literal / caller parameter) vs dynamic
+    // (per-packet expressions such as last.srcip).
+    std::vector<int> dyn_slots;
+    std::vector<std::string> dyn_keys;
+    Env callee;
+    // First pass: allocate dynamic slots contiguously.
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      const Exp& arg = *call.kids[i];
+      const auto& [ptype, pname] = f.params[i];
+      const bool dynamic =
+          arg.kind == Exp::Kind::FieldOf && arg.name == "last";
+      if (dynamic) {
+        Type ty = surface_type(ptype, call.line);
+        int slot = b_.new_param(pname, ty);
+        dyn_slots.push_back(slot);
+        dyn_keys.push_back(arg.field);
+        callee[pname] = {Binding::Kind::Slot, slot, Value::undef(), ty};
+      }
+    }
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      const auto& [ptype, pname] = f.params[i];
+      if (callee.contains(pname)) continue;  // dynamic, already bound
+      const Exp& arg = *call.kids[i];
+      callee[pname] = static_binding(arg, env, f.name);
+    }
+
+    QueryBuilder::Expr body = lower(*f.body, callee);
+    if (!dyn_slots.empty()) {
+      body = b_.eval_at(dyn_slots, dyn_keys, std::move(body));
+    }
+    stack_.pop_back();
+    return body;
+  }
+
+  QueryBuilder::Expr lower(const Exp& e, Env& env) {
+    switch (e.kind) {
+      case Exp::Kind::Lit:
+        return b_.constant(e.lit);
+
+      case Exp::Kind::Name: {
+        if (e.name == "last") return b_.last_field("conn");
+        auto it = env.find(e.name);
+        if (it != env.end()) {
+          if (it->second.kind == Binding::Kind::Slot) {
+            return b_.param_ref(it->second.slot);
+          }
+          return b_.constant(it->second.lit);
+        }
+        const SFun* f = prog_.find(e.name);
+        if (f) {
+          if (!f->params.empty()) fail(e, "'" + e.name + "' needs arguments");
+          if (f->ret_type == "re") return b_.match(lower_re_exp(e, env));
+          Env empty;
+          if (std::ranges::find(stack_, f->name) != stack_.end()) {
+            fail(e, "recursive sfun '" + f->name + "'");
+          }
+          stack_.push_back(f->name);
+          auto out = lower(*f->body, empty);
+          stack_.pop_back();
+          return out;
+        }
+        fail(e, "unknown name '" + e.name + "'");
+      }
+
+      case Exp::Kind::FieldOf: {
+        if (e.name == "last") return b_.last_field(e.field);
+        auto it = env.find(e.name);
+        if (it != env.end() && it->second.kind == Binding::Kind::Slot &&
+            it->second.type == Type::Conn) {
+          core::ProjOp::Component c;
+          if (e.field == "srcip") c = core::ProjOp::Component::SrcIp;
+          else if (e.field == "dstip") c = core::ProjOp::Component::DstIp;
+          else if (e.field == "srcport") c = core::ProjOp::Component::SrcPort;
+          else if (e.field == "dstport") c = core::ProjOp::Component::DstPort;
+          else fail(e, "unknown Conn component '" + e.field + "'");
+          return b_.proj(c, b_.param_ref(it->second.slot));
+        }
+        fail(e, "unknown base '" + e.name + "' in field access");
+      }
+
+      case Exp::Kind::Call: {
+        if (e.name == "filter") {
+          Formula f = Formula::make_true();
+          for (const auto& k : e.kids) {
+            f = Formula::conj(std::move(f),
+                              lower_pred(exp_to_pred(*k), env));
+          }
+          return b_.filter(std::move(f));
+        }
+        if (e.name == "exists" || e.name == "exist") {
+          Formula f = Formula::make_true();
+          for (const auto& k : e.kids) {
+            f = Formula::conj(std::move(f),
+                              lower_pred(exp_to_pred(*k), env));
+          }
+          return b_.exists(std::move(f));
+        }
+        if (e.name == "alert" || e.name == "block") {
+          std::vector<QueryBuilder::Expr> args;
+          for (const auto& k : e.kids) args.push_back(lower(*k, env));
+          return b_.action(e.name, std::move(args));
+        }
+        if (e.name == "size" && e.kids.size() == 1) {
+          return b_.last_field("len");
+        }
+        if (e.name == "recent" || e.name == "every") {
+          fail(e, "time-based filters are only allowed at the top level");
+        }
+        if (is_regex_exp(e)) return b_.match(lower_re_exp(e, env));
+        const SFun* f = prog_.find(e.name);
+        if (!f) fail(e, "unknown function '" + e.name + "'");
+        if (f->params.size() != e.kids.size()) {
+          fail(e, "'" + e.name + "' arity mismatch");
+        }
+        return lower_sfun_call(*f, e, env);
+      }
+
+      case Exp::Kind::Regex:
+      case Exp::Kind::Concat:
+        return b_.match(lower_re_exp(e, env));
+
+      case Exp::Kind::Cond: {
+        const Exp& c = *e.kids[0];
+        // `re ? last` is a filter: composition reads only its definedness,
+        // so lower `last` to a stateless constant (see QueryBuilder::filter).
+        const bool filter_shaped = e.kids.size() == 2 &&
+                                   e.kids[1]->kind == Exp::Kind::Name &&
+                                   e.kids[1]->name == "last";
+        QueryBuilder::Expr then_e =
+            filter_shaped ? b_.constant(Value::boolean(true))
+                          : lower(*e.kids[1], env);
+        std::optional<QueryBuilder::Expr> else_e;
+        if (e.kids.size() == 3) else_e = lower(*e.kids[2], env);
+        if (is_regex_exp(c)) {
+          Re re = lower_re_exp(c, env);
+          if (else_e) {
+            return b_.cond_else(std::move(re), std::move(then_e),
+                                std::move(*else_e));
+          }
+          return b_.cond(std::move(re), std::move(then_e));
+        }
+        return b_.ternary(lower(c, env), std::move(then_e),
+                          std::move(else_e));
+      }
+
+      case Exp::Kind::Bin:
+        return b_.bin(bin_kind(e.op, e.line), lower(*e.kids[0], env),
+                      lower(*e.kids[1], env));
+
+      case Exp::Kind::Split: {
+        // Right-fold: split(e1, ..., en, agg) = split(e1, split(..., agg)).
+        QueryBuilder::Expr out = lower(*e.kids.back(), env);
+        for (size_t i = e.kids.size() - 1; i-- > 0;) {
+          out = b_.split(lower(*e.kids[i], env), std::move(out), e.agg);
+        }
+        return out;
+      }
+
+      case Exp::Kind::Iter: {
+        // Peephole (§6): iter(/./ ? v, agg) with a constant or last-field v
+        // fuses into a per-packet fold with incremental aggregation.
+        const Exp& f = *e.kids[0];
+        if (f.kind == Exp::Kind::Cond && f.kids.size() == 2 &&
+            f.kids[0]->kind == Exp::Kind::Regex &&
+            f.kids[0]->re.kind == ReExp::Kind::Any) {
+          const Exp& v = *f.kids[1];
+          if (v.kind == Exp::Kind::Lit) {
+            return b_.fold_const(e.agg, v.lit);
+          }
+          if (v.kind == Exp::Kind::FieldOf && v.name == "last") {
+            return b_.fold_field(e.agg, v.field);
+          }
+        }
+        return b_.iter(lower(*e.kids[0], env), e.agg);
+      }
+
+      case Exp::Kind::Agg: {
+        Env inner = env;
+        std::vector<int> slots;
+        for (const auto& [t, n] : e.binders) {
+          Type ty = surface_type(t, e.line);
+          int slot = b_.new_param(n, ty);
+          inner[n] = {Binding::Kind::Slot, slot, Value::undef(), ty};
+          slots.push_back(slot);
+        }
+        return b_.aggregate(e.agg, slots, lower(*e.kids[0], inner));
+      }
+
+      case Exp::Kind::Comp:
+        return b_.comp(lower(*e.kids[0], env), lower(*e.kids[1], env));
+    }
+    throw LowerError("bad expression");
+  }
+};
+
+}  // namespace
+
+const std::string& stdlib_source() {
+  static const std::string kStdlib = R"NQRE(
+# NetQRE prelude: the built-in stream functions referenced throughout the
+# paper (count in §3.4, count_size and filter_tcp in §4.1/§3.6).
+sfun int count = iter(/./ ? 1, sum);
+sfun int count_size = iter(/./ ? last.len, sum);
+sfun int count_payload = iter(/./ ? last.paylen, sum);
+sfun packet filter_tcp(Conn c) = /.*[is_tcp(c)]/ ? last;
+sfun packet filter_udp(Conn c) = /.*[is_udp(c)]/ ? last;
+)NQRE";
+  return kStdlib;
+}
+
+CompiledProgram compile_program(const Program& prog,
+                                const std::string& main) {
+  Lowerer lowerer(prog);
+  return lowerer.compile(main);
+}
+
+CompiledProgram compile_source(const std::string& source,
+                               const std::string& main) {
+  Program prog = parse_program(stdlib_source() + source);
+  return compile_program(prog, main);
+}
+
+}  // namespace netqre::lang

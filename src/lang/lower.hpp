@@ -1,0 +1,41 @@
+// Lowering: NetQRE AST → compiled operator plan.
+//
+// This is the top half of the paper's compiler (§5–§6): stream functions are
+// inlined (with parameter substitution), aggregation binders become guard-
+// trie scopes, calls with per-packet arguments (hh(last.srcip, last.dstip))
+// become EvalAt scopes, macro predicates are expanded, and the time-based
+// filters recent(t)/every(t) are stripped into a window specification for
+// the runtime (§3.6 allows them only outside the core operators).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/builder.hpp"
+#include "lang/ast.hpp"
+
+namespace netqre::lang {
+
+struct LowerError : std::runtime_error {
+  explicit LowerError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+struct CompiledProgram {
+  core::CompiledQuery query;
+  enum class Window : uint8_t { None, Every, Recent };
+  Window window = Window::None;
+  double window_seconds = 0;
+};
+
+// The built-in NetQRE prelude (count, count_size, filter_tcp, ...), itself
+// written in NetQRE.
+const std::string& stdlib_source();
+
+// Compiles `main` from an already parsed program (prelude appended).
+CompiledProgram compile_program(const Program& prog, const std::string& main);
+
+// Parses `source` (plus the prelude) and compiles `main`.
+CompiledProgram compile_source(const std::string& source,
+                               const std::string& main);
+
+}  // namespace netqre::lang

@@ -1,0 +1,640 @@
+#include "lang/parser.hpp"
+
+#include <set>
+#include <unordered_map>
+
+namespace netqre::lang {
+namespace {
+
+const std::set<std::string> kTypeNames = {
+    "int", "bool", "double", "string", "IP", "Port", "Conn", "packet",
+    "action", "re",
+};
+
+const std::set<std::string> kAggNames = {"sum", "avg", "max", "min"};
+
+core::AggOp agg_of(const std::string& name) {
+  if (name == "sum") return core::AggOp::Sum;
+  if (name == "avg") return core::AggOp::Avg;
+  if (name == "max") return core::AggOp::Max;
+  if (name == "min") return core::AggOp::Min;
+  throw ParseError("unknown aggregation operator: " + name);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program program() {
+    Program prog;
+    while (!at(Tok::End)) prog.sfuns.push_back(sfun());
+    return prog;
+  }
+
+  ExpPtr single_expression() {
+    ExpPtr e = exp();
+    expect(Tok::End, "end of input");
+    return e;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_ident(const std::string& t) const {
+    return cur().kind == Tok::Ident && cur().text == t;
+  }
+  Token eat() { return toks_[pos_++]; }
+  void expect(Tok k, const std::string& what) {
+    if (!at(k)) fail("expected " + what);
+    ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg + " at line " + std::to_string(cur().line) +
+                     " (near '" + cur().text + "')");
+  }
+
+  std::string type_name() {
+    if (cur().kind != Tok::Ident || !kTypeNames.contains(cur().text)) {
+      fail("expected a type name");
+    }
+    return eat().text;
+  }
+
+  SFun sfun() {
+    if (!at_ident("sfun")) fail("expected 'sfun'");
+    SFun f;
+    f.line = cur().line;
+    eat();
+    f.ret_type = type_name();
+    if (cur().kind != Tok::Ident) fail("expected function name");
+    f.name = eat().text;
+    if (at(Tok::LParen)) {
+      eat();
+      if (!at(Tok::RParen)) {
+        while (true) {
+          std::string t = type_name();
+          if (cur().kind != Tok::Ident) fail("expected parameter name");
+          f.params.emplace_back(t, eat().text);
+          if (at(Tok::Comma)) {
+            eat();
+            continue;
+          }
+          break;
+        }
+      }
+      expect(Tok::RParen, "')'");
+    }
+    expect(Tok::Assign, "'='");
+    f.body = exp();
+    expect(Tok::Semi, "';'");
+    return f;
+  }
+
+  // exp := comp ; comp := cond ('>>' cond)*    (>> binds loosest)
+  ExpPtr exp() {
+    ExpPtr e = cond_exp();
+    while (at(Tok::Shr)) {
+      int line = eat().line;
+      auto rhs = cond_exp();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Comp;
+      node->line = line;
+      node->kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  // cond := or_exp ['?' cond [':' cond]]
+  ExpPtr cond_exp() {
+    ExpPtr c = or_exp();
+    if (!at(Tok::Question)) return c;
+    int line = eat().line;
+    ExpPtr t = cond_exp();
+    ExpPtr e;
+    if (at(Tok::Colon)) {
+      eat();
+      e = cond_exp();
+    }
+    auto node = std::make_shared<Exp>();
+    node->kind = Exp::Kind::Cond;
+    node->line = line;
+    node->kids = {std::move(c), std::move(t)};
+    if (e) node->kids.push_back(std::move(e));
+    return node;
+  }
+
+  ExpPtr or_exp() {
+    ExpPtr e = and_exp();
+    while (at(Tok::OrOr)) {
+      int line = eat().line;
+      e = binary("||", line, std::move(e), and_exp());
+    }
+    return e;
+  }
+
+  ExpPtr and_exp() {
+    ExpPtr e = cmp_exp();
+    while (at(Tok::AndAnd)) {
+      int line = eat().line;
+      e = binary("&&", line, std::move(e), cmp_exp());
+    }
+    return e;
+  }
+
+  ExpPtr cmp_exp() {
+    ExpPtr e = add_exp();
+    while (at(Tok::Gt) || at(Tok::Ge) || at(Tok::Lt) || at(Tok::Le) ||
+           at(Tok::Eq) || at(Tok::Ne)) {
+      Token op = eat();
+      static const std::unordered_map<Tok, std::string> kOps = {
+          {Tok::Gt, ">"}, {Tok::Ge, ">="}, {Tok::Lt, "<"},
+          {Tok::Le, "<="}, {Tok::Eq, "=="}, {Tok::Ne, "!="},
+      };
+      e = binary(kOps.at(op.kind), op.line, std::move(e), add_exp());
+    }
+    return e;
+  }
+
+  ExpPtr add_exp() {
+    ExpPtr e = mul_exp();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      Token op = eat();
+      e = binary(op.kind == Tok::Plus ? "+" : "-", op.line, std::move(e),
+                 mul_exp());
+    }
+    return e;
+  }
+
+  ExpPtr mul_exp() {
+    ExpPtr e = primary();
+    while (at(Tok::Star) || (at(Tok::Slash) && !slash_starts_regex())) {
+      Token op = eat();
+      e = binary(op.kind == Tok::Star ? "*" : "/", op.line, std::move(e),
+                 primary());
+    }
+    return e;
+  }
+
+  // A '/' in operator position is division; in primary position it opens a
+  // regex literal.  mul_exp only sees operator position, so always division.
+  bool slash_starts_regex() const { return false; }
+
+  ExpPtr binary(const std::string& op, int line, ExpPtr a, ExpPtr b) {
+    auto node = std::make_shared<Exp>();
+    node->kind = Exp::Kind::Bin;
+    node->op = op;
+    node->line = line;
+    node->kids = {std::move(a), std::move(b)};
+    return node;
+  }
+
+  ExpPtr primary() {
+    int line = cur().line;
+    switch (cur().kind) {
+      case Tok::Int: {
+        auto e = std::make_shared<Exp>();
+        e->line = line;
+        e->lit = core::Value::integer(eat().int_value);
+        return e;
+      }
+      case Tok::Double: {
+        auto e = std::make_shared<Exp>();
+        e->line = line;
+        e->lit = core::Value::real(eat().dbl_value);
+        return e;
+      }
+      case Tok::Ip: {
+        auto e = std::make_shared<Exp>();
+        e->line = line;
+        e->lit = core::Value::ip(static_cast<uint32_t>(eat().int_value));
+        return e;
+      }
+      case Tok::Str: {
+        auto e = std::make_shared<Exp>();
+        e->line = line;
+        e->lit = core::Value::str(eat().text);
+        return e;
+      }
+      case Tok::Slash:
+        return regex_literal();
+      case Tok::LParen: {
+        eat();
+        ExpPtr e = exp();
+        expect(Tok::RParen, "')'");
+        return e;
+      }
+      case Tok::Ident:
+        return ident_primary();
+      default:
+        fail("expected an expression");
+    }
+  }
+
+  ExpPtr ident_primary() {
+    int line = cur().line;
+    std::string name = eat().text;
+
+    if (name == "true" || name == "false") {
+      auto e = std::make_shared<Exp>();
+      e->line = line;
+      e->lit = core::Value::boolean(name == "true");
+      return e;
+    }
+
+    // split(e1, ..., en, aggop)
+    if (name == "split" && at(Tok::LParen)) {
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Split;
+      node->line = line;
+      while (true) {
+        if (cur().kind == Tok::Ident && kAggNames.contains(cur().text) &&
+            peek().kind == Tok::RParen) {
+          node->agg = agg_of(eat().text);
+          break;
+        }
+        node->kids.push_back(exp());
+        expect(Tok::Comma, "','");
+      }
+      expect(Tok::RParen, "')'");
+      if (node->kids.size() < 2) fail("split needs at least two expressions");
+      return node;
+    }
+
+    // iter(e, aggop)
+    if (name == "iter" && at(Tok::LParen)) {
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Iter;
+      node->line = line;
+      node->kids.push_back(exp());
+      expect(Tok::Comma, "','");
+      if (cur().kind != Tok::Ident) fail("expected aggregation operator");
+      node->agg = agg_of(eat().text);
+      expect(Tok::RParen, "')'");
+      return node;
+    }
+
+    // aggop{ e | T x, ... } or aggop( e | T x, ... )
+    if (kAggNames.contains(name) && (at(Tok::LBrace) || at(Tok::LParen))) {
+      Tok close = at(Tok::LBrace) ? Tok::RBrace : Tok::RParen;
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Agg;
+      node->agg = agg_of(name);
+      node->line = line;
+      node->kids.push_back(exp());
+      expect(Tok::Pipe, "'|'");
+      while (true) {
+        std::string t = type_name();
+        if (cur().kind != Tok::Ident) fail("expected parameter name");
+        node->binders.emplace_back(t, eat().text);
+        if (at(Tok::Comma)) {
+          eat();
+          continue;
+        }
+        break;
+      }
+      expect(close, "closing bracket");
+      return node;
+    }
+
+    // concat(r1, ..., rn): regex-level sugar.
+    if (name == "concat" && at(Tok::LParen)) {
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Concat;
+      node->line = line;
+      node->kids.push_back(exp());
+      while (at(Tok::Comma)) {
+        eat();
+        node->kids.push_back(exp());
+      }
+      expect(Tok::RParen, "')'");
+      return node;
+    }
+
+    // Generic call.
+    if (at(Tok::LParen)) {
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::Call;
+      node->name = name;
+      node->line = line;
+      if (!at(Tok::RParen)) {
+        node->kids.push_back(exp());
+        while (at(Tok::Comma)) {
+          eat();
+          node->kids.push_back(exp());
+        }
+      }
+      expect(Tok::RParen, "')'");
+      return node;
+    }
+
+    // Field access: last.srcip, c.srcip, pkt.sip.method.
+    if (at(Tok::Dot)) {
+      eat();
+      auto node = std::make_shared<Exp>();
+      node->kind = Exp::Kind::FieldOf;
+      node->name = name;
+      node->line = line;
+      if (cur().kind != Tok::Ident) fail("expected field name");
+      node->field = eat().text;
+      // Dotted custom fields (sip.method): one more level.
+      if (at(Tok::Dot) && peek().kind == Tok::Ident) {
+        eat();
+        node->field += "." + eat().text;
+      }
+      return node;
+    }
+
+    auto node = std::make_shared<Exp>();
+    node->kind = Exp::Kind::Name;
+    node->name = std::move(name);
+    node->line = line;
+    return node;
+  }
+
+  // ---- regex literals --------------------------------------------------
+
+  ExpPtr regex_literal() {
+    int line = cur().line;
+    expect(Tok::Slash, "'/'");
+    auto node = std::make_shared<Exp>();
+    node->kind = Exp::Kind::Regex;
+    node->line = line;
+    node->re = re_alt();
+    expect(Tok::Slash, "closing '/'");
+    return node;
+  }
+
+  ReExp re_alt() {
+    ReExp e = re_and();
+    while (at(Tok::Pipe)) {
+      int line = eat().line;
+      ReExp rhs = re_and();
+      ReExp node;
+      node.kind = ReExp::Kind::Alt;
+      node.line = line;
+      node.kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  ReExp re_and() {
+    ReExp e = re_concat();
+    while (at(Tok::Amp)) {
+      int line = eat().line;
+      ReExp rhs = re_concat();
+      ReExp node;
+      node.kind = ReExp::Kind::And;
+      node.line = line;
+      node.kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  bool re_atom_start() const {
+    return at(Tok::Dot) || at(Tok::LBracket) || at(Tok::LParen) ||
+           at(Tok::Bang);
+  }
+
+  ReExp re_concat() {
+    ReExp e = re_postfix();
+    while (re_atom_start()) {
+      ReExp rhs = re_postfix();
+      ReExp node;
+      node.kind = ReExp::Kind::Concat;
+      node.kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  ReExp re_postfix() {
+    ReExp e = re_atom();
+    while (true) {
+      if (at(Tok::Star)) {
+        eat();
+        ReExp node;
+        node.kind = ReExp::Kind::Star;
+        node.kids = {std::move(e)};
+        e = std::move(node);
+      } else if (at(Tok::Plus)) {
+        eat();
+        ReExp node;
+        node.kind = ReExp::Kind::Plus;
+        node.kids = {std::move(e)};
+        e = std::move(node);
+      } else if (at(Tok::Question)) {
+        eat();
+        ReExp node;
+        node.kind = ReExp::Kind::Opt;
+        node.kids = {std::move(e)};
+        e = std::move(node);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ReExp re_atom() {
+    int line = cur().line;
+    if (at(Tok::Dot)) {
+      eat();
+      ReExp e;
+      e.kind = ReExp::Kind::Any;
+      e.line = line;
+      return e;
+    }
+    if (at(Tok::Bang)) {
+      eat();
+      ReExp inner = re_atom();
+      ReExp e;
+      e.kind = ReExp::Kind::Not;
+      e.line = line;
+      e.kids = {std::move(inner)};
+      return e;
+    }
+    if (at(Tok::LParen)) {
+      eat();
+      ReExp e = re_alt();
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    if (at(Tok::LBracket)) {
+      eat();
+      ReExp e;
+      e.kind = ReExp::Kind::Pred;
+      e.line = line;
+      e.pred = pred_or();
+      expect(Tok::RBracket, "']'");
+      return e;
+    }
+    fail("expected a regex atom");
+  }
+
+  // ---- predicates --------------------------------------------------------
+
+  PredExp pred_or() {
+    PredExp e = pred_and();
+    while (at(Tok::OrOr)) {
+      int line = eat().line;
+      PredExp rhs = pred_and();
+      PredExp node;
+      node.kind = PredExp::Kind::Or;
+      node.line = line;
+      node.kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  PredExp pred_and() {
+    PredExp e = pred_unary();
+    while (at(Tok::AndAnd)) {
+      int line = eat().line;
+      PredExp rhs = pred_unary();
+      PredExp node;
+      node.kind = PredExp::Kind::And;
+      node.line = line;
+      node.kids = {std::move(e), std::move(rhs)};
+      e = std::move(node);
+    }
+    return e;
+  }
+
+  PredExp pred_unary() {
+    int line = cur().line;
+    if (at(Tok::Bang)) {
+      eat();
+      PredExp inner = pred_unary();
+      PredExp node;
+      node.kind = PredExp::Kind::Not;
+      node.line = line;
+      node.kids = {std::move(inner)};
+      return node;
+    }
+    if (at(Tok::LParen)) {
+      eat();
+      PredExp e = pred_or();
+      expect(Tok::RParen, "')'");
+      return e;
+    }
+    return pred_cmp();
+  }
+
+  PredExp::Operand pred_operand() {
+    PredExp::Operand op;
+    switch (cur().kind) {
+      case Tok::Int:
+        op.lit = core::Value::integer(eat().int_value);
+        return op;
+      case Tok::Double:
+        op.lit = core::Value::real(eat().dbl_value);
+        return op;
+      case Tok::Ip:
+        op.lit = core::Value::ip(static_cast<uint32_t>(eat().int_value));
+        return op;
+      case Tok::Str:
+        op.lit = core::Value::str(eat().text);
+        return op;
+      case Tok::Ident: {
+        std::string n = eat().text;
+        if (n == "true" || n == "false") {
+          op.lit = core::Value::boolean(n == "true");
+          return op;
+        }
+        op.kind = PredExp::Operand::Kind::Name;
+        op.name = std::move(n);
+        // name + k / name - k
+        if (at(Tok::Plus) && peek().kind == Tok::Int) {
+          eat();
+          op.offset = eat().int_value;
+        } else if (at(Tok::Minus) && peek().kind == Tok::Int) {
+          eat();
+          op.offset = -eat().int_value;
+        }
+        return op;
+      }
+      default:
+        fail("expected a predicate operand");
+    }
+  }
+
+  PredExp pred_cmp() {
+    int line = cur().line;
+    if (cur().kind != Tok::Ident) fail("expected a field name");
+    std::string field = eat().text;
+    // Dotted field (sip.method).
+    if (at(Tok::Dot) && peek().kind == Tok::Ident) {
+      eat();
+      field += "." + eat().text;
+    }
+    // Macro predicate: is_tcp(c), is_udp(c), ...
+    if (at(Tok::LParen)) {
+      eat();
+      PredExp node;
+      node.kind = PredExp::Kind::Macro;
+      node.macro = field;
+      node.line = line;
+      if (!at(Tok::RParen)) {
+        node.macro_args.push_back(pred_operand());
+        while (at(Tok::Comma)) {
+          eat();
+          node.macro_args.push_back(pred_operand());
+        }
+      }
+      expect(Tok::RParen, "')'");
+      return node;
+    }
+    PredExp node;
+    node.kind = PredExp::Kind::Cmp;
+    node.field = std::move(field);
+    node.line = line;
+    switch (cur().kind) {
+      case Tok::Eq:
+      case Tok::Assign: node.op = "=="; break;
+      case Tok::Ne: node.op = "!="; break;
+      case Tok::Lt: node.op = "<"; break;
+      case Tok::Le: node.op = "<="; break;
+      case Tok::Gt: node.op = ">"; break;
+      case Tok::Ge: node.op = ">="; break;
+      case Tok::Ident:
+        if (cur().text == "contains") {
+          node.op = "contains";
+          break;
+        }
+        [[fallthrough]];
+      default:
+        fail("expected a comparison operator");
+    }
+    eat();
+    node.rhs = pred_operand();
+    return node;
+  }
+};
+
+}  // namespace
+
+Program parse_program(const std::string& source) {
+  Parser p(lex(source));
+  return p.program();
+}
+
+ExpPtr parse_expression(const std::string& source) {
+  Parser p(lex(source));
+  return p.single_expression();
+}
+
+}  // namespace netqre::lang

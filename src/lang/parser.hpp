@@ -1,0 +1,22 @@
+// Recursive-descent parser for NetQRE programs (grammar: DESIGN.md §4).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "lang/ast.hpp"
+#include "lang/lexer.hpp"
+
+namespace netqre::lang {
+
+struct ParseError : std::runtime_error {
+  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+// Parses a complete program (sequence of sfun declarations).
+Program parse_program(const std::string& source);
+
+// Parses a single expression (used by tests).
+ExpPtr parse_expression(const std::string& source);
+
+}  // namespace netqre::lang

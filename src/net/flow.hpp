@@ -1,0 +1,73 @@
+// Flow identifiers: the NetQRE `Conn` type (§3) and 5-tuples, with hashing
+// suitable for unordered_map keys and for the parallel runtime's partitioner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "net/packet.hpp"
+
+namespace netqre::net {
+
+// A bidirectional connection key: the NetQRE `Conn` type holds the source
+// IP-port and destination IP-port pair (§3).  `canonical()` orders the two
+// endpoints so both directions of a connection map to the same key.
+struct Conn {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  Proto proto = Proto::Other;
+
+  static Conn of(const Packet& p) {
+    return {p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto};
+  }
+
+  [[nodiscard]] Conn reversed() const {
+    return {dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  // Direction-independent form: smaller (ip, port) endpoint first.
+  [[nodiscard]] Conn canonical() const {
+    if (std::tie(src_ip, src_port) <= std::tie(dst_ip, dst_port)) return *this;
+    return reversed();
+  }
+
+  // True if `p` belongs to this connection, in either direction.
+  [[nodiscard]] bool matches(const Packet& p) const {
+    return p.proto == proto &&
+           ((p.src_ip == src_ip && p.src_port == src_port &&
+             p.dst_ip == dst_ip && p.dst_port == dst_port) ||
+            (p.src_ip == dst_ip && p.src_port == dst_port &&
+             p.dst_ip == src_ip && p.dst_port == src_port));
+  }
+
+  friend bool operator==(const Conn&, const Conn&) = default;
+  friend auto operator<=>(const Conn&, const Conn&) = default;
+};
+
+// 64-bit mix (splitmix64 finalizer); good avalanche for hash-partitioning.
+constexpr uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct ConnHash {
+  size_t operator()(const Conn& c) const {
+    uint64_t a = (uint64_t{c.src_ip} << 32) | c.dst_ip;
+    uint64_t b = (uint64_t{c.src_port} << 32) | (uint64_t{c.dst_port} << 16) |
+                 static_cast<uint64_t>(c.proto);
+    return mix64(a ^ mix64(b));
+  }
+};
+
+// Hash of the (src, dst) IP pair — the flow definition used by the heavy
+// hitter use case (§4.1).
+inline uint64_t ip_pair_hash(uint32_t src, uint32_t dst) {
+  return mix64((uint64_t{src} << 32) | dst);
+}
+
+}  // namespace netqre::net

@@ -1,0 +1,36 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+namespace netqre::net {
+
+std::optional<uint32_t> parse_ip(std::string_view text) {
+  uint32_t ip = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) return std::nullopt;
+    ip = (ip << 8) | value;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return ip;
+}
+
+std::string format_ip(uint32_t ip) {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((ip >> shift) & 0xff);
+    if (shift) out += '.';
+  }
+  return out;
+}
+
+}  // namespace netqre::net

@@ -1,0 +1,23 @@
+// IPv4 address helpers: parsing, formatting, and host/network byte order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netqre::net {
+
+// Builds a host-order IPv4 address from dotted-quad components.
+constexpr uint32_t make_ip(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+         uint32_t{d};
+}
+
+// Parses "a.b.c.d" into a host-order address; nullopt on malformed input.
+std::optional<uint32_t> parse_ip(std::string_view text);
+
+// Formats a host-order address as dotted-quad.
+std::string format_ip(uint32_t ip);
+
+}  // namespace netqre::net

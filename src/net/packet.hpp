@@ -1,0 +1,53 @@
+// Packet model used throughout the NetQRE runtime.
+//
+// The paper (§2, Fig. 1) preprocesses each raw packet into a form the
+// compiled query can reference through parsing functions (srcip, syn, data,
+// time, ...).  This struct is that processed form: transport metadata plus
+// the reassembled application payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netqre::net {
+
+// IP protocol numbers we care about (subset of IANA registry).
+enum class Proto : uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+  Other = 255,
+};
+
+// TCP flag bits, matching the wire encoding of the TCP header flags octet.
+struct TcpFlags {
+  static constexpr uint8_t kFin = 0x01;
+  static constexpr uint8_t kSyn = 0x02;
+  static constexpr uint8_t kRst = 0x04;
+  static constexpr uint8_t kPsh = 0x08;
+  static constexpr uint8_t kAck = 0x10;
+};
+
+struct Packet {
+  double ts = 0.0;  // receipt timestamp, seconds since epoch
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  Proto proto = Proto::Other;
+  uint8_t tcp_flags = 0;
+  uint32_t seq = 0;     // TCP sequence number
+  uint32_t ack_no = 0;  // TCP acknowledgement number
+  uint32_t wire_len = 0;  // bytes on the wire (IP total length + L2 framing)
+  std::string payload;    // application payload (after transport header)
+
+  [[nodiscard]] bool syn() const { return tcp_flags & TcpFlags::kSyn; }
+  [[nodiscard]] bool ack() const { return tcp_flags & TcpFlags::kAck; }
+  [[nodiscard]] bool fin() const { return tcp_flags & TcpFlags::kFin; }
+  [[nodiscard]] bool rst() const { return tcp_flags & TcpFlags::kRst; }
+  [[nodiscard]] bool psh() const { return tcp_flags & TcpFlags::kPsh; }
+  [[nodiscard]] bool is_tcp() const { return proto == Proto::Tcp; }
+  [[nodiscard]] bool is_udp() const { return proto == Proto::Udp; }
+};
+
+}  // namespace netqre::net

@@ -1,0 +1,143 @@
+#include "net/pcap.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/wire.hpp"
+
+namespace netqre::net {
+namespace {
+
+constexpr uint32_t kMagicUsec = 0xa1b2c3d4;
+constexpr uint32_t kMagicUsecSwapped = 0xd4c3b2a1;
+constexpr uint16_t kVersionMajor = 2;
+constexpr uint16_t kVersionMinor = 4;
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+struct GlobalHeader {
+  uint32_t magic;
+  uint16_t version_major;
+  uint16_t version_minor;
+  int32_t thiszone;
+  uint32_t sigfigs;
+  uint32_t snaplen;
+  uint32_t network;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  uint32_t ts_sec;
+  uint32_t ts_usec;
+  uint32_t incl_len;
+  uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+uint32_t bswap(uint32_t v) { return __builtin_bswap32(v); }
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, uint32_t snaplen)
+    : out_(path, std::ios::binary), snaplen_(snaplen) {
+  if (!out_) throw std::runtime_error("pcap: cannot open " + path);
+  GlobalHeader hdr{kMagicUsec, kVersionMajor, kVersionMinor, 0, 0, snaplen_,
+                   kLinkTypeEthernet};
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+}
+
+void PcapWriter::write(const PcapRecord& rec) {
+  RecordHeader hdr;
+  hdr.ts_sec = static_cast<uint32_t>(rec.ts);
+  hdr.ts_usec = static_cast<uint32_t>(
+      std::llround((rec.ts - hdr.ts_sec) * 1e6));
+  if (hdr.ts_usec >= 1000000) {  // rounding carried into the next second
+    hdr.ts_sec += 1;
+    hdr.ts_usec -= 1000000;
+  }
+  const uint32_t incl = std::min<uint32_t>(
+      snaplen_, static_cast<uint32_t>(rec.data.size()));
+  hdr.incl_len = incl;
+  hdr.orig_len = rec.orig_len ? rec.orig_len
+                              : static_cast<uint32_t>(rec.data.size());
+  out_.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  out_.write(reinterpret_cast<const char*>(rec.data.data()), incl);
+  if (!out_) throw std::runtime_error("pcap: write failed");
+}
+
+void PcapWriter::write_packet(const Packet& p) {
+  PcapRecord rec;
+  rec.ts = p.ts;
+  rec.data = encode_frame(p);
+  rec.orig_len = std::max<uint32_t>(p.wire_len,
+                                    static_cast<uint32_t>(rec.data.size()));
+  write(rec);
+}
+
+void PcapWriter::flush() { out_.flush(); }
+
+PcapReader::PcapReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("pcap: cannot open " + path);
+  GlobalHeader hdr{};
+  in_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in_) throw std::runtime_error("pcap: truncated global header");
+  if (hdr.magic == kMagicUsec) {
+    swapped_ = false;
+  } else if (hdr.magic == kMagicUsecSwapped) {
+    swapped_ = true;
+  } else {
+    throw std::runtime_error("pcap: unsupported magic");
+  }
+  snaplen_ = swapped_ ? bswap(hdr.snaplen) : hdr.snaplen;
+  const uint32_t network = swapped_ ? bswap(hdr.network) : hdr.network;
+  if (network != kLinkTypeEthernet) {
+    throw std::runtime_error("pcap: only Ethernet link type supported");
+  }
+}
+
+std::optional<PcapRecord> PcapReader::next() {
+  RecordHeader hdr{};
+  in_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (in_.gcount() == 0) return std::nullopt;  // clean EOF
+  if (!in_) throw std::runtime_error("pcap: truncated record header");
+  if (swapped_) {
+    hdr.ts_sec = bswap(hdr.ts_sec);
+    hdr.ts_usec = bswap(hdr.ts_usec);
+    hdr.incl_len = bswap(hdr.incl_len);
+    hdr.orig_len = bswap(hdr.orig_len);
+  }
+  if (hdr.incl_len > snaplen_ + 65536u) {
+    throw std::runtime_error("pcap: implausible record length");
+  }
+  PcapRecord rec;
+  rec.ts = hdr.ts_sec + hdr.ts_usec * 1e-6;
+  rec.orig_len = hdr.orig_len;
+  rec.data.resize(hdr.incl_len);
+  in_.read(reinterpret_cast<char*>(rec.data.data()), hdr.incl_len);
+  if (!in_) throw std::runtime_error("pcap: truncated record body");
+  return rec;
+}
+
+std::optional<Packet> PcapReader::next_packet() {
+  while (auto rec = next()) {
+    if (auto p = decode_frame(rec->data, rec->ts, rec->orig_len)) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Packet> read_all(const std::string& path) {
+  PcapReader reader(path);
+  std::vector<Packet> out;
+  while (auto p = reader.next_packet()) out.push_back(std::move(*p));
+  return out;
+}
+
+void write_all(const std::string& path, const std::vector<Packet>& packets) {
+  PcapWriter writer(path);
+  for (const auto& p : packets) writer.write_packet(p);
+  writer.flush();
+}
+
+}  // namespace netqre::net

@@ -1,0 +1,63 @@
+// Classic libpcap capture-file format, implemented from scratch (the target
+// system has no libpcap).  Supports the microsecond little-endian variant
+// written by tcpdump (magic 0xa1b2c3d4), link type Ethernet (DLT_EN10MB).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netqre::net {
+
+struct PcapRecord {
+  double ts = 0.0;
+  uint32_t orig_len = 0;       // length on the wire
+  std::vector<uint8_t> data;   // captured bytes (possibly snapped)
+};
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the global header.  Throws std::runtime_error on
+  // I/O failure.
+  explicit PcapWriter(const std::string& path, uint32_t snaplen = 65535);
+
+  void write(const PcapRecord& rec);
+  // Encodes `p` with the wire codec and appends it.
+  void write_packet(const Packet& p);
+  void flush();
+
+ private:
+  std::ofstream out_;
+  uint32_t snaplen_;
+};
+
+class PcapReader {
+ public:
+  // Throws std::runtime_error on open failure or bad magic.
+  explicit PcapReader(const std::string& path);
+
+  // Returns the next record, or nullopt at end of file.
+  std::optional<PcapRecord> next();
+  // Convenience: next record decoded as a Packet; skips undecodable frames.
+  std::optional<Packet> next_packet();
+
+  [[nodiscard]] uint32_t snaplen() const { return snaplen_; }
+
+ private:
+  std::ifstream in_;
+  uint32_t snaplen_ = 0;
+  bool swapped_ = false;  // big-endian file on little-endian host
+};
+
+// Reads an entire capture into memory (the benchmark replay path).
+std::vector<Packet> read_all(const std::string& path);
+
+// Writes all packets to `path`.
+void write_all(const std::string& path, const std::vector<Packet>& packets);
+
+}  // namespace netqre::net

@@ -1,0 +1,91 @@
+#include "net/reassembly.hpp"
+
+namespace netqre::net {
+namespace {
+
+// Serial-number comparison on 32-bit sequence space (RFC 1982 style).
+bool seq_lt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+
+}  // namespace
+
+uint32_t TcpReorderer::seq_advance(const Packet& p) {
+  uint32_t adv = static_cast<uint32_t>(p.payload.size());
+  if (p.syn()) adv += 1;
+  if (p.fin()) adv += 1;
+  return adv;
+}
+
+void TcpReorderer::release_ready(Direction& d, std::vector<Packet>& out) {
+  for (auto it = d.pending.begin(); it != d.pending.end();) {
+    if (it->first != d.next_seq) break;
+    d.next_seq = it->first + seq_advance(it->second);
+    out.push_back(std::move(it->second));
+    ++stats_.delivered;
+    ++stats_.reordered;
+    --stats_.buffered_now;
+    it = d.pending.erase(it);
+  }
+}
+
+void TcpReorderer::push(const Packet& p, std::vector<Packet>& out) {
+  if (!p.is_tcp()) {
+    out.push_back(p);
+    ++stats_.delivered;
+    return;
+  }
+  auto& d = dirs_[Conn::of(p)];
+  if (p.syn() || !d.synced) {
+    // (Re)synchronize on SYN, or on the first packet seen mid-stream.
+    d.synced = true;
+    d.next_seq = p.seq + seq_advance(p);
+    out.push_back(p);
+    ++stats_.delivered;
+    release_ready(d, out);
+    return;
+  }
+  if (p.seq == d.next_seq) {
+    d.next_seq += seq_advance(p);
+    out.push_back(p);
+    ++stats_.delivered;
+    release_ready(d, out);
+    return;
+  }
+  if (seq_lt(p.seq, d.next_seq)) {
+    // Old data: retransmission of something already delivered.
+    // Pure ACKs carry no new sequence space and always pass through.
+    if (seq_advance(p) == 0) {
+      out.push_back(p);
+      ++stats_.delivered;
+    } else {
+      ++stats_.retransmits_dropped;
+    }
+    return;
+  }
+  // Future segment: hold until the gap fills.
+  auto [it, inserted] = d.pending.emplace(p.seq, p);
+  if (inserted) {
+    ++stats_.buffered_now;
+  } else {
+    ++stats_.retransmits_dropped;  // duplicate of a held segment
+  }
+  if (d.pending.size() > max_buffer_) {
+    // Declare the gap lost: skip to the earliest held segment.
+    d.next_seq = d.pending.begin()->first;
+    release_ready(d, out);
+  }
+}
+
+void TcpReorderer::flush(std::vector<Packet>& out) {
+  for (auto& [conn, d] : dirs_) {
+    for (auto& [seq, pkt] : d.pending) {
+      out.push_back(std::move(pkt));
+      ++stats_.delivered;
+      --stats_.buffered_now;
+    }
+    d.pending.clear();
+  }
+}
+
+}  // namespace netqre::net

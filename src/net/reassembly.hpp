@@ -1,0 +1,59 @@
+// TCP stream reordering preprocessor.
+//
+// §2/§8 of the paper: the compiled query assumes in-order delivery; the
+// runtime is responsible for reordering, retransmissions and loss.  This
+// module buffers out-of-order TCP segments per connection direction and
+// releases packets to the query in sequence order, dropping exact
+// retransmissions.  Non-TCP packets pass through untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::net {
+
+class TcpReorderer {
+ public:
+  struct Stats {
+    uint64_t delivered = 0;
+    uint64_t reordered = 0;        // held then released in order
+    uint64_t retransmits_dropped = 0;
+    uint64_t buffered_now = 0;
+  };
+
+  // `max_buffer` bounds held segments per direction; on overflow the oldest
+  // gap is declared lost and buffered segments are flushed in order.
+  explicit TcpReorderer(size_t max_buffer = 256) : max_buffer_(max_buffer) {}
+
+  // Pushes one captured packet; appends released in-order packets to `out`.
+  void push(const Packet& p, std::vector<Packet>& out);
+
+  // Flushes everything still buffered (end of capture), in sequence order.
+  void flush(std::vector<Packet>& out);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Direction {
+    bool synced = false;     // next_seq is valid
+    uint32_t next_seq = 0;   // next expected sequence number
+    // Held out-of-order segments keyed by sequence number.
+    std::map<uint32_t, Packet> pending;
+  };
+
+  // Keyed by the unidirectional 5-tuple (direction matters for seq spaces).
+  std::unordered_map<Conn, Direction, ConnHash> dirs_;
+  size_t max_buffer_;
+  Stats stats_;
+
+  void release_ready(Direction& d, std::vector<Packet>& out);
+  static uint32_t seq_advance(const Packet& p);
+};
+
+}  // namespace netqre::net

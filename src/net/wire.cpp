@@ -1,0 +1,170 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace netqre::net {
+namespace {
+
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr size_t kEthHeaderLen = 14;
+constexpr size_t kIpHeaderLen = 20;
+constexpr size_t kTcpHeaderLen = 20;
+constexpr size_t kUdpHeaderLen = 8;
+
+void put16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+void put32(std::vector<uint8_t>& out, uint32_t v) {
+  put16(out, static_cast<uint16_t>(v >> 16));
+  put16(out, static_cast<uint16_t>(v));
+}
+
+uint16_t get16(std::span<const uint8_t> b, size_t off) {
+  return static_cast<uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+uint32_t get32(std::span<const uint8_t> b, size_t off) {
+  return (uint32_t{b[off]} << 24) | (uint32_t{b[off + 1]} << 16) |
+         (uint32_t{b[off + 2]} << 8) | uint32_t{b[off + 3]};
+}
+
+void patch16(std::vector<uint8_t>& out, size_t off, uint16_t v) {
+  out[off] = static_cast<uint8_t>(v >> 8);
+  out[off + 1] = static_cast<uint8_t>(v);
+}
+
+// Pseudo-header contribution to the TCP/UDP checksum.
+uint32_t pseudo_header_sum(const Packet& p, uint16_t l4_len) {
+  uint32_t sum = 0;
+  sum += p.src_ip >> 16;
+  sum += p.src_ip & 0xffff;
+  sum += p.dst_ip >> 16;
+  sum += p.dst_ip & 0xffff;
+  sum += static_cast<uint8_t>(p.proto);
+  sum += l4_len;
+  return sum;
+}
+
+}  // namespace
+
+uint16_t inet_checksum(std::span<const uint8_t> data, uint32_t seed) {
+  uint32_t sum = seed;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += uint32_t{data[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+std::vector<uint8_t> encode_frame(const Packet& p) {
+  const bool tcp = p.proto == Proto::Tcp;
+  const bool udp = p.proto == Proto::Udp;
+  const size_t l4_header = tcp ? kTcpHeaderLen : udp ? kUdpHeaderLen : 0;
+  const uint16_t l4_len = static_cast<uint16_t>(l4_header + p.payload.size());
+  const uint16_t ip_total = static_cast<uint16_t>(kIpHeaderLen + l4_len);
+
+  std::vector<uint8_t> out;
+  out.reserve(kEthHeaderLen + ip_total);
+
+  // Ethernet II: synthetic MACs derived from the IPs, EtherType IPv4.
+  for (int i = 0; i < 2; ++i) {
+    uint32_t ip = i == 0 ? p.dst_ip : p.src_ip;
+    out.push_back(0x02);  // locally administered unicast
+    out.push_back(0x00);
+    put32(out, ip);
+  }
+  put16(out, kEtherTypeIpv4);
+
+  // IPv4 header.
+  const size_t ip_off = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // DSCP/ECN
+  put16(out, ip_total);
+  put16(out, 0);          // identification
+  put16(out, 0x4000);     // flags: DF
+  out.push_back(64);      // TTL
+  out.push_back(static_cast<uint8_t>(p.proto));
+  put16(out, 0);  // checksum placeholder
+  put32(out, p.src_ip);
+  put32(out, p.dst_ip);
+  const uint16_t ip_csum = inet_checksum(
+      std::span(out.data() + ip_off, kIpHeaderLen));
+  patch16(out, ip_off + 10, ip_csum);
+
+  const size_t l4_off = out.size();
+  if (tcp) {
+    put16(out, p.src_port);
+    put16(out, p.dst_port);
+    put32(out, p.seq);
+    put32(out, p.ack_no);
+    out.push_back(0x50);  // data offset 5
+    out.push_back(p.tcp_flags);
+    put16(out, 65535);  // window
+    put16(out, 0);      // checksum placeholder
+    put16(out, 0);      // urgent pointer
+  } else if (udp) {
+    put16(out, p.src_port);
+    put16(out, p.dst_port);
+    put16(out, l4_len);
+    put16(out, 0);  // checksum placeholder
+  }
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+
+  if (tcp || udp) {
+    const uint16_t csum = inet_checksum(
+        std::span(out.data() + l4_off, l4_len), pseudo_header_sum(p, l4_len));
+    patch16(out, l4_off + (tcp ? 16 : 6), csum == 0 && udp ? 0xffff : csum);
+  }
+  return out;
+}
+
+std::optional<Packet> decode_frame(std::span<const uint8_t> frame, double ts,
+                                   uint32_t wire_len) {
+  if (frame.size() < kEthHeaderLen + kIpHeaderLen) return std::nullopt;
+  if (get16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+
+  auto ip = frame.subspan(kEthHeaderLen);
+  const uint8_t version = ip[0] >> 4;
+  const size_t ihl = (ip[0] & 0x0f) * 4u;
+  if (version != 4 || ihl < kIpHeaderLen || ip.size() < ihl) {
+    return std::nullopt;
+  }
+  const uint16_t ip_total = get16(ip, 2);
+  if (ip_total < ihl || ip.size() < ip_total) return std::nullopt;
+
+  Packet p;
+  p.ts = ts;
+  p.wire_len = wire_len;
+  p.src_ip = get32(ip, 12);
+  p.dst_ip = get32(ip, 16);
+  const uint8_t proto = ip[9];
+  p.proto = proto == 6 ? Proto::Tcp : proto == 17 ? Proto::Udp
+            : proto == 1 ? Proto::Icmp : Proto::Other;
+
+  auto l4 = ip.subspan(ihl, ip_total - ihl);
+  if (p.proto == Proto::Tcp) {
+    if (l4.size() < kTcpHeaderLen) return std::nullopt;
+    p.src_port = get16(l4, 0);
+    p.dst_port = get16(l4, 2);
+    p.seq = get32(l4, 4);
+    p.ack_no = get32(l4, 8);
+    const size_t data_off = (l4[12] >> 4) * 4u;
+    p.tcp_flags = l4[13];
+    if (data_off < kTcpHeaderLen || l4.size() < data_off) return std::nullopt;
+    p.payload.assign(l4.begin() + data_off, l4.end());
+  } else if (p.proto == Proto::Udp) {
+    if (l4.size() < kUdpHeaderLen) return std::nullopt;
+    p.src_port = get16(l4, 0);
+    p.dst_port = get16(l4, 2);
+    p.payload.assign(l4.begin() + kUdpHeaderLen, l4.end());
+  } else {
+    p.payload.assign(l4.begin(), l4.end());
+  }
+  return p;
+}
+
+}  // namespace netqre::net

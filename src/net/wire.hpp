@@ -1,0 +1,32 @@
+// Ethernet/IPv4/TCP/UDP wire-format codec.
+//
+// The NetQRE runtime consumes pcap traces (§6); this module converts between
+// the raw bytes stored in a capture file and the runtime's Packet model.
+// Encoding is used by the traffic generators to produce byte-accurate traces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netqre::net {
+
+// Serializes `p` as Ethernet II + IPv4 + TCP/UDP frame bytes.  IP and
+// transport checksums are computed.  Packets whose proto is not TCP/UDP are
+// encoded as raw IPv4 with the payload as the L4 body.
+std::vector<uint8_t> encode_frame(const Packet& p);
+
+// Parses an Ethernet II frame.  Returns nullopt for non-IPv4 frames or
+// truncated headers.  `ts` and `wire_len` are taken from the caller (the
+// capture record), not the frame.
+std::optional<Packet> decode_frame(std::span<const uint8_t> frame, double ts,
+                                   uint32_t wire_len);
+
+// RFC 1071 ones'-complement checksum over `data`, with an optional seed for
+// pseudo-header folding.
+uint16_t inet_checksum(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace netqre::net

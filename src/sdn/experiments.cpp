@@ -1,0 +1,295 @@
+#include "sdn/experiments.hpp"
+
+#include <sstream>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/window.hpp"
+#include "lang/lower.hpp"
+#include "net/ipv4.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre::sdn {
+namespace {
+
+using core::Engine;
+using core::SlidingWindow;
+using core::Value;
+
+constexpr uint32_t kServer = 0x0a000001;  // 10.0.0.1
+constexpr uint32_t kClient1 = 0x0a000002; // 10.0.0.2
+constexpr uint32_t kClient2 = 0x0a000063; // 10.0.0.99
+constexpr double kLinkMbps = 100.0;
+
+const ControllerTiming kTiming;
+
+}  // namespace
+
+// ----------------------------------------------------------- Fig. 9a
+
+E2EResult run_synflood_experiment() {
+  // Traffic: C1 iperf at 1 Mbps for 20 s; C2 floods from t=7 with half-open
+  // handshakes plus volumetric junk data.
+  auto background = trafficgen::iperf_trace(kClient1, kServer, 0.0, 20.0, 1.0);
+
+  trafficgen::SynFloodConfig flood;
+  flood.benign_handshakes = 0;
+  flood.attack_handshakes = 600;
+  flood.attacker_ip = kClient2;
+  flood.server_ip = kServer;
+  flood.start_ts = 7.0;
+  flood.duration = 13.0;
+  auto attack = trafficgen::syn_flood_trace(flood);
+  // The flood also carries volume, so its bandwidth shows in the plot.
+  auto attack_volume =
+      trafficgen::iperf_trace(kClient2, kServer, 7.0, 13.0, 30.0);
+
+  auto stream = merge_streams(
+      {std::move(background), std::move(attack), std::move(attack_volume)});
+
+  // Monitoring: per-source incomplete-handshake count over recent(5).
+  auto prog = lang::compile_source(
+      apps::load_source("syn_flood.nqre") +
+          "sfun int incomplete_per_src(IP a) = "
+          "filter(srcip == a || dstip == a) >> incomplete_handshake_num;",
+      "incomplete_per_src");
+  SlidingWindow window(prog.query, 5.0, 4);
+
+  E2EResult result;
+  result.mode = "netqre";
+  Switch sw(kServer, kLinkMbps);
+  constexpr int64_t kThreshold = 50;
+
+  sw.set_mirror([&](const net::Packet& p, double now) {
+    if (!p.is_tcp()) return;
+    window.on_packet(p);
+    if (result.detect_time >= 0) return;
+    if (p.src_ip == kServer) return;  // the protected server is whitelisted
+    Value v = window.eval_at({Value::ip(p.src_ip)});
+    if (v.defined() && v.as_int() > kThreshold) {
+      result.detect_time = now + kTiming.alert_latency;
+      result.block_time = result.detect_time + kTiming.install_latency;
+      sw.install_drop(p.src_ip, result.block_time);
+    }
+  });
+
+  for (const auto& p : stream) sw.process(p);
+  result.series = sw.delivered();
+  result.dropped_by_rule = sw.dropped_by_rule();
+  return result;
+}
+
+// ----------------------------------------------------------- Fig. 9b
+
+namespace {
+
+std::vector<net::Packet> heavyhitter_traffic() {
+  auto normal = trafficgen::iperf_trace(kClient1, kServer, 0.0, 25.0, 1.0);
+  auto heavy = trafficgen::iperf_trace(kClient2, kServer, 5.0, 20.0, 80.0);
+  return merge_streams({std::move(normal), std::move(heavy)});
+}
+
+constexpr double kHHWindow = 5.0;
+// Threshold: 25 Mbps sustained over the window, in bytes.
+constexpr double kHHBytesThreshold = 25.0 * 1e6 / 8.0 * kHHWindow;
+
+lang::CompiledProgram hh_program() {
+  return apps::compile_app("heavy_hitter.nqre", "hh");
+}
+
+}  // namespace
+
+std::vector<E2EResult> run_heavyhitter_experiment() {
+  std::vector<E2EResult> results;
+  const auto stream = heavyhitter_traffic();
+
+  // --- netqre: tap at the switch, per-packet detection -------------------
+  {
+    E2EResult r;
+    r.mode = "netqre";
+    Switch sw(kServer, kLinkMbps);
+    SlidingWindow window(hh_program().query, kHHWindow, 4);
+    sw.set_mirror([&](const net::Packet& p, double now) {
+      window.on_packet(p);
+      if (r.detect_time >= 0) return;
+      Value v = window.eval_at({Value::ip(p.src_ip), Value::ip(p.dst_ip)});
+      if (v.defined() &&
+          v.as_double() > kHHBytesThreshold) {
+        r.detect_time = now + kTiming.alert_latency;
+        r.block_time = r.detect_time + kTiming.install_latency;
+        sw.install_drop(p.src_ip, r.block_time);
+        // Only the alert crosses the control channel.
+        r.controller_bytes += 64;
+      }
+    });
+    for (const auto& p : stream) sw.process(p);
+    r.series = sw.delivered();
+    r.dropped_by_rule = sw.dropped_by_rule();
+    results.push_back(std::move(r));
+  }
+
+  // --- forward: every packet crosses a 10 Mbps control channel -----------
+  {
+    E2EResult r;
+    r.mode = "forward";
+    Switch sw(kServer, kLinkMbps);
+    SlidingWindow window(hh_program().query, kHHWindow, 4);
+    constexpr double kCtrlBps = 10.0 * 1e6 / 8.0;  // bytes/sec
+    double ctrl_free_at = 0;
+    sw.set_mirror([&](const net::Packet& p, double now) {
+      // Serialization onto the control channel delays when the controller
+      // sees the packet (deep buffer: everything is eventually delivered,
+      // just late — the scalability failure the paper attributes to the
+      // forward-to-controller design).
+      const double tx = p.wire_len / kCtrlBps;
+      ctrl_free_at = std::max(ctrl_free_at, now) + tx;
+      r.controller_bytes += p.wire_len;
+      const double seen = ctrl_free_at;
+      window.on_packet(p);
+      if (r.detect_time >= 0) return;
+      Value v = window.eval_at({Value::ip(p.src_ip), Value::ip(p.dst_ip)});
+      if (v.defined() && v.as_double() > kHHBytesThreshold) {
+        r.detect_time = seen + kTiming.alert_latency;
+        r.block_time = r.detect_time + kTiming.install_latency;
+        sw.install_drop(p.src_ip, r.block_time);
+      }
+    });
+    for (const auto& p : stream) sw.process(p);
+    r.series = sw.delivered();
+    r.dropped_by_rule = sw.dropped_by_rule();
+    results.push_back(std::move(r));
+  }
+
+  // --- stats: poll switch byte counters every second ----------------------
+  {
+    E2EResult r;
+    r.mode = "stats";
+    Switch sw(kServer, kLinkMbps);
+    double next_poll = 1.0;
+    // Sliding 5 s window over polled cumulative counters.
+    std::map<uint32_t, std::vector<std::pair<double, uint64_t>>> history;
+    // The poll is evaluated lazily when packet time passes the poll time.
+    sw.set_mirror([&](const net::Packet& p, double now) {
+      while (now >= next_poll) {
+        for (const auto& [src, bytes] : sw.flow_bytes()) {
+          auto& h = history[src];
+          h.emplace_back(next_poll, bytes);
+          r.controller_bytes += 24;  // counter record in the poll reply
+          if (r.detect_time < 0) {
+            // Bytes within the trailing 5 s window.
+            uint64_t old = 0;
+            for (const auto& [t, b] : h) {
+              if (t <= next_poll - kHHWindow) old = b;
+            }
+            if (bytes - old > kHHBytesThreshold) {
+              r.detect_time = next_poll + kTiming.alert_latency;
+              r.block_time = r.detect_time + kTiming.install_latency;
+              sw.install_drop(src, r.block_time);
+            }
+          }
+        }
+        r.controller_bytes += 64;  // the poll request itself
+        next_poll += 1.0;
+      }
+    });
+    for (const auto& p : stream) sw.process(p);
+    r.series = sw.delivered();
+    r.dropped_by_rule = sw.dropped_by_rule();
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// ----------------------------------------------------------- Fig. 9c
+
+E2EResult run_voip_experiment() {
+  // One long 5 Mbps call from C2 (SIP signalling + RTP), iperf background
+  // from C1.  Policy: block the caller once media usage exceeds 18.75 MB
+  // (~30 s at 5 Mbps).
+  constexpr double kQuotaBytes = 18.75 * 1024 * 1024;
+  constexpr double kCallMbps = 5.0;
+  constexpr double kDuration = 60.0;
+
+  std::vector<net::Packet> call;
+  {
+    // SIP dialog: INVITE / 200 / ACK, then constant-rate RTP, no BYE (the
+    // call would run past the capture if not blocked).
+    trafficgen::SipConfig sip;
+    sip.n_users = 1;
+    sip.n_calls = 1;
+    sip.media_pkts_per_call = 0;
+    auto dialog = trafficgen::sip_trace(sip);
+    for (auto& p : dialog) {
+      p.src_ip = p.src_ip == 0x0a010000 ? kClient2 : kServer;
+      p.dst_ip = p.dst_ip == 0x0a010000 ? kClient2 : kServer;
+      call.push_back(std::move(p));
+    }
+    auto media =
+        trafficgen::iperf_trace(kClient2, kServer, 0.1, kDuration, kCallMbps,
+                                16384);
+    for (auto& p : media) {
+      p.proto = net::Proto::Udp;
+      p.tcp_flags = 0;
+      call.push_back(std::move(p));
+    }
+  }
+  auto background = trafficgen::iperf_trace(kClient1, kServer, 0.0, kDuration,
+                                            2.0);
+  auto stream = merge_streams({std::move(call), std::move(background)});
+
+  // Live per-caller media usage in NetQRE (the phase-split usage program is
+  // validated offline in the tests; enforcement needs a mid-call value).
+  auto prog = lang::compile_source(
+      "sfun int live_usage(IP x) = "
+      "filter(srcip == x, proto == 17, dstport >= 16384) >> count_size;",
+      "live_usage");
+  Engine engine(prog.query);
+
+  E2EResult result;
+  result.mode = "netqre";
+  Switch sw(kServer, kLinkMbps);
+  sw.set_mirror([&](const net::Packet& p, double now) {
+    if (!p.is_udp()) return;
+    engine.on_packet(p);
+    if (result.detect_time >= 0) return;
+    Value v = engine.eval_at({Value::ip(p.src_ip)});
+    if (v.defined() && v.as_double() > kQuotaBytes) {
+      result.detect_time = now + kTiming.alert_latency;
+      result.block_time = result.detect_time + kTiming.install_latency;
+      sw.install_drop(p.src_ip, result.block_time);
+    }
+  });
+  for (const auto& p : stream) sw.process(p);
+  result.series = sw.delivered();
+  result.dropped_by_rule = sw.dropped_by_rule();
+  return result;
+}
+
+// ------------------------------------------------------------- rendering
+
+std::string format_series(const E2EResult& result) {
+  std::ostringstream out;
+  out << "mode=" << result.mode;
+  if (result.detect_time >= 0) {
+    out << "  detect=" << result.detect_time
+        << "s  block=" << result.block_time << "s";
+  } else {
+    out << "  (no detection)";
+  }
+  out << "  controller_bytes=" << result.controller_bytes
+      << "  dropped_by_rule=" << result.dropped_by_rule << "\n";
+  out << "  t(s)";
+  for (const auto& [name, v] : result.series.mbps) out << "  " << name;
+  out << "\n";
+  const size_t n = result.series.buckets();
+  for (size_t b = 0; b < n; ++b) {
+    out << "  " << static_cast<double>(b) * result.series.interval;
+    for (const auto& [name, v] : result.series.mbps) {
+      out << "  " << (b < v.size() ? v[b] : 0.0);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace netqre::sdn

@@ -1,0 +1,40 @@
+// The three end-to-end enforcement experiments of §7.3 (Fig. 9), run on the
+// emulated SDN substrate: detection by a NetQRE runtime on a mirror port,
+// alert to the controller, drop-rule installation, and the resulting server
+// bandwidth over time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdn/simnet.hpp"
+
+namespace netqre::sdn {
+
+struct E2EResult {
+  std::string mode;        // "netqre", "forward", "stats"
+  BandwidthSeries series;  // server-side received bandwidth
+  double detect_time = -1;
+  double block_time = -1;
+  uint64_t controller_bytes = 0;  // monitoring traffic sent to controller
+  uint64_t dropped_by_rule = 0;
+};
+
+// Fig. 9a: C1 sends 1 Mbps iperf; C2 starts a SYN flood at t=7 s; the
+// NetQRE SYN-flood program (recent 5 s window) detects and blocks C2.
+E2EResult run_synflood_experiment();
+
+// Fig. 9b: heavy-hitter mitigation over a 5 s sliding window, comparing the
+// in-network NetQRE tap against forwarding all packets to the controller
+// ("forward") and polling switch counters every 1 s ("stats").
+std::vector<E2EResult> run_heavyhitter_experiment();
+
+// Fig. 9c: a 5 Mbps VoIP call is blocked once the caller's media usage
+// exceeds 18.75 MB; iperf background traffic shares the link.
+E2EResult run_voip_experiment();
+
+// Renders a result as aligned text columns (time, per-host Mbps) for the
+// bench output.
+std::string format_series(const E2EResult& result);
+
+}  // namespace netqre::sdn

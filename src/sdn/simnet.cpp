@@ -1,0 +1,73 @@
+#include "sdn/simnet.hpp"
+
+#include <algorithm>
+
+#include "net/ipv4.hpp"
+
+namespace netqre::sdn {
+
+void BandwidthSeries::record(const std::string& name, double ts,
+                             uint32_t bytes) {
+  auto& v = mbps[name];
+  const auto bucket = static_cast<size_t>(ts / interval);
+  if (v.size() <= bucket) v.resize(bucket + 1, 0.0);
+  v[bucket] += static_cast<double>(bytes) * 8.0 / 1e6 / interval;
+}
+
+size_t BandwidthSeries::buckets() const {
+  size_t n = 0;
+  for (const auto& [name, v] : mbps) n = std::max(n, v.size());
+  return n;
+}
+
+void Switch::install_drop(uint32_t src, double when) {
+  auto it = drop_rules_.find(src);
+  if (it == drop_rules_.end() || it->second > when) {
+    drop_rules_[src] = when;
+  }
+}
+
+bool Switch::process(const net::Packet& p) {
+  // Mirror before any rule/queue handling: the SPAN port sees the ingress.
+  if (mirror_) mirror_(p, p.ts);
+
+  if (auto it = drop_rules_.find(p.src_ip);
+      it != drop_rules_.end() && p.ts >= it->second) {
+    ++dropped_rule_;
+    return false;
+  }
+  if (p.dst_ip != server_ip_) return true;  // not on the measured link
+
+  // Token bucket refill (starts full: an idle link has its burst available).
+  if (last_refill_ < 0) {
+    last_refill_ = p.ts;
+    tokens_ = rate_bps_ / 8.0 * kBurstSeconds;
+  }
+  tokens_ = std::min(tokens_ + (p.ts - last_refill_) * rate_bps_ / 8.0,
+                     rate_bps_ / 8.0 * kBurstSeconds);
+  last_refill_ = p.ts;
+  if (tokens_ < p.wire_len) {
+    ++dropped_queue_;
+    return false;
+  }
+  tokens_ -= p.wire_len;
+  flow_bytes_[p.src_ip] += p.wire_len;
+  series_.record(net::format_ip(p.src_ip), p.ts, p.wire_len);
+  return true;
+}
+
+std::vector<net::Packet> merge_streams(
+    std::vector<std::vector<net::Packet>> streams) {
+  std::vector<net::Packet> out;
+  size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  out.reserve(total);
+  for (auto& s : streams) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
+  }
+  std::ranges::stable_sort(out, {}, &net::Packet::ts);
+  return out;
+}
+
+}  // namespace netqre::sdn

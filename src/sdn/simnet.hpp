@@ -1,0 +1,88 @@
+// Discrete-event SDN emulation substrate (§7.3).
+//
+// Stand-in for the paper's Mininet + POX testbed (DESIGN.md §3): hosts send
+// pre-generated packet streams through one OpenFlow-style switch with a
+// bandwidth-limited server link, a flow table whose drop rules the
+// controller installs at runtime, and a SPAN mirror port feeding a NetQRE
+// runtime.  Detection → alert → rule-install → traffic-drop causality and
+// timing are preserved; queueing is modeled with a token bucket.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netqre::sdn {
+
+// Per-interval received throughput, the series Fig. 9 plots.
+struct BandwidthSeries {
+  double interval = 0.5;  // seconds per bucket
+  // series[name][bucket] = Mbps received at the server from `name`.
+  std::map<std::string, std::vector<double>> mbps;
+
+  void record(const std::string& name, double ts, uint32_t bytes);
+  [[nodiscard]] size_t buckets() const;
+};
+
+// A monitoring attachment: sees mirrored packets, may ask the controller to
+// block a source.  `mirror(p)` returns an optional source IP to block.
+using MirrorFn = std::function<void(const net::Packet& p, double now)>;
+
+class Switch {
+ public:
+  // `server_ip`: packets destined there traverse the rate-limited link.
+  Switch(uint32_t server_ip, double link_mbps)
+      : server_ip_(server_ip), rate_bps_(link_mbps * 1e6) {}
+
+  void set_mirror(MirrorFn fn) { mirror_ = std::move(fn); }
+
+  // Installs a drop rule for `src` at time `when` (rules take effect for
+  // packets processed after `when`).
+  void install_drop(uint32_t src, double when);
+
+  // Processes one packet (packets must arrive in time order).  Returns true
+  // if it was delivered to the server.
+  bool process(const net::Packet& p);
+
+  [[nodiscard]] const BandwidthSeries& delivered() const { return series_; }
+  [[nodiscard]] BandwidthSeries& delivered() { return series_; }
+  [[nodiscard]] uint64_t dropped_by_rule() const { return dropped_rule_; }
+  [[nodiscard]] uint64_t dropped_by_queue() const { return dropped_queue_; }
+
+  // Byte counters per source, the `stats` alternative's poll target (§7.3).
+  [[nodiscard]] const std::map<uint32_t, uint64_t>& flow_bytes() const {
+    return flow_bytes_;
+  }
+
+ private:
+  uint32_t server_ip_;
+  double rate_bps_;
+  // Token bucket for the server link.
+  double tokens_ = 0;
+  double last_refill_ = -1;
+  static constexpr double kBurstSeconds = 0.02;
+
+  std::map<uint32_t, double> drop_rules_;  // src -> install time
+  MirrorFn mirror_;
+  BandwidthSeries series_;
+  std::map<uint32_t, uint64_t> flow_bytes_;
+  uint64_t dropped_rule_ = 0;
+  uint64_t dropped_queue_ = 0;
+};
+
+// Controller latencies, modeled after a local POX deployment.
+struct ControllerTiming {
+  double alert_latency = 0.020;   // runtime alert -> controller
+  double install_latency = 0.030; // controller -> switch rule installed
+};
+
+// Merges independently generated host streams into one time-ordered stream.
+std::vector<net::Packet> merge_streams(
+    std::vector<std::vector<net::Packet>> streams);
+
+}  // namespace netqre::sdn

@@ -1,0 +1,18 @@
+#include "sketch/sketch.hpp"
+
+#include <cmath>
+
+namespace netqre::sketch {
+
+double OpenSketchSuperSpreader::estimate(uint32_t src) const {
+  const size_t bank = net::mix64(src) % (bitmaps_.size() / bits_);
+  int zeros = 0;
+  for (int b = 0; b < bits_; ++b) {
+    if (!bitmaps_[bank * bits_ + b]) ++zeros;
+  }
+  if (zeros == 0) return static_cast<double>(bits_);
+  const double m = static_cast<double>(bits_);
+  return m * std::log(m / static_cast<double>(zeros));
+}
+
+}  // namespace netqre::sketch

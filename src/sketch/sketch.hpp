@@ -1,0 +1,138 @@
+// OpenSketch-style measurement pipeline (Fig. 7 comparison, [40]).
+//
+// Reimplementation of the sketches OpenSketch's software reference uses for
+// the two tasks the paper compares on: heavy hitter (count-min sketch +
+// reversible sketch for key recovery) and super spreader (per-source bitmap
+// banks with linear-counting estimation).  Default dimensions follow the
+// reference code's defaults (3 hash rows, 3072 counters).  The point of the
+// comparison is the throughput/memory trade-off: sketches hash multiple
+// times per packet into compact state, NetQRE keeps exact per-flow state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace netqre::sketch {
+
+class CountMinSketch {
+ public:
+  CountMinSketch(int rows = 3, int width = 3072)
+      : rows_(rows), width_(width), counters_(rows * width, 0) {}
+
+  void update(uint64_t key, uint64_t inc) {
+    for (int r = 0; r < rows_; ++r) {
+      counters_[r * width_ + slot(key, r)] += inc;
+    }
+  }
+
+  [[nodiscard]] uint64_t query(uint64_t key) const {
+    uint64_t best = ~uint64_t{0};
+    for (int r = 0; r < rows_; ++r) {
+      best = std::min(best, counters_[r * width_ + slot(key, r)]);
+    }
+    return best;
+  }
+
+  [[nodiscard]] size_t memory() const {
+    return counters_.size() * sizeof(uint64_t) + sizeof(*this);
+  }
+
+ private:
+  [[nodiscard]] size_t slot(uint64_t key, int row) const {
+    return net::mix64(key ^ (0x9e3779b97f4a7c15ull * (row + 1))) % width_;
+  }
+  int rows_;
+  int width_;
+  std::vector<uint64_t> counters_;
+};
+
+// Simplified reversible sketch (Schweller et al., as used by OpenSketch):
+// the key is split into byte groups, each hashed into a per-group table so
+// heavy keys can be reconstructed group-by-group.
+class ReversibleSketch {
+ public:
+  static constexpr int kGroups = 4;
+  static constexpr int kBuckets = 512;
+
+  void update(uint32_t key, uint64_t inc) {
+    for (int g = 0; g < kGroups; ++g) {
+      const uint8_t byte = static_cast<uint8_t>(key >> (8 * g));
+      tables_[g][bucket(byte, key, g)] += inc;
+    }
+  }
+
+  [[nodiscard]] uint64_t group_count(int group, uint8_t byte,
+                                     uint32_t key) const {
+    return tables_[group][bucket(byte, key, group)];
+  }
+
+  [[nodiscard]] size_t memory() const {
+    return kGroups * kBuckets * sizeof(uint64_t) + sizeof(*this);
+  }
+
+ private:
+  [[nodiscard]] static size_t bucket(uint8_t byte, uint32_t key, int group) {
+    // Mangle with the remaining key bits, mimicking the modular hashing of
+    // the reversible sketch.
+    return net::mix64((uint64_t{byte} << 32) ^ (key >> 8) ^
+                      (0x517cc1b727220a95ull * (group + 1))) %
+           kBuckets;
+  }
+  std::array<std::array<uint64_t, kBuckets>, kGroups> tables_{};
+};
+
+// Heavy hitter pipeline: count-min for byte counts + reversible sketch so
+// heavy flows can be identified without per-flow state.
+class OpenSketchHeavyHitter {
+ public:
+  void on_packet(const net::Packet& p) {
+    const uint64_t key = (uint64_t{p.src_ip} << 32) | p.dst_ip;
+    cm_.update(key, p.wire_len);
+    rev_.update(p.src_ip, p.wire_len);
+    rev_dst_.update(p.dst_ip, p.wire_len);
+  }
+  [[nodiscard]] uint64_t estimate(uint32_t src, uint32_t dst) const {
+    return cm_.query((uint64_t{src} << 32) | dst);
+  }
+  [[nodiscard]] size_t memory() const {
+    return cm_.memory() + rev_.memory() + rev_dst_.memory();
+  }
+
+ private:
+  CountMinSketch cm_;
+  ReversibleSketch rev_;
+  ReversibleSketch rev_dst_;
+};
+
+// Super spreader pipeline: hashed bitmap banks per source with linear
+// counting, plus a count-min over sources for the candidate filter.
+class OpenSketchSuperSpreader {
+ public:
+  OpenSketchSuperSpreader(int banks = 4096, int bits = 64)
+      : bits_(bits), bitmaps_(static_cast<size_t>(banks) * bits, false) {}
+
+  void on_packet(const net::Packet& p) {
+    cm_.update(p.src_ip, 1);
+    const size_t bank = net::mix64(p.src_ip) % (bitmaps_.size() / bits_);
+    const size_t bit =
+        net::mix64((uint64_t{p.src_ip} << 32) ^ p.dst_ip) % bits_;
+    bitmaps_[bank * bits_ + bit] = true;
+  }
+
+  // Linear-counting estimate of distinct destinations for `src`.
+  [[nodiscard]] double estimate(uint32_t src) const;
+
+  [[nodiscard]] size_t memory() const {
+    return bitmaps_.size() / 8 + cm_.memory() + sizeof(*this);
+  }
+
+ private:
+  int bits_;
+  std::vector<bool> bitmaps_;
+  CountMinSketch cm_;
+};
+
+}  // namespace netqre::sketch

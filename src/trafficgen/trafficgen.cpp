@@ -1,0 +1,484 @@
+#include "trafficgen/trafficgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/flow.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::trafficgen {
+namespace {
+
+using net::Packet;
+using net::Proto;
+using net::TcpFlags;
+
+Packet tcp_pkt(uint32_t src, uint32_t dst, uint16_t sport, uint16_t dport,
+               uint8_t flags, uint32_t seq, uint32_t ack, uint32_t len,
+               double ts) {
+  Packet p;
+  p.ts = ts;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.proto = Proto::Tcp;
+  p.tcp_flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.wire_len = len;
+  return p;
+}
+
+Packet udp_pkt(uint32_t src, uint32_t dst, uint16_t sport, uint16_t dport,
+               std::string payload, double ts) {
+  Packet p;
+  p.ts = ts;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.proto = Proto::Udp;
+  p.wire_len = static_cast<uint32_t>(42 + payload.size());
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- backbone
+
+BackboneStream::BackboneStream(const BackboneConfig& cfg) : cfg_(cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  flow_src_.resize(cfg.n_flows);
+  flow_dst_.resize(cfg.n_flows);
+  flow_sport_.resize(cfg.n_flows);
+  flow_dport_.resize(cfg.n_flows);
+  flow_udp_.resize(cfg.n_flows);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0b000000, 0xdfffffff);
+  std::uniform_int_distribution<uint16_t> port_dist(1024, 65535);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  static constexpr uint16_t kServices[] = {80, 443, 53, 25, 22, 5060};
+  for (uint32_t f = 0; f < cfg.n_flows; ++f) {
+    flow_src_[f] = ip_dist(rng);
+    flow_dst_[f] = ip_dist(rng);
+    flow_sport_[f] = port_dist(rng);
+    flow_dport_[f] = kServices[rng() % std::size(kServices)];
+    flow_udp_[f] = unit(rng) < cfg.udp_fraction ? 1 : 0;
+  }
+  // Zipf popularity CDF over flows.
+  flow_cdf_.resize(cfg.n_flows);
+  double total = 0;
+  for (uint32_t f = 0; f < cfg.n_flows; ++f) {
+    total += 1.0 / std::pow(static_cast<double>(f + 1), cfg.zipf_skew);
+    flow_cdf_[f] = total;
+  }
+  for (auto& v : flow_cdf_) v /= total;
+}
+
+Packet BackboneStream::packet(uint64_t index) const {
+  // Per-index deterministic randomness: hash of (seed, index).
+  const uint64_t h1 = net::mix64(cfg_.seed * 0x9e3779b97f4a7c15ull + index);
+  const uint64_t h2 = net::mix64(h1 ^ 0xc2b2ae3d27d4eb4full);
+  const double u = static_cast<double>(h1 >> 11) * 0x1.0p-53;
+
+  const auto it = std::lower_bound(flow_cdf_.begin(), flow_cdf_.end(), u);
+  const uint32_t f = static_cast<uint32_t>(it - flow_cdf_.begin());
+
+  Packet p;
+  p.ts = cfg_.start_ts + static_cast<double>(index) / cfg_.pps;
+  p.src_ip = flow_src_[f];
+  p.dst_ip = flow_dst_[f];
+  p.src_port = flow_sport_[f];
+  p.dst_port = flow_dport_[f];
+  p.proto = flow_udp_[f] ? Proto::Udp : Proto::Tcp;
+  // Bimodal sizes targeting the paper's 888 B mean: 40 B control packets
+  // and 1460 B data segments, roughly 40/60.
+  const bool small = (h2 & 0xff) < 0x67;  // ~40%
+  p.wire_len = small ? 40 : 1454;
+  if (p.proto == Proto::Tcp) {
+    p.seq = static_cast<uint32_t>(h2 >> 8);
+    p.ack_no = static_cast<uint32_t>(h2 >> 20);
+    p.tcp_flags = TcpFlags::kAck;
+    const uint8_t roll = static_cast<uint8_t>(h2 >> 40);
+    if (roll < 8) {
+      p.tcp_flags = TcpFlags::kSyn;  // ~3% connection setups
+    } else if (roll < 12) {
+      p.tcp_flags = TcpFlags::kFin | TcpFlags::kAck;
+    }
+  }
+  return p;
+}
+
+std::vector<Packet> backbone_trace(const BackboneConfig& cfg) {
+  BackboneStream stream(cfg);
+  std::vector<Packet> out;
+  out.reserve(cfg.n_packets);
+  for (uint64_t i = 0; i < cfg.n_packets; ++i) out.push_back(stream.packet(i));
+  return out;
+}
+
+// --------------------------------------------------------------- SYN flood
+
+std::vector<Packet> syn_flood_trace(const SynFloodConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0a000002, 0x0a00005f);
+  std::uniform_int_distribution<uint32_t> seq_dist;
+  std::uniform_int_distribution<uint16_t> port_dist(1024, 65535);
+
+  const uint32_t total = cfg.benign_handshakes + cfg.attack_handshakes;
+  const double step = cfg.duration / std::max(1u, total);
+  double ts = cfg.start_ts;
+
+  for (uint32_t i = 0; i < cfg.benign_handshakes; ++i) {
+    const uint32_t client = ip_dist(rng);
+    const uint16_t sport = port_dist(rng);
+    const uint32_t cseq = seq_dist(rng);
+    const uint32_t sseq = seq_dist(rng);
+    out.push_back(tcp_pkt(client, cfg.server_ip, sport, 80, TcpFlags::kSyn,
+                          cseq, 0, 60, ts));
+    out.push_back(tcp_pkt(cfg.server_ip, client, 80, sport,
+                          TcpFlags::kSyn | TcpFlags::kAck, sseq, cseq + 1, 60,
+                          ts + 1e-4));
+    out.push_back(tcp_pkt(client, cfg.server_ip, sport, 80, TcpFlags::kAck,
+                          cseq + 1, sseq + 1, 52, ts + 2e-4));
+    ts += step;
+  }
+  for (uint32_t i = 0; i < cfg.attack_handshakes; ++i) {
+    const uint16_t sport = port_dist(rng);
+    const uint32_t cseq = seq_dist(rng);
+    const uint32_t sseq = seq_dist(rng);
+    out.push_back(tcp_pkt(cfg.attacker_ip, cfg.server_ip, sport, 80,
+                          TcpFlags::kSyn, cseq, 0, 60, ts));
+    out.push_back(tcp_pkt(cfg.server_ip, cfg.attacker_ip, 80, sport,
+                          TcpFlags::kSyn | TcpFlags::kAck, sseq, cseq + 1, 60,
+                          ts + 1e-4));
+    // No completing ACK: the half-open handshake the query counts.
+    ts += step;
+  }
+  std::ranges::sort(out, {}, &Packet::ts);
+  return out;
+}
+
+// --------------------------------------------------------------- Slowloris
+
+std::vector<Packet> slowloris_trace(const SlowlorisConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0a000100, 0x0a0001ff);
+  std::uniform_int_distribution<uint16_t> port_dist(1024, 65535);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  auto connection = [&](bool slow) {
+    const uint32_t client = ip_dist(rng);
+    const uint16_t sport = port_dist(rng);
+    const double t0 = unit(rng) * cfg.duration * 0.2;
+    uint32_t seq = static_cast<uint32_t>(rng());
+    out.push_back(tcp_pkt(client, cfg.server_ip, sport, 80, TcpFlags::kSyn,
+                          seq, 0, 60, t0));
+    seq += 1;
+    if (slow) {
+      // Attacker: a handful of tiny header fragments over the whole window;
+      // the connection never finishes.
+      const int n = 6 + static_cast<int>(rng() % 4);
+      for (int k = 0; k < n; ++k) {
+        const double t = t0 + (k + 1) * (cfg.duration * 0.8 / n);
+        out.push_back(tcp_pkt(client, cfg.server_ip, sport, 80,
+                              TcpFlags::kAck | TcpFlags::kPsh, seq, 1, 60,
+                              t));
+        seq += 8;
+      }
+    } else {
+      // Normal client: a burst of full-size segments finishing quickly.
+      const int n = 20 + static_cast<int>(rng() % 20);
+      for (int k = 0; k < n; ++k) {
+        const double t = t0 + 1e-3 * (k + 1);
+        out.push_back(tcp_pkt(client, cfg.server_ip, sport, 80,
+                              TcpFlags::kAck, seq, 1, 1454, t));
+        seq += 1402;
+      }
+      out.push_back(
+          tcp_pkt(client, cfg.server_ip, sport, 80,
+                  TcpFlags::kFin | TcpFlags::kAck, seq, 1, 52,
+                  t0 + 1e-3 * (n + 2)));
+    }
+  };
+
+  for (uint32_t i = 0; i < cfg.normal_conns; ++i) connection(false);
+  for (uint32_t i = 0; i < cfg.slow_conns; ++i) connection(true);
+  std::ranges::sort(out, {}, &Packet::ts);
+  return out;
+}
+
+// --------------------------------------------------------------- TLS reneg
+
+namespace {
+
+std::string tls_client_hello() {
+  std::string rec;
+  rec += '\x16';              // handshake record
+  rec += '\x03';
+  rec += '\x03';              // TLS 1.2
+  rec += '\x00';
+  rec += '\x2a';              // length
+  rec += '\x01';              // ClientHello
+  rec.append(41, '\x00');     // truncated body
+  return rec;
+}
+
+std::string tls_app_data(size_t n) {
+  std::string rec;
+  rec += '\x17';  // application data
+  rec += '\x03';
+  rec += '\x03';
+  rec += static_cast<char>(n >> 8);
+  rec += static_cast<char>(n & 0xff);
+  rec.append(n, 'x');
+  return rec;
+}
+
+}  // namespace
+
+std::vector<Packet> tls_reneg_trace(const TlsRenegConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0a000002, 0x0a00005f);
+  std::uniform_int_distribution<uint16_t> port_dist(1024, 65535);
+  double ts = 0.0;
+
+  auto tls_pkt = [&](uint32_t src, uint16_t sport, std::string payload,
+                     uint32_t seq) {
+    Packet p = tcp_pkt(src, cfg.server_ip, sport, 443,
+                       TcpFlags::kAck | TcpFlags::kPsh, seq, 1,
+                       static_cast<uint32_t>(54 + payload.size()), ts);
+    p.payload = std::move(payload);
+    ts += 0.001;
+    return p;
+  };
+
+  for (uint32_t c = 0; c < cfg.normal_conns; ++c) {
+    const uint32_t client = ip_dist(rng);
+    const uint16_t sport = port_dist(rng);
+    uint32_t seq = static_cast<uint32_t>(rng());
+    out.push_back(tls_pkt(client, sport, tls_client_hello(), seq));
+    for (int k = 0; k < 5; ++k) {
+      out.push_back(tls_pkt(client, sport, tls_app_data(256), seq += 300));
+    }
+  }
+  // One attacker connection renegotiating over and over.
+  const uint16_t asport = port_dist(rng);
+  uint32_t aseq = static_cast<uint32_t>(rng());
+  for (uint32_t k = 0; k < cfg.attacker_renegs + 1; ++k) {
+    out.push_back(tls_pkt(cfg.attacker_ip, asport, tls_client_hello(),
+                          aseq += 60));
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------- SIP
+
+std::string sip_user_name(uint32_t user_index) {
+  return "sip:user" + std::to_string(user_index) + "@example.com";
+}
+
+std::vector<Packet> sip_trace(const SipConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  double ts = cfg.start_ts;
+
+  auto sip_msg = [&](const std::string& first_line, const std::string& from,
+                     const std::string& to, const std::string& call_id,
+                     const std::string& body = "") {
+    std::string msg = first_line + "\r\n";
+    msg += "Via: SIP/2.0/UDP proxy.example.com\r\n";
+    msg += "From: " + from + "\r\n";
+    msg += "To: " + to + "\r\n";
+    msg += "Call-ID: " + call_id + "\r\n";
+    msg += "CSeq: 1 INVITE\r\n";
+    if (!body.empty()) {
+      msg += "Content-Type: application/sdp\r\n";
+      msg += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    msg += "\r\n" + body;
+    return msg;
+  };
+
+  for (uint32_t call = 0; call < cfg.n_calls; ++call) {
+    const uint32_t user = call % cfg.n_users;
+    const uint32_t caller_ip = 0x0a010000 + user;         // 10.1.0.x
+    const uint32_t callee_ip = 0x0a020000 + (call % 97);  // 10.2.0.x
+    const std::string caller = sip_user_name(user);
+    const std::string callee =
+        "sip:peer" + std::to_string(call % 97) + "@example.com";
+    const std::string call_id =
+        "call-" + std::to_string(call) + "-" + std::to_string(rng() % 100000);
+    const uint16_t media_port = static_cast<uint16_t>(16384 + (call % 8192) * 2);
+
+    const std::string sdp =
+        "v=0\r\no=- 0 0 IN IP4 " + net::format_ip(caller_ip) +
+        "\r\nm=audio " + std::to_string(media_port) + " RTP/AVP 0\r\n";
+
+    // init phase: INVITE, 200 OK, ACK.
+    out.push_back(udp_pkt(caller_ip, callee_ip, 5060, 5060,
+                          sip_msg("INVITE " + callee + " SIP/2.0", caller,
+                                  callee, call_id, sdp),
+                          ts));
+    ts += 0.002;
+    out.push_back(udp_pkt(callee_ip, caller_ip, 5060, 5060,
+                          sip_msg("SIP/2.0 200 OK", caller, callee, call_id,
+                                  sdp),
+                          ts));
+    ts += 0.002;
+    out.push_back(udp_pkt(caller_ip, callee_ip, 5060, 5060,
+                          sip_msg("ACK " + callee + " SIP/2.0", caller,
+                                  callee, call_id),
+                          ts));
+    ts += 0.002;
+
+    // call phase: RTP on the negotiated media ports.
+    for (uint32_t k = 0; k < cfg.media_pkts_per_call; ++k) {
+      const bool forward = (k % 2) == 0;
+      std::string rtp(cfg.media_payload, '\0');
+      rtp[0] = '\x80';  // RTP v2
+      out.push_back(udp_pkt(forward ? caller_ip : callee_ip,
+                            forward ? callee_ip : caller_ip, media_port,
+                            media_port, std::move(rtp), ts));
+      ts += 0.0002;
+    }
+
+    // end phase: BYE.
+    out.push_back(udp_pkt(caller_ip, callee_ip, 5060, 5060,
+                          sip_msg("BYE " + callee + " SIP/2.0", caller,
+                                  callee, call_id),
+                          ts));
+    ts += cfg.call_spacing;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------- DNS
+
+namespace {
+
+// Minimal DNS wire message with one question.
+std::string dns_message(uint16_t id, const std::string& qname, uint16_t qtype,
+                        bool response, int answers, size_t pad) {
+  std::string m;
+  auto put16 = [&](uint16_t v) {
+    m += static_cast<char>(v >> 8);
+    m += static_cast<char>(v & 0xff);
+  };
+  put16(id);
+  put16(response ? 0x8180 : 0x0100);
+  put16(1);                                   // QDCOUNT
+  put16(static_cast<uint16_t>(answers));      // ANCOUNT
+  put16(0);
+  put16(0);
+  size_t pos = 0;
+  while (pos < qname.size()) {
+    size_t dot = qname.find('.', pos);
+    if (dot == std::string::npos) dot = qname.size();
+    m += static_cast<char>(dot - pos);
+    m += qname.substr(pos, dot - pos);
+    pos = dot + 1;
+  }
+  m += '\0';
+  put16(qtype);
+  put16(1);  // IN
+  m.append(pad, 'x');  // fake answer section payload (amplification bulk)
+  return m;
+}
+
+}  // namespace
+
+std::vector<Packet> dns_trace(const DnsConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0a000002, 0x0a00003f);
+  const uint32_t resolver = 0x08080808;
+  double ts = 0.0;
+
+  for (uint32_t i = 0; i < cfg.normal_queries; ++i) {
+    const uint32_t client = ip_dist(rng);
+    const std::string name =
+        "host" + std::to_string(rng() % 50) + ".example.com";
+    out.push_back(udp_pkt(client, resolver, 40000 + i % 20000, 53,
+                          dns_message(i, name, 1, false, 0, 0), ts));
+    ts += 0.001;
+    out.push_back(udp_pkt(resolver, client, 53, 40000 + i % 20000,
+                          dns_message(i, name, 1, true, 1, 60), ts));
+    ts += 0.001;
+  }
+  for (uint32_t i = 0; i < cfg.tunnel_queries; ++i) {
+    // Exfiltration: 55+ byte random hex labels under tunnel.example.com.
+    std::string label;
+    for (int k = 0; k < 56; ++k) label += "0123456789abcdef"[rng() % 16];
+    out.push_back(udp_pkt(cfg.tunnel_client, resolver, 41000, 53,
+                          dns_message(1000 + i, label + ".t.example.com", 16,
+                                      false, 0, 0),
+                          ts));
+    ts += 0.002;
+  }
+  for (uint32_t i = 0; i < cfg.amplification_pairs; ++i) {
+    // Spoofed small ANY query "from" the victim, huge response to it.
+    out.push_back(udp_pkt(cfg.victim_ip, resolver, 42000, 53,
+                          dns_message(2000 + i, "big.example.com", 255, false,
+                                      0, 0),
+                          ts));
+    ts += 0.0005;
+    out.push_back(udp_pkt(resolver, cfg.victim_ip, 53, 42000,
+                          dns_message(2000 + i, "big.example.com", 255, true,
+                                      20, 3000),
+                          ts));
+    ts += 0.0005;
+  }
+  return out;
+}
+
+// -------------------------------------------------------------------- SMTP
+
+std::vector<Packet> smtp_trace(const SmtpConfig& cfg) {
+  std::vector<Packet> out;
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_int_distribution<uint32_t> ip_dist(0x0a000002, 0x0a00004f);
+  const uint32_t mail_server = 0x0a0000fe;
+  double ts = 0.0;
+
+  for (uint32_t i = 0; i < cfg.n_mails; ++i) {
+    const bool spam = i < cfg.keyword_mails;
+    const uint32_t client = spam ? cfg.spammer_ip : ip_dist(rng);
+    std::string body = "From: a@b\r\nSubject: hello " + std::to_string(i) +
+                       "\r\n\r\nRegular message body number " +
+                       std::to_string(rng() % 1000) + ".";
+    if (spam) body += " Please find the " + cfg.keyword + " attached.";
+    Packet p = tcp_pkt(client, mail_server,
+                       static_cast<uint16_t>(2000 + i % 30000), 25,
+                       TcpFlags::kAck | TcpFlags::kPsh,
+                       static_cast<uint32_t>(rng()), 1,
+                       static_cast<uint32_t>(54 + body.size()), ts);
+    p.payload = std::move(body);
+    out.push_back(std::move(p));
+    ts += 0.01;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- iperf
+
+std::vector<Packet> iperf_trace(uint32_t src, uint32_t dst, double start,
+                                double duration, double mbps,
+                                uint16_t dport) {
+  std::vector<Packet> out;
+  constexpr uint32_t kPktBytes = 1454;
+  const double pps = mbps * 1e6 / 8.0 / kPktBytes;
+  const auto n = static_cast<uint64_t>(duration * pps);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(tcp_pkt(src, dst, 30000, dport, TcpFlags::kAck,
+                          static_cast<uint32_t>(i * 1402), 1, kPktBytes,
+                          start + static_cast<double>(i) / pps));
+  }
+  return out;
+}
+
+}  // namespace netqre::trafficgen

@@ -1,0 +1,143 @@
+// Synthetic workload generators — stand-ins for the paper's traces
+// (DESIGN.md §3): CAIDA backbone captures [7][2], SIPp VoIP replays [5],
+// the authors' SYN-flood generator, Slowloris clients, DNS attack traffic
+// and SMTP mail.  All generators are deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netqre::trafficgen {
+
+// ------------------------------------------------------------- backbone
+
+// CAIDA-like backbone mix: heavy-tailed (Zipf) flow popularity, ~888 B mean
+// packet size (the paper's trace), TCP-dominated with a UDP fraction,
+// monotone timestamps at `pps` packets/second.
+struct BackboneConfig {
+  uint64_t n_packets = 1'000'000;
+  uint32_t n_flows = 20'000;
+  double zipf_skew = 1.1;     // flow popularity skew
+  double pps = 620'000;       // paper: ~620k packets/sec
+  double udp_fraction = 0.15;
+  uint64_t seed = 1;
+  double start_ts = 1000.0;
+};
+
+std::vector<net::Packet> backbone_trace(const BackboneConfig& cfg);
+
+// Streaming variant for memory-conscious benchmarks: deterministic per-index
+// packet synthesis without materializing the trace.
+class BackboneStream {
+ public:
+  explicit BackboneStream(const BackboneConfig& cfg);
+  [[nodiscard]] uint64_t size() const { return cfg_.n_packets; }
+  net::Packet packet(uint64_t index) const;
+
+ private:
+  BackboneConfig cfg_;
+  std::vector<uint32_t> flow_src_, flow_dst_;
+  std::vector<uint16_t> flow_sport_, flow_dport_;
+  std::vector<uint8_t> flow_udp_;
+  std::vector<double> flow_cdf_;  // Zipf cumulative popularity
+};
+
+// -------------------------------------------------------------- attacks
+
+// Benign clients completing TCP handshakes plus an attacker spraying
+// SYN/SYN-ACK pairs that never complete (§4.2, §7.3).
+struct SynFloodConfig {
+  uint32_t benign_handshakes = 200;
+  uint32_t attack_handshakes = 2'000;
+  uint32_t attacker_ip = 0x0a000063;  // 10.0.0.99
+  uint32_t server_ip = 0x0a000001;    // 10.0.0.1
+  double start_ts = 0.0;
+  double duration = 5.0;
+  uint64_t seed = 7;
+};
+
+std::vector<net::Packet> syn_flood_trace(const SynFloodConfig& cfg);
+
+// Slowloris (§4.2): normal HTTP connections transfer quickly; attacker
+// connections trickle tiny segments for the whole capture.
+struct SlowlorisConfig {
+  uint32_t normal_conns = 100;
+  uint32_t slow_conns = 150;
+  uint32_t server_ip = 0x0a000001;
+  double duration = 30.0;
+  uint64_t seed = 11;
+};
+
+std::vector<net::Packet> slowloris_trace(const SlowlorisConfig& cfg);
+
+// SSL/TLS renegotiation attack (§1): normal HTTPS connections perform one
+// handshake; the attacker forces repeated renegotiations over a single
+// connection to exhaust server CPU.
+struct TlsRenegConfig {
+  uint32_t normal_conns = 50;
+  uint32_t attacker_renegs = 200;  // renegotiations on the attack connection
+  uint32_t attacker_ip = 0x0a000070;  // 10.0.0.112
+  uint32_t server_ip = 0x0a000001;
+  uint64_t seed = 41;
+};
+
+std::vector<net::Packet> tls_reneg_trace(const TlsRenegConfig& cfg);
+
+// ----------------------------------------------------------------- VoIP
+
+// SIPp-like call generator: INVITE / 200 OK / ACK over UDP 5060 with real
+// SIP headers (Call-ID, From, To), RTP media on a negotiated port pair, BYE
+// to tear down.  Matches the phase patterns of the VoIP queries (§4.3).
+struct SipConfig {
+  uint32_t n_users = 20;
+  uint32_t n_calls = 100;          // total calls across users
+  uint32_t media_pkts_per_call = 50;
+  uint32_t media_payload = 160;    // G.711-ish 20 ms frames
+  double call_spacing = 0.05;      // seconds between call setups
+  uint64_t seed = 23;
+  double start_ts = 0.0;
+};
+
+std::vector<net::Packet> sip_trace(const SipConfig& cfg);
+
+// The caller user name of call k, as it appears in the SIP From header.
+std::string sip_user_name(uint32_t user_index);
+
+// ------------------------------------------------------------------ DNS
+
+struct DnsConfig {
+  uint32_t normal_queries = 500;
+  uint32_t tunnel_queries = 100;  // long random subdomains from one host
+  uint32_t amplification_pairs = 100;  // small query, large spoofed response
+  uint32_t tunnel_client = 0x0a000042;  // 10.0.0.66
+  uint32_t victim_ip = 0x0a000007;      // 10.0.0.7
+  uint64_t seed = 31;
+};
+
+std::vector<net::Packet> dns_trace(const DnsConfig& cfg);
+
+// ----------------------------------------------------------------- SMTP
+
+struct SmtpConfig {
+  uint32_t n_mails = 200;
+  uint32_t keyword_mails = 40;  // mails carrying the watched keyword
+  std::string keyword = "invoice";
+  uint32_t spammer_ip = 0x0a000055;  // 10.0.0.85 sends the keyword mails
+  uint64_t seed = 37;
+};
+
+std::vector<net::Packet> smtp_trace(const SmtpConfig& cfg);
+
+// ------------------------------------------------------------- utilities
+
+// Constant-rate filler traffic between two hosts (iperf-like), for the SDN
+// experiments (§7.3).
+std::vector<net::Packet> iperf_trace(uint32_t src, uint32_t dst,
+                                     double start, double duration,
+                                     double mbps, uint16_t dport = 5001);
+
+}  // namespace netqre::trafficgen

@@ -1,0 +1,263 @@
+// End-to-end behavior of the Table-1 applications on their natural
+// workloads: DNS attacks, email keywords, connection lifetime, new
+// connections, traffic change, slowloris, and the full VoIP usage program.
+#include <gtest/gtest.h>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/window.hpp"
+#include "net/ipv4.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::Value;
+
+TEST(Apps, DnsTunnelDetectorFlagsTheTunnelClient) {
+  trafficgen::DnsConfig cfg;
+  auto trace = trafficgen::dns_trace(cfg);
+  Engine eng(apps::compile_app("dns_tunnel.nqre", "dns_long_queries").query);
+  for (const auto& p : trace) eng.on_packet(p);
+
+  EXPECT_EQ(eng.eval_at({Value::ip(cfg.tunnel_client)}).as_int(),
+            static_cast<int64_t>(cfg.tunnel_queries));
+  // Normal clients issue only short names.
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    if (static_cast<uint32_t>(key[0].as_int()) != cfg.tunnel_client) {
+      EXPECT_EQ(v.as_int(), 0);
+    }
+  });
+}
+
+TEST(Apps, DnsAmplificationByteRatio) {
+  trafficgen::DnsConfig cfg;
+  auto trace = trafficgen::dns_trace(cfg);
+  Engine resp(apps::compile_app("dns_amplification.nqre",
+                                "dns_resp_bytes").query);
+  Engine req(apps::compile_app("dns_amplification.nqre",
+                               "dns_req_bytes").query);
+  for (const auto& p : trace) {
+    resp.on_packet(p);
+    req.on_packet(p);
+  }
+  const Value key = Value::ip(cfg.victim_ip);
+  EXPECT_GT(resp.eval_at({key}).as_int(), 10 * req.eval_at({key}).as_int());
+}
+
+TEST(Apps, EmailKeywordCountsOnlyTheSpammer) {
+  trafficgen::SmtpConfig cfg;
+  auto trace = trafficgen::smtp_trace(cfg);
+  Engine eng(apps::compile_app("email_keywords.nqre", "keyword_pkts").query);
+  for (const auto& p : trace) eng.on_packet(p);
+  EXPECT_EQ(eng.eval_at({Value::ip(cfg.spammer_ip)}).as_int(),
+            static_cast<int64_t>(cfg.keyword_mails));
+
+  Engine total(apps::compile_app("email_keywords.nqre",
+                                 "total_keyword_pkts").query);
+  for (const auto& p : trace) total.on_packet(p);
+  EXPECT_EQ(total.eval().as_int(), static_cast<int64_t>(cfg.keyword_mails));
+}
+
+TEST(Apps, LifetimeMeasuresFirstToLastPacket) {
+  auto prog = apps::compile_app("lifetime.nqre", "lifetime");
+  Engine eng(prog.query);
+  auto mk = [](double ts) {
+    net::Packet p;
+    p.ts = ts;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.src_port = 10;
+    p.dst_port = 20;
+    p.proto = net::Proto::Tcp;
+    p.tcp_flags = net::TcpFlags::kAck;
+    p.wire_len = 100;
+    return p;
+  };
+  eng.on_packet(mk(10.0));
+  eng.on_packet(mk(11.5));
+  eng.on_packet(mk(14.25));
+  const net::Conn c = net::Conn::of(mk(0)).canonical();
+  EXPECT_NEAR(eng.eval_at({Value::conn(c)}).as_double(), 4.25, 1e-9);
+}
+
+TEST(Apps, NewConnsCountsSynOpeners) {
+  auto prog = apps::compile_app("new_conns.nqre", "new_conns");
+  Engine eng(prog.query);
+  trafficgen::SynFloodConfig cfg;
+  cfg.benign_handshakes = 12;
+  cfg.attack_handshakes = 0;
+  for (const auto& p : trafficgen::syn_flood_trace(cfg)) eng.on_packet(p);
+  EXPECT_EQ(eng.eval().as_int(), 12);
+}
+
+TEST(Apps, TrafficChangeWindowedByteCounts) {
+  auto prog = apps::compile_app("traffic_change.nqre", "recent_src_bytes");
+  ASSERT_EQ(prog.window, lang::CompiledProgram::Window::Recent);
+  core::SlidingWindow win(prog.query, prog.window_seconds, 4);
+  // Source 7 sends 1000 B/s; after 20 s a recent-5s query sees ~5000 B.
+  for (int t = 0; t < 20; ++t) {
+    net::Packet p;
+    p.ts = t;
+    p.src_ip = 7;
+    p.dst_ip = 2;
+    p.proto = net::Proto::Udp;
+    p.wire_len = 1000;
+    win.on_packet(p);
+  }
+  const double v = win.eval_at({Value::ip(7)}).as_double();
+  EXPECT_GE(v, 2000.0);   // at least half a window covered
+  EXPECT_LE(v, 6000.0);   // never more than the full window
+}
+
+TEST(Apps, SlowlorisAvgRateFlagsAttack) {
+  auto prog = apps::compile_app("slowloris.nqre", "avg_rate");
+  trafficgen::SlowlorisConfig clean_cfg;
+  clean_cfg.normal_conns = 40;
+  clean_cfg.slow_conns = 0;
+  trafficgen::SlowlorisConfig attack_cfg;
+  attack_cfg.normal_conns = 40;
+  attack_cfg.slow_conns = 120;
+
+  Engine clean(prog.query), attacked(prog.query);
+  for (const auto& p : trafficgen::slowloris_trace(clean_cfg)) {
+    clean.on_packet(p);
+  }
+  for (const auto& p : trafficgen::slowloris_trace(attack_cfg)) {
+    attacked.on_packet(p);
+  }
+  ASSERT_TRUE(clean.eval().defined());
+  ASSERT_TRUE(attacked.eval().defined());
+  EXPECT_LT(attacked.eval().as_double(), clean.eval().as_double() / 2);
+}
+
+TEST(Apps, VoipUsageCountsOnlyCallPhaseBytes) {
+  // 2 users, 4 calls, 10 media packets each: usage must equal the media
+  // bytes only (SIP signalling excluded), split evenly between users.
+  trafficgen::SipConfig cfg;
+  cfg.n_users = 2;
+  cfg.n_calls = 4;
+  cfg.media_pkts_per_call = 10;
+  cfg.media_payload = 160;
+  auto trace = trafficgen::sip_trace(cfg);
+
+  uint64_t media_bytes = 0;
+  for (const auto& p : trace) {
+    if (p.is_udp() && p.src_port != 5060) media_bytes += p.wire_len;
+  }
+
+  Engine eng(apps::compile_app("voip_usage.nqre", "usage_per_user").query);
+  for (const auto& p : trace) eng.on_packet(p);
+
+  uint64_t reported = 0;
+  int users = 0;
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    reported += static_cast<uint64_t>(v.as_int());
+    ++users;
+    EXPECT_EQ(key[0].as_str().substr(0, 8), "sip:user");
+  });
+  EXPECT_EQ(users, 2);
+  EXPECT_EQ(reported, media_bytes);
+}
+
+TEST(Apps, VoipCallsPerUser) {
+  trafficgen::SipConfig cfg;
+  cfg.n_users = 4;
+  cfg.n_calls = 10;  // users 0,1 get 3 calls; users 2,3 get 2
+  cfg.media_pkts_per_call = 2;
+  auto trace = trafficgen::sip_trace(cfg);
+  Engine eng(apps::compile_app("voip_count.nqre", "calls_per_user").query);
+  for (const auto& p : trace) eng.on_packet(p);
+  EXPECT_EQ(eng.eval_at({Value::str(trafficgen::sip_user_name(0))}).as_int(),
+            3);
+  EXPECT_EQ(eng.eval_at({Value::str(trafficgen::sip_user_name(3))}).as_int(),
+            2);
+}
+
+TEST(Apps, SslRenegotiationFlagsTheAttacker) {
+  trafficgen::TlsRenegConfig cfg;
+  cfg.normal_conns = 20;
+  cfg.attacker_renegs = 40;
+  auto trace = trafficgen::tls_reneg_trace(cfg);
+  Engine eng(apps::compile_app("ssl_renegotiation.nqre",
+                               "tls_handshakes").query);
+  for (const auto& p : trace) eng.on_packet(p);
+  int attackers = 0;
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    const net::Conn& c = key[0].as_conn();
+    const bool is_attacker =
+        c.src_ip == cfg.attacker_ip || c.dst_ip == cfg.attacker_ip;
+    if (v.as_int() > 10) {
+      ++attackers;
+      EXPECT_TRUE(is_attacker);
+      EXPECT_EQ(v.as_int(), 41);  // initial handshake + 40 renegotiations
+    } else {
+      EXPECT_EQ(v.as_int(), 1);  // normal connections handshake once
+    }
+  });
+  EXPECT_EQ(attackers, 1);
+}
+
+TEST(Apps, SslRenegotiationAlertFires) {
+  trafficgen::TlsRenegConfig cfg;
+  cfg.normal_conns = 5;
+  cfg.attacker_renegs = 30;
+  auto trace = trafficgen::tls_reneg_trace(cfg);
+  Engine eng(apps::compile_app("ssl_renegotiation.nqre",
+                               "ssl_reneg_alert").query);
+  std::vector<std::string> fired;
+  eng.set_action_handler([&](const Value& v, const net::Packet&) {
+    fired.push_back(v.to_string());
+  });
+  for (const auto& p : trace) eng.on_packet(p);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_NE(fired[0].find("10.0.0.112"), std::string::npos);
+}
+
+TEST(Apps, DupAcksPerConnection) {
+  auto prog = apps::compile_app("dup_acks.nqre", "dup_acks");
+  Engine eng(prog.query);
+  auto ackpkt = [](uint32_t ackno, uint16_t sport = 10) {
+    net::Packet p;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.src_port = sport;
+    p.dst_port = 80;
+    p.proto = net::Proto::Tcp;
+    p.tcp_flags = net::TcpFlags::kAck;
+    p.ack_no = ackno;
+    p.wire_len = 52;
+    return p;
+  };
+  // Three duplicate groups on ackno 100 (x3), 200 (x2), 300 (x1).
+  for (int i = 0; i < 3; ++i) eng.on_packet(ackpkt(100));
+  for (int i = 0; i < 2; ++i) eng.on_packet(ackpkt(200));
+  eng.on_packet(ackpkt(300));
+  EXPECT_EQ(eng.eval().as_int(), 2);  // acknos 100 and 200 are duplicated
+}
+
+TEST(Apps, CompletedFlowsIgnoresRstOnlyFlows) {
+  auto prog = apps::compile_app("completed_flows.nqre", "completed_flows");
+  Engine eng(prog.query);
+  auto tcp = [](uint16_t sport, uint8_t flags) {
+    net::Packet p;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.src_port = sport;
+    p.dst_port = 80;
+    p.proto = net::Proto::Tcp;
+    p.tcp_flags = flags;
+    p.wire_len = 60;
+    return p;
+  };
+  // Flow A: full SYN..FIN.  Flow B: SYN then RST (never completes).
+  eng.on_packet(tcp(1000, net::TcpFlags::kSyn));
+  eng.on_packet(tcp(1001, net::TcpFlags::kSyn));
+  eng.on_packet(tcp(1001, net::TcpFlags::kRst));
+  eng.on_packet(tcp(1000, net::TcpFlags::kFin | net::TcpFlags::kAck));
+  EXPECT_EQ(eng.eval().as_int(), 1);
+}
+
+}  // namespace
+}  // namespace netqre

@@ -1,0 +1,168 @@
+// Core smoke tests: predicates, regex→DFA, builder combinators, engine runs
+// of the paper's flagship queries (heavy hitter, super spreader, counting).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/engine.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::core {
+namespace {
+
+using net::make_ip;
+using net::Packet;
+using net::Proto;
+using net::TcpFlags;
+
+Packet pkt(uint32_t src, uint32_t dst, uint32_t len = 100,
+           uint8_t flags = TcpFlags::kAck) {
+  Packet p;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = 10;
+  p.dst_port = 20;
+  p.proto = Proto::Tcp;
+  p.tcp_flags = flags;
+  p.wire_len = len;
+  return p;
+}
+
+TEST(Regex, SingleAnyPacket) {
+  QueryBuilder b;
+  auto e = b.match(Re::any());
+  Engine eng(b.finish(e));
+  EXPECT_FALSE(eng.eval().as_bool());  // empty stream does not match "."
+  eng.on_packet(pkt(1, 2));
+  EXPECT_TRUE(eng.eval().as_bool());
+  eng.on_packet(pkt(1, 2));
+  EXPECT_FALSE(eng.eval().as_bool());  // two packets no longer match "."
+}
+
+TEST(Regex, LiteralPredicate) {
+  QueryBuilder b;
+  auto f = b.atom_eq("srcip", Value::ip(make_ip(1, 0, 0, 1)));
+  auto e = b.match(Re::concat(Re::all(), Re::pred_of(f)));  // /.*[p]/
+  Engine eng(b.finish(e));
+  eng.on_packet(pkt(make_ip(9, 9, 9, 9), 2));
+  EXPECT_FALSE(eng.eval().as_bool());
+  eng.on_packet(pkt(make_ip(1, 0, 0, 1), 2));
+  EXPECT_TRUE(eng.eval().as_bool());
+  eng.on_packet(pkt(make_ip(9, 9, 9, 9), 2));
+  EXPECT_FALSE(eng.eval().as_bool());
+}
+
+TEST(Builder, CountCountsPackets) {
+  QueryBuilder b;
+  Engine eng(b.finish(b.count()));
+  EXPECT_EQ(eng.eval().as_int(), 0);
+  for (int i = 0; i < 7; ++i) eng.on_packet(pkt(1, 2));
+  EXPECT_EQ(eng.eval().as_int(), 7);
+}
+
+TEST(Builder, CountSizeSumsWireBytes) {
+  QueryBuilder b;
+  Engine eng(b.finish(b.count_size()));
+  eng.on_packet(pkt(1, 2, 100));
+  eng.on_packet(pkt(1, 2, 250));
+  EXPECT_EQ(eng.eval().as_int(), 350);
+}
+
+// hh(x, y) = filter(srcip==x && dstip==y) >> count_size  (§4.1)
+TEST(Engine, HeavyHitterPerFlowBytes) {
+  QueryBuilder b;
+  int x = b.new_param("x", Type::Ip);
+  int y = b.new_param("y", Type::Ip);
+  auto pred = Formula::conj(b.atom_param("srcip", x),
+                            b.atom_param("dstip", y));
+  auto hh = b.comp(b.filter(pred), b.count_size());
+  auto top = b.aggregate(AggOp::Sum, {x, y}, std::move(hh));
+  Engine eng(b.finish(top, {"x", "y"}));
+
+  eng.on_packet(pkt(1, 2, 100));
+  eng.on_packet(pkt(1, 3, 50));
+  eng.on_packet(pkt(1, 2, 200));
+  eng.on_packet(pkt(4, 2, 25));
+
+  EXPECT_EQ(eng.eval_at({Value::ip(1), Value::ip(2)}).as_int(), 300);
+  EXPECT_EQ(eng.eval_at({Value::ip(1), Value::ip(3)}).as_int(), 50);
+  EXPECT_EQ(eng.eval_at({Value::ip(4), Value::ip(2)}).as_int(), 25);
+  EXPECT_EQ(eng.eval_at({Value::ip(7), Value::ip(8)}).as_int(), 0);
+  EXPECT_EQ(eng.eval().as_int(), 375);  // sum over observed flows
+
+  int flows = 0;
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    ++flows;
+    if (key[0].as_int() == 1 && key[1].as_int() == 2) {
+      EXPECT_EQ(v.as_int(), 300);
+    }
+  });
+  EXPECT_EQ(flows, 3);
+}
+
+// ss(x) = sum{ exist_pair(x,y) ? 1 : 0 | IP y }  (§4.1)
+TEST(Engine, SuperSpreaderCountsDistinctDsts) {
+  QueryBuilder b;
+  int x = b.new_param("x", Type::Ip);
+  int y = b.new_param("y", Type::Ip);
+  auto pred = Formula::conj(b.atom_param("srcip", x),
+                            b.atom_param("dstip", y));
+  auto inner = b.exists(std::move(pred));
+  auto per_src = b.aggregate(AggOp::Sum, {y}, std::move(inner));
+  auto top = b.aggregate(AggOp::Max, {x}, std::move(per_src));
+  Engine eng(b.finish(top, {"x"}));
+
+  eng.on_packet(pkt(1, 2));
+  eng.on_packet(pkt(1, 3));
+  eng.on_packet(pkt(1, 3));  // duplicate destination
+  eng.on_packet(pkt(1, 4));
+  eng.on_packet(pkt(5, 2));
+
+  EXPECT_EQ(eng.eval_at({Value::ip(1)}).as_int(), 3);
+  EXPECT_EQ(eng.eval_at({Value::ip(5)}).as_int(), 1);
+  EXPECT_EQ(eng.eval().as_int(), 3);  // max over sources
+}
+
+TEST(Engine, SplitCountsAfterLastSyn) {
+  // split(any?0, last_syn?count, sum): packets since the last SYN (§3.3).
+  QueryBuilder b;
+  auto syn1 = b.atom_eq("syn", Value::boolean(true));
+  Re last_syn = Re::concat(
+      Re::pred_of(syn1),
+      Re::star(Re::pred_of(Formula::negate(syn1))));
+  auto f = b.cond(Re::all(), b.constant(Value::integer(0)));
+  auto g = b.cond(last_syn, b.count());
+  Engine eng(b.finish(b.split(std::move(f), std::move(g), AggOp::Sum)));
+
+  eng.on_packet(pkt(1, 2));                          // no SYN yet: undef
+  EXPECT_FALSE(eng.eval().defined());
+  eng.on_packet(pkt(1, 2, 100, TcpFlags::kSyn));     // SYN
+  EXPECT_EQ(eng.eval().as_int(), 1);
+  eng.on_packet(pkt(1, 2));
+  eng.on_packet(pkt(1, 2));
+  EXPECT_EQ(eng.eval().as_int(), 3);
+  eng.on_packet(pkt(1, 2, 100, TcpFlags::kSyn));     // later SYN resets
+  EXPECT_EQ(eng.eval().as_int(), 1);
+}
+
+TEST(Engine, StreamingMatchesReference) {
+  // Streaming vs specification semantics on the heavy-hitter query.
+  QueryBuilder b;
+  int x = b.new_param("x", Type::Ip);
+  int y = b.new_param("y", Type::Ip);
+  auto pred = Formula::conj(b.atom_param("srcip", x),
+                            b.atom_param("dstip", y));
+  auto top = b.aggregate(AggOp::Sum, {x, y},
+                         b.comp(b.filter(pred), b.count_size()));
+  CompiledQuery q = b.finish(top);
+
+  std::vector<Packet> stream = {pkt(1, 2, 10), pkt(1, 3, 20), pkt(1, 2, 30),
+                                pkt(2, 2, 40), pkt(1, 3, 50)};
+  Engine eng(q);
+  eng.on_stream(stream);
+  Valuation val(q.n_slots, Value::undef());
+  Value ref = q.root->ref_eval(stream, val);
+  EXPECT_EQ(eng.eval().as_int(), ref.as_int());
+}
+
+}  // namespace
+}  // namespace netqre::core

@@ -1,0 +1,221 @@
+// Language front-end tests: lexer, parser, lowering, and compile+run of the
+// full Table-1 application suite.
+#include <gtest/gtest.h>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "lang/lexer.hpp"
+#include "lang/lower.hpp"
+#include "lang/parser.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::lang {
+namespace {
+
+using core::Engine;
+using core::Value;
+using net::make_ip;
+using net::Packet;
+using net::Proto;
+using net::TcpFlags;
+
+Packet tcp(uint32_t src, uint32_t dst, uint8_t flags = TcpFlags::kAck,
+           uint32_t seq = 0, uint32_t ack = 0, uint32_t len = 100) {
+  Packet p;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = 1000;
+  p.dst_port = 80;
+  p.proto = Proto::Tcp;
+  p.tcp_flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.wire_len = len;
+  return p;
+}
+
+TEST(Lexer, TokenKinds) {
+  auto toks = lex("sfun int f(IP x) = /.*[srcip == 1.0.0.1]/ ? 2.5 : 3;");
+  ASSERT_GT(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "sfun");
+  // the IP literal
+  bool saw_ip = false, saw_double = false;
+  for (const auto& t : toks) {
+    if (t.kind == Tok::Ip) {
+      saw_ip = true;
+      EXPECT_EQ(t.int_value, make_ip(1, 0, 0, 1));
+    }
+    if (t.kind == Tok::Double) {
+      saw_double = true;
+      EXPECT_DOUBLE_EQ(t.dbl_value, 2.5);
+    }
+  }
+  EXPECT_TRUE(saw_ip);
+  EXPECT_TRUE(saw_double);
+}
+
+TEST(Lexer, CommentsAndStrings) {
+  auto toks = lex("# a comment line\nx \"hi\\nthere\" // trailing\ny");
+  ASSERT_EQ(toks.size(), 4u);  // x, string, y, End
+  EXPECT_EQ(toks[1].kind, Tok::Str);
+  EXPECT_EQ(toks[1].text, "hi\nthere");
+  EXPECT_EQ(toks[2].text, "y");
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(lex("\"unterminated"), LexError);
+  EXPECT_THROW(lex("1.2.3.4.5"), LexError);
+  EXPECT_THROW(lex("~"), LexError);
+}
+
+TEST(Parser, SfunWithParams) {
+  Program p = parse_program(
+      "sfun int hh(IP x, IP y) = filter(srcip == x, dstip == y) >> count;");
+  ASSERT_EQ(p.sfuns.size(), 1u);
+  EXPECT_EQ(p.sfuns[0].name, "hh");
+  ASSERT_EQ(p.sfuns[0].params.size(), 2u);
+  EXPECT_EQ(p.sfuns[0].params[1].second, "y");
+  EXPECT_EQ(p.sfuns[0].body->kind, Exp::Kind::Comp);
+}
+
+TEST(Parser, RegexPostfixAndAlt) {
+  ExpPtr e = parse_expression("/[syn == 1] [syn == 0]* | .+/ ? 1");
+  ASSERT_EQ(e->kind, Exp::Kind::Cond);
+  EXPECT_EQ(e->kids[0]->kind, Exp::Kind::Regex);
+  EXPECT_EQ(e->kids[0]->re.kind, ReExp::Kind::Alt);
+}
+
+TEST(Parser, AggBinders) {
+  ExpPtr e = parse_expression("sum{ 1 | Conn c, string id }");
+  ASSERT_EQ(e->kind, Exp::Kind::Agg);
+  ASSERT_EQ(e->binders.size(), 2u);
+  EXPECT_EQ(e->binders[0].first, "Conn");
+  EXPECT_EQ(e->binders[1].second, "id");
+}
+
+TEST(Parser, SplitNary) {
+  ExpPtr e = parse_expression("split(a, b, c, sum)");
+  ASSERT_EQ(e->kind, Exp::Kind::Split);
+  EXPECT_EQ(e->kids.size(), 3u);
+}
+
+TEST(Parser, ErrorsAreReported) {
+  EXPECT_THROW(parse_program("sfun int f = ;"), ParseError);
+  EXPECT_THROW(parse_program("sfun badtype f = 1;"), ParseError);
+  EXPECT_THROW(parse_expression("iter(1)"), ParseError);
+}
+
+TEST(Lower, CountFromLanguage) {
+  auto prog = compile_source("sfun int my_count = count;", "my_count");
+  Engine eng(prog.query);
+  for (int i = 0; i < 5; ++i) eng.on_packet(tcp(1, 2));
+  EXPECT_EQ(eng.eval().as_int(), 5);
+}
+
+TEST(Lower, HeavyHitterFromLanguage) {
+  auto prog = apps::compile_app("heavy_hitter.nqre", "hh");
+  Engine eng(prog.query);
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 0, 100));
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 0, 150));
+  eng.on_packet(tcp(3, 4, TcpFlags::kAck, 0, 0, 70));
+  EXPECT_EQ(eng.eval_at({Value::ip(1), Value::ip(2)}).as_int(), 250);
+  EXPECT_EQ(eng.eval_at({Value::ip(3), Value::ip(4)}).as_int(), 70);
+}
+
+TEST(Lower, SuperSpreaderFromLanguage) {
+  auto prog = apps::compile_app("super_spreader.nqre", "ss");
+  Engine eng(prog.query);
+  eng.on_packet(tcp(1, 2));
+  eng.on_packet(tcp(1, 3));
+  eng.on_packet(tcp(1, 3));
+  eng.on_packet(tcp(9, 4));
+  EXPECT_EQ(eng.eval_at({Value::ip(1)}).as_int(), 2);
+  EXPECT_EQ(eng.eval_at({Value::ip(9)}).as_int(), 1);
+}
+
+TEST(Lower, CompletedFlowsFromLanguage) {
+  auto prog = apps::compile_app("completed_flows.nqre", "completed_flows");
+  Engine eng(prog.query);
+  auto flow = [&](uint16_t sport) {
+    Packet syn = tcp(1, 2, TcpFlags::kSyn);
+    syn.src_port = sport;
+    Packet data = tcp(1, 2, TcpFlags::kAck);
+    data.src_port = sport;
+    Packet fin = tcp(1, 2, TcpFlags::kFin | TcpFlags::kAck);
+    fin.src_port = sport;
+    eng.on_packet(syn);
+    eng.on_packet(data);
+    eng.on_packet(fin);
+  };
+  flow(1000);
+  flow(1001);
+  EXPECT_EQ(eng.eval().as_int(), 2);
+  // An opened-but-not-finished flow does not count.
+  Packet syn = tcp(1, 2, TcpFlags::kSyn);
+  syn.src_port = 1002;
+  eng.on_packet(syn);
+  EXPECT_EQ(eng.eval().as_int(), 2);
+}
+
+TEST(Lower, SynFloodFromLanguage) {
+  auto prog =
+      apps::compile_app("syn_flood.nqre", "incomplete_handshake_num");
+  Engine eng(prog.query);
+  // Complete handshake: SYN(seq=10), SYNACK(seq=20, ack=11), ACK(ack=21).
+  eng.on_packet(tcp(1, 2, TcpFlags::kSyn, 10, 0));
+  eng.on_packet(tcp(2, 1, TcpFlags::kSyn | TcpFlags::kAck, 20, 11));
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 11, 21));
+  EXPECT_EQ(eng.eval().as_int(), 0);
+  // Incomplete handshake: no final ACK.
+  eng.on_packet(tcp(1, 2, TcpFlags::kSyn, 50, 0));
+  eng.on_packet(tcp(2, 1, TcpFlags::kSyn | TcpFlags::kAck, 60, 51));
+  EXPECT_EQ(eng.eval().as_int(), 1);
+}
+
+TEST(Lower, DupAcksFromLanguage) {
+  auto prog = apps::compile_app("dup_acks.nqre", "dup_acks");
+  Engine eng(prog.query);
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 100));
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 100));  // dup of 100
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 200));
+  EXPECT_EQ(eng.eval().as_int(), 1);
+  eng.on_packet(tcp(1, 2, TcpFlags::kAck, 0, 200));  // dup of 200
+  EXPECT_EQ(eng.eval().as_int(), 2);
+}
+
+TEST(Lower, WindowSpecIsStripped) {
+  auto prog = apps::compile_app("traffic_change.nqre", "recent_src_bytes");
+  EXPECT_EQ(prog.window, CompiledProgram::Window::Recent);
+  EXPECT_DOUBLE_EQ(prog.window_seconds, 5.0);
+}
+
+TEST(Lower, ErrorsAreReported) {
+  EXPECT_THROW(compile_source("sfun int f = undefined_name;", "f"),
+               LowerError);
+  EXPECT_THROW(compile_source("sfun int f = f;", "f"), LowerError);
+  EXPECT_THROW(compile_source("sfun int f = count;", "g"), LowerError);
+}
+
+TEST(Table1, AllApplicationsCompile) {
+  for (const auto& app : apps::table1()) {
+    SCOPED_TRACE(app.title);
+    EXPECT_NO_THROW({
+      auto prog = apps::compile_app(app.file, app.main);
+      EXPECT_NE(prog.query.root, nullptr);
+    });
+  }
+}
+
+TEST(Table1, LocWithinPaperBound) {
+  // §7.1: every application is expressible in at most 18 lines of NetQRE.
+  for (const auto& app : apps::table1()) {
+    SCOPED_TRACE(app.title);
+    int loc = apps::count_loc(app.file);
+    EXPECT_GE(loc, 1);
+    EXPECT_LE(loc, 18);
+  }
+}
+
+}  // namespace
+}  // namespace netqre::lang

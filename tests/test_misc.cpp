@@ -1,0 +1,224 @@
+// Edge-case coverage: lexer/parser corners, field extraction, reassembly
+// overflow, trie statistics, pcap endianness, and the language grammar's
+// precedence rules.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "core/fields.hpp"
+#include "lang/lower.hpp"
+#include "lang/parser.hpp"
+#include "net/ipv4.hpp"
+#include "net/pcap.hpp"
+#include "net/reassembly.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::Value;
+
+// ------------------------------------------------------------- lexer/parser
+
+TEST(Grammar, CompositionBindsLoosest) {
+  // a >> b ? c  must parse as a >> (b ? c).
+  auto e = lang::parse_expression("count >> count > 1 ? 5");
+  ASSERT_EQ(e->kind, lang::Exp::Kind::Comp);
+  EXPECT_EQ(e->kids[1]->kind, lang::Exp::Kind::Cond);
+}
+
+TEST(Grammar, ArithmeticPrecedence) {
+  // 1 + 2 * 3 == 7, evaluated end to end on the empty stream.
+  auto prog = lang::compile_source("sfun int f = 1 + 2 * 3;", "f");
+  Engine eng(prog.query);
+  EXPECT_EQ(eng.eval().as_int(), 7);
+}
+
+TEST(Grammar, DivisionIsNotARegex) {
+  auto prog = lang::compile_source("sfun double f = 10 / 4;", "f");
+  Engine eng(prog.query);
+  EXPECT_DOUBLE_EQ(eng.eval().as_double(), 2.5);
+}
+
+TEST(Grammar, RegexAtomsAndPostfix) {
+  auto prog = lang::compile_source(
+      "sfun int f = /[syn == 1]+ [syn == 0]?/ ? 1 : 0;", "f");
+  Engine eng(prog.query);
+  net::Packet p;
+  p.proto = net::Proto::Tcp;
+  p.tcp_flags = net::TcpFlags::kSyn;
+  eng.on_packet(p);
+  EXPECT_EQ(eng.eval().as_int(), 1);
+  p.tcp_flags = net::TcpFlags::kAck;
+  eng.on_packet(p);
+  EXPECT_EQ(eng.eval().as_int(), 1);
+  eng.on_packet(p);
+  EXPECT_EQ(eng.eval().as_int(), 0);
+}
+
+TEST(Grammar, NestedSfunInliningWithOffsets) {
+  // Static argument arithmetic (x+1) flows into predicate offsets.
+  auto prog = lang::compile_source(R"(
+    sfun re match_seq(int s) = /.*[seq == s]/;
+    sfun int f(int x) = match_seq(x + 1) ? 1 : 0;
+  )",
+                                   "f");
+  Engine eng(prog.query);
+  net::Packet p;
+  p.proto = net::Proto::Tcp;
+  p.seq = 43;
+  eng.on_packet(p);
+  EXPECT_EQ(eng.eval_at({Value::integer(42)}).as_int(), 1);
+  EXPECT_EQ(eng.eval_at({Value::integer(43)}).as_int(), 0);
+}
+
+TEST(Grammar, RecursionIsRejected) {
+  EXPECT_THROW(lang::compile_source(
+                   "sfun int a = b; sfun int b = a;", "a"),
+               lang::LowerError);
+}
+
+TEST(Grammar, WindowOnlyAtTopLevel) {
+  EXPECT_THROW(lang::compile_source(
+                   "sfun int f = iter(recent(5) ? 1, sum);", "f"),
+               lang::LowerError);
+}
+
+// --------------------------------------------------------------- fields
+
+TEST(Fields, ResolveAndExtract) {
+  net::Packet p;
+  p.src_ip = net::make_ip(1, 2, 3, 4);
+  p.wire_len = 99;
+  p.proto = net::Proto::Udp;
+  p.payload = "INVITE sip:x SIP/2.0\r\nCall-ID: abc\r\n\r\n";
+
+  core::begin_packet_fields();
+  auto srcip = core::resolve_field("srcip");
+  ASSERT_TRUE(srcip.has_value());
+  EXPECT_EQ(core::extract(*srcip, p).to_string(), "1.2.3.4");
+
+  auto method = core::resolve_field("sip.method");
+  ASSERT_TRUE(method.has_value());
+  EXPECT_EQ(core::extract(*method, p).as_str(), "INVITE");
+  // Cached second read returns the same value.
+  EXPECT_EQ(core::extract(*method, p).as_str(), "INVITE");
+
+  EXPECT_FALSE(core::resolve_field("no.such.field").has_value());
+}
+
+TEST(Fields, SipParsers) {
+  const std::string msg =
+      "SIP/2.0 200 OK\r\nFrom: sip:a@b\r\nCall-ID: xyz\r\n\r\nbody";
+  EXPECT_EQ(core::sip_method(msg), "200");
+  EXPECT_EQ(core::sip_header(msg, "call-id"), "xyz");  // case-insensitive
+  EXPECT_EQ(core::sip_header(msg, "Via"), "");
+  EXPECT_EQ(core::sip_method("garbage"), "");
+}
+
+TEST(Fields, CustomRegistration) {
+  auto& reg = core::FieldRegistry::instance();
+  int id = reg.register_fn("test.always42", [](const net::Packet&) {
+    return Value::integer(42);
+  });
+  EXPECT_EQ(reg.name_of(id), "test.always42");
+  auto ref = core::resolve_field("test.always42");
+  ASSERT_TRUE(ref.has_value());
+  core::begin_packet_fields();
+  EXPECT_EQ(core::extract(*ref, net::Packet{}).as_int(), 42);
+}
+
+// ------------------------------------------------------------ reassembly
+
+TEST(Reassembly, BufferOverflowFlushesInOrder) {
+  net::TcpReorderer r(4);  // tiny buffer
+  std::vector<net::Packet> out;
+  auto seg = [](uint32_t seq) {
+    net::Packet p;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.src_port = 10;
+    p.dst_port = 20;
+    p.proto = net::Proto::Tcp;
+    p.tcp_flags = net::TcpFlags::kAck;
+    p.seq = seq;
+    p.payload = "xxxx";
+    return p;
+  };
+  net::Packet syn = seg(100);
+  syn.tcp_flags = net::TcpFlags::kSyn;
+  syn.payload.clear();
+  r.push(syn, out);
+  // Hold 5 future segments (gap at 101): overflow declares the gap lost.
+  for (uint32_t s : {109, 105, 113, 117, 121}) r.push(seg(s), out);
+  ASSERT_GE(out.size(), 2u);
+  // Released segments are in sequence order.
+  for (size_t i = 2; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].seq, out[i].seq);
+  }
+}
+
+// ------------------------------------------------------------------ pcap
+
+TEST(Pcap, BigEndianFilesAreByteSwapped) {
+  auto path = std::filesystem::temp_directory_path() / "netqre_be.pcap";
+  {
+    std::ofstream f(path, std::ios::binary);
+    // Global header, big-endian magic 0xa1b2c3d4 stored byte-swapped for a
+    // little-endian reader.
+    const unsigned char gh[24] = {0xa1, 0xb2, 0xc3, 0xd4, 0, 2, 0, 4,
+                                  0,    0,   0,   0,    0, 0, 0, 0,
+                                  0,    0,   0xff, 0xff, 0, 0, 0, 1};
+    f.write(reinterpret_cast<const char*>(gh), 24);
+  }
+  net::PcapReader reader(path.string());
+  EXPECT_EQ(reader.snaplen(), 0xffffu);
+  EXPECT_FALSE(reader.next().has_value());  // empty capture
+  std::filesystem::remove(path);
+}
+
+// -------------------------------------------------------------- trie stats
+
+TEST(ScopeStats, LeavesTrackLiveFlowsOnly) {
+  auto prog = lang::compile_source(
+      "sfun int f(IP x) = filter(srcip == x) >> count;", "f");
+  Engine eng(prog.query);
+  const auto* scope =
+      dynamic_cast<const core::ParamScopeOp*>(prog.query.root.get());
+  ASSERT_NE(scope, nullptr);
+  EXPECT_FALSE(scope->eager());
+
+  net::Packet p;
+  p.proto = net::Proto::Tcp;
+  for (uint32_t s = 0; s < 10; ++s) {
+    p.src_ip = 100 + s;
+    eng.on_packet(p);
+  }
+  auto stats = scope->stats(eng.state());
+  // 10 concrete leaves + the default chain.
+  EXPECT_EQ(stats.leaves, 11u);
+  EXPECT_EQ(stats.eager_steps, 0u);
+}
+
+TEST(ScopeStats, ValidatorFlagsUngatedIter) {
+  // A bare `count` inside a parameter scope updates on every packet: the
+  // scope must take the dynamic/eager path yet stay correct.
+  auto prog = lang::compile_source(
+      "sfun int f(IP x) = sum{ exists(srcip == x && dstip == y) | IP y } "
+      "+ count;",
+      "f");
+  Engine eng(prog.query);
+  net::Packet p;
+  p.proto = net::Proto::Tcp;
+  p.src_ip = 1;
+  p.dst_ip = 2;
+  eng.on_packet(p);
+  p.dst_ip = 3;
+  eng.on_packet(p);
+  EXPECT_EQ(eng.eval_at({Value::ip(1)}).as_int(), 2 + 2);  // 2 dsts + 2 pkts
+}
+
+}  // namespace
+}  // namespace netqre

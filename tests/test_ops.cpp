@@ -1,0 +1,422 @@
+// Operator-layer tests: streaming updates (Algorithms 1-4) against the
+// reference evaluator on randomized streams, sparse-vs-eager scope
+// equivalence, aggregation accumulators, and value semantics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/builder.hpp"
+#include "core/engine.hpp"
+#include "net/ipv4.hpp"
+
+namespace netqre::core {
+namespace {
+
+using net::Packet;
+using net::Proto;
+using net::TcpFlags;
+
+Packet pkt(uint32_t src, uint32_t dst, uint32_t len = 100,
+           uint8_t flags = TcpFlags::kAck, uint32_t seq = 0,
+           uint32_t ack = 0) {
+  Packet p;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = 10;
+  p.dst_port = 20;
+  p.proto = Proto::Tcp;
+  p.tcp_flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.wire_len = len;
+  return p;
+}
+
+std::vector<Packet> random_stream(std::mt19937& rng, size_t max_len) {
+  std::vector<Packet> out;
+  const size_t n = rng() % (max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(pkt(1 + rng() % 3, 1 + rng() % 3, 40 + rng() % 3 * 700,
+                      rng() % 4 == 0 ? TcpFlags::kSyn : TcpFlags::kAck,
+                      rng() % 5, rng() % 5));
+  }
+  return out;
+}
+
+// Runs a query both streaming and through ref_eval and compares.
+void check_against_ref(const CompiledQuery& q,
+                       const std::vector<Packet>& stream,
+                       const std::string& what) {
+  Engine eng(q);
+  eng.on_stream(stream);
+  Valuation val(q.n_slots, Value::undef());
+  Value ref = q.root->ref_eval(stream, val);
+  Value got = eng.eval();
+  EXPECT_EQ(got.defined(), ref.defined()) << what;
+  if (got.defined() && ref.defined()) {
+    EXPECT_NEAR(got.as_double(), ref.as_double(), 1e-9) << what;
+  }
+}
+
+// ------------------------------------------------------------ AggAcc
+
+TEST(AggAcc, SumAvgMaxMin) {
+  for (AggOp op : {AggOp::Sum, AggOp::Avg, AggOp::Max, AggOp::Min}) {
+    AggAcc a = AggAcc::identity(op);
+    a.add(Value::integer(4));
+    a.add(Value::integer(10));
+    a.add(Value::integer(1));
+    switch (op) {
+      case AggOp::Sum: EXPECT_EQ(a.result().as_int(), 15); break;
+      case AggOp::Avg: EXPECT_DOUBLE_EQ(a.result().as_double(), 5.0); break;
+      case AggOp::Max: EXPECT_EQ(a.result().as_int(), 10); break;
+      case AggOp::Min: EXPECT_EQ(a.result().as_int(), 1); break;
+    }
+  }
+}
+
+TEST(AggAcc, EmptyIdentity) {
+  EXPECT_EQ(AggAcc::identity(AggOp::Sum).result().as_int(), 0);
+  EXPECT_FALSE(AggAcc::identity(AggOp::Avg).result().defined());
+  EXPECT_FALSE(AggAcc::identity(AggOp::Max).result().defined());
+  EXPECT_FALSE(AggAcc::identity(AggOp::Min).result().defined());
+}
+
+TEST(AggAcc, MergeEqualsSequential) {
+  AggAcc a = AggAcc::identity(AggOp::Avg);
+  AggAcc b = AggAcc::identity(AggOp::Avg);
+  a.add(Value::integer(2));
+  a.add(Value::integer(4));
+  b.add(Value::integer(6));
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.result().as_double(), 4.0);
+}
+
+TEST(AggAcc, UndefinedInputsAreIgnored) {
+  AggAcc a = AggAcc::identity(AggOp::Sum);
+  a.add(Value::undef());
+  a.add(Value::integer(3));
+  EXPECT_EQ(a.result().as_int(), 3);
+  EXPECT_EQ(a.count, 1);
+}
+
+// ------------------------------------------------------------- Value
+
+TEST(Value, NumericComparisonAcrossKinds) {
+  EXPECT_EQ(Value::integer(3).compare(Value::real(3.0)), 0);
+  EXPECT_LT(Value::integer(2).compare(Value::real(2.5)), 0);
+  EXPECT_GT(Value::real(7.0).compare(Value::integer(6)), 0);
+}
+
+TEST(Value, EqualityIgnoresTypeTag) {
+  EXPECT_EQ(Value::integer(80), Value::integer(80, Type::Port));
+  EXPECT_NE(Value::integer(80), Value::integer(81));
+  EXPECT_NE(Value::integer(0), Value::undef());
+}
+
+TEST(Value, FormattingByType) {
+  EXPECT_EQ(Value::ip(net::make_ip(10, 0, 0, 1)).to_string(), "10.0.0.1");
+  EXPECT_EQ(Value::boolean(true).to_string(), "true");
+  EXPECT_EQ(Value::undef().to_string(), "undef");
+  EXPECT_EQ(Value::str("abc").to_string(), "abc");
+}
+
+// ---------------------------------------------------- property: queries
+
+struct QueryFactory {
+  std::string name;
+  std::function<CompiledQuery()> make;
+};
+
+std::vector<QueryFactory> property_queries() {
+  return {
+      {"count",
+       [] {
+         QueryBuilder b;
+         return b.finish(b.count());
+       }},
+      {"count_size",
+       [] {
+         QueryBuilder b;
+         return b.finish(b.count_size());
+       }},
+      {"hh-sum",
+       [] {
+         QueryBuilder b;
+         int x = b.new_param("x", Type::Ip);
+         int y = b.new_param("y", Type::Ip);
+         auto pred = Formula::conj(b.atom_param("srcip", x),
+                                   b.atom_param("dstip", y));
+         return b.finish(b.aggregate(
+             AggOp::Sum, {x, y}, b.comp(b.filter(pred), b.count_size())));
+       }},
+      {"ss-max",
+       [] {
+         QueryBuilder b;
+         int x = b.new_param("x", Type::Ip);
+         int y = b.new_param("y", Type::Ip);
+         auto pred = Formula::conj(b.atom_param("srcip", x),
+                                   b.atom_param("dstip", y));
+         return b.finish(b.aggregate(
+             AggOp::Max, {x},
+             b.aggregate(AggOp::Sum, {y}, b.exists(std::move(pred)))));
+       }},
+      {"split-last-syn",
+       [] {
+         QueryBuilder b;
+         auto syn = b.atom_eq("syn", Value::boolean(true));
+         Re last = Re::concat(Re::pred_of(syn),
+                              Re::star(Re::pred_of(Formula::negate(syn))));
+         return b.finish(b.split(b.cond(Re::all(),
+                                        b.constant(Value::integer(0))),
+                                 b.cond(last, b.count()), AggOp::Sum));
+       }},
+      {"iter-syn-runs",
+       [] {
+         QueryBuilder b;
+         auto syn = b.atom_eq("syn", Value::boolean(true));
+         Re seg = Re::concat(Re::plus(Re::pred_of(syn)),
+                             Re::plus(Re::pred_of(Formula::negate(syn))));
+         return b.finish(
+             b.iter(b.cond(seg, b.constant(Value::integer(1))), AggOp::Sum));
+       }},
+      {"per-src-bytes",
+       [] {
+         QueryBuilder b;
+         int x = b.new_param("x", Type::Ip);
+         return b.finish(b.aggregate(
+             AggOp::Sum, {x},
+             b.comp(b.filter(b.atom_param("srcip", x)), b.count_size())));
+       }},
+      {"dup-seq",
+       [] {
+         // Distinct seq values appearing at least twice.
+         QueryBuilder b;
+         int y = b.new_param("y", Type::Int);
+         auto a = b.atom_param("seq", y);
+         Re twice = Re::concat(
+             Re::concat(Re::concat(Re::all(), Re::pred_of(a)), Re::all()),
+             Re::concat(Re::pred_of(a), Re::all()));
+         return b.finish(b.aggregate(
+             AggOp::Sum, {y},
+             b.cond_else(twice, b.constant(Value::integer(1)),
+                         b.constant(Value::integer(0)))));
+       }},
+  };
+}
+
+class StreamingVsReference
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StreamingVsReference, Agree) {
+  const auto [qi, seed] = GetParam();
+  auto factories = property_queries();
+  ASSERT_LT(static_cast<size_t>(qi), factories.size());
+  CompiledQuery q = factories[qi].make();
+  std::mt19937 rng(seed * 977 + qi);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto stream = random_stream(rng, 10);
+    check_against_ref(q, stream, factories[qi].name + " trial " +
+                                     std::to_string(trial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StreamingVsReference,
+    ::testing::Combine(::testing::Range(0, 8), ::testing::Values(1, 2, 3)));
+
+// -------------------------------------------- sparse vs eager scope
+
+// The sparse guard-trie update (with letter-class skipping and descent) must
+// be observationally equal to the always-eager update.
+class SparseVsEager : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsEager, HeavyHitterShape) {
+  auto make = [](bool eager) {
+    QueryBuilder b;
+    int x = b.new_param("x", Type::Ip);
+    int y = b.new_param("y", Type::Ip);
+    auto pred = Formula::conj(b.atom_param("srcip", x),
+                              b.atom_param("dstip", y));
+    auto inner = b.comp(b.filter(pred), b.count_size());
+    ScopeMode mode;
+    mode.kind = ScopeMode::Kind::Aggregate;
+    mode.agg = AggOp::Sum;
+    auto scope = std::make_shared<ParamScopeOp>(0, 2, mode,
+                                                std::move(inner.op),
+                                                b.table(), eager);
+    CompiledQuery q;
+    q.root = std::move(scope);
+    q.table = b.table();
+    q.n_slots = 2;
+    return q;
+  };
+  CompiledQuery sparse = make(false);
+  CompiledQuery eager = make(true);
+
+  std::mt19937 rng(GetParam());
+  Engine a(sparse), e(eager);
+  for (int i = 0; i < 120; ++i) {
+    Packet p = pkt(1 + rng() % 4, 1 + rng() % 4, 40 + rng() % 2 * 1000);
+    a.on_packet(p);
+    e.on_packet(p);
+  }
+  EXPECT_EQ(a.eval().as_int(), e.eval().as_int());
+  // Every concrete valuation agrees.
+  e.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    EXPECT_EQ(a.eval_at(key).as_int(), v.as_int());
+  });
+}
+
+TEST_P(SparseVsEager, SynFloodShape) {
+  auto make = [](bool eager) {
+    QueryBuilder b;
+    int x = b.new_param("x", Type::Int);
+    int y = b.new_param("y", Type::Int);
+    auto syn1 = Formula::conj(
+        Formula::conj(b.atom_eq("syn", Value::boolean(true)),
+                      Formula::negate(b.atom_eq("ack", Value::boolean(true)))),
+        b.atom_param("seq", x));
+    auto synack = Formula::conj(
+        Formula::conj(b.atom_eq("syn", Value::boolean(true)),
+                      b.atom_eq("ack", Value::boolean(true))),
+        Formula::conj(b.atom_param("seq", y), b.atom_param("ackno", x, 1)));
+    auto complete = Formula::conj(b.atom_eq("ack", Value::boolean(true)),
+                                  b.atom_param("ackno", y, 1));
+    Re bad = Re::concat(
+        Re::concat(Re::concat(Re::all(), Re::pred_of(syn1)), Re::all()),
+        Re::concat(Re::pred_of(synack),
+                   Re::star(Re::pred_of(Formula::negate(complete)))));
+    auto inner = b.cond(bad, b.constant(Value::integer(1)));
+    ScopeMode mode;
+    mode.kind = ScopeMode::Kind::Aggregate;
+    mode.agg = AggOp::Sum;
+    auto scope = std::make_shared<ParamScopeOp>(0, 2, mode,
+                                                std::move(inner.op),
+                                                b.table(), eager);
+    CompiledQuery q;
+    q.root = std::move(scope);
+    q.table = b.table();
+    q.n_slots = 2;
+    return q;
+  };
+  CompiledQuery sparse = make(false);
+  CompiledQuery eager = make(true);
+
+  std::mt19937 rng(GetParam() + 100);
+  Engine a(sparse), e(eager);
+  for (int i = 0; i < 80; ++i) {
+    const int roll = rng() % 3;
+    const uint8_t flags = roll == 0 ? TcpFlags::kSyn
+                          : roll == 1 ? (TcpFlags::kSyn | TcpFlags::kAck)
+                                      : TcpFlags::kAck;
+    Packet p = pkt(1, 2, 60, flags, rng() % 6, rng() % 6);
+    a.on_packet(p);
+    e.on_packet(p);
+  }
+  EXPECT_EQ(a.eval().as_int(), e.eval().as_int());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVsEager,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --------------------------------------------------------- split / iter
+
+TEST(SplitOp, UndefinedWhenNoValidDecomposition) {
+  QueryBuilder b;
+  auto syn = b.atom_eq("syn", Value::boolean(true));
+  // f = exactly one SYN packet, g = exactly one non-SYN packet.
+  auto f = b.cond(Re::pred_of(syn), b.constant(Value::integer(1)));
+  auto g = b.cond(Re::pred_of(Formula::negate(syn)),
+                  b.constant(Value::integer(2)));
+  Engine eng(b.finish(b.split(std::move(f), std::move(g), AggOp::Sum)));
+  eng.on_packet(pkt(1, 2, 100, TcpFlags::kSyn));
+  EXPECT_FALSE(eng.eval().defined());  // missing the non-SYN suffix
+  eng.on_packet(pkt(1, 2, 100, TcpFlags::kAck));
+  EXPECT_EQ(eng.eval().as_int(), 3);
+  eng.on_packet(pkt(1, 2, 100, TcpFlags::kAck));
+  EXPECT_FALSE(eng.eval().defined());  // too long for f . g
+}
+
+TEST(SplitOp, EmptyPrefixSplit) {
+  QueryBuilder b;
+  // f defined on the empty stream (count = 0), g = count: split at the very
+  // beginning is a valid decomposition.
+  auto f = b.count();
+  auto g = b.count();
+  Engine eng(b.finish(b.split(std::move(f), std::move(g), AggOp::Sum)));
+  EXPECT_EQ(eng.eval().as_int(), 0);  // empty + empty
+  eng.on_packet(pkt(1, 2));
+  EXPECT_EQ(eng.eval().as_int(), 1);  // ambiguous split but consistent sum
+}
+
+TEST(IterOp, MaxOverSegments) {
+  QueryBuilder b;
+  // Segments of [syn]+[!syn]+; value = segment packet count; max over them.
+  auto syn = b.atom_eq("syn", Value::boolean(true));
+  Re seg = Re::concat(Re::plus(Re::pred_of(syn)),
+                      Re::plus(Re::pred_of(Formula::negate(syn))));
+  Engine eng(b.finish(b.iter(b.cond(seg, b.count()), AggOp::Max)));
+  auto push = [&](bool s, int n) {
+    for (int i = 0; i < n; ++i) {
+      eng.on_packet(pkt(1, 2, 100, s ? TcpFlags::kSyn : TcpFlags::kAck));
+    }
+  };
+  push(true, 1);
+  push(false, 2);  // segment of 3
+  push(true, 2);
+  push(false, 3);  // segment of 5
+  EXPECT_EQ(eng.eval().as_int(), 5);
+}
+
+TEST(TernaryOp, PolicyThreshold) {
+  QueryBuilder b;
+  auto cond = b.bin(BinKind::Gt, b.count(), b.constant(Value::integer(2)));
+  auto expr = b.ternary(std::move(cond),
+                        b.action("alert", {b.last_field("srcip")}),
+                        std::nullopt);
+  Engine eng(b.finish(std::move(expr)));
+  eng.on_packet(pkt(9, 2));
+  eng.on_packet(pkt(9, 2));
+  EXPECT_FALSE(eng.eval().defined());
+  eng.on_packet(pkt(9, 2));
+  ASSERT_TRUE(eng.eval().defined());
+  EXPECT_EQ(eng.eval().to_string(), "alert(0.0.0.9)");
+}
+
+TEST(ProjOp, ConnComponents) {
+  Value c = Value::conn(net::Conn{net::make_ip(1, 2, 3, 4),
+                                  net::make_ip(5, 6, 7, 8), 1000, 80,
+                                  Proto::Tcp});
+  EXPECT_EQ(ProjOp::project(ProjOp::Component::SrcIp, c).to_string(),
+            "1.2.3.4");
+  EXPECT_EQ(ProjOp::project(ProjOp::Component::DstPort, c).as_int(), 80);
+  EXPECT_FALSE(
+      ProjOp::project(ProjOp::Component::SrcIp, Value::integer(1)).defined());
+}
+
+TEST(Engine, ResetClearsState) {
+  QueryBuilder b;
+  Engine eng(b.finish(b.count()));
+  eng.on_packet(pkt(1, 2));
+  eng.on_packet(pkt(1, 2));
+  EXPECT_EQ(eng.eval().as_int(), 2);
+  eng.reset();
+  EXPECT_EQ(eng.eval().as_int(), 0);
+  EXPECT_EQ(eng.packets(), 0u);
+}
+
+TEST(Engine, StateMemoryGrowsWithFlows) {
+  QueryBuilder b;
+  int x = b.new_param("x", Type::Ip);
+  auto q = b.finish(b.aggregate(
+      AggOp::Sum, {x}, b.comp(b.filter(b.atom_param("srcip", x)),
+                              b.count())));
+  Engine eng(q);
+  const size_t empty = eng.state_memory();
+  for (uint32_t i = 0; i < 50; ++i) eng.on_packet(pkt(1000 + i, 2));
+  EXPECT_GT(eng.state_memory(), empty);
+}
+
+}  // namespace
+}  // namespace netqre::core

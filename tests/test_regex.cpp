@@ -1,0 +1,266 @@
+// Automata-layer tests: PSRE → DFA compilation checked against a naive
+// recursive matcher, minimization/product/complement properties, and the
+// split/iter unambiguity checks (§3.3, §5.1).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <span>
+
+#include "core/regex.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::core {
+namespace {
+
+using net::Packet;
+
+// Alphabet for these tests: packets characterized by (srcip in {1..4},
+// syn flag).  Letters are produced through real predicate evaluation.
+Packet pkt(uint32_t src, bool syn = false) {
+  Packet p;
+  p.src_ip = src;
+  p.proto = net::Proto::Tcp;
+  p.tcp_flags = syn ? net::TcpFlags::kSyn : net::TcpFlags::kAck;
+  return p;
+}
+
+// Naive PSRE matcher by structural recursion (the specification semantics).
+bool naive_match(const Re& re, const AtomTable& table,
+                 std::span<const Packet> w, const Valuation& val) {
+  switch (re.kind) {
+    case Re::Kind::Epsilon:
+      return w.empty();
+    case Re::Kind::Pred:
+      return w.size() == 1 && re.pred.eval(table, w[0], val);
+    case Re::Kind::Concat:
+      for (size_t k = 0; k <= w.size(); ++k) {
+        if (naive_match(re.kids[0], table, w.first(k), val) &&
+            naive_match(re.kids[1], table, w.subspan(k), val)) {
+          return true;
+        }
+      }
+      return false;
+    case Re::Kind::Alt:
+      return naive_match(re.kids[0], table, w, val) ||
+             naive_match(re.kids[1], table, w, val);
+    case Re::Kind::Star:
+      if (w.empty()) return true;
+      for (size_t k = 1; k <= w.size(); ++k) {
+        if (naive_match(re.kids[0], table, w.first(k), val) &&
+            naive_match(re, table, w.subspan(k), val)) {
+          return true;
+        }
+      }
+      return false;
+    case Re::Kind::Plus: {
+      // Plus = body · body*.
+      Re expand = Re::concat(re.kids[0], Re::star(re.kids[0]));
+      return naive_match(expand, table, w, val);
+    }
+    case Re::Kind::Opt:
+      return w.empty() || naive_match(re.kids[0], table, w, val);
+    case Re::Kind::And:
+      return naive_match(re.kids[0], table, w, val) &&
+             naive_match(re.kids[1], table, w, val);
+    case Re::Kind::Not:
+      return !naive_match(re.kids[0], table, w, val);
+  }
+  return false;
+}
+
+bool dfa_match(const Dfa& dfa, const AtomTable& table,
+               std::span<const Packet> w, const Valuation& val) {
+  int q = dfa.start;
+  for (const auto& p : w) q = dfa.step(q, dfa.letter_of(table, p, val));
+  return dfa.accept[q];
+}
+
+struct Fixture {
+  AtomTable table;
+  Formula src(uint32_t v) {
+    Atom a;
+    a.field = {Field::SrcIp, -1};
+    a.literal = Value::ip(v);
+    return Formula::atom(table.intern(a));
+  }
+  Formula syn() {
+    Atom a;
+    a.field = {Field::Syn, -1};
+    a.literal = Value::boolean(true);
+    return Formula::atom(table.intern(a));
+  }
+};
+
+TEST(RegexDfa, EpsilonAcceptsOnlyEmpty) {
+  Fixture f;
+  Dfa d = compile_regex(Re::eps(), f.table);
+  EXPECT_TRUE(d.accepts_empty());
+  std::vector<Packet> w = {pkt(1)};
+  EXPECT_FALSE(dfa_match(d, f.table, w, {}));
+}
+
+TEST(RegexDfa, AnyStarAcceptsEverything) {
+  Fixture f;
+  Dfa d = compile_regex(Re::all(), f.table);
+  EXPECT_TRUE(d.accepts_empty());
+  std::vector<Packet> w = {pkt(1), pkt(2), pkt(3)};
+  EXPECT_TRUE(dfa_match(d, f.table, w, {}));
+  EXPECT_EQ(d.n_states(), 1);  // minimal
+}
+
+TEST(RegexDfa, ComplementFlipsMembership) {
+  Fixture f;
+  // !( .* [syn] ) : streams NOT ending in a SYN.
+  Re ends_syn = Re::concat(Re::all(), Re::pred_of(f.syn()));
+  Dfa d = compile_regex(Re::negate(ends_syn), f.table);
+  std::vector<Packet> no = {pkt(1), pkt(2, true)};
+  std::vector<Packet> yes = {pkt(1, true), pkt(2)};
+  EXPECT_FALSE(dfa_match(d, f.table, no, {}));
+  EXPECT_TRUE(dfa_match(d, f.table, yes, {}));
+  EXPECT_TRUE(d.accepts_empty());
+}
+
+TEST(RegexDfa, IntersectionRequiresBoth) {
+  Fixture f;
+  // (.*[src==1].*) & (.*[syn].*): stream contains both a src-1 packet and a
+  // SYN (possibly the same packet).
+  Re has1 = Re::concat(Re::concat(Re::all(), Re::pred_of(f.src(1))),
+                       Re::all());
+  Re hasS = Re::concat(Re::concat(Re::all(), Re::pred_of(f.syn())),
+                       Re::all());
+  Dfa d = compile_regex(Re::conj(has1, hasS), f.table);
+  std::vector<Packet> both = {pkt(2, true), pkt(1)};
+  std::vector<Packet> only1 = {pkt(1), pkt(1)};
+  EXPECT_TRUE(dfa_match(d, f.table, both, {}));
+  EXPECT_FALSE(dfa_match(d, f.table, only1, {}));
+}
+
+TEST(RegexDfa, MinimizationIsMinimalForKnownLanguage) {
+  Fixture f;
+  // .*[syn][!syn]* : classic 2-state language over {syn, !syn}.
+  Re re = Re::concat(Re::all(),
+                     Re::concat(Re::pred_of(f.syn()),
+                                Re::star(Re::pred_of(
+                                    Formula::negate(f.syn())))));
+  Dfa d = compile_regex(re, f.table);
+  EXPECT_LE(d.n_states(), 3);
+}
+
+// Randomized equivalence: DFA compilation agrees with the naive matcher on
+// random expressions and random streams.
+class RandomRegex : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRegex, DfaAgreesWithNaiveMatcher) {
+  std::mt19937 rng(GetParam());
+  Fixture f;
+  // Pre-intern the atoms so every generated expression shares them.
+  std::vector<Formula> preds = {f.src(1), f.src(2), f.syn(),
+                                Formula::conj(f.src(1), f.syn()),
+                                Formula::negate(f.src(2))};
+
+  std::function<Re(int)> gen = [&](int depth) -> Re {
+    const int pick = depth <= 0 ? static_cast<int>(rng() % 2)
+                                : static_cast<int>(rng() % 8);
+    switch (pick) {
+      case 0: return Re::pred_of(preds[rng() % preds.size()]);
+      case 1: return Re::eps();
+      case 2: return Re::concat(gen(depth - 1), gen(depth - 1));
+      case 3: return Re::alt(gen(depth - 1), gen(depth - 1));
+      case 4: return Re::star(gen(depth - 1));
+      case 5: return Re::opt(gen(depth - 1));
+      case 6: return Re::plus(gen(depth - 1));
+      default: return Re::conj(gen(depth - 1), gen(depth - 1));
+    }
+  };
+
+  for (int trial = 0; trial < 12; ++trial) {
+    Re re = gen(3);
+    Dfa dfa = compile_regex(re, f.table);
+    for (int s = 0; s < 12; ++s) {
+      std::vector<Packet> w;
+      const size_t len = rng() % 6;
+      for (size_t i = 0; i < len; ++i) {
+        w.push_back(pkt(1 + rng() % 3, rng() % 2 == 0));
+      }
+      Valuation val;
+      EXPECT_EQ(dfa_match(dfa, f.table, w, val),
+                naive_match(re, f.table, w, val))
+          << "trial " << trial << " re=" << re.to_string(f.table);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRegex,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------------- ambiguity
+
+TEST(Ambiguity, LastSynSplitIsUnambiguous) {
+  Fixture f;
+  Dfa any = compile_regex(Re::all(), f.table);
+  Re last_syn = Re::concat(Re::pred_of(f.syn()),
+                           Re::star(Re::pred_of(Formula::negate(f.syn()))));
+  Dfa g = compile_regex(last_syn, f.table);
+  EXPECT_TRUE(concat_unambiguous(any, g, f.table));
+}
+
+TEST(Ambiguity, AnyDotAnyIsAmbiguous) {
+  Fixture f;
+  // .* · .* splits anywhere.
+  Dfa any = compile_regex(Re::all(), f.table);
+  EXPECT_FALSE(concat_unambiguous(any, any, f.table));
+}
+
+TEST(Ambiguity, SinglePacketIterIsUnambiguous) {
+  Fixture f;
+  Dfa single = compile_regex(Re::any(), f.table);
+  EXPECT_TRUE(star_unambiguous(single, f.table));
+}
+
+TEST(Ambiguity, EmptyAcceptingIterIsAmbiguous) {
+  Fixture f;
+  Dfa star = compile_regex(Re::all(), f.table);
+  EXPECT_FALSE(star_unambiguous(star, f.table));
+}
+
+TEST(Ambiguity, SynRunsIterIsUnambiguous) {
+  Fixture f;
+  // ([syn]+[!syn]+)-segments factor uniquely.
+  Re seg = Re::concat(Re::plus(Re::pred_of(f.syn())),
+                      Re::plus(Re::pred_of(Formula::negate(f.syn()))));
+  Dfa d = compile_regex(seg, f.table);
+  EXPECT_TRUE(star_unambiguous(d, f.table));
+}
+
+TEST(Ambiguity, OptionalPrefixConcatIsAmbiguous) {
+  Fixture f;
+  // [syn]? · [syn]? : "syn" splits two ways.
+  Dfa opt = compile_regex(Re::opt(Re::pred_of(f.syn())), f.table);
+  EXPECT_FALSE(concat_unambiguous(opt, opt, f.table));
+}
+
+TEST(RegexDfa, TooManyAtomsIsRejected) {
+  Fixture f;
+  Re re = Re::eps();
+  for (uint32_t i = 0; i < 25; ++i) {
+    re = Re::concat(std::move(re), Re::pred_of(f.src(100 + i)));
+  }
+  EXPECT_THROW(compile_regex(re, f.table), std::runtime_error);
+}
+
+TEST(RegexDfa, DeadStateDetection) {
+  Fixture f;
+  // [syn] exactly: after two packets the run is dead.
+  Dfa d = compile_regex(Re::pred_of(f.syn()), f.table);
+  int q = d.start;
+  q = d.step(q, d.letter_of(f.table, pkt(1, true), {}));
+  EXPECT_TRUE(d.accept[q]);
+  EXPECT_FALSE(d.is_dead(q));
+  q = d.step(q, d.letter_of(f.table, pkt(1, true), {}));
+  EXPECT_TRUE(d.is_dead(q));
+  EXPECT_FALSE(d.empty_language());
+}
+
+}  // namespace
+}  // namespace netqre::core

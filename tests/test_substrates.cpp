@@ -1,0 +1,330 @@
+// Substrate tests: traffic generators, manual baselines (cross-checked
+// against compiled NetQRE queries), OpenSketch-style sketches, and the
+// Bro-like interpreted engine.
+#include <gtest/gtest.h>
+
+#include "apps/queries.hpp"
+#include "baselines/baselines.hpp"
+#include "brolike/brolike.hpp"
+#include "core/engine.hpp"
+#include "core/fields.hpp"
+#include "sketch/sketch.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::Value;
+
+// ----------------------------------------------------------- trafficgen
+
+TEST(TrafficGen, BackboneIsDeterministicAndShaped) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 20'000;
+  cfg.n_flows = 500;
+  auto a = trafficgen::backbone_trace(cfg);
+  auto b = trafficgen::backbone_trace(cfg);
+  ASSERT_EQ(a.size(), cfg.n_packets);
+  // Deterministic given the seed.
+  for (size_t i : {size_t{0}, size_t{777}, a.size() - 1}) {
+    EXPECT_EQ(a[i].src_ip, b[i].src_ip);
+    EXPECT_EQ(a[i].wire_len, b[i].wire_len);
+  }
+  // Timestamps monotone at the configured rate.
+  EXPECT_LT(a.front().ts, a.back().ts);
+  // Mean size near the paper's 888 B.
+  double mean = 0;
+  for (const auto& p : a) mean += p.wire_len;
+  mean /= static_cast<double>(a.size());
+  EXPECT_GT(mean, 700);
+  EXPECT_LT(mean, 1100);
+}
+
+TEST(TrafficGen, BackboneZipfIsSkewed) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 30'000;
+  cfg.n_flows = 1'000;
+  auto trace = trafficgen::backbone_trace(cfg);
+  std::map<uint64_t, int> per_flow;
+  for (const auto& p : trace) {
+    ++per_flow[(uint64_t{p.src_ip} << 32) | p.dst_ip];
+  }
+  int top = 0;
+  for (const auto& [k, n] : per_flow) top = std::max(top, n);
+  // The hottest flow should dominate the uniform share by a wide margin.
+  EXPECT_GT(top, 10 * static_cast<int>(cfg.n_packets / cfg.n_flows));
+}
+
+TEST(TrafficGen, SynFloodHasExactHandshakeCounts) {
+  trafficgen::SynFloodConfig cfg;
+  cfg.benign_handshakes = 30;
+  cfg.attack_handshakes = 50;
+  auto trace = trafficgen::syn_flood_trace(cfg);
+  // benign: SYN+SYNACK+ACK = 3 packets; attack: SYN+SYNACK = 2.
+  EXPECT_EQ(trace.size(), 30u * 3 + 50u * 2);
+  baselines::SynFloodDetector det;
+  for (const auto& p : trace) det.on_packet(p);
+  EXPECT_EQ(det.incomplete(), 50u);
+}
+
+TEST(TrafficGen, SipTraceParsesBack) {
+  trafficgen::SipConfig cfg;
+  cfg.n_users = 3;
+  cfg.n_calls = 6;
+  cfg.media_pkts_per_call = 4;
+  auto trace = trafficgen::sip_trace(cfg);
+  int invites = 0, byes = 0, media = 0;
+  for (const auto& p : trace) {
+    auto m = core::sip_method(p.payload);
+    if (m == "INVITE") {
+      ++invites;
+      EXPECT_FALSE(core::sip_header(p.payload, "Call-ID").empty());
+      EXPECT_FALSE(core::sip_header(p.payload, "From").empty());
+    } else if (m == "BYE") {
+      ++byes;
+    } else if (m.empty() && p.is_udp() && p.src_port != 5060) {
+      ++media;
+    }
+  }
+  EXPECT_EQ(invites, 6);
+  EXPECT_EQ(byes, 6);
+  EXPECT_EQ(media, 6 * 4);
+}
+
+TEST(TrafficGen, DnsMessagesDecode) {
+  trafficgen::DnsConfig cfg;
+  cfg.normal_queries = 10;
+  cfg.tunnel_queries = 5;
+  cfg.amplification_pairs = 3;
+  auto trace = trafficgen::dns_trace(cfg);
+  int long_names = 0, responses = 0;
+  uint64_t victim_in = 0, victim_out = 0;
+  for (const auto& p : trace) {
+    if (p.dst_port == 53) {
+      auto name = core::dns_qname(p.payload);
+      EXPECT_FALSE(name.empty());
+      if (name.size() > 40) ++long_names;
+      if (p.src_ip == cfg.victim_ip) victim_out += p.wire_len;
+    }
+    if (p.src_port == 53) {
+      EXPECT_TRUE(core::dns_is_response(p.payload));
+      ++responses;
+      if (p.dst_ip == cfg.victim_ip) victim_in += p.wire_len;
+    }
+  }
+  EXPECT_EQ(long_names, 5);
+  EXPECT_EQ(responses, 13);
+  EXPECT_GT(victim_in, 10 * victim_out);  // the amplification signature
+}
+
+TEST(TrafficGen, IperfHitsTargetRate) {
+  auto trace = trafficgen::iperf_trace(1, 2, 0.0, 10.0, 8.0);
+  uint64_t bytes = 0;
+  for (const auto& p : trace) bytes += p.wire_len;
+  const double mbps = bytes * 8.0 / 1e6 / 10.0;
+  EXPECT_NEAR(mbps, 8.0, 0.2);
+}
+
+// -------------------------------------------- baselines vs NetQRE queries
+
+TEST(Baselines, HeavyHitterMatchesNetQRE) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 5'000;
+  cfg.n_flows = 200;
+  auto trace = trafficgen::backbone_trace(cfg);
+
+  Engine eng(apps::compile_app("heavy_hitter.nqre", "hh").query);
+  baselines::HeavyHitter base;
+  for (const auto& p : trace) {
+    eng.on_packet(p);
+    base.on_packet(p);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(eng.eval().as_int()), base.total());
+  int checked = 0;
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    EXPECT_EQ(static_cast<uint64_t>(v.as_int()),
+              base.bytes(static_cast<uint32_t>(key[0].as_int()),
+                         static_cast<uint32_t>(key[1].as_int())));
+    ++checked;
+  });
+  EXPECT_EQ(static_cast<size_t>(checked), base.flows());
+}
+
+TEST(Baselines, SuperSpreaderMatchesNetQRE) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 4'000;
+  cfg.n_flows = 300;
+  auto trace = trafficgen::backbone_trace(cfg);
+  Engine eng(apps::compile_app("super_spreader.nqre", "ss").query);
+  baselines::SuperSpreader base;
+  for (const auto& p : trace) {
+    eng.on_packet(p);
+    base.on_packet(p);
+  }
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    EXPECT_EQ(static_cast<size_t>(v.as_int()),
+              base.fanout(static_cast<uint32_t>(key[0].as_int())));
+  });
+}
+
+TEST(Baselines, EntropyFinalization) {
+  baselines::EntropyEstimator e;
+  net::Packet p;
+  // Uniform over 4 sources: entropy = 2 bits.
+  for (uint32_t s = 1; s <= 4; ++s) {
+    p.src_ip = s;
+    for (int i = 0; i < 10; ++i) e.on_packet(p);
+  }
+  EXPECT_NEAR(e.entropy(), 2.0, 1e-9);
+  // Single source: entropy 0.
+  baselines::EntropyEstimator single;
+  p.src_ip = 7;
+  for (int i = 0; i < 5; ++i) single.on_packet(p);
+  EXPECT_NEAR(single.entropy(), 0.0, 1e-9);
+}
+
+TEST(Baselines, CompletedFlowsMatchesNetQRE) {
+  trafficgen::SlowlorisConfig cfg;  // normal conns complete, slow ones never
+  cfg.normal_conns = 40;
+  cfg.slow_conns = 25;
+  auto trace = trafficgen::slowloris_trace(cfg);
+  Engine eng(apps::compile_app("completed_flows.nqre",
+                               "completed_flows").query);
+  baselines::CompletedFlows base;
+  for (const auto& p : trace) {
+    eng.on_packet(p);
+    base.on_packet(p);
+  }
+  EXPECT_EQ(static_cast<uint64_t>(eng.eval().as_int()), base.completed());
+  EXPECT_EQ(base.completed(), 40u);
+}
+
+TEST(Baselines, SlowlorisAverageRateDropsUnderAttack) {
+  trafficgen::SlowlorisConfig normal;
+  normal.normal_conns = 50;
+  normal.slow_conns = 0;
+  trafficgen::SlowlorisConfig attack;
+  attack.normal_conns = 50;
+  attack.slow_conns = 150;
+
+  baselines::SlowlorisDetector clean, attacked;
+  for (const auto& p : trafficgen::slowloris_trace(normal)) {
+    clean.on_packet(p);
+  }
+  for (const auto& p : trafficgen::slowloris_trace(attack)) {
+    attacked.on_packet(p);
+  }
+  EXPECT_LT(attacked.average_rate(), clean.average_rate() / 2);
+}
+
+// ------------------------------------------------------------- sketches
+
+TEST(Sketch, CountMinNeverUnderestimates) {
+  sketch::CountMinSketch cm;
+  std::map<uint64_t, uint64_t> truth;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 5'000; ++i) {
+    uint64_t key = rng() % 300;
+    uint64_t inc = 1 + rng() % 100;
+    cm.update(key, inc);
+    truth[key] += inc;
+  }
+  for (const auto& [k, v] : truth) {
+    EXPECT_GE(cm.query(k), v);
+  }
+}
+
+TEST(Sketch, CountMinAccurateForHeavyKeys) {
+  sketch::CountMinSketch cm;
+  for (int i = 0; i < 1'000; ++i) cm.update(42, 1'000);
+  for (int i = 0; i < 10'000; ++i) cm.update(i + 100, 1);
+  const uint64_t est = cm.query(42);
+  EXPECT_GE(est, 1'000'000u);
+  EXPECT_LE(est, 1'010'000u);  // small collision noise
+}
+
+TEST(Sketch, SuperSpreaderEstimateTracksFanout) {
+  sketch::OpenSketchSuperSpreader ss;
+  net::Packet p;
+  p.src_ip = 1;
+  for (uint32_t d = 0; d < 30; ++d) {
+    p.dst_ip = 100 + d;
+    ss.on_packet(p);
+    ss.on_packet(p);  // duplicates must not inflate the estimate
+  }
+  const double est = ss.estimate(1);
+  EXPECT_GT(est, 15.0);
+  EXPECT_LT(est, 60.0);
+  EXPECT_LT(ss.estimate(999), 3.0);  // unseen source
+}
+
+TEST(Sketch, MemoryIsTraceIndependent) {
+  sketch::OpenSketchHeavyHitter hh;
+  const size_t before = hh.memory();
+  net::Packet p;
+  for (uint32_t i = 0; i < 10'000; ++i) {
+    p.src_ip = i;
+    p.dst_ip = ~i;
+    p.wire_len = 100;
+    hh.on_packet(p);
+  }
+  EXPECT_EQ(hh.memory(), before);  // sketches: fixed footprint
+}
+
+// -------------------------------------------------------------- brolike
+
+TEST(Brolike, InterpreterArithmeticAndTables) {
+  brolike::Script s;
+  s.constants = {int64_t{2}, int64_t{3}, std::string("k")};
+  s.code = {
+      {brolike::OpCode::PushConst, 0}, {brolike::OpCode::PushConst, 1},
+      {brolike::OpCode::Mul, 0},       {brolike::OpCode::StoreGlobal, 0},
+      {brolike::OpCode::PushConst, 2}, {brolike::OpCode::TableIncr, 0},
+      {brolike::OpCode::PushConst, 2}, {brolike::OpCode::TableGet, 0},
+      {brolike::OpCode::StoreGlobal, 1}, {brolike::OpCode::Halt, 0},
+  };
+  brolike::Interpreter vm;
+  vm.run(s, {});
+  EXPECT_EQ(std::get<int64_t>(vm.globals[0]), 6);
+  EXPECT_EQ(std::get<int64_t>(vm.globals[1]), 1);
+}
+
+TEST(Brolike, InterpreterBranches) {
+  // if (ev0 == 7) g0 = 1 else g0 = 2
+  brolike::Script s;
+  s.constants = {int64_t{7}, int64_t{1}, int64_t{2}};
+  s.code = {
+      {brolike::OpCode::LoadEvent, 0}, {brolike::OpCode::PushConst, 0},
+      {brolike::OpCode::CmpEq, 0},     {brolike::OpCode::JmpIfZero, 7},
+      {brolike::OpCode::PushConst, 1}, {brolike::OpCode::StoreGlobal, 0},
+      {brolike::OpCode::Jmp, 9},       {brolike::OpCode::PushConst, 2},
+      {brolike::OpCode::StoreGlobal, 0}, {brolike::OpCode::Halt, 0},
+  };
+  brolike::Interpreter vm;
+  vm.run(s, {int64_t{7}});
+  EXPECT_EQ(std::get<int64_t>(vm.globals[0]), 1);
+  vm.run(s, {int64_t{8}});
+  EXPECT_EQ(std::get<int64_t>(vm.globals[0]), 2);
+}
+
+TEST(Brolike, VoipCounterAgreesWithNetQRE) {
+  trafficgen::SipConfig cfg;
+  cfg.n_users = 5;
+  cfg.n_calls = 37;
+  cfg.media_pkts_per_call = 3;
+  auto trace = trafficgen::sip_trace(cfg);
+
+  brolike::VoipCallCounter bro;
+  Engine eng(apps::compile_app("voip_count.nqre", "voip_call_count").query);
+  for (const auto& p : trace) {
+    bro.on_packet(p);
+    eng.on_packet(p);
+  }
+  EXPECT_EQ(bro.total_calls(), 37);
+  EXPECT_EQ(eng.eval().as_int(), 37);
+  EXPECT_EQ(bro.calls_for(trafficgen::sip_user_name(0)), 8);  // 37 over 5
+}
+
+}  // namespace
+}  // namespace netqre
