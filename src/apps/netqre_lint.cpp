@@ -1,0 +1,101 @@
+// netqre-lint — static analysis for NetQRE programs.
+//
+// Checks .nqre files (or stdin) with the semantic analysis pass
+// (src/lang/analysis.hpp) and prints structured diagnostics:
+//
+//     queries/bad.nqre:3: error[NQ001]: undefined name 'dprt'
+//
+// Exit status: 0 when clean (warnings allowed), 1 when any error was
+// reported (or any warning under --werror), 2 on usage or I/O problems.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/analysis.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: netqre-lint [options] [file.nqre ... | -]\n"
+    "\n"
+    "Statically checks NetQRE programs and reports NQxxx diagnostics.\n"
+    "Reads stdin when no file (or '-') is given.\n"
+    "\n"
+    "options:\n"
+    "  --werror       exit nonzero on warnings too\n"
+    "  --no-warnings  suppress warning-severity diagnostics\n"
+    "  -h, --help     show this help\n";
+
+struct Options {
+  bool werror = false;
+  bool no_warnings = false;
+  std::vector<std::string> files;
+};
+
+// Prints diagnostics for one source; returns via out-params.
+void lint_source(const std::string& display, const std::string& source,
+                 const Options& opt, int& errors, int& warnings) {
+  for (const auto& d : netqre::lang::analyze_source(source)) {
+    if (d.is_error()) {
+      ++errors;
+    } else {
+      ++warnings;
+      if (opt.no_warnings) continue;
+    }
+    std::cout << display;
+    if (d.line > 0) std::cout << ':' << d.line;
+    std::cout << ": " << (d.is_error() ? "error" : "warning") << '['
+              << d.code << "]: " << d.message << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--werror") {
+      opt.werror = true;
+    } else if (arg == "--no-warnings") {
+      opt.no_warnings = true;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "netqre-lint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+  if (opt.files.empty()) opt.files.push_back("-");
+
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& file : opt.files) {
+    std::ostringstream buf;
+    if (file == "-") {
+      buf << std::cin.rdbuf();
+      lint_source("<stdin>", buf.str(), opt, errors, warnings);
+      continue;
+    }
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "netqre-lint: cannot open '" << file << "'\n";
+      return 2;
+    }
+    buf << in.rdbuf();
+    lint_source(file, buf.str(), opt, errors, warnings);
+  }
+
+  if (errors + warnings > 0) {
+    std::cerr << errors << " error(s), " << warnings << " warning(s)\n";
+  }
+  if (errors > 0) return 1;
+  if (opt.werror && warnings > 0) return 1;
+  return 0;
+}

@@ -9,6 +9,13 @@ namespace netqre::brolike {
 
 // -------------------------------------------------------------------- VM
 
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC's -Wmaybe-uninitialized false-positives on the inactive string
+// alternative of ScriptValue temporaries created by pop()/push_back below.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 void Interpreter::run(const Script& script,
                       const std::vector<ScriptValue>& event) {
   stack_.clear();
@@ -102,6 +109,10 @@ void Interpreter::run(const Script& script,
     ++pc;
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 size_t Interpreter::memory() const {
   size_t m = sizeof(*this) + globals.size() * sizeof(ScriptValue);

@@ -226,6 +226,27 @@ std::string Formula::to_string(const AtomTable& table) const {
   return "?";
 }
 
+bool formula_satisfiable(const AtomTable& table, const Formula& f) {
+  std::vector<int> ids;
+  f.collect_atoms(ids);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty()) return f.eval_bits(0);
+  if (ids.size() > static_cast<size_t>(kMaxSatAtoms) || ids.back() >= 64) {
+    return true;  // too large to enumerate: assume satisfiable
+  }
+  for (uint64_t local = 0; local < (uint64_t{1} << ids.size()); ++local) {
+    if (!assignment_consistent(table, ids, local)) continue;
+    // eval_bits indexes by global atom id; scatter the local assignment.
+    uint64_t global = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if ((local >> i) & 1) global |= uint64_t{1} << ids[i];
+    }
+    if (f.eval_bits(global)) return true;
+  }
+  return false;
+}
+
 bool assignment_consistent(const AtomTable& table,
                            const std::vector<int>& atom_ids, uint64_t bits) {
   const size_t n = atom_ids.size();

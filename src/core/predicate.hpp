@@ -118,4 +118,13 @@ class Formula {
 bool assignment_consistent(const AtomTable& table,
                            const std::vector<int>& atom_ids, uint64_t bits);
 
+// Conservative satisfiability check: true when some packet/valuation could
+// satisfy `f`, i.e. some assignment-consistent truth assignment to its atoms
+// makes it true.  Conservative in the "no false alarms" direction: returns
+// true when the formula references more atoms than can be enumerated
+// (> kMaxSatAtoms), so `!formula_satisfiable(...)` means *provably*
+// unsatisfiable.  Used by the NQ004 lint rule.
+inline constexpr int kMaxSatAtoms = 16;
+bool formula_satisfiable(const AtomTable& table, const Formula& f);
+
 }  // namespace netqre::core

@@ -345,6 +345,25 @@ Frag NfaBuilder::visit(const Re& re) {
 
 }  // namespace
 
+bool re_nullable(const Re& re) {
+  switch (re.kind) {
+    case Re::Kind::Epsilon: return true;
+    case Re::Kind::Pred: return false;
+    case Re::Kind::Concat:
+      return re_nullable(re.kids[0]) && re_nullable(re.kids[1]);
+    case Re::Kind::Alt:
+      return re_nullable(re.kids[0]) || re_nullable(re.kids[1]);
+    case Re::Kind::Star:
+    case Re::Kind::Opt:
+      return true;
+    case Re::Kind::Plus: return re_nullable(re.kids[0]);
+    case Re::Kind::And:
+      return re_nullable(re.kids[0]) && re_nullable(re.kids[1]);
+    case Re::Kind::Not: return !re_nullable(re.kids[0]);
+  }
+  return false;
+}
+
 bool Dfa::is_dead(int state) const {
   std::vector<bool> seen(n_states(), false);
   std::deque<int> work{state};

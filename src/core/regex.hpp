@@ -110,6 +110,11 @@ class Dfa {
   std::vector<uint64_t> letters;
 };
 
+// Syntactic nullability: true when `re` accepts the empty stream.  Exact for
+// every Re (complement flips it), and needs no automaton construction — used
+// by the static ambiguity lint (NQ005) before committing to a DFA build.
+bool re_nullable(const Re& re);
+
 // Compiles a PSRE to a minimal complete DFA.  Throws std::runtime_error when
 // the expression references more than `kMaxAtoms` distinct atoms.
 inline constexpr int kMaxAtoms = 20;

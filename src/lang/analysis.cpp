@@ -1,0 +1,979 @@
+#include "lang/analysis.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "core/predicate.hpp"
+#include "core/regex.hpp"
+#include "lang/lower.hpp"
+#include "lang/parser.hpp"
+
+namespace netqre::lang {
+namespace {
+
+using core::AtomTable;
+using core::Formula;
+using core::Re;
+
+// Builtin expression-level callables handled directly by the lowerer.
+const std::set<std::string> kBuiltinCalls = {
+    "filter", "exists", "exist", "alert", "block", "size", "recent", "every",
+};
+const std::set<std::string> kPredMacros = {"is_tcp", "is_udp", "in_conn"};
+
+// Coarse type classes for the conservative NQ003 check.  Values within one
+// class share a runtime representation (Int/Bool/IP/Port/Double all compare
+// through the numeric payload), so only cross-class mixes are definite bugs.
+enum class TypeClass { Numeric, String, Conn, Packet, Action, Unknown };
+
+TypeClass class_of_surface(const std::string& t) {
+  if (t == "int" || t == "bool" || t == "double" || t == "IP" || t == "Port") {
+    return TypeClass::Numeric;
+  }
+  if (t == "string") return TypeClass::String;
+  if (t == "Conn") return TypeClass::Conn;
+  if (t == "packet") return TypeClass::Packet;
+  if (t == "action") return TypeClass::Action;
+  return TypeClass::Unknown;  // "re" and future types
+}
+
+TypeClass class_of_type(core::Type t) {
+  switch (t) {
+    case core::Type::Int:
+    case core::Type::Bool:
+    case core::Type::Double:
+    case core::Type::Ip:
+    case core::Type::Port:
+      return TypeClass::Numeric;
+    case core::Type::String: return TypeClass::String;
+    case core::Type::Conn: return TypeClass::Conn;
+    case core::Type::Packet: return TypeClass::Packet;
+    case core::Type::Action: return TypeClass::Action;
+  }
+  return TypeClass::Unknown;
+}
+
+std::string class_name(TypeClass c) {
+  switch (c) {
+    case TypeClass::Numeric: return "numeric";
+    case TypeClass::String: return "string";
+    case TypeClass::Conn: return "Conn";
+    case TypeClass::Packet: return "packet";
+    case TypeClass::Action: return "action";
+    case TypeClass::Unknown: return "?";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- pseudo
+// Static lowering of predicates and regex domains against *unbound*
+// parameters: every in-scope name gets a pseudo parameter slot in a local
+// AtomTable, which is exactly how the real compiler treats a parameter whose
+// value is not yet known.  This lets the analyzer reuse the core machinery
+// (formula_satisfiable, star/concat_unambiguous) without running the
+// lowering pass.
+
+// A statically-known binding for a name during pseudo-lowering: either a
+// pseudo slot (+ constant shift) or a literal.
+struct PBind {
+  bool is_slot = true;
+  int slot = -1;
+  int64_t shift = 0;
+  core::Value lit;
+};
+using PEnv = std::map<std::string, PBind>;
+
+class PseudoLowerer {
+ public:
+  explicit PseudoLowerer(const Program& prog) : prog_(prog) {}
+
+  AtomTable table;
+  // False once anything could not be modelled faithfully; the structural
+  // result is still usable for nullability, but not for satisfiability or
+  // ambiguity decisions.
+  bool atoms_exact = true;
+
+  int slot_of(const std::string& name) {
+    auto [it, inserted] = slots_.try_emplace(name, next_slot_);
+    if (inserted) ++next_slot_;
+    return it->second;
+  }
+
+  // ---- predicates ------------------------------------------------------
+
+  Formula lower_pred(const PredExp& p, const PEnv& env) {
+    switch (p.kind) {
+      case PredExp::Kind::True:
+        return Formula::make_true();
+      case PredExp::Kind::Cmp:
+        return lower_cmp(p, env);
+      case PredExp::Kind::And:
+        return Formula::conj(lower_pred(p.kids[0], env),
+                             lower_pred(p.kids[1], env));
+      case PredExp::Kind::Or:
+        return Formula::disj(lower_pred(p.kids[0], env),
+                             lower_pred(p.kids[1], env));
+      case PredExp::Kind::Not:
+        return Formula::negate(lower_pred(p.kids[0], env));
+      case PredExp::Kind::Macro:
+        return lower_macro(p, env);
+    }
+    return give_up();
+  }
+
+  // ---- regex domains ---------------------------------------------------
+
+  // Domain regex of an expression, when it is statically regex-shaped:
+  // regex literals, concat sugar, (inlined) sfun references, `f ? v`
+  // conditionals, split (concatenation of operand domains), iter (star),
+  // filter (/.*[p]/) and exists (/.*/): the cases §3.3's unambiguity
+  // requirement can be checked against.  nullopt = structurally unknown.
+  std::optional<Re> domain_of(const Exp& e, const PEnv& env) {
+    switch (e.kind) {
+      case Exp::Kind::Lit:
+        return Re::all();  // constants are defined on every stream
+      case Exp::Kind::Regex:
+      case Exp::Kind::Concat:
+        return re_of(e, env);
+      case Exp::Kind::Cond: {
+        const Exp& c = *e.kids[0];
+        if (!is_regex_shaped(c)) return std::nullopt;
+        if (e.kids.size() == 3) {
+          // `re ? a : b` is defined wherever its branches are; only the
+          // all-literal case is statically total.
+          if (e.kids[1]->kind == Exp::Kind::Lit &&
+              e.kids[2]->kind == Exp::Kind::Lit) {
+            return Re::all();
+          }
+          return std::nullopt;
+        }
+        return re_of(c, env);
+      }
+      case Exp::Kind::Split: {
+        std::optional<Re> out;
+        for (const auto& k : e.kids) {
+          std::optional<Re> d = domain_of(*k, env);
+          if (!d) return std::nullopt;
+          out = out ? Re::concat(std::move(*out), std::move(*d))
+                    : std::move(*d);
+        }
+        return out;
+      }
+      case Exp::Kind::Iter: {
+        std::optional<Re> d = domain_of(*e.kids[0], env);
+        if (!d) return std::nullopt;
+        return Re::star(std::move(*d));
+      }
+      case Exp::Kind::Call: {
+        if (e.name == "filter") {
+          Formula f = Formula::make_true();
+          for (const auto& k : e.kids) {
+            std::optional<PredExp> p = exp_to_pred(*k);
+            if (!p) return std::nullopt;
+            f = Formula::conj(std::move(f), lower_pred(*p, env));
+          }
+          return Re::concat(Re::all(), Re::pred_of(std::move(f)));
+        }
+        if (e.name == "exists" || e.name == "exist") return Re::all();
+        [[fallthrough]];
+      }
+      case Exp::Kind::Name: {
+        if (e.kind == Exp::Kind::Name && e.name == "last") {
+          return std::nullopt;
+        }
+        const SFun* f = prog_.find(e.name);
+        if (!f) return std::nullopt;
+        if (f->ret_type == "re") return re_of(e, env);
+        std::optional<PEnv> callee = bind_args(*f, e, env);
+        if (!callee) return std::nullopt;
+        if (!push(f->name)) return std::nullopt;  // recursive
+        std::optional<Re> out = domain_of(*f->body, *callee);
+        pop();
+        return out;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] bool is_regex_shaped(const Exp& e) const {
+    switch (e.kind) {
+      case Exp::Kind::Regex:
+      case Exp::Kind::Concat:
+        return true;
+      case Exp::Kind::Call:
+      case Exp::Kind::Name: {
+        const SFun* f = prog_.find(e.name);
+        return f && f->ret_type == "re";
+      }
+      default:
+        return false;
+    }
+  }
+
+  // Non-throwing mirror of the lowerer's exp_to_pred (filter/exists args).
+  std::optional<PredExp> exp_to_pred(const Exp& e) {
+    PredExp out;
+    out.line = e.line;
+    switch (e.kind) {
+      case Exp::Kind::Bin: {
+        if (e.op == "&&" || e.op == "||") {
+          auto a = exp_to_pred(*e.kids[0]);
+          auto b = exp_to_pred(*e.kids[1]);
+          if (!a || !b) return std::nullopt;
+          out.kind = e.op == "&&" ? PredExp::Kind::And : PredExp::Kind::Or;
+          out.kids = {std::move(*a), std::move(*b)};
+          return out;
+        }
+        const Exp& lhs = *e.kids[0];
+        if (lhs.kind == Exp::Kind::Name) {
+          out.field = lhs.name;
+        } else if (lhs.kind == Exp::Kind::FieldOf) {
+          out.field = lhs.name == "last" ? lhs.field
+                                         : lhs.name + "." + lhs.field;
+        } else {
+          return std::nullopt;
+        }
+        out.kind = PredExp::Kind::Cmp;
+        out.op = e.op;
+        auto rhs = exp_to_operand(*e.kids[1]);
+        if (!rhs) return std::nullopt;
+        out.rhs = std::move(*rhs);
+        return out;
+      }
+      case Exp::Kind::Call: {
+        out.kind = PredExp::Kind::Macro;
+        out.macro = e.name;
+        for (const auto& k : e.kids) {
+          auto op = exp_to_operand(*k);
+          if (!op) return std::nullopt;
+          out.macro_args.push_back(std::move(*op));
+        }
+        return out;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+ private:
+  const Program& prog_;
+  std::map<std::string, int> slots_;
+  int next_slot_ = 0;
+  std::vector<std::string> stack_;  // inlining recursion guard
+
+  Formula give_up() {
+    atoms_exact = false;
+    return Formula::make_true();
+  }
+
+  bool push(const std::string& name) {
+    for (const auto& s : stack_) {
+      if (s == name) return false;
+    }
+    stack_.push_back(name);
+    return true;
+  }
+  void pop() { stack_.pop_back(); }
+
+  Formula literal_atom(const core::FieldRef& ref, const std::string& op,
+                       core::Value lit) {
+    core::Atom a;
+    a.field = ref;
+    a.literal = std::move(lit);
+    if (op == "==" || op == "!=") {
+      a.op = core::CmpOp::Eq;
+    } else if (op == "<") {
+      a.op = core::CmpOp::Lt;
+    } else if (op == "<=") {
+      a.op = core::CmpOp::Le;
+    } else if (op == ">") {
+      a.op = core::CmpOp::Gt;
+    } else if (op == ">=") {
+      a.op = core::CmpOp::Ge;
+    } else if (op == "contains") {
+      a.op = core::CmpOp::Contains;
+    } else {
+      return give_up();
+    }
+    Formula f = Formula::atom(table.intern(a));
+    return op == "!=" ? Formula::negate(std::move(f)) : f;
+  }
+
+  Formula lower_cmp(const PredExp& p, const PEnv& env) {
+    std::optional<core::FieldRef> ref = core::resolve_field(p.field);
+    if (!ref) return give_up();
+    if (p.rhs.kind == PredExp::Operand::Kind::Literal) {
+      return literal_atom(*ref, p.op, p.rhs.lit);
+    }
+    // Parameter operand: bound literal, or (pseudo) slot + shift.
+    PBind b;
+    auto it = env.find(p.rhs.name);
+    if (it != env.end()) {
+      b = it->second;
+    } else {
+      b.slot = slot_of(p.rhs.name);  // free name: NQ001 reported elsewhere
+    }
+    const int64_t off = p.rhs.offset + b.shift;
+    if (!b.is_slot) {
+      core::Value v = b.lit;
+      if (off != 0) {
+        if (v.kind() != core::Value::Kind::Int) return give_up();
+        v = core::Value::integer(v.as_int() + off, v.type());
+      }
+      return literal_atom(*ref, p.op, std::move(v));
+    }
+    if (p.op != "==" && p.op != "!=") return give_up();
+    core::Atom a;
+    a.field = *ref;
+    a.op = core::CmpOp::Eq;
+    a.is_param = true;
+    a.param = b.slot;
+    a.offset = off;
+    Formula f = Formula::atom(table.intern(a));
+    return p.op == "!=" ? Formula::negate(std::move(f)) : f;
+  }
+
+  Formula lower_macro(const PredExp& p, const PEnv& env) {
+    auto proto_atom = [&](net::Proto proto) {
+      core::Atom a;
+      a.field = {core::Field::Proto, -1};
+      a.op = core::CmpOp::Eq;
+      a.literal = core::Value::integer(static_cast<int>(proto));
+      return Formula::atom(table.intern(a));
+    };
+    auto conn_atom = [&](const PredExp::Operand& arg) -> Formula {
+      if (arg.kind != PredExp::Operand::Kind::Name) return give_up();
+      core::Atom a;
+      a.field = {core::Field::ConnId, -1};
+      a.op = core::CmpOp::Eq;
+      a.is_param = true;
+      auto it = env.find(arg.name);
+      a.param = (it != env.end() && it->second.is_slot) ? it->second.slot
+                                                        : slot_of(arg.name);
+      return Formula::atom(table.intern(a));
+    };
+    if (p.macro == "is_tcp" || p.macro == "is_udp") {
+      Formula f = proto_atom(p.macro == "is_tcp" ? net::Proto::Tcp
+                                                 : net::Proto::Udp);
+      if (!p.macro_args.empty()) {
+        f = Formula::conj(std::move(f), conn_atom(p.macro_args[0]));
+      }
+      return f;
+    }
+    if (p.macro == "in_conn" && !p.macro_args.empty()) {
+      return conn_atom(p.macro_args[0]);
+    }
+    return give_up();
+  }
+
+  std::optional<PredExp::Operand> exp_to_operand(const Exp& e) {
+    PredExp::Operand op;
+    switch (e.kind) {
+      case Exp::Kind::Lit:
+        op.lit = e.lit;
+        return op;
+      case Exp::Kind::Name:
+        op.kind = PredExp::Operand::Kind::Name;
+        op.name = e.name;
+        return op;
+      case Exp::Kind::Bin:
+        if ((e.op == "+" || e.op == "-") &&
+            e.kids[0]->kind == Exp::Kind::Name &&
+            e.kids[1]->kind == Exp::Kind::Lit) {
+          op.kind = PredExp::Operand::Kind::Name;
+          op.name = e.kids[0]->name;
+          op.offset = e.kids[1]->lit.as_int() * (e.op == "-" ? -1 : 1);
+          return op;
+        }
+        return std::nullopt;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  // ---- regex expressions -----------------------------------------------
+
+  std::optional<Re> re_of(const Exp& e, const PEnv& env) {
+    switch (e.kind) {
+      case Exp::Kind::Regex:
+        return re_of_reexp(e.re, env);
+      case Exp::Kind::Concat: {
+        std::optional<Re> out;
+        for (const auto& k : e.kids) {
+          std::optional<Re> r = re_of(*k, env);
+          if (!r) return std::nullopt;
+          out = out ? Re::concat(std::move(*out), std::move(*r))
+                    : std::move(*r);
+        }
+        return out;
+      }
+      case Exp::Kind::Call:
+      case Exp::Kind::Name: {
+        const SFun* f = prog_.find(e.name);
+        if (!f || f->ret_type != "re") return std::nullopt;
+        std::optional<PEnv> callee = bind_args(*f, e, env);
+        if (!callee) return std::nullopt;
+        if (!push(f->name)) return std::nullopt;  // recursive
+        std::optional<Re> out = re_of(*f->body, *callee);
+        pop();
+        return out;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Re> re_of_reexp(const ReExp& r, const PEnv& env) {
+    auto bin = [&](Re (*mk)(Re, Re)) -> std::optional<Re> {
+      auto a = re_of_reexp(r.kids[0], env);
+      auto b = re_of_reexp(r.kids[1], env);
+      if (!a || !b) return std::nullopt;
+      return mk(std::move(*a), std::move(*b));
+    };
+    auto un = [&](Re (*mk)(Re)) -> std::optional<Re> {
+      auto a = re_of_reexp(r.kids[0], env);
+      if (!a) return std::nullopt;
+      return mk(std::move(*a));
+    };
+    switch (r.kind) {
+      case ReExp::Kind::Eps: return Re::eps();
+      case ReExp::Kind::Any: return Re::any();
+      case ReExp::Kind::Pred: return Re::pred_of(lower_pred(r.pred, env));
+      case ReExp::Kind::Concat: return bin(&Re::concat);
+      case ReExp::Kind::Alt: return bin(&Re::alt);
+      case ReExp::Kind::Star: return un(&Re::star);
+      case ReExp::Kind::Plus: return un(&Re::plus);
+      case ReExp::Kind::Opt: return un(&Re::opt);
+      case ReExp::Kind::And: return bin(&Re::conj);
+      case ReExp::Kind::Not: return un(&Re::negate);
+    }
+    return std::nullopt;
+  }
+
+  // Static argument binding for inlined calls: literals, names (mapped to
+  // the caller's binding or a fresh pseudo slot), name ± constant, and
+  // last.<field> (a dynamic slot in the real lowering — a fresh pseudo slot
+  // is exactly its "value unknown" semantics here).
+  std::optional<PEnv> bind_args(const SFun& f, const Exp& call,
+                                const PEnv& env) {
+    const size_t n_args =
+        call.kind == Exp::Kind::Call ? call.kids.size() : 0;
+    if (n_args != f.params.size()) return std::nullopt;  // NQ003 elsewhere
+    PEnv out;
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      const Exp& arg = *call.kids[i];
+      const std::string& pname = f.params[i].second;
+      PBind b;
+      if (arg.kind == Exp::Kind::Lit) {
+        b.is_slot = false;
+        b.lit = arg.lit;
+      } else if (arg.kind == Exp::Kind::Name) {
+        auto it = env.find(arg.name);
+        b = it != env.end() ? it->second
+                            : PBind{true, slot_of(arg.name), 0, {}};
+      } else if (arg.kind == Exp::Kind::Bin &&
+                 (arg.op == "+" || arg.op == "-") &&
+                 arg.kids[0]->kind == Exp::Kind::Name &&
+                 arg.kids[1]->kind == Exp::Kind::Lit) {
+        auto it = env.find(arg.kids[0]->name);
+        b = it != env.end() ? it->second
+                            : PBind{true, slot_of(arg.kids[0]->name), 0, {}};
+        const int64_t k =
+            arg.kids[1]->lit.as_int() * (arg.op == "-" ? -1 : 1);
+        if (b.is_slot) {
+          b.shift += k;
+        } else if (b.lit.kind() == core::Value::Kind::Int) {
+          b.lit = core::Value::integer(b.lit.as_int() + k, b.lit.type());
+        } else {
+          return std::nullopt;
+        }
+      } else if (arg.kind == Exp::Kind::FieldOf && arg.name == "last") {
+        b.slot = slot_of("last." + arg.field + "#" + f.name + "." + pname);
+      } else {
+        return std::nullopt;
+      }
+      out[pname] = std::move(b);
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------- analyzer
+
+struct ScopeVar {
+  std::string name;
+  std::string type;  // surface type name
+  int line = 0;
+  bool is_binder = false;
+  int uses = 0;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const Program& prog, size_t first_sfun)
+      : prog_(prog), first_(first_sfun) {}
+
+  Diagnostics run() {
+    for (size_t i = first_; i < prog_.sfuns.size(); ++i) {
+      check_sfun(prog_.sfuns[i]);
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  const Program& prog_;
+  size_t first_;
+  Diagnostics diags_;
+  std::vector<ScopeVar> scope_;
+  const SFun* cur_ = nullptr;
+  const Exp* window_ok_ = nullptr;  // the one call allowed to be recent/every
+
+  void error(const char* code, int line, std::string msg) {
+    diags_.push_back(Diagnostic::error(code, line, std::move(msg)));
+  }
+  void warn(const char* code, int line, std::string msg) {
+    diags_.push_back(Diagnostic::warning(code, line, std::move(msg)));
+  }
+
+  ScopeVar* lookup(const std::string& name) {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  }
+
+  // Pseudo-environment binding every in-scope name to its own slot.
+  PEnv scope_env(PseudoLowerer& pl) const {
+    PEnv env;
+    for (const auto& v : scope_) {
+      env[v.name] = PBind{true, pl.slot_of(v.name), 0, {}};
+    }
+    return env;
+  }
+
+  void check_sfun(const SFun& f) {
+    cur_ = &f;
+    scope_.clear();
+    for (const auto& [t, n] : f.params) {
+      scope_.push_back({n, t, f.line, false, 0});
+    }
+    // §3.6: recent(t)/every(t) may only head the top-level composition.
+    window_ok_ = nullptr;
+    if (f.body->kind == Exp::Kind::Comp) {
+      const Exp* h = f.body.get();
+      while (h->kind == Exp::Kind::Comp) h = h->kids[0].get();
+      if (h->kind == Exp::Kind::Call &&
+          (h->name == "recent" || h->name == "every")) {
+        window_ok_ = h;
+      }
+    }
+    walk(*f.body);
+    for (const auto& v : scope_) {
+      if (v.uses == 0) {
+        warn("NQ002", v.line,
+             "parameter '" + v.name + "' of '" + f.name +
+                 "' is never used (its guard-trie scope costs memory for "
+                 "nothing)");
+      }
+    }
+    scope_.clear();
+  }
+
+  // ---- the main walk: NQ001/NQ002/NQ003/NQ006 + check triggers ---------
+
+  void walk(const Exp& e) {
+    switch (e.kind) {
+      case Exp::Kind::Lit:
+        return;
+
+      case Exp::Kind::Name: {
+        if (e.name == "last") return;
+        if (ScopeVar* v = lookup(e.name)) {
+          ++v->uses;
+          return;
+        }
+        if (const SFun* f = prog_.find(e.name)) {
+          if (!f->params.empty()) {
+            error("NQ003", e.line,
+                  "'" + e.name + "' expects " +
+                      std::to_string(f->params.size()) +
+                      " argument(s), got 0");
+          }
+          return;
+        }
+        error("NQ001", e.line, "undefined name '" + e.name + "'");
+        return;
+      }
+
+      case Exp::Kind::FieldOf: {
+        if (e.name == "last") {
+          if (!core::resolve_field(e.field)) {
+            error("NQ001", e.line, "unknown field '" + e.field + "'");
+          }
+          return;
+        }
+        if (ScopeVar* v = lookup(e.name)) {
+          ++v->uses;
+          if (class_of_surface(v->type) == TypeClass::Conn &&
+              e.field != "srcip" && e.field != "dstip" &&
+              e.field != "srcport" && e.field != "dstport") {
+            error("NQ001", e.line,
+                  "unknown Conn component '" + e.field + "'");
+          }
+          return;
+        }
+        error("NQ001", e.line,
+              "undefined name '" + e.name + "' in field access");
+        return;
+      }
+
+      case Exp::Kind::Call:
+        walk_call(e);
+        return;
+
+      case Exp::Kind::Regex:
+        walk_re(e.re);
+        return;
+
+      case Exp::Kind::Concat:
+      case Exp::Kind::Cond:
+      case Exp::Kind::Bin:
+      case Exp::Kind::Comp:
+        for (const auto& k : e.kids) walk(*k);
+        return;
+
+      case Exp::Kind::Split:
+        for (const auto& k : e.kids) walk(*k);
+        check_split(e);
+        return;
+
+      case Exp::Kind::Iter:
+        walk(*e.kids[0]);
+        check_iter(e);
+        return;
+
+      case Exp::Kind::Agg: {
+        const size_t base = scope_.size();
+        for (const auto& [t, n] : e.binders) {
+          scope_.push_back({n, t, e.line, true, 0});
+        }
+        walk(*e.kids[0]);
+        for (size_t i = scope_.size(); i-- > base;) {
+          if (scope_[i].uses == 0) {
+            warn("NQ002", e.line,
+                 "aggregation binder '" + scope_[i].name +
+                     "' is never used (its guard-trie scope costs memory "
+                     "for nothing)");
+          }
+        }
+        scope_.resize(base);
+        return;
+      }
+    }
+  }
+
+  void walk_call(const Exp& e) {
+    if (e.name == "recent" || e.name == "every") {
+      if (&e != window_ok_) {
+        error("NQ006", e.line,
+              "time-based filter '" + e.name +
+                  "' may only appear at the head of the top-level "
+                  "composition chain (§3.6)");
+      }
+      if (e.kids.size() != 1 || e.kids[0]->kind != Exp::Kind::Lit ||
+          e.kids[0]->lit.kind() == core::Value::Kind::Str) {
+        error("NQ003", e.line, e.name + "(t) needs one numeric literal");
+        for (const auto& k : e.kids) walk(*k);
+      }
+      return;
+    }
+    if (e.name == "filter" || e.name == "exists" || e.name == "exist") {
+      walk_filter(e);
+      return;
+    }
+    if (e.name == "alert" || e.name == "block") {
+      for (const auto& k : e.kids) walk(*k);
+      return;
+    }
+    if (e.name == "size") {
+      if (e.kids.size() != 1) {
+        error("NQ003", e.line, "size expects 1 argument, got " +
+                                   std::to_string(e.kids.size()));
+      }
+      for (const auto& k : e.kids) walk(*k);
+      return;
+    }
+    const SFun* f = prog_.find(e.name);
+    if (!f) {
+      error("NQ001", e.line,
+            "undefined stream function '" + e.name + "'");
+      for (const auto& k : e.kids) walk(*k);
+      return;
+    }
+    check_call(e, *f);
+  }
+
+  // Predicate macros are only valid inside [...] atoms and filter args;
+  // walking them shares NQ001 name checking.
+  void walk_pred(const PredExp& p) {
+    switch (p.kind) {
+      case PredExp::Kind::True:
+        return;
+      case PredExp::Kind::Cmp: {
+        if (!core::resolve_field(p.field)) {
+          error("NQ001", p.line, "unknown field '" + p.field + "'");
+        }
+        if (p.rhs.kind == PredExp::Operand::Kind::Name) {
+          if (ScopeVar* v = lookup(p.rhs.name)) {
+            ++v->uses;
+          } else {
+            error("NQ001", p.line,
+                  "undefined name '" + p.rhs.name + "' in predicate");
+          }
+        }
+        return;
+      }
+      case PredExp::Kind::And:
+      case PredExp::Kind::Or:
+      case PredExp::Kind::Not:
+        for (const auto& k : p.kids) walk_pred(k);
+        return;
+      case PredExp::Kind::Macro: {
+        if (!kPredMacros.contains(p.macro)) {
+          error("NQ001", p.line,
+                "unknown predicate macro '" + p.macro + "'");
+          return;
+        }
+        if (p.macro == "in_conn" && p.macro_args.empty()) {
+          error("NQ003", p.line, "in_conn expects a Conn argument");
+        }
+        for (const auto& a : p.macro_args) {
+          if (a.kind != PredExp::Operand::Kind::Name) continue;
+          ScopeVar* v = lookup(a.name);
+          if (!v) {
+            error("NQ001", p.line,
+                  "undefined name '" + a.name + "' in predicate macro");
+            continue;
+          }
+          ++v->uses;
+          if (class_of_surface(v->type) != TypeClass::Conn &&
+              class_of_surface(v->type) != TypeClass::Unknown) {
+            error("NQ003", p.line,
+                  "'" + p.macro + "' expects a Conn argument but '" +
+                      a.name + "' is " + v->type);
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  void walk_re(const ReExp& r) {
+    if (r.kind == ReExp::Kind::Pred) {
+      walk_pred(r.pred);
+      check_pred_sat(r.pred, r.line);
+      return;
+    }
+    for (const auto& k : r.kids) walk_re(k);
+  }
+
+  // ---- NQ003: arity / type mismatch ------------------------------------
+
+  void check_call(const Exp& e, const SFun& f) {
+    if (e.kids.size() != f.params.size()) {
+      error("NQ003", e.line,
+            "'" + f.name + "' expects " + std::to_string(f.params.size()) +
+                " argument(s), got " + std::to_string(e.kids.size()));
+      for (const auto& k : e.kids) walk(*k);
+      return;
+    }
+    for (size_t i = 0; i < e.kids.size(); ++i) {
+      const Exp& arg = *e.kids[i];
+      walk(arg);
+      const auto& [ptype, pname] = f.params[i];
+      TypeClass want = class_of_surface(ptype);
+      TypeClass got = TypeClass::Unknown;
+      bool form_ok = true;
+      switch (arg.kind) {
+        case Exp::Kind::Lit:
+          got = class_of_type(arg.lit.type());
+          break;
+        case Exp::Kind::Name: {
+          if (ScopeVar* v = lookup(arg.name)) {
+            got = class_of_surface(v->type);
+          } else {
+            // Undefined names / sfun references were already reported or
+            // are not static arguments; only the latter is an NQ003.
+            form_ok = prog_.find(arg.name) == nullptr;
+          }
+          break;
+        }
+        case Exp::Kind::Bin:
+          if ((arg.op == "+" || arg.op == "-") &&
+              arg.kids[0]->kind == Exp::Kind::Name &&
+              arg.kids[1]->kind == Exp::Kind::Lit) {
+            if (ScopeVar* v = lookup(arg.kids[0]->name)) {
+              got = class_of_surface(v->type);
+            }
+          } else {
+            form_ok = false;
+          }
+          break;
+        case Exp::Kind::FieldOf:
+          if (arg.name == "last") {
+            if (auto ref = core::resolve_field(arg.field)) {
+              got = class_of_type(core::field_type(*ref));
+            }
+          } else {
+            form_ok = false;  // c.srcip etc. cannot be a call argument
+          }
+          break;
+        default:
+          form_ok = false;
+      }
+      if (!form_ok) {
+        error("NQ003", arg.line == 0 ? e.line : arg.line,
+              "argument " + std::to_string(i + 1) + " to '" + f.name +
+                  "' must be a literal, a parameter (optionally ± a "
+                  "constant) or last.<field>");
+        continue;
+      }
+      if (want != TypeClass::Unknown && got != TypeClass::Unknown &&
+          want != got) {
+        error("NQ003", arg.line == 0 ? e.line : arg.line,
+              "argument " + std::to_string(i + 1) + " to '" + f.name +
+                  "' is " + class_name(got) + " but parameter '" + pname +
+                  "' has type " + ptype);
+      }
+    }
+  }
+
+  // ---- NQ004: unsatisfiable predicates ---------------------------------
+
+  void check_pred_sat(const PredExp& p, int line) {
+    PseudoLowerer pl(prog_);
+    PEnv env = scope_env(pl);
+    Formula f = pl.lower_pred(p, env);
+    if (!pl.atoms_exact) return;  // modelled imprecisely: stay quiet
+    if (!core::formula_satisfiable(pl.table, f)) {
+      error("NQ004", line,
+            "predicate is unsatisfiable: no packet can match " +
+                f.to_string(pl.table));
+    }
+  }
+
+  void walk_filter(const Exp& e) {
+    PseudoLowerer pl(prog_);
+    PEnv env = scope_env(pl);
+    Formula all = Formula::make_true();
+    for (const auto& k : e.kids) {
+      // exp_to_pred lives on PseudoLowerer; run the NQ001 walk over the
+      // converted predicate (or the raw expression when malformed).
+      std::optional<PredExp> p = pl.exp_to_pred(*k);
+      if (!p) {
+        error("NQ007", k->line == 0 ? e.line : k->line,
+              "argument to '" + e.name + "' is not a predicate");
+        continue;
+      }
+      walk_pred(*p);
+      all = Formula::conj(std::move(all), pl.lower_pred(*p, env));
+    }
+    if (pl.atoms_exact && !core::formula_satisfiable(pl.table, all)) {
+      error("NQ004", e.line,
+            "'" + e.name + "' condition is unsatisfiable: no packet can "
+            "match " + all.to_string(pl.table));
+    }
+  }
+
+  // ---- NQ005: split/iter ambiguity -------------------------------------
+
+  void check_iter(const Exp& e) {
+    PseudoLowerer pl(prog_);
+    PEnv env = scope_env(pl);
+    std::optional<Re> dom = pl.domain_of(*e.kids[0], env);
+    if (!dom) return;
+    if (core::re_nullable(*dom)) {
+      warn("NQ005", e.line,
+           "iter body can match the empty stream: every stream has "
+           "infinitely many factorizations (§3.3 unambiguity violated)");
+      return;
+    }
+    if (!pl.atoms_exact) return;
+    try {
+      core::Dfa d = core::compile_regex(*dom, pl.table);
+      if (!core::star_unambiguous(d, pl.table)) {
+        warn("NQ005", e.line,
+             "iter body admits multiple factorizations of the same stream "
+             "(§3.3 unambiguity violated): results will be undefined");
+      }
+    } catch (const std::exception&) {
+      // Too many atoms to decide statically; the runtime check remains.
+    }
+  }
+
+  void check_split(const Exp& e) {
+    PseudoLowerer pl(prog_);
+    PEnv env = scope_env(pl);
+    std::vector<std::optional<Re>> doms;
+    doms.reserve(e.kids.size());
+    for (const auto& k : e.kids) doms.push_back(pl.domain_of(*k, env));
+    if (!pl.atoms_exact) return;
+    // Right fold, mirroring the lowering: check each frontier between
+    // operand i and the concatenation of everything to its right.
+    std::optional<Re> suffix;
+    for (size_t i = e.kids.size(); i-- > 0;) {
+      if (!doms[i]) {
+        suffix = std::nullopt;
+        continue;
+      }
+      if (suffix) {
+        try {
+          core::Dfa left = core::compile_regex(*doms[i], pl.table);
+          core::Dfa right = core::compile_regex(*suffix, pl.table);
+          if (!core::concat_unambiguous(left, right, pl.table)) {
+            warn("NQ005", e.kids[i]->line == 0 ? e.line : e.kids[i]->line,
+                 "split operands " + std::to_string(i + 1) + " and " +
+                     std::to_string(i + 2) +
+                     " overlap: some stream splits in more than one "
+                     "position (§3.3 unambiguity violated)");
+          }
+        } catch (const std::exception&) {
+          // Too many atoms to decide statically.
+        }
+        suffix = Re::concat(std::move(*doms[i]), std::move(*suffix));
+      } else {
+        suffix = std::move(*doms[i]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Diagnostics analyze_program(const Program& prog, size_t first_sfun) {
+  return Analyzer(prog, first_sfun).run();
+}
+
+Diagnostics analyze_source(const std::string& source) {
+  Program prog;
+  size_t first = 0;
+  try {
+    Program prelude = parse_program(stdlib_source());
+    prog.sfuns = std::move(prelude.sfuns);
+    first = prog.sfuns.size();
+    Program user = parse_program(source);
+    for (auto& f : user.sfuns) prog.sfuns.push_back(std::move(f));
+  } catch (const ParseError& e) {
+    return {e.diag};
+  } catch (const LexError& e) {
+    return {e.diag};
+  }
+  return analyze_program(prog, first);
+}
+
+}  // namespace netqre::lang

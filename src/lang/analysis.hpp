@@ -1,0 +1,30 @@
+// Semantic analysis for NetQRE programs.
+//
+// Runs between parsing and lowering in the pipeline
+//     parse → analyze → lower → codegen
+// and collects structured diagnostics (see diag.hpp for the NQxxx rule
+// codes) instead of throwing on the first problem.  The pass is
+// conservative: every error it reports is a definite problem under the
+// paper's semantics; anything it cannot decide statically is skipped, so a
+// clean report never rules out a dynamic LowerError.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.hpp"
+#include "lang/diag.hpp"
+
+namespace netqre::lang {
+
+// Analyzes the sfuns of `prog` with index >= first_sfun.  Earlier sfuns
+// (typically the prelude) contribute signatures for call checking but are
+// not themselves linted, keeping diagnostic line numbers meaningful for the
+// user's source.
+Diagnostics analyze_program(const Program& prog, size_t first_sfun = 0);
+
+// Parses `source` with the prelude's stream functions in scope (the prelude
+// is parsed separately so line numbers refer to `source`) and analyzes it.
+// Lex/parse failures are reported as NQ000 diagnostics rather than thrown.
+Diagnostics analyze_source(const std::string& source);
+
+}  // namespace netqre::lang

@@ -1,0 +1,63 @@
+// Structured compiler diagnostics.
+//
+// Every front-end stage (lexer, parser, semantic analysis, lowering) reports
+// problems as Diagnostic values: a severity, a stable rule code, a 1-based
+// source line and a human-readable message.  The analysis pass collects them
+// into a list so one run reports *all* problems; the lexer/parser/lowerer
+// still throw on the first fatal problem but carry the same Diagnostic, so
+// the engine, the tests and netqre-lint share one reporting format.
+//
+// Rule codes:
+//   NQ000  syntax error (lexer / parser)
+//   NQ001  undefined parameter, field or stream-function reference
+//   NQ002  unused declared parameter or aggregation binder      (warning)
+//   NQ003  arity / type mismatch in a stream-function call
+//   NQ004  unsatisfiable predicate conjunction
+//   NQ005  ambiguous split / iter operand (unambiguity, §3.3)   (warning)
+//   NQ006  recent(t) / every(t) inside core operators (§3.6)
+//   NQ007  other lowering error (semantic problem found while compiling)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netqre::lang {
+
+struct Diagnostic {
+  enum class Severity : uint8_t { Error, Warning };
+
+  Severity severity = Severity::Error;
+  std::string code = "NQ000";
+  int line = 0;  // 1-based; 0 = no source position
+  std::string message;
+
+  [[nodiscard]] bool is_error() const { return severity == Severity::Error; }
+
+  // "line 4: error[NQ001]: undefined name 'foo'" (line part omitted when 0).
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    if (line > 0) out += "line " + std::to_string(line) + ": ";
+    out += severity == Severity::Error ? "error" : "warning";
+    out += "[" + code + "]: " + message;
+    return out;
+  }
+
+  static Diagnostic error(std::string code, int line, std::string message) {
+    return {Severity::Error, std::move(code), line, std::move(message)};
+  }
+  static Diagnostic warning(std::string code, int line, std::string message) {
+    return {Severity::Warning, std::move(code), line, std::move(message)};
+  }
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+inline bool has_errors(const Diagnostics& diags) {
+  for (const auto& d : diags) {
+    if (d.is_error()) return true;
+  }
+  return false;
+}
+
+}  // namespace netqre::lang

@@ -73,7 +73,7 @@ std::vector<Token> lex(const std::string& src) {
       t.line = line;
       if (groups == 4) {
         auto ip = net::parse_ip(text);
-        if (!ip) throw LexError("bad IP literal: " + text);
+        if (!ip) throw LexError(line, "bad IP literal: " + text);
         t.kind = Tok::Ip;
         t.int_value = *ip;
       } else if (groups == 2) {
@@ -83,7 +83,7 @@ std::vector<Token> lex(const std::string& src) {
         t.kind = Tok::Int;
         t.int_value = std::stoll(text);
       } else {
-        throw LexError("bad numeric literal: " + text);
+        throw LexError(line, "bad numeric literal: " + text);
       }
       (void)all_digits;
       out.push_back(std::move(t));
@@ -107,7 +107,9 @@ std::vector<Token> lex(const std::string& src) {
         }
         ++j;
       }
-      if (j >= src.size()) throw LexError("unterminated string literal");
+      if (j >= src.size()) {
+        throw LexError(line, "unterminated string literal");
+      }
       Token t;
       t.kind = Tok::Str;
       t.text = std::move(text);
@@ -188,8 +190,8 @@ std::vector<Token> lex(const std::string& src) {
         }
         break;
       default:
-        throw LexError("unexpected character '" + std::string(1, c) +
-                       "' at line " + std::to_string(line));
+        throw LexError(line,
+                       "unexpected character '" + std::string(1, c) + "'");
     }
     ++i;
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/value.hpp"
+#include "lang/diag.hpp"
 #include "net/ipv4.hpp"
 
 namespace netqre::lang {
@@ -41,7 +42,11 @@ struct Token {
 };
 
 struct LexError : std::runtime_error {
-  explicit LexError(const std::string& msg) : std::runtime_error(msg) {}
+  explicit LexError(Diagnostic d)
+      : std::runtime_error(d.to_string()), diag(std::move(d)) {}
+  LexError(int line, const std::string& msg)
+      : LexError(Diagnostic::error("NQ000", line, msg)) {}
+  Diagnostic diag;
 };
 
 std::vector<Token> lex(const std::string& source);

@@ -28,8 +28,7 @@ Type surface_type(const std::string& name, int line) {
   if (name == "packet") return Type::Packet;
   if (name == "action") return Type::Action;
   if (name == "re") return Type::Bool;  // regex-valued helper sfun
-  throw LowerError("unknown type '" + name + "' at line " +
-                   std::to_string(line));
+  throw LowerError(line, "unknown type '" + name + "'");
 }
 
 BinKind bin_kind(const std::string& op, int line) {
@@ -45,8 +44,7 @@ BinKind bin_kind(const std::string& op, int line) {
   if (op == "!=") return BinKind::Ne;
   if (op == "&&") return BinKind::And;
   if (op == "||") return BinKind::Or;
-  throw LowerError("unknown operator '" + op + "' at line " +
-                   std::to_string(line));
+  throw LowerError(line, "unknown operator '" + op + "'");
 }
 
 struct Binding {
@@ -105,7 +103,8 @@ class Lowerer {
     if (head->kind == Exp::Kind::Call &&
         (head->name == "recent" || head->name == "every")) {
       if (head->kids.size() != 1 || head->kids[0]->kind != Exp::Kind::Lit) {
-        throw LowerError(head->name + "(t) needs a numeric literal");
+        throw LowerError(head->line,
+                         head->name + "(t) needs a numeric literal");
       }
       out.window = head->name == "recent" ? CompiledProgram::Window::Recent
                                           : CompiledProgram::Window::Every;
@@ -120,7 +119,7 @@ class Lowerer {
   }
 
   [[noreturn]] void fail(const Exp& e, const std::string& msg) const {
-    throw LowerError(msg + " at line " + std::to_string(e.line));
+    throw LowerError(e.line, msg);
   }
 
   // ---- predicates --------------------------------------------------------
@@ -137,16 +136,15 @@ class Lowerer {
       if (op == "contains") {
         return b_.atom_cmp(field, core::CmpOp::Contains, std::move(v));
       }
-      throw LowerError("bad predicate operator '" + op + "' at line " +
-                       std::to_string(line));
+      throw LowerError(line, "bad predicate operator '" + op + "'");
     };
     if (rhs.kind == PredExp::Operand::Kind::Literal) {
       return make_lit(rhs.lit);
     }
     auto it = env.find(rhs.name);
     if (it == env.end()) {
-      throw LowerError("unknown name '" + rhs.name + "' in predicate at line " +
-                       std::to_string(line));
+      throw LowerError(line,
+                       "unknown name '" + rhs.name + "' in predicate");
     }
     if (it->second.kind == Binding::Kind::Lit) {
       Value v = it->second.lit;
@@ -163,9 +161,7 @@ class Lowerer {
     if (op == "!=") {
       return Formula::negate(b_.atom_param(field, it->second.slot, shift));
     }
-    throw LowerError(
-        "parameters may only be compared with == or != (line " +
-        std::to_string(line) + ")");
+    throw LowerError(line, "parameters may only be compared with == or !=");
   }
 
   Formula lower_pred(const PredExp& p, Env& env) {
@@ -185,7 +181,7 @@ class Lowerer {
       case PredExp::Kind::Macro:
         return lower_macro(p, env);
     }
-    throw LowerError("bad predicate");
+    throw LowerError(p.line, "bad predicate");
   }
 
   Formula lower_macro(const PredExp& p, Env& env) {
@@ -194,13 +190,12 @@ class Lowerer {
     };
     auto conn_param = [&](const PredExp::Operand& arg) -> Formula {
       if (arg.kind != PredExp::Operand::Kind::Name) {
-        throw LowerError("macro expects a Conn parameter (line " +
-                         std::to_string(p.line) + ")");
+        throw LowerError(p.line, "macro expects a Conn parameter");
       }
       auto it = env.find(arg.name);
       if (it == env.end() || it->second.kind != Binding::Kind::Slot) {
-        throw LowerError("unknown Conn parameter '" + arg.name + "' (line " +
-                         std::to_string(p.line) + ")");
+        throw LowerError(p.line,
+                         "unknown Conn parameter '" + arg.name + "'");
       }
       return b_.atom_param("conn", it->second.slot);
     };
@@ -221,8 +216,8 @@ class Lowerer {
     if (p.macro == "in_conn") {
       return conn_param(p.macro_args.at(0));
     }
-    throw LowerError("unknown predicate macro '" + p.macro + "' (line " +
-                     std::to_string(p.line) + ")");
+    throw LowerError(p.line,
+                     "unknown predicate macro '" + p.macro + "'");
   }
 
   // Converts an expression used in predicate position (filter args) into a
@@ -307,7 +302,7 @@ class Lowerer {
         return Re::conj(lower_re(r.kids[0], env), lower_re(r.kids[1], env));
       case ReExp::Kind::Not: return Re::negate(lower_re(r.kids[0], env));
     }
-    throw LowerError("bad regex");
+    throw LowerError(r.line, "bad regex");
   }
 
   // True when `e` denotes a regex (regex literal, concat sugar, or a call /
@@ -598,7 +593,7 @@ class Lowerer {
       case Exp::Kind::Comp:
         return b_.comp(lower(*e.kids[0], env), lower(*e.kids[1], env));
     }
-    throw LowerError("bad expression");
+    throw LowerError(e.line, "bad expression");
   }
 };
 

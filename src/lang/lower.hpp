@@ -13,11 +13,17 @@
 
 #include "core/builder.hpp"
 #include "lang/ast.hpp"
+#include "lang/diag.hpp"
 
 namespace netqre::lang {
 
 struct LowerError : std::runtime_error {
-  explicit LowerError(const std::string& msg) : std::runtime_error(msg) {}
+  explicit LowerError(Diagnostic d)
+      : std::runtime_error(d.to_string()), diag(std::move(d)) {}
+  LowerError(int line, const std::string& msg)
+      : LowerError(Diagnostic::error("NQ007", line, msg)) {}
+  explicit LowerError(const std::string& msg) : LowerError(0, msg) {}
+  Diagnostic diag;
 };
 
 struct CompiledProgram {

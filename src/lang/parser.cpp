@@ -13,12 +13,12 @@ const std::set<std::string> kTypeNames = {
 
 const std::set<std::string> kAggNames = {"sum", "avg", "max", "min"};
 
-core::AggOp agg_of(const std::string& name) {
+core::AggOp agg_of(const std::string& name, int line) {
   if (name == "sum") return core::AggOp::Sum;
   if (name == "avg") return core::AggOp::Avg;
   if (name == "max") return core::AggOp::Max;
   if (name == "min") return core::AggOp::Min;
-  throw ParseError("unknown aggregation operator: " + name);
+  throw ParseError(line, "unknown aggregation operator: " + name);
 }
 
 class Parser {
@@ -55,8 +55,8 @@ class Parser {
     ++pos_;
   }
   [[noreturn]] void fail(const std::string& msg) const {
-    throw ParseError(msg + " at line " + std::to_string(cur().line) +
-                     " (near '" + cur().text + "')");
+    std::string near = cur().text.empty() ? "" : " (near '" + cur().text + "')";
+    throw ParseError(cur().line, msg + near);
   }
 
   std::string type_name() {
@@ -257,7 +257,8 @@ class Parser {
       while (true) {
         if (cur().kind == Tok::Ident && kAggNames.contains(cur().text) &&
             peek().kind == Tok::RParen) {
-          node->agg = agg_of(eat().text);
+          node->agg = agg_of(cur().text, cur().line);
+          eat();
           break;
         }
         node->kids.push_back(exp());
@@ -277,7 +278,8 @@ class Parser {
       node->kids.push_back(exp());
       expect(Tok::Comma, "','");
       if (cur().kind != Tok::Ident) fail("expected aggregation operator");
-      node->agg = agg_of(eat().text);
+      node->agg = agg_of(cur().text, cur().line);
+      eat();
       expect(Tok::RParen, "')'");
       return node;
     }
@@ -288,7 +290,7 @@ class Parser {
       eat();
       auto node = std::make_shared<Exp>();
       node->kind = Exp::Kind::Agg;
-      node->agg = agg_of(name);
+      node->agg = agg_of(name, line);
       node->line = line;
       node->kids.push_back(exp());
       expect(Tok::Pipe, "'|'");

@@ -5,12 +5,17 @@
 #include <string>
 
 #include "lang/ast.hpp"
+#include "lang/diag.hpp"
 #include "lang/lexer.hpp"
 
 namespace netqre::lang {
 
 struct ParseError : std::runtime_error {
-  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+  explicit ParseError(Diagnostic d)
+      : std::runtime_error(d.to_string()), diag(std::move(d)) {}
+  ParseError(int line, const std::string& msg)
+      : ParseError(Diagnostic::error("NQ000", line, msg)) {}
+  Diagnostic diag;
 };
 
 // Parses a complete program (sequence of sfun declarations).

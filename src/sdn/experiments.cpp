@@ -169,7 +169,7 @@ std::vector<E2EResult> run_heavyhitter_experiment() {
     // Sliding 5 s window over polled cumulative counters.
     std::map<uint32_t, std::vector<std::pair<double, uint64_t>>> history;
     // The poll is evaluated lazily when packet time passes the poll time.
-    sw.set_mirror([&](const net::Packet& p, double now) {
+    sw.set_mirror([&](const net::Packet&, double now) {
       while (now >= next_poll) {
         for (const auto& [src, bytes] : sw.flow_bytes()) {
           auto& h = history[src];

@@ -1,0 +1,152 @@
+// Semantic-analysis tests: one bad snippet per lint rule asserting the
+// expected rule code and line, plus whole-file checks (all Table-1 queries
+// analyze clean of errors; one broken program yields several distinct
+// diagnostics in a single pass).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "apps/queries.hpp"
+#include "lang/analysis.hpp"
+#include "lang/diag.hpp"
+
+namespace netqre::lang {
+namespace {
+
+bool has_diag(const Diagnostics& diags, const std::string& code, int line) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.code == code && d.line == line;
+  });
+}
+
+std::string dump(const Diagnostics& diags) {
+  std::string out;
+  for (const auto& d : diags) out += "  " + d.to_string() + "\n";
+  return out.empty() ? "  (no diagnostics)\n" : out;
+}
+
+struct RuleCase {
+  const char* name;
+  const char* source;
+  const char* code;  // expected rule code
+  int line;          // expected 1-based line within `source`
+};
+
+// One deliberately bad snippet per rule.  Line numbers refer to the snippet
+// itself: the prelude is parsed separately, so user source starts at line 1.
+const RuleCase kRuleCases[] = {
+    {"NQ000_syntax",
+     "sfun int f =\n"
+     "  filter(srcip == ) >> count;\n",
+     "NQ000", 2},
+    {"NQ001_undefined_param",
+     "sfun int f(IP a) =\n"
+     "  filter(srcip == b) >> count;\n",
+     "NQ001", 2},
+    {"NQ001_undefined_sfun",
+     "sfun int f = nosuchfun >> count;\n", "NQ001", 1},
+    {"NQ002_unused_param",
+     "sfun int f(IP a, int threshold) =\n"
+     "  filter(srcip == a) >> count;\n",
+     "NQ002", 1},
+    {"NQ003_arity",
+     "sfun int g(IP a, IP b) = filter(srcip == a, dstip == b) >> count;\n"
+     "sfun int f(IP a) =\n"
+     "  g(a) >> count;\n",
+     "NQ003", 3},
+    {"NQ003_type",
+     "sfun int g(IP a) = filter(srcip == a) >> count;\n"
+     "sfun int f =\n"
+     "  g(\"nope\") >> count;\n",
+     "NQ003", 3},
+    {"NQ004_unsat_conjunction",
+     "sfun int f =\n"
+     "  filter(dstport == 80, dstport == 443) >> count;\n",
+     "NQ004", 2},
+    {"NQ005_nullable_iter",
+     "sfun int f =\n"
+     "  iter(/[syn == 1]*/ ? 1, sum);\n",
+     "NQ005", 2},
+    {"NQ005_overlapping_split",
+     "sfun int f =\n"
+     "  split(/[syn == 1]*/ ? 1, /[syn == 1]*/ ? 1, sum);\n",
+     "NQ005", 2},
+    {"NQ006_recent_inside_filter",
+     "sfun int f =\n"
+     "  filter(srcip == 1.2.3.4) >> count >> recent(5);\n",
+     "NQ006", 2},
+};
+
+class AnalysisRule : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(AnalysisRule, ReportsCodeAtLine) {
+  const RuleCase& c = GetParam();
+  Diagnostics diags = analyze_source(c.source);
+  EXPECT_TRUE(has_diag(diags, c.code, c.line))
+      << "expected " << c.code << " at line " << c.line << ", got:\n"
+      << dump(diags);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, AnalysisRule, ::testing::ValuesIn(kRuleCases),
+    [](const ::testing::TestParamInfo<RuleCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// Warnings must not masquerade as errors and vice versa.
+TEST(Analysis, SeverityMapping) {
+  Diagnostics diags = analyze_source(
+      "sfun int f(IP unused) = iter(/[syn == 1]*/ ? 1, sum);\n");
+  ASSERT_FALSE(diags.empty());
+  for (const auto& d : diags) {
+    EXPECT_TRUE(d.code == "NQ002" || d.code == "NQ005") << d.to_string();
+    EXPECT_FALSE(d.is_error()) << d.to_string();
+  }
+  EXPECT_FALSE(has_errors(diags));
+}
+
+// A single pass over one broken program reports all problems, not just the
+// first: at least two distinct rule codes, each with a source line.
+TEST(Analysis, MultipleDiagnosticsInOnePass) {
+  Diagnostics diags = analyze_source(
+      "sfun int per_src(IP a, int unused) =\n"
+      "  filter(srcip == a, dstport == 80 && dstport == 443) >> count;\n"
+      "sfun int f =\n"
+      "  per_src(1.2.3.4) >> recent(5) >> count;\n");
+  std::set<std::string> codes;
+  for (const auto& d : diags) {
+    EXPECT_GT(d.line, 0) << d.to_string();
+    codes.insert(d.code);
+  }
+  EXPECT_GE(codes.size(), 2u) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "NQ002", 1)) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "NQ004", 2)) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "NQ003", 4)) << dump(diags);
+  EXPECT_TRUE(has_diag(diags, "NQ006", 4)) << dump(diags);
+}
+
+// A correct program produces no diagnostics at all.
+TEST(Analysis, CleanProgramIsClean) {
+  Diagnostics diags = analyze_source(
+      "sfun int per_src(IP a) =\n"
+      "  filter(srcip == a, syn == 1) >> count;\n"
+      "sfun int f(IP a) = recent(10) >> per_src(a);\n");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+// Every Table-1 query file must analyze without errors (warnings allowed:
+// the runtime compiler flags the same split/iter ambiguities).
+TEST(Analysis, Table1QueriesHaveNoErrors) {
+  std::set<std::string> files;
+  for (const auto& q : apps::table1()) files.insert(q.file);
+  ASSERT_FALSE(files.empty());
+  for (const auto& file : files) {
+    Diagnostics diags = analyze_source(apps::load_source(file));
+    EXPECT_FALSE(has_errors(diags)) << file << ":\n" << dump(diags);
+  }
+}
+
+}  // namespace
+}  // namespace netqre::lang
