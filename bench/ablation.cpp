@@ -51,16 +51,18 @@ CompiledQuery hh_query(bool eager, bool fused) {
 struct Row {
   double mpps;
   int64_t result;
+  uint64_t wall_ns;
+  uint64_t state_bytes;
 };
 
 Row run(const CompiledQuery& q, const std::vector<net::Packet>& trace) {
   Engine eng(q);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& p : trace) eng.on_packet(p);
-  const double s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return {static_cast<double>(trace.size()) / s / 1e6, eng.eval().as_int()};
+  const uint64_t ns = bench::time_ns([&] {
+    for (const auto& p : trace) eng.on_packet(p);
+  });
+  return {static_cast<double>(trace.size()) * 1e3 /
+              static_cast<double>(ns),
+          eng.eval().as_int(), ns, eng.state_memory()};
 }
 
 }  // namespace
@@ -75,25 +77,34 @@ int main() {
   std::printf("Ablation (heavy hitter, %zu packets)\n\n", trace.size());
   std::printf("%-44s %10s %14s\n", "configuration", "MPPS", "result");
 
+  bench::BenchReporter report("ablation");
+  const auto emit = [&](const char* name, const Row& r) {
+    report.record({name, "backbone", trace.size(), r.wall_ns, r.state_bytes});
+  };
+
   const Row full = run(hh_query(false, true), trace);
   std::printf("%-44s %10.3f %14lld\n",
               "sparse + letter-class skip + fold fusion", full.mpps,
               static_cast<long long>(full.result));
+  emit("sparse+skip+fold", full);
 
   core::ParamScopeOp::set_skip_optimization(false);
   const Row noskip = run(hh_query(false, true), trace);
   core::ParamScopeOp::set_skip_optimization(true);
   std::printf("%-44s %10.3f %14lld\n", "sparse, no letter-class skip",
               noskip.mpps, static_cast<long long>(noskip.result));
+  emit("sparse_no_skip", noskip);
 
   const Row unfused = run(hh_query(false, false), trace);
   std::printf("%-44s %10.3f %14lld\n", "sparse + skip, generic iter counter",
               unfused.mpps, static_cast<long long>(unfused.result));
+  emit("generic_iter", unfused);
 
   const Row eager = run(hh_query(true, true), trace);
   std::printf("%-44s %10.3f %14lld\n",
               "eager guarded-state update (Algorithm 1)", eager.mpps,
               static_cast<long long>(eager.result));
+  emit("eager_update", eager);
 
   const bool agree = full.result == noskip.result &&
                      full.result == unfused.result &&

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/queries.hpp"
+#include "bench/common.hpp"
 #include "brolike/brolike.hpp"
 #include "core/engine.hpp"
 #include "trafficgen/trafficgen.hpp"
@@ -16,6 +17,7 @@
 int main() {
   using namespace netqre;
   using Clock = std::chrono::steady_clock;
+  bench::BenchReporter report("bro_comparison");
 
   trafficgen::SipConfig cfg;
   cfg.n_users = 50;
@@ -50,6 +52,11 @@ int main() {
   std::printf("\nspeedup: %.1fx (paper: ~23x; both engines must agree on "
               "the count)\n",
               bro_s / netqre_s);
+  report.record({"voip_count/netqre", "sip", trace.size(),
+                 static_cast<uint64_t>(netqre_s * 1e9),
+                 engine.state_memory()});
+  report.record({"voip_count/brolike", "sip", trace.size(),
+                 static_cast<uint64_t>(bro_s * 1e9), 0});
   if (netqre_calls != bro_calls || netqre_calls != cfg.n_calls) {
     std::printf("MISMATCH: expected %u calls\n", cfg.n_calls);
     return 1;

@@ -1,12 +1,19 @@
-// Shared workload setup for the benchmark binaries.
+// Shared workload setup and JSON result reporting for the benchmark
+// binaries.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/queries.hpp"
 #include "core/engine.hpp"
+#include "obs/json.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 namespace netqre::bench {
@@ -60,5 +67,96 @@ inline core::CompiledQuery compile(const std::string& file,
                                    const std::string& main) {
   return apps::compile_app(file, main).query;
 }
+
+// Wall-clock for one benchmark measurement, in nanoseconds.
+template <typename Fn>
+uint64_t time_ns(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+// One measured case inside a benchmark binary.
+struct BenchRow {
+  std::string name;               // e.g. "heavy_hitter/netqre"
+  std::string workload;           // backbone / syn_flood / slowloris / sip
+  uint64_t packets = 0;           // packets replayed in `wall_ns`
+  uint64_t wall_ns = 0;
+  uint64_t peak_state_bytes = 0;  // 0 when the case tracks no state
+};
+
+// Collects BenchRows and writes `<results-dir>/bench_<name>.json` when the
+// binary exits, alongside the human-readable stdout tables.  The results
+// directory defaults to ./results and can be moved with NETQRE_RESULTS_DIR.
+// Write failures (read-only working dir) are reported but never change the
+// benchmark's exit status.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench) : bench_(std::move(bench)) {}
+  ~BenchReporter() { write(); }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  // Last write wins per case name: benchmark frameworks re-run a case while
+  // calibrating iteration counts, and only the final (longest) run matters.
+  void record(BenchRow row) {
+    for (auto& r : rows_) {
+      if (r.name == row.name) {
+        r = std::move(row);
+        return;
+      }
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  static std::string results_dir() {
+    if (const char* env = std::getenv("NETQRE_RESULTS_DIR")) return env;
+    return "results";
+  }
+
+  void write() const {
+    if (rows_.empty()) return;
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(bench_);
+    w.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_object();
+      w.key("name").value(r.name);
+      w.key("workload").value(r.workload);
+      w.key("packets").value(r.packets);
+      w.key("wall_ns").value(r.wall_ns);
+      const double mpps =
+          r.wall_ns > 0
+              ? static_cast<double>(r.packets) * 1e3 /
+                    static_cast<double>(r.wall_ns)
+              : 0.0;
+      w.key("throughput_mpps").value(mpps);
+      w.key("peak_state_bytes").value(r.peak_state_bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    std::error_code ec;
+    const std::filesystem::path dir(results_dir());
+    std::filesystem::create_directories(dir, ec);
+    const std::filesystem::path path = dir / ("bench_" + bench_ + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.string().c_str());
+      return;
+    }
+    out << w.str() << '\n';
+  }
+
+ private:
+  std::string bench_;
+  std::vector<BenchRow> rows_;
+};
 
 }  // namespace netqre::bench

@@ -56,6 +56,7 @@ RunResult run_generated(const std::string& file, const std::string& main_fn,
 }  // namespace
 
 int main() {
+  bench::BenchReporter report("fig7_codegen");
   const char* tmp = std::getenv("TMPDIR");
   const std::string tmpdir = tmp ? tmp : "/tmp";
   const std::string pcap = tmpdir + "/netqre_codegen_backbone.pcap";
@@ -103,6 +104,10 @@ int main() {
     std::printf("%-22s %10.2f %10.2f %9.1f%% %12lld\n", app.title, gen_mpps,
                 base_mpps, (base_mpps / gen_mpps - 1.0) * 100.0,
                 gen.aggregate);
+    report.record({std::string(app.main_fn) + "/generated", "backbone_pcap",
+                   gen.packets, static_cast<uint64_t>(gen.seconds * 1e9), 0});
+    report.record({std::string(app.main_fn) + "/baseline", "backbone_pcap",
+                   packets.size(), static_cast<uint64_t>(base_s * 1e9), 0});
   }
   std::printf("\n(paper: compiled NetQRE within 9%% of manual baselines; "
               "'agree' shows the query aggregate)\n");

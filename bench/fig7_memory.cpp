@@ -26,6 +26,9 @@ void row(const std::string& app, const std::string& impl, size_t bytes,
 }  // namespace
 
 int main() {
+  // Wall time below covers the shared feed loop (all impls in a block);
+  // the JSON rows exist mainly for the peak_state_bytes column.
+  bench::BenchReporter report("fig7_memory");
   const auto& trace = bench::backbone();
   std::printf(
       "Fig 7b: state memory after processing %zu backbone packets\n\n",
@@ -35,11 +38,15 @@ int main() {
     core::Engine eng(bench::compile("heavy_hitter.nqre", "hh"));
     baselines::HeavyHitter base;
     sketch::OpenSketchHeavyHitter sk;
-    for (const auto& p : trace) {
-      eng.on_packet(p);
-      base.on_packet(p);
-      sk.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : trace) {
+        eng.on_packet(p);
+        base.on_packet(p);
+        sk.on_packet(p);
+      }
+    });
+    report.record({"heavy_hitter/netqre", "backbone", trace.size(), ns,
+                   eng.state_memory()});
     row("heavy hitter", "NetQRE", eng.state_memory());
     row("heavy hitter", "baseline", base.memory(),
         std::to_string(base.flows()) + " exact flows");
@@ -49,11 +56,15 @@ int main() {
     core::Engine eng(bench::compile("super_spreader.nqre", "ss"));
     baselines::SuperSpreader base;
     sketch::OpenSketchSuperSpreader sk;
-    for (const auto& p : trace) {
-      eng.on_packet(p);
-      base.on_packet(p);
-      sk.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : trace) {
+        eng.on_packet(p);
+        base.on_packet(p);
+        sk.on_packet(p);
+      }
+    });
+    report.record({"super_spreader/netqre", "backbone", trace.size(), ns,
+                   eng.state_memory()});
     row("super spreader", "NetQRE", eng.state_memory());
     row("super spreader", "baseline", base.memory());
     row("super spreader", "OpenSketch", sk.memory(), "approximate");
@@ -61,10 +72,14 @@ int main() {
   {
     core::Engine eng(bench::compile("entropy.nqre", "src_pkts"));
     baselines::EntropyEstimator base;
-    for (const auto& p : trace) {
-      eng.on_packet(p);
-      base.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : trace) {
+        eng.on_packet(p);
+        base.on_packet(p);
+      }
+    });
+    report.record({"entropy/netqre", "backbone", trace.size(), ns,
+                   eng.state_memory()});
     row("entropy", "NetQRE", eng.state_memory());
     row("entropy", "baseline", base.memory());
   }
@@ -72,10 +87,15 @@ int main() {
     core::TumblingWindow win(bench::compile("syn_flood.nqre",
                                             "incomplete_total"), 1.0);
     baselines::SynFloodDetector base;
-    for (const auto& p : bench::synflood_trace()) {
-      win.on_packet(p);
-      base.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : bench::synflood_trace()) {
+        win.on_packet(p);
+        base.on_packet(p);
+      }
+    });
+    report.record({"syn_flood/netqre", "syn_flood",
+                   bench::synflood_trace().size(), ns,
+                   win.engine().state_memory()});
     row("syn flood", "NetQRE", win.engine().state_memory(), "per window");
     row("syn flood", "baseline", base.memory());
   }
@@ -83,20 +103,29 @@ int main() {
     core::Engine eng(bench::compile("completed_flows.nqre",
                                     "completed_flows"));
     baselines::CompletedFlows base;
-    for (const auto& p : trace) {
-      eng.on_packet(p);
-      base.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : trace) {
+        eng.on_packet(p);
+        base.on_packet(p);
+      }
+    });
+    report.record({"completed_flows/netqre", "backbone", trace.size(), ns,
+                   eng.state_memory()});
     row("completed flows", "NetQRE", eng.state_memory());
     row("completed flows", "baseline", base.memory());
   }
   {
     core::Engine eng(bench::compile("slowloris.nqre", "avg_rate"));
     baselines::SlowlorisDetector base;
-    for (const auto& p : bench::slowloris_workload()) {
-      eng.on_packet(p);
-      base.on_packet(p);
-    }
+    const uint64_t ns = bench::time_ns([&] {
+      for (const auto& p : bench::slowloris_workload()) {
+        eng.on_packet(p);
+        base.on_packet(p);
+      }
+    });
+    report.record({"slowloris/netqre", "slowloris",
+                   bench::slowloris_workload().size(), ns,
+                   eng.state_memory()});
     row("slowloris", "NetQRE", eng.state_memory());
     row("slowloris", "baseline", base.memory());
   }

@@ -17,12 +17,28 @@ namespace {
 using namespace netqre;
 using bench::backbone;
 
-template <typename Fn>
-void replay(benchmark::State& state, const std::vector<net::Packet>& trace,
-            Fn make_sink) {
+bench::BenchReporter& reporter() {
+  static bench::BenchReporter r("fig7_throughput");
+  return r;
+}
+
+const char* workload_name(const std::vector<net::Packet>& trace) {
+  if (&trace == &backbone()) return "backbone";
+  if (&trace == &bench::synflood_trace()) return "syn_flood";
+  if (&trace == &bench::slowloris_workload()) return "slowloris";
+  return "custom";
+}
+
+template <typename Fn, typename PeakFn>
+void replay(benchmark::State& state, const char* name,
+            const std::vector<net::Packet>& trace, Fn make_sink,
+            PeakFn peak_state_bytes) {
+  uint64_t wall_ns = 0;
   for (auto _ : state) {
     auto sink = make_sink();
-    for (const auto& p : trace) sink(p);
+    wall_ns += bench::time_ns([&] {
+      for (const auto& p : trace) sink(p);
+    });
     benchmark::DoNotOptimize(sink);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -31,31 +47,47 @@ void replay(benchmark::State& state, const std::vector<net::Packet>& trace,
       static_cast<double>(state.iterations()) *
           static_cast<double>(trace.size()) / 1e6,
       benchmark::Counter::kIsRate);
+  reporter().record({name, workload_name(trace),
+                     static_cast<uint64_t>(state.iterations()) * trace.size(),
+                     wall_ns, peak_state_bytes()});
 }
 
-void engine_bench(benchmark::State& state, const std::string& file,
-                  const std::string& main,
+template <typename Fn>
+void replay(benchmark::State& state, const char* name,
+            const std::vector<net::Packet>& trace, Fn make_sink) {
+  replay(state, name, trace, make_sink, [] { return uint64_t{0}; });
+}
+
+void engine_bench(benchmark::State& state, const char* name,
+                  const std::string& file, const std::string& main,
                   const std::vector<net::Packet>& trace) {
   const auto query = bench::compile(file, main);
-  replay(state, trace, [&] {
-    return [engine = std::make_shared<core::Engine>(query)](
-               const net::Packet& p) { engine->on_packet(p); };
-  });
+  std::shared_ptr<core::Engine> last;
+  replay(
+      state, name, trace,
+      [&] {
+        last = std::make_shared<core::Engine>(query);
+        return [engine = last](const net::Packet& p) {
+          engine->on_packet(p);
+        };
+      },
+      [&] { return last ? uint64_t{last->state_memory()} : uint64_t{0}; });
 }
 
 // ---------------------------------------------------------- heavy hitter
 
 void BM_HeavyHitter_NetQRE(benchmark::State& state) {
-  engine_bench(state, "heavy_hitter.nqre", "hh", backbone());
+  engine_bench(state, "heavy_hitter/netqre", "heavy_hitter.nqre", "hh",
+               backbone());
 }
 void BM_HeavyHitter_Baseline(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "heavy_hitter/baseline", backbone(), [] {
     return [impl = std::make_shared<baselines::HeavyHitter>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
 }
 void BM_HeavyHitter_OpenSketch(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "heavy_hitter/opensketch", backbone(), [] {
     return [impl = std::make_shared<sketch::OpenSketchHeavyHitter>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
@@ -64,16 +96,17 @@ void BM_HeavyHitter_OpenSketch(benchmark::State& state) {
 // --------------------------------------------------------- super spreader
 
 void BM_SuperSpreader_NetQRE(benchmark::State& state) {
-  engine_bench(state, "super_spreader.nqre", "ss", backbone());
+  engine_bench(state, "super_spreader/netqre", "super_spreader.nqre", "ss",
+               backbone());
 }
 void BM_SuperSpreader_Baseline(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "super_spreader/baseline", backbone(), [] {
     return [impl = std::make_shared<baselines::SuperSpreader>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
 }
 void BM_SuperSpreader_OpenSketch(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "super_spreader/opensketch", backbone(), [] {
     return [impl = std::make_shared<sketch::OpenSketchSuperSpreader>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
@@ -82,10 +115,11 @@ void BM_SuperSpreader_OpenSketch(benchmark::State& state) {
 // ---------------------------------------------------------------- entropy
 
 void BM_Entropy_NetQRE(benchmark::State& state) {
-  engine_bench(state, "entropy.nqre", "src_pkts", backbone());
+  engine_bench(state, "entropy/netqre", "entropy.nqre", "src_pkts",
+               backbone());
 }
 void BM_Entropy_Baseline(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "entropy/baseline", backbone(), [] {
     return [impl = std::make_shared<baselines::EntropyEstimator>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
@@ -97,13 +131,19 @@ void BM_SynFlood_NetQRE(benchmark::State& state) {
   // Deployed with recent(5) (§4.2); benchmarked with 1 s tumbling windows so
   // the handshake-keyed guarded states are bounded as in deployment.
   const auto query = bench::compile("syn_flood.nqre", "incomplete_total");
-  replay(state, bench::synflood_trace(), [&] {
-    return [win = std::make_shared<core::TumblingWindow>(query, 1.0)](
-               const net::Packet& p) { win->on_packet(p); };
-  });
+  std::shared_ptr<core::TumblingWindow> last;
+  replay(
+      state, "syn_flood/netqre", bench::synflood_trace(),
+      [&] {
+        last = std::make_shared<core::TumblingWindow>(query, 1.0);
+        return [win = last](const net::Packet& p) { win->on_packet(p); };
+      },
+      [&] {
+        return last ? uint64_t{last->engine().state_memory()} : uint64_t{0};
+      });
 }
 void BM_SynFlood_Baseline(benchmark::State& state) {
-  replay(state, bench::synflood_trace(), [] {
+  replay(state, "syn_flood/baseline", bench::synflood_trace(), [] {
     return [impl = std::make_shared<baselines::SynFloodDetector>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
@@ -112,10 +152,11 @@ void BM_SynFlood_Baseline(benchmark::State& state) {
 // -------------------------------------------------------- completed flows
 
 void BM_CompletedFlows_NetQRE(benchmark::State& state) {
-  engine_bench(state, "completed_flows.nqre", "completed_flows", backbone());
+  engine_bench(state, "completed_flows/netqre", "completed_flows.nqre",
+               "completed_flows", backbone());
 }
 void BM_CompletedFlows_Baseline(benchmark::State& state) {
-  replay(state, backbone(), [] {
+  replay(state, "completed_flows/baseline", backbone(), [] {
     return [impl = std::make_shared<baselines::CompletedFlows>()](
                const net::Packet& p) { impl->on_packet(p); };
   });
@@ -124,11 +165,11 @@ void BM_CompletedFlows_Baseline(benchmark::State& state) {
 // -------------------------------------------------------------- slowloris
 
 void BM_Slowloris_NetQRE(benchmark::State& state) {
-  engine_bench(state, "slowloris.nqre", "avg_rate",
+  engine_bench(state, "slowloris/netqre", "slowloris.nqre", "avg_rate",
                bench::slowloris_workload());
 }
 void BM_Slowloris_Baseline(benchmark::State& state) {
-  replay(state, bench::slowloris_workload(), [] {
+  replay(state, "slowloris/baseline", bench::slowloris_workload(), [] {
     return [impl = std::make_shared<baselines::SlowlorisDetector>()](
                const net::Packet& p) { impl->on_packet(p); };
   });

@@ -21,7 +21,8 @@ namespace {
 using namespace netqre;
 using Clock = std::chrono::steady_clock;
 
-void run_app(const char* name, const core::CompiledQuery& query,
+void run_app(bench::BenchReporter& report, const char* name,
+             const char* workload, const core::CompiledQuery& query,
              const std::vector<net::Packet>& trace) {
   std::printf("%s\n", name);
   std::printf("  %7s %12s %12s %14s %14s\n", "threads", "busy-total",
@@ -47,6 +48,12 @@ void run_app(const char* name, const core::CompiledQuery& query,
     const double with_lb = base_busy / (critical + dispatch_s);
     std::printf("  %7d %11.3fs %11.3fs %13.2fx %13.2fx\n", threads, total,
                 critical, speedup, with_lb);
+    // wall_ns here is the critical path (busy-max): the wall time an
+    // N-core machine would need for the sharded work.
+    report.record({std::string(name) + "/threads=" + std::to_string(threads),
+                   workload, trace.size(),
+                   static_cast<uint64_t>(critical * 1e9),
+                   par.state_memory()});
   }
   std::printf("\n");
 }
@@ -54,16 +61,19 @@ void run_app(const char* name, const core::CompiledQuery& query,
 }  // namespace
 
 int main() {
+  bench::BenchReporter report("fig8_parallel");
   const auto& trace = bench::backbone();
   std::printf("Fig 8: parallel speedup over %zu packets "
               "(busy-time attribution; single-core container)\n\n",
               trace.size());
 
-  run_app("super spreader", bench::compile("super_spreader.nqre", "ss"),
-          trace);
-  run_app("syn flood", bench::compile("syn_flood.nqre", "incomplete_total"),
+  run_app(report, "super_spreader", "backbone",
+          bench::compile("super_spreader.nqre", "ss"), trace);
+  run_app(report, "syn_flood", "syn_flood",
+          bench::compile("syn_flood.nqre", "incomplete_total"),
           bench::synflood_trace());
-  run_app("slowloris", bench::compile("slowloris.nqre", "avg_rate"),
+  run_app(report, "slowloris", "slowloris",
+          bench::compile("slowloris.nqre", "avg_rate"),
           bench::slowloris_workload());
   return 0;
 }

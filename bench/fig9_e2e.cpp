@@ -11,26 +11,39 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/common.hpp"
 #include "sdn/experiments.hpp"
 
 int main(int argc, char** argv) {
   using namespace netqre::sdn;
   const char* only = argc > 1 ? argv[1] : "";
+  // wall_ns is the emulation wall time of each experiment (packets are the
+  // emulator's, not a replayed trace, so the packet column stays 0).
+  netqre::bench::BenchReporter report("fig9_e2e");
 
   if (!*only || std::strstr(only, "synflood")) {
     std::printf("=== Fig 9a: SYN flood detection and blocking ===\n");
-    std::printf("%s\n", format_series(run_synflood_experiment()).c_str());
+    const uint64_t ns = netqre::bench::time_ns([&] {
+      std::printf("%s\n", format_series(run_synflood_experiment()).c_str());
+    });
+    report.record({"fig9a_synflood", "sdn_emulation", 0, ns, 0});
   }
   if (!*only || std::strstr(only, "heavyhitter")) {
     std::printf("=== Fig 9b: heavy hitter mitigation "
                 "(netqre vs forward vs stats) ===\n");
-    for (const auto& r : run_heavyhitter_experiment()) {
-      std::printf("%s\n", format_series(r).c_str());
-    }
+    const uint64_t ns = netqre::bench::time_ns([&] {
+      for (const auto& r : run_heavyhitter_experiment()) {
+        std::printf("%s\n", format_series(r).c_str());
+      }
+    });
+    report.record({"fig9b_heavyhitter", "sdn_emulation", 0, ns, 0});
   }
   if (!*only || std::strstr(only, "voip")) {
     std::printf("=== Fig 9c: VoIP usage policy enforcement ===\n");
-    std::printf("%s\n", format_series(run_voip_experiment()).c_str());
+    const uint64_t ns = netqre::bench::time_ns([&] {
+      std::printf("%s\n", format_series(run_voip_experiment()).c_str());
+    });
+    report.record({"fig9c_voip", "sdn_emulation", 0, ns, 0});
   }
   return 0;
 }

@@ -7,8 +7,11 @@
 #include <string>
 
 #include "apps/queries.hpp"
+#include "bench/common.hpp"
 
 int main() {
+  // wall_ns is the full compile-pipeline time per application.
+  netqre::bench::BenchReporter report("table1_loc");
   // LoC reported in the paper's Table 1, keyed as in apps::table1().
   const std::map<std::string, int> kPaperLoc = {
       {"Heavy Hitter (S4.1)", 6},
@@ -39,13 +42,16 @@ int main() {
     max_loc = std::max(max_loc, loc);
     bool ok = true;
     std::string error;
-    try {
-      auto prog = netqre::apps::compile_app(app.file, app.main);
-      ok = prog.query.root != nullptr;
-    } catch (const std::exception& e) {
-      ok = false;
-      error = e.what();
-    }
+    const uint64_t ns = netqre::bench::time_ns([&] {
+      try {
+        auto prog = netqre::apps::compile_app(app.file, app.main);
+        ok = prog.query.root != nullptr;
+      } catch (const std::exception& e) {
+        ok = false;
+        error = e.what();
+      }
+    });
+    report.record({app.file + ":" + app.main, "compile", 0, ns, 0});
     std::printf("%-36s %8d %10d %10s  %s\n", app.title.c_str(), loc,
                 kPaperLoc.at(app.title), ok ? "yes" : "NO", error.c_str());
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lang/analysis.hpp"
+#include "obs/json.hpp"
 
 namespace {
 
@@ -26,23 +27,36 @@ constexpr const char* kUsage =
     "options:\n"
     "  --werror       exit nonzero on warnings too\n"
     "  --no-warnings  suppress warning-severity diagnostics\n"
+    "  --json         structured diagnostics on stdout (CI consumption)\n"
     "  -h, --help     show this help\n";
 
 struct Options {
   bool werror = false;
   bool no_warnings = false;
+  bool json = false;
   std::vector<std::string> files;
 };
 
-// Prints diagnostics for one source; returns via out-params.
+// Prints (or collects, in JSON mode) diagnostics for one source.
 void lint_source(const std::string& display, const std::string& source,
-                 const Options& opt, int& errors, int& warnings) {
+                 const Options& opt, netqre::obs::JsonWriter* json,
+                 int& errors, int& warnings) {
   for (const auto& d : netqre::lang::analyze_source(source)) {
     if (d.is_error()) {
       ++errors;
     } else {
       ++warnings;
       if (opt.no_warnings) continue;
+    }
+    if (json) {
+      json->begin_object();
+      json->key("file").value(display);
+      json->key("line").value(d.line);
+      json->key("severity").value(d.is_error() ? "error" : "warning");
+      json->key("code").value(d.code);
+      json->key("message").value(d.message);
+      json->end_object();
+      continue;
     }
     std::cout << display;
     if (d.line > 0) std::cout << ':' << d.line;
@@ -65,6 +79,8 @@ int main(int argc, char** argv) {
       opt.werror = true;
     } else if (arg == "--no-warnings") {
       opt.no_warnings = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg.size() > 1 && arg[0] == '-') {
       std::cerr << "netqre-lint: unknown option '" << arg << "'\n" << kUsage;
       return 2;
@@ -74,13 +90,21 @@ int main(int argc, char** argv) {
   }
   if (opt.files.empty()) opt.files.push_back("-");
 
+  netqre::obs::JsonWriter json;
+  if (opt.json) {
+    json.begin_object();
+    json.key("tool").value("netqre-lint");
+    json.key("diagnostics").begin_array();
+  }
+  netqre::obs::JsonWriter* jw = opt.json ? &json : nullptr;
+
   int errors = 0;
   int warnings = 0;
   for (const auto& file : opt.files) {
     std::ostringstream buf;
     if (file == "-") {
       buf << std::cin.rdbuf();
-      lint_source("<stdin>", buf.str(), opt, errors, warnings);
+      lint_source("<stdin>", buf.str(), opt, jw, errors, warnings);
       continue;
     }
     std::ifstream in(file);
@@ -89,10 +113,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     buf << in.rdbuf();
-    lint_source(file, buf.str(), opt, errors, warnings);
+    lint_source(file, buf.str(), opt, jw, errors, warnings);
   }
 
-  if (errors + warnings > 0) {
+  if (opt.json) {
+    json.end_array();
+    json.key("errors").value(errors);
+    json.key("warnings").value(warnings);
+    json.end_object();
+    std::cout << json.str() << '\n';
+  } else if (errors + warnings > 0) {
     std::cerr << errors << " error(s), " << warnings << " warning(s)\n";
   }
   if (errors > 0) return 1;

@@ -1,0 +1,467 @@
+// netqre-profile — runtime profiling for the shipped NetQRE applications.
+//
+// Runs any Table-1 query (apps/queries.hpp) over a generated workload or a
+// pcap capture and reports what the paper's evaluation plots (§6, Fig. 7–9):
+// throughput, sampled per-packet latency percentiles, per-op eval/transition
+// counts (top ops by work), and a guarded-state growth timeline.  Output is
+// a human-readable report, `--json` for machines, and `--prometheus` for a
+// raw metrics-registry dump.
+//
+// The metrics registry is reset before each query, so the per-query metrics
+// block is attributable to that query alone.
+//
+// Exit status: 0 on success, 1 when any query failed to compile/run, 2 on
+// usage or I/O problems.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "net/pcap.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace {
+
+using namespace netqre;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kUsage =
+    "usage: netqre-profile [options]\n"
+    "\n"
+    "Profiles shipped NetQRE queries: per-op eval counts, latency\n"
+    "percentiles, throughput and a state-growth timeline.\n"
+    "\n"
+    "options:\n"
+    "  --query FILE[:MAIN]  profile queries/FILE (repeatable; default all)\n"
+    "  --list               list shipped queries and exit\n"
+    "  --pcap FILE          replay a pcap (tolerant mode) instead of the\n"
+    "                       generated per-query workload\n"
+    "  --packets N          generated backbone packets (default 50000)\n"
+    "  --sample N           state-timeline sampling interval (default 1000)\n"
+    "  --top K              ops listed in the human report (default 10)\n"
+    "  --json               machine-readable report on stdout\n"
+    "  --prometheus         dump the metrics registry after each query\n"
+    "  -h, --help           show this help\n";
+
+struct Options {
+  std::vector<std::string> queries;  // "file" or "file:main"
+  std::string pcap;
+  uint64_t packets = 50'000;
+  uint64_t sample = 1'000;
+  size_t top = 10;
+  bool json = false;
+  bool prometheus = false;
+};
+
+struct TimelinePoint {
+  uint64_t packets = 0;
+  uint64_t state_bytes = 0;
+};
+
+struct OpRow {
+  int id = 0;
+  const char* kind = "";
+  uint64_t steps = 0;
+  uint64_t transitions = 0;
+};
+
+struct QueryReport {
+  apps::QueryInfo info;
+  std::string workload;
+  std::string error;  // non-empty when the query failed
+  uint64_t packets = 0;
+  uint64_t wall_ns = 0;
+  std::string result;
+  uint64_t actions_fired = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  uint64_t latency_samples = 0;
+  uint64_t state_bytes = 0, state_peak_bytes = 0, guarded_states = 0;
+  std::vector<OpRow> ops;                 // sorted by steps, descending
+  std::vector<TimelinePoint> timeline;
+  std::string metrics_json;               // full registry snapshot
+};
+
+// The workload each query is meaningful on (mirrors bench/ and tests).
+const std::vector<net::Packet>& workload_for(const std::string& file,
+                                             uint64_t n_packets,
+                                             std::string& name) {
+  if (file == "syn_flood.nqre") {
+    name = "synflood";
+    static const auto trace = [] {
+      trafficgen::SynFloodConfig cfg;
+      cfg.benign_handshakes = 2000;
+      cfg.attack_handshakes = 6000;
+      return trafficgen::syn_flood_trace(cfg);
+    }();
+    return trace;
+  }
+  if (file == "slowloris.nqre") {
+    name = "slowloris";
+    static const auto trace = [] {
+      trafficgen::SlowlorisConfig cfg;
+      cfg.normal_conns = 300;
+      cfg.slow_conns = 450;
+      return trafficgen::slowloris_trace(cfg);
+    }();
+    return trace;
+  }
+  if (file == "voip_usage.nqre") {
+    // The phase-split usage program keys guarded state on four parameters
+    // (two Conns, user, call id); keep the SIP trace small so the guard
+    // trie stays tractable, as examples/voip_quota does.
+    name = "sip_small";
+    static const auto trace = [] {
+      trafficgen::SipConfig cfg;
+      cfg.n_users = 4;
+      cfg.n_calls = 12;
+      cfg.media_pkts_per_call = 40;
+      return trafficgen::sip_trace(cfg);
+    }();
+    return trace;
+  }
+  if (file.rfind("voip", 0) == 0) {
+    name = "sip";
+    static const auto trace = [] {
+      trafficgen::SipConfig cfg;
+      cfg.n_users = 20;
+      cfg.n_calls = 200;
+      return trafficgen::sip_trace(cfg);
+    }();
+    return trace;
+  }
+  if (file.rfind("dns", 0) == 0) {
+    name = "dns";
+    static const auto trace =
+        trafficgen::dns_trace(trafficgen::DnsConfig{});
+    return trace;
+  }
+  if (file == "email_keywords.nqre") {
+    name = "smtp";
+    static const auto trace =
+        trafficgen::smtp_trace(trafficgen::SmtpConfig{});
+    return trace;
+  }
+  name = "backbone";
+  // Materialized once per process with the first requested size.
+  static const auto trace = [n_packets] {
+    trafficgen::BackboneConfig cfg;
+    cfg.n_packets = n_packets;
+    cfg.n_flows = static_cast<uint32_t>(
+        std::max<uint64_t>(1000, n_packets / 20));
+    return trafficgen::backbone_trace(cfg);
+  }();
+  return trace;
+}
+
+QueryReport profile_query(const apps::QueryInfo& info, const Options& opt,
+                          const std::vector<net::Packet>* pcap_trace) {
+  QueryReport rep;
+  rep.info = info;
+  try {
+    auto prog = apps::compile_app(info.file, info.main);
+    core::Engine engine(prog.query);
+    engine.enable_profiling();
+    obs::registry().reset();
+
+    const std::vector<net::Packet>* trace = pcap_trace;
+    if (trace) {
+      rep.workload = "pcap";
+    } else {
+      trace = &workload_for(info.file, opt.packets, rep.workload);
+    }
+
+    const auto t0 = Clock::now();
+    uint64_t next_sample = opt.sample;
+    for (const auto& p : *trace) {
+      engine.on_packet(p);
+      if (engine.packets() >= next_sample) {
+        rep.timeline.push_back({engine.packets(), engine.state_memory()});
+        next_sample += opt.sample;
+      }
+    }
+    engine.sample_state_metrics();
+    rep.wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    rep.packets = engine.packets();
+    rep.timeline.push_back({engine.packets(), engine.state_memory()});
+
+    try {
+      rep.result = engine.eval().to_string();
+    } catch (const std::exception& e) {
+      rep.result = std::string("<error: ") + e.what() + ">";
+    }
+
+    // Per-op table from the profile, then flush it into the per-kind
+    // registry counters so the snapshot below carries them too.
+    const core::OpProfile* prof = engine.profile();
+    const auto& ops = engine.indexed_ops();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      rep.ops.push_back({static_cast<int>(i), ops[i]->kind_name(),
+                         prof->steps[i], prof->transitions[i]});
+    }
+    std::stable_sort(rep.ops.begin(), rep.ops.end(),
+                     [](const OpRow& a, const OpRow& b) {
+                       return a.steps > b.steps;
+                     });
+    engine.publish_op_metrics();
+
+    const obs::Snapshot snap = obs::registry().snapshot();
+    if (const auto* h = snap.find("netqre_engine_packet_latency_ns")) {
+      rep.latency_samples = h->count;
+      rep.p50 = obs::histogram_quantile(*h, 0.5);
+      rep.p90 = obs::histogram_quantile(*h, 0.9);
+      rep.p99 = obs::histogram_quantile(*h, 0.99);
+    }
+    if (const auto* g = snap.find("netqre_engine_state_memory_bytes")) {
+      rep.state_bytes = static_cast<uint64_t>(g->value);
+      rep.state_peak_bytes = static_cast<uint64_t>(g->peak);
+    } else {
+      rep.state_bytes = rep.state_peak_bytes = engine.state_memory();
+    }
+    if (const auto* g = snap.find("netqre_engine_guarded_states")) {
+      rep.guarded_states = static_cast<uint64_t>(g->value);
+    }
+    if (const auto* c = snap.find("netqre_engine_actions_fired_total")) {
+      rep.actions_fired = c->count;
+    }
+    rep.metrics_json = snap.to_json();
+  } catch (const std::exception& e) {
+    rep.error = e.what();
+  }
+  return rep;
+}
+
+void write_json(const std::vector<QueryReport>& reports, const Options& opt) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("netqre-profile");
+  w.key("telemetry_enabled").value(obs::kEnabled);
+  w.key("sample_interval").value(opt.sample);
+  w.key("queries").begin_array();
+  for (const auto& rep : reports) {
+    w.begin_object();
+    w.key("title").value(rep.info.title);
+    w.key("file").value(rep.info.file);
+    w.key("main").value(rep.info.main);
+    if (!rep.error.empty()) {
+      w.key("error").value(rep.error);
+      w.end_object();
+      continue;
+    }
+    w.key("workload").value(rep.workload);
+    w.key("packets").value(rep.packets);
+    w.key("wall_ns").value(rep.wall_ns);
+    w.key("throughput_mpps")
+        .value(rep.wall_ns
+                   ? static_cast<double>(rep.packets) * 1e3 /
+                         static_cast<double>(rep.wall_ns)
+                   : 0.0);
+    w.key("result").value(rep.result);
+    w.key("actions_fired").value(rep.actions_fired);
+    w.key("latency_ns").begin_object();
+    w.key("samples").value(rep.latency_samples);
+    w.key("p50").value(rep.p50);
+    w.key("p90").value(rep.p90);
+    w.key("p99").value(rep.p99);
+    w.end_object();
+    w.key("state").begin_object();
+    w.key("bytes").value(rep.state_bytes);
+    w.key("peak_bytes").value(rep.state_peak_bytes);
+    w.key("guarded_states").value(rep.guarded_states);
+    w.end_object();
+    w.key("ops").begin_array();
+    for (const auto& op : rep.ops) {
+      w.begin_object();
+      w.key("id").value(op.id);
+      w.key("kind").value(op.kind);
+      w.key("steps").value(op.steps);
+      w.key("transitions").value(op.transitions);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("state_timeline").begin_array();
+    for (const auto& pt : rep.timeline) {
+      w.begin_object();
+      w.key("packets").value(pt.packets);
+      w.key("bytes").value(pt.state_bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics").raw(rep.metrics_json);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::cout << w.str() << '\n';
+}
+
+void write_human(const QueryReport& rep, const Options& opt) {
+  std::printf("=== %s (%s : %s) ===\n", rep.info.title.c_str(),
+              rep.info.file.c_str(), rep.info.main.c_str());
+  if (!rep.error.empty()) {
+    std::printf("  ERROR: %s\n\n", rep.error.c_str());
+    return;
+  }
+  std::printf("  workload %-10s packets %-10llu wall %.2f ms"
+              "  (%.2f Mpps)\n",
+              rep.workload.c_str(),
+              static_cast<unsigned long long>(rep.packets),
+              static_cast<double>(rep.wall_ns) / 1e6,
+              rep.wall_ns ? static_cast<double>(rep.packets) * 1e3 /
+                                static_cast<double>(rep.wall_ns)
+                          : 0.0);
+  std::printf("  result %s   actions fired %llu\n", rep.result.c_str(),
+              static_cast<unsigned long long>(rep.actions_fired));
+  if (rep.latency_samples > 0) {
+    std::printf("  latency (%llu samples): p50 %.0f ns  p90 %.0f ns  "
+                "p99 %.0f ns\n",
+                static_cast<unsigned long long>(rep.latency_samples),
+                rep.p50, rep.p90, rep.p99);
+  }
+  std::printf("  state: %.1f KB now, %.1f KB peak, %llu guarded states\n",
+              static_cast<double>(rep.state_bytes) / 1024.0,
+              static_cast<double>(rep.state_peak_bytes) / 1024.0,
+              static_cast<unsigned long long>(rep.guarded_states));
+  std::printf("  top ops by eval count:\n");
+  std::printf("    %4s %-12s %14s %14s\n", "id", "kind", "steps",
+              "transitions");
+  size_t shown = 0;
+  for (const auto& op : rep.ops) {
+    if (shown++ >= opt.top) break;
+    std::printf("    %4d %-12s %14llu %14llu\n", op.id, op.kind,
+                static_cast<unsigned long long>(op.steps),
+                static_cast<unsigned long long>(op.transitions));
+  }
+  if (rep.timeline.size() > 1) {
+    const auto& first = rep.timeline.front();
+    const auto& mid = rep.timeline[rep.timeline.size() / 2];
+    const auto& last = rep.timeline.back();
+    std::printf("  state growth: %.1f KB @%llu -> %.1f KB @%llu -> "
+                "%.1f KB @%llu pkts (%zu samples)\n",
+                static_cast<double>(first.state_bytes) / 1024.0,
+                static_cast<unsigned long long>(first.packets),
+                static_cast<double>(mid.state_bytes) / 1024.0,
+                static_cast<unsigned long long>(mid.packets),
+                static_cast<double>(last.state_bytes) / 1024.0,
+                static_cast<unsigned long long>(last.packets),
+                rep.timeline.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool list = false;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "netqre-profile: missing value for " << argv[i] << "\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--query") {
+      opt.queries.emplace_back(need_value(i));
+    } else if (arg == "--pcap") {
+      opt.pcap = need_value(i);
+    } else if (arg == "--packets") {
+      opt.packets = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--sample") {
+      opt.sample = std::max<uint64_t>(
+          1, std::strtoull(need_value(i), nullptr, 10));
+    } else if (arg == "--top") {
+      opt.top = std::strtoull(need_value(i), nullptr, 10);
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--prometheus") {
+      opt.prometheus = true;
+    } else {
+      std::cerr << "netqre-profile: unknown option '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& q : apps::table1()) {
+      std::printf("%-24s %-24s %s\n", q.file.c_str(), q.main.c_str(),
+                  q.title.c_str());
+    }
+    return 0;
+  }
+
+  // Resolve the query set.
+  std::vector<apps::QueryInfo> selected;
+  if (opt.queries.empty()) {
+    selected = apps::table1();
+  } else {
+    for (const auto& spec : opt.queries) {
+      const size_t colon = spec.find(':');
+      const std::string file = spec.substr(0, colon);
+      bool found = false;
+      for (const auto& q : apps::table1()) {
+        if (q.file == file) {
+          apps::QueryInfo info = q;
+          if (colon != std::string::npos) {
+            info.main = spec.substr(colon + 1);
+          }
+          selected.push_back(info);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::cerr << "netqre-profile: unknown query '" << file
+                  << "' (see --list)\n";
+        return 2;
+      }
+    }
+  }
+
+  // Optional pcap workload, shared by every selected query.
+  std::vector<net::Packet> pcap_trace;
+  const std::vector<net::Packet>* pcap_ptr = nullptr;
+  if (!opt.pcap.empty()) {
+    try {
+      net::PcapOptions popt;
+      popt.tolerant = true;
+      pcap_trace = net::read_all(opt.pcap, popt);
+      pcap_ptr = &pcap_trace;
+    } catch (const std::exception& e) {
+      std::cerr << "netqre-profile: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<QueryReport> reports;
+  bool failed = false;
+  for (const auto& info : selected) {
+    reports.push_back(profile_query(info, opt, pcap_ptr));
+    failed = failed || !reports.back().error.empty();
+    if (opt.prometheus) {
+      std::printf("# query: %s\n%s\n", info.file.c_str(),
+                  obs::registry().snapshot().to_prometheus().c_str());
+    }
+    if (!opt.json && !opt.prometheus) write_human(reports.back(), opt);
+  }
+  if (opt.json) write_json(reports, opt);
+  return failed ? 1 : 0;
+}

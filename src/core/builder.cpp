@@ -271,6 +271,7 @@ CompiledQuery QueryBuilder::finish(Expr e,
   q.result_type = e.type;
   q.param_names = std::move(param_names);
   q.warnings = warnings_;
+  index_ops(*q.root);  // preorder node ids for telemetry / profiling
   return q;
 }
 

@@ -1,27 +1,64 @@
 #include "core/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <map>
 #include <stdexcept>
+#include <string>
 
 namespace netqre::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
 
 Engine::Engine(CompiledQuery query) : query_(std::move(query)) {
   if (!query_.root) throw std::runtime_error("engine: empty query");
   state_ = query_.root->make_state();
   val_.assign(query_.n_slots, Value::undef());
   top_scope_ = dynamic_cast<const ParamScopeOp*>(query_.root.get());
+  auto& reg = obs::registry();
+  packets_total_ = &reg.counter("netqre_engine_packets_total");
+  actions_total_ = &reg.counter("netqre_engine_actions_fired_total");
+  latency_ns_ = &reg.histogram("netqre_engine_packet_latency_ns",
+                               obs::latency_bounds_ns());
+  state_bytes_ = &reg.gauge("netqre_engine_state_memory_bytes");
+  guarded_states_ = &reg.gauge("netqre_engine_guarded_states");
 }
 
 void Engine::on_packet(const net::Packet& p) {
   begin_packet_fields();
-  EvalContext ctx{&p, &val_};
+  EvalContext ctx{&p, &val_, prof_.get()};
+  // Sampled per-packet latency: two clock reads every kLatencySampleEvery
+  // packets; the branch below folds away entirely in OFF builds.
+  const bool sample =
+      obs::kEnabled && (n_packets_ & (kLatencySampleEvery - 1)) == 0;
+  Clock::time_point t0{};
+  if (sample) t0 = Clock::now();
   query_.root->step(*state_, ctx);
+  if (sample) {
+    latency_ns_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+  }
   ++n_packets_;
+  packets_total_->inc();
+  if (obs::kEnabled && n_packets_ >= next_state_sample_) {
+    sample_state_metrics();
+    const uint64_t interval = std::min(next_state_sample_,
+                                       kStateSampleMaxInterval);
+    next_state_sample_ += interval;
+  }
   if (action_ && query_.result_type == Type::Action) {
     // Parameterized policies fire one action per observed valuation; each
     // distinct action fires once (the runtime's alert/update semantics, §6).
     auto fire = [&](const Value& v) {
       if (v.type() != Type::Action) return;
-      if (fired_.insert(v.to_string()).second) action_(v, p);
+      if (fired_.insert(v.to_string()).second) {
+        actions_total_->inc();
+        action_(v, p);
+      }
     };
     if (top_scope_) {
       top_scope_->enumerate(*state_, [&](const std::vector<Value>&,
@@ -35,6 +72,7 @@ void Engine::on_packet(const net::Packet& p) {
 
 void Engine::on_stream(const std::vector<net::Packet>& packets) {
   for (const auto& p : packets) on_packet(p);
+  if constexpr (obs::kEnabled) sample_state_metrics();
 }
 
 Value Engine::eval_at(const std::vector<Value>& key) const {
@@ -57,6 +95,50 @@ void Engine::reset() {
   state_ = query_.root->make_state();
   val_.assign(query_.n_slots, Value::undef());
   n_packets_ = 0;
+  next_state_sample_ = kStateSampleFirst;
+  if (prof_) {
+    prof_->steps.assign(op_index_.size(), 0);
+    prof_->transitions.assign(op_index_.size(), 0);
+  }
+  if constexpr (obs::kEnabled) sample_state_metrics();
+}
+
+void Engine::sample_state_metrics() {
+  state_bytes_->set(static_cast<int64_t>(state_->memory()));
+  if (top_scope_) {
+    guarded_states_->set(
+        static_cast<int64_t>(top_scope_->stats(*state_).leaves));
+  }
+}
+
+void Engine::enable_profiling() {
+  op_index_ = index_ops(*query_.root);
+  prof_ = std::make_unique<OpProfile>();
+  prof_->steps.assign(op_index_.size(), 0);
+  prof_->transitions.assign(op_index_.size(), 0);
+}
+
+void Engine::publish_op_metrics() {
+  if (!prof_) return;
+  // Aggregate per kind first: registry lookups take a mutex each.
+  std::map<const char*, std::pair<uint64_t, uint64_t>> by_kind;
+  for (size_t i = 0; i < op_index_.size(); ++i) {
+    auto& acc = by_kind[op_index_[i]->kind_name()];
+    acc.first += prof_->steps[i];
+    acc.second += prof_->transitions[i];
+  }
+  auto& reg = obs::registry();
+  for (const auto& [kind, counts] : by_kind) {
+    const std::string label = std::string("{kind=\"") + kind + "\"}";
+    if (counts.first) {
+      reg.counter("netqre_op_steps_total" + label).inc(counts.first);
+    }
+    if (counts.second) {
+      reg.counter("netqre_op_transitions_total" + label).inc(counts.second);
+    }
+  }
+  prof_->steps.assign(op_index_.size(), 0);
+  prof_->transitions.assign(op_index_.size(), 0);
 }
 
 }  // namespace netqre::core

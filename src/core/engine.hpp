@@ -3,14 +3,23 @@
 // Feeds processed packets into a compiled query one at a time, evaluates the
 // result on demand, and dispatches actions (alert/block) to a handler — the
 // controller hookup of §7.3.
+//
+// Telemetry (src/obs): the engine exports the quantities the paper's
+// evaluation plots — packets consumed, sampled per-packet latency, action
+// fires, and guarded-state size/memory — as process-wide metrics, and can
+// additionally record a per-op profile (eval counts, state transitions per
+// tree node) when enable_profiling() is on.  All of it compiles to nothing
+// under -DNETQRE_TELEMETRY=OFF.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/builder.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace netqre::core {
 
@@ -44,14 +53,57 @@ class Engine {
   [[nodiscard]] const CompiledQuery& query() const { return query_; }
   [[nodiscard]] const OpState& state() const { return *state_; }
 
+  // ---- profiling ---------------------------------------------------------
+  // Starts recording per-op eval/transition counts (numbering the op tree in
+  // preorder if needed).  Cheap but not free: one predicted branch plus a
+  // vector increment per op step.  Survives reset().
+  void enable_profiling();
+  // Per-node counters; nullptr unless enable_profiling() was called.
+  [[nodiscard]] const OpProfile* profile() const { return prof_.get(); }
+  // Preorder node list matching OpProfile indices (empty until profiling).
+  [[nodiscard]] const std::vector<const Op*>& indexed_ops() const {
+    return op_index_;
+  }
+  // Flushes the per-op profile into the global per-kind counters
+  // `netqre_op_steps_total{kind=...}` / `netqre_op_transitions_total{...}`
+  // and zeroes the profile, so repeated flushes never double-count.
+  void publish_op_metrics();
+
+  // Updates the state-size gauges now (also done automatically on a
+  // doubling packet schedule, after on_stream, and on reset()).
+  void sample_state_metrics();
+
+  // Latency sampling interval (power of two; mask on the packet count).
+  static constexpr uint64_t kLatencySampleEvery = 64;
+  // State-size gauges walk the whole guard trie, so a fixed cadence would
+  // cost O(live states) per interval — on large tries that halves
+  // throughput.  Instead the sample points double from kStateSampleFirst
+  // up to a kStateSampleMaxInterval refresh period: O(log) walks over any
+  // run prefix, so the amortized per-packet cost vanishes, while
+  // on_stream()/reset() boundaries still publish exact values.
+  static constexpr uint64_t kStateSampleFirst = 1024;
+  static constexpr uint64_t kStateSampleMaxInterval = 1ull << 20;
+
  private:
   CompiledQuery query_;
   StateBox state_;
   Valuation val_;
   ActionFn action_;
   uint64_t n_packets_ = 0;
+  uint64_t next_state_sample_ = kStateSampleFirst;
   const ParamScopeOp* top_scope_ = nullptr;  // when root is a scope
   std::set<std::string> fired_;  // action dedup (one fire per action text)
+
+  std::unique_ptr<OpProfile> prof_;
+  std::vector<const Op*> op_index_;
+
+  // Cached registry handles (registration is the cold path; these make the
+  // hot path one relaxed atomic RMW).  Stubs under NETQRE_TELEMETRY=OFF.
+  obs::Counter* packets_total_;
+  obs::Counter* actions_total_;
+  obs::Histogram* latency_ns_;
+  obs::Gauge* state_bytes_;
+  obs::Gauge* guarded_states_;
 };
 
 }  // namespace netqre::core

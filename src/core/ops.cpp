@@ -275,6 +275,24 @@ struct ActionState final : OpState {
 
 // ----------------------------------------------------------------- base
 
+std::vector<const Op*> index_ops(const Op& root) {
+  std::vector<const Op*> order;
+  // Preorder numbering; shared subexpressions keep the id of their first
+  // (leftmost) occurrence, so their counts aggregate under one node.
+  auto walk = [&](auto&& self, const Op& op) -> void {
+    for (const Op* seen : order) {
+      if (seen == &op) return;
+    }
+    op.set_node_id(static_cast<int>(order.size()));
+    order.push_back(&op);
+    std::vector<const Op*> kids;
+    op.collect_children(kids);
+    for (const Op* k : kids) self(self, *k);
+  };
+  walk(walk, root);
+  return order;
+}
+
 void Op::set_domain(std::shared_ptr<const Dfa> d) {
   domain_ = std::move(d);
   domain_dead_.clear();
@@ -295,6 +313,7 @@ StateBox LastFieldOp::make_state() const {
 }
 
 void LastFieldOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<ValueState&>(s);
   st.v = extract(field_, *ctx.pkt);
   st.seen = true;
@@ -310,6 +329,7 @@ StateBox ParamRefOp::make_state() const {
 }
 
 void ParamRefOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<ValueState&>(s);
   if (slot_ >= 0 && static_cast<size_t>(slot_) < ctx.val->size()) {
     st.v = (*ctx.val)[slot_];
@@ -331,8 +351,11 @@ StateBox MatchOp::make_state() const {
 }
 
 void MatchOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<MatchState&>(s);
+  const int32_t prev = st.q;
   st.q = dfa_.step(st.q, dfa_.letter_of(*table_, *ctx.pkt, *ctx.val));
+  if (st.q != prev) prof_trans(ctx, *this);
 }
 
 Value MatchOp::eval(const OpState& s) const {
@@ -360,8 +383,11 @@ StateBox CondOp::make_state() const {
 }
 
 void CondOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<CondState&>(s);
+  const int32_t prev = st.q;
   st.q = re_.step(st.q, re_.letter_of(*table_, *ctx.pkt, *ctx.val));
+  if (st.q != prev) prof_trans(ctx, *this);
   then_->step(*st.thn, ctx);
   if (else_) else_->step(*st.els, ctx);
 }
@@ -396,6 +422,7 @@ StateBox BinOp::make_state() const {
 }
 
 void BinOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<PairState&>(s);
   lhs_->step(*st.a, ctx);
   rhs_->step(*st.b, ctx);
@@ -462,7 +489,9 @@ StateBox SplitOp::make_state() const {
 }
 
 void SplitOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<SplitState&>(s);
+  prof_trans(ctx, *this, st.cases.size());  // split cases advanced
   const Dfa* gdom = g_->domain();
   const uint64_t gl = gdom ? gdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
 
@@ -492,7 +521,10 @@ void SplitOp::step(OpState& s, const EvalContext& ctx) const {
         break;
       }
     }
-    if (!dup) st.cases.push_back(std::move(c));
+    if (!dup) {
+      st.cases.push_back(std::move(c));
+      prof_trans(ctx, *this);  // new split case opened
+    }
   }
 }
 
@@ -538,7 +570,9 @@ StateBox IterOp::make_state() const {
 }
 
 void IterOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<IterState&>(s);
+  prof_trans(ctx, *this, st.entries.size());  // iter entries advanced
   const Dfa* fdom = f_->domain();
   const uint64_t fl = fdom ? fdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
 
@@ -628,6 +662,8 @@ StateBox FoldOp::make_state() const {
 }
 
 void FoldOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
+  prof_trans(ctx, *this);  // every step folds one observation
   auto& st = static_cast<FoldState&>(s);
   if (!use_field_) {
     st.acc.add(constant_);
@@ -664,11 +700,15 @@ StateBox CompOp::make_state() const {
 }
 
 void CompOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<PairState&>(s);
   f_->step(*st.a, ctx);
   // §3.6 / Algorithm 4: f is applied to every prefix; when defined, its
   // output (the current packet for filter-shaped f) is piped into g.
-  if (f_->eval(*st.a).defined()) g_->step(*st.b, ctx);
+  if (f_->eval(*st.a).defined()) {
+    prof_trans(ctx, *this);  // packet forwarded through the composition
+    g_->step(*st.b, ctx);
+  }
 }
 
 Value CompOp::eval(const OpState& s) const {
@@ -699,6 +739,7 @@ StateBox ActionOp::make_state() const {
 }
 
 void ActionOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<ActionState&>(s);
   for (size_t i = 0; i < args_.size(); ++i) args_[i]->step(*st.args[i], ctx);
 }
@@ -737,6 +778,7 @@ StateBox TernaryOp::make_state() const {
 }
 
 void TernaryOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   auto& st = static_cast<CondState&>(s);
   auto& pair = static_cast<PairState&>(*st.thn);
   cond_->step(*pair.a, ctx);
@@ -779,6 +821,7 @@ void TernaryOp::collect_dfas(std::vector<DfaUse>& out, bool gated,
 StateBox ProjOp::make_state() const { return sub_->make_state(); }
 
 void ProjOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
   sub_->step(s, ctx);
 }
 
@@ -1034,6 +1077,8 @@ StateBox ParamScopeOp::make_state() const {
 }
 
 void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
+  prof_step(ctx, *this);
+  uint64_t leaves_stepped = 0;  // guard-trie leaves advanced this packet
   auto& st = static_cast<ScopeStateImpl&>(s);
   Valuation& val = *ctx.val;
 
@@ -1178,6 +1223,7 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
         ++st.combos_skipped;
         return;
       }
+      ++leaves_stepped;
       inner_->step(*node->leaf, ctx);
       return;
     }
@@ -1246,6 +1292,7 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
     auto sweep = [&](auto&& self, Node* node, int depth) -> void {
       if (depth == n_params_) {
         if (std::ranges::find(stepped, node->leaf.get()) == stepped.end()) {
+          ++leaves_stepped;
           inner_->step(*node->leaf, ctx);
         }
         return;
@@ -1290,6 +1337,7 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
       st.keys[i] = extract(mode_.keys[i], *ctx.pkt);
     }
   }
+  prof_trans(ctx, *this, leaves_stepped);
 }
 
 Value ParamScopeOp::eval(const OpState& s) const {

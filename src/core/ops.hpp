@@ -25,9 +25,24 @@
 
 namespace netqre::core {
 
+// Per-op profiling accumulators, indexed by Op::node_id() (assigned by
+// index_ops / QueryBuilder::finish).  Threaded through EvalContext; null in
+// the default hot path, so non-profiled engines pay one predicted branch
+// per op step.  Plain (non-atomic) counters: a profile belongs to exactly
+// one engine, which is single-threaded.
+struct OpProfile {
+  std::vector<uint64_t> steps;        // step() invocations per node
+  // Kind-specific "real work" count per node: DFA state changes (match /
+  // cond), split cases advanced, iter entries advanced, packets forwarded
+  // through a composition, guard-trie leaves stepped (param_scope),
+  // aggregate folds (fold).
+  std::vector<uint64_t> transitions;
+};
+
 struct EvalContext {
   const net::Packet* pkt = nullptr;
   Valuation* val = nullptr;  // all parameter slots of the query
+  OpProfile* prof = nullptr;  // non-null only while profiling
 };
 
 // Base class for per-op state.  States are value-like: cloneable (the guard
@@ -55,6 +70,14 @@ class Op {
   virtual void step(OpState& state, const EvalContext& ctx) const = 0;
   // Current value on the consumed stream; Undef when not defined.
   [[nodiscard]] virtual Value eval(const OpState& state) const = 0;
+  // Stable operator-kind label for telemetry ("match", "split", ...).
+  [[nodiscard]] virtual const char* kind_name() const = 0;
+  // Direct children, for tree walks (numbering, reporting).
+  virtual void collect_children(std::vector<const Op*>&) const {}
+  // Position of this op in its query's preorder numbering (index_ops);
+  // -1 until numbered.  Used to index OpProfile vectors.
+  [[nodiscard]] int node_id() const { return node_id_; }
+  void set_node_id(int id) const { node_id_ = id; }
   // Atom ids used anywhere in this subtree (for candidate extraction).
   virtual void collect_atoms(std::vector<int>&) const {}
   // DFAs used anywhere in this subtree, annotated with how their acceptance
@@ -96,9 +119,41 @@ class Op {
  protected:
   std::shared_ptr<const Dfa> domain_;
   std::vector<bool> domain_dead_;
+
+ private:
+  // Set once by index_ops() on an otherwise-immutable tree, before any
+  // stepping; safe for shared const ops.
+  mutable int node_id_ = -1;
 };
 
 using OpPtr = std::shared_ptr<const Op>;
+
+// Numbers every node of `root` in preorder (root = 0) and returns the nodes
+// in numbering order.  Idempotent; called by QueryBuilder::finish and by
+// Engine::enable_profiling for manually-assembled queries.
+std::vector<const Op*> index_ops(const Op& root);
+
+// Profiling hooks: one predicted branch when not profiling, nothing at all
+// in NETQRE_TELEMETRY_DISABLED builds.
+#if !defined(NETQRE_TELEMETRY_DISABLED)
+inline void prof_step(const EvalContext& ctx, const Op& op) {
+  if (ctx.prof) {
+    int id = op.node_id();
+    if (id >= 0 && static_cast<size_t>(id) < ctx.prof->steps.size())
+      ++ctx.prof->steps[id];
+  }
+}
+inline void prof_trans(const EvalContext& ctx, const Op& op, uint64_t n = 1) {
+  if (ctx.prof) {
+    int id = op.node_id();
+    if (id >= 0 && static_cast<size_t>(id) < ctx.prof->transitions.size())
+      ctx.prof->transitions[id] += n;
+  }
+}
+#else
+inline void prof_step(const EvalContext&, const Op&) {}
+inline void prof_trans(const EvalContext&, const Op&, uint64_t = 1) {}
+#endif
 
 // ----------------------------------------------------------- leaf ops
 
@@ -110,6 +165,7 @@ class ConstOp final : public Op {
   void step(OpState&, const EvalContext&) const override {}
   [[nodiscard]] Value eval(const OpState&) const override { return value_; }
   [[nodiscard]] bool has_ungated_updates() const override { return false; }
+  [[nodiscard]] const char* kind_name() const override { return "const"; }
   [[nodiscard]] const Value& value() const { return value_; }
   [[nodiscard]] Value ref_eval(std::span<const net::Packet> stream,
                                Valuation& val) const override;
@@ -123,6 +179,7 @@ class ConstOp final : public Op {
 class LastFieldOp final : public Op {
  public:
   explicit LastFieldOp(FieldRef field) : field_(field) {}
+  [[nodiscard]] const char* kind_name() const override { return "last_field"; }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -138,6 +195,7 @@ class LastFieldOp final : public Op {
 class ParamRefOp final : public Op {
  public:
   explicit ParamRefOp(int slot) : slot_(slot) {}
+  [[nodiscard]] const char* kind_name() const override { return "param_ref"; }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -163,6 +221,7 @@ class MatchOp final : public Op {
   void collect_dfas(std::vector<DfaUse>& out, bool gated,
                     bool segment) const override;
   [[nodiscard]] const Dfa& dfa() const { return dfa_; }
+  [[nodiscard]] const char* kind_name() const override { return "match"; }
   [[nodiscard]] bool has_ungated_updates() const override { return false; }
 
  private:
@@ -192,6 +251,11 @@ class CondOp final : public Op {
            (else_ && else_->has_ungated_updates());
   }
   [[nodiscard]] const Dfa& re() const { return re_; }
+  [[nodiscard]] const char* kind_name() const override { return "cond"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(then_.get());
+    if (else_) out.push_back(else_.get());
+  }
   [[nodiscard]] const Op* then_op() const { return then_.get(); }
   [[nodiscard]] const Op* else_op() const { return else_.get(); }
 
@@ -221,6 +285,11 @@ class BinOp final : public Op {
   void collect_dfas(std::vector<DfaUse>& out, bool gated,
                     bool segment) const override;
   static Value apply(BinKind kind, const Value& a, const Value& b);
+  [[nodiscard]] const char* kind_name() const override { return "bin"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(lhs_.get());
+    out.push_back(rhs_.get());
+  }
   [[nodiscard]] bool has_ungated_updates() const override {
     return lhs_->has_ungated_updates() || rhs_->has_ungated_updates();
   }
@@ -239,6 +308,11 @@ class SplitOp final : public Op {
   SplitOp(OpPtr f, OpPtr g, AggOp agg, std::shared_ptr<const AtomTable> table)
       : f_(std::move(f)), g_(std::move(g)), agg_(agg),
         table_(std::move(table)) {}
+  [[nodiscard]] const char* kind_name() const override { return "split"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(f_.get());
+    out.push_back(g_.get());
+  }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -262,6 +336,10 @@ class IterOp final : public Op {
  public:
   IterOp(OpPtr f, AggOp agg, std::shared_ptr<const AtomTable> table)
       : f_(std::move(f)), agg_(agg), table_(std::move(table)) {}
+  [[nodiscard]] const char* kind_name() const override { return "iter"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(f_.get());
+  }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -288,6 +366,7 @@ class FoldOp final : public Op {
   FoldOp(AggOp agg, bool use_field, FieldRef field, Value constant)
       : agg_(agg), use_field_(use_field), field_(field),
         constant_(std::move(constant)) {}
+  [[nodiscard]] const char* kind_name() const override { return "fold"; }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -323,6 +402,11 @@ class CompOp final : public Op {
   [[nodiscard]] bool has_ungated_updates() const override {
     return f_->has_ungated_updates();
   }
+  [[nodiscard]] const char* kind_name() const override { return "comp"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(f_.get());
+    out.push_back(g_.get());
+  }
   [[nodiscard]] const Op* f() const { return f_.get(); }
   [[nodiscard]] const Op* g() const { return g_.get(); }
 
@@ -337,6 +421,10 @@ class ActionOp final : public Op {
  public:
   ActionOp(std::string name, std::vector<OpPtr> args)
       : name_(std::move(name)), args_(std::move(args)) {}
+  [[nodiscard]] const char* kind_name() const override { return "action"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    for (const auto& a : args_) out.push_back(a.get());
+  }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -360,6 +448,12 @@ class TernaryOp final : public Op {
   TernaryOp(OpPtr c, OpPtr then_op, OpPtr else_op)
       : cond_(std::move(c)), then_(std::move(then_op)),
         else_(std::move(else_op)) {}
+  [[nodiscard]] const char* kind_name() const override { return "ternary"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(cond_.get());
+    out.push_back(then_.get());
+    if (else_) out.push_back(else_.get());
+  }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -381,6 +475,10 @@ class ProjOp final : public Op {
  public:
   enum class Component : uint8_t { SrcIp, DstIp, SrcPort, DstPort };
   ProjOp(Component c, OpPtr sub) : comp_(c), sub_(std::move(sub)) {}
+  [[nodiscard]] const char* kind_name() const override { return "proj"; }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(sub_.get());
+  }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -430,6 +528,12 @@ class ParamScopeOp final : public Op {
   [[nodiscard]] bool eager() const { return eager_; }
   [[nodiscard]] const std::vector<bool>& skip_param() const {
     return skip_param_;
+  }
+  [[nodiscard]] const char* kind_name() const override {
+    return "param_scope";
+  }
+  void collect_children(std::vector<const Op*>& out) const override {
+    out.push_back(inner_.get());
   }
 
   [[nodiscard]] StateBox make_state() const override;

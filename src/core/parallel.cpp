@@ -1,16 +1,24 @@
 #include "core/parallel.hpp"
 
+#include <chrono>
 #include <ctime>
 #include <deque>
+#include <string>
 
 #include "net/flow.hpp"
+#include "obs/metrics.hpp"
 
 namespace netqre::core {
 
 struct ParallelEngine::Shard {
-  explicit Shard(const CompiledQuery& query) : engine(query) {}
+  Shard(const CompiledQuery& query, int index)
+      : engine(query),
+        packets_total(&obs::registry().counter(
+            "netqre_parallel_shard_packets_total{shard=\"" +
+            std::to_string(index) + "\"}")) {}
 
   Engine engine;
+  obs::Counter* packets_total;
   std::mutex mu;
   std::condition_variable cv;
   std::deque<std::vector<net::Packet>> queue;
@@ -36,6 +44,7 @@ struct ParallelEngine::Shard {
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
       busy_seconds += static_cast<double>(t1.tv_sec - t0.tv_sec) +
                       1e-9 * static_cast<double>(t1.tv_nsec - t0.tv_nsec);
+      packets_total->inc(batch.size());
     }
   }
 
@@ -67,7 +76,7 @@ ParallelEngine::ParallelEngine(const CompiledQuery& query, int n_workers,
   }
   shards_.reserve(n_workers);
   for (int i = 0; i < n_workers; ++i) {
-    shards_.push_back(std::make_unique<Shard>(query));
+    shards_.push_back(std::make_unique<Shard>(query, i));
     Shard* s = shards_.back().get();
     s->thread = std::thread([s] { s->run(); });
   }
@@ -100,16 +109,45 @@ void ParallelEngine::finish() {
   finished_ = true;
 }
 
+namespace {
+
+// Times a cross-shard merge and records it in the merge-latency histogram;
+// compiles down to just fn() in OFF builds.
+template <typename Fn>
+auto timed_merge(Fn&& fn) {
+  if constexpr (obs::kEnabled) {
+    using Clock = std::chrono::steady_clock;
+    static obs::Histogram& hist = obs::registry().histogram(
+        "netqre_parallel_merge_latency_ns", obs::latency_bounds_ns());
+    const auto t0 = Clock::now();
+    auto result = fn();
+    hist.observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+    return result;
+  } else {
+    return fn();
+  }
+}
+
+}  // namespace
+
 Value ParallelEngine::aggregate(AggOp op) const {
-  AggAcc acc = AggAcc::identity(op);
-  for (const auto& s : shards_) acc.add(s->engine.eval());
-  return acc.result();
+  return timed_merge([&] {
+    AggAcc acc = AggAcc::identity(op);
+    for (const auto& s : shards_) acc.add(s->engine.eval());
+    return acc.result();
+  });
 }
 
 void ParallelEngine::enumerate_all(
     const std::function<void(const std::vector<Value>&, const Value&)>& fn)
     const {
-  for (const auto& s : shards_) s->engine.enumerate(fn);
+  timed_merge([&] {
+    for (const auto& s : shards_) s->engine.enumerate(fn);
+    return 0;
+  });
 }
 
 double ParallelEngine::busy_seconds(int shard) const {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace netqre::net {
 namespace {
@@ -36,6 +37,23 @@ struct RecordHeader {
 static_assert(sizeof(RecordHeader) == 16);
 
 uint32_t bswap(uint32_t v) { return __builtin_bswap32(v); }
+
+// Cached registry handles: registration interns once, reads are lock-free.
+obs::Counter& records_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_pcap_records_total");
+  return c;
+}
+obs::Counter& truncated_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_pcap_truncated_records_total");
+  return c;
+}
+obs::Counter& undecodable_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_pcap_undecodable_total");
+  return c;
+}
 
 }  // namespace
 
@@ -77,8 +95,8 @@ void PcapWriter::write_packet(const Packet& p) {
 
 void PcapWriter::flush() { out_.flush(); }
 
-PcapReader::PcapReader(const std::string& path)
-    : in_(path, std::ios::binary) {
+PcapReader::PcapReader(const std::string& path, Options opt)
+    : in_(path, std::ios::binary), opt_(opt) {
   if (!in_) throw std::runtime_error("pcap: cannot open " + path);
   GlobalHeader hdr{};
   in_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
@@ -97,11 +115,22 @@ PcapReader::PcapReader(const std::string& path)
   }
 }
 
+std::optional<PcapRecord> PcapReader::truncation(const char* what) {
+  ++truncated_;
+  truncated_total().inc();
+  if (!opt_.tolerant) {
+    throw std::runtime_error(std::string("pcap: ") + what);
+  }
+  in_.setstate(std::ios::eofbit);  // stop at the last whole record
+  return std::nullopt;
+}
+
 std::optional<PcapRecord> PcapReader::next() {
+  if (truncated_) return std::nullopt;  // tolerant reader already stopped
   RecordHeader hdr{};
   in_.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
   if (in_.gcount() == 0) return std::nullopt;  // clean EOF
-  if (!in_) throw std::runtime_error("pcap: truncated record header");
+  if (!in_) return truncation("truncated record header");
   if (swapped_) {
     hdr.ts_sec = bswap(hdr.ts_sec);
     hdr.ts_usec = bswap(hdr.ts_usec);
@@ -109,26 +138,31 @@ std::optional<PcapRecord> PcapReader::next() {
     hdr.orig_len = bswap(hdr.orig_len);
   }
   if (hdr.incl_len > snaplen_ + 65536u) {
-    throw std::runtime_error("pcap: implausible record length");
+    // A garbage length usually means the previous record was cut short and
+    // we are reading mid-payload; treat it as truncation, not corruption.
+    return truncation("implausible record length");
   }
   PcapRecord rec;
   rec.ts = hdr.ts_sec + hdr.ts_usec * 1e-6;
   rec.orig_len = hdr.orig_len;
   rec.data.resize(hdr.incl_len);
   in_.read(reinterpret_cast<char*>(rec.data.data()), hdr.incl_len);
-  if (!in_) throw std::runtime_error("pcap: truncated record body");
+  if (!in_) return truncation("truncated record body");
+  records_total().inc();
   return rec;
 }
 
 std::optional<Packet> PcapReader::next_packet() {
   while (auto rec = next()) {
     if (auto p = decode_frame(rec->data, rec->ts, rec->orig_len)) return p;
+    undecodable_total().inc();
   }
   return std::nullopt;
 }
 
-std::vector<Packet> read_all(const std::string& path) {
-  PcapReader reader(path);
+std::vector<Packet> read_all(const std::string& path,
+                             PcapReader::Options opt) {
+  PcapReader reader(path, opt);
   std::vector<Packet> out;
   while (auto p = reader.next_packet()) out.push_back(std::move(*p));
   return out;

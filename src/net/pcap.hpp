@@ -36,26 +36,45 @@ class PcapWriter {
   uint32_t snaplen_;
 };
 
+// In `tolerant` mode a truncated record mid-file (cut-short capture, disk
+// full, live rotation) ends the read at the last whole record and bumps the
+// `netqre_pcap_truncated_records_total` counter instead of throwing — the
+// rest of the trace stays usable.
+struct PcapOptions {
+  bool tolerant = false;
+};
+
 class PcapReader {
  public:
-  // Throws std::runtime_error on open failure or bad magic.
-  explicit PcapReader(const std::string& path);
+  using Options = PcapOptions;
 
-  // Returns the next record, or nullopt at end of file.
+  // Throws std::runtime_error on open failure or bad magic.
+  explicit PcapReader(const std::string& path, Options opt = Options());
+
+  // Returns the next record, or nullopt at end of file.  Strict mode throws
+  // on a truncated record; tolerant mode returns nullopt.
   std::optional<PcapRecord> next();
   // Convenience: next record decoded as a Packet; skips undecodable frames.
   std::optional<Packet> next_packet();
 
   [[nodiscard]] uint32_t snaplen() const { return snaplen_; }
+  // Truncated records this reader hit (0 or 1: a truncation ends the file).
+  [[nodiscard]] uint64_t truncated_records() const { return truncated_; }
 
  private:
   std::ifstream in_;
+  Options opt_;
   uint32_t snaplen_ = 0;
   bool swapped_ = false;  // big-endian file on little-endian host
+  uint64_t truncated_ = 0;
+
+  // Records the truncation; throws in strict mode, else returns nullopt.
+  std::optional<PcapRecord> truncation(const char* what);
 };
 
 // Reads an entire capture into memory (the benchmark replay path).
-std::vector<Packet> read_all(const std::string& path);
+std::vector<Packet> read_all(const std::string& path,
+                             PcapReader::Options opt = PcapReader::Options());
 
 // Writes all packets to `path`.
 void write_all(const std::string& path, const std::vector<Packet>& packets);

@@ -1,11 +1,29 @@
 #include "net/reassembly.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace netqre::net {
 namespace {
 
 // Serial-number comparison on 32-bit sequence space (RFC 1982 style).
 bool seq_lt(uint32_t a, uint32_t b) {
   return static_cast<int32_t>(a - b) < 0;
+}
+
+obs::Counter& ooo_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_reassembly_out_of_order_total");
+  return c;
+}
+obs::Counter& retrans_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_reassembly_retransmits_total");
+  return c;
+}
+obs::Counter& gap_total() {
+  static obs::Counter& c =
+      obs::registry().counter("netqre_reassembly_gap_flushes_total");
+  return c;
 }
 
 }  // namespace
@@ -60,6 +78,7 @@ void TcpReorderer::push(const Packet& p, std::vector<Packet>& out) {
       ++stats_.delivered;
     } else {
       ++stats_.retransmits_dropped;
+      retrans_total().inc();
     }
     return;
   }
@@ -67,12 +86,15 @@ void TcpReorderer::push(const Packet& p, std::vector<Packet>& out) {
   auto [it, inserted] = d.pending.emplace(p.seq, p);
   if (inserted) {
     ++stats_.buffered_now;
+    ooo_total().inc();
   } else {
     ++stats_.retransmits_dropped;  // duplicate of a held segment
+    retrans_total().inc();
   }
   if (d.pending.size() > max_buffer_) {
     // Declare the gap lost: skip to the earliest held segment.
     d.next_seq = d.pending.begin()->first;
+    gap_total().inc();
     release_ready(d, out);
   }
 }

@@ -1,0 +1,147 @@
+// Minimal JSON emitter shared by the telemetry exposition, netqre-profile,
+// netqre-lint --json and the bench reporters.  Write-only, append-style;
+// comma placement is handled by the writer so call sites cannot emit
+// malformed documents.  No external dependencies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netqre::obs {
+
+inline void json_escape_to(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+[[nodiscard]] inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  json_escape_to(out, s);
+  return out;
+}
+
+// Streaming writer for nested objects/arrays:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("packets").value(42);
+//   w.key("ops").begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();
+//   std::string doc = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_ += '"';
+    json_escape_to(out_, v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no inf/nan
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  JsonWriter& null() {
+    comma();
+    out_ += "null";
+    return *this;
+  }
+  // Embeds an already-serialized JSON document (e.g. Snapshot::to_json()).
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    if (!stack_.empty()) stack_.pop_back();
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value follows its key, no comma
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per nesting level: "needs comma"
+  bool pending_value_ = false;
+};
+
+}  // namespace netqre::obs

@@ -1,0 +1,366 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace netqre::obs {
+
+// ------------------------------------------------------------ snapshots
+
+const MetricSample* Snapshot::find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+double histogram_quantile(const MetricSample& h, double q) {
+  if (h.count == 0 || h.buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(h.count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    if (h.buckets[i] == 0) continue;
+    const uint64_t next = seen + h.buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within [lo, hi] of this bucket.
+      const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+      const double hi =
+          i < h.bounds.size() ? h.bounds[i] : std::max(lo * 2.0, lo + 1.0);
+      const double frac =
+          h.buckets[i] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(h.buckets[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
+std::span<const double> latency_bounds_ns() {
+  // 16 ns .. 2^26 ns (~67 ms), powers of two: 23 buckets.
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> b;
+    for (double v = 16; v <= 67'108'864.0; v *= 2) b.push_back(v);
+    return b;
+  }();
+  return kBounds;
+}
+
+std::string Snapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& m : metrics) {
+    w.key(m.name).begin_object();
+    switch (m.kind) {
+      case MetricKind::Counter:
+        w.key("type").value("counter");
+        w.key("value").value(m.count);
+        break;
+      case MetricKind::Gauge:
+        w.key("type").value("gauge");
+        w.key("value").value(m.value);
+        w.key("peak").value(m.peak);
+        break;
+      case MetricKind::Histogram: {
+        w.key("type").value("histogram");
+        w.key("count").value(m.count);
+        w.key("sum").value(m.sum);
+        w.key("p50").value(histogram_quantile(m, 0.5));
+        w.key("p90").value(histogram_quantile(m, 0.9));
+        w.key("p99").value(histogram_quantile(m, 0.99));
+        w.key("bounds").begin_array();
+        for (double b : m.bounds) w.value(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (uint64_t c : m.buckets) w.value(c);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+// Splits `name{label="x"}` into the base name and the label block, so the
+// Prometheus exposition can emit `# TYPE` once per base name.
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  const size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Snapshot::to_prometheus() const {
+  std::string out;
+  std::string_view last_base;
+  for (const auto& m : metrics) {
+    const auto [base, labels] = split_labels(m.name);
+    const char* type = m.kind == MetricKind::Counter   ? "counter"
+                       : m.kind == MetricKind::Gauge   ? "gauge"
+                                                       : "histogram";
+    if (base != last_base) {
+      out += "# TYPE ";
+      out += base;
+      out += ' ';
+      out += type;
+      out += '\n';
+      last_base = base;
+    }
+    switch (m.kind) {
+      case MetricKind::Counter:
+        out += m.name;
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        break;
+      case MetricKind::Gauge:
+        out += m.name;
+        out += ' ';
+        out += std::to_string(m.value);
+        out += '\n';
+        break;
+      case MetricKind::Histogram: {
+        uint64_t cum = 0;
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          cum += m.buckets[i];
+          out += base;
+          out += "_bucket{";
+          if (labels.size() > 2) {  // merge existing labels
+            out += labels.substr(1, labels.size() - 2);
+            out += ',';
+          }
+          out += "le=\"";
+          out += i < m.bounds.size() ? fmt_double(m.bounds[i]) : "+Inf";
+          out += "\"} ";
+          out += std::to_string(cum);
+          out += '\n';
+        }
+        out += base;
+        out += "_sum";
+        out += labels;
+        out += ' ';
+        out += fmt_double(m.sum);
+        out += '\n';
+        out += base;
+        out += "_count";
+        out += labels;
+        out += ' ';
+        out += std::to_string(m.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- registry
+
+#if !defined(NETQRE_TELEMETRY_DISABLED)
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("histogram bounds must be increasing");
+    }
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  std::mutex mu;
+  // std::map: stable addresses are guaranteed by unique_ptr; ordered
+  // iteration gives deterministic, label-grouped snapshots for free.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+
+  void check_unique(std::string_view name, int self) {
+    // A name may live in exactly one kind map.
+    if (self != 0 && counters.find(name) != counters.end()) {
+      throw std::runtime_error("metric kind mismatch: " + std::string(name));
+    }
+    if (self != 1 && gauges.find(name) != gauges.end()) {
+      throw std::runtime_error("metric kind mismatch: " + std::string(name));
+    }
+    if (self != 2 && histograms.find(name) != histograms.end()) {
+      throw std::runtime_error("metric kind mismatch: " + std::string(name));
+    }
+  }
+};
+
+Registry& Registry::global() {
+  // Leaked singleton: call sites cache references across static
+  // destruction order.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Impl& Registry::impl() {
+  static std::mutex init_mu;
+  std::lock_guard lock(init_mu);
+  if (!impl_) impl_ = new Impl();
+  return *impl_;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end()) {
+    im.check_unique(name, 0);
+    it = im.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end()) {
+    im.check_unique(name, 1);
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end()) {
+    im.check_unique(name, 2);
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  if (!impl_) return snap;
+  std::lock_guard lock(impl_->mu);
+  snap.metrics.reserve(impl_->counters.size() + impl_->gauges.size() +
+                       impl_->histograms.size());
+  for (const auto& [name, c] : impl_->counters) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Counter;
+    m.count = c->value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Gauge;
+    m.value = g->value();
+    m.peak = g->peak();
+    m.count = g->sets();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    MetricSample m;
+    m.name = name;
+    m.kind = MetricKind::Histogram;
+    m.count = h->count();
+    m.sum = h->sum();
+    m.bounds = h->bounds();
+    m.buckets = h->bucket_counts();
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  if (!impl_) return;
+  std::lock_guard lock(impl_->mu);
+  for (auto& [_, c] : impl_->counters) c->reset();
+  for (auto& [_, g] : impl_->gauges) g->reset();
+  for (auto& [_, h] : impl_->histograms) h->reset();
+}
+
+#else  // NETQRE_TELEMETRY_DISABLED
+
+struct Registry::Impl {};
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Registry::Impl& Registry::impl() {
+  static Impl im;
+  return im;
+}
+
+Registry::~Registry() = default;
+
+Counter& Registry::counter(std::string_view) {
+  static Counter c;
+  return c;
+}
+
+Gauge& Registry::gauge(std::string_view) {
+  static Gauge g;
+  return g;
+}
+
+Histogram& Registry::histogram(std::string_view, std::span<const double>) {
+  static Histogram h{std::span<const double>{}};
+  return h;
+}
+
+Snapshot Registry::snapshot() const { return {}; }
+
+void Registry::reset() {}
+
+#endif  // NETQRE_TELEMETRY_DISABLED
+
+}  // namespace netqre::obs

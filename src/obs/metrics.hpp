@@ -1,0 +1,221 @@
+// Runtime telemetry: a process-wide registry of cheap counters, gauges and
+// fixed-bucket histograms (§6 / Fig. 7–9 expose exactly these quantities).
+//
+// Design constraints, in order:
+//   1. Hot-path increments are one relaxed atomic RMW — no locks, no
+//      allocation, no string handling.  Registration (cold path) takes a
+//      mutex and interns the name; call sites cache the returned reference.
+//   2. The whole layer compiles to nothing under -DNETQRE_TELEMETRY=OFF
+//      (`NETQRE_TELEMETRY_DISABLED`): the metric classes become empty
+//      stubs, `kEnabled` is false so callers can `if constexpr` away any
+//      sampling work (clock reads, state walks), and snapshots are empty.
+//   3. Metric names follow `netqre_<layer>_<what>[_<unit>][_total]`, with
+//      Prometheus-style labels baked into the name when a dimension is
+//      bounded and known at the call site, e.g.
+//      `netqre_op_steps_total{kind="split"}`.  The flat name doubles as the
+//      exposition line, so snapshot_prometheus() needs no label machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netqre::obs {
+
+#if defined(NETQRE_TELEMETRY_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+enum class MetricKind : uint8_t { Counter, Gauge, Histogram };
+
+// One metric read at one instant.  Histograms carry cumulative-style bucket
+// counts (bucket[i] counts observations <= bounds[i]; an implicit +inf
+// bucket is `count - sum(buckets)`).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  uint64_t count = 0;        // counter value / gauge sets / histogram count
+  int64_t value = 0;         // gauge: current value
+  int64_t peak = 0;          // gauge: high-water mark
+  double sum = 0;            // histogram: sum of observations
+  std::vector<double> bounds;     // histogram: bucket upper bounds
+  std::vector<uint64_t> buckets;  // histogram: per-bucket counts (not cum.)
+};
+
+struct Snapshot {
+  std::vector<MetricSample> metrics;
+
+  // Finds a metric by exact name; nullptr when absent.
+  [[nodiscard]] const MetricSample* find(std::string_view name) const;
+  // {"netqre_x_total": {...}, ...} object keyed by metric name.
+  [[nodiscard]] std::string to_json() const;
+  // Prometheus text exposition format (histograms as cumulative buckets).
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+// Quantile estimate from a histogram sample via linear interpolation within
+// the owning bucket.  Returns 0 when the histogram is empty.
+[[nodiscard]] double histogram_quantile(const MetricSample& h, double q);
+
+// Default latency bucket bounds: powers of two from 16 ns to ~67 ms.
+[[nodiscard]] std::span<const double> latency_bounds_ns();
+
+#if !defined(NETQRE_TELEMETRY_DISABLED)
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    int64_t p = peak_.load(std::memory_order_relaxed);
+    while (v > p &&
+           !peak_.compare_exchange_weak(p, v, std::memory_order_relaxed)) {
+    }
+    sets_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add(int64_t d) { set(v_.load(std::memory_order_relaxed) + d); }
+  [[nodiscard]] int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int64_t peak() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t sets() const {
+    return sets_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+    sets_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<uint64_t> sets_{0};
+};
+
+class Histogram {
+ public:
+  // `bounds` must be strictly increasing; copied at registration.
+  explicit Histogram(std::span<const double> bounds);
+
+  void observe(double v) {
+    // Branchless-ish linear scan: bucket counts are small (<= 24) and the
+    // common case lands early for latency distributions.
+    size_t i = 0;
+    const size_t n = bounds_.size();
+    while (i < n && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Relaxed double accumulation: a CAS loop on the bit pattern.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::vector<uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  // One slot per bound plus the +inf overflow bucket.
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+#else  // NETQRE_TELEMETRY_DISABLED — zero-size stubs, all calls no-ops.
+
+class Counter {
+ public:
+  void inc(uint64_t = 1) {}
+  [[nodiscard]] uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(int64_t) {}
+  void add(int64_t) {}
+  [[nodiscard]] int64_t value() const { return 0; }
+  [[nodiscard]] int64_t peak() const { return 0; }
+  [[nodiscard]] uint64_t sets() const { return 0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double>) {}
+  void observe(double) {}
+  [[nodiscard]] uint64_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0; }
+  [[nodiscard]] const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] std::vector<uint64_t> bucket_counts() const { return {}; }
+  void reset() {}
+};
+
+#endif  // NETQRE_TELEMETRY_DISABLED
+
+// Process-wide metric registry.  Registration is idempotent: the same name
+// always returns the same instance (first registration wins on kind/bounds;
+// a kind mismatch throws).  References remain valid for the process
+// lifetime.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds);
+
+  // Consistent point-in-time read of every registered metric, sorted by
+  // name.  Empty in the no-op build.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  // Zeroes every registered metric (tests, repeated profile runs).
+  void reset();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  // lazily created; null in the no-op build
+  Impl& impl();
+};
+
+// Shorthand for Registry::global().
+inline Registry& registry() { return Registry::global(); }
+
+}  // namespace netqre::obs

@@ -1,0 +1,313 @@
+// Unit tests for the telemetry layer (src/obs) and its engine/net
+// instrumentation: counter/gauge/histogram semantics, registry snapshot
+// consistency, per-op profiling, and the tolerant pcap read mode.
+//
+// Every assertion is written to hold in both builds: with telemetry on it
+// checks real values, with -DNETQRE_TELEMETRY=OFF (obs::kEnabled == false)
+// it checks that the whole layer reads as empty no-ops.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "net/pcap.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using obs::kEnabled;
+
+uint64_t expected(uint64_t v) { return kEnabled ? v : 0; }
+
+TEST(ObsCounter, IncrementValueReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), expected(42));
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, TracksValuePeakAndSets) {
+  obs::Gauge g;
+  g.set(10);
+  g.set(100);
+  g.set(30);
+  EXPECT_EQ(g.value(), static_cast<int64_t>(expected(30)));
+  EXPECT_EQ(g.peak(), static_cast<int64_t>(expected(100)));
+  EXPECT_EQ(g.sets(), expected(3));
+  g.add(-5);
+  EXPECT_EQ(g.value(), static_cast<int64_t>(expected(25)));
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  EXPECT_EQ(g.sets(), 0u);
+}
+
+TEST(ObsHistogram, BucketPlacementCountAndSum) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  obs::Histogram h(bounds);
+  h.observe(0.5);  // bucket 0 (<= 1)
+  h.observe(2.0);  // bucket 1 (<= 2, inclusive upper bound)
+  h.observe(3.0);  // bucket 2 (<= 4)
+  h.observe(9.0);  // +inf overflow bucket
+  EXPECT_EQ(h.count(), expected(4));
+  if (kEnabled) {
+    EXPECT_DOUBLE_EQ(h.sum(), 14.5);
+    const auto buckets = h.bucket_counts();
+    ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+    EXPECT_EQ(buckets[0], 1u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+  }
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBucket) {
+  obs::MetricSample s;
+  s.kind = obs::MetricKind::Histogram;
+  s.bounds = {10.0, 20.0, 40.0};
+  s.buckets = {0, 100, 0};
+  s.count = 100;
+  // All mass in (10, 20]: the median interpolates to the bucket midpoint.
+  EXPECT_NEAR(obs::histogram_quantile(s, 0.5), 15.0, 1.0);
+  EXPECT_LE(obs::histogram_quantile(s, 0.99), 20.0);
+  obs::MetricSample empty;
+  empty.kind = obs::MetricKind::Histogram;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotent) {
+  auto& reg = obs::registry();
+  obs::Counter& a = reg.counter("netqre_test_idempotent_total");
+  obs::Counter& b = reg.counter("netqre_test_idempotent_total");
+  EXPECT_EQ(&a, &b);
+  obs::Gauge& g1 = reg.gauge("netqre_test_idempotent_gauge");
+  obs::Gauge& g2 = reg.gauge("netqre_test_idempotent_gauge");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  if (!kEnabled) GTEST_SKIP() << "no registry bookkeeping in no-op build";
+  auto& reg = obs::registry();
+  reg.counter("netqre_test_kind_total");
+  EXPECT_THROW(reg.gauge("netqre_test_kind_total"), std::runtime_error);
+  EXPECT_THROW(reg.histogram("netqre_test_kind_total",
+                             obs::latency_bounds_ns()),
+               std::runtime_error);
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndFindable) {
+  auto& reg = obs::registry();
+  reg.counter("netqre_test_snap_b_total").inc(7);
+  reg.counter("netqre_test_snap_a_total").inc(3);
+  const auto snap = reg.snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.metrics.empty());
+    EXPECT_EQ(snap.find("netqre_test_snap_a_total"), nullptr);
+    return;
+  }
+  for (size_t i = 1; i < snap.metrics.size(); ++i) {
+    EXPECT_LT(snap.metrics[i - 1].name, snap.metrics[i].name);
+  }
+  const auto* a = snap.find("netqre_test_snap_a_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 3u);
+  const auto* b = snap.find("netqre_test_snap_b_total");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 7u);
+  EXPECT_EQ(snap.find("netqre_test_snap_missing"), nullptr);
+  // Both expositions include the metric and parse as non-empty documents.
+  EXPECT_NE(snap.to_json().find("netqre_test_snap_a_total"),
+            std::string::npos);
+  EXPECT_NE(snap.to_prometheus().find("netqre_test_snap_a_total"),
+            std::string::npos);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsInstances) {
+  auto& reg = obs::registry();
+  obs::Counter& c = reg.counter("netqre_test_reset_total");
+  c.inc(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  // The handle stays valid and usable after reset.
+  c.inc();
+  EXPECT_EQ(c.value(), expected(1));
+}
+
+// ---- engine instrumentation ------------------------------------------------
+
+std::vector<net::Packet> small_backbone() {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 3000;
+  cfg.n_flows = 200;
+  return trafficgen::backbone_trace(cfg);
+}
+
+TEST(EngineTelemetry, CountersAgreeWithEngineAccessors) {
+  obs::registry().reset();
+  core::Engine eng(apps::compile_app("heavy_hitter.nqre", "hh").query);
+  const auto trace = small_backbone();
+  eng.on_stream(trace);
+  EXPECT_EQ(eng.packets(), trace.size());
+
+  const auto snap = obs::registry().snapshot();
+  if (!kEnabled) {
+    EXPECT_TRUE(snap.metrics.empty());
+    return;
+  }
+  const auto* pkts = snap.find("netqre_engine_packets_total");
+  ASSERT_NE(pkts, nullptr);
+  EXPECT_EQ(pkts->count, eng.packets());
+
+  // on_stream ends with a state sample, so the gauges match the engine.
+  const auto* mem = snap.find("netqre_engine_state_memory_bytes");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->value, static_cast<int64_t>(eng.state_memory()));
+  EXPECT_GE(mem->peak, mem->value);
+
+  const auto* guarded = snap.find("netqre_engine_guarded_states");
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_GT(guarded->value, 0);
+
+  const auto* lat = snap.find("netqre_engine_packet_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  // One sample per kLatencySampleEvery packets.
+  EXPECT_EQ(lat->count,
+            (trace.size() + core::Engine::kLatencySampleEvery - 1) /
+                core::Engine::kLatencySampleEvery);
+}
+
+TEST(EngineTelemetry, ResetResamplesStateGauges) {
+  obs::registry().reset();
+  core::Engine eng(apps::compile_app("heavy_hitter.nqre", "hh").query);
+  eng.on_stream(small_backbone());
+  const size_t before = eng.state_memory();
+  eng.reset();
+  EXPECT_EQ(eng.packets(), 0u);
+  EXPECT_LT(eng.state_memory(), before);
+  if (!kEnabled) return;
+  const auto snap = obs::registry().snapshot();
+  const auto* mem = snap.find("netqre_engine_state_memory_bytes");
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->value, static_cast<int64_t>(eng.state_memory()));
+  // The peak still remembers the pre-reset high-water mark.
+  EXPECT_GE(mem->peak, static_cast<int64_t>(before));
+}
+
+TEST(EngineTelemetry, PerOpProfileAndPublish) {
+  obs::registry().reset();
+  core::Engine eng(apps::compile_app("heavy_hitter.nqre", "hh").query);
+  eng.enable_profiling();
+  eng.on_stream(small_backbone());
+
+  // indexed_ops is a preorder numbering: ids match positions, root first.
+  const auto& ops = eng.indexed_ops();
+  ASSERT_FALSE(ops.empty());
+  EXPECT_EQ(ops.front(), eng.query().root.get());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i]->node_id(), static_cast<int>(i));
+  }
+
+  const core::OpProfile* prof = eng.profile();
+  ASSERT_NE(prof, nullptr);
+  ASSERT_EQ(prof->steps.size(), ops.size());
+  if (kEnabled) {
+    EXPECT_EQ(prof->steps[0], eng.packets());  // root steps once per packet
+  }
+
+  eng.publish_op_metrics();
+  if (kEnabled) {
+    // Publish is flush-and-clear: the per-node profile is zeroed...
+    for (uint64_t s : prof->steps) EXPECT_EQ(s, 0u);
+    // ...and the per-kind counters absorbed the steps.
+    const auto snap = obs::registry().snapshot();
+    uint64_t total = 0;
+    for (const auto& m : snap.metrics) {
+      if (m.name.rfind("netqre_op_steps_total", 0) == 0) total += m.count;
+    }
+    EXPECT_GT(total, 0u);
+    // A second publish with no new work adds nothing.
+    eng.publish_op_metrics();
+    const auto snap2 = obs::registry().snapshot();
+    uint64_t total2 = 0;
+    for (const auto& m : snap2.metrics) {
+      if (m.name.rfind("netqre_op_steps_total", 0) == 0) total2 += m.count;
+    }
+    EXPECT_EQ(total2, total);
+  }
+}
+
+// ---- tolerant pcap ---------------------------------------------------------
+
+TEST(PcapTolerant, TruncatedFileStopsAtLastWholeRecord) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "netqre_trunc.pcap";
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p;
+    p.src_ip = 0x0a000001;
+    p.dst_ip = 0x0a000002;
+    p.src_port = 1000 + i;
+    p.dst_port = 80;
+    p.proto = net::Proto::Tcp;
+    p.ts = i * 0.001;
+    p.payload.assign(64, 'x');
+    packets.push_back(p);
+  }
+  net::write_all(path.string(), packets);
+  // Cut the last record short.
+  fs::resize_file(path, fs::file_size(path) - 20);
+
+  // Strict mode throws mid-file.
+  {
+    net::PcapReader strict(path.string());
+    EXPECT_THROW(
+        {
+          while (strict.next()) {
+          }
+        },
+        std::runtime_error);
+  }
+
+  // Tolerant mode delivers every whole record, then stops cleanly.
+  obs::registry().reset();
+  net::PcapOptions opt;
+  opt.tolerant = true;
+  net::PcapReader reader(path.string(), opt);
+  size_t whole = 0;
+  while (reader.next()) ++whole;
+  EXPECT_EQ(whole, packets.size() - 1);
+  EXPECT_EQ(reader.truncated_records(), 1u);
+  // A drained reader stays at EOF.
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.truncated_records(), 1u);
+
+  if (kEnabled) {
+    const auto snap = obs::registry().snapshot();
+    const auto* truncated = snap.find("netqre_pcap_truncated_records_total");
+    ASSERT_NE(truncated, nullptr);
+    EXPECT_EQ(truncated->count, 1u);
+    const auto* records = snap.find("netqre_pcap_records_total");
+    ASSERT_NE(records, nullptr);
+    EXPECT_EQ(records->count, packets.size() - 1);
+  }
+
+  // read_all in tolerant mode returns the decodable prefix.
+  const auto recovered = net::read_all(path.string(), opt);
+  EXPECT_EQ(recovered.size(), packets.size() - 1);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace netqre
