@@ -1,0 +1,185 @@
+// netqre-fuzz — differential fuzzing harness.
+//
+// Cross-checks random NetQRE programs and adversarial traces across the
+// four evaluation paths (§3 reference semantics, streaming engine, codegen
+// plan, parallel runtime); disagreements are shrunk to minimal repros and
+// saved as replayable corpus files.
+//
+//     netqre-fuzz --seed 1 --iterations 500 --corpus-dir out/
+//     netqre-fuzz --replay tests/corpus
+//
+// Exit status: 0 when every check agreed, 1 on any mismatch, 2 on usage or
+// I/O problems.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: netqre-fuzz [options]\n"
+    "       netqre-fuzz --replay <file.case | dir> [...]\n"
+    "\n"
+    "Differential fuzzing of the NetQRE runtime: random programs + traces\n"
+    "cross-checked across ref_eval / Engine / codegen / parallel(1,2,4).\n"
+    "\n"
+    "options:\n"
+    "  --seed N          RNG seed (default 1; campaign is deterministic)\n"
+    "  --iterations N    (program, trace) pairs to check (default 500)\n"
+    "  --corpus-dir DIR  save minimized repros as DIR/repro-*.case\n"
+    "  --replay PATH     replay corpus case(s) instead of fuzzing\n"
+    "  --max-seconds S   wall-clock budget for the campaign (0 = none)\n"
+    "  --max-stream N    max packets per random trace (default 10)\n"
+    "  --no-parallel     skip the parallel-runtime checks\n"
+    "  --no-codegen      skip the codegen-plan checks\n"
+    "  --json            machine-readable summary on stdout\n"
+    "  -h, --help        show this help\n";
+
+struct Options {
+  netqre::fuzz::FuzzConfig cfg;
+  std::vector<std::string> replay;
+  bool json = false;
+};
+
+bool parse_u64(const char* s, uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "netqre-fuzz: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--seed") {
+      if (!parse_u64(next(), opt.cfg.seed)) {
+        std::cerr << "netqre-fuzz: bad --seed\n";
+        return 2;
+      }
+    } else if (arg == "--iterations") {
+      if (!parse_u64(next(), opt.cfg.iterations)) {
+        std::cerr << "netqre-fuzz: bad --iterations\n";
+        return 2;
+      }
+    } else if (arg == "--corpus-dir") {
+      opt.cfg.corpus_dir = next();
+    } else if (arg == "--replay") {
+      opt.replay.push_back(next());
+    } else if (arg == "--max-seconds") {
+      opt.cfg.max_seconds = std::atof(next());
+    } else if (arg == "--max-stream") {
+      opt.cfg.gen.max_stream = std::atoi(next());
+      if (opt.cfg.gen.max_stream < 0 || opt.cfg.gen.max_stream > 64) {
+        std::cerr << "netqre-fuzz: --max-stream out of range (0..64; "
+                     "ref_eval is exponential in stream length)\n";
+        return 2;
+      }
+    } else if (arg == "--no-parallel") {
+      opt.cfg.oracle.check_parallel = false;
+    } else if (arg == "--no-codegen") {
+      opt.cfg.oracle.check_codegen = false;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      std::cerr << "netqre-fuzz: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  using netqre::obs::JsonWriter;
+
+  // ---- replay mode -------------------------------------------------------
+  if (!opt.replay.empty()) {
+    std::vector<std::string> lines;
+    const int failing =
+        netqre::fuzz::replay_corpus(opt.replay, opt.cfg.oracle, lines);
+    if (opt.json) {
+      JsonWriter json;
+      json.begin_object();
+      json.key("tool").value("netqre-fuzz");
+      json.key("mode").value("replay");
+      json.key("cases").begin_array();
+      for (const auto& l : lines) json.value(l);
+      json.end_array();
+      json.key("failing").value(failing);
+      json.end_object();
+      std::cout << json.str() << '\n';
+    } else {
+      for (const auto& l : lines) std::cout << l << '\n';
+      std::cout << (failing ? "FAIL" : "OK") << " (" << failing
+                << " failing case(s))\n";
+    }
+    return failing ? 1 : 0;
+  }
+
+  // ---- campaign mode -----------------------------------------------------
+  netqre::fuzz::FuzzSummary sum;
+  try {
+    sum = netqre::fuzz::run_fuzz(opt.cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "netqre-fuzz: " << e.what() << '\n';
+    return 2;
+  }
+
+  if (opt.json) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("tool").value("netqre-fuzz");
+    json.key("mode").value("fuzz");
+    json.key("seed").value(static_cast<int64_t>(opt.cfg.seed));
+    json.key("iterations").value(static_cast<int64_t>(sum.iterations));
+    json.key("rejected").value(static_cast<int64_t>(sum.rejected));
+    json.key("scope_programs")
+        .value(static_cast<int64_t>(sum.scope_programs));
+    json.key("mismatches").value(static_cast<int64_t>(sum.mismatches));
+    json.key("shrink_steps").value(static_cast<int64_t>(sum.shrink_steps));
+    json.key("shrink_attempts")
+        .value(static_cast<int64_t>(sum.shrink_attempts));
+    json.key("checks_parallel_sharded")
+        .value(static_cast<int64_t>(sum.checks_parallel_sharded));
+    json.key("checks_codegen")
+        .value(static_cast<int64_t>(sum.checks_codegen));
+    json.key("elapsed_seconds").value(sum.elapsed_seconds);
+    json.key("time_boxed").value(sum.time_boxed);
+    json.key("repro_files").begin_array();
+    for (const auto& f : sum.repro_files) json.value(f);
+    json.end_array();
+    json.key("failures").begin_array();
+    for (const auto& f : sum.failures) json.value(f);
+    json.end_array();
+    json.end_object();
+    std::cout << json.str() << '\n';
+  } else {
+    std::cout << "netqre-fuzz: seed " << opt.cfg.seed << ", "
+              << sum.iterations << " iterations (" << sum.rejected
+              << " ambiguous draws discarded), " << sum.scope_programs
+              << " parameterized, " << sum.checks_codegen
+              << " codegen-checked, " << sum.checks_parallel_sharded
+              << " sharded-parallel-checked, " << sum.mismatches
+              << " mismatch(es) in " << sum.elapsed_seconds << "s";
+    if (sum.time_boxed) std::cout << " [time-boxed]";
+    std::cout << '\n';
+    for (const auto& f : sum.failures) std::cout << "  " << f << '\n';
+    for (const auto& f : sum.repro_files) {
+      std::cout << "  minimized repro: " << f << '\n';
+    }
+  }
+  return sum.mismatches ? 1 : 0;
+}

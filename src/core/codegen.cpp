@@ -25,6 +25,40 @@ std::optional<std::string> field_accessor(Field f) {
   }
 }
 
+// Runtime twin of field_accessor(): must agree with the generated C++ bit
+// for bit so the in-process monitor and the gcc pipeline are interchangeable
+// oracles.
+uint64_t raw_field(Field f, const net::Packet& p) {
+  switch (f) {
+    case Field::SrcIp: return p.src_ip;
+    case Field::DstIp: return p.dst_ip;
+    case Field::SrcPort: return p.src_port;
+    case Field::DstPort: return p.dst_port;
+    case Field::Proto: return static_cast<uint64_t>(p.proto);
+    case Field::Syn: return (p.tcp_flags >> 1) & 1;
+    case Field::Ack: return (p.tcp_flags >> 4) & 1;
+    case Field::Fin: return p.tcp_flags & 1;
+    case Field::Rst: return (p.tcp_flags >> 2) & 1;
+    case Field::Psh: return (p.tcp_flags >> 3) & 1;
+    case Field::Seq: return p.seq;
+    case Field::AckNo: return p.ack_no;
+    case Field::Len: return p.wire_len;
+    default: return 0;
+  }
+}
+
+bool cmp_apply(CmpOp op, uint64_t a, uint64_t b) {
+  switch (op) {
+    case CmpOp::Eq: return a == b;
+    case CmpOp::Lt: return a < b;
+    case CmpOp::Le: return a <= b;
+    case CmpOp::Gt: return a > b;
+    case CmpOp::Ge: return a >= b;
+    case CmpOp::Contains: return false;  // rejected by analyze_spec
+  }
+  return false;
+}
+
 std::string cmp_cpp(CmpOp op) {
   switch (op) {
     case CmpOp::Eq: return "==";
@@ -39,8 +73,7 @@ std::string cmp_cpp(CmpOp op) {
 
 }  // namespace
 
-std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
-                                             const std::string& name) {
+std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
   // Supported shapes, rooted at a parameter scope:
   //   S1: scope(P){ comp(cond(dfa, const), fold) }       (counter family)
   //   S2: scope(P1){ scope(P2){ cond[_else](dfa, c1, c0) } }
@@ -63,6 +96,8 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
     innermost = nested->inner();
   }
 
+  SpecPlan plan;
+
   // Key atoms across the whole chain (one per parameter, all numeric).
   std::vector<Atom> key_atoms;
   int slot_lo = scopes.front()->slot_lo();
@@ -73,6 +108,7 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
       if (atoms.size() != 1) return std::nullopt;
       if (!field_accessor(atoms[0].field.field)) return std::nullopt;
       key_atoms.push_back(atoms[0]);
+      plan.key.push_back({atoms[0].field.field, atoms[0].offset});
     }
   }
   const int n_params = static_cast<int>(key_atoms.size());
@@ -81,9 +117,6 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
   // Innermost expression: S1 counter or S2 distinct.
   const CondOp* cond = nullptr;
   const FoldOp* fold = nullptr;
-  int64_t then_value = 0;
-  int64_t else_value = 0;
-  bool has_else = false;
   if (const auto* comp = dynamic_cast<const CompOp*>(innermost)) {
     if (scopes.size() != 1) return std::nullopt;
     cond = dynamic_cast<const CondOp*>(comp->f());
@@ -95,14 +128,14 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
     cond = c;
     const auto* thn = dynamic_cast<const ConstOp*>(c->then_op());
     if (!thn || thn->value().kind() != Value::Kind::Int) return std::nullopt;
-    then_value = thn->value().as_int();
+    plan.then_value = thn->value().as_int();
     if (c->else_op()) {
       const auto* els = dynamic_cast<const ConstOp*>(c->else_op());
       if (!els || els->value().kind() != Value::Kind::Int) {
         return std::nullopt;
       }
-      else_value = els->value().as_int();
-      has_else = true;
+      plan.else_value = els->value().as_int();
+      plan.has_else = true;
     }
     // The distinct family aggregates with sum at every level.
     for (const auto* sc : scopes) {
@@ -114,41 +147,137 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
   } else {
     return std::nullopt;
   }
-  const Dfa& dfa = cond->re();
-  if (dfa.n_bits() > 16) return std::nullopt;
+  plan.dfa = &cond->re();
+  if (plan.dfa->n_bits() > 16) return std::nullopt;
 
-  // Atom expressions: parameterized atoms are true by construction for the
+  // Atom descriptors: parameterized atoms are true by construction for the
   // looked-up entry; others are evaluated concretely.
-  std::vector<std::string> atom_exprs;
-  for (int id : dfa.atom_ids) {
+  for (int id : plan.dfa->atom_ids) {
     const Atom& a = query.table->at(id);
-    auto acc = field_accessor(a.field.field);
-    if (!acc) return std::nullopt;
+    if (!field_accessor(a.field.field)) return std::nullopt;
+    SpecPlan::AtomEval ae;
+    ae.field = a.field.field;
     if (a.is_param) {
       if (a.param < slot_lo || a.param >= slot_hi) {
         return std::nullopt;  // parameter outside the scope chain
       }
-      atom_exprs.push_back("1u");  // true for the candidate-keyed entry
+      ae.is_param = true;
     } else {
       if (a.literal.kind() != Value::Kind::Int) return std::nullopt;
-      atom_exprs.push_back("(uint64_t(" + *acc + ") " + cmp_cpp(a.op) +
-                           " uint64_t(" + std::to_string(a.literal.as_int()) +
-                           "))");
+      if (a.op == CmpOp::Contains) return std::nullopt;
+      ae.op = a.op;
+      ae.literal = a.literal.as_int();
     }
+    plan.atoms.push_back(ae);
   }
 
-  // Per-accept update: S1 folds a value into the entry's accumulator; S2
-  // contributes then/else values at evaluation time instead.
-  std::string fold_expr;
+  // Per-accept update.
   if (fold) {
+    plan.has_fold = true;
     if (fold->use_field()) {
-      auto acc = field_accessor(fold->field().field);
-      if (!acc) return std::nullopt;
-      fold_expr = "int64_t(" + *acc + ")";
+      if (!field_accessor(fold->field().field)) return std::nullopt;
+      plan.fold_use_field = true;
+      plan.fold_field = fold->field().field;
     } else {
       if (fold->constant().kind() != Value::Kind::Int) return std::nullopt;
-      fold_expr = std::to_string(fold->constant().as_int());
+      plan.fold_const = fold->constant().as_int();
     }
+  }
+  return plan;
+}
+
+// ------------------------------------------------------- in-process monitor
+
+uint64_t SpecializedMonitor::key_of(const net::Packet& p) const {
+  // Same packing as the rendered code: 1 param `uint64(field) - offset`,
+  // 2 params `(k0 << 32) | uint32(k1)`.
+  const uint64_t k0 = raw_field(plan_.key[0].field, p) -
+                      static_cast<uint64_t>(plan_.key[0].offset);
+  if (plan_.key.size() == 1) return k0;
+  const uint64_t k1 = raw_field(plan_.key[1].field, p) -
+                      static_cast<uint64_t>(plan_.key[1].offset);
+  return (k0 << 32) | static_cast<uint32_t>(k1);
+}
+
+void SpecializedMonitor::on_packet(const net::Packet& p) {
+  const uint64_t key = key_of(p);
+  uint64_t letter = 0;
+  for (size_t i = 0; i < plan_.atoms.size(); ++i) {
+    const auto& a = plan_.atoms[i];
+    const bool bit =
+        a.is_param || cmp_apply(a.op, raw_field(a.field, p),
+                                static_cast<uint64_t>(a.literal));
+    letter |= static_cast<uint64_t>(bit) << i;
+  }
+  const Dfa& dfa = *plan_.dfa;
+  const int bits = dfa.n_bits();
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    // Prune-equivalent: do not create entries that would stay at the start
+    // state without output.
+    const int32_t q1 = dfa.trans[(static_cast<size_t>(dfa.start) << bits) |
+                                 letter];
+    if (q1 == dfa.start && !dfa.accept[static_cast<size_t>(q1)]) return;
+    it = table_.emplace(key, State{dfa.start, 0}).first;
+  }
+  State& s = it->second;
+  s.q = dfa.trans[(static_cast<size_t>(s.q) << bits) | letter];
+  if (plan_.has_fold && dfa.accept[static_cast<size_t>(s.q)]) {
+    s.acc += plan_.fold_use_field
+                 ? static_cast<long long>(raw_field(plan_.fold_field, p))
+                 : plan_.fold_const;
+  }
+}
+
+long long SpecializedMonitor::aggregate() const {
+  long long total = 0;
+  for (const auto& kv : table_) {
+    if (plan_.has_fold) {
+      total += kv.second.acc;
+    } else if (plan_.dfa->accept[static_cast<size_t>(kv.second.q)]) {
+      total += plan_.then_value;
+    } else if (plan_.has_else) {
+      total += plan_.else_value;
+    }
+  }
+  return total;
+}
+
+long long SpecializedMonitor::at(uint64_t key) const {
+  auto it = table_.find(key);
+  if (plan_.has_fold) return it == table_.end() ? 0 : it->second.acc;
+  if (it == table_.end()) return plan_.has_else ? plan_.else_value : 0;
+  if (plan_.dfa->accept[static_cast<size_t>(it->second.q)]) {
+    return plan_.then_value;
+  }
+  return plan_.has_else ? plan_.else_value : 0;
+}
+
+// ------------------------------------------------------------ C++ renderer
+
+std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
+                                             const std::string& name) {
+  auto plan_opt = analyze_spec(query);
+  if (!plan_opt) return std::nullopt;
+  const SpecPlan& plan = *plan_opt;
+  const Dfa& dfa = *plan.dfa;
+
+  // Atom expressions, one per DFA letter bit.
+  std::vector<std::string> atom_exprs;
+  for (const auto& a : plan.atoms) {
+    if (a.is_param) {
+      atom_exprs.push_back("1u");  // true for the candidate-keyed entry
+    } else {
+      atom_exprs.push_back("(uint64_t(" + *field_accessor(a.field) + ") " +
+                           cmp_cpp(a.op) + " uint64_t(" +
+                           std::to_string(a.literal) + "))");
+    }
+  }
+  std::string fold_expr;
+  if (plan.has_fold) {
+    fold_expr = plan.fold_use_field
+                    ? "int64_t(" + *field_accessor(plan.fold_field) + ")"
+                    : std::to_string(plan.fold_const);
   }
 
   std::ostringstream out;
@@ -176,20 +305,17 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
 
   out << "  void on_packet(const NetqrePacket& p) {\n";
   // Key from the candidate atoms.
-  if (n_params == 1) {
-    const Atom& a = key_atoms[0];
-    out << "    const uint64_t key = uint64_t("
-        << *field_accessor(a.field.field) << ")"
-        << (a.offset ? " - " + std::to_string(a.offset) : "") << ";\n";
+  if (plan.key.size() == 1) {
+    const auto& k = plan.key[0];
+    out << "    const uint64_t key = uint64_t(" << *field_accessor(k.field)
+        << ")" << (k.offset ? " - " + std::to_string(k.offset) : "") << ";\n";
   } else {
-    const Atom& a0 = key_atoms[0];
-    const Atom& a1 = key_atoms[1];
-    out << "    const uint64_t key = (uint64_t("
-        << *field_accessor(a0.field.field) << ")"
-        << (a0.offset ? " - " + std::to_string(a0.offset) : "")
-        << " << 32) | uint32_t(uint64_t("
-        << *field_accessor(a1.field.field) << ")"
-        << (a1.offset ? " - " + std::to_string(a1.offset) : "") << ");\n";
+    const auto& k0 = plan.key[0];
+    const auto& k1 = plan.key[1];
+    out << "    const uint64_t key = (uint64_t(" << *field_accessor(k0.field)
+        << ")" << (k0.offset ? " - " + std::to_string(k0.offset) : "")
+        << " << 32) | uint32_t(uint64_t(" << *field_accessor(k1.field) << ")"
+        << (k1.offset ? " - " + std::to_string(k1.offset) : "") << ");\n";
   }
   // Letter (param atoms true for this key's entry).
   out << "    const uint64_t letter =";
@@ -208,7 +334,7 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
       << "    }\n"
       << "    State& s = it->second;\n"
       << "    s.q = kTrans[(s.q << kBits) | letter];\n";
-  if (fold) {
+  if (plan.has_fold) {
     out << "    if (kAccept[s.q]) s.acc += " << fold_expr << ";\n";
   }
   out << "  }\n\n";
@@ -216,28 +342,28 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
   out << "  // Sum over all observed instantiations (the scope's aggregate)\n"
       << "  long long aggregate() const {\n"
       << "    long long total = 0;\n";
-  if (fold) {
+  if (plan.has_fold) {
     out << "    for (const auto& kv : table_) total += kv.second.acc;\n";
-  } else if (has_else) {
+  } else if (plan.has_else) {
     out << "    for (const auto& kv : table_)\n"
-        << "      total += kAccept[kv.second.q] ? " << then_value << "LL : "
-        << else_value << "LL;\n";
+        << "      total += kAccept[kv.second.q] ? " << plan.then_value
+        << "LL : " << plan.else_value << "LL;\n";
   } else {
     out << "    for (const auto& kv : table_)\n"
-        << "      if (kAccept[kv.second.q]) total += " << then_value
+        << "      if (kAccept[kv.second.q]) total += " << plan.then_value
         << "LL;\n";
   }
   out << "    return total;\n"
       << "  }\n"
       << "  long long at(uint64_t key) const {\n"
       << "    auto it = table_.find(key);\n";
-  if (fold) {
+  if (plan.has_fold) {
     out << "    return it == table_.end() ? 0 : it->second.acc;\n";
   } else {
     out << "    if (it == table_.end()) return "
-        << (has_else ? else_value : 0) << "LL;\n"
-        << "    return kAccept[it->second.q] ? " << then_value << "LL : "
-        << (has_else ? else_value : 0) << "LL;\n";
+        << (plan.has_else ? plan.else_value : 0) << "LL;\n"
+        << "    return kAccept[it->second.q] ? " << plan.then_value
+        << "LL : " << (plan.has_else ? plan.else_value : 0) << "LL;\n";
   }
   out << "  }\n"
       << "  size_t entries() const { return table_.size(); }\n\n"

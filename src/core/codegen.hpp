@@ -2,23 +2,98 @@
 // first generates a C++ program from an input NetQRE program, which is then
 // compiled by the gcc compiler into executable").
 //
-// The generator specializes the common query shape
+// The back-end is split in two:
+//
+//   1. analyze_spec() proves that a compiled query fits the specializable
+//      shape and distills it into a SpecPlan — key atoms, DFA tables, atom
+//      evaluation descriptors, and the per-accept update.  The proof relies
+//      on the sparse-scope validation (every non-full-match letter is a
+//      no-op), so a plan's semantics are exactly those of the interpreted
+//      guard trie.
+//   2. Two consumers of the plan: generate_cpp() renders it as a standalone
+//      C++ translation unit (the gcc pipeline of §6), and SpecializedMonitor
+//      executes it in-process with byte-for-byte identical key packing and
+//      transition logic.  The in-process monitor is what the differential
+//      fuzzer (src/fuzz) cross-checks on every iteration — invoking gcc per
+//      random program would be infeasible.
+//
+// The supported shape is the common query family
 //
 //     scope(params){ filter(conjunction of param/literal atoms) >> fold }
 //
 // (heavy hitter, entropy, flow-size distribution, per-source byte counters,
-// the DNS counters, ...) into a flat hash-map program equivalent to the
-// hand-written baselines, after *proving* from the DFA's letter classes that
-// every non-full-match letter is a no-op.  Queries outside the supported
-// shape return nullopt and run on the interpreting runtime instead.
+// the DNS counters, ...) plus the nested-scope distinct family.  Queries
+// outside the shape return nullopt and run on the interpreting runtime.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/builder.hpp"
 
 namespace netqre::core {
+
+// Distilled execution plan for a specializable query.  Everything both
+// back-ends need, with the shape proofs already done.
+struct SpecPlan {
+  // How one DFA-alphabet atom is evaluated against a packet.
+  struct AtomEval {
+    bool is_param = false;  // key atom: true by construction for the entry
+    Field field = Field::Len;
+    CmpOp op = CmpOp::Eq;
+    int64_t literal = 0;
+  };
+  // One scope parameter: key component extracted from a packet field.
+  struct KeyPart {
+    Field field = Field::Len;
+    int64_t offset = 0;  // candidate = field_value - offset
+  };
+
+  std::vector<KeyPart> key;          // 1 or 2 parts
+  std::vector<AtomEval> atoms;       // indexed by DFA letter bit
+  const Dfa* dfa = nullptr;          // owned by the CompiledQuery's op tree
+  // Per-accept update: S1 folds fold_expr into the entry accumulator; S2
+  // contributes then/else values at evaluation time instead.
+  bool has_fold = false;
+  bool fold_use_field = false;
+  Field fold_field = Field::Len;
+  int64_t fold_const = 0;
+  int64_t then_value = 0;
+  int64_t else_value = 0;
+  bool has_else = false;
+};
+
+// Proves `query` fits the specializable shape and returns its plan, or
+// nullopt when the query must run on the interpreting runtime.  The plan
+// borrows the query's DFA; keep the query alive while using it.
+std::optional<SpecPlan> analyze_spec(const CompiledQuery& query);
+
+// In-process executor for a SpecPlan.  Mirrors the generated C++ exactly:
+// same uint64 key packing, same start-state pruning, same accept/fold
+// updates.  This is the "codegen path" oracle used by the fuzzer.
+class SpecializedMonitor {
+ public:
+  explicit SpecializedMonitor(const SpecPlan& plan) : plan_(plan) {}
+
+  void on_packet(const net::Packet& p);
+  // Sum over all observed instantiations (the scope's aggregate).
+  [[nodiscard]] long long aggregate() const;
+  [[nodiscard]] long long at(uint64_t key) const;
+  [[nodiscard]] size_t entries() const { return table_.size(); }
+  // The packed key the generated code would compute for this packet.
+  [[nodiscard]] uint64_t key_of(const net::Packet& p) const;
+
+ private:
+  struct State {
+    int32_t q;
+    long long acc = 0;
+  };
+  SpecPlan plan_;
+  std::unordered_map<uint64_t, State> table_;
+};
 
 struct GeneratedProgram {
   std::string source;       // complete translation unit

@@ -150,6 +150,10 @@ void ParallelEngine::enumerate_all(
   });
 }
 
+const Engine& ParallelEngine::shard_engine(int shard) const {
+  return shards_[shard]->engine;
+}
+
 double ParallelEngine::busy_seconds(int shard) const {
   return shards_[shard]->busy_seconds;
 }

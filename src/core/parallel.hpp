@@ -49,6 +49,11 @@ class ParallelEngine {
                                               const Value&)>& fn) const;
 
   [[nodiscard]] int workers() const { return static_cast<int>(shards_.size()); }
+  // Direct access to one shard's engine (call only after finish()); the
+  // differential oracle uses this to compare a 1-shard run value-for-value
+  // against a single-threaded engine, including undef results that a merged
+  // aggregate() would normalize away.
+  [[nodiscard]] const Engine& shard_engine(int shard) const;
   [[nodiscard]] double busy_seconds(int shard) const;
   [[nodiscard]] double max_busy_seconds() const;
   [[nodiscard]] double total_busy_seconds() const;

@@ -1,0 +1,138 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace netqre::fuzz {
+namespace {
+
+using net::Packet;
+
+constexpr const char* kMagic = "netqre-fuzz-case v1";
+
+std::string hex_encode(const std::string& raw) {
+  if (raw.empty()) return "-";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (unsigned char c : raw) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string hex_decode(const std::string& hex) {
+  if (hex == "-") return {};
+  if (hex.size() % 2 != 0) throw SpecError("odd-length payload hex");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_val(hex[i]);
+    const int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw SpecError("bad payload hex: " + hex);
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string case_to_text(const FuzzCase& c) {
+  std::ostringstream out;
+  out.precision(17);  // round-trip doubles (ts) exactly
+  out << kMagic << '\n';
+  if (!c.note.empty()) out << "note " << c.note << '\n';
+  out << "prog " << print_spec(c.prog) << '\n';
+  for (const auto& p : c.trace) {
+    out << "pkt " << p.ts << ' ' << p.src_ip << ' ' << p.dst_ip << ' '
+        << p.src_port << ' ' << p.dst_port << ' '
+        << static_cast<int>(p.proto) << ' ' << static_cast<int>(p.tcp_flags)
+        << ' ' << p.seq << ' ' << p.ack_no << ' ' << p.wire_len << ' '
+        << hex_encode(p.payload) << '\n';
+  }
+  return out.str();
+}
+
+FuzzCase case_from_text(const std::string& text) {
+  FuzzCase c;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_magic = false;
+  bool saw_prog = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!saw_magic) {
+      if (line != kMagic) throw SpecError("missing case header: " + line);
+      saw_magic = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "note") {
+      std::getline(ls, c.note);
+      if (!c.note.empty() && c.note[0] == ' ') c.note.erase(0, 1);
+    } else if (kw == "prog") {
+      std::string rest;
+      std::getline(ls, rest);
+      c.prog = parse_spec(rest);
+      saw_prog = true;
+    } else if (kw == "pkt") {
+      Packet p;
+      int proto = 0;
+      int flags = 0;
+      std::string payload = "-";
+      if (!(ls >> p.ts >> p.src_ip >> p.dst_ip >> p.src_port >> p.dst_port >>
+            proto >> flags >> p.seq >> p.ack_no >> p.wire_len)) {
+        throw SpecError("bad pkt line: " + line);
+      }
+      ls >> payload;  // optional
+      p.proto = static_cast<net::Proto>(proto);
+      p.tcp_flags = static_cast<uint8_t>(flags);
+      p.payload = hex_decode(payload);
+      c.trace.push_back(std::move(p));
+    } else {
+      throw SpecError("unknown case line: " + line);
+    }
+  }
+  if (!saw_magic) throw SpecError("empty case file");
+  if (!saw_prog) throw SpecError("case file has no prog line");
+  return c;
+}
+
+FuzzCase load_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw SpecError("cannot open case file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return case_from_text(buf.str());
+}
+
+void save_case(const FuzzCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw SpecError("cannot write case file: " + path);
+  out << case_to_text(c);
+  if (!out) throw SpecError("write failed: " + path);
+}
+
+std::vector<std::string> list_cases(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".case") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,43 @@
+// Replayable corpus files for fuzz cases.
+//
+// A case file is line-oriented text, human-editable so a minimized repro
+// can double as a bug report:
+//
+//     # optional comment lines
+//     netqre-fuzz-case v1
+//     note <free text>                 (optional)
+//     prog (agg sum 0 1 (condelse ...))
+//     pkt <ts> <src> <dst> <sport> <dport> <proto> <flags> <seq> <ack> <len> [payload]
+//     pkt ...
+//
+// `payload` is the hex-encoded application payload, `-` (or absent) when
+// empty.  tests/corpus/ holds the checked-in seed corpus; `netqre-fuzz
+// --replay` runs any file or directory of files back through the oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::fuzz {
+
+struct FuzzCase {
+  SNode prog;
+  std::vector<net::Packet> trace;
+  std::string note;
+};
+
+std::string case_to_text(const FuzzCase& c);
+// Throws SpecError on malformed input.
+FuzzCase case_from_text(const std::string& text);
+
+// File I/O; throws SpecError on I/O failure or malformed content.
+FuzzCase load_case(const std::string& path);
+void save_case(const FuzzCase& c, const std::string& path);
+
+// All *.case files in `dir`, sorted; empty when the directory is missing.
+std::vector<std::string> list_cases(const std::string& dir);
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,135 @@
+#include "fuzz/fuzz.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/shrink.hpp"
+#include "obs/metrics.hpp"
+
+namespace netqre::fuzz {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+FuzzSummary run_fuzz(const FuzzConfig& cfg) {
+  FuzzSummary sum;
+  Rng rng(cfg.seed);
+  const auto t0 = Clock::now();
+
+  auto& m_iters = obs::registry().counter("netqre_fuzz_iterations_total");
+  auto& m_rejected = obs::registry().counter("netqre_fuzz_rejected_total");
+  auto& m_mismatch = obs::registry().counter("netqre_fuzz_mismatches_total");
+  auto& m_shrink = obs::registry().counter("netqre_fuzz_shrink_steps_total");
+
+  if (!cfg.corpus_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.corpus_dir, ec);
+  }
+
+  for (uint64_t i = 0; i < cfg.iterations; ++i) {
+    if (cfg.max_seconds > 0 && seconds_since(t0) >= cfg.max_seconds) {
+      sum.time_boxed = true;
+      break;
+    }
+    SNode prog = next_program(rng, cfg.gen, sum.rejected);
+    std::vector<net::Packet> trace = random_trace(rng, cfg.gen);
+    if (prog.tag == "agg") ++sum.scope_programs;
+
+    OracleReport report = run_oracle(prog, trace, cfg.oracle);
+    ++sum.iterations;
+    m_iters.inc();
+    if (report.parallel_sharded) ++sum.checks_parallel_sharded;
+    if (report.codegen_checked) ++sum.checks_codegen;
+    if (report.ok()) continue;
+
+    ++sum.mismatches;
+    m_mismatch.inc();
+    sum.failures.push_back("iter " + std::to_string(i) + ": " +
+                           report.mismatches.front());
+
+    // Minimize while the oracle still disagrees, then pin the repro.
+    const auto still_fails = [&](const SNode& p,
+                                 const std::vector<net::Packet>& t) {
+      try {
+        OracleReport r = run_oracle(p, t, cfg.oracle);
+        return r.usable && !r.ok();
+      } catch (const SpecError&) {
+        return false;
+      }
+    };
+    ShrinkResult min = shrink_case(prog, trace, still_fails);
+    sum.shrink_steps += min.steps;
+    sum.shrink_attempts += min.attempts;
+    m_shrink.inc(min.steps);
+
+    if (!cfg.corpus_dir.empty() && sum.repro_files.size() < cfg.max_repros) {
+      FuzzCase c;
+      c.prog = std::move(min.prog);
+      c.trace = std::move(min.trace);
+      c.note = "minimized repro, seed " + std::to_string(cfg.seed) +
+               " iteration " + std::to_string(i);
+      const std::string path = cfg.corpus_dir + "/repro-" +
+                               std::to_string(cfg.seed) + "-" +
+                               std::to_string(i) + ".case";
+      try {
+        save_case(c, path);
+        sum.repro_files.push_back(path);
+      } catch (const SpecError& e) {
+        sum.failures.push_back(std::string("corpus write failed: ") +
+                               e.what());
+      }
+    }
+  }
+  m_rejected.inc(sum.rejected);
+  sum.elapsed_seconds = seconds_since(t0);
+  return sum;
+}
+
+int replay_corpus(const std::vector<std::string>& paths,
+                  const OracleOptions& opt, std::vector<std::string>& lines) {
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    if (std::filesystem::is_directory(p)) {
+      auto in_dir = list_cases(p);
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else {
+      files.push_back(p);
+    }
+  }
+  int failing = 0;
+  for (const auto& f : files) {
+    try {
+      FuzzCase c = load_case(f);
+      OracleReport r = run_oracle(c.prog, c.trace, opt);
+      if (!r.usable) {
+        // A pinned case must stay inside the differential domain; a new
+        // compiler warning on an old repro is itself a regression signal.
+        ++failing;
+        lines.push_back(f + ": MISMATCH compiled with warnings: " +
+                        (r.warnings.empty() ? "?" : r.warnings.front()));
+      } else if (r.ok()) {
+        lines.push_back(f + ": ok (" + std::to_string(c.trace.size()) +
+                        " packets)");
+      } else {
+        ++failing;
+        lines.push_back(f + ": MISMATCH " + r.mismatches.front());
+      }
+    } catch (const SpecError& e) {
+      ++failing;
+      lines.push_back(f + ": MISMATCH " + e.what());
+    }
+  }
+  if (files.empty()) {
+    lines.push_back("(no .case files found)");
+  }
+  return failing;
+}
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,59 @@
+// Fuzz campaign driver: generate → cross-check → shrink → pin.
+//
+// Each iteration draws one unambiguous random program and one adversarial
+// trace, runs the differential oracle, and on any disagreement greedily
+// shrinks the case to a minimal repro, saved as a replayable corpus file.
+// Everything is keyed off a single seed: `run_fuzz({.seed = s})` is fully
+// deterministic, which is what lets CI pin a fixed-seed smoke run while the
+// nightly job explores with a clock-derived seed.
+//
+// Campaign counters are also published to the obs registry
+// (netqre_fuzz_iterations_total, _rejected_total, _mismatches_total,
+// _shrink_steps_total) so correctness runs show up in the same telemetry
+// pipeline as the performance benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/gen.hpp"
+#include "fuzz/oracle.hpp"
+
+namespace netqre::fuzz {
+
+struct FuzzConfig {
+  uint64_t seed = 1;
+  uint64_t iterations = 500;
+  std::string corpus_dir;    // where minimized repros go; empty = don't save
+  double max_seconds = 0;    // wall-clock budget; 0 = unlimited
+  size_t max_repros = 10;    // stop saving (not checking) after this many
+  GenConfig gen;
+  OracleOptions oracle;
+};
+
+struct FuzzSummary {
+  uint64_t iterations = 0;  // oracle runs completed
+  uint64_t rejected = 0;    // ambiguous/uncompilable draws discarded
+  uint64_t mismatches = 0;  // iterations with >= 1 path disagreement
+  uint64_t shrink_steps = 0;
+  uint64_t shrink_attempts = 0;
+  uint64_t checks_parallel_sharded = 0;  // iterations with 2/4-shard runs
+  uint64_t checks_codegen = 0;           // iterations with a codegen plan
+  uint64_t scope_programs = 0;           // parameterized draws
+  double elapsed_seconds = 0;
+  bool time_boxed = false;  // stopped by max_seconds
+  std::vector<std::string> repro_files;
+  std::vector<std::string> failures;  // first mismatch line per failing case
+};
+
+FuzzSummary run_fuzz(const FuzzConfig& cfg);
+
+// Replays corpus files (each `path` a .case file or a directory of them)
+// through the oracle.  Appends one "<file>: ok|MISMATCH ..." line per case
+// to `lines`; returns the number of failing cases.  Malformed files count
+// as failures.
+int replay_corpus(const std::vector<std::string>& paths,
+                  const OracleOptions& opt, std::vector<std::string>& lines);
+
+}  // namespace netqre::fuzz

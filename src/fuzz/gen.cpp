@@ -1,0 +1,446 @@
+#include "fuzz/gen.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "net/reassembly.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre::fuzz {
+namespace {
+
+using net::Packet;
+using net::Proto;
+using net::TcpFlags;
+
+SNode node(std::string tag, std::vector<std::string> args = {},
+           std::vector<SNode> kids = {}) {
+  return SNode{std::move(tag), std::move(args), std::move(kids)};
+}
+
+size_t pick(Rng& rng, size_t n) { return rng() % n; }
+
+template <typename T>
+const T& choose(Rng& rng, const std::vector<T>& v) {
+  return v[pick(rng, v.size())];
+}
+
+std::string num(int64_t v) { return std::to_string(v); }
+
+// --------------------------------------------------------------- predicates
+
+// A per-program pool of literal atoms bounds the DFA alphabet (and with it
+// both compile_regex's 2^atoms letter expansion and ref_eval's cost).
+struct AtomPool {
+  std::vector<SNode> atoms;
+
+  static AtomPool draw(Rng& rng, int max_atoms) {
+    AtomPool pool;
+    const int n = 2 + static_cast<int>(pick(rng, static_cast<size_t>(
+                                                     std::max(1, max_atoms - 1))));
+    for (int i = 0; i < n; ++i) pool.atoms.push_back(draw_atom(rng));
+    return pool;
+  }
+
+  static SNode draw_atom(Rng& rng) {
+    switch (pick(rng, 8)) {
+      case 0: return node("atom", {"syn", "eq", num(pick(rng, 2))});
+      case 1: return node("atom", {"ack", "eq", num(pick(rng, 2))});
+      case 2: return node("atom", {"srcip", "eq", num(1 + pick(rng, 3))});
+      case 3: return node("atom", {"dstip", "eq", num(1 + pick(rng, 3))});
+      case 4:
+        return node("atom", {"srcport", choose(rng, std::vector<std::string>{
+                                            "eq", "lt", "ge"}),
+                             num(10 * (1 + pick(rng, 3)))});
+      case 5:
+        return node("atom", {"len", choose(rng, std::vector<std::string>{
+                                        "eq", "lt", "ge", "gt", "le"}),
+                             num(std::vector<int64_t>{40, 700, 1500}[pick(
+                                 rng, 3)])});
+      case 6: return node("atom", {"seq", "eq", num(pick(rng, 5))});
+      default: return node("atom", {"proto", "eq", num(rng() % 2 ? 6 : 17)});
+    }
+  }
+
+  SNode pred(Rng& rng, int depth) const {
+    if (depth <= 0 || pick(rng, 3) == 0) {
+      SNode a = choose(rng, atoms);
+      return pick(rng, 4) == 0 ? node("pnot", {}, {std::move(a)})
+                               : a;
+    }
+    switch (pick(rng, 4)) {
+      case 0:
+        return node("pand", {}, {pred(rng, depth - 1), pred(rng, depth - 1)});
+      case 1:
+        return node("por", {}, {pred(rng, depth - 1), pred(rng, depth - 1)});
+      case 2: return node("pnot", {}, {pred(rng, depth - 1)});
+      default: return choose(rng, atoms);
+    }
+  }
+};
+
+// ------------------------------------------------------------------ regexes
+
+// Free-form regex for cond/condelse/match (no unambiguity requirement).
+SNode random_re(Rng& rng, const AtomPool& pool, int depth) {
+  if (depth <= 0) {
+    switch (pick(rng, 3)) {
+      case 0: return node("ps", {}, {pool.pred(rng, 1)});
+      case 1: return node("any");
+      default: return node("all");
+    }
+  }
+  switch (pick(rng, 8)) {
+    case 0:  // .* p (suffix anchor — the paper's most common shape)
+      return node("cat", {}, {node("all"), node("ps", {}, {pool.pred(rng, 1)})});
+    case 1:  // .* p .*
+      return node("cat", {}, {node("all"), node("ps", {}, {pool.pred(rng, 1)}),
+                              node("all")});
+    case 2:
+      return node("cat", {},
+                  {random_re(rng, pool, depth - 1),
+                   random_re(rng, pool, depth - 1)});
+    case 3:
+      return node("altre", {},
+                  {random_re(rng, pool, depth - 1),
+                   random_re(rng, pool, depth - 1)});
+    case 4: return node("star", {}, {node("ps", {}, {pool.pred(rng, 1)})});
+    case 5: return node("plus", {}, {node("ps", {}, {pool.pred(rng, 1)})});
+    case 6: return node("opt", {}, {random_re(rng, pool, depth - 1)});
+    default: return node("ps", {}, {pool.pred(rng, 1)});
+  }
+}
+
+// ------------------------------------------------------------- expressions
+
+// Leaf expressions whose domain is Σ* (safe under cond/iter/split bodies).
+SNode leaf_expr(Rng& rng) {
+  switch (pick(rng, 5)) {
+    case 0: return node("const", {num(static_cast<int64_t>(pick(rng, 7)) - 2)});
+    case 1: return node("foldc", {"sum", num(1 + pick(rng, 3))});
+    case 2:
+      return node("foldf",
+                  {"sum", choose(rng, std::vector<std::string>{"len", "seq",
+                                                               "srcport"})});
+    case 3: return node("foldc", {choose(rng, std::vector<std::string>{
+                                      "max", "min", "avg"}),
+                                  num(1 + pick(rng, 3))});
+    default:
+      return node("foldf", {choose(rng, std::vector<std::string>{"max", "avg"}),
+                            "len"});
+  }
+}
+
+std::string random_agg(Rng& rng) {
+  return choose(rng, std::vector<std::string>{"sum", "sum", "max", "min",
+                                              "avg"});
+}
+
+// Segment expression templates for iter/split — shapes whose domain DFAs
+// have a decent chance of passing the unambiguity checks (ambiguous draws
+// are discarded by next_program()).
+SNode segment_expr(Rng& rng, const AtomPool& pool) {
+  const SNode p = pool.pred(rng, 1);
+  const SNode q = pool.pred(rng, 1);
+  SNode re;
+  switch (pick(rng, 4)) {
+    case 0:  // single packet
+      re = node("ps", {}, {p});
+      break;
+    case 1:  // fixed pair
+      re = node("cat", {}, {node("ps", {}, {p}), node("ps", {}, {q})});
+      break;
+    case 2:  // run of p followed by run of ¬p  (syn-runs shape)
+      re = node("cat", {},
+                {node("plus", {}, {node("ps", {}, {p})}),
+                 node("plus", {}, {node("ps", {}, {node("pnot", {}, {p})})})});
+      break;
+    default:  // p then optional q
+      re = node("cat", {}, {node("ps", {}, {p}),
+                            node("opt", {}, {node("ps", {}, {q})})});
+      break;
+  }
+  return node("cond", {}, {std::move(re), leaf_expr(rng)});
+}
+
+SNode closed_expr(Rng& rng, const AtomPool& pool, int depth) {
+  if (depth <= 0) return leaf_expr(rng);
+  switch (pick(rng, 10)) {
+    case 0: return leaf_expr(rng);
+    case 1:
+      return node("cond", {}, {random_re(rng, pool, depth - 1),
+                               closed_expr(rng, pool, depth - 1)});
+    case 2:
+      return node("condelse", {},
+                  {random_re(rng, pool, depth - 1),
+                   closed_expr(rng, pool, depth - 1),
+                   closed_expr(rng, pool, depth - 1)});
+    case 3: {
+      const auto op = choose(
+          rng, std::vector<std::string>{"add", "add", "sub", "mul", "gt",
+                                        "le", "eq", "div"});
+      return node("bin", {op},
+                  {closed_expr(rng, pool, depth - 1),
+                   closed_expr(rng, pool, depth - 1)});
+    }
+    case 4:  // filter >> body (the §3.6 pipeline)
+      return node("comp", {},
+                  {node("filter", {}, {pool.pred(rng, 2)}),
+                   closed_expr(rng, pool, depth - 1)});
+    case 5: return node("iter", {random_agg(rng)}, {segment_expr(rng, pool)});
+    case 6: {
+      // split with an anchored right side (split-last shape).
+      SNode left = node("cond", {}, {node("all"), node("const", {"0"})});
+      const SNode p = pool.pred(rng, 1);
+      SNode tail = node(
+          "cat", {},
+          {node("ps", {}, {p}),
+           node("star", {}, {node("ps", {}, {node("pnot", {}, {p})})})});
+      return node("split", {"sum"},
+                  {std::move(left),
+                   node("cond", {}, {std::move(tail), leaf_expr(rng)})});
+    }
+    case 7:
+      return node("split", {random_agg(rng)},
+                  {segment_expr(rng, pool), segment_expr(rng, pool)});
+    case 8: return node("match", {}, {random_re(rng, pool, depth - 1)});
+    default: return node("exists", {}, {pool.pred(rng, 2)});
+  }
+}
+
+// ------------------------------------------------------- scope (parameter)
+
+// Fields usable as scope keys (numeric, collision-friendly universe).
+const std::vector<std::string>& key_fields() {
+  static const std::vector<std::string> f = {"srcip", "dstip",  "srcport",
+                                             "dstport", "seq", "ackno",
+                                             "len"};
+  return f;
+}
+
+SNode param_atom(Rng& rng, const std::string& field, int slot) {
+  const int64_t offset =
+      pick(rng, 4) == 0 ? (pick(rng, 2) == 0 ? 1 : -1) : 0;
+  return node("param", {field, num(slot), num(offset)});
+}
+
+// Per-key counter (S1 / heavy-hitter family):
+//   agg sum {x[,y]} . filter(x[, y][, lit]) >> body   with body(ε) ∈ {0}.
+SNode scope_counter(Rng& rng, const AtomPool& pool) {
+  const int n = 1 + static_cast<int>(pick(rng, 2));
+  std::vector<SNode> conj;
+  std::vector<std::string> fields;
+  for (int i = 0; i < n; ++i) {
+    std::string f;
+    do {
+      f = choose(rng, key_fields());
+    } while (std::find(fields.begin(), fields.end(), f) != fields.end());
+    fields.push_back(f);
+    conj.push_back(param_atom(rng, f, i));
+  }
+  if (pick(rng, 3) == 0) conj.push_back(choose(rng, pool.atoms));
+  SNode pred = conj.size() == 1 ? std::move(conj[0])
+                                : node("pand", {}, std::move(conj));
+  SNode body;
+  switch (pick(rng, 4)) {
+    case 0: body = node("foldc", {"sum", num(1 + pick(rng, 3))}); break;
+    case 1: body = node("foldf", {"sum", "len"}); break;
+    case 2: body = node("foldf", {"sum", "seq"}); break;
+    default:  // iterated per-packet count: Σ over segments of the body
+      body = node("iter", {"sum"},
+                  {node("cond", {},
+                        {node("ps", {}, {pool.pred(rng, 1)}),
+                         node("const", {"1"})})});
+      break;
+  }
+  return node("agg", {"sum", "0", num(n)},
+              {node("comp", {}, {node("filter", {}, {std::move(pred)}),
+                                 std::move(body)})});
+}
+
+// Exists-style distinct count (S2 flat / dup-seq family):
+//   agg sum {x} . (.* [x-pred] .* [again .*]) ? c [: 0]
+SNode scope_exists(Rng& rng, const AtomPool& pool) {
+  const std::string field = choose(rng, key_fields());
+  SNode a = param_atom(rng, field, 0);
+  SNode p = pick(rng, 3) == 0
+                ? node("pand", {}, {a, choose(rng, pool.atoms)})
+                : a;
+  SNode re;
+  if (pick(rng, 4) == 0) {
+    // Key seen at least twice (dup-seq shape; same atom both times).
+    re = node("cat", {},
+              {node("all"), node("ps", {}, {p}), node("all"),
+               node("ps", {}, {p}), node("all")});
+  } else {
+    re = node("cat", {}, {node("all"), node("ps", {}, {p}), node("all")});
+  }
+  const std::string c = num(1 + pick(rng, 3));
+  SNode inner = pick(rng, 2) == 0
+                    ? node("condelse", {},
+                           {std::move(re), node("const", {c}),
+                            node("const", {"0"})})
+                    : node("cond", {}, {std::move(re), node("const", {c})});
+  return node("agg", {"sum", "0", "1"}, {std::move(inner)});
+}
+
+// Nested superspreader shape: agg A {x} . agg sum {y} . exists(x ∧ y).
+SNode scope_nested(Rng& rng) {
+  std::string f0 = choose(rng, key_fields());
+  std::string f1;
+  do {
+    f1 = choose(rng, key_fields());
+  } while (f1 == f0);
+  SNode p = node("pand", {}, {param_atom(rng, f0, 0), param_atom(rng, f1, 1)});
+  SNode inner =
+      pick(rng, 2) == 0
+          ? node("exists", {}, {std::move(p)})
+          : node("condelse", {},
+                 {node("cat", {},
+                       {node("all"), node("ps", {}, {std::move(p)}),
+                        node("all")}),
+                  node("const", {"1"}), node("const", {"0"})});
+  const auto outer =
+      choose(rng, std::vector<std::string>{"max", "max", "sum", "min"});
+  return node("agg", {outer, "0", "1"},
+              {node("agg", {"sum", "1", "1"}, {std::move(inner)})});
+}
+
+}  // namespace
+
+SNode random_program(Rng& rng, const GenConfig& cfg) {
+  const AtomPool pool = AtomPool::draw(rng, cfg.max_atoms);
+  const size_t r = pick(rng, 10);
+  if (r < 5) return closed_expr(rng, pool, cfg.max_depth);
+  if (r < 7) return scope_counter(rng, pool);
+  if (r < 9) return scope_exists(rng, pool);
+  return scope_nested(rng);
+}
+
+SNode next_program(Rng& rng, const GenConfig& cfg, uint64_t& rejected) {
+  for (int t = 0; t < cfg.compile_tries; ++t) {
+    SNode prog = random_program(rng, cfg);
+    try {
+      core::CompiledQuery q = compile_spec(prog);
+      if (!q.warnings.empty()) {
+        ++rejected;  // ambiguous / eager fallback: outside the oracle domain
+        continue;
+      }
+      return prog;
+    } catch (const SpecError&) {
+      ++rejected;  // e.g. regex exceeded the atom budget
+    }
+  }
+  throw SpecError("generator failed to produce a compilable program");
+}
+
+// ------------------------------------------------------------------ traces
+
+namespace {
+
+Packet small_packet(Rng& rng, double ts, int universe) {
+  Packet p;
+  p.ts = ts;
+  p.src_ip = 1 + static_cast<uint32_t>(pick(rng, static_cast<size_t>(universe)));
+  p.dst_ip = 1 + static_cast<uint32_t>(pick(rng, static_cast<size_t>(universe)));
+  p.src_port = static_cast<uint16_t>(10 * (1 + pick(rng, 3)));
+  p.dst_port = static_cast<uint16_t>(10 * (1 + pick(rng, 3)));
+  p.proto = pick(rng, 5) == 0 ? Proto::Udp : Proto::Tcp;
+  switch (pick(rng, 5)) {
+    case 0: p.tcp_flags = TcpFlags::kSyn; break;
+    case 1: p.tcp_flags = TcpFlags::kSyn | TcpFlags::kAck; break;
+    case 2: p.tcp_flags = TcpFlags::kFin | TcpFlags::kAck; break;
+    case 3: p.tcp_flags = TcpFlags::kRst; break;
+    default: p.tcp_flags = TcpFlags::kAck; break;
+  }
+  p.seq = static_cast<uint32_t>(pick(rng, 5));
+  p.ack_no = static_cast<uint32_t>(pick(rng, 5));
+  p.wire_len = std::vector<uint32_t>{40, 41, 700, 1500}[pick(rng, 4)];
+  return p;
+}
+
+std::vector<Packet> uniform_trace(Rng& rng, size_t max_len, int universe) {
+  std::vector<Packet> out;
+  const size_t n = pick(rng, max_len + 1);
+  double ts = 1000.0;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(small_packet(rng, ts, universe));
+    if (pick(rng, 3) != 0) ts += 0.5;  // occasional equal timestamps
+  }
+  return out;
+}
+
+// In-order TCP session, mildly shuffled, then restored by the reorderer —
+// the stream the engine sees is the reassembled one (the §2 preprocessing
+// pipeline), which is what all four evaluation paths must agree on.
+std::vector<Packet> reordered_trace(Rng& rng, size_t max_len) {
+  std::vector<Packet> session;
+  uint32_t seq = 1;
+  double ts = 1000.0;
+  const size_t n = 2 + pick(rng, std::max<size_t>(1, max_len - 2));
+  for (size_t i = 0; i < n; ++i) {
+    Packet p;
+    p.ts = ts;
+    ts += 0.1;
+    p.src_ip = 1;
+    p.dst_ip = 2;
+    p.src_port = 10;
+    p.dst_port = 20;
+    p.proto = Proto::Tcp;
+    p.tcp_flags = i == 0 ? TcpFlags::kSyn : TcpFlags::kAck;
+    p.seq = seq;
+    p.ack_no = 0;
+    const size_t paylen = i == 0 ? 0 : 1 + pick(rng, 3);
+    p.payload.assign(paylen, 'x');
+    p.wire_len = static_cast<uint32_t>(40 + paylen);
+    seq += static_cast<uint32_t>(paylen + (i == 0 ? 1 : 0));
+    session.push_back(std::move(p));
+  }
+  // Swap a few adjacent pairs, duplicate one segment (retransmission).
+  for (size_t i = 1; i + 1 < session.size(); i += 2) {
+    if (pick(rng, 2) == 0) std::swap(session[i], session[i + 1]);
+  }
+  if (!session.empty() && pick(rng, 2) == 0) {
+    session.push_back(session[pick(rng, session.size())]);
+  }
+  net::TcpReorderer reorder;
+  std::vector<Packet> out;
+  for (const auto& p : session) reorder.push(p, out);
+  reorder.flush(out);
+  if (out.size() > max_len) out.resize(max_len);
+  return out;
+}
+
+std::vector<Packet> trafficgen_slice(Rng& rng, size_t max_len) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = max_len;
+  cfg.n_flows = 3;
+  cfg.seed = rng();
+  return trafficgen::backbone_trace(cfg);
+}
+
+}  // namespace
+
+std::vector<Packet> random_trace(Rng& rng, const GenConfig& cfg) {
+  const size_t max_len = static_cast<size_t>(cfg.max_stream);
+  const size_t r = pick(rng, 20);
+  if (r < 1) return {};  // empty stream
+  if (r < 11) return uniform_trace(rng, max_len, 3);
+  if (r < 14) return uniform_trace(rng, max_len, 1);  // maximal collisions
+  if (r < 17) {  // duplicated segments
+    std::vector<Packet> base = uniform_trace(rng, max_len / 2 + 1, 2);
+    std::vector<Packet> out = base;
+    while (!base.empty() && out.size() < max_len && pick(rng, 3) != 0) {
+      const size_t lo = pick(rng, base.size());
+      const size_t hi = std::min(base.size(), lo + 1 + pick(rng, 3));
+      out.insert(out.end(), base.begin() + static_cast<long>(lo),
+                 base.begin() + static_cast<long>(hi));
+    }
+    if (out.size() > max_len) out.resize(max_len);
+    return out;
+  }
+  if (r < 19) return reordered_trace(rng, max_len);
+  return trafficgen_slice(rng, max_len);
+}
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,53 @@
+// Random program and trace generation for the differential fuzzer.
+//
+// Programs are drawn from a grammar that stays inside the oracle's sound
+// comparison domain (see DESIGN.md "Testing & oracles"):
+//
+//   * Closed programs (no parameters) compose the full operator algebra —
+//     split/iter over unambiguous segment regexes, `>>` composition,
+//     conditionals, binary arithmetic, folds — and are compared end to end
+//     against ref_eval.  Ambiguous draws (builder warnings) are discarded:
+//     an ambiguous split/iter may legitimately give different (but equally
+//     valid) decompositions under the reference and streaming semantics.
+//   * Parameterized programs are drawn from the query-like scope families
+//     of the paper's Table 1 (per-key counters, exists-style distinct
+//     counts, nested superspreader shapes), where enumeration of the guard
+//     trie provably coincides with the reference cross-product semantics.
+//
+// Traces are short (ref_eval is exponential in stream length) and
+// adversarial: a tiny value universe to force parameter collisions, empty
+// streams, duplicated segments, and out-of-order TCP delivered through
+// net::TcpReorderer.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::fuzz {
+
+using Rng = std::mt19937_64;
+
+struct GenConfig {
+  int max_depth = 3;        // expression nesting budget
+  int max_atoms = 5;        // distinct predicate atoms per program
+  int max_stream = 10;      // ref_eval cost bound
+  int compile_tries = 40;   // redraws before giving up on an unambiguous draw
+};
+
+// Draws one well-typed program spec.  Unchecked: may be ambiguous or fail
+// to compile; use next_program() for a compilable draw.
+SNode random_program(Rng& rng, const GenConfig& cfg);
+
+// Draws programs until one compiles without warnings (the differential
+// domain).  Returns the spec; `rejected` is incremented for every discarded
+// draw.  Throws SpecError if cfg.compile_tries draws all fail (a generator
+// bug — the grammar is built to compile).
+SNode next_program(Rng& rng, const GenConfig& cfg, uint64_t& rejected);
+
+// Draws one adversarial trace of at most cfg.max_stream packets.
+std::vector<net::Packet> random_trace(Rng& rng, const GenConfig& cfg);
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,210 @@
+#include "fuzz/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <span>
+#include <sstream>
+
+#include "core/codegen.hpp"
+#include "core/engine.hpp"
+#include "core/fields.hpp"
+#include "core/parallel.hpp"
+#include "net/flow.hpp"
+
+namespace netqre::fuzz {
+namespace {
+
+using core::Engine;
+using core::ParallelEngine;
+using core::ParamScopeOp;
+using core::Valuation;
+using core::Value;
+using net::Packet;
+
+// Defined-equality plus numeric closeness — the comparison convention the
+// property tests use (Avg results are doubles; everything else is exact).
+bool values_agree(const Value& a, const Value& b) {
+  if (a.defined() != b.defined()) return false;
+  if (!a.defined()) return true;
+  if (a.kind() == Value::Kind::Str || b.kind() == Value::Kind::Str) {
+    return a == b;
+  }
+  return std::abs(a.as_double() - b.as_double()) <= 1e-9;
+}
+
+std::string fmt(const Value& v) { return v.to_string(); }
+
+std::string fmt_key(const std::vector<Value>& key) {
+  std::ostringstream out;
+  out << '(';
+  for (size_t i = 0; i < key.size(); ++i) {
+    out << (i ? "," : "") << key[i].to_string();
+  }
+  out << ')';
+  return out.str();
+}
+
+struct Checker {
+  OracleReport& report;
+
+  void expect(const std::string& path, const Value& want, const Value& got) {
+    if (!values_agree(want, got)) {
+      report.mismatches.push_back(path + ": expected " + fmt(want) +
+                                  " got " + fmt(got));
+    }
+  }
+};
+
+// All packets that can affect one top-level key provably land in one shard:
+// requires the sparse-scope no-op proof for every parameter plus a gated
+// inner expression (otherwise the engine's dynamic re-sweeps make leaf
+// states depend on packets outside the key's partition).
+bool partition_safe(const ParamScopeOp& scope) {
+  if (scope.eager()) return false;
+  for (bool ok : scope.skip_param()) {
+    if (!ok) return false;
+  }
+  if (scope.cand_atoms().empty() || scope.cand_atoms()[0].size() != 1) {
+    return false;
+  }
+  return !scope.inner()->has_ungated_updates();
+}
+
+// The generated code's key packing (codegen.cpp): candidates are already
+// offset-adjusted, so packing is pure bit arithmetic on their int values.
+uint64_t pack_key(const std::vector<Value>& key) {
+  const auto k0 = static_cast<uint64_t>(key[0].as_int());
+  if (key.size() == 1) return k0;
+  const auto k1 = static_cast<uint64_t>(key[1].as_int());
+  return (k0 << 32) | static_cast<uint32_t>(k1);
+}
+
+}  // namespace
+
+OracleReport run_oracle(const SNode& prog, const std::vector<Packet>& trace,
+                        const OracleOptions& opt) {
+  OracleReport report;
+  core::CompiledQuery q = compile_spec(prog);
+  report.warnings = q.warnings;
+  if (!q.warnings.empty()) return report;  // outside the differential domain
+  report.usable = true;
+  Checker check{report};
+
+  // Path 2: streaming engine.
+  Engine eng(q);
+  eng.on_stream(trace);
+  const Value v_eng = eng.eval();
+
+  // Path 1: §3 reference semantics, whole program.
+  {
+    Valuation val(static_cast<size_t>(q.n_slots), Value::undef());
+    const Value v_ref = q.root->ref_eval(trace, val);
+    check.expect("engine-vs-ref", v_ref, v_eng);
+  }
+
+  // Scope-rooted programs: per-leaf reference checks.
+  const auto* scope = dynamic_cast<const ParamScopeOp*>(q.root.get());
+  std::vector<std::pair<std::vector<Value>, Value>> entries;
+  if (scope) {
+    eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+      entries.emplace_back(key, v);
+    });
+    for (const auto& [key, v] : entries) {
+      Valuation lv(static_cast<size_t>(q.n_slots), Value::undef());
+      for (size_t i = 0; i < key.size(); ++i) {
+        lv[static_cast<size_t>(scope->slot_lo()) + i] = key[i];
+      }
+      check.expect("leaf-vs-ref @" + fmt_key(key),
+                   scope->inner()->ref_eval(trace, lv), v);
+      check.expect("eval_at-vs-enumerate @" + fmt_key(key), v,
+                   eng.eval_at(key));
+    }
+    // Fresh key: the default branch must equal the reference evaluation
+    // under a never-observed valuation (0x% prime far outside the trace's
+    // tiny value universe).
+    {
+      std::vector<Value> probe(static_cast<size_t>(scope->n_params()),
+                               Value::integer(999983));
+      Valuation pv(static_cast<size_t>(q.n_slots), Value::undef());
+      for (size_t i = 0; i < probe.size(); ++i) {
+        pv[static_cast<size_t>(scope->slot_lo()) + i] = probe[i];
+      }
+      check.expect("eval_at-fresh-vs-ref",
+                   scope->inner()->ref_eval(trace, pv), eng.eval_at(probe));
+    }
+  }
+
+  // Path 4: parallel runtime.  One shard is semantically the engine with a
+  // queue in front — checked for every program, undef results included.
+  if (opt.check_parallel) {
+    {
+      ParallelEngine p1(q, 1);
+      p1.feed(trace);
+      p1.finish();
+      check.expect("parallel1-vs-engine", v_eng, p1.shard_engine(0).eval());
+    }
+    if (scope && scope->mode().kind == core::ScopeMode::Kind::Aggregate &&
+        partition_safe(*scope)) {
+      report.parallel_sharded = true;
+      const core::FieldRef part_field = scope->cand_atoms()[0][0].field;
+      ParallelEngine::Partitioner part = [part_field](const Packet& p) {
+        return static_cast<size_t>(net::mix64(static_cast<uint64_t>(
+            core::extract(part_field, p).as_int())));
+      };
+      std::map<std::string, std::string> single;
+      for (const auto& [key, v] : entries) single[fmt_key(key)] = fmt(v);
+      for (int shards : opt.extra_shards) {
+        ParallelEngine pn(q, shards, part);
+        pn.feed(trace);
+        pn.finish();
+        check.expect("parallel" + std::to_string(shards) + "-aggregate",
+                     v_eng, pn.aggregate(scope->mode().agg));
+        std::map<std::string, std::string> merged;
+        pn.enumerate_all(
+            [&](const std::vector<Value>& key, const Value& v) {
+              merged[fmt_key(key)] = fmt(v);
+            });
+        if (merged != single) {
+          report.mismatches.push_back(
+              "parallel" + std::to_string(shards) +
+              "-enumerate: " + std::to_string(merged.size()) +
+              " entries vs engine's " + std::to_string(single.size()));
+        }
+      }
+    }
+  }
+
+  // Path 3: codegen plan, executed in process.
+  if (opt.check_codegen) {
+    if (auto plan = core::analyze_spec(q)) {
+      report.codegen_checked = true;
+      core::SpecializedMonitor mon(*plan);
+      for (const auto& p : trace) mon.on_packet(p);
+      check.expect("codegen-vs-engine", v_eng,
+                   Value::integer(mon.aggregate()));
+      // Per-key comparison only works for flat scopes: with nested scopes
+      // the plan's packed keys span the whole chain while enumerate() keys
+      // carry only the outer scope's parameters.
+      const bool flat =
+          scope && plan->key.size() == static_cast<size_t>(scope->n_params());
+      if (flat) {
+        for (const auto& [key, v] : entries) {
+          // The generated code has no undef: a cond-without-else leaf that
+          // never matched reads as the else/absent value (0), exactly as it
+          // contributes to the sum aggregate.
+          Value want = v;
+          if (!v.defined() && !plan->has_fold) {
+            want = Value::integer(plan->has_else ? plan->else_value : 0);
+          }
+          check.expect("codegen-at @" + fmt_key(key), want,
+                       Value::integer(mon.at(pack_key(key))));
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,57 @@
+// Differential oracle: one (program, trace) pair through four independent
+// evaluation paths, every disagreement reported.
+//
+// Paths and the claims they witness (DESIGN.md "Testing & oracles"):
+//   1. ref_eval            — the §3 declarative store-everything semantics.
+//   2. streaming Engine    — §5 guarded-state updates (Algorithms 1-4).
+//   3. SpecializedMonitor  — the codegen back-end's plan executed in
+//                            process (same semantics as the emitted C++).
+//   4. ParallelEngine      — §6 hash-partitioned shards at 1/2/4 workers.
+//
+// For parameter scopes, per-leaf checks sharpen the top-level comparison:
+// every enumerated valuation's value must equal the *reference* evaluation
+// of the scope body under that valuation, eval_at must agree with
+// enumerate, and a fresh (never-observed) key must take the default
+// branch's reference value.
+//
+// Multi-shard parallel checks require partition safety (all packets that
+// can affect one top-level key land in one shard); the oracle derives that
+// from the sparse-scope proof: non-eager scope, all parameters
+// skip-validated, no ungated inner updates, and a single candidate atom
+// for the partitioning parameter.  parallel(1) is checked unconditionally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::fuzz {
+
+struct OracleOptions {
+  bool check_parallel = true;
+  bool check_codegen = true;
+  std::vector<int> extra_shards = {2, 4};  // beyond the unconditional 1
+};
+
+struct OracleReport {
+  // Compiled without warnings; an ambiguous program (split/iter warning,
+  // eager-scope fallback) is outside the differential domain and gets no
+  // checks (the reference may legitimately pick a different decomposition).
+  bool usable = false;
+  std::vector<std::string> warnings;
+  // "path: expected X got Y" lines; empty means all paths agree.
+  std::vector<std::string> mismatches;
+  bool codegen_checked = false;    // analyze_spec produced a plan
+  bool parallel_sharded = false;   // 2/4-shard runs were partition-safe
+
+  [[nodiscard]] bool ok() const { return mismatches.empty(); }
+};
+
+// Compiles and cross-checks; throws SpecError when the spec is malformed.
+OracleReport run_oracle(const SNode& prog,
+                        const std::vector<net::Packet>& trace,
+                        const OracleOptions& opt = {});
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,118 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+namespace netqre::fuzz {
+namespace {
+
+using net::Packet;
+
+// Collects a preorder path list; each path indexes kid positions from the
+// root, so edits can address any node.
+void collect_paths(const SNode& n, std::vector<int>& prefix,
+                   std::vector<std::vector<int>>& out) {
+  out.push_back(prefix);
+  for (size_t i = 0; i < n.kids.size(); ++i) {
+    prefix.push_back(static_cast<int>(i));
+    collect_paths(n.kids[i], prefix, out);
+    prefix.pop_back();
+  }
+}
+
+SNode* at_path(SNode& root, const std::vector<int>& path) {
+  SNode* n = &root;
+  for (int i : path) {
+    if (static_cast<size_t>(i) >= n->kids.size()) return nullptr;
+    n = &n->kids[static_cast<size_t>(i)];
+  }
+  return n;
+}
+
+}  // namespace
+
+ShrinkResult shrink_case(SNode prog, std::vector<Packet> trace,
+                         const FailPredicate& still_fails,
+                         uint64_t max_attempts) {
+  ShrinkResult r;
+  auto budget = [&] { return r.attempts < max_attempts; };
+  auto try_case = [&](const SNode& p, const std::vector<Packet>& t) {
+    ++r.attempts;
+    if (!still_fails(p, t)) return false;
+    ++r.steps;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && budget()) {
+    progress = false;
+
+    // ---- packet deltas: drop chunks, then single packets -----------------
+    for (size_t chunk = std::max<size_t>(1, trace.size() / 2);
+         chunk >= 1 && budget(); chunk /= 2) {
+      for (size_t lo = 0; lo < trace.size() && budget();) {
+        std::vector<Packet> cand;
+        cand.reserve(trace.size());
+        cand.insert(cand.end(), trace.begin(),
+                    trace.begin() + static_cast<long>(lo));
+        const size_t hi = std::min(trace.size(), lo + chunk);
+        cand.insert(cand.end(), trace.begin() + static_cast<long>(hi),
+                    trace.end());
+        if (try_case(prog, cand)) {
+          trace = std::move(cand);
+          progress = true;
+          // keep lo: the next chunk shifted into this position
+        } else {
+          lo += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // ---- spec deltas: hoist children / collapse subtrees -----------------
+    std::vector<std::vector<int>> paths;
+    std::vector<int> prefix;
+    collect_paths(prog, prefix, paths);
+    // Leaf-ward first so a single pass can collapse deep chains.
+    std::stable_sort(paths.begin(), paths.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.size() > b.size();
+                     });
+    for (const auto& path : paths) {
+      if (!budget()) break;
+      SNode* n = at_path(prog, path);
+      if (!n) continue;  // tree changed shape under an earlier edit
+      // Hoist each child over this node.
+      for (size_t i = 0; i < n->kids.size() && budget(); ++i) {
+        SNode cand_root = prog;
+        SNode* spot = at_path(cand_root, path);
+        SNode hoisted = spot->kids[i];
+        *spot = std::move(hoisted);
+        if (try_case(cand_root, trace)) {
+          prog = std::move(cand_root);
+          progress = true;
+          break;  // node replaced; restart this path's edits on next pass
+        }
+      }
+      if (!budget()) break;
+      // A successful hoist replaced `prog`, so `n` may dangle — re-resolve.
+      n = at_path(prog, path);
+      if (!n) continue;
+      // Collapse to the simplest expression.
+      if (n->tag != "const" && !path.empty()) {
+        SNode cand_root = prog;
+        SNode* spot = at_path(cand_root, path);
+        *spot = SNode{"const", {"0"}, {}};
+        if (try_case(cand_root, trace)) {
+          prog = std::move(cand_root);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  r.prog = std::move(prog);
+  r.trace = std::move(trace);
+  return r;
+}
+
+}  // namespace netqre::fuzz

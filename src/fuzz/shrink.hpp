@@ -1,0 +1,42 @@
+// Greedy minimization of failing fuzz cases.
+//
+// Alternates two reduction passes until a fixpoint (or the attempt budget
+// runs out):
+//
+//   * packet deltas — remove chunks of the trace, halving chunk sizes down
+//     to single packets (ddmin-style);
+//   * spec deltas  — for every tree node, try hoisting one of its children
+//     over it, or replacing an expression subtree with `(const 0)`.
+//
+// Every candidate is re-validated by the caller's `still_fails` predicate
+// (typically: re-run the differential oracle and keep the reduction only if
+// the mismatch persists).  Candidates that no longer compile are rejected
+// by the predicate, so spec edits can be blissfully type-unaware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fuzz/spec.hpp"
+#include "net/packet.hpp"
+
+namespace netqre::fuzz {
+
+struct ShrinkResult {
+  SNode prog;
+  std::vector<net::Packet> trace;
+  uint64_t steps = 0;     // accepted reductions
+  uint64_t attempts = 0;  // candidates tried
+};
+
+using FailPredicate = std::function<bool(const SNode&,
+                                         const std::vector<net::Packet>&)>;
+
+// Requires still_fails(prog, trace) to hold on entry; returns a (usually
+// much smaller) case on which it still holds.
+ShrinkResult shrink_case(SNode prog, std::vector<net::Packet> trace,
+                         const FailPredicate& still_fails,
+                         uint64_t max_attempts = 600);
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,357 @@
+#include "fuzz/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace netqre::fuzz {
+
+using core::AggOp;
+using core::BinKind;
+using core::CmpOp;
+using core::Formula;
+using core::QueryBuilder;
+using core::Re;
+using core::Type;
+using core::Value;
+
+// ------------------------------------------------------------- print/parse
+
+std::string print_spec(const SNode& n) {
+  std::ostringstream out;
+  out << '(' << n.tag;
+  for (const auto& a : n.args) out << ' ' << a;
+  for (const auto& k : n.kids) out << ' ' << print_spec(k);
+  out << ')';
+  return out.str();
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SpecError("spec parse error at offset " + std::to_string(pos) +
+                    ": " + what);
+  }
+
+  std::string token() {
+    const size_t start = pos;
+    while (pos < text.size() && text[pos] != '(' && text[pos] != ')' &&
+           text[pos] != ' ' && text[pos] != '\t' && text[pos] != '\n' &&
+           text[pos] != '\r') {
+      ++pos;
+    }
+    if (pos == start) fail("expected token");
+    return text.substr(start, pos - start);
+  }
+
+  SNode node() {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '(') fail("expected '('");
+    ++pos;
+    skip_ws();
+    SNode n;
+    n.tag = token();
+    for (;;) {
+      skip_ws();
+      if (pos >= text.size()) fail("unterminated '('");
+      if (text[pos] == ')') {
+        ++pos;
+        return n;
+      }
+      if (text[pos] == '(') {
+        n.kids.push_back(node());
+      } else {
+        if (!n.kids.empty()) fail("scalar arg after child node");
+        n.args.push_back(token());
+      }
+    }
+  }
+};
+
+int64_t to_int(const std::string& s, const char* what) {
+  try {
+    size_t used = 0;
+    const int64_t v = std::stoll(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw SpecError(std::string("bad integer for ") + what + ": '" + s + "'");
+  }
+}
+
+void need(const SNode& n, size_t args, size_t kids) {
+  if (n.args.size() != args || n.kids.size() != kids) {
+    throw SpecError("(" + n.tag + "): expected " + std::to_string(args) +
+                    " args + " + std::to_string(kids) + " kids, got " +
+                    std::to_string(n.args.size()) + "+" +
+                    std::to_string(n.kids.size()));
+  }
+}
+
+AggOp to_agg(const std::string& s) {
+  if (s == "sum") return AggOp::Sum;
+  if (s == "avg") return AggOp::Avg;
+  if (s == "max") return AggOp::Max;
+  if (s == "min") return AggOp::Min;
+  throw SpecError("unknown aggregation '" + s + "'");
+}
+
+CmpOp to_cmp(const std::string& s) {
+  if (s == "eq") return CmpOp::Eq;
+  if (s == "lt") return CmpOp::Lt;
+  if (s == "le") return CmpOp::Le;
+  if (s == "gt") return CmpOp::Gt;
+  if (s == "ge") return CmpOp::Ge;
+  throw SpecError("unknown comparison '" + s + "'");
+}
+
+BinKind to_bin(const std::string& s) {
+  if (s == "add") return BinKind::Add;
+  if (s == "sub") return BinKind::Sub;
+  if (s == "mul") return BinKind::Mul;
+  if (s == "div") return BinKind::Div;
+  if (s == "gt") return BinKind::Gt;
+  if (s == "ge") return BinKind::Ge;
+  if (s == "lt") return BinKind::Lt;
+  if (s == "le") return BinKind::Le;
+  if (s == "eq") return BinKind::Eq;
+  if (s == "ne") return BinKind::Ne;
+  if (s == "and") return BinKind::And;
+  if (s == "or") return BinKind::Or;
+  throw SpecError("unknown binary op '" + s + "'");
+}
+
+bool is_bool_field(const std::string& f) {
+  return f == "syn" || f == "ack" || f == "fin" || f == "rst" || f == "psh";
+}
+
+// ------------------------------------------------------------- compilation
+
+struct Compiler {
+  QueryBuilder& b;
+  int n_slots;
+
+  Formula pred(const SNode& n) {
+    if (n.tag == "atom") {
+      need(n, 3, 0);
+      const int64_t lit = to_int(n.args[2], "atom literal");
+      Value v = is_bool_field(n.args[0]) ? Value::boolean(lit != 0)
+                                         : Value::integer(lit);
+      return b.atom_cmp(n.args[0], to_cmp(n.args[1]), std::move(v));
+    }
+    if (n.tag == "param") {
+      need(n, 3, 0);
+      const int slot = static_cast<int>(to_int(n.args[1], "param slot"));
+      if (slot < 0 || slot >= n_slots) {
+        throw SpecError("param slot " + n.args[1] + " out of range");
+      }
+      return b.atom_param(n.args[0], slot, to_int(n.args[2], "param offset"));
+    }
+    if (n.tag == "pand" || n.tag == "por") {
+      if (n.kids.size() < 2) throw SpecError("(" + n.tag + "): need >=2 kids");
+      Formula f = pred(n.kids[0]);
+      for (size_t i = 1; i < n.kids.size(); ++i) {
+        f = n.tag == "pand" ? Formula::conj(std::move(f), pred(n.kids[i]))
+                            : Formula::disj(std::move(f), pred(n.kids[i]));
+      }
+      return f;
+    }
+    if (n.tag == "pnot") {
+      need(n, 0, 1);
+      return Formula::negate(pred(n.kids[0]));
+    }
+    if (n.tag == "ptrue") {
+      need(n, 0, 0);
+      return Formula::make_true();
+    }
+    throw SpecError("unknown predicate tag '" + n.tag + "'");
+  }
+
+  Re re(const SNode& n) {
+    if (n.tag == "ps") {
+      need(n, 0, 1);
+      return Re::pred_of(pred(n.kids[0]));
+    }
+    if (n.tag == "any") {
+      need(n, 0, 0);
+      return Re::any();
+    }
+    if (n.tag == "all") {
+      need(n, 0, 0);
+      return Re::all();
+    }
+    if (n.tag == "cat" || n.tag == "altre") {
+      if (n.kids.size() < 2) throw SpecError("(" + n.tag + "): need >=2 kids");
+      Re r = re(n.kids[0]);
+      for (size_t i = 1; i < n.kids.size(); ++i) {
+        r = n.tag == "cat" ? Re::concat(std::move(r), re(n.kids[i]))
+                           : Re::alt(std::move(r), re(n.kids[i]));
+      }
+      return r;
+    }
+    if (n.tag == "star") {
+      need(n, 0, 1);
+      return Re::star(re(n.kids[0]));
+    }
+    if (n.tag == "plus") {
+      need(n, 0, 1);
+      return Re::plus(re(n.kids[0]));
+    }
+    if (n.tag == "opt") {
+      need(n, 0, 1);
+      return Re::opt(re(n.kids[0]));
+    }
+    throw SpecError("unknown regex tag '" + n.tag + "'");
+  }
+
+  QueryBuilder::Expr expr(const SNode& n) {
+    if (n.tag == "const") {
+      need(n, 1, 0);
+      return b.constant(Value::integer(to_int(n.args[0], "const")));
+    }
+    if (n.tag == "match") {
+      need(n, 0, 1);
+      return b.match(re(n.kids[0]));
+    }
+    if (n.tag == "cond") {
+      need(n, 0, 2);
+      return b.cond(re(n.kids[0]), expr(n.kids[1]));
+    }
+    if (n.tag == "condelse") {
+      need(n, 0, 3);
+      return b.cond_else(re(n.kids[0]), expr(n.kids[1]), expr(n.kids[2]));
+    }
+    if (n.tag == "bin") {
+      need(n, 1, 2);
+      return b.bin(to_bin(n.args[0]), expr(n.kids[0]), expr(n.kids[1]));
+    }
+    if (n.tag == "split") {
+      need(n, 1, 2);
+      return b.split(expr(n.kids[0]), expr(n.kids[1]), to_agg(n.args[0]));
+    }
+    if (n.tag == "iter") {
+      need(n, 1, 1);
+      return b.iter(expr(n.kids[0]), to_agg(n.args[0]));
+    }
+    if (n.tag == "comp") {
+      need(n, 0, 2);
+      return b.comp(expr(n.kids[0]), expr(n.kids[1]));
+    }
+    if (n.tag == "filter") {
+      need(n, 0, 1);
+      return b.filter(pred(n.kids[0]));
+    }
+    if (n.tag == "foldc") {
+      need(n, 2, 0);
+      return b.fold_const(to_agg(n.args[0]),
+                          Value::integer(to_int(n.args[1], "fold const")));
+    }
+    if (n.tag == "foldf") {
+      need(n, 2, 0);
+      return b.fold_field(to_agg(n.args[0]), n.args[1]);
+    }
+    if (n.tag == "exists") {
+      need(n, 0, 1);
+      return b.exists(pred(n.kids[0]));
+    }
+    if (n.tag == "agg") {
+      need(n, 3, 1);
+      const int lo = static_cast<int>(to_int(n.args[1], "agg slot_lo"));
+      const int cnt = static_cast<int>(to_int(n.args[2], "agg n_slots"));
+      if (lo < 0 || cnt < 1 || cnt > 4 || lo + cnt > n_slots) {
+        throw SpecError("agg: bad slot range [" + std::to_string(lo) + ", " +
+                        std::to_string(lo + cnt) + ")");
+      }
+      std::vector<int> slots;
+      for (int i = 0; i < cnt; ++i) slots.push_back(lo + i);
+      return b.aggregate(to_agg(n.args[0]), slots, expr(n.kids[0]));
+    }
+    throw SpecError("unknown expression tag '" + n.tag + "'");
+  }
+};
+
+// Finds the field name a slot's first parameterized atom uses, for typing.
+void slot_fields(const SNode& n, std::vector<std::string>& by_slot) {
+  if (n.tag == "param" && n.args.size() == 3) {
+    try {
+      const auto slot = static_cast<size_t>(to_int(n.args[1], "slot"));
+      if (slot < by_slot.size() && by_slot[slot].empty()) {
+        by_slot[slot] = n.args[0];
+      }
+    } catch (const SpecError&) {
+      // Malformed slot number; compile_spec reports it properly later.
+    }
+  }
+  for (const auto& k : n.kids) slot_fields(k, by_slot);
+}
+
+}  // namespace
+
+SNode parse_spec(const std::string& text) {
+  Parser p{text};
+  SNode n = p.node();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing garbage after spec");
+  return n;
+}
+
+int spec_n_slots(const SNode& n) {
+  int slots = 0;
+  if (n.tag == "agg" && n.args.size() == 3) {
+    try {
+      slots = static_cast<int>(to_int(n.args[1], "lo") +
+                               to_int(n.args[2], "n"));
+    } catch (const SpecError&) {
+      slots = 0;
+    }
+  }
+  for (const auto& k : n.kids) slots = std::max(slots, spec_n_slots(k));
+  return slots;
+}
+
+int spec_size(const SNode& n) {
+  int sz = 1;
+  for (const auto& k : n.kids) sz += spec_size(k);
+  return sz;
+}
+
+core::CompiledQuery compile_spec(const SNode& prog) {
+  QueryBuilder b;
+  const int n_slots = spec_n_slots(prog);
+  std::vector<std::string> fields(static_cast<size_t>(n_slots));
+  slot_fields(prog, fields);
+  std::vector<std::string> names;
+  for (int i = 0; i < n_slots; ++i) {
+    Type t = Type::Int;
+    if (!fields[static_cast<size_t>(i)].empty()) {
+      if (auto ref = core::resolve_field(fields[static_cast<size_t>(i)])) {
+        t = core::field_type(*ref);
+      }
+    }
+    names.push_back("p" + std::to_string(i));
+    b.new_param(names.back(), t);
+  }
+  Compiler c{b, n_slots};
+  try {
+    return b.finish(c.expr(prog), std::move(names));
+  } catch (const SpecError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Builder-level rejections (unknown field, invalid param atom, regex
+    // too large, non-contiguous slots) surface as SpecError too.
+    throw SpecError(e.what());
+  }
+}
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,66 @@
+// Serializable NetQRE program specs for the differential fuzzer.
+//
+// Random programs must survive three round trips: generation → compilation
+// (QueryBuilder), failure → shrinking (structural tree edits), and corpus
+// storage → replay.  A tiny generic s-expression tree covers all three: every
+// node is a tag plus scalar args plus child nodes, printed as
+//
+//     (agg sum 0 2 (comp (filter (pand (param srcip 0 0) (param dstip 1 0)))
+//                        (foldf sum len)))
+//
+// and compiled by a recursive walk that targets the same QueryBuilder API the
+// hand-written queries use — so a fuzz spec exercises exactly the compile
+// pipeline (PSRE → DFA, unambiguity checks, sparse-scope validation) that
+// production queries do.
+//
+// Expression tags: const, match, cond, condelse, bin, split, iter, comp,
+//   filter, foldc, foldf, exists, agg.
+// Regex tags: ps, any, all, cat, altre, star, plus, opt.
+// Predicate tags: atom, param, pand, por, pnot, ptrue.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/builder.hpp"
+
+namespace netqre::fuzz {
+
+// One s-expression node: `(tag args... kids...)`.
+struct SNode {
+  std::string tag;
+  std::vector<std::string> args;
+  std::vector<SNode> kids;
+
+  bool operator==(const SNode& o) const = default;
+};
+
+// Malformed spec (unknown tag, bad arity, unbound parameter slot, ...).
+// Compilation throws this; the fuzz driver treats it as "discard and
+// regenerate", the corpus replayer as a hard error.
+struct SpecError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// `(tag ...)` → text, single line.
+std::string print_spec(const SNode& n);
+
+// Parses one s-expression; throws SpecError on syntax errors or trailing
+// garbage.
+SNode parse_spec(const std::string& text);
+
+// Compiles a program spec through QueryBuilder.  Throws SpecError when the
+// spec is malformed; builder warnings (ambiguous split/iter, eager-scope
+// fallback) are reported in the returned query's `warnings` and make the
+// case unusable for differential checking (ambiguous programs may
+// legitimately diverge between the reference and streaming semantics).
+core::CompiledQuery compile_spec(const SNode& prog);
+
+// Total parameter slots a spec binds (max over `agg` nodes of lo + n).
+int spec_n_slots(const SNode& prog);
+
+// Number of nodes in the tree (size budget for generation/shrinking).
+int spec_size(const SNode& prog);
+
+}  // namespace netqre::fuzz

@@ -1,0 +1,239 @@
+// Unit tests for the differential fuzzing harness itself: spec round-trips,
+// generator health, the in-process specialized monitor, the shrinker, the
+// corpus serialization, and a fixed-seed differential run.  The longer
+// campaign lives in the `netqre_fuzz_smoke` ctest (500 iterations); CI's
+// nightly job explores with a clock-derived seed on top.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/codegen.hpp"
+#include "core/engine.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzz.hpp"
+#include "fuzz/gen.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/spec.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::Value;
+using fuzz::GenConfig;
+using fuzz::Rng;
+using fuzz::SNode;
+using net::Packet;
+
+// ------------------------------------------------------------------ spec
+
+TEST(FuzzSpec, PrintParseRoundtrip) {
+  Rng rng(99);
+  GenConfig cfg;
+  for (int i = 0; i < 200; ++i) {
+    const SNode prog = fuzz::random_program(rng, cfg);
+    const SNode back = fuzz::parse_spec(fuzz::print_spec(prog));
+    EXPECT_EQ(prog, back) << fuzz::print_spec(prog);
+  }
+}
+
+TEST(FuzzSpec, ParserRejectsMalformed) {
+  EXPECT_THROW(fuzz::parse_spec("(const 1"), fuzz::SpecError);
+  EXPECT_THROW(fuzz::parse_spec("(const 1) junk"), fuzz::SpecError);
+  EXPECT_THROW(fuzz::parse_spec("(bin add (const 1) 2)"), fuzz::SpecError);
+  EXPECT_THROW(fuzz::compile_spec(fuzz::parse_spec("(wat)")),
+               fuzz::SpecError);
+  EXPECT_THROW(fuzz::compile_spec(fuzz::parse_spec("(const x)")),
+               fuzz::SpecError);
+  // Param slot outside the aggregate's declared range.
+  EXPECT_THROW(fuzz::compile_spec(fuzz::parse_spec(
+                   "(agg sum 0 1 (exists (param srcip 3 0)))")),
+               fuzz::SpecError);
+}
+
+TEST(FuzzSpec, CompilesAConcreteCounter) {
+  const SNode prog = fuzz::parse_spec(
+      "(agg sum 0 1 (comp (filter (pand (param srcip 0 0) (atom syn eq 1)))"
+      " (foldc sum 1)))");
+  auto q = fuzz::compile_spec(prog);
+  EXPECT_TRUE(q.warnings.empty());
+  EXPECT_EQ(q.n_slots, 1);
+}
+
+// ------------------------------------------------------------- generator
+
+TEST(FuzzGen, EveryDrawCompilesWithoutWarnings) {
+  Rng rng(7);
+  GenConfig cfg;
+  uint64_t rejected = 0;
+  for (int i = 0; i < 300; ++i) {
+    const SNode prog = fuzz::next_program(rng, cfg, rejected);
+    auto q = fuzz::compile_spec(prog);  // must not throw
+    EXPECT_TRUE(q.warnings.empty()) << fuzz::print_spec(prog);
+  }
+  // The grammar is built to mostly compile: rejections are the ambiguous
+  // tail, not the common case.
+  EXPECT_LT(rejected, 300u);
+}
+
+TEST(FuzzGen, TracesRespectTheStreamBound) {
+  Rng rng(13);
+  GenConfig cfg;
+  cfg.max_stream = 6;
+  bool saw_empty = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto trace = fuzz::random_trace(rng, cfg);
+    EXPECT_LE(trace.size(), 6u);
+    saw_empty |= trace.empty();
+  }
+  EXPECT_TRUE(saw_empty);  // empty streams are part of the adversarial mix
+}
+
+// ------------------------------------------------------- codegen monitor
+
+TEST(FuzzOracle, SpecializedMonitorMatchesEngine) {
+  // The heavy-hitter shape: per-source SYN counter.
+  const SNode prog = fuzz::parse_spec(
+      "(agg sum 0 1 (comp (filter (pand (param srcip 0 0) (atom syn eq 1)))"
+      " (foldc sum 1)))");
+  auto q = fuzz::compile_spec(prog);
+  auto plan = core::analyze_spec(q);
+  ASSERT_TRUE(plan.has_value());
+
+  std::vector<Packet> trace;
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.ts = 1000.0 + i;
+    p.src_ip = 1 + static_cast<uint32_t>(i % 3);
+    p.dst_ip = 9;
+    p.proto = net::Proto::Tcp;
+    p.tcp_flags = (i % 2) ? net::TcpFlags::kSyn : net::TcpFlags::kAck;
+    trace.push_back(p);
+  }
+
+  Engine eng(q);
+  eng.on_stream(trace);
+  core::SpecializedMonitor mon(*plan);
+  for (const auto& p : trace) mon.on_packet(p);
+
+  EXPECT_EQ(eng.eval().as_int(), mon.aggregate());
+  eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+    ASSERT_EQ(key.size(), 1u);
+    EXPECT_EQ(mon.at(static_cast<uint64_t>(key[0].as_int())), v.as_int());
+  });
+}
+
+// --------------------------------------------------------------- shrink
+
+TEST(FuzzShrink, MinimizesASyntheticFailure) {
+  // Failure := "the program still contains a (foldc ...) node AND the trace
+  // still holds a packet with src == 7".  The shrinker should strip
+  // everything else.
+  const SNode prog = fuzz::parse_spec(
+      "(bin add (bin mul (const 3) (const 4))"
+      " (comp (filter (atom syn eq 1)) (foldc sum 1)))");
+  std::vector<Packet> trace(30);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i].ts = 1000.0 + static_cast<double>(i);
+    trace[i].src_ip = (i == 17) ? 7u : 1u;
+  }
+
+  auto has_fold = [](const auto& self, const SNode& n) -> bool {
+    if (n.tag == "foldc") return true;
+    for (const auto& k : n.kids) {
+      if (self(self, k)) return true;
+    }
+    return false;
+  };
+  fuzz::FailPredicate still_fails = [&](const SNode& p,
+                                        const std::vector<Packet>& t) {
+    bool pkt = false;
+    for (const auto& q : t) pkt |= q.src_ip == 7;
+    return pkt && has_fold(has_fold, p);
+  };
+
+  ASSERT_TRUE(still_fails(prog, trace));
+  const auto r = fuzz::shrink_case(prog, trace, still_fails);
+  ASSERT_TRUE(still_fails(r.prog, r.trace));
+  EXPECT_EQ(r.trace.size(), 1u);  // exactly the src==7 packet survives
+  EXPECT_EQ(r.trace[0].src_ip, 7u);
+  EXPECT_LE(fuzz::spec_size(r.prog), 2);  // the fold node, maybe one parent
+  EXPECT_GT(r.steps, 0u);
+}
+
+// --------------------------------------------------------------- corpus
+
+TEST(FuzzCorpus, CaseTextRoundtrip) {
+  fuzz::FuzzCase c;
+  c.note = "roundtrip probe";
+  c.prog = fuzz::parse_spec("(agg sum 0 1 (exists (param srcip 0 0)))");
+  Packet p;
+  p.ts = 1234.5625;
+  p.src_ip = 3;
+  p.dst_ip = 4;
+  p.src_port = 10;
+  p.dst_port = 20;
+  p.proto = net::Proto::Tcp;
+  p.tcp_flags = net::TcpFlags::kSyn | net::TcpFlags::kAck;
+  p.seq = 77;
+  p.ack_no = 88;
+  p.wire_len = 512;
+  p.payload = "GET /";
+  c.trace = {p};
+
+  const fuzz::FuzzCase back = fuzz::case_from_text(fuzz::case_to_text(c));
+  EXPECT_EQ(back.note, c.note);
+  EXPECT_EQ(back.prog, c.prog);
+  ASSERT_EQ(back.trace.size(), 1u);
+  EXPECT_EQ(back.trace[0].ts, p.ts);
+  EXPECT_EQ(back.trace[0].tcp_flags, p.tcp_flags);
+  EXPECT_EQ(back.trace[0].payload, p.payload);
+  EXPECT_EQ(back.trace[0].wire_len, p.wire_len);
+}
+
+TEST(FuzzCorpus, RejectsBadMagic) {
+  EXPECT_THROW(fuzz::case_from_text("bogus v9\nprog (const 1)\n"),
+               fuzz::SpecError);
+}
+
+// ------------------------------------------------------------- campaign
+
+TEST(FuzzCampaign, FixedSeedRunIsCleanAndDeterministic) {
+  fuzz::FuzzConfig cfg;
+  cfg.seed = 2026;
+  cfg.iterations = 300;
+  const auto a = fuzz::run_fuzz(cfg);
+  EXPECT_EQ(a.iterations, 300u);
+  EXPECT_EQ(a.mismatches, 0u)
+      << (a.failures.empty() ? std::string() : a.failures[0]);
+  EXPECT_GT(a.scope_programs, 0u);
+  EXPECT_GT(a.checks_codegen, 0u);
+  EXPECT_GT(a.checks_parallel_sharded, 0u);
+
+  const auto b = fuzz::run_fuzz(cfg);  // same seed → same campaign
+  EXPECT_EQ(b.rejected, a.rejected);
+  EXPECT_EQ(b.scope_programs, a.scope_programs);
+  EXPECT_EQ(b.checks_codegen, a.checks_codegen);
+}
+
+TEST(FuzzCampaign, ReplayReportsMalformedFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "nq_fuzz_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "broken.case").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("netqre-fuzz-case v1\nprog (const\n", f);
+    fclose(f);
+  }
+  std::vector<std::string> lines;
+  EXPECT_EQ(fuzz::replay_corpus({path}, fuzz::OracleOptions{}, lines), 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("MISMATCH"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace netqre

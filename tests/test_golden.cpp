@@ -1,0 +1,146 @@
+// Golden-result tests: every Table-1 query (queries/*.nqre) is run over a
+// small fixed-seed trafficgen workload and its full output — the top-level
+// result plus the sorted per-key enumeration — is compared byte-for-byte
+// against a checked-in snapshot under tests/golden/.
+//
+// When a change legitimately shifts results (new query semantics, a
+// trafficgen fix), regenerate the snapshots with
+//
+//     NETQRE_UPDATE_GOLDEN=1 ./netqre_golden_tests
+//
+// and review the diff like any other code change.  An unexplained diff is a
+// regression in one of the evaluation paths, not an update candidate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/ops.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::Value;
+
+#ifndef NETQRE_GOLDEN_DIR
+#define NETQRE_GOLDEN_DIR "tests/golden"
+#endif
+
+// Small, fast workloads — golden tests pin exact values, they don't need
+// the paper-scale traces the benches use.
+std::vector<net::Packet> workload_for(const std::string& query_file) {
+  using namespace trafficgen;
+  if (query_file == "syn_flood.nqre") {
+    SynFloodConfig cfg;
+    cfg.benign_handshakes = 20;
+    cfg.attack_handshakes = 120;
+    return syn_flood_trace(cfg);
+  }
+  if (query_file == "slowloris.nqre") {
+    SlowlorisConfig cfg;
+    cfg.normal_conns = 12;
+    cfg.slow_conns = 18;
+    cfg.duration = 10.0;
+    return slowloris_trace(cfg);
+  }
+  if (query_file == "voip_count.nqre" || query_file == "voip_usage.nqre") {
+    SipConfig cfg;
+    cfg.n_users = 4;
+    cfg.n_calls = 12;
+    cfg.media_pkts_per_call = 8;
+    return sip_trace(cfg);
+  }
+  if (query_file == "email_keywords.nqre") {
+    SmtpConfig cfg;
+    cfg.n_mails = 40;
+    cfg.keyword_mails = 9;
+    return smtp_trace(cfg);
+  }
+  if (query_file == "dns_tunnel.nqre" || query_file == "dns_amplification.nqre") {
+    DnsConfig cfg;
+    cfg.normal_queries = 80;
+    cfg.tunnel_queries = 15;
+    cfg.amplification_pairs = 12;
+    return dns_trace(cfg);
+  }
+  // Generic backbone mix for the counting / flow-statistics queries.
+  BackboneConfig cfg;
+  cfg.n_packets = 2000;
+  cfg.n_flows = 50;
+  cfg.seed = 5;
+  return backbone_trace(cfg);
+}
+
+// Canonical snapshot: result line, entry count, then sorted entries.
+// Parameterless queries have nothing to enumerate — just the result.
+std::string snapshot(const core::CompiledQuery& q, Engine& eng) {
+  std::ostringstream out;
+  out << "result " << eng.eval().to_string() << '\n';
+  std::vector<std::string> entries;
+  if (dynamic_cast<const core::ParamScopeOp*>(q.root.get()) != nullptr) {
+    eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+      std::ostringstream line;
+      line << "entry";
+      for (const auto& k : key) line << ' ' << k.to_string();
+      line << " = " << v.to_string();
+      entries.push_back(line.str());
+    });
+  }
+  std::sort(entries.begin(), entries.end());
+  out << "entries " << entries.size() << '\n';
+  for (const auto& e : entries) out << e << '\n';
+  return out.str();
+}
+
+class GoldenTest : public ::testing::TestWithParam<apps::QueryInfo> {};
+
+TEST_P(GoldenTest, MatchesSnapshot) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  Engine eng(prog.query);
+  for (const auto& p : workload_for(info.file)) eng.on_packet(p);
+  const std::string got = snapshot(prog.query, eng);
+
+  const std::string path =
+      std::string(NETQRE_GOLDEN_DIR) + "/" + info.main + ".txt";
+  if (std::getenv("NETQRE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " — run with NETQRE_UPDATE_GOLDEN=1 to create it";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << info.title << " diverged from " << path
+      << " — if the change is intentional, regenerate with "
+         "NETQRE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<apps::QueryInfo>& info) {
+  std::string n = info.param.main;
+  std::replace_if(
+      n.begin(), n.end(), [](char c) { return !std::isalnum(c); }, '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, GoldenTest,
+                         ::testing::ValuesIn(apps::table1()), param_name);
+
+}  // namespace
+}  // namespace netqre
