@@ -2,17 +2,21 @@
 // binaries.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "apps/queries.hpp"
 #include "core/engine.hpp"
+#include "core/parallel.hpp"
+#include "net/packet_view.hpp"
 #include "obs/json.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -66,6 +70,34 @@ inline const std::vector<net::Packet>& slowloris_workload() {
 inline core::CompiledQuery compile(const std::string& file,
                                    const std::string& main) {
   return apps::compile_app(file, main).query;
+}
+
+// Batch size used when replaying an in-memory trace through the batched
+// ingestion path (Engine::on_batch / ParallelEngine::feed).
+inline constexpr size_t kReplayBatch = 1024;
+
+// Invokes `sink` with consecutive kReplayBatch-sized spans of `trace`.
+template <typename Fn>
+void for_each_batch(const std::vector<net::Packet>& trace, Fn&& sink) {
+  for (size_t i = 0; i < trace.size(); i += kReplayBatch) {
+    const size_t n = std::min(kReplayBatch, trace.size() - i);
+    sink(std::span<const net::Packet>(trace.data() + i, n));
+  }
+}
+
+// Replays `trace` through the dispatcher's move-based batch path: chunks
+// are copied into one reusable PacketBatch (standing in for a capture
+// source's decode fill), then MOVED into the shard queues by
+// feed(PacketBatch&&), so the dispatch cost measured is the zero-copy one.
+inline void feed_batched(core::ParallelEngine& par,
+                         const std::vector<net::Packet>& trace) {
+  net::PacketBatch batch(kReplayBatch);
+  for (size_t i = 0; i < trace.size(); i += kReplayBatch) {
+    batch.clear();
+    const size_t n = std::min(kReplayBatch, trace.size() - i);
+    for (size_t j = 0; j < n; ++j) batch.next_slot() = trace[i + j];
+    par.feed(std::move(batch));
+  }
 }
 
 // Wall-clock for one benchmark measurement, in nanoseconds.

@@ -7,6 +7,9 @@
 // spreader.
 #include <benchmark/benchmark.h>
 
+#include <span>
+#include <type_traits>
+
 #include "baselines/baselines.hpp"
 #include "bench/common.hpp"
 #include "core/window.hpp"
@@ -29,6 +32,10 @@ const char* workload_name(const std::vector<net::Packet>& trace) {
   return "custom";
 }
 
+// Replays the trace through the sink once per benchmark iteration.  Sinks
+// invocable with a packet span go through the batched ingestion path
+// (bench::kReplayBatch packets per call); per-packet sinks take the scalar
+// path, packet by packet.
 template <typename Fn, typename PeakFn>
 void replay(benchmark::State& state, const char* name,
             const std::vector<net::Packet>& trace, Fn make_sink,
@@ -37,7 +44,12 @@ void replay(benchmark::State& state, const char* name,
   for (auto _ : state) {
     auto sink = make_sink();
     wall_ns += bench::time_ns([&] {
-      for (const auto& p : trace) sink(p);
+      if constexpr (std::is_invocable_v<decltype(sink),
+                                        std::span<const net::Packet>>) {
+        bench::for_each_batch(trace, sink);
+      } else {
+        for (const auto& p : trace) sink(p);
+      }
     });
     benchmark::DoNotOptimize(sink);
   }
@@ -67,8 +79,8 @@ void engine_bench(benchmark::State& state, const char* name,
       state, name, trace,
       [&] {
         last = std::make_shared<core::Engine>(query);
-        return [engine = last](const net::Packet& p) {
-          engine->on_packet(p);
+        return [engine = last](std::span<const net::Packet> batch) {
+          engine->on_batch(batch);
         };
       },
       [&] { return last ? uint64_t{last->state_memory()} : uint64_t{0}; });

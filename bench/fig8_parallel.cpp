@@ -33,7 +33,7 @@ void run_app(bench::BenchReporter& report, const char* name,
       return static_cast<size_t>(net::mix64(p.src_ip));
     });
     const auto t0 = Clock::now();
-    par.feed(trace);
+    bench::feed_batched(par, trace);
     const double dispatch_s =
         std::chrono::duration<double>(Clock::now() - t0).count();
     par.finish();

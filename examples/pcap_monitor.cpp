@@ -8,9 +8,7 @@
 #include <string>
 
 #include "apps/queries.hpp"
-#include "core/engine.hpp"
-#include "net/pcap.hpp"
-#include "net/reassembly.hpp"
+#include "netqre.hpp"
 
 int main(int argc, char** argv) {
   using namespace netqre;
@@ -28,24 +26,12 @@ int main(int argc, char** argv) {
   core::Engine engine(program.query);
 
   // The runtime handles reordering/retransmissions before the query (§2).
-  net::PcapReader reader(pcap_path);
+  // mmap reader -> reorderer -> engine compose over the batched
+  // PacketSource interface; no per-packet glue.
+  net::MappedPcapReader reader(pcap_path);
   net::TcpReorderer reorder;
-  std::vector<net::Packet> ready;
-  uint64_t n = 0;
-  while (auto p = reader.next_packet()) {
-    ready.clear();
-    reorder.push(*p, ready);
-    for (const auto& q : ready) {
-      engine.on_packet(q);
-      ++n;
-    }
-  }
-  ready.clear();
-  reorder.flush(ready);
-  for (const auto& q : ready) {
-    engine.on_packet(q);
-    ++n;
-  }
+  net::ReorderingSource source(reader, reorder);
+  const uint64_t n = run_source(engine, source);
 
   std::printf("%llu packets processed (%llu reordered, %llu retransmits "
               "dropped)\n",

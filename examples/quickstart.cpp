@@ -6,9 +6,8 @@
 // examples/pcap_monitor.cpp for reading capture files.
 #include <cstdio>
 
-#include "core/engine.hpp"
-#include "lang/lower.hpp"
 #include "net/ipv4.hpp"
+#include "netqre.hpp"
 
 int main() {
   using namespace netqre;
@@ -21,7 +20,7 @@ int main() {
 
   // 2. Compile it: parsing, type-directed lowering, PSRE -> DFA compilation,
   //    unambiguity checks and the guarded-state plan all happen here.
-  lang::CompiledProgram program = lang::compile_source(source, "hh");
+  lang::CompiledProgram program = netqre::compile(source, "hh");
   for (const auto& w : program.query.warnings) {
     std::printf("compile warning: %s\n", w.c_str());
   }

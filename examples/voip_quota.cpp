@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "apps/queries.hpp"
-#include "core/engine.hpp"
+#include "netqre.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 int main() {

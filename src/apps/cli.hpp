@@ -1,0 +1,77 @@
+// Shared command-line scanning for the netqre-* tools.
+//
+// netqre-lint, netqre-profile and netqre-fuzz present the same conventions
+// (-h/--help prints usage and exits 0; a flag missing its value, a malformed
+// number, or an unknown option prints a "tool: ..." diagnostic and exits 2;
+// --json/--seed/trace-path flags spell and behave identically).  Each tool
+// used to hand-roll that loop; CliArgs is the one implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace netqre::apps {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv, std::string tool, const char* usage)
+      : argc_(argc), argv_(argv), tool_(std::move(tool)), usage_(usage) {}
+
+  // Advances to the next argument; false when exhausted.  Handles
+  // -h/--help itself (prints usage, exits 0).
+  bool next() {
+    if (++i_ >= argc_) return false;
+    arg_ = argv_[i_];
+    if (arg_ == "-h" || arg_ == "--help") {
+      std::cout << usage_;
+      std::exit(0);
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::string& arg() const { return arg_; }
+
+  // True (and consumes nothing further) when the current argument is the
+  // given flag name.
+  [[nodiscard]] bool is(const char* name) const { return arg_ == name; }
+
+  // The current flag's value argument; exits 2 when it is missing.
+  const char* value() {
+    if (i_ + 1 >= argc_) fail(arg_ + " needs a value");
+    return argv_[++i_];
+  }
+
+  // The current flag's value parsed as an unsigned integer; exits 2 on a
+  // malformed number.
+  uint64_t value_u64() {
+    const char* s = value();
+    char* end = nullptr;
+    const uint64_t out = std::strtoull(s, &end, 10);
+    if (!end || *end != '\0') fail("bad " + arg_);
+    return out;
+  }
+
+  // Unknown-option diagnostic: prints usage too, exits 2.
+  [[noreturn]] void unknown() {
+    std::cerr << tool_ << ": unknown option '" << arg_ << "'\n" << usage_;
+    std::exit(2);
+  }
+
+  // Any other usage error ("tool: msg"), exits 2.
+  [[noreturn]] void fail(const std::string& msg) {
+    std::cerr << tool_ << ": " << msg << '\n';
+    std::exit(2);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::string tool_;
+  const char* usage_;
+  int i_ = 0;
+  std::string arg_;
+};
+
+}  // namespace netqre::apps

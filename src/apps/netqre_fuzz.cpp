@@ -1,9 +1,9 @@
 // netqre-fuzz — differential fuzzing harness.
 //
 // Cross-checks random NetQRE programs and adversarial traces across the
-// four evaluation paths (§3 reference semantics, streaming engine, codegen
-// plan, parallel runtime); disagreements are shrunk to minimal repros and
-// saved as replayable corpus files.
+// five evaluation paths (§3 reference semantics, streaming engine, batched
+// engine, codegen plan, parallel runtime); disagreements are shrunk to
+// minimal repros and saved as replayable corpus files.
 //
 //     netqre-fuzz --seed 1 --iterations 500 --corpus-dir out/
 //     netqre-fuzz --replay tests/corpus
@@ -15,8 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/cli.hpp"
 #include "fuzz/fuzz.hpp"
-#include "obs/json.hpp"
+#include "netqre.hpp"
 
 namespace {
 
@@ -25,7 +26,8 @@ constexpr const char* kUsage =
     "       netqre-fuzz --replay <file.case | dir> [...]\n"
     "\n"
     "Differential fuzzing of the NetQRE runtime: random programs + traces\n"
-    "cross-checked across ref_eval / Engine / codegen / parallel(1,2,4).\n"
+    "cross-checked across ref_eval / Engine / on_batch / codegen /\n"
+    "parallel(1,2,4).\n"
     "\n"
     "options:\n"
     "  --seed N          RNG seed (default 1; campaign is deterministic)\n"
@@ -45,61 +47,36 @@ struct Options {
   bool json = false;
 };
 
-bool parse_u64(const char* s, uint64_t& out) {
-  char* end = nullptr;
-  out = std::strtoull(s, &end, 10);
-  return end && *end == '\0';
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "netqre-fuzz: " << arg << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "-h" || arg == "--help") {
-      std::cout << kUsage;
-      return 0;
-    }
-    if (arg == "--seed") {
-      if (!parse_u64(next(), opt.cfg.seed)) {
-        std::cerr << "netqre-fuzz: bad --seed\n";
-        return 2;
-      }
-    } else if (arg == "--iterations") {
-      if (!parse_u64(next(), opt.cfg.iterations)) {
-        std::cerr << "netqre-fuzz: bad --iterations\n";
-        return 2;
-      }
-    } else if (arg == "--corpus-dir") {
-      opt.cfg.corpus_dir = next();
-    } else if (arg == "--replay") {
-      opt.replay.push_back(next());
-    } else if (arg == "--max-seconds") {
-      opt.cfg.max_seconds = std::atof(next());
-    } else if (arg == "--max-stream") {
-      opt.cfg.gen.max_stream = std::atoi(next());
+  netqre::apps::CliArgs cli(argc, argv, "netqre-fuzz", kUsage);
+  while (cli.next()) {
+    if (cli.is("--seed")) {
+      opt.cfg.seed = cli.value_u64();
+    } else if (cli.is("--iterations")) {
+      opt.cfg.iterations = cli.value_u64();
+    } else if (cli.is("--corpus-dir")) {
+      opt.cfg.corpus_dir = cli.value();
+    } else if (cli.is("--replay")) {
+      opt.replay.push_back(cli.value());
+    } else if (cli.is("--max-seconds")) {
+      opt.cfg.max_seconds = std::atof(cli.value());
+    } else if (cli.is("--max-stream")) {
+      opt.cfg.gen.max_stream = std::atoi(cli.value());
       if (opt.cfg.gen.max_stream < 0 || opt.cfg.gen.max_stream > 64) {
-        std::cerr << "netqre-fuzz: --max-stream out of range (0..64; "
-                     "ref_eval is exponential in stream length)\n";
-        return 2;
+        cli.fail("--max-stream out of range (0..64; "
+                 "ref_eval is exponential in stream length)");
       }
-    } else if (arg == "--no-parallel") {
+    } else if (cli.is("--no-parallel")) {
       opt.cfg.oracle.check_parallel = false;
-    } else if (arg == "--no-codegen") {
+    } else if (cli.is("--no-codegen")) {
       opt.cfg.oracle.check_codegen = false;
-    } else if (arg == "--json") {
+    } else if (cli.is("--json")) {
       opt.json = true;
     } else {
-      std::cerr << "netqre-fuzz: unknown option '" << arg << "'\n" << kUsage;
-      return 2;
+      cli.unknown();
     }
   }
 

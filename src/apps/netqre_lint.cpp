@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "lang/analysis.hpp"
-#include "obs/json.hpp"
+#include "apps/cli.hpp"
+#include "netqre.hpp"
 
 namespace {
 
@@ -69,23 +69,18 @@ void lint_source(const std::string& display, const std::string& source,
 
 int main(int argc, char** argv) {
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-h" || arg == "--help") {
-      std::cout << kUsage;
-      return 0;
-    }
-    if (arg == "--werror") {
+  netqre::apps::CliArgs cli(argc, argv, "netqre-lint", kUsage);
+  while (cli.next()) {
+    if (cli.is("--werror")) {
       opt.werror = true;
-    } else if (arg == "--no-warnings") {
+    } else if (cli.is("--no-warnings")) {
       opt.no_warnings = true;
-    } else if (arg == "--json") {
+    } else if (cli.is("--json")) {
       opt.json = true;
-    } else if (arg.size() > 1 && arg[0] == '-') {
-      std::cerr << "netqre-lint: unknown option '" << arg << "'\n" << kUsage;
-      return 2;
+    } else if (cli.arg().size() > 1 && cli.arg()[0] == '-') {
+      cli.unknown();
     } else {
-      opt.files.push_back(arg);
+      opt.files.push_back(cli.arg());
     }
   }
   if (opt.files.empty()) opt.files.push_back("-");

@@ -17,14 +17,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "apps/cli.hpp"
 #include "apps/queries.hpp"
-#include "core/engine.hpp"
-#include "net/pcap.hpp"
-#include "obs/json.hpp"
+#include "netqre.hpp"
 #include "obs/metrics.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -179,9 +179,20 @@ QueryReport profile_query(const apps::QueryInfo& info, const Options& opt,
     }
 
     const auto t0 = Clock::now();
+    // Batched replay; each chunk is additionally capped at the next
+    // --sample boundary so the state timeline keeps its exact points.
     uint64_t next_sample = opt.sample;
-    for (const auto& p : *trace) {
-      engine.on_packet(p);
+    const std::span<const net::Packet> all(*trace);
+    size_t pos = 0;
+    while (pos < all.size()) {
+      const uint64_t room = next_sample > engine.packets()
+                                ? next_sample - engine.packets()
+                                : opt.sample;
+      const size_t chunk = std::min(
+          {static_cast<size_t>(kDefaultBatch), all.size() - pos,
+           static_cast<size_t>(room)});
+      engine.on_batch(all.subspan(pos, chunk));
+      pos += chunk;
       if (engine.packets() >= next_sample) {
         rep.timeline.push_back({engine.packets(), engine.state_memory()});
         next_sample += opt.sample;
@@ -364,39 +375,26 @@ void write_human(const QueryReport& rep, const Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   bool list = false;
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "netqre-profile: missing value for " << argv[i] << "\n";
-      std::exit(2);
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-h" || arg == "--help") {
-      std::cout << kUsage;
-      return 0;
-    } else if (arg == "--list") {
+  apps::CliArgs cli(argc, argv, "netqre-profile", kUsage);
+  while (cli.next()) {
+    if (cli.is("--list")) {
       list = true;
-    } else if (arg == "--query") {
-      opt.queries.emplace_back(need_value(i));
-    } else if (arg == "--pcap") {
-      opt.pcap = need_value(i);
-    } else if (arg == "--packets") {
-      opt.packets = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--sample") {
-      opt.sample = std::max<uint64_t>(
-          1, std::strtoull(need_value(i), nullptr, 10));
-    } else if (arg == "--top") {
-      opt.top = std::strtoull(need_value(i), nullptr, 10);
-    } else if (arg == "--json") {
+    } else if (cli.is("--query")) {
+      opt.queries.emplace_back(cli.value());
+    } else if (cli.is("--pcap")) {
+      opt.pcap = cli.value();
+    } else if (cli.is("--packets")) {
+      opt.packets = cli.value_u64();
+    } else if (cli.is("--sample")) {
+      opt.sample = std::max<uint64_t>(1, cli.value_u64());
+    } else if (cli.is("--top")) {
+      opt.top = cli.value_u64();
+    } else if (cli.is("--json")) {
       opt.json = true;
-    } else if (arg == "--prometheus") {
+    } else if (cli.is("--prometheus")) {
       opt.prometheus = true;
     } else {
-      std::cerr << "netqre-profile: unknown option '" << arg << "'\n"
-                << kUsage;
-      return 2;
+      cli.unknown();
     }
   }
 

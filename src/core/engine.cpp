@@ -70,8 +70,42 @@ void Engine::on_packet(const net::Packet& p) {
   }
 }
 
+void Engine::on_batch(std::span<const net::Packet> batch) {
+  if (batch.empty()) return;
+  if (action_ && query_.result_type == Type::Action) {
+    // Action dispatch needs the firing packet: take the scalar path so the
+    // handler sees exactly the packet that completed the pattern.
+    for (const auto& p : batch) on_packet(p);
+    return;
+  }
+  EvalContext ctx{nullptr, &val_, prof_.get()};
+  Clock::time_point t0{};
+  if constexpr (obs::kEnabled) t0 = Clock::now();
+  for (const auto& p : batch) {
+    begin_packet_fields();
+    ctx.pkt = &p;
+    query_.root->step(*state_, ctx);
+  }
+  if constexpr (obs::kEnabled) {
+    const auto dt =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count();
+    latency_ns_->observe(static_cast<double>(dt) /
+                         static_cast<double>(batch.size()));
+  }
+  n_packets_ += batch.size();
+  packets_total_->inc(batch.size());
+  if (obs::kEnabled && n_packets_ >= next_state_sample_) {
+    sample_state_metrics();
+    while (n_packets_ >= next_state_sample_) {
+      next_state_sample_ +=
+          std::min(next_state_sample_, kStateSampleMaxInterval);
+    }
+  }
+}
+
 void Engine::on_stream(const std::vector<net::Packet>& packets) {
-  for (const auto& p : packets) on_packet(p);
+  on_batch(packets);
   if constexpr (obs::kEnabled) sample_state_metrics();
 }
 

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/builder.hpp"
@@ -32,6 +33,15 @@ class Engine {
   explicit Engine(CompiledQuery query);
 
   void on_packet(const net::Packet& p);
+  // Batched ingestion: advances the query over every packet in the span
+  // with telemetry (latency sample, packet counter, state-size schedule)
+  // amortized to once per batch.  Query state after on_batch(b) is
+  // bit-identical to calling on_packet for each packet of b in order; the
+  // latency histogram records the batch's mean ns/packet instead of one
+  // sampled packet every kLatencySampleEvery.  When an action handler is
+  // installed on an action-typed query, dispatch falls back to the
+  // per-packet path so fires keep their exact packet context.
+  void on_batch(std::span<const net::Packet> batch);
   void on_stream(const std::vector<net::Packet>& packets);
 
   // Current value of the query on the consumed stream.

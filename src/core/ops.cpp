@@ -6,6 +6,8 @@
 #include <cassert>
 #include <map>
 
+#include "core/value_map.hpp"
+
 namespace netqre::core {
 namespace {
 
@@ -354,7 +356,7 @@ void MatchOp::step(OpState& s, const EvalContext& ctx) const {
   prof_step(ctx, *this);
   auto& st = static_cast<MatchState&>(s);
   const int32_t prev = st.q;
-  st.q = dfa_.step(st.q, dfa_.letter_of(*table_, *ctx.pkt, *ctx.val));
+  st.q = dfa_.step(st.q, dfa_letter(ctx, dfa_, *table_));
   if (st.q != prev) prof_trans(ctx, *this);
 }
 
@@ -386,7 +388,7 @@ void CondOp::step(OpState& s, const EvalContext& ctx) const {
   prof_step(ctx, *this);
   auto& st = static_cast<CondState&>(s);
   const int32_t prev = st.q;
-  st.q = re_.step(st.q, re_.letter_of(*table_, *ctx.pkt, *ctx.val));
+  st.q = re_.step(st.q, dfa_letter(ctx, re_, *table_));
   if (st.q != prev) prof_trans(ctx, *this);
   then_->step(*st.thn, ctx);
   if (else_) else_->step(*st.els, ctx);
@@ -493,7 +495,7 @@ void SplitOp::step(OpState& s, const EvalContext& ctx) const {
   auto& st = static_cast<SplitState&>(s);
   prof_trans(ctx, *this, st.cases.size());  // split cases advanced
   const Dfa* gdom = g_->domain();
-  const uint64_t gl = gdom ? gdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
+  const uint64_t gl = gdom ? dfa_letter(ctx, *gdom, *table_) : 0;
 
   // Advance g in every existing split case (Algorithm 2, lines 10-12),
   // pruning cases whose g can never become defined again.
@@ -574,7 +576,7 @@ void IterOp::step(OpState& s, const EvalContext& ctx) const {
   auto& st = static_cast<IterState&>(s);
   prof_trans(ctx, *this, st.entries.size());  // iter entries advanced
   const Dfa* fdom = f_->domain();
-  const uint64_t fl = fdom ? fdom->letter_of(*table_, *ctx.pkt, *ctx.val) : 0;
+  const uint64_t fl = fdom ? dfa_letter(ctx, *fdom, *table_) : 0;
 
   std::vector<IterState::Entry> next;
   next.reserve(st.entries.size() + 1);
@@ -875,7 +877,7 @@ bool ParamScopeOp::skip_optimization_enabled() {
 // branch standing for every value not listed among the siblings.  Leaves
 // (depth == n_params) hold the composite state of the inner expression.
 struct ParamScopeOp::Node {
-  std::unordered_map<Value, std::unique_ptr<Node>, ValueHash> kids;
+  ValueMap<std::unique_ptr<Node>> kids;
   std::unique_ptr<Node> dflt;  // non-null iff depth < n_params
   StateBox leaf;               // non-null iff depth == n_params
 
@@ -915,7 +917,7 @@ struct ParamScopeOp::Node {
     if (leaf) m += leaf->memory();
     if (dflt) m += dflt->memory();
     for (const auto& [k, v] : kids) {
-      m += sizeof(Value) + 32 + v->memory();  // 32 ~ bucket overhead
+      m += sizeof(Value) + 16 + v->memory();  // 16 ~ flat-map slot overhead
     }
     return m;
   }
@@ -937,10 +939,17 @@ struct ScopeStateImpl final : OpState {
   // Per-packet scratch, reused across steps (not part of the logical state;
   // clone()/equals() ignore it).  Kept per state instance: nested scopes
   // each use their own buffers.
-  std::vector<std::vector<Value>> cand_pool;
+  // Distinct candidate values per bound parameter, pointing into cand_raw
+  // (no per-packet Value copies; raw storage is stable while cands is live).
+  std::vector<std::vector<const Value*>> cand_pool;
+  // Per-atom candidates before dedup, [param] -> one Value per
+  // cand_atoms_[param] entry; the letter setup reuses these by cand_index.
+  std::vector<std::vector<Value>> cand_raw;
   std::vector<ParamScopeOp::DfaCtx> dfa_scratch;
   std::vector<std::pair<ParamScopeOp::Node*, Value>> prune_scratch;
   std::vector<const OpState*> stepped_scratch;
+  std::vector<LetterHint> hint_scratch;
+  std::vector<std::vector<ParamScopeOp::Node*>> resolved_scratch;
 
   [[nodiscard]] StateBox clone() const override {
     auto s = std::make_unique<ScopeStateImpl>();
@@ -982,6 +991,7 @@ ParamScopeOp::ParamScopeOp(int slot_lo, int n_params, ScopeMode mode,
       validate_sparse_scope(*inner_, *table_, slot_lo_, n_params_);
   eager_ = force_eager || !v.miss_ok;
   skip_param_ = v.skip_param;
+  all_skip_ = std::ranges::all_of(skip_param_, [](bool b) { return b; });
   dyn_check_ = inner_->has_ungated_updates();
   std::vector<int> atom_ids;
   inner_->collect_atoms(atom_ids);
@@ -1013,14 +1023,30 @@ ParamScopeOp::ParamScopeOp(int slot_lo, int n_params, ScopeMode mode,
       const Atom& a = table_->at(d.atom_ids[i]);
       if (a.is_param && a.param >= slot_lo_ &&
           a.param < slot_lo_ + n_params_) {
-        sd.patoms.push_back({static_cast<int>(i), a.param - slot_lo_, a});
+        const auto& pool = cand_atoms_[a.param - slot_lo_];
+        int cand_index = -1;
+        for (size_t j = 0; j < pool.size(); ++j) {
+          if (pool[j] == a) {
+            cand_index = static_cast<int>(j);
+            break;
+          }
+        }
+        sd.patoms.push_back(
+            {static_cast<int>(i), a.param - slot_lo_, a, cand_index});
       } else if (a.is_param && a.param >= slot_lo_ + n_params_) {
         // Parameter of a scope nested inside this one (slots allocate in
         // pre-order): unbound now, bound during the inner update.
         uncertain |= uint64_t{1} << i;
       }
     }
-    if (sd.patoms.empty()) continue;  // unaffected by this scope's params
+    if (sd.patoms.empty()) {
+      // Unaffected by this scope's params: the letter is leaf-invariant.
+      // When no nested scope's atoms are involved either, compute it once
+      // per packet and hint it to every leaf step.
+      if (uncertain == 0) unparam_hint_dfas_.push_back(&d);
+      continue;
+    }
+    if (uncertain == 0) sd.hint_index = n_scoped_hints_++;
     if (std::popcount(uncertain) > 6) {
       combo_skip_ok_ = false;  // too many uncertain bits to enumerate
     } else {
@@ -1088,13 +1114,21 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
     st.cand_pool.resize(n_params_);
   }
   auto& cands = st.cand_pool;
+  if (st.cand_raw.size() < static_cast<size_t>(n_params_)) {
+    st.cand_raw.resize(n_params_);
+  }
+  auto& raw = st.cand_raw;
   for (int i = 0; i < n_params_; ++i) {
     cands[i].clear();
-    for (const Atom& a : cand_atoms_[i]) {
-      Value v = a.candidate(*ctx.pkt);
+    raw[i].resize(cand_atoms_[i].size());
+    for (size_t j = 0; j < cand_atoms_[i].size(); ++j) {
+      Value& v = raw[i][j];
+      v = cand_atoms_[i][j].candidate(*ctx.pkt);
       if (!v.defined()) continue;
-      if (std::ranges::find(cands[i], v) == cands[i].end()) {
-        cands[i].push_back(std::move(v));
+      if (std::ranges::find_if(cands[i], [&](const Value* p) {
+            return *p == v;
+          }) == cands[i].end()) {
+        cands[i].push_back(&v);
       }
     }
   }
@@ -1104,18 +1138,41 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
   // all bound params unbound, and per parameterized atom the one value that
   // satisfies it on this packet.
   auto& dfa_ctx = st.dfa_scratch;
+  auto& hints = st.hint_scratch;
   const bool use_skip =
       combo_skip_ok_ && !dyn_check_ && skip_optimization_enabled();
+  const int n_hints =
+      use_skip ? n_scoped_hints_ + static_cast<int>(unparam_hint_dfas_.size())
+               : 0;
   if (use_skip) {
     dfa_ctx.resize(scoped_dfas_.size());
+    if (hints.size() != static_cast<size_t>(n_hints)) {
+      hints.resize(n_hints);
+      for (const auto& sd : scoped_dfas_) {
+        if (sd.hint_index >= 0) hints[sd.hint_index].dfa = sd.dfa;
+      }
+      for (size_t u = 0; u < unparam_hint_dfas_.size(); ++u) {
+        hints[n_scoped_hints_ + u].dfa = unparam_hint_dfas_[u];
+      }
+    }
     for (size_t d = 0; d < scoped_dfas_.size(); ++d) {
       const auto& sd = scoped_dfas_[d];
       DfaCtx& c = dfa_ctx[d];
       c.base = sd.dfa->letter_of(*table_, *ctx.pkt, val);
       c.base_class = sd.letter_class[c.base];
       for (size_t a = 0; a < sd.patoms.size() && a < 8; ++a) {
-        c.atom_cand[a] = sd.patoms[a].atom.candidate(*ctx.pkt);
+        const auto& pa = sd.patoms[a];
+        c.atom_cand[a] = pa.cand_index >= 0
+                             ? raw[pa.param_rel][pa.cand_index]
+                             : pa.atom.candidate(*ctx.pkt);
       }
+    }
+    // Letters of subtree DFAs with no scope-param atoms depend only on the
+    // packet (and any already-bound outer scopes): one evaluation covers
+    // every leaf stepped this packet.
+    for (size_t u = 0; u < unparam_hint_dfas_.size(); ++u) {
+      hints[n_scoped_hints_ + u].letter =
+          unparam_hint_dfas_[u]->letter_of(*table_, *ctx.pkt, val);
     }
   }
 
@@ -1150,17 +1207,123 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
   // stay in the miss class?  (Checked before materializing a branch.)
   auto combo_equiv = [&](auto&& self, int depth) -> bool {
     if (depth == n_params_) return leaf_equiv();
-    val[slot_lo_ + depth] = Value::undef();
+    val[slot_lo_ + depth].clear();
     if (!self(self, depth + 1)) return false;
-    for (const Value& v : cands[depth]) {
+    for (const Value* pv : cands[depth]) {
+      const Value& v = *pv;
       val[slot_lo_ + depth] = v;
       const bool ok = self(self, depth + 1);
-      val[slot_lo_ + depth] = Value::undef();
+      val[slot_lo_ + depth].clear();
       if (!ok) return false;
     }
     return true;
   };
 
+  // Like leaf_equiv, but also records each hintable DFA's reconstructed
+  // letter so the inner step can reuse it instead of re-evaluating atoms
+  // (the reconstruction is exact for DFAs with no nested-scope atoms).
+  // Hints must be filled for every DFA even once equivalence is refuted.
+  auto leaf_letters = [&]() -> bool {
+    bool equiv = true;
+    for (size_t d = 0; d < scoped_dfas_.size(); ++d) {
+      const auto& sd = scoped_dfas_[d];
+      const auto& c = dfa_ctx[d];
+      uint64_t letter = c.base;
+      for (size_t a = 0; a < sd.patoms.size(); ++a) {
+        const auto& pa = sd.patoms[a];
+        const Value& v = val[slot_lo_ + pa.param_rel];
+        if (v.defined() && c.atom_cand[a].defined() &&
+            v == c.atom_cand[a]) {
+          letter |= uint64_t{1} << pa.local_bit;
+        }
+      }
+      if (sd.hint_index >= 0) hints[sd.hint_index].letter = letter;
+      if (!equiv || letter == c.base) continue;
+      for (uint64_t sub : sd.uncertain_subsets) {
+        if (sd.letter_class[letter | sub] != sd.letter_class[c.base | sub]) {
+          equiv = false;
+          break;
+        }
+      }
+    }
+    return equiv;
+  };
+
+  EvalContext leaf_ctx = ctx;
+  if (use_skip) {
+    leaf_ctx.hints = hints.data();
+    leaf_ctx.n_hints = n_hints;
+  }
+  auto step_leaf = [&](Node* node) {
+    if (use_skip) {
+      if (leaf_letters()) {
+        ++st.combos_skipped;
+        return;
+      }
+      ++leaves_stepped;
+      inner_->step(*node->leaf, leaf_ctx);
+    } else {
+      ++leaves_stepped;
+      inner_->step(*node->leaf, ctx);
+    }
+  };
+
+  auto& prune_list = st.prune_scratch;
+  prune_list.clear();
+
+  // Fast path: when every level passes the per-param skip analysis, a
+  // miss-class letter is erasable and non-defining, so cross branches
+  // (candidate at one level, default at another) never materialize and
+  // spine nodes below the root carry no concrete kids.  Materializing and
+  // stepping can then fuse into one walk — each candidate branch resolved
+  // with a single hash lookup, cloned from its still-unstepped sibling
+  // default — which is observationally identical to the two-phase walk.
+  const bool fused_ok = all_skip_ && !eager_ && !dyn_check_;
+  if (fused_ok) {
+    if (st.resolved_scratch.size() < static_cast<size_t>(n_params_)) {
+      st.resolved_scratch.resize(n_params_);
+    }
+    auto fused = [&](auto&& self, Node* node, int depth) -> void {
+      if (depth == n_params_) {
+        step_leaf(node);
+        return;
+      }
+      auto& resolved = st.resolved_scratch[depth];
+      resolved.clear();
+      for (const Value* pv : cands[depth]) {
+        const Value& v = *pv;
+        Node* child = nullptr;
+        auto it = node->kids.empty() ? node->kids.end() : node->kids.find(v);
+        if (it != node->kids.end()) {
+          child = it->second.get();
+        } else {
+          val[slot_lo_ + depth] = v;
+          const bool skip = use_skip && combo_equiv(combo_equiv, depth + 1);
+          val[slot_lo_ + depth].clear();
+          if (skip) {
+            ++st.combos_skipped;
+          } else {
+            child = node->kids.emplace(v, node->dflt->clone())
+                        .first->second.get();
+          }
+        }
+        resolved.push_back(child);
+      }
+      self(self, node->dflt.get(), depth + 1);
+      for (size_t i = 0; i < cands[depth].size(); ++i) {
+        Node* child = resolved[i];
+        if (!child) continue;  // skipped by the combo test
+        val[slot_lo_ + depth] = *cands[depth][i];
+        self(self, child, depth + 1);
+        val[slot_lo_ + depth].clear();
+        // Converged back to the default? Queue the branch for removal.
+        if (depth == n_params_ - 1 && child->equals(*node->dflt)) {
+          prune_list.emplace_back(node, *cands[depth][i]);
+        }
+      }
+    };
+    fused(fused, st.root.get(), 0);
+  } else {
   // Does any level below `depth` carry a candidate?  Branches failing the
   // per-level skip analysis must then be descended even when their own value
   // is not a candidate (e.g. the (x=10, y=20) guarded state of a SYN whose
@@ -1176,26 +1339,29 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
   auto materialize = [&](auto&& self, Node* node, int depth) -> void {
     if (depth == n_params_) return;
     self(self, node->dflt.get(), depth + 1);
-    for (const Value& v : cands[depth]) {
+    for (const Value* pv : cands[depth]) {
+      const Value& v = *pv;
       auto it = node->kids.find(v);
       val[slot_lo_ + depth] = v;
       if (it == node->kids.end()) {
         if (use_skip && combo_equiv(combo_equiv, depth + 1)) {
           ++st.combos_skipped;
-          val[slot_lo_ + depth] = Value::undef();
+          val[slot_lo_ + depth].clear();
           continue;
         }
         it = node->kids.emplace(v, node->dflt->clone()).first;
       }
       self(self, it->second.get(), depth + 1);
-      val[slot_lo_ + depth] = Value::undef();
+      val[slot_lo_ + depth].clear();
     }
     if (!skip_param_[depth] && deeper_cands[depth + 1]) {
       for (auto& [k, child] : node->kids) {
-        if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+        if (std::ranges::find_if(cands[depth], [&](const Value* p) {
+              return *p == k;
+            }) == cands[depth].end()) {
           val[slot_lo_ + depth] = k;
           self(self, child.get(), depth + 1);
-          val[slot_lo_ + depth] = Value::undef();
+          val[slot_lo_ + depth].clear();
         }
       }
     }
@@ -1213,28 +1379,21 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
   // ---- Phase 2: step the touched leaves in place.  Leaves whose letters
   // are miss-equivalent are skipped outright; a stepped concrete leaf that
   // converges back to its sibling default is queued for pruning.
-  auto& prune_list = st.prune_scratch;
-  prune_list.clear();
-
   auto step_walk = [&](auto&& self, Node* node, int depth,
                        bool concrete) -> void {
     if (depth == n_params_) {
-      if (use_skip && leaf_equiv()) {
-        ++st.combos_skipped;
-        return;
-      }
-      ++leaves_stepped;
-      inner_->step(*node->leaf, ctx);
+      step_leaf(node);
       return;
     }
-    val[slot_lo_ + depth] = Value::undef();
+    val[slot_lo_ + depth].clear();
     self(self, node->dflt.get(), depth + 1, concrete);
-    for (const Value& v : cands[depth]) {
+    for (const Value* pv : cands[depth]) {
+      const Value& v = *pv;
       auto it = node->kids.find(v);
       if (it == node->kids.end()) continue;  // skipped at materialization
       val[slot_lo_ + depth] = v;
       self(self, it->second.get(), depth + 1, true);
-      val[slot_lo_ + depth] = Value::undef();
+      val[slot_lo_ + depth].clear();
       // Converged back to the default? Queue the branch for removal.
       if (depth == n_params_ - 1 && it->second->equals(*node->dflt)) {
         prune_list.emplace_back(node, v);
@@ -1242,10 +1401,12 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
     }
     if (!skip_param_[depth] && deeper_cands[depth + 1]) {
       for (auto& [k, child] : node->kids) {
-        if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+        if (std::ranges::find_if(cands[depth], [&](const Value* p) {
+              return *p == k;
+            }) == cands[depth].end()) {
           val[slot_lo_ + depth] = k;
           self(self, child.get(), depth + 1, true);
-          val[slot_lo_ + depth] = Value::undef();
+          val[slot_lo_ + depth].clear();
           if (depth == n_params_ - 1 && child->equals(*node->dflt)) {
             prune_list.emplace_back(node, k);
           }
@@ -1269,21 +1430,24 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
         if (!use_skip || !leaf_equiv()) stepped.push_back(node->leaf.get());
         return;
       }
-      val[slot_lo_ + depth] = Value::undef();
+      val[slot_lo_ + depth].clear();
       self(self, node->dflt.get(), depth + 1);
-      for (const Value& v : cands[depth]) {
+      for (const Value* pv : cands[depth]) {
+        const Value& v = *pv;
         auto it = node->kids.find(v);
         if (it == node->kids.end()) continue;
         val[slot_lo_ + depth] = v;
         self(self, it->second.get(), depth + 1);
-        val[slot_lo_ + depth] = Value::undef();
+        val[slot_lo_ + depth].clear();
       }
       if (!skip_param_[depth] && deeper_cands[depth + 1]) {
         for (auto& [k, child] : node->kids) {
-          if (std::ranges::find(cands[depth], k) == cands[depth].end()) {
+          if (std::ranges::find_if(cands[depth], [&](const Value* p) {
+              return *p == k;
+            }) == cands[depth].end()) {
             val[slot_lo_ + depth] = k;
             self(self, child.get(), depth + 1);
-            val[slot_lo_ + depth] = Value::undef();
+            val[slot_lo_ + depth].clear();
           }
         }
       }
@@ -1297,16 +1461,17 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
         }
         return;
       }
-      val[slot_lo_ + depth] = Value::undef();
+      val[slot_lo_ + depth].clear();
       self(self, node->dflt.get(), depth + 1);
       for (auto& [k, child] : node->kids) {
         val[slot_lo_ + depth] = k;
         self(self, child.get(), depth + 1);
-        val[slot_lo_ + depth] = Value::undef();
+        val[slot_lo_ + depth].clear();
       }
     };
     sweep(sweep, st.root.get(), 0);
   }
+  }  // !fused_ok
 
   // Apply queued prunes, then opportunistically fold equal ancestors.
   for (const auto& [parent, key] : prune_list) {
@@ -1330,7 +1495,7 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
 
   // Restore unbound slots and cache EvalAt keys.
   for (int i = 0; i < n_params_; ++i) {
-    val[slot_lo_ + i] = Value::undef();
+    val[slot_lo_ + i].clear();
   }
   if (mode_.kind == ScopeMode::Kind::EvalAt) {
     for (size_t i = 0; i < mode_.keys.size(); ++i) {

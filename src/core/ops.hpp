@@ -39,11 +39,35 @@ struct OpProfile {
   std::vector<uint64_t> transitions;
 };
 
+// Precomputed DFA letter for one packet under the current valuation.  A
+// parameter scope computes every subtree DFA's letter once per touched leaf
+// (it needs them anyway for the skip test) and passes them down, so MatchOp /
+// CondOp skip the per-step atom re-evaluation.  A hint is only emitted for a
+// DFA whose letter is fully determined at the scope's level (no atoms of
+// scopes nested deeper); everything else falls back to Dfa::letter_of.
+struct LetterHint {
+  const Dfa* dfa = nullptr;
+  uint64_t letter = 0;
+};
+
 struct EvalContext {
   const net::Packet* pkt = nullptr;
   Valuation* val = nullptr;  // all parameter slots of the query
   OpProfile* prof = nullptr;  // non-null only while profiling
+  const LetterHint* hints = nullptr;  // per-packet letters, innermost scope
+  int n_hints = 0;
 };
+
+// Letter for `d` on the current packet: the scope-provided hint when one
+// exists (hint lists are 1-4 entries, a linear scan beats any map), else the
+// full per-atom evaluation.
+inline uint64_t dfa_letter(const EvalContext& ctx, const Dfa& d,
+                           const AtomTable& table) {
+  for (int i = 0; i < ctx.n_hints; ++i) {
+    if (ctx.hints[i].dfa == &d) return ctx.hints[i].letter;
+  }
+  return d.letter_of(table, *ctx.pkt, *ctx.val);
+}
 
 // Base class for per-op state.  States are value-like: cloneable (the guard
 // trie forks the default branch on demand), comparable (split/iter case
@@ -605,6 +629,11 @@ class ParamScopeOp final : public Op {
       int local_bit;
       int param_rel;  // bound-slot index within this scope
       Atom atom;
+      // Index of this atom within cand_atoms_[param_rel], so per-packet
+      // letter setup reuses the candidate already extracted for the
+      // instantiation pass instead of re-evaluating the atom; -1 when the
+      // atom is absent from the candidate pool.
+      int cand_index = -1;
     };
     std::vector<ParamAtom> patoms;
     // Atoms of parameters bound by scopes nested *inside* this one are
@@ -612,9 +641,18 @@ class ParamScopeOp final : public Op {
     // inner scope's own update: the class test must hold for every
     // assignment of those bits.  All subsets of that mask, including 0.
     std::vector<uint64_t> uncertain_subsets;
+    // Index into the per-packet LetterHint array, or -1 when the letter is
+    // not fully determined at this scope's level (nested-scope atoms).
+    int hint_index = -1;
   };
   std::vector<ScopedDfa> scoped_dfas_;
+  // Subtree DFAs with no atoms on this scope's own parameters (and none on
+  // nested scopes' parameters): their letter is identical for every leaf, so
+  // it is computed once per packet and hinted to all leaf steps.
+  std::vector<const Dfa*> unparam_hint_dfas_;
+  int n_scoped_hints_ = 0;  // hintable entries among scoped_dfas_
   bool combo_skip_ok_ = false;  // letter-class test usable
+  bool all_skip_ = false;  // every level passed the per-param skip analysis
   OpPtr inner_;
   std::shared_ptr<const AtomTable> table_;
   // Atoms of `inner` that mention each bound slot, for candidate extraction.

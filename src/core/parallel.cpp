@@ -20,7 +20,8 @@ struct ParallelEngine::Shard {
   Engine engine;
   obs::Counter* packets_total;
   std::mutex mu;
-  std::condition_variable cv;
+  std::condition_variable cv;        // worker waits: queue non-empty/closing
+  std::condition_variable cv_space;  // dispatcher waits: queue below bound
   std::deque<std::vector<net::Packet>> queue;
   bool closing = false;
   double busy_seconds = 0;
@@ -36,11 +37,12 @@ struct ParallelEngine::Shard {
         batch = std::move(queue.front());
         queue.pop_front();
       }
+      cv_space.notify_one();
       // Per-thread CPU time: immune to preemption when more workers than
       // cores share the machine (the attribution basis of Fig. 8 here).
       timespec t0{}, t1{};
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
-      for (const auto& p : batch) engine.on_packet(p);
+      engine.on_batch(batch);
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
       busy_seconds += static_cast<double>(t1.tv_sec - t0.tv_sec) +
                       1e-9 * static_cast<double>(t1.tv_nsec - t0.tv_nsec);
@@ -48,9 +50,12 @@ struct ParallelEngine::Shard {
     }
   }
 
-  void push(std::vector<net::Packet> batch) {
+  // Blocks while the queue is at the bound — the dispatcher absorbs the
+  // backpressure rather than queueing the whole trace against a slow shard.
+  void push(std::vector<net::Packet> batch, size_t max_queued) {
     {
-      std::lock_guard lock(mu);
+      std::unique_lock lock(mu);
+      cv_space.wait(lock, [&] { return queue.size() < max_queued; });
       queue.push_back(std::move(batch));
     }
     cv.notify_one();
@@ -86,13 +91,26 @@ ParallelEngine::~ParallelEngine() {
   if (!finished_) finish();
 }
 
+void ParallelEngine::feed(net::PacketBatch&& batch) {
+  const size_t n = shards_.size();
+  for (net::Packet& p : batch.packets()) {
+    const size_t shard = partitioner_(p) % n;
+    pending_[shard].push_back(std::move(p));
+    if (pending_[shard].size() >= kBatch) {
+      shards_[shard]->push(std::move(pending_[shard]), kMaxQueuedBatches);
+      pending_[shard].clear();
+    }
+  }
+  batch.clear();  // slots (and their capacity) stay reusable
+}
+
 void ParallelEngine::feed(const std::vector<net::Packet>& packets) {
   const size_t n = shards_.size();
   for (const auto& p : packets) {
     const size_t shard = partitioner_(p) % n;
     pending_[shard].push_back(p);
     if (pending_[shard].size() >= kBatch) {
-      shards_[shard]->push(std::move(pending_[shard]));
+      shards_[shard]->push(std::move(pending_[shard]), kMaxQueuedBatches);
       pending_[shard].clear();
     }
   }
@@ -101,7 +119,7 @@ void ParallelEngine::feed(const std::vector<net::Packet>& packets) {
 void ParallelEngine::finish() {
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (!pending_[i].empty()) {
-      shards_[i]->push(std::move(pending_[i]));
+      shards_[i]->push(std::move(pending_[i]), kMaxQueuedBatches);
       pending_[i].clear();
     }
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "net/packet_view.hpp"
 
 namespace netqre::core {
 
@@ -33,8 +34,16 @@ class ParallelEngine {
   ParallelEngine(const ParallelEngine&) = delete;
   ParallelEngine& operator=(const ParallelEngine&) = delete;
 
-  // Dispatches packets to the per-worker queues (the load-balancer role;
-  // runs on the calling thread).
+  // Dispatches a decoded batch to the per-worker queues (the load-balancer
+  // role; runs on the calling thread).  Packets are MOVED out of the batch
+  // into the shard queues — no copies — and the batch comes back empty with
+  // its slot capacity intact, ready for the next fill().  Shard queues are
+  // bounded (kMaxQueuedBatches): when a worker falls behind, feed blocks
+  // until its queue drains instead of buffering the whole trace.
+  void feed(net::PacketBatch&& batch);
+
+  // Legacy copying wrapper over the batch path, kept for callers that hold
+  // a long-lived trace they must not give up.
   void feed(const std::vector<net::Packet>& packets);
 
   // Flushes all queues and waits for the workers to drain.
@@ -63,6 +72,9 @@ class ParallelEngine {
  private:
   struct Shard;
   static constexpr size_t kBatch = 4096;
+  // Bound on not-yet-consumed batches per shard queue; feed() blocks when a
+  // shard is this far behind (backpressure instead of unbounded buffering).
+  static constexpr size_t kMaxQueuedBatches = 8;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   Partitioner partitioner_;

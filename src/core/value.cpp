@@ -43,22 +43,6 @@ int Value::compare(const Value& o) const {
   return 0;
 }
 
-size_t Value::hash() const {
-  switch (kind_) {
-    case Kind::Undef: return 0x9e3779b9;
-    case Kind::Int: return net::mix64(static_cast<uint64_t>(int_));
-    case Kind::Double: {
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(dbl_));
-      __builtin_memcpy(&bits, &dbl_, sizeof(bits));
-      return net::mix64(bits ^ 0x1234);
-    }
-    case Kind::Str: return std::hash<std::string>{}(str_);
-    case Kind::Conn: return net::ConnHash{}(conn_);
-  }
-  return 0;
-}
-
 std::string Value::to_string() const {
   switch (kind_) {
     case Kind::Undef: return "undef";

@@ -36,6 +36,15 @@ class Value {
 
   Value() = default;  // Undef
   static Value undef() { return Value{}; }
+
+  // Resets to Undef without the full member-wise assignment of
+  // `*this = Value::undef()` — equality/hash/compare only look at the
+  // payload of defined kinds, so stale scalars are unobservable.  The hot
+  // per-packet slot resets in the guard-trie walk use this.
+  void clear() {
+    kind_ = Kind::Undef;
+    str_.clear();
+  }
   static Value integer(int64_t v, Type t = Type::Int) {
     Value out;
     out.kind_ = Kind::Int;
@@ -65,6 +74,39 @@ class Value {
     out.conn_ = c;
     out.type_ = Type::Conn;
     return out;
+  }
+
+  Value(const Value&) = default;
+  Value(Value&&) = default;
+  // Hand-rolled assignment operators: scope slots and trie keys copy Values
+  // on the per-packet path, and the values there are almost never strings —
+  // skipping the out-of-line std::string assign for empty sources is a
+  // measurable win.
+  Value& operator=(Value&& o) noexcept {
+    kind_ = o.kind_;
+    type_ = o.type_;
+    int_ = o.int_;
+    dbl_ = o.dbl_;
+    conn_ = o.conn_;
+    if (o.str_.empty()) {
+      str_.clear();
+    } else {
+      str_ = std::move(o.str_);
+    }
+    return *this;
+  }
+  Value& operator=(const Value& o) {
+    kind_ = o.kind_;
+    type_ = o.type_;
+    int_ = o.int_;
+    dbl_ = o.dbl_;
+    conn_ = o.conn_;
+    if (o.str_.empty()) {
+      str_.clear();
+    } else {
+      str_ = o.str_;
+    }
+    return *this;
   }
 
   [[nodiscard]] bool defined() const { return kind_ != Kind::Undef; }
@@ -97,7 +139,21 @@ class Value {
   // Total order used for max/min aggregation and trie keys.
   [[nodiscard]] int compare(const Value& o) const;
 
-  [[nodiscard]] size_t hash() const;
+  [[nodiscard]] size_t hash() const {
+    switch (kind_) {
+      case Kind::Undef: return 0x9e3779b9;
+      case Kind::Int: return net::mix64(static_cast<uint64_t>(int_));
+      case Kind::Double: {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(dbl_));
+        __builtin_memcpy(&bits, &dbl_, sizeof(bits));
+        return net::mix64(bits ^ 0x1234);
+      }
+      case Kind::Str: return std::hash<std::string>{}(str_);
+      case Kind::Conn: return net::ConnHash{}(conn_);
+    }
+    return 0;
+  }
   [[nodiscard]] std::string to_string() const;
 
  private:

@@ -1,0 +1,181 @@
+// Flat open-addressing hash map keyed by Value.
+//
+// The guard trie (ParamScopeOp) does a handful of child lookups per packet
+// on maps that range from empty spines to hundreds of thousands of guarded
+// states; std::unordered_map pays a prime modulus plus two dependent cache
+// misses per find.  This table uses power-of-two capacity, linear probing
+// over a dense control-byte + hash array (the fat key/value slots are only
+// touched on a hash match), and rehashing never re-hashes keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/value.hpp"
+
+namespace netqre::core {
+
+// Deletion uses tombstones, never relocation: surviving entries keep their
+// slots, so (as with node-based maps) erase(it) does not disturb an
+// in-progress iteration — the guard-trie fold pass relies on that.
+template <class T>
+class ValueMap {
+  enum class Ctrl : uint8_t { kEmpty, kFull, kTomb };
+  struct Slot {
+    std::pair<Value, T> kv;
+  };
+
+ public:
+  template <bool Const>
+  class Iter {
+    using MapPtr = std::conditional_t<Const, const ValueMap*, ValueMap*>;
+
+   public:
+    Iter() = default;
+    auto& operator*() const { return m_->slots_[i_].kv; }
+    auto* operator->() const { return &m_->slots_[i_].kv; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.i_ == b.i_;
+    }
+
+   private:
+    friend class ValueMap;
+    Iter(MapPtr m, size_t i) : m_(m), i_(i) {}
+    void skip() {
+      while (i_ < m_->ctrl_.size() && m_->ctrl_[i_] != Ctrl::kFull) ++i_;
+    }
+    MapPtr m_ = nullptr;
+    size_t i_ = 0;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  ValueMap() = default;
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_t size() const { return size_; }
+
+  iterator begin() {
+    iterator it(this, 0);
+    it.skip();
+    return it;
+  }
+  iterator end() { return iterator(this, ctrl_.size()); }
+  const_iterator begin() const {
+    const_iterator it(this, 0);
+    it.skip();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(this, ctrl_.size()); }
+
+  iterator find(const Value& k) { return iterator(this, find_idx(k)); }
+  const_iterator find(const Value& k) const {
+    return const_iterator(this, find_idx(k));
+  }
+
+  // Inserts (k, move(v)) unless k is present; unordered_map's return shape.
+  std::pair<iterator, bool> emplace(const Value& k, T v) {
+    if ((size_ + tombs_ + 1) * 4 > ctrl_.size() * 3) grow();
+    const size_t h = k.hash();
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = h & mask;
+    size_t reuse = SIZE_MAX;  // first tombstone crossed, if any
+    while (true) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) {
+        const size_t at = reuse != SIZE_MAX ? reuse : i;
+        if (ctrl_[at] == Ctrl::kTomb) --tombs_;
+        ctrl_[at] = Ctrl::kFull;
+        hashes_[at] = h;
+        slots_[at].kv.first = k;
+        slots_[at].kv.second = std::move(v);
+        ++size_;
+        return {iterator(this, at), true};
+      }
+      if (c == Ctrl::kFull && hashes_[i] == h && slots_[i].kv.first == k) {
+        return {iterator(this, i), false};
+      }
+      if (c == Ctrl::kTomb && reuse == SIZE_MAX) reuse = i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  size_t erase(const Value& k) {
+    const size_t i = find_idx(k);
+    if (i == ctrl_.size()) return 0;
+    erase_at(i);
+    return 1;
+  }
+  iterator erase(iterator it) {
+    erase_at(it.i_);
+    it.skip();  // the slot is now a tombstone; advance to the next entry
+    return it;
+  }
+
+ private:
+  void erase_at(size_t i) {
+    ctrl_[i] = Ctrl::kTomb;
+    slots_[i].kv.first = Value::undef();
+    slots_[i].kv.second = T{};
+    --size_;
+    ++tombs_;
+  }
+
+  [[nodiscard]] size_t find_idx(const Value& k) const {
+    if (size_ == 0) return ctrl_.size();
+    const size_t h = k.hash();
+    const size_t mask = ctrl_.size() - 1;
+    size_t i = h & mask;
+    while (true) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) return ctrl_.size();
+      if (c == Ctrl::kFull && hashes_[i] == h && slots_[i].kv.first == k) {
+        return i;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  void grow() {
+    // Double when genuinely full; same capacity just flushes tombstones.
+    const size_t cap =
+        ctrl_.empty() ? 8 : ((size_ + 1) * 2 > ctrl_.size() ? ctrl_.size() * 2
+                                                            : ctrl_.size());
+    std::vector<Slot> old = std::move(slots_);
+    std::vector<Ctrl> old_ctrl = std::move(ctrl_);
+    std::vector<size_t> old_hashes = std::move(hashes_);
+    slots_.clear();
+    slots_.resize(cap);
+    ctrl_.assign(cap, Ctrl::kEmpty);
+    hashes_.assign(cap, 0);
+    tombs_ = 0;
+    const size_t mask = cap - 1;
+    for (size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] != Ctrl::kFull) continue;
+      size_t j = old_hashes[i] & mask;
+      while (ctrl_[j] != Ctrl::kEmpty) j = (j + 1) & mask;
+      ctrl_[j] = Ctrl::kFull;
+      hashes_[j] = old_hashes[i];
+      slots_[j].kv = std::move(old[i].kv);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<Ctrl> ctrl_;
+  // Cached key hashes, dense and parallel to slots_: probes compare control
+  // byte + hash without touching the fat slot, so only the final hit (or a
+  // rare hash collision) loads the key/value cache lines.
+  std::vector<size_t> hashes_;
+  size_t size_ = 0;
+  size_t tombs_ = 0;
+};
+
+}  // namespace netqre::core

@@ -372,7 +372,7 @@ std::vector<Packet> uniform_trace(Rng& rng, size_t max_len, int universe) {
 
 // In-order TCP session, mildly shuffled, then restored by the reorderer —
 // the stream the engine sees is the reassembled one (the §2 preprocessing
-// pipeline), which is what all four evaluation paths must agree on.
+// pipeline), which is what all five evaluation paths must agree on.
 std::vector<Packet> reordered_trace(Rng& rng, size_t max_len) {
   std::vector<Packet> session;
   uint32_t seq = 1;

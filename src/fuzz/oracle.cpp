@@ -11,6 +11,7 @@
 #include "core/fields.hpp"
 #include "core/parallel.hpp"
 #include "net/flow.hpp"
+#include "net/packet_view.hpp"
 
 namespace netqre::fuzz {
 namespace {
@@ -135,12 +136,42 @@ OracleReport run_oracle(const SNode& prog, const std::vector<Packet>& trace,
     }
   }
 
+  // Path 5: batched ingestion.  on_batch must leave the query state
+  // bit-identical to the per-packet path; an odd chunk size makes even the
+  // fuzzer's tiny traces cross several batch boundaries.
+  {
+    Engine beng(q);
+    const std::span<const Packet> all(trace);
+    constexpr size_t kChunk = 3;
+    for (size_t pos = 0; pos < all.size(); pos += kChunk) {
+      beng.on_batch(all.subspan(pos, std::min(kChunk, all.size() - pos)));
+    }
+    check.expect("batch-vs-engine", v_eng, beng.eval());
+    if (scope) {
+      std::map<std::string, std::string> batched;
+      beng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+        batched[fmt_key(key)] = fmt(v);
+      });
+      std::map<std::string, std::string> streamed;
+      for (const auto& [key, v] : entries) streamed[fmt_key(key)] = fmt(v);
+      if (batched != streamed) {
+        report.mismatches.push_back(
+            "batch-enumerate: " + std::to_string(batched.size()) +
+            " entries vs engine's " + std::to_string(streamed.size()));
+      }
+    }
+  }
+
   // Path 4: parallel runtime.  One shard is semantically the engine with a
   // queue in front — checked for every program, undef results included.
+  // The single-shard run is fed through the move-based batch path so the
+  // fuzzer also exercises feed(PacketBatch&&) dispatch.
   if (opt.check_parallel) {
     {
       ParallelEngine p1(q, 1);
-      p1.feed(trace);
+      net::PacketBatch batch;
+      for (const Packet& p : trace) batch.next_slot() = p;
+      p1.feed(std::move(batch));
       p1.finish();
       check.expect("parallel1-vs-engine", v_eng, p1.shard_engine(0).eval());
     }

@@ -1,4 +1,4 @@
-// Differential oracle: one (program, trace) pair through four independent
+// Differential oracle: one (program, trace) pair through five independent
 // evaluation paths, every disagreement reported.
 //
 // Paths and the claims they witness (DESIGN.md "Testing & oracles"):
@@ -6,7 +6,10 @@
 //   2. streaming Engine    — §5 guarded-state updates (Algorithms 1-4).
 //   3. SpecializedMonitor  — the codegen back-end's plan executed in
 //                            process (same semantics as the emitted C++).
-//   4. ParallelEngine      — §6 hash-partitioned shards at 1/2/4 workers.
+//   4. ParallelEngine      — §6 hash-partitioned shards at 1/2/4 workers;
+//                            the 1-shard run ingests via feed(PacketBatch&&).
+//   5. batched Engine      — on_batch chunked ingestion, which must leave
+//                            state bit-identical to per-packet on_packet.
 //
 // For parameter scopes, per-leaf checks sharpen the top-level comparison:
 // every enumerated valuation's value must equal the *reference* evaluation

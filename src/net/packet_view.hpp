@@ -1,0 +1,124 @@
+// Batched, zero-copy ingestion types (DESIGN.md "Ingestion pipeline").
+//
+// The scalar path (PcapReader::next_packet → Engine::on_packet) allocates a
+// fresh record buffer and Packet per frame.  The types here remove both
+// costs: PacketView borrows frame bytes in place (an mmap'ed capture file,
+// a capture ring), and PacketBatch decodes N frames into reusable slots so
+// steady-state refills allocate nothing.  PacketSource is the pull
+// interface every producer implements; Engine::on_batch and
+// ParallelEngine::feed consume the batches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace netqre::net {
+
+// A borrowed view of one captured frame: raw bytes plus the capture-record
+// metadata.  Views never own memory — they are valid only while the backing
+// mapping/buffer lives, and must not be stored past it.
+struct PacketView {
+  const uint8_t* data = nullptr;  // captured (possibly snapped) frame bytes
+  uint32_t len = 0;               // captured length
+  uint32_t orig_len = 0;          // length on the wire
+  double ts = 0.0;                // capture timestamp, seconds
+
+  [[nodiscard]] std::span<const uint8_t> bytes() const {
+    return {data, len};
+  }
+};
+
+// A batch of decoded packets with slot reuse: clear() keeps every Packet
+// (and its payload capacity) alive, so refilling an already-used batch
+// performs no heap allocation.  Packets are owned by the batch; consumers
+// read them through packets()/operator[] or move them out with take().
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+  explicit PacketBatch(size_t reserve) { pkts_.reserve(reserve); }
+
+  // Next reusable slot (constructed the first time around).  The caller
+  // overwrites every field; drop_last() undoes the claim for frames that
+  // turn out to be undecodable.
+  Packet& next_slot() {
+    if (n_ == pkts_.size()) pkts_.emplace_back();
+    return pkts_[n_++];
+  }
+  void drop_last() { --n_; }
+
+  // Forgets the live packets but keeps their slots (and capacity).
+  void clear() { n_ = 0; }
+
+  [[nodiscard]] size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] const Packet& operator[](size_t i) const { return pkts_[i]; }
+  [[nodiscard]] Packet& operator[](size_t i) { return pkts_[i]; }
+  [[nodiscard]] std::span<const Packet> packets() const {
+    return {pkts_.data(), n_};
+  }
+  // Mutable view, for consumers that move packets out of the slots (e.g.
+  // ParallelEngine::feed scattering a batch into shard queues).  Moved-from
+  // slots stay reusable: the next refill overwrites them.
+  [[nodiscard]] std::span<Packet> packets() {
+    return {pkts_.data(), n_};
+  }
+  [[nodiscard]] auto begin() const { return pkts_.cbegin(); }
+  [[nodiscard]] auto end() const { return pkts_.cbegin() + n_; }
+
+  void push_back(Packet p) {
+    next_slot() = std::move(p);
+  }
+
+  // Moves the live packets out (e.g. into a shard queue), leaving the
+  // batch empty and without its slot capacity.
+  [[nodiscard]] std::vector<Packet> take() && {
+    pkts_.resize(n_);
+    n_ = 0;
+    return std::move(pkts_);
+  }
+
+ private:
+  std::vector<Packet> pkts_;
+  size_t n_ = 0;  // live prefix of pkts_
+};
+
+// Pull-based producer of packet batches — the unified ingestion interface.
+// Implemented by MappedPcapReader (mmap'ed captures), VectorSource
+// (in-memory traces), and the TCP reassembly preprocessor.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  // Clears `out` and refills it with up to `max` packets.  Returns the
+  // number of packets produced; 0 means end of stream.
+  virtual size_t fill(PacketBatch& out, size_t max) = 0;
+};
+
+// Replays an in-memory trace through the PacketSource interface.  The trace
+// is borrowed, not copied; fill() copies each packet into the batch slots
+// (reusing their capacity), so the per-fill cost is bounded by `max`.
+class VectorSource final : public PacketSource {
+ public:
+  explicit VectorSource(std::span<const Packet> trace) : trace_(trace) {}
+
+  size_t fill(PacketBatch& out, size_t max) override {
+    out.clear();
+    while (out.size() < max && pos_ < trace_.size()) {
+      out.next_slot() = trace_[pos_++];
+    }
+    return out.size();
+  }
+
+  void rewind() { pos_ = 0; }
+
+ private:
+  std::span<const Packet> trace_;
+  size_t pos_ = 0;
+};
+
+}  // namespace netqre::net

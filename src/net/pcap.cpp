@@ -1,5 +1,10 @@
 #include "net/pcap.hpp"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -95,7 +100,7 @@ void PcapWriter::write_packet(const Packet& p) {
 
 void PcapWriter::flush() { out_.flush(); }
 
-PcapReader::PcapReader(const std::string& path, Options opt)
+PcapReader::PcapReader(const std::string& path, PcapOptions opt)
     : in_(path, std::ios::binary), opt_(opt) {
   if (!in_) throw std::runtime_error("pcap: cannot open " + path);
   GlobalHeader hdr{};
@@ -160,18 +165,127 @@ std::optional<Packet> PcapReader::next_packet() {
   return std::nullopt;
 }
 
-std::vector<Packet> read_all(const std::string& path,
-                             PcapReader::Options opt) {
-  PcapReader reader(path, opt);
-  std::vector<Packet> out;
-  while (auto p = reader.next_packet()) out.push_back(std::move(*p));
-  return out;
+MappedPcapReader::MappedPcapReader(const std::string& path, PcapOptions opt)
+    : opt_(opt) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw std::runtime_error("pcap: cannot open " + path);
+  struct stat st{};
+  const bool stat_ok = ::fstat(fd_, &st) == 0;
+  auto fail = [&](const std::string& what) {
+    if (base_) ::munmap(const_cast<uint8_t*>(base_), size_);
+    ::close(fd_);
+    fd_ = -1;
+    base_ = nullptr;
+    throw std::runtime_error("pcap: " + what);
+  };
+  if (!stat_ok) fail("cannot stat " + path);
+  size_ = static_cast<size_t>(st.st_size);
+  if (size_ < sizeof(GlobalHeader)) fail("truncated global header");
+  void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+  if (m == MAP_FAILED) fail("cannot mmap " + path);
+  base_ = static_cast<const uint8_t*>(m);
+
+  GlobalHeader hdr{};
+  std::memcpy(&hdr, base_, sizeof(hdr));
+  if (hdr.magic == kMagicUsec) {
+    swapped_ = false;
+  } else if (hdr.magic == kMagicUsecSwapped) {
+    swapped_ = true;
+  } else {
+    fail("unsupported magic");
+  }
+  snaplen_ = swapped_ ? bswap(hdr.snaplen) : hdr.snaplen;
+  const uint32_t network = swapped_ ? bswap(hdr.network) : hdr.network;
+  if (network != kLinkTypeEthernet) {
+    fail("only Ethernet link type supported");
+  }
+  off_ = sizeof(GlobalHeader);
 }
 
-void write_all(const std::string& path, const std::vector<Packet>& packets) {
+MappedPcapReader::~MappedPcapReader() {
+  if (base_) ::munmap(const_cast<uint8_t*>(base_), size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool MappedPcapReader::truncation(const char* what) {
+  ++truncated_;
+  truncated_total().inc();
+  if (!opt_.tolerant) {
+    throw std::runtime_error(std::string("pcap: ") + what);
+  }
+  return false;  // stop at the last whole record
+}
+
+bool MappedPcapReader::next_view(PacketView& out) {
+  if (truncated_) return false;  // tolerant reader already stopped
+  if (off_ == size_) return false;  // clean EOF
+  if (size_ - off_ < sizeof(RecordHeader)) {
+    return truncation("truncated record header");
+  }
+  RecordHeader hdr{};
+  std::memcpy(&hdr, base_ + off_, sizeof(hdr));
+  if (swapped_) {
+    hdr.ts_sec = bswap(hdr.ts_sec);
+    hdr.ts_usec = bswap(hdr.ts_usec);
+    hdr.incl_len = bswap(hdr.incl_len);
+    hdr.orig_len = bswap(hdr.orig_len);
+  }
+  if (hdr.incl_len > snaplen_ + 65536u) {
+    // Same heuristic as PcapReader::next: garbage lengths read as a cut
+    // previous record, not corruption.
+    return truncation("implausible record length");
+  }
+  if (size_ - off_ - sizeof(RecordHeader) < hdr.incl_len) {
+    return truncation("truncated record body");
+  }
+  out.data = base_ + off_ + sizeof(RecordHeader);
+  out.len = hdr.incl_len;
+  out.orig_len = hdr.orig_len;
+  out.ts = hdr.ts_sec + hdr.ts_usec * 1e-6;
+  off_ += sizeof(RecordHeader) + hdr.incl_len;
+  records_total().inc();
+  return true;
+}
+
+size_t MappedPcapReader::fill(PacketBatch& out, size_t max) {
+  out.clear();
+  PacketView v;
+  while (out.size() < max && next_view(v)) {
+    if (!decode_frame_into(v.bytes(), v.ts, v.orig_len, out.next_slot())) {
+      out.drop_last();
+      undecodable_total().inc();
+    }
+  }
+  return out.size();
+}
+
+std::vector<Packet> read_all(const std::string& path, PcapOptions opt) {
+  PacketBatch batch;
+  read_all(path, batch, opt);
+  return std::move(batch).take();
+}
+
+size_t read_all(const std::string& path, PacketBatch& out, PcapOptions opt) {
+  MappedPcapReader reader(path, opt);
+  const size_t before = out.size();
+  PacketView v;
+  while (reader.next_view(v)) {
+    if (!decode_frame_into(v.bytes(), v.ts, v.orig_len, out.next_slot())) {
+      out.drop_last();
+      undecodable_total().inc();
+    }
+  }
+  return out.size() - before;
+}
+
+void write_all(const std::string& path, std::span<const Packet> packets) {
   PcapWriter writer(path);
   for (const auto& p : packets) writer.write_packet(p);
   writer.flush();
+}
+
+void write_all(const std::string& path, const std::vector<Packet>& packets) {
+  write_all(path, std::span<const Packet>(packets));
 }
 
 }  // namespace netqre::net

@@ -1,16 +1,24 @@
 // Classic libpcap capture-file format, implemented from scratch (the target
 // system has no libpcap).  Supports the microsecond little-endian variant
 // written by tcpdump (magic 0xa1b2c3d4), link type Ethernet (DLT_EN10MB).
+//
+// Two readers share the format logic: the streaming PcapReader (ifstream,
+// one record at a time) and the zero-copy MappedPcapReader (mmap'ed file,
+// PacketView frames, batch decoding).  New code should prefer the mapped
+// reader through the PacketSource interface; the streaming reader remains
+// for incremental/pipe-like use.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_view.hpp"
 
 namespace netqre::net {
 
@@ -39,22 +47,23 @@ class PcapWriter {
 // In `tolerant` mode a truncated record mid-file (cut-short capture, disk
 // full, live rotation) ends the read at the last whole record and bumps the
 // `netqre_pcap_truncated_records_total` counter instead of throwing — the
-// rest of the trace stays usable.
+// rest of the trace stays usable.  (This is the one options type for both
+// readers; the former PcapReader::Options alias is gone.)
 struct PcapOptions {
   bool tolerant = false;
 };
 
 class PcapReader {
  public:
-  using Options = PcapOptions;
-
   // Throws std::runtime_error on open failure or bad magic.
-  explicit PcapReader(const std::string& path, Options opt = Options());
+  explicit PcapReader(const std::string& path, PcapOptions opt = {});
 
   // Returns the next record, or nullopt at end of file.  Strict mode throws
   // on a truncated record; tolerant mode returns nullopt.
   std::optional<PcapRecord> next();
   // Convenience: next record decoded as a Packet; skips undecodable frames.
+  // This is the legacy one-packet path — it allocates a record buffer and a
+  // Packet per frame; batch consumers should use MappedPcapReader::fill.
   std::optional<Packet> next_packet();
 
   [[nodiscard]] uint32_t snaplen() const { return snaplen_; }
@@ -63,7 +72,7 @@ class PcapReader {
 
  private:
   std::ifstream in_;
-  Options opt_;
+  PcapOptions opt_;
   uint32_t snaplen_ = 0;
   bool swapped_ = false;  // big-endian file on little-endian host
   uint64_t truncated_ = 0;
@@ -72,11 +81,61 @@ class PcapReader {
   std::optional<PcapRecord> truncation(const char* what);
 };
 
-// Reads an entire capture into memory (the benchmark replay path).
-std::vector<Packet> read_all(const std::string& path,
-                             PcapReader::Options opt = PcapReader::Options());
+// Zero-copy capture reader: maps the whole file and yields PacketViews that
+// borrow the mapped frame bytes (no per-record buffer), or decodes frames
+// batch-at-a-time into reusable PacketBatch slots via the PacketSource
+// interface.  Truncation semantics, counters and header validation match
+// PcapReader exactly (the mmap-vs-ifstream equivalence test pins this).
+class MappedPcapReader final : public PacketSource {
+ public:
+  // Throws std::runtime_error on open/map failure or bad magic.
+  explicit MappedPcapReader(const std::string& path, PcapOptions opt = {});
+  ~MappedPcapReader() override;
 
-// Writes all packets to `path`.
+  MappedPcapReader(const MappedPcapReader&) = delete;
+  MappedPcapReader& operator=(const MappedPcapReader&) = delete;
+
+  // Points `out` at the next frame in the mapping (no copy; the view stays
+  // valid for this reader's lifetime).  Returns false at end of file —
+  // strict mode throws on a truncated record, tolerant mode stops at the
+  // last whole record.
+  bool next_view(PacketView& out);
+
+  // PacketSource: decodes up to `max` frames into `out`'s recycled slots,
+  // skipping undecodable frames.  Returns 0 at end of stream.
+  size_t fill(PacketBatch& out, size_t max) override;
+
+  [[nodiscard]] uint32_t snaplen() const { return snaplen_; }
+  [[nodiscard]] uint64_t truncated_records() const { return truncated_; }
+
+ private:
+  const uint8_t* base_ = nullptr;  // whole-file mapping
+  size_t size_ = 0;
+  size_t off_ = 0;  // next record header
+  PcapOptions opt_;
+  uint32_t snaplen_ = 0;
+  bool swapped_ = false;
+  uint64_t truncated_ = 0;
+  int fd_ = -1;
+
+  bool truncation(const char* what);
+};
+
+// Reads an entire capture into memory (the benchmark replay path), through
+// the mapped reader.  Prefer the PacketBatch overload: it reuses slot
+// capacity across refills; this copy-returning variant allocates a fresh
+// vector and is kept for existing callers.
+std::vector<Packet> read_all(const std::string& path, PcapOptions opt = {});
+
+// Batch variant: appends every decodable packet in the capture to `out`
+// (on top of out's current live packets).  Returns the number appended.
+size_t read_all(const std::string& path, PacketBatch& out,
+                PcapOptions opt = {});
+
+// Writes all packets to `path`.  The span overload covers vectors and
+// PacketBatch::packets() alike; the vector overload is kept for existing
+// callers.
+void write_all(const std::string& path, std::span<const Packet> packets);
 void write_all(const std::string& path, const std::vector<Packet>& packets);
 
 }  // namespace netqre::net

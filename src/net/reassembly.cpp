@@ -110,4 +110,30 @@ void TcpReorderer::flush(std::vector<Packet>& out) {
   }
 }
 
+size_t ReorderingSource::fill(PacketBatch& out, size_t max) {
+  out.clear();
+  while (out.size() < max) {
+    // Drain the carried-over released packets first.
+    while (ready_pos_ < ready_.size() && out.size() < max) {
+      out.next_slot() = std::move(ready_[ready_pos_++]);
+    }
+    if (out.size() == max) break;
+    ready_.clear();
+    ready_pos_ = 0;
+    if (!upstream_done_) {
+      if (upstream_.fill(in_, max) == 0) {
+        upstream_done_ = true;
+        continue;
+      }
+      for (const Packet& p : in_) reorderer_.push(p, ready_);
+    } else if (!flushed_) {
+      reorderer_.flush(ready_);
+      flushed_ = true;
+    } else {
+      break;  // upstream ended and the flush has been handed out
+    }
+  }
+  return out.size();
+}
+
 }  // namespace netqre::net

@@ -15,6 +15,7 @@
 
 #include "net/flow.hpp"
 #include "net/packet.hpp"
+#include "net/packet_view.hpp"
 
 namespace netqre::net {
 
@@ -54,6 +55,33 @@ class TcpReorderer {
 
   void release_ready(Direction& d, std::vector<Packet>& out);
   static uint32_t seq_advance(const Packet& p);
+};
+
+// PacketSource adapter running a TcpReorderer over an upstream source: each
+// fill() pulls batches from `upstream` and emits the in-order stream, so
+// engines consume reordered traffic through the same batched interface as
+// raw captures (mmap reader → reorderer → Engine::on_batch pipelines
+// compose without per-packet glue).
+class ReorderingSource final : public PacketSource {
+ public:
+  // Both references are borrowed and must outlive this adapter.
+  ReorderingSource(PacketSource& upstream, TcpReorderer& reorderer)
+      : upstream_(upstream), reorderer_(reorderer) {}
+
+  // Refills `out` with up to `max` in-order packets.  A single upstream
+  // batch can release more packets than it contains (a gap fill draining
+  // held segments); the surplus is carried to the next call.  After the
+  // upstream ends, buffered segments are flushed, then 0 is returned.
+  size_t fill(PacketBatch& out, size_t max) override;
+
+ private:
+  PacketSource& upstream_;
+  TcpReorderer& reorderer_;
+  PacketBatch in_;               // upstream refill scratch
+  std::vector<Packet> ready_;    // released, not yet handed out
+  size_t ready_pos_ = 0;
+  bool upstream_done_ = false;
+  bool flushed_ = false;
 };
 
 }  // namespace netqre::net

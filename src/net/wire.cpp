@@ -122,48 +122,61 @@ std::vector<uint8_t> encode_frame(const Packet& p) {
   return out;
 }
 
-std::optional<Packet> decode_frame(std::span<const uint8_t> frame, double ts,
-                                   uint32_t wire_len) {
-  if (frame.size() < kEthHeaderLen + kIpHeaderLen) return std::nullopt;
-  if (get16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+bool decode_frame_into(std::span<const uint8_t> frame, double ts,
+                       uint32_t wire_len, Packet& p) {
+  if (frame.size() < kEthHeaderLen + kIpHeaderLen) return false;
+  if (get16(frame, 12) != kEtherTypeIpv4) return false;
 
   auto ip = frame.subspan(kEthHeaderLen);
   const uint8_t version = ip[0] >> 4;
   const size_t ihl = (ip[0] & 0x0f) * 4u;
   if (version != 4 || ihl < kIpHeaderLen || ip.size() < ihl) {
-    return std::nullopt;
+    return false;
   }
   const uint16_t ip_total = get16(ip, 2);
-  if (ip_total < ihl || ip.size() < ip_total) return std::nullopt;
+  if (ip_total < ihl || ip.size() < ip_total) return false;
 
-  Packet p;
+  // `p` may be a recycled batch slot: every field is (re)assigned, and the
+  // payload assign reuses the slot's existing capacity.
   p.ts = ts;
   p.wire_len = wire_len;
   p.src_ip = get32(ip, 12);
   p.dst_ip = get32(ip, 16);
+  p.src_port = 0;
+  p.dst_port = 0;
+  p.seq = 0;
+  p.ack_no = 0;
+  p.tcp_flags = 0;
   const uint8_t proto = ip[9];
   p.proto = proto == 6 ? Proto::Tcp : proto == 17 ? Proto::Udp
             : proto == 1 ? Proto::Icmp : Proto::Other;
 
   auto l4 = ip.subspan(ihl, ip_total - ihl);
   if (p.proto == Proto::Tcp) {
-    if (l4.size() < kTcpHeaderLen) return std::nullopt;
+    if (l4.size() < kTcpHeaderLen) return false;
     p.src_port = get16(l4, 0);
     p.dst_port = get16(l4, 2);
     p.seq = get32(l4, 4);
     p.ack_no = get32(l4, 8);
     const size_t data_off = (l4[12] >> 4) * 4u;
     p.tcp_flags = l4[13];
-    if (data_off < kTcpHeaderLen || l4.size() < data_off) return std::nullopt;
+    if (data_off < kTcpHeaderLen || l4.size() < data_off) return false;
     p.payload.assign(l4.begin() + data_off, l4.end());
   } else if (p.proto == Proto::Udp) {
-    if (l4.size() < kUdpHeaderLen) return std::nullopt;
+    if (l4.size() < kUdpHeaderLen) return false;
     p.src_port = get16(l4, 0);
     p.dst_port = get16(l4, 2);
     p.payload.assign(l4.begin() + kUdpHeaderLen, l4.end());
   } else {
     p.payload.assign(l4.begin(), l4.end());
   }
+  return true;
+}
+
+std::optional<Packet> decode_frame(std::span<const uint8_t> frame, double ts,
+                                   uint32_t wire_len) {
+  Packet p;
+  if (!decode_frame_into(frame, ts, wire_len, p)) return std::nullopt;
   return p;
 }
 

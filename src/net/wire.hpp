@@ -25,6 +25,13 @@ std::vector<uint8_t> encode_frame(const Packet& p);
 std::optional<Packet> decode_frame(std::span<const uint8_t> frame, double ts,
                                    uint32_t wire_len);
 
+// Allocation-free variant: decodes into `out`, reusing its payload
+// capacity (the batched ingestion path decodes every frame into recycled
+// PacketBatch slots).  Returns false — leaving `out` unspecified — for
+// frames decode_frame would reject.
+bool decode_frame_into(std::span<const uint8_t> frame, double ts,
+                       uint32_t wire_len, Packet& out);
+
 // RFC 1071 ones'-complement checksum over `data`, with an optional seed for
 // pseudo-header folding.
 uint16_t inet_checksum(std::span<const uint8_t> data, uint32_t seed = 0);

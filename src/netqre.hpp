@@ -1,0 +1,81 @@
+// NetQRE embedding facade — the one header an embedding application needs.
+//
+// The pipeline it exposes, end to end:
+//
+//   source text ── lang::compile_source ──► lang::CompiledProgram
+//                                                │ .query
+//                                                ▼
+//   capture ── net::MappedPcapReader::fill ──► net::PacketBatch
+//                                                │
+//            core::Engine::on_batch  /  core::ParallelEngine::feed
+//                                                │
+//            eval() / enumerate() / aggregate() ─► core::Value results
+//
+// Minimal embedding (see README "Embedding" for the worked example):
+//
+//   auto prog = netqre::compile(source, "hh");
+//   netqre::Engine engine(prog.query);
+//   netqre::run_pcap(engine, "trace.pcap");
+//   std::cout << engine.eval().to_string() << "\n";
+//
+// Everything reachable from here is the supported surface; headers under
+// src/core, src/lang and src/net remain includable but are internal layout.
+#pragma once
+
+#include "core/engine.hpp"
+#include "core/parallel.hpp"
+#include "core/window.hpp"
+#include "lang/analysis.hpp"
+#include "lang/lower.hpp"
+#include "net/packet_view.hpp"
+#include "net/pcap.hpp"
+#include "net/reassembly.hpp"
+#include "obs/json.hpp"
+
+namespace netqre {
+
+// The embedding-facing names, re-exported at namespace scope.
+using core::Engine;
+using core::ParallelEngine;
+using core::TumblingWindow;
+using core::Value;
+using lang::CompiledProgram;
+using net::MappedPcapReader;
+using net::PacketBatch;
+using net::PacketSource;
+using net::PacketView;
+using net::PcapOptions;
+
+// Default number of packets per ingestion batch: large enough to amortize
+// per-batch work (telemetry, dispatch), small enough to stay cache-warm.
+inline constexpr size_t kDefaultBatch = 1024;
+
+// Parses `source` (plus the prelude) and compiles the stream function
+// `main`.  Throws lang::LowerError / lang::ParseError with a structured
+// diagnostic on bad input.
+inline lang::CompiledProgram compile(const std::string& source,
+                                     const std::string& main) {
+  return lang::compile_source(source, main);
+}
+
+// Streams every batch of `source` through `engine`.  Returns the number of
+// packets consumed.
+inline uint64_t run_source(core::Engine& engine, net::PacketSource& source,
+                           size_t batch_size = kDefaultBatch) {
+  net::PacketBatch batch(batch_size);
+  uint64_t n = 0;
+  while (source.fill(batch, batch_size) > 0) {
+    engine.on_batch(batch.packets());
+    n += batch.size();
+  }
+  return n;
+}
+
+// Replays a capture file through `engine` on the zero-copy batched path.
+inline uint64_t run_pcap(core::Engine& engine, const std::string& path,
+                         net::PcapOptions opt = {}) {
+  net::MappedPcapReader reader(path, opt);
+  return run_source(engine, reader);
+}
+
+}  // namespace netqre

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -129,6 +130,30 @@ TEST_P(GoldenTest, MatchesSnapshot) {
       << info.title << " diverged from " << path
       << " — if the change is intentional, regenerate with "
          "NETQRE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// Batched ingestion must reproduce the per-packet snapshot exactly —
+// top-level result and every enumerated entry — on every Table-1 workload.
+TEST_P(GoldenTest, BatchedIngestionMatchesPerPacket) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  const auto trace = workload_for(info.file);
+
+  Engine scalar(prog.query);
+  for (const auto& p : trace) scalar.on_packet(p);
+
+  Engine batched(prog.query);
+  const std::span<const net::Packet> all(trace);
+  // Prime-sized chunks so batch boundaries never align with the workload's
+  // internal structure (handshakes, calls, mails).
+  constexpr size_t kChunk = 257;
+  for (size_t pos = 0; pos < all.size(); pos += kChunk) {
+    batched.on_batch(all.subspan(pos, std::min(kChunk, all.size() - pos)));
+  }
+
+  EXPECT_EQ(scalar.packets(), batched.packets());
+  EXPECT_EQ(snapshot(prog.query, scalar), snapshot(prog.query, batched))
+      << info.title << ": on_batch diverged from the per-packet path";
 }
 
 std::string param_name(

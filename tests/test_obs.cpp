@@ -182,8 +182,17 @@ TEST(EngineTelemetry, CountersAgreeWithEngineAccessors) {
 
   const auto* lat = snap.find("netqre_engine_packet_latency_ns");
   ASSERT_NE(lat, nullptr);
-  // One sample per kLatencySampleEvery packets.
-  EXPECT_EQ(lat->count,
+  // on_stream runs as one batch: a single mean-ns/packet sample.
+  EXPECT_EQ(lat->count, 1u);
+
+  // The scalar path keeps its one-sample-per-kLatencySampleEvery cadence.
+  obs::registry().reset();
+  core::Engine scalar(apps::compile_app("heavy_hitter.nqre", "hh").query);
+  for (const auto& p : trace) scalar.on_packet(p);
+  const auto snap2 = obs::registry().snapshot();
+  const auto* lat2 = snap2.find("netqre_engine_packet_latency_ns");
+  ASSERT_NE(lat2, nullptr);
+  EXPECT_EQ(lat2->count,
             (trace.size() + core::Engine::kLatencySampleEvery - 1) /
                 core::Engine::kLatencySampleEvery);
 }
