@@ -1,0 +1,278 @@
+// netqre-monitor — a long-running NetQRE monitoring daemon with a live
+// observability surface (DESIGN.md "Tracing & live monitoring").
+//
+// Runs one compiled query continuously over a packet source — a pcap
+// capture or a generated workload, replayed with pacing and (by default)
+// looped so the process behaves like a monitor on live traffic — and
+// serves, on 127.0.0.1:<port>:
+//
+//   /metrics   Prometheus text exposition of the metrics registry
+//   /statz     the same snapshot as JSON
+//   /healthz   200 while the engine thread is alive and making progress
+//   /tracez    the flight-recorder rings as Chrome trace JSON
+//   /dump      writes a flight-recorder dump file, returns its path
+//
+// A TraceGovernor polls the registry once a second and snapshots the
+// flight recorder to --dump-dir automatically when an anomaly trips (p99
+// latency jump, shard queue saturation, truncated-record burst).
+//
+// Exit status: 0 on clean shutdown (SIGINT/SIGTERM/--max-seconds/--once),
+// 2 on usage or I/O problems.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/cli.hpp"
+#include "apps/queries.hpp"
+#include "netqre.hpp"
+#include "obs/http_export.hpp"
+#include "obs/trace.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace {
+
+using namespace netqre;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kUsage =
+    "usage: netqre-monitor [options]\n"
+    "\n"
+    "Long-running NetQRE monitor: replays traffic through one compiled\n"
+    "query and serves /metrics, /healthz, /tracez and /dump over HTTP on\n"
+    "127.0.0.1.\n"
+    "\n"
+    "options:\n"
+    "  --query FILE[:MAIN]  shipped query to run (default heavy_hitter.nqre)\n"
+    "  --pcap FILE          replay this capture (tolerant mode) instead of\n"
+    "                       the generated backbone workload\n"
+    "  --packets N          generated workload size (default 100000)\n"
+    "  --port P             HTTP port (default 9901; 0 = ephemeral)\n"
+    "  --pps N              replay pacing, packets/second (default 250000;\n"
+    "                       0 = replay as fast as possible)\n"
+    "  --once               stop after one pass over the workload instead\n"
+    "                       of looping\n"
+    "  --max-seconds N      stop after N seconds (0 = run until signalled)\n"
+    "  --dump-dir DIR       flight-recorder dump directory (default \".\")\n"
+    "  --workers N          shard the query across N worker threads\n"
+    "                       (default 0 = single engine)\n"
+    "  -h, --help           show this help\n";
+
+struct Options {
+  std::string query = "heavy_hitter.nqre";
+  std::string pcap;
+  uint64_t packets = 100'000;
+  uint16_t port = 9901;
+  uint64_t pps = 250'000;
+  bool once = false;
+  uint64_t max_seconds = 0;
+  std::string dump_dir = ".";
+  int workers = 0;
+};
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+apps::QueryInfo resolve_query(const std::string& spec, apps::CliArgs& cli) {
+  const size_t colon = spec.find(':');
+  const std::string file = spec.substr(0, colon);
+  for (const auto& q : apps::table1()) {
+    if (q.file != file) continue;
+    apps::QueryInfo info = q;
+    if (colon != std::string::npos) info.main = spec.substr(colon + 1);
+    return info;
+  }
+  cli.fail("unknown query '" + file + "' (see netqre-profile --list)");
+}
+
+std::vector<net::Packet> load_workload(const Options& opt) {
+  if (!opt.pcap.empty()) {
+    net::PcapOptions popt;
+    popt.tolerant = true;
+    return net::read_all(opt.pcap, popt);
+  }
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = opt.packets;
+  cfg.n_flows = static_cast<uint32_t>(
+      std::max<uint64_t>(1000, opt.packets / 20));
+  return trafficgen::backbone_trace(cfg);
+}
+
+// Replays `trace` through the engine(s) until stopped: batched, paced to
+// --pps, looping unless --once.  Updates the heartbeat every batch so
+// /healthz notices a wedged engine, and polls the governor about once a
+// second.
+void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
+                core::Engine* engine, core::ParallelEngine* parallel,
+                std::atomic<uint64_t>& heartbeat_ns,
+                std::atomic<uint64_t>& packets_done,
+                obs::TraceGovernor& governor) {
+  obs::tracer().set_thread_name("engine");
+  const auto start = Clock::now();
+  auto next_governor_poll = start + std::chrono::seconds(1);
+  const auto deadline =
+      opt.max_seconds ? start + std::chrono::seconds(opt.max_seconds)
+                      : Clock::time_point::max();
+  uint64_t replayed = 0;  // packets replayed across all passes
+  net::PacketBatch batch(kDefaultBatch);
+
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    net::VectorSource source(trace);
+    while (source.fill(batch, kDefaultBatch) > 0) {
+      if (parallel) {
+        parallel->feed(std::move(batch));
+      } else {
+        engine->on_batch(batch.packets());
+      }
+      replayed += batch.size();
+      packets_done.store(replayed, std::memory_order_relaxed);
+
+      const auto now = Clock::now();
+      heartbeat_ns.store(
+          static_cast<uint64_t>(std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(
+                                    now.time_since_epoch())
+                                    .count()),
+          std::memory_order_relaxed);
+      if (now >= next_governor_poll) {
+        if (auto path = governor.poll()) {
+          std::fprintf(stderr, "netqre-monitor: anomaly dump written: %s\n",
+                       path->c_str());
+        }
+        next_governor_poll = now + std::chrono::seconds(1);
+      }
+      if (g_stop.load(std::memory_order_relaxed) || now >= deadline) {
+        g_stop.store(true);
+        break;
+      }
+      // Pacing: sleep until the replayed-packet count matches --pps.
+      if (opt.pps > 0) {
+        const auto due =
+            start + std::chrono::nanoseconds(
+                        replayed * 1'000'000'000ull / opt.pps);
+        if (due > Clock::now()) std::this_thread::sleep_until(due);
+      }
+    }
+    if (opt.once) {
+      g_stop.store(true);
+      break;
+    }
+  }
+  if (parallel) parallel->finish();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  apps::CliArgs cli(argc, argv, "netqre-monitor", kUsage);
+  std::string query_spec = opt.query;
+  while (cli.next()) {
+    if (cli.is("--query")) {
+      query_spec = cli.value();
+    } else if (cli.is("--pcap")) {
+      opt.pcap = cli.value();
+    } else if (cli.is("--packets")) {
+      opt.packets = cli.value_u64();
+    } else if (cli.is("--port")) {
+      opt.port = static_cast<uint16_t>(cli.value_u64());
+    } else if (cli.is("--pps")) {
+      opt.pps = cli.value_u64();
+    } else if (cli.is("--once")) {
+      opt.once = true;
+    } else if (cli.is("--max-seconds")) {
+      opt.max_seconds = cli.value_u64();
+    } else if (cli.is("--dump-dir")) {
+      opt.dump_dir = cli.value();
+    } else if (cli.is("--workers")) {
+      opt.workers = static_cast<int>(cli.value_u64());
+    } else {
+      cli.unknown();
+    }
+  }
+
+  const apps::QueryInfo info = resolve_query(query_spec, cli);
+  try {
+    auto prog = apps::compile_app(info.file, info.main);
+    const auto trace = load_workload(opt);
+    if (trace.empty()) {
+      std::cerr << "netqre-monitor: workload is empty\n";
+      return 2;
+    }
+
+    obs::GovernorConfig gcfg;
+    gcfg.dump_dir = opt.dump_dir;
+    obs::TraceGovernor governor(gcfg);
+
+    std::unique_ptr<core::Engine> engine;
+    std::unique_ptr<core::ParallelEngine> parallel;
+    if (opt.workers > 0) {
+      parallel =
+          std::make_unique<core::ParallelEngine>(prog.query, opt.workers);
+    } else {
+      engine = std::make_unique<core::Engine>(prog.query);
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    std::atomic<uint64_t> heartbeat_ns{0};
+    std::atomic<uint64_t> packets_done{0};
+    std::atomic<bool> engine_live{true};
+    std::thread engine_thread([&] {
+      run_engine(opt, trace, engine.get(), parallel.get(), heartbeat_ns,
+                 packets_done, governor);
+      engine_live.store(false);
+    });
+
+    obs::HttpServer server;
+    // Healthy = engine thread running and a heartbeat in the last 5 s
+    // (pacing sleeps are bounded well below that).
+    obs::register_observability_endpoints(
+        server,
+        [&] {
+          if (!engine_live.load()) return false;
+          const uint64_t hb = heartbeat_ns.load(std::memory_order_relaxed);
+          if (hb == 0) return true;  // still starting up
+          const uint64_t now = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now().time_since_epoch())
+                  .count());
+          return now - hb < 5'000'000'000ull;
+        },
+        &governor);
+    server.start(opt.port);
+    const std::string workers_note =
+        opt.workers > 0 ? ", " + std::to_string(opt.workers) + " workers"
+                        : "";
+    std::fprintf(stderr,
+                 "netqre-monitor: %s (%s : %s) on http://127.0.0.1:%u  "
+                 "[%llu-packet workload%s, %llu pps%s]\n",
+                 info.title.c_str(), info.file.c_str(), info.main.c_str(),
+                 server.port(),
+                 static_cast<unsigned long long>(trace.size()),
+                 opt.once ? ", one pass" : ", looped",
+                 static_cast<unsigned long long>(opt.pps),
+                 workers_note.c_str());
+
+    engine_thread.join();
+    server.stop();
+    std::fprintf(stderr,
+                 "netqre-monitor: stopped after %llu packets, %llu dumps, "
+                 "%llu http requests\n",
+                 static_cast<unsigned long long>(packets_done.load()),
+                 static_cast<unsigned long long>(governor.dumps_written()),
+                 static_cast<unsigned long long>(server.requests_served()));
+  } catch (const std::exception& e) {
+    std::cerr << "netqre-monitor: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

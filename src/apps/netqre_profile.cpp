@@ -22,10 +22,13 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "apps/cli.hpp"
 #include "apps/queries.hpp"
 #include "netqre.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "trafficgen/trafficgen.hpp"
 
 namespace {
@@ -49,6 +52,11 @@ constexpr const char* kUsage =
     "  --top K              ops listed in the human report (default 10)\n"
     "  --json               machine-readable report on stdout\n"
     "  --prometheus         dump the metrics registry after each query\n"
+    "  --parallel N         replay through a ParallelEngine with N shard\n"
+    "                       workers and report per-shard queue depth and\n"
+    "                       backpressure waits (default 0 = single engine)\n"
+    "  --trace-out FILE     write the flight-recorder rings as Chrome\n"
+    "                       trace JSON (chrome://tracing, Perfetto)\n"
     "  -h, --help           show this help\n";
 
 struct Options {
@@ -59,6 +67,8 @@ struct Options {
   size_t top = 10;
   bool json = false;
   bool prometheus = false;
+  int parallel = 0;        // >0: replay through a ParallelEngine
+  std::string trace_out;   // Chrome trace JSON output path
 };
 
 struct TimelinePoint {
@@ -73,6 +83,12 @@ struct OpRow {
   uint64_t transitions = 0;
 };
 
+struct ShardStat {
+  int shard = 0;
+  uint64_t packets = 0;
+  int64_t queue_depth_peak = 0;
+};
+
 struct QueryReport {
   apps::QueryInfo info;
   std::string workload;
@@ -80,6 +96,11 @@ struct QueryReport {
   uint64_t packets = 0;
   uint64_t wall_ns = 0;
   std::string result;
+  // --parallel mode only: per-shard queue telemetry (satellite of the
+  // flight-recorder work; the same signals the TraceGovernor watches).
+  std::vector<ShardStat> shards;
+  uint64_t bp_waits = 0;        // backpressure-wait histogram count
+  double bp_p50 = 0, bp_p99 = 0;
   uint64_t actions_fired = 0;
   double p50 = 0, p90 = 0, p99 = 0;
   uint64_t latency_samples = 0;
@@ -161,15 +182,60 @@ const std::vector<net::Packet>& workload_for(const std::string& file,
   return trace;
 }
 
+// Replays through a ParallelEngine and reads back the shard queue telemetry
+// the run produced: per-shard packet counts and queue-depth peaks, plus the
+// dispatcher's backpressure-wait histogram.
+void profile_parallel(QueryReport& rep, const core::CompiledQuery& query,
+                      const Options& opt,
+                      const std::vector<net::Packet>& trace) {
+  core::ParallelEngine par(query, opt.parallel);
+  obs::registry().reset();
+  const auto t0 = Clock::now();
+  par.feed(trace);
+  par.finish();
+  rep.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+  rep.packets = par.packets();
+  rep.result = "<sharded>";  // per-shard states; no cross-shard merge here
+  rep.state_bytes = rep.state_peak_bytes = par.state_memory();
+
+  const obs::Snapshot snap = obs::registry().snapshot();
+  if (const auto* h = snap.find("netqre_engine_packet_latency_ns")) {
+    rep.latency_samples = h->count;
+    rep.p50 = obs::histogram_quantile(*h, 0.5);
+    rep.p90 = obs::histogram_quantile(*h, 0.9);
+    rep.p99 = obs::histogram_quantile(*h, 0.99);
+  }
+  for (int i = 0; i < opt.parallel; ++i) {
+    ShardStat s;
+    s.shard = i;
+    if (const auto* c = snap.find(obs::labeled_name(
+            "netqre_parallel_shard_packets_total",
+            {{"shard", std::to_string(i)}}))) {
+      s.packets = c->count;
+    }
+    if (const auto* g = snap.find(obs::labeled_name(
+            "netqre_parallel_shard_queue_depth",
+            {{"shard", std::to_string(i)}}))) {
+      s.queue_depth_peak = static_cast<int64_t>(g->peak);
+    }
+    rep.shards.push_back(s);
+  }
+  if (const auto* h = snap.find("netqre_parallel_backpressure_wait_ns")) {
+    rep.bp_waits = h->count;
+    rep.bp_p50 = obs::histogram_quantile(*h, 0.5);
+    rep.bp_p99 = obs::histogram_quantile(*h, 0.99);
+  }
+  rep.metrics_json = snap.to_json();
+}
+
 QueryReport profile_query(const apps::QueryInfo& info, const Options& opt,
                           const std::vector<net::Packet>* pcap_trace) {
   QueryReport rep;
   rep.info = info;
   try {
     auto prog = apps::compile_app(info.file, info.main);
-    core::Engine engine(prog.query);
-    engine.enable_profiling();
-    obs::registry().reset();
 
     const std::vector<net::Packet>* trace = pcap_trace;
     if (trace) {
@@ -177,6 +243,15 @@ QueryReport profile_query(const apps::QueryInfo& info, const Options& opt,
     } else {
       trace = &workload_for(info.file, opt.packets, rep.workload);
     }
+
+    if (opt.parallel > 0) {
+      profile_parallel(rep, prog.query, opt, *trace);
+      return rep;
+    }
+
+    core::Engine engine(prog.query);
+    engine.enable_profiling();
+    obs::registry().reset();
 
     const auto t0 = Clock::now();
     // Batched replay; each chunk is additionally capped at the next
@@ -290,6 +365,25 @@ void write_json(const std::vector<QueryReport>& reports, const Options& opt) {
     w.key("peak_bytes").value(rep.state_peak_bytes);
     w.key("guarded_states").value(rep.guarded_states);
     w.end_object();
+    if (!rep.shards.empty()) {
+      w.key("parallel").begin_object();
+      w.key("workers").value(static_cast<uint64_t>(rep.shards.size()));
+      w.key("backpressure_waits").value(rep.bp_waits);
+      w.key("backpressure_wait_ns").begin_object();
+      w.key("p50").value(rep.bp_p50);
+      w.key("p99").value(rep.bp_p99);
+      w.end_object();
+      w.key("shards").begin_array();
+      for (const auto& s : rep.shards) {
+        w.begin_object();
+        w.key("shard").value(s.shard);
+        w.key("packets").value(s.packets);
+        w.key("queue_depth_peak").value(s.queue_depth_peak);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
     w.key("ops").begin_array();
     for (const auto& op : rep.ops) {
       w.begin_object();
@@ -343,6 +437,18 @@ void write_human(const QueryReport& rep, const Options& opt) {
               static_cast<double>(rep.state_bytes) / 1024.0,
               static_cast<double>(rep.state_peak_bytes) / 1024.0,
               static_cast<unsigned long long>(rep.guarded_states));
+  if (!rep.shards.empty()) {
+    std::printf("  parallel: %zu shards, %llu backpressure waits"
+                " (p50 %.0f ns, p99 %.0f ns)\n",
+                rep.shards.size(),
+                static_cast<unsigned long long>(rep.bp_waits), rep.bp_p50,
+                rep.bp_p99);
+    for (const auto& s : rep.shards) {
+      std::printf("    shard %d: %llu packets, queue depth peak %lld\n",
+                  s.shard, static_cast<unsigned long long>(s.packets),
+                  static_cast<long long>(s.queue_depth_peak));
+    }
+  }
   std::printf("  top ops by eval count:\n");
   std::printf("    %4s %-12s %14s %14s\n", "id", "kind", "steps",
               "transitions");
@@ -393,6 +499,10 @@ int main(int argc, char** argv) {
       opt.json = true;
     } else if (cli.is("--prometheus")) {
       opt.prometheus = true;
+    } else if (cli.is("--parallel")) {
+      opt.parallel = static_cast<int>(cli.value_u64());
+    } else if (cli.is("--trace-out")) {
+      opt.trace_out = cli.value();
     } else {
       cli.unknown();
     }
@@ -449,6 +559,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --trace-out captures this process's replay only, not whatever a prior
+  // library user recorded.
+  if (!opt.trace_out.empty()) obs::tracer().clear();
+
   std::vector<QueryReport> reports;
   bool failed = false;
   for (const auto& info : selected) {
@@ -461,5 +575,18 @@ int main(int argc, char** argv) {
     if (!opt.json && !opt.prometheus) write_human(reports.back(), opt);
   }
   if (opt.json) write_json(reports, opt);
+
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::cerr << "netqre-profile: cannot write " << opt.trace_out << "\n";
+      return 2;
+    }
+    out << obs::tracer().snapshot().to_chrome_json("netqre-profile replay");
+    if (!opt.json) {
+      std::fprintf(stderr, "netqre-profile: trace written to %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
   return failed ? 1 : 0;
 }

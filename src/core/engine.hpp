@@ -36,11 +36,13 @@ class Engine {
   // Batched ingestion: advances the query over every packet in the span
   // with telemetry (latency sample, packet counter, state-size schedule)
   // amortized to once per batch.  Query state after on_batch(b) is
-  // bit-identical to calling on_packet for each packet of b in order; the
-  // latency histogram records the batch's mean ns/packet instead of one
-  // sampled packet every kLatencySampleEvery.  When an action handler is
-  // installed on an action-typed query, dispatch falls back to the
-  // per-packet path so fires keep their exact packet context.
+  // bit-identical to calling on_packet for each packet of b in order.  The
+  // latency histogram receives two observations per batch: the batch's
+  // mean ns/packet, and the max of the per-packet latencies sampled every
+  // kLatencySampleEvery packets within the batch — the mean alone would
+  // hide tail behavior inside large batches, flattening p99/p999.  When an
+  // action handler is installed on an action-typed query, dispatch falls
+  // back to the per-packet path so fires keep their exact packet context.
   void on_batch(std::span<const net::Packet> batch);
   void on_stream(const std::vector<net::Packet>& packets);
 
@@ -85,6 +87,10 @@ class Engine {
 
   // Latency sampling interval (power of two; mask on the packet count).
   static constexpr uint64_t kLatencySampleEvery = 64;
+  // A sampled packet slower than this lands a SlowPacket event in the
+  // flight recorder (well above any healthy per-packet cost, so the ring
+  // only records genuine outliers).
+  static constexpr uint64_t kSlowPacketTraceNs = 65'536;
   // State-size gauges walk the whole guard trie, so a fixed cadence would
   // cost O(live states) per interval — on large tries that halves
   // throughput.  Instead the sample points double from kStateSampleFirst

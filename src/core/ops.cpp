@@ -7,6 +7,7 @@
 #include <map>
 
 #include "core/value_map.hpp"
+#include "obs/trace.hpp"
 
 namespace netqre::core {
 namespace {
@@ -14,6 +15,10 @@ namespace {
 size_t hash_combine(size_t a, size_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
 }
+
+// A single packet advancing this many guard-trie leaves is an instantiation
+// blowup worth a flight-recorder event (cost threshold for the trace).
+constexpr uint64_t kWideStepTraceLeaves = 64;
 
 // ------------------------------------------------------------- states
 
@@ -1500,6 +1505,12 @@ void ParamScopeOp::step(OpState& s, const EvalContext& ctx) const {
   if (mode_.kind == ScopeMode::Kind::EvalAt) {
     for (size_t i = 0; i < mode_.keys.size(); ++i) {
       st.keys[i] = extract(mode_.keys[i], *ctx.pkt);
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    if (leaves_stepped >= kWideStepTraceLeaves) {
+      obs::tracer().record(obs::TraceKind::ScopeWideStep, leaves_stepped,
+                          kWideStepTraceLeaves);
     }
   }
   prof_trans(ctx, *this, leaves_stepped);

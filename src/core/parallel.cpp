@@ -7,18 +7,39 @@
 
 #include "net/flow.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace netqre::core {
+
+namespace {
+using WaitClock = std::chrono::steady_clock;
+
+std::string shard_label(const char* base, int index) {
+  return obs::labeled_name(base, {{"shard", std::to_string(index)}});
+}
+
+// One histogram for all shards: a wait is a dispatcher-side event, and the
+// shard it waited on is in the flight recorder.
+obs::Histogram& backpressure_wait_ns() {
+  static obs::Histogram& h = obs::registry().histogram(
+      "netqre_parallel_backpressure_wait_ns", obs::latency_bounds_ns());
+  return h;
+}
+}  // namespace
 
 struct ParallelEngine::Shard {
   Shard(const CompiledQuery& query, int index)
       : engine(query),
+        index(index),
         packets_total(&obs::registry().counter(
-            "netqre_parallel_shard_packets_total{shard=\"" +
-            std::to_string(index) + "\"}")) {}
+            shard_label("netqre_parallel_shard_packets_total", index))),
+        queue_depth(&obs::registry().gauge(
+            shard_label("netqre_parallel_shard_queue_depth", index))) {}
 
   Engine engine;
+  int index;
   obs::Counter* packets_total;
+  obs::Gauge* queue_depth;  // batches waiting (peak = worst backlog)
   std::mutex mu;
   std::condition_variable cv;        // worker waits: queue non-empty/closing
   std::condition_variable cv_space;  // dispatcher waits: queue below bound
@@ -28,16 +49,26 @@ struct ParallelEngine::Shard {
   std::thread thread;
 
   void run() {
+    if constexpr (obs::kEnabled) {
+      obs::tracer().set_thread_name("shard-" + std::to_string(index));
+    }
     for (;;) {
       std::vector<net::Packet> batch;
+      size_t depth = 0;
       {
         std::unique_lock lock(mu);
         cv.wait(lock, [&] { return !queue.empty() || closing; });
         if (queue.empty()) return;
         batch = std::move(queue.front());
         queue.pop_front();
+        depth = queue.size();
       }
       cv_space.notify_one();
+      if constexpr (obs::kEnabled) {
+        queue_depth->set(static_cast<int64_t>(depth));
+        obs::tracer().record(obs::TraceKind::ShardDequeue,
+                             static_cast<uint64_t>(index), depth);
+      }
       // Per-thread CPU time: immune to preemption when more workers than
       // cores share the machine (the attribution basis of Fig. 8 here).
       timespec t0{}, t1{};
@@ -52,13 +83,35 @@ struct ParallelEngine::Shard {
 
   // Blocks while the queue is at the bound — the dispatcher absorbs the
   // backpressure rather than queueing the whole trace against a slow shard.
+  // The wait, previously invisible, is recorded in the backpressure-wait
+  // histogram and the flight recorder; the depth gauge tracks the backlog.
   void push(std::vector<net::Packet> batch, size_t max_queued) {
+    size_t depth = 0;
     {
       std::unique_lock lock(mu);
-      cv_space.wait(lock, [&] { return queue.size() < max_queued; });
+      if (obs::kEnabled && queue.size() >= max_queued) {
+        queue_depth->set(static_cast<int64_t>(queue.size()));
+        const auto w0 = WaitClock::now();
+        cv_space.wait(lock, [&] { return queue.size() < max_queued; });
+        const uint64_t wait_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                WaitClock::now() - w0)
+                .count());
+        backpressure_wait_ns().observe(static_cast<double>(wait_ns));
+        obs::tracer().record(obs::TraceKind::BackpressureWait,
+                             static_cast<uint64_t>(index), wait_ns);
+      } else {
+        cv_space.wait(lock, [&] { return queue.size() < max_queued; });
+      }
       queue.push_back(std::move(batch));
+      depth = queue.size();
     }
     cv.notify_one();
+    if constexpr (obs::kEnabled) {
+      queue_depth->set(static_cast<int64_t>(depth));
+      obs::tracer().record(obs::TraceKind::ShardEnqueue,
+                           static_cast<uint64_t>(index), depth);
+    }
   }
 
   void close() {
@@ -74,6 +127,9 @@ struct ParallelEngine::Shard {
 ParallelEngine::ParallelEngine(const CompiledQuery& query, int n_workers,
                                Partitioner partitioner)
     : partitioner_(std::move(partitioner)), pending_(n_workers) {
+  if constexpr (obs::kEnabled) {
+    backpressure_wait_ns();  // register even when no wait ever happens
+  }
   if (!partitioner_) {
     partitioner_ = [](const net::Packet& p) {
       return static_cast<size_t>(net::mix64(p.src_ip));

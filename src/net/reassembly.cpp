@@ -1,6 +1,7 @@
 #include "net/reassembly.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace netqre::net {
 namespace {
@@ -36,6 +37,7 @@ uint32_t TcpReorderer::seq_advance(const Packet& p) {
 }
 
 void TcpReorderer::release_ready(Direction& d, std::vector<Packet>& out) {
+  uint64_t released = 0;
   for (auto it = d.pending.begin(); it != d.pending.end();) {
     if (it->first != d.next_seq) break;
     d.next_seq = it->first + seq_advance(it->second);
@@ -43,7 +45,12 @@ void TcpReorderer::release_ready(Direction& d, std::vector<Packet>& out) {
     ++stats_.delivered;
     ++stats_.reordered;
     --stats_.buffered_now;
+    ++released;
     it = d.pending.erase(it);
+  }
+  if (released > 0 && d.pending.empty()) {
+    // The gap this direction was waiting on is fully drained.
+    obs::tracer().record(obs::TraceKind::GapRelease, 0, released);
   }
 }
 
@@ -87,6 +94,11 @@ void TcpReorderer::push(const Packet& p, std::vector<Packet>& out) {
   if (inserted) {
     ++stats_.buffered_now;
     ooo_total().inc();
+    if (d.pending.size() == 1) {
+      // A new gap opened on this direction.
+      obs::tracer().record(obs::TraceKind::GapOpen,
+                           ConnHash{}(Conn::of(p)), p.seq - d.next_seq);
+    }
   } else {
     ++stats_.retransmits_dropped;  // duplicate of a held segment
     retrans_total().inc();
@@ -95,12 +107,16 @@ void TcpReorderer::push(const Packet& p, std::vector<Packet>& out) {
     // Declare the gap lost: skip to the earliest held segment.
     d.next_seq = d.pending.begin()->first;
     gap_total().inc();
+    obs::tracer().record(obs::TraceKind::GapRelease, 1, d.pending.size());
     release_ready(d, out);
   }
 }
 
 void TcpReorderer::flush(std::vector<Packet>& out) {
   for (auto& [conn, d] : dirs_) {
+    if (!d.pending.empty()) {
+      obs::tracer().record(obs::TraceKind::GapRelease, 1, d.pending.size());
+    }
     for (auto& [seq, pkt] : d.pending) {
       out.push_back(std::move(pkt));
       ++stats_.delivered;

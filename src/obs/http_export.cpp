@@ -1,0 +1,215 @@
+#include "obs/http_export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace netqre::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+// Writes the whole buffer, retrying on short writes/EINTR.
+bool write_all_fd(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string render(const HttpResponse& r) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  out += "Content-Type: " + r.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+}  // namespace
+
+struct HttpServer::Impl {
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<uint64_t> served{0};
+};
+
+HttpServer::~HttpServer() {
+  stop();
+  delete impl_;
+}
+
+void HttpServer::handle(std::string path, Handler fn) {
+  handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpServer::start(uint16_t port) {
+  if (listen_fd_ >= 0) throw std::runtime_error("http: already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  if (!impl_) impl_ = new Impl();
+  impl_->stopping.store(false);
+  impl_->thread = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  impl_->stopping.store(true);
+  // Unblock accept(): shutdown makes it return; close releases the port.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  listen_fd_ = -1;
+}
+
+uint64_t HttpServer::requests_served() const {
+  return impl_ ? impl_->served.load() : 0;
+}
+
+void HttpServer::serve_loop() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down
+    }
+    if (impl_->stopping.load()) {
+      ::close(conn);
+      return;
+    }
+    // Read until the end of the request head (we never read a body).
+    std::string head;
+    char buf[2048];
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.size() < 16 * 1024) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      head.append(buf, static_cast<size_t>(n));
+    }
+    HttpResponse resp;
+    HttpRequest req;
+    const size_t line_end = head.find("\r\n");
+    const size_t sp1 = head.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
+    if (line_end == std::string::npos || sp1 == std::string::npos ||
+        sp2 == std::string::npos || sp2 > line_end) {
+      resp = HttpResponse::text("malformed request\n", 400);
+    } else {
+      req.method = head.substr(0, sp1);
+      req.target = head.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t q = req.target.find('?');
+      req.path = req.target.substr(0, q);
+      req.query =
+          q == std::string::npos ? std::string() : req.target.substr(q + 1);
+      if (req.method != "GET" && req.method != "HEAD") {
+        resp = HttpResponse::text("only GET is served here\n", 405);
+      } else {
+        const auto it = handlers_.find(req.path);
+        if (it == handlers_.end()) {
+          resp = HttpResponse::text("not found: " + req.path + "\n", 404);
+        } else {
+          try {
+            resp = it->second(req);
+          } catch (const std::exception& e) {
+            resp = HttpResponse::text(std::string("handler error: ") +
+                                          e.what() + "\n",
+                                      500);
+          }
+        }
+      }
+      if (req.method == "HEAD") resp.body.clear();
+    }
+    write_all_fd(conn, render(resp));
+    ::close(conn);
+    impl_->served.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void register_observability_endpoints(HttpServer& srv,
+                                      std::function<bool()> healthy,
+                                      TraceGovernor* governor) {
+  srv.handle("/", [](const HttpRequest&) {
+    return HttpResponse::text(
+        "netqre observability endpoints:\n"
+        "  /metrics  Prometheus exposition\n"
+        "  /statz    metrics snapshot (JSON)\n"
+        "  /healthz  liveness probe\n"
+        "  /tracez   flight recorder (Chrome trace JSON)\n"
+        "  /dump     write a flight-recorder dump to disk\n");
+  });
+  srv.handle("/metrics", [](const HttpRequest&) {
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = registry().snapshot().to_prometheus();
+    return r;
+  });
+  srv.handle("/statz", [](const HttpRequest&) {
+    return HttpResponse::json(registry().snapshot().to_json());
+  });
+  srv.handle("/healthz", [healthy = std::move(healthy)](const HttpRequest&) {
+    return healthy() ? HttpResponse::text("ok\n")
+                     : HttpResponse::text("engine not live\n", 503);
+  });
+  srv.handle("/tracez", [](const HttpRequest&) {
+    return HttpResponse::json(
+        tracer().snapshot().to_chrome_json("/tracez request"));
+  });
+  srv.handle("/dump", [governor](const HttpRequest&) {
+    if (!governor) {
+      return HttpResponse::text("no trace governor wired\n", 503);
+    }
+    return HttpResponse::text(governor->dump_now("manual /dump request") +
+                              "\n");
+  });
+}
+
+}  // namespace netqre::obs

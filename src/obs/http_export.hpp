@@ -1,0 +1,105 @@
+// Minimal blocking HTTP/1.1 exposition server (DESIGN.md "Tracing & live
+// monitoring").
+//
+// Serves the observability surface of a long-running NetQRE process —
+// /metrics for Prometheus scrapes, /healthz for liveness probes, /tracez
+// and /dump for the flight recorder.  Deliberately from scratch on POSIX
+// sockets (the repo's from-scratch pcap precedent): no third-party
+// dependencies, GET-only, one connection at a time, Connection: close.
+// That is exactly the traffic profile of a scrape endpoint — a handful of
+// requests per minute from a collector — not a general web server.
+//
+// Binds loopback only: the exposition surface carries operational detail
+// and is meant to be scraped locally or via a sidecar, not exposed raw.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace netqre::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // raw request target, e.g. "/metrics?x=1"
+  std::string path;    // target up to '?', e.g. "/metrics"
+  std::string query;   // after '?', empty when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse text(std::string body, int status = 200) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse json(std::string body, int status = 200) {
+    HttpResponse r;
+    r.status = status;
+    r.content_type = "application/json";
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();  // stops the accept loop if still running
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-path handler ("/metrics").  Call before start().
+  // A handler that throws produces a 500 with the exception message.
+  void handle(std::string path, Handler fn);
+
+  // Binds 127.0.0.1:port (0 = kernel-assigned ephemeral port), spawns the
+  // accept thread and returns.  Throws std::runtime_error on bind/listen
+  // failure (e.g. port in use).
+  void start(uint16_t port);
+
+  // Unblocks the accept loop and joins the thread.  Idempotent.
+  void stop();
+
+  // The bound port (resolved after start(); useful with port 0).
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+
+  // Requests served since start (approximate; for the index page).
+  [[nodiscard]] uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  void serve_loop();
+
+  std::map<std::string, Handler> handlers_;
+  Impl* impl_ = nullptr;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+class TraceGovernor;
+
+// Installs the standard observability surface onto `srv` (shared between
+// netqre-monitor and the in-process system tests):
+//   /          text index of the endpoints below
+//   /metrics   Prometheus exposition of the global metrics registry
+//   /statz     the same registry snapshot as JSON
+//   /healthz   200 "ok" while healthy() returns true, 503 otherwise
+//   /tracez    flight-recorder snapshot as Chrome trace JSON
+//   /dump      writes a flight-recorder dump via `governor` and returns
+//              its path (503 when no governor is wired)
+void register_observability_endpoints(HttpServer& srv,
+                                      std::function<bool()> healthy,
+                                      TraceGovernor* governor);
+
+}  // namespace netqre::obs

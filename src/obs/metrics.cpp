@@ -44,6 +44,59 @@ double histogram_quantile(const MetricSample& h, double q) {
   return h.bounds.empty() ? 0.0 : h.bounds.back();
 }
 
+std::string sanitize_metric_name(std::string_view name) {
+  auto ok = [](char c, bool first) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':') {
+      return true;
+    }
+    return !first && c >= '0' && c <= '9';
+  };
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += ok(c, out.empty()) ? c : '_';
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled_name(std::string_view base,
+                         std::initializer_list<LabelView> labels) {
+  std::string out = sanitize_metric_name(base);
+  if (labels.size() == 0) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    // Label keys may not contain ':' (reserved for recording rules).
+    std::string k = sanitize_metric_name(key);
+    for (char& c : k) {
+      if (c == ':') c = '_';
+    }
+    out += k;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 std::span<const double> latency_bounds_ns() {
   // 16 ns .. 2^26 ns (~67 ms), powers of two: 23 buckets.
   static const std::vector<double> kBounds = [] {

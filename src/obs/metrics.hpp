@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
 #include <string_view>
@@ -61,6 +62,29 @@ struct Snapshot {
 // Quantile estimate from a histogram sample via linear interpolation within
 // the owning bucket.  Returns 0 when the histogram is empty.
 [[nodiscard]] double histogram_quantile(const MetricSample& h, double q);
+
+// ---- Prometheus exposition hygiene ----------------------------------------
+// Metric names here bake their labels into the registry key (see the header
+// comment), so label hygiene has to happen where names are built.  These
+// helpers are that one place; every dynamic-label call site goes through
+// labeled_name().
+
+// Clamps a metric/label name to [a-zA-Z_:][a-zA-Z0-9_:]* (invalid characters
+// become '_'; a leading digit gets a '_' prefix; empty becomes "_").
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+// Escapes a label value for the text exposition: backslash, double quote
+// and newline become \\, \" and \n.
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+// Builds `base{k1="v1",k2="v2"}` with the base and keys sanitized and the
+// values escaped.  With no labels, returns the sanitized base alone.
+struct LabelView {
+  std::string_view key;
+  std::string_view value;
+};
+[[nodiscard]] std::string labeled_name(
+    std::string_view base, std::initializer_list<LabelView> labels);
 
 // Default latency bucket bounds: powers of two from 16 ns to ~67 ms.
 [[nodiscard]] std::span<const double> latency_bounds_ns();

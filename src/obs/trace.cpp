@@ -1,0 +1,448 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace netqre::obs {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::BatchBegin: return "batch_begin";
+    case TraceKind::BatchEnd: return "batch_end";
+    case TraceKind::SlowPacket: return "slow_packet";
+    case TraceKind::ScopeWideStep: return "scope_wide_step";
+    case TraceKind::ShardEnqueue: return "shard_enqueue";
+    case TraceKind::ShardDequeue: return "shard_dequeue";
+    case TraceKind::BackpressureWait: return "backpressure_wait";
+    case TraceKind::GapOpen: return "gap_open";
+    case TraceKind::GapRelease: return "gap_release";
+    case TraceKind::ActionFire: return "action_fire";
+    case TraceKind::Mark: return "mark";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- exports
+
+namespace {
+
+// The arg names each kind's a/b fields carry in the Chrome JSON.
+std::pair<const char*, const char*> arg_names(TraceKind k) {
+  switch (k) {
+    case TraceKind::BatchBegin: return {"packets", nullptr};
+    case TraceKind::BatchEnd: return {"packets", "wall_ns"};
+    case TraceKind::SlowPacket: return {"latency_ns", "threshold_ns"};
+    case TraceKind::ScopeWideStep: return {"leaves", "threshold"};
+    case TraceKind::ShardEnqueue: return {"shard", "depth"};
+    case TraceKind::ShardDequeue: return {"shard", "depth"};
+    case TraceKind::BackpressureWait: return {"shard", "wait_ns"};
+    case TraceKind::GapOpen: return {"conn_hash", "seq_distance"};
+    case TraceKind::GapRelease: return {"forced", "segments"};
+    case TraceKind::ActionFire: return {"actions", nullptr};
+    case TraceKind::Mark: return {"a", "b"};
+  }
+  return {"a", "b"};
+}
+
+void write_args(JsonWriter& w, const TraceEvent& e) {
+  const auto [an, bn] = arg_names(e.kind);
+  w.key("args").begin_object();
+  if (an) w.key(an).value(e.a);
+  if (bn) w.key(bn).value(e.b);
+  w.end_object();
+}
+
+double to_us(uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+std::string TraceSnapshot::to_chrome_json(std::string_view reason) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const auto& t : threads) {
+    if (t.name.empty()) continue;
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(1);
+    w.key("tid").value(t.tid);
+    w.key("args").begin_object();
+    w.key("name").value(t.name);
+    w.end_object();
+    w.end_object();
+  }
+  // Open BatchBegin per tid, closed by the next BatchEnd on the same tid.
+  std::vector<std::pair<uint32_t, TraceEvent>> open_batches;
+  for (const auto& e : events) {
+    if (e.kind == TraceKind::BatchBegin) {
+      open_batches.emplace_back(e.tid, e);
+      continue;
+    }
+    if (e.kind == TraceKind::BatchEnd) {
+      auto it = std::find_if(open_batches.rbegin(), open_batches.rend(),
+                             [&](const auto& p) { return p.first == e.tid; });
+      w.begin_object();
+      w.key("name").value("batch");
+      w.key("ph").value("X");
+      w.key("pid").value(1);
+      w.key("tid").value(e.tid);
+      if (it != open_batches.rend()) {
+        w.key("ts").value(to_us(it->second.ts_ns));
+        w.key("dur").value(to_us(e.ts_ns - it->second.ts_ns));
+        open_batches.erase(std::next(it).base());
+      } else {
+        // Begin was overwritten in the ring: reconstruct from wall_ns.
+        w.key("ts").value(to_us(e.ts_ns >= e.b ? e.ts_ns - e.b : 0));
+        w.key("dur").value(to_us(e.b));
+      }
+      write_args(w, e);
+      w.end_object();
+      continue;
+    }
+    if (e.kind == TraceKind::BackpressureWait) {
+      w.begin_object();
+      w.key("name").value(trace_kind_name(e.kind));
+      w.key("ph").value("X");
+      w.key("pid").value(1);
+      w.key("tid").value(e.tid);
+      w.key("ts").value(to_us(e.ts_ns >= e.b ? e.ts_ns - e.b : 0));
+      w.key("dur").value(to_us(e.b));
+      write_args(w, e);
+      w.end_object();
+      continue;
+    }
+    w.begin_object();
+    w.key("name").value(trace_kind_name(e.kind));
+    w.key("ph").value("i");
+    w.key("s").value("t");
+    w.key("pid").value(1);
+    w.key("tid").value(e.tid);
+    w.key("ts").value(to_us(e.ts_ns));
+    write_args(w, e);
+    w.end_object();
+  }
+  // Begins with no matching end yet (a batch in flight at snapshot time).
+  for (const auto& [tid, e] : open_batches) {
+    w.begin_object();
+    w.key("name").value("batch_begin");
+    w.key("ph").value("i");
+    w.key("s").value("t");
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("ts").value(to_us(e.ts_ns));
+    write_args(w, e);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("otherData").begin_object();
+  w.key("tool").value("netqre");
+  w.key("events").value(events.size());
+  w.key("dropped").value(dropped);
+  if (!reason.empty()) w.key("reason").value(reason);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string TraceSnapshot::to_text() const {
+  std::string out;
+  auto name_of = [&](uint32_t tid) -> const std::string* {
+    for (const auto& t : threads) {
+      if (t.tid == tid && !t.name.empty()) return &t.name;
+    }
+    return nullptr;
+  };
+  char buf[160];
+  for (const auto& e : events) {
+    const std::string* tname = name_of(e.tid);
+    std::snprintf(buf, sizeof(buf),
+                  "[+%10.6fs] tid=%u%s%s%s %-17s a=%llu b=%llu\n",
+                  static_cast<double>(e.ts_ns) / 1e9, e.tid,
+                  tname ? "(" : "", tname ? tname->c_str() : "",
+                  tname ? ")" : "", trace_kind_name(e.kind),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += buf;
+  }
+  if (dropped) {
+    std::snprintf(buf, sizeof(buf),
+                  "(%llu older events overwritten in the rings)\n",
+                  static_cast<unsigned long long>(dropped));
+    out += buf;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- recorder
+
+#if !defined(NETQRE_TELEMETRY_DISABLED)
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+}  // namespace
+
+// Single-writer ring with a per-slot seqlock: the writer marks a slot
+// in-progress (seq = 0), writes the payload, then publishes seq = index+1
+// with release order.  Readers copy the payload between two acquire loads
+// and keep it only when the loads agree — concurrent overwrites are skipped
+// instead of torn.
+struct TraceRecorder::Ring {
+  explicit Ring(size_t cap, uint32_t id)
+      : slots(cap), seqs(cap), tid(id), mask(cap - 1) {}
+
+  std::vector<TraceEvent> slots;
+  std::vector<std::atomic<uint64_t>> seqs;  // 0 = empty/in-progress
+  std::atomic<uint64_t> head{0};            // next index (single writer)
+  std::atomic<bool> retired{false};         // owning thread exited
+  uint32_t tid;
+  uint64_t mask;
+  std::string name;  // guarded by Impl::mu
+
+  void reset() {
+    for (auto& s : seqs) s.store(0, std::memory_order_relaxed);
+    head.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct TraceRecorder::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  size_t ring_capacity = kDefaultRingEvents;
+  Clock::time_point epoch = Clock::now();
+  uint64_t cleared_dropped = 0;  // drops from rings reset on reuse
+};
+
+namespace {
+
+// Returns the calling thread's ring to the recorder when the thread exits,
+// so long-gone worker rings can be reused once kMaxRings is reached.  The
+// events stay readable until the ring is actually reused.
+struct RingLease {
+  TraceRecorder::Ring* ring = nullptr;
+  ~RingLease();
+};
+
+thread_local RingLease tl_lease;
+
+}  // namespace
+
+RingLease::~RingLease() {
+  if (ring) ring->retired.store(true, std::memory_order_relaxed);
+}
+
+TraceRecorder::TraceRecorder() : impl_(new Impl()) {}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked singleton, same lifetime story as the metrics Registry.
+  static TraceRecorder* g = new TraceRecorder();
+  return *g;
+}
+
+TraceRecorder::Ring* TraceRecorder::ring_for_this_thread() {
+  if (tl_lease.ring) return tl_lease.ring;
+  std::lock_guard lock(impl_->mu);
+  Ring* r = nullptr;
+  if (impl_->rings.size() >= kMaxRings) {
+    // Reuse the retired ring with the oldest content.
+    Ring* oldest = nullptr;
+    for (auto& cand : impl_->rings) {
+      if (!cand->retired.load(std::memory_order_relaxed)) continue;
+      if (!oldest || cand->head.load(std::memory_order_relaxed) <
+                         oldest->head.load(std::memory_order_relaxed)) {
+        oldest = cand.get();
+      }
+    }
+    if (oldest) {
+      impl_->cleared_dropped +=
+          std::min<uint64_t>(oldest->head.load(std::memory_order_relaxed),
+                             oldest->slots.size());
+      oldest->reset();
+      oldest->retired.store(false, std::memory_order_relaxed);
+      oldest->name.clear();
+      r = oldest;
+    }
+  }
+  if (!r) {
+    const size_t cap = std::bit_ceil(std::max<size_t>(impl_->ring_capacity,
+                                                      16));
+    impl_->rings.push_back(std::make_unique<Ring>(
+        cap, static_cast<uint32_t>(impl_->rings.size() + 1)));
+    r = impl_->rings.back().get();
+  }
+  tl_lease.ring = r;
+  return r;
+}
+
+void TraceRecorder::record(TraceKind k, uint64_t a, uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* r = ring_for_this_thread();
+  const uint64_t idx = r->head.load(std::memory_order_relaxed);
+  const size_t slot = idx & r->mask;
+  r->seqs[slot].store(0, std::memory_order_relaxed);
+  TraceEvent& e = r->slots[slot];
+  e.ts_ns = ns_between(impl_->epoch, Clock::now());
+  e.a = a;
+  e.b = b;
+  e.tid = r->tid;
+  e.kind = k;
+  r->seqs[slot].store(idx + 1, std::memory_order_release);
+  r->head.store(idx + 1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_thread_name(std::string_view name) {
+  Ring* r = ring_for_this_thread();
+  std::lock_guard lock(impl_->mu);
+  r->name = std::string(name);
+}
+
+void TraceRecorder::set_ring_capacity(size_t events) {
+  std::lock_guard lock(impl_->mu);
+  impl_->ring_capacity = std::max<size_t>(events, 16);
+}
+
+TraceSnapshot TraceRecorder::snapshot() const {
+  TraceSnapshot snap;
+  std::lock_guard lock(impl_->mu);
+  snap.dropped = impl_->cleared_dropped;
+  for (const auto& r : impl_->rings) {
+    snap.threads.push_back({r->tid, r->name});
+    const uint64_t head = r->head.load(std::memory_order_relaxed);
+    const size_t cap = r->slots.size();
+    if (head > cap) snap.dropped += head - cap;
+    const uint64_t lo = head > cap ? head - cap : 0;
+    for (uint64_t idx = lo; idx < head; ++idx) {
+      const size_t slot = idx & r->mask;
+      const uint64_t s1 = r->seqs[slot].load(std::memory_order_acquire);
+      if (s1 != idx + 1) continue;  // overwritten or in progress
+      TraceEvent e = r->slots[slot];
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t s2 = r->seqs[slot].load(std::memory_order_relaxed);
+      if (s2 != s1) continue;
+      snap.events.push_back(e);
+    }
+  }
+  std::stable_sort(snap.events.begin(), snap.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return snap;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& r : impl_->rings) r->reset();
+  impl_->cleared_dropped = 0;
+}
+
+#endif  // !NETQRE_TELEMETRY_DISABLED
+
+// --------------------------------------------------------------- governor
+
+namespace {
+using GClock = std::chrono::steady_clock;
+
+uint64_t steady_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          GClock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+TraceGovernor::TraceGovernor(GovernorConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::string TraceGovernor::check(const Snapshot& snap) {
+  std::string reason;
+
+  // 1. p99 packet-latency jump against a smoothed baseline.
+  if (const auto* lat = snap.find("netqre_engine_packet_latency_ns")) {
+    const uint64_t fresh = lat->count - std::min(lat->count,
+                                                 last_latency_count_);
+    last_latency_count_ = lat->count;
+    const double p99 = histogram_quantile(*lat, 0.99);
+    if (fresh >= cfg_.min_latency_samples && p99 > 0) {
+      if (baseline_valid_ && p99 > cfg_.p99_jump * p99_baseline_) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "p99 latency jump: %.0f ns vs %.0f ns baseline", p99,
+                      p99_baseline_);
+        reason = buf;
+      }
+      p99_baseline_ = baseline_valid_
+                          ? (1 - cfg_.p99_alpha) * p99_baseline_ +
+                                cfg_.p99_alpha * p99
+                          : p99;
+      baseline_valid_ = true;
+    }
+  }
+
+  // 2. Shard queue saturation: any queue-depth gauge at the bound.
+  for (const auto& m : snap.metrics) {
+    if (m.kind != MetricKind::Gauge) continue;
+    if (m.name.rfind("netqre_parallel_shard_queue_depth", 0) != 0) continue;
+    if (m.value >= cfg_.queue_saturation_depth) {
+      reason = "shard queue saturated: " + m.name + " depth " +
+               std::to_string(m.value);
+      break;
+    }
+  }
+
+  // 3. Truncated-record burst.
+  if (const auto* trunc = snap.find("netqre_pcap_truncated_records_total")) {
+    const uint64_t delta =
+        trunc->count - std::min(trunc->count, last_truncated_);
+    last_truncated_ = trunc->count;
+    if (delta >= cfg_.truncated_burst && cfg_.truncated_burst > 0) {
+      reason = "truncated-record burst: " + std::to_string(delta) +
+               " this interval";
+    }
+  }
+  return reason;
+}
+
+std::optional<std::string> TraceGovernor::poll() {
+  const std::string reason = check(registry().snapshot());
+  if (reason.empty()) return std::nullopt;
+  const uint64_t now = steady_ns();
+  if (last_dump_ns_ != 0 && now - last_dump_ns_ < cfg_.cooldown_ns) {
+    return std::nullopt;
+  }
+  last_dump_ns_ = now;
+  return dump_now(reason);
+}
+
+std::string TraceGovernor::dump_now(const std::string& reason) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cfg_.dump_dir);
+  const fs::path path = fs::path(cfg_.dump_dir) /
+                        (cfg_.prefix + "_" + std::to_string(n_dumps_) +
+                         ".json");
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace dump: cannot write " + path.string());
+  }
+  out << tracer().snapshot().to_chrome_json(reason);
+  out.close();
+  if (!out) {
+    throw std::runtime_error("trace dump: write failed for " +
+                             path.string());
+  }
+  ++n_dumps_;
+  return path.string();
+}
+
+}  // namespace netqre::obs

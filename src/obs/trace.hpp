@@ -1,0 +1,218 @@
+// Flight recorder: an always-on, lock-free ring buffer of recent runtime
+// events (DESIGN.md "Tracing & live monitoring").
+//
+// The metrics registry (obs/metrics.hpp) explains *aggregate* behavior; the
+// flight recorder explains *what just happened*.  Each thread that records
+// owns a private fixed-size ring of typed events (batch boundaries, shard
+// queue activity, backpressure waits, reassembly gaps, action fires, slow
+// packets), so a hot-path record is: one TLS load, one relaxed enabled
+// check, a slot write, and one release store — no locks, no allocation.
+// When something interesting happens (a latency spike, a saturated shard
+// queue) the last ~N events per thread are still in memory and can be
+// snapshotted into a Chrome trace_event JSON (chrome://tracing / Perfetto)
+// or a human-readable dump.
+//
+// TraceGovernor closes the loop: it watches registry-derived signals (p99
+// latency jump, shard-queue saturation, truncated-record bursts) and
+// snapshots the rings to disk automatically, so the interesting window is
+// captured without any always-on logging cost.
+//
+// Like the metrics layer, everything here compiles to a true no-op under
+// -DNETQRE_TELEMETRY=OFF: record() is an empty inline, snapshots are empty,
+// and the governor never fires (it only ever sees empty snapshots).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace netqre::obs {
+
+enum class TraceKind : uint8_t {
+  BatchBegin = 0,    // a: batch size
+  BatchEnd,          // a: batch size, b: wall ns for the batch
+  SlowPacket,        // a: sampled per-packet latency ns, b: threshold ns
+  ScopeWideStep,     // a: guard-trie leaves stepped this packet, b: threshold
+  ShardEnqueue,      // a: shard index, b: queue depth after enqueue
+  ShardDequeue,      // a: shard index, b: queue depth after dequeue
+  BackpressureWait,  // a: shard index, b: wait ns
+  GapOpen,           // a: connection hash, b: sequence distance of the gap
+  GapRelease,        // a: 1 when forced by buffer overflow/flush, b: segments
+  ActionFire,        // a: distinct actions fired so far
+  Mark,              // free-form; a/b are caller-defined
+};
+
+// Stable lower_snake_case label for a kind (used by both exporters).
+[[nodiscard]] const char* trace_kind_name(TraceKind k);
+
+// One recorded event, as read back by a snapshot.
+struct TraceEvent {
+  uint64_t ts_ns = 0;  // steady-clock ns since the recorder epoch
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint32_t tid = 0;    // recorder-assigned ring id
+  TraceKind kind = TraceKind::Mark;
+};
+
+// A consistent-enough copy of every ring: events merged across threads in
+// timestamp order.  Concurrent writers keep writing while a snapshot is
+// taken; slots caught mid-write are skipped (per-slot seqlock), so a
+// snapshot never contains torn events.
+struct TraceSnapshot {
+  struct Thread {
+    uint32_t tid = 0;
+    std::string name;  // "shard-3", "engine", ... (empty when unnamed)
+  };
+  std::vector<Thread> threads;
+  std::vector<TraceEvent> events;  // ascending ts_ns
+  uint64_t dropped = 0;  // events overwritten in the rings since clear()
+
+  // Chrome trace_event JSON ({"traceEvents": [...]}): BatchBegin/BatchEnd
+  // pairs become complete ("X") slices, BackpressureWait becomes a slice of
+  // its wait duration, everything else an instant event; thread names are
+  // emitted as metadata.  Loads in chrome://tracing and Perfetto.
+  [[nodiscard]] std::string to_chrome_json(
+      std::string_view reason = {}) const;
+  // One line per event: "[+1.234567s] tid=2(shard-0) shard_enqueue a=0 b=3".
+  [[nodiscard]] std::string to_text() const;
+};
+
+#if !defined(NETQRE_TELEMETRY_DISABLED)
+
+// Process-wide recorder.  Rings are created lazily, one per recording
+// thread, and survive thread exit (a dump usually happens *after* the
+// interesting thread finished); when more threads than kMaxRings have come
+// and gone, the oldest retired ring is reset and reused, bounding memory.
+class TraceRecorder {
+ public:
+  // One thread's event ring (definition is internal to trace.cpp; public
+  // so the thread-exit lease can hold a pointer).
+  struct Ring;
+
+  static TraceRecorder& global();
+
+  // Events kept per thread.  Rounded up to a power of two.
+  static constexpr size_t kDefaultRingEvents = 4096;
+  // Ring-reuse bound: at most this many rings are kept alive.
+  static constexpr size_t kMaxRings = 64;
+
+  // Hot path.  One TLS load + relaxed atomic check when disabled.
+  void record(TraceKind k, uint64_t a = 0, uint64_t b = 0);
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // Labels the calling thread's ring in exports ("shard-0", "dispatcher").
+  void set_thread_name(std::string_view name);
+
+  // Capacity (events) for rings created after this call; existing rings
+  // keep theirs.  Rounded up to a power of two.
+  void set_ring_capacity(size_t events);
+
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
+  // Forgets all recorded events (ring registrations survive).  Callers must
+  // ensure producers are quiescent (between runs / in tests).
+  void clear();
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // leaked with the singleton
+  std::atomic<bool> enabled_{true};
+
+  Ring* ring_for_this_thread();
+};
+
+#else  // NETQRE_TELEMETRY_DISABLED — the recorder is a true no-op.
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global() {
+    static TraceRecorder r;
+    return r;
+  }
+  static constexpr size_t kDefaultRingEvents = 0;
+  static constexpr size_t kMaxRings = 0;
+  void record(TraceKind, uint64_t = 0, uint64_t = 0) {}
+  [[nodiscard]] bool enabled() const { return false; }
+  void set_enabled(bool) {}
+  void set_thread_name(std::string_view) {}
+  void set_ring_capacity(size_t) {}
+  [[nodiscard]] TraceSnapshot snapshot() const { return {}; }
+  void clear() {}
+};
+
+#endif  // NETQRE_TELEMETRY_DISABLED
+
+// Shorthand for TraceRecorder::global().
+inline TraceRecorder& tracer() { return TraceRecorder::global(); }
+
+// ---------------------------------------------------------------- governor
+
+// Trigger thresholds for anomaly dumps.  Defaults are conservative: a dump
+// should mean "something is actually wrong", not "traffic exists".
+struct GovernorConfig {
+  std::string dump_dir = ".";          // created on first dump
+  std::string prefix = "netqre_trace"; // dump files: <prefix>_<n>.json
+  // p99 packet latency this poll > p99_jump x its smoothed baseline.
+  double p99_jump = 4.0;
+  // Baseline smoothing factor for the p99 EMA (0 < alpha <= 1).
+  double p99_alpha = 0.2;
+  // Latency observations that must have arrived since the last poll before
+  // the p99 signal is considered (avoids firing on startup noise).
+  uint64_t min_latency_samples = 8;
+  // Any netqre_parallel_shard_queue_depth gauge at/above this depth.
+  int64_t queue_saturation_depth = 8;
+  // netqre_pcap_truncated_records_total delta per poll at/above this.
+  uint64_t truncated_burst = 64;
+  // Minimum ns between automatic dumps.
+  uint64_t cooldown_ns = 10'000'000'000ull;  // 10 s
+};
+
+// Watches metric snapshots for anomalies and dumps the flight-recorder
+// rings when one trips.  Stateful (EMA baseline, per-counter last values,
+// cooldown clock); not thread-safe — poll it from one thread.
+class TraceGovernor {
+ public:
+  explicit TraceGovernor(GovernorConfig cfg = {});
+
+  // Evaluates the trigger signals against `snap` and updates the internal
+  // baselines.  Returns a human-readable reason when a signal trips, empty
+  // otherwise.  Pure decision logic — never writes a dump (testable).
+  [[nodiscard]] std::string check(const Snapshot& snap);
+
+  // check(registry().snapshot()); on a trip outside the cooldown window,
+  // writes the ring snapshot to disk and returns the dump path.
+  std::optional<std::string> poll();
+
+  // Unconditionally dumps the rings now (the /dump endpoint).  Returns the
+  // written path.  Throws std::runtime_error when the file cannot be
+  // written.
+  std::string dump_now(const std::string& reason);
+
+  [[nodiscard]] uint64_t dumps_written() const { return n_dumps_; }
+  [[nodiscard]] const GovernorConfig& config() const { return cfg_; }
+
+ private:
+  GovernorConfig cfg_;
+  double p99_baseline_ = 0;        // EMA of observed p99
+  bool baseline_valid_ = false;
+  uint64_t last_latency_count_ = 0;
+  uint64_t last_truncated_ = 0;
+  uint64_t last_dump_ns_ = 0;      // steady-clock ns; 0 = never
+  uint64_t n_dumps_ = 0;
+};
+
+}  // namespace netqre::obs

@@ -1,0 +1,294 @@
+// System tests for the live monitoring surface: the from-scratch HTTP
+// exposition server, the standard observability endpoints, and the
+// TraceGovernor's anomaly-dump loop — all in-process on an ephemeral
+// loopback port, so no fixed port and no external tooling is needed.
+//
+// Everything here must hold in both builds: with telemetry off the
+// endpoints still serve (empty registry, empty trace), the governor never
+// trips, and /healthz keeps working.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "apps/queries.hpp"
+#include "core/parallel.hpp"
+#include "obs/http_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using obs::kEnabled;
+
+// Blocking one-shot HTTP GET over a raw socket; returns the full response
+// (status line + headers + body).  Keeps the tests free of any client
+// library, mirroring what `curl` would send.
+std::string http_get(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+int status_of(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos) return -1;
+  return std::atoi(response.c_str() + sp + 1);
+}
+
+std::string body_of(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(HttpServer, ServesRegisteredHandlersOnEphemeralPort) {
+  obs::HttpServer srv;
+  srv.handle("/hello", [](const obs::HttpRequest& req) {
+    return obs::HttpResponse::text("hi " + req.query + "\n");
+  });
+  srv.start(0);
+  ASSERT_GT(srv.port(), 0);
+  ASSERT_TRUE(srv.running());
+
+  const auto resp = http_get(srv.port(), "/hello?q=1");
+  EXPECT_EQ(status_of(resp), 200);
+  EXPECT_EQ(body_of(resp), "hi q=1\n");
+  // Framing: Content-Length is present and Connection: close is announced.
+  EXPECT_NE(resp.find("Content-Length: 7"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close"), std::string::npos);
+
+  EXPECT_EQ(status_of(http_get(srv.port(), "/missing")), 404);
+  EXPECT_GE(srv.requests_served(), 2u);
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  srv.stop();  // idempotent
+}
+
+TEST(HttpServer, RejectsNonGetMethods) {
+  obs::HttpServer srv;
+  srv.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("x");
+  });
+  srv.start(0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "POST /x HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  EXPECT_EQ(status_of(out), 405);
+  srv.stop();
+}
+
+TEST(ObservabilityEndpoints, MetricsHealthzTracez) {
+  obs::registry().reset();
+  if (kEnabled) {
+    obs::registry().counter("netqre_test_monitor_total").inc(11);
+  }
+  std::atomic<bool> healthy{true};
+  obs::HttpServer srv;
+  obs::register_observability_endpoints(
+      srv, [&] { return healthy.load(); }, nullptr);
+  srv.start(0);
+
+  // /metrics: Prometheus content type and, when enabled, our counter.
+  const auto metrics = http_get(srv.port(), "/metrics");
+  EXPECT_EQ(status_of(metrics), 200);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  if (kEnabled) {
+    EXPECT_NE(body_of(metrics).find("netqre_test_monitor_total 11"),
+              std::string::npos);
+  }
+
+  // /statz mirrors the snapshot as JSON.
+  const auto statz = http_get(srv.port(), "/statz");
+  EXPECT_EQ(status_of(statz), 200);
+  EXPECT_NE(statz.find("application/json"), std::string::npos);
+
+  // /healthz flips with the probe.
+  EXPECT_EQ(status_of(http_get(srv.port(), "/healthz")), 200);
+  healthy = false;
+  EXPECT_EQ(status_of(http_get(srv.port(), "/healthz")), 503);
+  healthy = true;
+
+  // /tracez always serves a well-formed Chrome trace document.
+  const auto tracez = http_get(srv.port(), "/tracez");
+  EXPECT_EQ(status_of(tracez), 200);
+  EXPECT_NE(body_of(tracez).find("\"traceEvents\""), std::string::npos);
+
+  // /dump without a governor: explicit 503, not a crash.
+  EXPECT_EQ(status_of(http_get(srv.port(), "/dump")), 503);
+
+  // The index lists the surface.
+  const auto index = http_get(srv.port(), "/");
+  EXPECT_NE(body_of(index).find("/metrics"), std::string::npos);
+  srv.stop();
+}
+
+TEST(TraceGovernor, QueueSaturationTriggersDump) {
+  if (!kEnabled) GTEST_SKIP() << "governor never fires in no-op build";
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "netqre_gov_test";
+  fs::remove_all(dir);
+
+  obs::registry().reset();
+  obs::tracer().clear();
+  obs::tracer().record(obs::TraceKind::Mark, 1, 1);
+
+  obs::GovernorConfig cfg;
+  cfg.dump_dir = dir.string();
+  cfg.prefix = "sat";
+  obs::TraceGovernor governor(cfg);
+
+  // Healthy snapshot: no trip.
+  EXPECT_TRUE(governor.check(obs::registry().snapshot()).empty());
+
+  // Saturate one shard queue gauge — the exact signal ParallelEngine
+  // publishes when its dispatcher blocks on a full queue.
+  obs::registry()
+      .gauge(obs::labeled_name("netqre_parallel_shard_queue_depth",
+                               {{"shard", "0"}}))
+      .set(cfg.queue_saturation_depth);
+  const std::string reason = governor.check(obs::registry().snapshot());
+  EXPECT_NE(reason.find("queue"), std::string::npos) << reason;
+
+  // poll() writes the dump file; it parses as a Chrome trace document.
+  const auto path = governor.poll();
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(governor.dumps_written(), 1u);
+  std::ifstream in(*path);
+  ASSERT_TRUE(in.good());
+  std::string dump((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\""), std::string::npos);
+
+  // Within the cooldown the same (still-saturated) signal does not dump
+  // again.
+  EXPECT_FALSE(governor.poll().has_value());
+  EXPECT_EQ(governor.dumps_written(), 1u);
+
+  obs::registry().reset();
+  obs::tracer().clear();
+  fs::remove_all(dir);
+}
+
+TEST(TraceGovernor, TruncatedRecordBurstTriggers) {
+  if (!kEnabled) GTEST_SKIP() << "governor never fires in no-op build";
+  obs::registry().reset();
+  obs::GovernorConfig cfg;
+  cfg.truncated_burst = 16;
+  obs::TraceGovernor governor(cfg);
+
+  auto& truncated =
+      obs::registry().counter("netqre_pcap_truncated_records_total");
+  EXPECT_TRUE(governor.check(obs::registry().snapshot()).empty());
+  truncated.inc(5);  // below the burst threshold
+  EXPECT_TRUE(governor.check(obs::registry().snapshot()).empty());
+  truncated.inc(16);  // a burst since the last poll
+  const std::string reason = governor.check(obs::registry().snapshot());
+  EXPECT_NE(reason.find("truncated"), std::string::npos) << reason;
+  obs::registry().reset();
+}
+
+// End-to-end: a genuine ParallelEngine run behind the endpoints — the
+// /metrics body a scraper would see carries the engine and shard series
+// produced by real work, and /dump captures the run's trace events.
+TEST(MonitorEndToEnd, LiveEngineServesScrapeableMetricsAndDump) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "netqre_mon_e2e";
+  fs::remove_all(dir);
+
+  obs::registry().reset();
+  obs::tracer().clear();
+
+  trafficgen::BackboneConfig tcfg;
+  tcfg.n_packets = 5000;
+  tcfg.n_flows = 300;
+  const auto trace = trafficgen::backbone_trace(tcfg);
+  {
+    core::ParallelEngine par(
+        apps::compile_app("heavy_hitter.nqre", "hh").query, 2);
+    par.feed(trace);
+    par.finish();
+  }
+
+  obs::GovernorConfig gcfg;
+  gcfg.dump_dir = dir.string();
+  obs::TraceGovernor governor(gcfg);
+  obs::HttpServer srv;
+  obs::register_observability_endpoints(
+      srv, [] { return true; }, &governor);
+  srv.start(0);
+
+  const std::string metrics = body_of(http_get(srv.port(), "/metrics"));
+  if (kEnabled) {
+    EXPECT_NE(metrics.find("netqre_engine_packets_total"),
+              std::string::npos);
+    EXPECT_NE(metrics.find(
+                  "netqre_parallel_shard_queue_depth{shard=\"0\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("netqre_parallel_backpressure_wait_ns"),
+              std::string::npos);
+  }
+
+  // Manual /dump writes a file whose path is the response body.
+  const auto dump_resp = http_get(srv.port(), "/dump");
+  EXPECT_EQ(status_of(dump_resp), 200);
+  std::string path = body_of(dump_resp);
+  while (!path.empty() && path.back() == '\n') path.pop_back();
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "dump file missing: " << path;
+  std::string dump((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+  if (kEnabled) {
+    // The shard workers' breadcrumbs made it into the dumped trace.
+    EXPECT_NE(dump.find("shard_"), std::string::npos);
+  }
+
+  srv.stop();
+  obs::registry().reset();
+  obs::tracer().clear();
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace netqre
