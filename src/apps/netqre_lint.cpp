@@ -5,15 +5,24 @@
 //
 //     queries/bad.nqre:3: error[NQ001]: undefined name 'dprt'
 //
+// Every stream function that compiles standalone is additionally certified
+// (src/lang/certify.hpp): ambiguity witnesses (NQ100), per-key state bounds
+// (NQ101) and worst-case per-packet cost (NQ102), with the full certificate
+// available under --json and a human rendering under --explain-tier.
+//
 // Exit status: 0 when clean (warnings allowed), 1 when any error was
 // reported (or any warning under --werror), 2 on usage or I/O problems.
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "apps/cli.hpp"
+#include "lang/certify.hpp"
+#include "lang/parser.hpp"
 #include "netqre.hpp"
 
 namespace {
@@ -25,43 +34,109 @@ constexpr const char* kUsage =
     "Reads stdin when no file (or '-') is given.\n"
     "\n"
     "options:\n"
-    "  --werror       exit nonzero on warnings too\n"
-    "  --no-warnings  suppress warning-severity diagnostics\n"
-    "  --json         structured diagnostics on stdout (CI consumption)\n"
-    "  -h, --help     show this help\n";
+    "  --werror            exit nonzero on warnings too\n"
+    "  --no-warnings       suppress warning-severity diagnostics\n"
+    "  --json              structured diagnostics + resource certificates\n"
+    "  --explain-tier      print each query's resource certificate and the\n"
+    "                      engine tier it proves (specialized/interpreted)\n"
+    "  --cost-threshold N  NQ102 fires above N op steps/packet (default 512)\n"
+    "  -h, --help          show this help\n";
 
 struct Options {
   bool werror = false;
   bool no_warnings = false;
   bool json = false;
+  bool explain_tier = false;
+  netqre::lang::CertifyOptions certify;
   std::vector<std::string> files;
 };
+
+// The analysis pass visits patterns from both the expression walk and the
+// pattern walk, so the same diagnostic can surface twice; report each
+// distinct (severity, code, line, message) once per file.
+class Dedup {
+ public:
+  bool fresh(const netqre::lang::Diagnostic& d) {
+    return seen_
+        .emplace(static_cast<int>(d.severity), d.code, d.line, d.message)
+        .second;
+  }
+
+ private:
+  std::set<std::tuple<int, std::string, int, std::string>> seen_;
+};
+
+void emit(const std::string& display, const netqre::lang::Diagnostic& d,
+          const Options& opt, netqre::obs::JsonWriter* json, int& errors,
+          int& warnings) {
+  if (d.is_error()) {
+    ++errors;
+  } else {
+    ++warnings;
+    if (opt.no_warnings) return;
+  }
+  if (json) {
+    json->begin_object();
+    json->key("file").value(display);
+    json->key("line").value(d.line);
+    json->key("severity").value(d.is_error() ? "error" : "warning");
+    json->key("code").value(d.code);
+    json->key("message").value(d.message);
+    json->end_object();
+    return;
+  }
+  std::cout << display;
+  if (d.line > 0) std::cout << ':' << d.line;
+  std::cout << ": " << (d.is_error() ? "error" : "warning") << '[' << d.code
+            << "]: " << d.message << '\n';
+}
+
+// Certificates for every stream function in `source` that compiles
+// standalone.  Helpers that only make sense applied to arguments (or
+// functions that fail to lower) are skipped; their problems are already
+// covered by the analysis diagnostics.
+struct NamedCertificate {
+  std::string name;
+  int line = 0;
+  netqre::lang::ResourceCertificate cert;
+};
+
+std::vector<NamedCertificate> certify_source(const std::string& source) {
+  std::vector<NamedCertificate> out;
+  netqre::lang::Program prog;
+  try {
+    prog = netqre::lang::parse_program(source);
+  } catch (const std::exception&) {
+    return out;  // parse errors already reported
+  }
+  for (const auto& sfun : prog.sfuns) {
+    try {
+      netqre::lang::CompiledProgram compiled =
+          netqre::lang::compile_source(source, sfun.name);
+      out.push_back(
+          {sfun.name, sfun.line, netqre::lang::certify(compiled, sfun.name)});
+    } catch (const std::exception&) {
+      // Not compilable standalone — nothing to certify.
+    }
+  }
+  return out;
+}
 
 // Prints (or collects, in JSON mode) diagnostics for one source.
 void lint_source(const std::string& display, const std::string& source,
                  const Options& opt, netqre::obs::JsonWriter* json,
-                 int& errors, int& warnings) {
+                 std::vector<NamedCertificate>& certs, int& errors,
+                 int& warnings) {
+  Dedup dedup;
   for (const auto& d : netqre::lang::analyze_source(source)) {
-    if (d.is_error()) {
-      ++errors;
-    } else {
-      ++warnings;
-      if (opt.no_warnings) continue;
+    if (dedup.fresh(d)) emit(display, d, opt, json, errors, warnings);
+  }
+  for (auto& nc : certify_source(source)) {
+    for (const auto& d : netqre::lang::certificate_diagnostics(
+             nc.cert, nc.line, opt.certify)) {
+      if (dedup.fresh(d)) emit(display, d, opt, json, errors, warnings);
     }
-    if (json) {
-      json->begin_object();
-      json->key("file").value(display);
-      json->key("line").value(d.line);
-      json->key("severity").value(d.is_error() ? "error" : "warning");
-      json->key("code").value(d.code);
-      json->key("message").value(d.message);
-      json->end_object();
-      continue;
-    }
-    std::cout << display;
-    if (d.line > 0) std::cout << ':' << d.line;
-    std::cout << ": " << (d.is_error() ? "error" : "warning") << '['
-              << d.code << "]: " << d.message << '\n';
+    certs.push_back(std::move(nc));
   }
 }
 
@@ -77,6 +152,10 @@ int main(int argc, char** argv) {
       opt.no_warnings = true;
     } else if (cli.is("--json")) {
       opt.json = true;
+    } else if (cli.is("--explain-tier")) {
+      opt.explain_tier = true;
+    } else if (cli.is("--cost-threshold")) {
+      opt.certify.cost_threshold = cli.value_u64();
     } else if (cli.arg().size() > 1 && cli.arg()[0] == '-') {
       cli.unknown();
     } else {
@@ -95,30 +174,57 @@ int main(int argc, char** argv) {
 
   int errors = 0;
   int warnings = 0;
+  // (file, certificates) per input, reported after the diagnostics array.
+  std::vector<std::pair<std::string, std::vector<NamedCertificate>>> all;
   for (const auto& file : opt.files) {
     std::ostringstream buf;
+    std::string display = file;
     if (file == "-") {
       buf << std::cin.rdbuf();
-      lint_source("<stdin>", buf.str(), opt, jw, errors, warnings);
-      continue;
+      display = "<stdin>";
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "netqre-lint: cannot open '" << file << "'\n";
+        return 2;
+      }
+      buf << in.rdbuf();
     }
-    std::ifstream in(file);
-    if (!in) {
-      std::cerr << "netqre-lint: cannot open '" << file << "'\n";
-      return 2;
-    }
-    buf << in.rdbuf();
-    lint_source(file, buf.str(), opt, jw, errors, warnings);
+    auto& certs = all.emplace_back(display, std::vector<NamedCertificate>{})
+                      .second;
+    lint_source(display, buf.str(), opt, jw, certs, errors, warnings);
   }
 
   if (opt.json) {
+    json.end_array();
+    json.key("certificates").begin_array();
+    for (const auto& [file, certs] : all) {
+      for (const auto& nc : certs) {
+        json.begin_object();
+        json.key("file").value(file);
+        json.key("line").value(nc.line);
+        json.key("certificate");
+        netqre::lang::certificate_json(nc.cert, json);
+        json.end_object();
+      }
+    }
     json.end_array();
     json.key("errors").value(errors);
     json.key("warnings").value(warnings);
     json.end_object();
     std::cout << json.str() << '\n';
-  } else if (errors + warnings > 0) {
-    std::cerr << errors << " error(s), " << warnings << " warning(s)\n";
+  } else {
+    if (opt.explain_tier) {
+      for (const auto& [file, certs] : all) {
+        for (const auto& nc : certs) {
+          std::cout << file << ':' << nc.line << ": "
+                    << netqre::lang::certificate_summary(nc.cert);
+        }
+      }
+    }
+    if (errors + warnings > 0) {
+      std::cerr << errors << " error(s), " << warnings << " warning(s)\n";
+    }
   }
   if (errors > 0) return 1;
   if (opt.werror && warnings > 0) return 1;

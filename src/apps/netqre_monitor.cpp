@@ -31,8 +31,10 @@
 
 #include "apps/cli.hpp"
 #include "apps/queries.hpp"
+#include "lang/certify.hpp"
 #include "netqre.hpp"
 #include "obs/http_export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "trafficgen/trafficgen.hpp"
 
@@ -62,6 +64,9 @@ constexpr const char* kUsage =
     "  --dump-dir DIR       flight-recorder dump directory (default \".\")\n"
     "  --workers N          shard the query across N worker threads\n"
     "                       (default 0 = single engine)\n"
+    "  --state-budget B     warn at startup when the query's certified\n"
+    "                       bytes-per-key quota times the expected key\n"
+    "                       count exceeds B bytes (default 0 = off)\n"
     "  -h, --help           show this help\n";
 
 struct Options {
@@ -74,6 +79,7 @@ struct Options {
   uint64_t max_seconds = 0;
   std::string dump_dir = ".";
   int workers = 0;
+  uint64_t state_budget = 0;  // bytes; 0 = no budget check
 };
 
 std::atomic<bool> g_stop{false};
@@ -92,17 +98,63 @@ apps::QueryInfo resolve_query(const std::string& spec, apps::CliArgs& cli) {
   cli.fail("unknown query '" + file + "' (see netqre-profile --list)");
 }
 
-std::vector<net::Packet> load_workload(const Options& opt) {
+struct Workload {
+  std::vector<net::Packet> trace;
+  // Upper estimate of distinct scope keys the workload can materialize:
+  // the generator's flow count, or the packet count for a capture (each
+  // packet can introduce at most one new key per scope level).
+  uint64_t expected_keys = 0;
+};
+
+Workload load_workload(const Options& opt) {
+  Workload w;
   if (!opt.pcap.empty()) {
     net::PcapOptions popt;
     popt.tolerant = true;
-    return net::read_all(opt.pcap, popt);
+    w.trace = net::read_all(opt.pcap, popt);
+    w.expected_keys = w.trace.size();
+    return w;
   }
   trafficgen::BackboneConfig cfg;
   cfg.n_packets = opt.packets;
   cfg.n_flows = static_cast<uint32_t>(
       std::max<uint64_t>(1000, opt.packets / 20));
-  return trafficgen::backbone_trace(cfg);
+  w.trace = trafficgen::backbone_trace(cfg);
+  w.expected_keys = cfg.n_flows;
+  return w;
+}
+
+// --state-budget: compares the certificate's bytes-per-key quota, scaled by
+// the expected key count and window panes, against the configured budget.
+// A warning, not an error: the monitor still starts (the estimate is an
+// upper bound), but the operator is told before memory grows, not after.
+void check_state_budget(const lang::ResourceCertificate& cert,
+                        uint64_t expected_keys, uint64_t budget) {
+  if (budget == 0) return;
+  if (!cert.state_bounded) {
+    std::fprintf(stderr,
+                 "netqre-monitor: warning: --state-budget %llu set but the "
+                 "query's per-key state is not statically bounded; the "
+                 "certificate cannot guarantee any budget\n",
+                 static_cast<unsigned long long>(budget));
+    return;
+  }
+  const uint64_t panes = static_cast<uint64_t>(cert.window_instances);
+  const uint64_t expected =
+      (cert.fixed_bytes + expected_keys * cert.bytes_per_key) * panes;
+  if (expected > budget) {
+    std::fprintf(
+        stderr,
+        "netqre-monitor: warning: expected state %llu B (%llu keys x %llu "
+        "B/key + %llu B fixed, x%llu window panes) exceeds --state-budget "
+        "%llu B\n",
+        static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(expected_keys),
+        static_cast<unsigned long long>(cert.bytes_per_key),
+        static_cast<unsigned long long>(cert.fixed_bytes),
+        static_cast<unsigned long long>(panes),
+        static_cast<unsigned long long>(budget));
+  }
 }
 
 // Replays `trace` through the engine(s) until stopped: batched, paced to
@@ -193,6 +245,8 @@ int main(int argc, char** argv) {
       opt.dump_dir = cli.value();
     } else if (cli.is("--workers")) {
       opt.workers = static_cast<int>(cli.value_u64());
+    } else if (cli.is("--state-budget")) {
+      opt.state_budget = cli.value_u64();
     } else {
       cli.unknown();
     }
@@ -201,11 +255,14 @@ int main(int argc, char** argv) {
   const apps::QueryInfo info = resolve_query(query_spec, cli);
   try {
     auto prog = apps::compile_app(info.file, info.main);
-    const auto trace = load_workload(opt);
+    const lang::ResourceCertificate cert = lang::certify(prog, info.main);
+    const auto workload = load_workload(opt);
+    const auto& trace = workload.trace;
     if (trace.empty()) {
       std::cerr << "netqre-monitor: workload is empty\n";
       return 2;
     }
+    check_state_budget(cert, workload.expected_keys, opt.state_budget);
 
     obs::GovernorConfig gcfg;
     gcfg.dump_dir = opt.dump_dir;
@@ -248,6 +305,27 @@ int main(int argc, char** argv) {
           return now - hb < 5'000'000'000ull;
         },
         &governor);
+    // The monitor's /statz wraps the registry snapshot together with the
+    // query identity and its resource certificate (re-registering the path
+    // replaces the default registry-only handler).
+    std::string cert_json;
+    {
+      obs::JsonWriter w;
+      lang::certificate_json(cert, w);
+      cert_json = w.str();
+    }
+    server.handle("/statz", [&info, cert_json](const obs::HttpRequest&) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("metrics").raw(obs::registry().snapshot().to_json());
+      w.key("query").begin_object();
+      w.key("file").value(info.file);
+      w.key("main").value(info.main);
+      w.key("certificate").raw(cert_json);
+      w.end_object();
+      w.end_object();
+      return obs::HttpResponse::json(w.str());
+    });
     server.start(opt.port);
     const std::string workers_note =
         opt.workers > 0 ? ", " + std::to_string(opt.workers) + " workers"

@@ -17,7 +17,15 @@ namespace netqre::core {
 
 enum class AggOp : uint8_t { Sum, Avg, Max, Min };
 
-std::string agg_name(AggOp op);
+inline std::string agg_name(AggOp op) {
+  switch (op) {
+    case AggOp::Sum: return "sum";
+    case AggOp::Avg: return "avg";
+    case AggOp::Max: return "max";
+    case AggOp::Min: return "min";
+  }
+  return "?";
+}
 
 struct AggAcc {
   AggOp op = AggOp::Sum;

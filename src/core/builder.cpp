@@ -112,17 +112,20 @@ QueryBuilder::Expr QueryBuilder::bin(BinKind kind, Expr a, Expr b) {
 }
 
 QueryBuilder::Expr QueryBuilder::split(Expr f, Expr g, AggOp agg) {
-  Dfa df = compile_dom(f.dom);
-  Dfa dg = compile_dom(g.dom);
-  if (!concat_unambiguous(df, dg, *table_)) {
+  auto df = std::make_shared<const Dfa>(compile_dom(f.dom));
+  auto dg = std::make_shared<const Dfa>(compile_dom(g.dom));
+  const bool ambiguous = !concat_unambiguous(*df, *dg, *table_);
+  if (ambiguous) {
     warnings_.push_back("split: possibly ambiguous decomposition");
   }
-  g.op->set_domain(std::make_shared<const Dfa>(std::move(dg)));
+  g.op->set_domain(dg);
   Re dom = Re::concat(f.dom, g.dom);
   Type t = f.type;
-  return {std::make_shared<SplitOp>(std::move(f.op), std::move(g.op), agg,
-                                    table_),
-          std::move(dom), t};
+  auto op = std::make_shared<SplitOp>(std::move(f.op), std::move(g.op), agg,
+                                      table_);
+  decomp_sites_.push_back(
+      {op.get(), false, ambiguous, std::move(df), std::move(dg)});
+  return {std::move(op), std::move(dom), t};
 }
 
 QueryBuilder::Expr QueryBuilder::split3(Expr a, Expr b, Expr c, AggOp agg) {
@@ -131,15 +134,17 @@ QueryBuilder::Expr QueryBuilder::split3(Expr a, Expr b, Expr c, AggOp agg) {
 }
 
 QueryBuilder::Expr QueryBuilder::iter(Expr f, AggOp agg) {
-  Dfa df = compile_dom(f.dom);
-  if (!star_unambiguous(df, *table_)) {
+  auto df = std::make_shared<const Dfa>(compile_dom(f.dom));
+  const bool ambiguous = !star_unambiguous(*df, *table_);
+  if (ambiguous) {
     warnings_.push_back("iter: possibly ambiguous factorization");
   }
-  f.op->set_domain(std::make_shared<const Dfa>(std::move(df)));
+  f.op->set_domain(df);
   Re dom = Re::star(f.dom);
   Type t = agg == AggOp::Avg ? Type::Double : f.type;
-  return {std::make_shared<IterOp>(std::move(f.op), agg, table_),
-          std::move(dom), t};
+  auto op = std::make_shared<IterOp>(std::move(f.op), agg, table_);
+  decomp_sites_.push_back({op.get(), true, ambiguous, std::move(df), nullptr});
+  return {std::move(op), std::move(dom), t};
 }
 
 QueryBuilder::Expr QueryBuilder::comp(Expr f, Expr g) {
@@ -271,6 +276,8 @@ CompiledQuery QueryBuilder::finish(Expr e,
   q.result_type = e.type;
   q.param_names = std::move(param_names);
   q.warnings = warnings_;
+  q.decomp_sites = std::move(decomp_sites_);
+  decomp_sites_.clear();
   index_ops(*q.root);  // preorder node ids for telemetry / profiling
   return q;
 }

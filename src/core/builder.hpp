@@ -17,6 +17,19 @@
 
 namespace netqre::core {
 
+// A recorded split/iter decomposition point: the operand domain automata
+// plus the builder's unambiguity verdict.  The builder already constructs
+// these DFAs for the §3.3 check; keeping them alongside the op tree lets the
+// static certifier (src/lang/certify) re-run the product construction with
+// witness tracking instead of recompiling the domains.
+struct DecompSite {
+  const Op* op = nullptr;  // the SplitOp / IterOp (owned by the query root)
+  bool is_iter = false;
+  bool ambiguous = false;  // builder verdict: possibly ambiguous (§3.3)
+  std::shared_ptr<const Dfa> left;   // f's domain automaton
+  std::shared_ptr<const Dfa> right;  // g's domain (null for iter)
+};
+
 // A fully compiled query ready to run on an Engine.
 struct CompiledQuery {
   OpPtr root;
@@ -27,6 +40,10 @@ struct CompiledQuery {
   std::vector<std::string> param_names;
   // Compile-time diagnostics (ambiguous split/iter, eager scopes, ...).
   std::vector<std::string> warnings;
+  // Every split/iter built for this query, in construction order.  Sites
+  // whose op was discarded before finish() keep node_id() == -1 and are
+  // ignored by consumers.
+  std::vector<DecompSite> decomp_sites;
 };
 
 class QueryBuilder {
@@ -99,6 +116,7 @@ class QueryBuilder {
   int n_slots_ = 0;
   std::vector<Type> slot_types_;
   std::vector<std::string> warnings_;
+  std::vector<DecompSite> decomp_sites_;
 
   FieldRef field_or_throw(const std::string& name);
   Dfa compile_dom(const Re& re);

@@ -73,24 +73,57 @@ std::string cmp_cpp(CmpOp op) {
 
 }  // namespace
 
-std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
+SpecDecision analyze_spec_explained(const CompiledQuery& query,
+                                    const SpecGate* gate) {
   // Supported shapes, rooted at a parameter scope:
   //   S1: scope(P){ comp(cond(dfa, const), fold) }       (counter family)
   //   S2: scope(P1){ scope(P2){ cond[_else](dfa, c1, c0) } }
   //       and its flat form scope(P){ cond[_else](...) }  (distinct family)
+  auto reject = [](std::string why) {
+    return SpecDecision{std::nullopt, std::move(why)};
+  };
+
+  // Certificate gate: the specialized executors assume an unambiguous query
+  // with bounded per-key state, independent of the structural shape below.
+  if (gate && !gate->unambiguous) {
+    return reject("certificate: ambiguous split/iter decomposition" +
+                  (gate->detail.empty() ? "" : " (" + gate->detail + ")"));
+  }
+  if (gate && !gate->state_bounded) {
+    return reject("certificate: per-key state not proven bounded" +
+                  (gate->detail.empty() ? "" : " (" + gate->detail + ")"));
+  }
+
   const auto* scope = dynamic_cast<const ParamScopeOp*>(query.root.get());
-  if (!scope || scope->eager()) return std::nullopt;
-  for (bool ok : scope->skip_param()) {
-    if (!ok) return std::nullopt;  // partial-hit letters are not no-ops
+  if (!scope) {
+    return reject(std::string("root operator is '") +
+                  query.root->kind_name() +
+                  "', not a parameter scope (supported shapes are "
+                  "scope(P){...})");
+  }
+  if (scope->eager()) {
+    return reject("parameter scope runs eager updates (sparse-mode "
+                  "validation failed)");
+  }
+  for (size_t i = 0; i < scope->skip_param().size(); ++i) {
+    if (!scope->skip_param()[i]) {
+      return reject("partial-hit letters are not no-ops at guard-trie "
+                    "level " + std::to_string(i));
+    }
   }
 
   // Collect the (possibly nested) scope chain and the innermost expression.
   std::vector<const ParamScopeOp*> scopes = {scope};
   const Op* innermost = scope->inner();
   while (const auto* nested = dynamic_cast<const ParamScopeOp*>(innermost)) {
-    if (nested->eager()) return std::nullopt;
-    for (bool ok : nested->skip_param()) {
-      if (!ok) return std::nullopt;
+    if (nested->eager()) {
+      return reject("nested parameter scope runs eager updates");
+    }
+    for (size_t i = 0; i < nested->skip_param().size(); ++i) {
+      if (!nested->skip_param()[i]) {
+        return reject("nested scope: partial-hit letters are not no-ops at "
+                      "guard-trie level " + std::to_string(i));
+      }
     }
     scopes.push_back(nested);
     innermost = nested->inner();
@@ -105,34 +138,56 @@ std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
   for (const auto* sc : scopes) {
     slot_hi = std::max(slot_hi, sc->slot_lo() + sc->n_params());
     for (const auto& atoms : sc->cand_atoms()) {
-      if (atoms.size() != 1) return std::nullopt;
-      if (!field_accessor(atoms[0].field.field)) return std::nullopt;
+      if (atoms.size() != 1) {
+        return reject("a scope parameter has " +
+                      std::to_string(atoms.size()) +
+                      " candidate atoms (key extraction needs exactly 1)");
+      }
+      if (!field_accessor(atoms[0].field.field)) {
+        return reject("key field '" + field_name(atoms[0].field) +
+                      "' has no specialized accessor");
+      }
       key_atoms.push_back(atoms[0]);
       plan.key.push_back({atoms[0].field.field, atoms[0].offset});
     }
   }
   const int n_params = static_cast<int>(key_atoms.size());
-  if (n_params < 1 || n_params > 2) return std::nullopt;
+  if (n_params < 1 || n_params > 2) {
+    return reject(std::to_string(n_params) +
+                  " key parameters in the scope chain (supported: 1-2)");
+  }
 
   // Innermost expression: S1 counter or S2 distinct.
   const CondOp* cond = nullptr;
   const FoldOp* fold = nullptr;
   if (const auto* comp = dynamic_cast<const CompOp*>(innermost)) {
-    if (scopes.size() != 1) return std::nullopt;
+    if (scopes.size() != 1) {
+      return reject("filter >> fold body under nested scopes (counter "
+                    "family supports a single scope level)");
+    }
     cond = dynamic_cast<const CondOp*>(comp->f());
     fold = dynamic_cast<const FoldOp*>(comp->g());
-    if (!cond || cond->else_op() || !fold) return std::nullopt;
-    if (!dynamic_cast<const ConstOp*>(cond->then_op())) return std::nullopt;
-    if (fold->agg() != AggOp::Sum) return std::nullopt;
+    if (!cond || cond->else_op() || !fold) {
+      return reject("composition body is not filter >> fold");
+    }
+    if (!dynamic_cast<const ConstOp*>(cond->then_op())) {
+      return reject("filter condition carries a non-constant value");
+    }
+    if (fold->agg() != AggOp::Sum) {
+      return reject("fold aggregates with " + agg_name(fold->agg()) +
+                    ", only sum is specialized");
+    }
   } else if (const auto* c = dynamic_cast<const CondOp*>(innermost)) {
     cond = c;
     const auto* thn = dynamic_cast<const ConstOp*>(c->then_op());
-    if (!thn || thn->value().kind() != Value::Kind::Int) return std::nullopt;
+    if (!thn || thn->value().kind() != Value::Kind::Int) {
+      return reject("conditional's then-branch is not an integer constant");
+    }
     plan.then_value = thn->value().as_int();
     if (c->else_op()) {
       const auto* els = dynamic_cast<const ConstOp*>(c->else_op());
       if (!els || els->value().kind() != Value::Kind::Int) {
-        return std::nullopt;
+        return reject("conditional's else-branch is not an integer constant");
       }
       plan.else_value = els->value().as_int();
       plan.has_else = true;
@@ -141,30 +196,45 @@ std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
     for (const auto* sc : scopes) {
       if (sc->mode().kind == ScopeMode::Kind::Aggregate &&
           sc->mode().agg != AggOp::Sum) {
-        return std::nullopt;
+        return reject("scope aggregates with " + agg_name(sc->mode().agg) +
+                      ", only sum is specialized");
       }
     }
   } else {
-    return std::nullopt;
+    return reject(std::string("scope body is '") + innermost->kind_name() +
+                  "', not filter >> fold or a conditional");
   }
   plan.dfa = &cond->re();
-  if (plan.dfa->n_bits() > 16) return std::nullopt;
+  if (plan.dfa->n_bits() > 16) {
+    return reject("DFA alphabet uses " + std::to_string(plan.dfa->n_bits()) +
+                  " atoms (> 16-bit letter limit)");
+  }
 
   // Atom descriptors: parameterized atoms are true by construction for the
   // looked-up entry; others are evaluated concretely.
   for (int id : plan.dfa->atom_ids) {
     const Atom& a = query.table->at(id);
-    if (!field_accessor(a.field.field)) return std::nullopt;
+    if (!field_accessor(a.field.field)) {
+      return reject("predicate field '" + field_name(a.field) +
+                    "' has no specialized accessor");
+    }
     SpecPlan::AtomEval ae;
     ae.field = a.field.field;
     if (a.is_param) {
       if (a.param < slot_lo || a.param >= slot_hi) {
-        return std::nullopt;  // parameter outside the scope chain
+        return reject("predicate references a parameter outside the scope "
+                      "chain");
       }
       ae.is_param = true;
     } else {
-      if (a.literal.kind() != Value::Kind::Int) return std::nullopt;
-      if (a.op == CmpOp::Contains) return std::nullopt;
+      if (a.literal.kind() != Value::Kind::Int) {
+        return reject("predicate literal in '" + a.to_string() +
+                      "' is not an integer");
+      }
+      if (a.op == CmpOp::Contains) {
+        return reject("'contains' predicates need payload scans, not "
+                      "specialized");
+      }
       ae.op = a.op;
       ae.literal = a.literal.as_int();
     }
@@ -175,15 +245,32 @@ std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
   if (fold) {
     plan.has_fold = true;
     if (fold->use_field()) {
-      if (!field_accessor(fold->field().field)) return std::nullopt;
+      if (!field_accessor(fold->field().field)) {
+        return reject("fold field '" + field_name(fold->field()) +
+                      "' has no specialized accessor");
+      }
       plan.fold_use_field = true;
       plan.fold_field = fold->field().field;
     } else {
-      if (fold->constant().kind() != Value::Kind::Int) return std::nullopt;
+      if (fold->constant().kind() != Value::Kind::Int) {
+        return reject("fold constant is not an integer");
+      }
       plan.fold_const = fold->constant().as_int();
     }
   }
-  return plan;
+
+  SpecDecision d;
+  d.reason = std::string("specialized: ") +
+             (fold ? "counter family (scope{filter >> fold})"
+                   : "distinct family (scope{conditional})") +
+             ", " + std::to_string(n_params) + "-part key, " +
+             std::to_string(plan.dfa->n_states()) + "-state DFA";
+  d.plan = std::move(plan);
+  return d;
+}
+
+std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
+  return analyze_spec_explained(query).plan;
 }
 
 // ------------------------------------------------------- in-process monitor

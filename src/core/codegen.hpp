@@ -66,6 +66,32 @@ struct SpecPlan {
   bool has_else = false;
 };
 
+// Verdicts distilled from a ResourceCertificate (src/lang/certify), fed into
+// the eligibility proof without reversing the core → lang layering.  The
+// specialized back-end assumes an unambiguous query with per-key O(1) state;
+// a gate with either bit cleared vetoes specialization even when the op-tree
+// shape matches.
+struct SpecGate {
+  bool unambiguous = true;    // every split/iter decomposition proven (§3.3)
+  bool state_bounded = true;  // per-key register count proven finite
+  std::string detail;         // human-readable reason when a bit is false
+};
+
+// Outcome of the eligibility proof: a plan when the query specializes, plus
+// a structured reason either way — what shape was proven, or the first
+// obstruction found.  No silent nullopt: every rejection names its cause.
+struct SpecDecision {
+  std::optional<SpecPlan> plan;
+  std::string reason;
+
+  [[nodiscard]] bool specialized() const { return plan.has_value(); }
+};
+
+// Proves `query` fits the specializable shape.  `gate` (optional) carries
+// the certificate verdicts; when null only the structural proof runs.
+SpecDecision analyze_spec_explained(const CompiledQuery& query,
+                                    const SpecGate* gate = nullptr);
+
 // Proves `query` fits the specializable shape and returns its plan, or
 // nullopt when the query must run on the interpreting runtime.  The plan
 // borrows the query's DFA; keep the query alive while using it.

@@ -1,0 +1,845 @@
+#include "lang/certify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/ops.hpp"
+
+namespace netqre::lang {
+namespace {
+
+using core::AtomTable;
+using core::Dfa;
+using core::Op;
+
+// ------------------------------------------------------------ arithmetic
+//
+// Bounds are computed with saturating arithmetic so a pathological (but
+// still bounded) query cannot overflow into a wrong small quota.
+
+constexpr uint64_t kSat = uint64_t{1} << 40;
+
+uint64_t sat_add(uint64_t a, uint64_t b) {
+  return a >= kSat || b >= kSat || a + b >= kSat ? kSat : a + b;
+}
+uint64_t sat_mul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a >= kSat || b >= kSat || a > kSat / b ? kSat : a * b;
+}
+
+// Bytes-per-register / overhead constants for the quota conversion.  They
+// deliberately over-approximate the interpreter's real allocation (OpState
+// vtables, unique_ptr boxing, trie nodes, flat-map slots): the certificate
+// promises "never more than", and tests/test_certify.cpp holds it to that
+// against Engine::state_memory() on every Table-1 workload.
+constexpr uint64_t kBytesPerRegister = 192;
+constexpr uint64_t kLeafOverheadBytes = 512;
+constexpr uint64_t kFixedBaseBytes = 4096;
+
+// ---------------------------------------------------------- union alphabet
+//
+// Local mirrors of the regex.cpp product helpers (they are file-local
+// there): the union atom set of two DFAs, its assignment-consistent letters,
+// and per-DFA letter projection.
+
+std::vector<int> union_atoms(const Dfa& f, const Dfa& g) {
+  std::vector<int> atoms = f.atom_ids;
+  atoms.insert(atoms.end(), g.atom_ids.begin(), g.atom_ids.end());
+  std::ranges::sort(atoms);
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+  return atoms;
+}
+
+std::vector<int> position_map(const std::vector<int>& sub,
+                              const std::vector<int>& full) {
+  std::vector<int> out(sub.size());
+  for (size_t i = 0; i < sub.size(); ++i) {
+    out[i] = static_cast<int>(
+        std::find(full.begin(), full.end(), sub[i]) - full.begin());
+  }
+  return out;
+}
+
+uint64_t project_letter(uint64_t letter, const std::vector<int>& pos_map) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < pos_map.size(); ++i) {
+    if ((letter >> pos_map[i]) & 1) out |= uint64_t{1} << i;
+  }
+  return out;
+}
+
+std::vector<uint64_t> consistent_letters(const AtomTable& table,
+                                         const std::vector<int>& atom_ids) {
+  std::vector<uint64_t> out;
+  if (atom_ids.size() > static_cast<size_t>(core::kMaxAtoms)) return out;
+  const uint64_t limit = uint64_t{1} << atom_ids.size();
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    if (core::assignment_consistent(table, atom_ids, bits)) out.push_back(bits);
+  }
+  return out;
+}
+
+// Renders one union-alphabet letter as a packet-class string: the minterm
+// over the atoms, e.g. "[syn == 1 & !(ack == 1)]"; "." with no atoms.
+std::string render_letter(const AtomTable& table,
+                          const std::vector<int>& atoms, uint64_t letter) {
+  if (atoms.empty()) return ".";
+  std::string out = "[";
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i) out += " & ";
+    const std::string a = table.at(atoms[i]).to_string();
+    out += ((letter >> i) & 1) ? a : "!(" + a + ")";
+  }
+  return out + "]";
+}
+
+std::string render_word(const AtomTable& table, const std::vector<int>& atoms,
+                        const std::vector<uint64_t>& letters) {
+  if (letters.empty()) return "(empty stream)";
+  std::string out;
+  for (size_t i = 0; i < letters.size(); ++i) {
+    if (i) out += ' ';
+    out += render_letter(table, atoms, letters[i]);
+  }
+  return out;
+}
+
+// ------------------------------------------------------- witness extraction
+//
+// The builder's concat_unambiguous / star_unambiguous answer yes/no; these
+// re-run the same product-reachability constructions with parent tracking so
+// an ambiguous site yields the actual letter string that parses twice.
+
+std::optional<AmbiguityFinding> concat_witness(const Dfa& f, const Dfa& g,
+                                               const AtomTable& table) {
+  const std::vector<int> atoms = union_atoms(f, g);
+  const std::vector<uint64_t> letters = consistent_letters(table, atoms);
+  const std::vector<int> fmap = position_map(f.atom_ids, atoms);
+  const std::vector<int> gmap = position_map(g.atom_ids, atoms);
+
+  // Two runs over one stream, both decomposing it as D_f · D_g; run A
+  // switches strictly before run B (phases as in regex.cpp).
+  struct Cfg {
+    int a, b, phase;
+    bool operator<(const Cfg& o) const {
+      return std::tie(a, b, phase) < std::tie(o.a, o.b, o.phase);
+    }
+  };
+  // Back-edge: predecessor + the move that reached this cfg.  letter >= 0 is
+  // a letter index; -1 = run A's boundary move, -2 = run B's.
+  struct Edge {
+    Cfg prev;
+    int letter;
+  };
+  std::map<Cfg, Edge> parent;
+  std::deque<Cfg> work;
+  const Cfg root{f.start, f.start, 0};
+  auto push = [&](Cfg c, Cfg prev, int letter) {
+    if (c.a == root.a && c.b == root.b && c.phase == root.phase) return;
+    if (parent.emplace(c, Edge{prev, letter}).second) work.push_back(c);
+  };
+  auto expand = [&](Cfg c, Cfg prev, int letter) {
+    push(c, prev, letter);
+    if (c.phase == 0 && f.accept[c.a]) push({g.start, c.b, 1}, c, -1);
+    if (c.phase == 2 && f.accept[c.b]) push({c.a, g.start, 3}, c, -2);
+  };
+
+  work.push_back(root);
+  if (f.accept[root.a]) push({g.start, root.b, 1}, root, -1);
+  std::optional<Cfg> goal;
+  while (!work.empty() && !goal) {
+    Cfg c = work.front();
+    work.pop_front();
+    if (c.phase == 3 && g.accept[c.a] && g.accept[c.b]) {
+      goal = c;
+      break;
+    }
+    for (size_t li = 0; li < letters.size(); ++li) {
+      const uint64_t lf = project_letter(letters[li], fmap);
+      const uint64_t lg = project_letter(letters[li], gmap);
+      Cfg n = c;
+      n.a = (c.phase == 0) ? f.step(c.a, lf) : g.step(c.a, lg);
+      n.b = (c.phase == 3) ? g.step(c.b, lg) : f.step(c.b, lf);
+      if (n.phase == 1) n.phase = 2;
+      expand(n, c, static_cast<int>(li));
+    }
+  }
+  if (!goal) return std::nullopt;
+
+  // Reconstruct the move sequence root → goal.
+  std::vector<int> moves;
+  for (Cfg c = *goal; !(c.a == root.a && c.b == root.b && c.phase == root.phase);) {
+    const Edge& e = parent.at(c);
+    moves.push_back(e.letter);
+    c = e.prev;
+  }
+  std::reverse(moves.begin(), moves.end());
+
+  std::vector<uint64_t> word;
+  int pos_a = -1;
+  int pos_b = -1;
+  for (int m : moves) {
+    if (m == -1) {
+      pos_a = static_cast<int>(word.size());
+    } else if (m == -2) {
+      pos_b = static_cast<int>(word.size());
+    } else {
+      word.push_back(letters[m]);
+    }
+  }
+
+  AmbiguityFinding finding;
+  finding.is_iter = false;
+  finding.witness = render_word(table, atoms, word);
+  std::ostringstream d;
+  d << "a " << word.size() << "-packet stream of this class splits as f\xc2\xb7g"
+    << " both after " << pos_a << " packet(s) and after " << pos_b
+    << " packet(s)";
+  finding.detail = d.str();
+  return finding;
+}
+
+std::optional<AmbiguityFinding> star_witness(const Dfa& f,
+                                             const AtomTable& table) {
+  if (f.accepts_empty()) {
+    AmbiguityFinding finding;
+    finding.is_iter = true;
+    finding.witness = "(empty stream)";
+    finding.detail =
+        "the operand accepts the empty stream, so every stream factors into "
+        "arbitrarily many zero-length segments";
+    return finding;
+  }
+  const std::vector<int>& atoms = f.atom_ids;
+  const std::vector<uint64_t> letters = consistent_letters(table, atoms);
+
+  struct Cfg {
+    int a, b;
+    bool div;
+    bool operator<(const Cfg& o) const {
+      return std::tie(a, b, div) < std::tie(o.a, o.b, o.div);
+    }
+  };
+  struct Edge {
+    Cfg prev;
+    int letter;
+    bool ca, cb;
+  };
+  std::map<Cfg, Edge> parent;
+  std::deque<Cfg> work;
+  const Cfg root{f.start, f.start, false};
+  work.push_back(root);
+  std::optional<Cfg> goal;
+  while (!work.empty() && !goal) {
+    Cfg c = work.front();
+    work.pop_front();
+    if (c.div && f.accept[c.a] && f.accept[c.b]) {
+      goal = c;
+      break;
+    }
+    for (size_t li = 0; li < letters.size(); ++li) {
+      const uint64_t l = letters[li];
+      for (int ca = 0; ca < 2; ++ca) {
+        if (ca && !f.accept[c.a]) continue;
+        for (int cb = 0; cb < 2; ++cb) {
+          if (cb && !f.accept[c.b]) continue;
+          Cfg n;
+          n.a = f.step(ca ? f.start : c.a, l);
+          n.b = f.step(cb ? f.start : c.b, l);
+          n.div = c.div || (ca != cb);
+          if (n.a == root.a && n.b == root.b && n.div == root.div) continue;
+          if (parent
+                  .emplace(n, Edge{c, static_cast<int>(li), ca != 0, cb != 0})
+                  .second) {
+            work.push_back(n);
+          }
+        }
+      }
+    }
+  }
+  if (!goal) return std::nullopt;
+
+  struct Move {
+    int letter;
+    bool ca, cb;
+  };
+  std::vector<Move> moves;
+  for (Cfg c = *goal; !(c.a == root.a && c.b == root.b && c.div == root.div);) {
+    const Edge& e = parent.at(c);
+    moves.push_back({e.letter, e.ca, e.cb});
+    c = e.prev;
+  }
+  std::reverse(moves.begin(), moves.end());
+
+  std::vector<uint64_t> word;
+  std::vector<int> cuts_a;
+  std::vector<int> cuts_b;
+  for (const Move& m : moves) {
+    const int pos = static_cast<int>(word.size());
+    if (m.ca) cuts_a.push_back(pos);
+    if (m.cb) cuts_b.push_back(pos);
+    word.push_back(letters[m.letter]);
+  }
+
+  auto cut_list = [&](const std::vector<int>& cuts) {
+    if (cuts.empty()) return std::string("only at the end");
+    std::string out = "after ";
+    for (size_t i = 0; i < cuts.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(cuts[i]);
+    }
+    return out + " packet(s)";
+  };
+
+  AmbiguityFinding finding;
+  finding.is_iter = true;
+  finding.witness = render_word(table, atoms, word);
+  std::ostringstream d;
+  d << "a " << word.size()
+    << "-packet stream of this class factors into segments cut "
+    << cut_list(cuts_a) << " or cut " << cut_list(cuts_b);
+  finding.detail = d.str();
+  return finding;
+}
+
+// ---------------------------------------------------------- domain cycles
+//
+// A split/iter case set is a set of open cut positions; a cut stays live
+// only while the operand's domain automaton is in a live (non-dead) state.
+// When the live part of the domain is acyclic, every segment has bounded
+// length and at most n_states cuts can be open at once.  A live cycle means
+// segments of unbounded length, i.e. the case set can grow with the stream.
+
+bool has_live_cycle(const Dfa& d) {
+  const int n = d.n_states();
+  std::vector<bool> live(n, false);
+  for (int s = 0; s < n; ++s) live[s] = !d.is_dead(s);
+  // Iterative DFS over live states, consistent letters only.
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+  for (int s0 = 0; s0 < n; ++s0) {
+    if (!live[s0] || color[s0] != 0) continue;
+    std::vector<std::pair<int, size_t>> stack{{s0, 0}};
+    color[s0] = 1;
+    while (!stack.empty()) {
+      auto& [s, li] = stack.back();
+      if (li >= d.letters.size()) {
+        color[s] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const int t = d.step(s, d.letters[li++]);
+      if (!live[t]) continue;
+      if (color[t] == 1) return true;
+      if (color[t] == 0) {
+        color[t] = 1;
+        stack.emplace_back(t, 0);
+      }
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------------ tree walk
+
+// Bound of one subtree, per instance (i.e. per guard-trie leaf).
+struct SubtreeBound {
+  bool state_bounded = true;
+  uint64_t registers = 0;  // persistent registers, valid when state_bounded
+  std::string unbounded_reason;
+  bool cost_bounded = true;
+  std::string cost_reason;
+  uint64_t steps = 0;      // op step() invocations per packet
+  uint64_t dfa_steps = 0;  // DFA table lookups per packet
+  uint64_t atoms = 0;      // predicate atoms evaluated per packet
+  uint64_t fold_arity = 0; // widest case merge in the subtree
+  bool contains_scope = false;
+};
+
+class Certifier {
+ public:
+  Certifier(const core::CompiledQuery& query, ResourceCertificate& cert)
+      : query_(query), cert_(cert) {
+    for (const auto& site : query.decomp_sites) {
+      if (site.op != nullptr && site.op->node_id() >= 0) {
+        sites_[site.op] = &site;
+      }
+    }
+  }
+
+  SubtreeBound run() { return walk(query_.root.get(), 1); }
+
+  void ambiguity() {
+    // Iterates the recorded sites in build order (the sites_ map is keyed
+    // by pointer, so its order is not stable across runs).
+    for (const auto& site_ref : query_.decomp_sites) {
+      const core::DecompSite* site = &site_ref;
+      if (site->op == nullptr || site->op->node_id() < 0) continue;
+      if (!site->ambiguous) continue;
+      std::optional<AmbiguityFinding> f =
+          site->is_iter ? star_witness(*site->left, *query_.table)
+                        : concat_witness(*site->left, *site->right,
+                                         *query_.table);
+      if (!f) {
+        // The builder flagged the site but the tracked product found no
+        // double parse (conservative verdicts can disagree only in this
+        // direction is NOT guaranteed, so keep the honest warning).
+        AmbiguityFinding g;
+        g.is_iter = site->is_iter;
+        g.witness = "(no concrete witness found)";
+        g.detail = "flagged by the §3.3 product check";
+        f = g;
+      }
+      cert_.ambiguities.push_back(std::move(*f));
+      cert_.unambiguous = false;
+    }
+  }
+
+ private:
+  const core::CompiledQuery& query_;
+  ResourceCertificate& cert_;
+  std::map<const Op*, const core::DecompSite*> sites_;
+
+  static SubtreeBound leaf(uint64_t registers) {
+    SubtreeBound b;
+    b.registers = registers;
+    b.steps = 1;
+    return b;
+  }
+
+  static void absorb(SubtreeBound& into, const SubtreeBound& sub) {
+    into.state_bounded = into.state_bounded && sub.state_bounded;
+    if (into.unbounded_reason.empty()) {
+      into.unbounded_reason = sub.unbounded_reason;
+    }
+    into.cost_bounded = into.cost_bounded && sub.cost_bounded;
+    if (into.cost_reason.empty()) into.cost_reason = sub.cost_reason;
+    into.registers = sat_add(into.registers, sub.registers);
+    into.steps = sat_add(into.steps, sub.steps);
+    into.dfa_steps = sat_add(into.dfa_steps, sub.dfa_steps);
+    into.atoms = sat_add(into.atoms, sub.atoms);
+    into.fold_arity = std::max(into.fold_arity, sub.fold_arity);
+    into.contains_scope = into.contains_scope || sub.contains_scope;
+  }
+
+  // Scales a per-instance bound by a case/leaf multiplier.
+  static SubtreeBound scaled(const SubtreeBound& sub, uint64_t n) {
+    SubtreeBound b = sub;
+    b.registers = sat_mul(sub.registers, n);
+    b.steps = sat_mul(sub.steps, n);
+    b.dfa_steps = sat_mul(sub.dfa_steps, n);
+    b.atoms = sat_mul(sub.atoms, n);
+    return b;
+  }
+
+  SubtreeBound walk(const Op* op, uint64_t touch_mult);
+  SubtreeBound walk_decomp(const Op* op, uint64_t touch_mult);
+  SubtreeBound walk_scope(const core::ParamScopeOp* scope,
+                          uint64_t touch_mult);
+};
+
+SubtreeBound Certifier::walk_decomp(const Op* op, uint64_t touch_mult) {
+  // split(f, g) keeps the unsplit f run plus one (frozen f, live g) case
+  // per open cut; iter(f) keeps one (aggregate, live f run) entry per open
+  // cut.  Cuts stay open while the segment automaton is live.
+  const auto it = sites_.find(op);
+  const core::DecompSite* site = it == sites_.end() ? nullptr : it->second;
+  const bool is_iter = site != nullptr && site->is_iter;
+
+  std::vector<const Op*> kids;
+  op->collect_children(kids);
+  SubtreeBound self;
+  self.steps = 1;
+  std::vector<SubtreeBound> sub;
+  sub.reserve(kids.size());
+  for (const Op* k : kids) sub.push_back(walk(k, touch_mult));
+
+  const Dfa* seg = nullptr;  // automaton whose liveness keeps a cut open
+  if (site != nullptr) {
+    seg = is_iter ? site->left.get() : site->right.get();
+  }
+  uint64_t cases = 0;
+  std::string why;
+  if (seg == nullptr) {
+    why = "no recorded domain automaton for the decomposition";
+  } else if (has_live_cycle(*seg)) {
+    why = std::string(is_iter ? "iter" : "split") +
+          " operand admits unbounded segments (live cycle in its domain "
+          "automaton), so the open-case set can grow with the stream";
+  } else {
+    // A cut opened at position p survives at most n_states packets (its
+    // domain run visits distinct live states, so it must die within n
+    // steps), giving n_states + 1 simultaneously open cuts; +1 for the
+    // seeded empty-prefix case (split) / fresh entry (iter).
+    cases = static_cast<uint64_t>(seg->n_states()) + 2;
+  }
+  for (const SubtreeBound& s : sub) {
+    if (s.contains_scope) {
+      why = "parameter scope nested under split/iter";
+      break;
+    }
+  }
+
+  if (!why.empty()) {
+    for (const SubtreeBound& s : sub) absorb(self, s);
+    self.state_bounded = false;
+    self.unbounded_reason = why;
+    self.cost_bounded = false;
+    if (self.cost_reason.empty()) self.cost_reason = why;
+    // One domain-automaton step per packet regardless.
+    self.dfa_steps = sat_add(self.dfa_steps, 1);
+    return self;
+  }
+
+  self.fold_arity = cases;
+  if (is_iter) {
+    // Each entry carries the running aggregate plus a live f run.
+    SubtreeBound per_entry = sub[0];
+    per_entry.registers = sat_add(per_entry.registers, 1);
+    absorb(self, scaled(per_entry, cases));
+  } else {
+    // The unsplit f run, plus per case a frozen f and a live g; only g is
+    // stepped per packet for existing cases (f is stepped once).
+    SubtreeBound fb = sub[0];
+    SubtreeBound gb = sub[1];
+    absorb(self, fb);
+    SubtreeBound per_case;
+    per_case.registers = sat_add(fb.registers, gb.registers);
+    per_case.steps = gb.steps;
+    per_case.dfa_steps = gb.dfa_steps;
+    per_case.atoms = gb.atoms;
+    per_case.state_bounded = fb.state_bounded && gb.state_bounded;
+    per_case.cost_bounded = gb.cost_bounded;
+    absorb(self, scaled(per_case, cases));
+  }
+  // The segment automaton advances once per packet per case.
+  self.dfa_steps = sat_add(self.dfa_steps, sat_add(cases, 1));
+  self.atoms =
+      sat_add(self.atoms, static_cast<uint64_t>(seg->n_bits()));
+  return self;
+}
+
+SubtreeBound Certifier::walk_scope(const core::ParamScopeOp* scope,
+                                   uint64_t touch_mult) {
+  ScopeLevel level;
+  level.n_params = scope->n_params();
+  level.sparse = !scope->eager();
+
+  // Worst-case leaves touched per packet: one candidate path per extracted
+  // candidate plus the default branch, per parameter level.
+  uint64_t touched = 1;
+  uint64_t cand_atoms = 0;
+  for (const auto& atoms : scope->cand_atoms()) {
+    std::string rendered;
+    for (const auto& a : atoms) {
+      if (!rendered.empty()) rendered += ", ";
+      rendered += a.to_string();
+    }
+    level.key_atoms.push_back(rendered.empty() ? "(none)" : rendered);
+    cand_atoms += atoms.size();
+    touched = sat_mul(touched, atoms.size() + 1);
+  }
+
+  const size_t level_index = cert_.levels.size();
+  cert_.levels.push_back(level);  // reserve position (outermost first)
+
+  SubtreeBound inner =
+      walk(scope->inner(), level.sparse ? sat_mul(touch_mult, touched) : kSat);
+
+  ScopeLevel& lv = cert_.levels[level_index];
+  lv.bounded = inner.state_bounded;
+  lv.unbounded_reason = inner.unbounded_reason;
+  lv.per_key_registers = inner.registers;
+  lv.bytes_per_key = sat_add(sat_mul(inner.registers, kBytesPerRegister),
+                             kLeafOverheadBytes);
+  lv.touched_per_packet =
+      level.sparse ? sat_mul(touch_mult, touched) : kSat;
+
+  SubtreeBound self;
+  self.steps = 1;
+  self.contains_scope = true;
+  self.fold_arity = inner.fold_arity;
+  // The scope's own registers (trie bookkeeping) are charged to the level
+  // quota; to the enclosing level this subtree costs nothing persistent.
+  self.registers = 0;
+  self.state_bounded = true;
+  if (!level.sparse) {
+    self.cost_bounded = false;
+    self.cost_reason =
+        "eager parameter scope steps every materialized leaf on every "
+        "packet";
+    absorb(self, scaled(inner, 1));
+    self.registers = 0;
+    self.state_bounded = true;  // eager affects cost, not per-key state
+    self.unbounded_reason.clear();
+  } else {
+    SubtreeBound stepped = scaled(inner, touched);
+    self.cost_bounded = inner.cost_bounded;
+    self.cost_reason = inner.cost_reason;
+    self.steps = sat_add(self.steps, stepped.steps);
+    self.dfa_steps = stepped.dfa_steps;
+    self.atoms = sat_add(stepped.atoms, cand_atoms);
+  }
+  return self;
+}
+
+SubtreeBound Certifier::walk(const Op* op, uint64_t touch_mult) {
+  using namespace core;
+  if (const auto* scope = dynamic_cast<const ParamScopeOp*>(op)) {
+    return walk_scope(scope, touch_mult);
+  }
+  if (dynamic_cast<const SplitOp*>(op) != nullptr ||
+      dynamic_cast<const IterOp*>(op) != nullptr) {
+    return walk_decomp(op, touch_mult);
+  }
+  if (dynamic_cast<const ConstOp*>(op) != nullptr) return leaf(0);
+  if (dynamic_cast<const LastFieldOp*>(op) != nullptr) return leaf(1);
+  if (dynamic_cast<const ParamRefOp*>(op) != nullptr) return leaf(1);
+  if (const auto* m = dynamic_cast<const MatchOp*>(op)) {
+    SubtreeBound b = leaf(1);
+    b.dfa_steps = 1;
+    b.atoms = static_cast<uint64_t>(m->dfa().n_bits());
+    return b;
+  }
+  if (const auto* c = dynamic_cast<const CondOp*>(op)) {
+    SubtreeBound b = leaf(1);
+    b.dfa_steps = 1;
+    b.atoms = static_cast<uint64_t>(c->re().n_bits());
+    std::vector<const Op*> kids;
+    c->collect_children(kids);
+    for (const Op* k : kids) absorb(b, walk(k, touch_mult));
+    return b;
+  }
+  if (const auto* f = dynamic_cast<const FoldOp*>(op)) {
+    // AggAcc: count + numeric fold (+ integral flag folded into one word).
+    SubtreeBound b = leaf(2);
+    b.fold_arity = 2;
+    (void)f;
+    return b;
+  }
+  // Structural combinators: one register for bookkeeping (comp's filter
+  // gate) plus the children.
+  SubtreeBound b = leaf(dynamic_cast<const CompOp*>(op) != nullptr ? 1 : 0);
+  std::vector<const Op*> kids;
+  op->collect_children(kids);
+  for (const Op* k : kids) absorb(b, walk(k, touch_mult));
+  return b;
+}
+
+}  // namespace
+
+ResourceCertificate certify(const CompiledProgram& prog,
+                            const std::string& main) {
+  ResourceCertificate cert;
+  cert.main = main;
+
+  Certifier certifier(prog.query, cert);
+  certifier.ambiguity();
+  const SubtreeBound root = certifier.run();
+
+  cert.fixed_registers = root.registers;
+  cert.fixed_bytes =
+      sat_add(sat_mul(root.registers, kBytesPerRegister), kFixedBaseBytes);
+  cert.state_bounded = root.state_bounded;
+  cert.unbounded_reason = root.unbounded_reason;
+  for (const ScopeLevel& lv : cert.levels) {
+    cert.state_bounded = cert.state_bounded && lv.bounded;
+    // Eager levels step every materialized leaf; their touched count is not
+    // a static bound, so they don't contribute a trie width.
+    if (lv.sparse) {
+      cert.guard_trie_width =
+          std::max(cert.guard_trie_width, lv.touched_per_packet);
+    }
+  }
+  if (!cert.levels.empty()) {
+    cert.bytes_per_key = cert.levels.front().bytes_per_key;
+  }
+
+  cert.cost_bounded = root.cost_bounded;
+  cert.op_steps_per_packet = root.steps;
+  cert.dfa_steps_per_packet = root.dfa_steps;
+  cert.atoms_per_packet = root.atoms;
+  cert.fold_arity = root.fold_arity;
+
+  // Window widths: a sliding window (`recent`) runs staggered engine panes,
+  // a tumbling window (`every`) one engine at a time.
+  cert.window_instances =
+      prog.window == CompiledProgram::Window::Recent ? 8 : 1;
+
+  // Tier selection: the certificate's verdicts gate the structural proof.
+  core::SpecGate gate = certificate_gate(cert);
+  core::SpecDecision decision =
+      core::analyze_spec_explained(prog.query, &gate);
+  cert.tier = decision.specialized() ? "specialized" : "interpreted";
+  cert.tier_reason = decision.reason;
+  return cert;
+}
+
+namespace {
+
+std::string first_unbounded_reason(const ResourceCertificate& cert) {
+  if (!cert.unbounded_reason.empty()) return cert.unbounded_reason;
+  for (const ScopeLevel& lv : cert.levels) {
+    if (!lv.bounded) return lv.unbounded_reason;
+  }
+  return "state not bounded by the scope keys";
+}
+
+}  // namespace
+
+core::SpecGate certificate_gate(const ResourceCertificate& cert) {
+  core::SpecGate gate;
+  gate.unambiguous = cert.unambiguous;
+  gate.state_bounded = cert.state_bounded;
+  if (!cert.unambiguous && !cert.ambiguities.empty()) {
+    gate.detail = cert.ambiguities.front().detail;
+  } else if (!cert.state_bounded) {
+    gate.detail = first_unbounded_reason(cert);
+  }
+  return gate;
+}
+
+Diagnostics certificate_diagnostics(const ResourceCertificate& cert, int line,
+                                    const CertifyOptions& opts) {
+  Diagnostics out;
+  const std::string where =
+      cert.main.empty() ? std::string() : "'" + cert.main + "': ";
+  for (const AmbiguityFinding& a : cert.ambiguities) {
+    out.push_back(Diagnostic::warning(
+        "NQ100", line,
+        where + (a.is_iter ? "ambiguous iter factorization" : "ambiguous split decomposition") +
+            "; witness " + a.witness + " — " + a.detail));
+  }
+  if (!cert.state_bounded) {
+    out.push_back(Diagnostic::warning(
+        "NQ101", line, where + "per-key state is not statically bounded: " +
+                           first_unbounded_reason(cert)));
+  }
+  if (!cert.cost_bounded || cert.op_steps_per_packet > opts.cost_threshold) {
+    std::string cost = cert.cost_bounded
+                           ? std::to_string(cert.op_steps_per_packet) +
+                                 " operator steps"
+                           : "unbounded work";
+    out.push_back(Diagnostic::warning(
+        "NQ102", line,
+        where + "worst-case per-packet cost is " + cost +
+            " (threshold " + std::to_string(opts.cost_threshold) + ")"));
+  }
+  return out;
+}
+
+void certificate_json(const ResourceCertificate& cert, obs::JsonWriter& w) {
+  w.begin_object();
+  if (!cert.main.empty()) w.key("main").value(cert.main);
+  w.key("unambiguous").value(cert.unambiguous);
+  w.key("ambiguities").begin_array();
+  for (const AmbiguityFinding& a : cert.ambiguities) {
+    w.begin_object();
+    w.key("operator").value(a.is_iter ? "iter" : "split");
+    w.key("witness").value(a.witness);
+    w.key("detail").value(a.detail);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("state_bounded").value(cert.state_bounded);
+  if (!cert.unbounded_reason.empty()) {
+    w.key("unbounded_reason").value(cert.unbounded_reason);
+  }
+  w.key("levels").begin_array();
+  for (const ScopeLevel& lv : cert.levels) {
+    w.begin_object();
+    w.key("params").value(lv.n_params);
+    w.key("mode").value(lv.sparse ? "sparse" : "eager");
+    w.key("key_atoms").begin_array();
+    for (const std::string& k : lv.key_atoms) w.value(k);
+    w.end_array();
+    w.key("bounded").value(lv.bounded);
+    if (lv.bounded) {
+      w.key("per_key_registers").value(lv.per_key_registers);
+      w.key("bytes_per_key").value(lv.bytes_per_key);
+    } else {
+      w.key("unbounded_reason").value(lv.unbounded_reason);
+    }
+    // Meaningless for eager levels (every materialized leaf is stepped).
+    if (lv.sparse) {
+      w.key("touched_per_packet").value(lv.touched_per_packet);
+    } else {
+      w.key("touched_per_packet").null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("fixed_registers").value(cert.fixed_registers);
+  w.key("fixed_bytes").value(cert.fixed_bytes);
+  w.key("bytes_per_key").value(cert.bytes_per_key);
+  w.key("window_instances").value(cert.window_instances);
+
+  w.key("cost_bounded").value(cert.cost_bounded);
+  if (cert.cost_bounded) {
+    w.key("atoms_per_packet").value(cert.atoms_per_packet);
+    w.key("dfa_steps_per_packet").value(cert.dfa_steps_per_packet);
+    w.key("op_steps_per_packet").value(cert.op_steps_per_packet);
+  }
+  w.key("guard_trie_width").value(cert.guard_trie_width);
+  w.key("fold_arity").value(cert.fold_arity);
+
+  w.key("tier").value(cert.tier);
+  w.key("tier_reason").value(cert.tier_reason);
+  w.end_object();
+}
+
+std::string certificate_summary(const ResourceCertificate& cert) {
+  std::ostringstream out;
+  if (!cert.main.empty()) out << cert.main << ":\n";
+  out << "  tier: " << cert.tier << " — " << cert.tier_reason << "\n";
+  out << "  unambiguous: " << (cert.unambiguous ? "yes" : "no") << "\n";
+  for (const AmbiguityFinding& a : cert.ambiguities) {
+    out << "    " << (a.is_iter ? "iter" : "split") << " witness " << a.witness
+        << " — " << a.detail << "\n";
+  }
+  out << "  state: "
+      << (cert.state_bounded ? "bounded" : "not statically bounded") << ", "
+      << cert.levels.size() << " scope level(s), fixed " << cert.fixed_bytes
+      << " B";
+  if (cert.window_instances > 1) {
+    out << " x " << cert.window_instances << " window panes";
+  }
+  if (!cert.state_bounded && !cert.unbounded_reason.empty()) {
+    out << " — " << cert.unbounded_reason;
+  }
+  out << "\n";
+  for (size_t i = 0; i < cert.levels.size(); ++i) {
+    const ScopeLevel& lv = cert.levels[i];
+    out << "    level " << i << " (" << (lv.sparse ? "sparse" : "eager")
+        << ", " << lv.n_params << " param";
+    if (lv.n_params != 1) out << "s";
+    out << "): ";
+    if (lv.bounded) {
+      out << lv.per_key_registers << " registers / " << lv.bytes_per_key
+          << " B per key";
+    } else {
+      out << "unbounded — " << lv.unbounded_reason;
+    }
+    if (lv.sparse) {
+      out << ", <= " << lv.touched_per_packet << " leaves touched per packet";
+    } else {
+      out << ", every materialized leaf stepped per packet";
+    }
+    out << "\n";
+  }
+  out << "  cost: ";
+  if (cert.cost_bounded) {
+    out << "<= " << cert.op_steps_per_packet << " op steps, "
+        << cert.dfa_steps_per_packet << " DFA steps, " << cert.atoms_per_packet
+        << " atom evals per packet";
+  } else {
+    out << "not statically bounded";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace netqre::lang

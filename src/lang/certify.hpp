@@ -1,0 +1,121 @@
+// Static resource certification for compiled NetQRE queries.
+//
+// A ResourceCertificate is a per-query proof object computed by abstract
+// interpretation over the lowered operator tree:
+//
+//   1. Ambiguity analysis (§3.3): every split/iter decomposition recorded by
+//      the builder is re-checked with a witness-tracking product
+//      construction; an ambiguous site yields a concrete packet-class string
+//      that two different parses can both consume.
+//   2. State-cardinality bounds: per parameter-scope level, the number of
+//      persistent registers one concrete key costs, converted to a
+//      bytes-per-key quota.  Split/iter case sets are bounded only when the
+//      operand's domain automaton has no live cycle (segments of bounded
+//      length); otherwise the level is honestly reported unbounded.
+//   3. Worst-case per-packet cost: predicate atoms evaluated, DFA steps and
+//      operator steps per packet, with the guard trie's touched-leaf width
+//      (candidates + default per level) folded in.
+//
+// The certificate feeds three surfaces: the NQ100-NQ102 lint rules
+// (netqre-lint), engine-tier selection (core::analyze_spec_explained via a
+// SpecGate distilled from the certificate), and the netqre-monitor /statz
+// endpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/codegen.hpp"
+#include "lang/diag.hpp"
+#include "lang/lower.hpp"
+#include "obs/json.hpp"
+
+namespace netqre::lang {
+
+// One ambiguous split/iter decomposition, with a concrete witness stream.
+struct AmbiguityFinding {
+  bool is_iter = false;
+  // Witness packet-class string, e.g. "[syn==1 & !ack==1] [ack==1]": a
+  // stream drawn from these classes parses in two different ways.
+  std::string witness;
+  // How the two parses differ ("splits after packet 1 and after packet 2").
+  std::string detail;
+};
+
+// State bound for one parameter-scope level (outermost first).
+struct ScopeLevel {
+  int n_params = 0;
+  bool sparse = true;  // false: eager fallback (every leaf stepped)
+  // Rendered candidate atoms per parameter ("srcip == x").
+  std::vector<std::string> key_atoms;
+  // Per concrete key: persistent registers and the bytes-per-key quota.
+  // Valid only when `bounded`; an unbounded level (split/iter case sets
+  // that can grow with the stream) reports why instead.
+  bool bounded = true;
+  uint64_t per_key_registers = 0;
+  uint64_t bytes_per_key = 0;
+  std::string unbounded_reason;
+  // Worst-case guard-trie leaves touched per packet at this level
+  // (candidate paths + default), cumulative with enclosing levels.
+  uint64_t touched_per_packet = 1;
+};
+
+struct ResourceCertificate {
+  std::string main;
+
+  // (1) unambiguity proof.
+  bool unambiguous = true;
+  std::vector<AmbiguityFinding> ambiguities;
+
+  // (2) state bounds.
+  bool state_bounded = true;  // every level and the fixed part are bounded
+  // Why the fixed (outside-any-scope) part is unbounded; empty when it is.
+  std::string unbounded_reason;
+  std::vector<ScopeLevel> levels;
+  uint64_t fixed_registers = 0;  // registers outside any scope
+  uint64_t fixed_bytes = 0;
+  uint64_t bytes_per_key = 0;  // outermost level's quota (0 without scopes)
+  // Engine instances implied by the window spec (sliding windows run
+  // staggered panes); total state scales by this factor.
+  int window_instances = 1;
+
+  // (3) worst-case per-packet cost.
+  bool cost_bounded = true;
+  uint64_t atoms_per_packet = 0;      // predicate atom evaluations
+  uint64_t dfa_steps_per_packet = 0;  // DFA table lookups
+  uint64_t op_steps_per_packet = 0;   // operator step() invocations
+  uint64_t guard_trie_width = 1;      // max touched leaves at any level
+  uint64_t fold_arity = 0;            // widest split/iter case merge
+
+  // Engine-tier selection (checked against core::analyze_spec_explained).
+  std::string tier;  // "specialized" | "interpreted"
+  std::string tier_reason;
+};
+
+struct CertifyOptions {
+  // NQ102 fires when op_steps_per_packet exceeds this (or is unbounded).
+  uint64_t cost_threshold = 512;
+};
+
+// Certifies the compiled program's query.  `main` is only recorded in the
+// certificate for reporting.
+ResourceCertificate certify(const CompiledProgram& prog,
+                            const std::string& main = "");
+
+// Distills the certificate into the gate consumed by analyze_spec_explained.
+core::SpecGate certificate_gate(const ResourceCertificate& cert);
+
+// NQ100 (ambiguous split/iter), NQ101 (unbounded state), NQ102 (cost above
+// threshold) — all warnings, attached to source line `line`.
+Diagnostics certificate_diagnostics(const ResourceCertificate& cert,
+                                    int line = 0,
+                                    const CertifyOptions& opts = {});
+
+// Serializes the certificate as one JSON object onto `w`.
+void certificate_json(const ResourceCertificate& cert, obs::JsonWriter& w);
+
+// Multi-line human-readable rendering (netqre-lint --explain-tier).
+std::string certificate_summary(const ResourceCertificate& cert);
+
+}  // namespace netqre::lang

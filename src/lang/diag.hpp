@@ -16,6 +16,11 @@
 //   NQ005  ambiguous split / iter operand (unambiguity, §3.3)   (warning)
 //   NQ006  recent(t) / every(t) inside core operators (§3.6)
 //   NQ007  other lowering error (semantic problem found while compiling)
+//
+// Certificate rules (lang/certify.hpp, computed on the lowered query):
+//   NQ100  ambiguous split / iter with a concrete witness stream  (warning)
+//   NQ101  per-key state not statically bounded                   (warning)
+//   NQ102  worst-case per-packet cost above threshold             (warning)
 #pragma once
 
 #include <cstdint>

@@ -204,7 +204,17 @@ struct TraceRecorder::Ring {
   explicit Ring(size_t cap, uint32_t id)
       : slots(cap), seqs(cap), tid(id), mask(cap - 1) {}
 
-  std::vector<TraceEvent> slots;
+  // Payload words are relaxed atomics, not a plain TraceEvent: a snapshot's
+  // copy deliberately overlaps concurrent overwrites (the seq recheck
+  // discards torn copies), and atomic words keep that overlap a defined
+  // race-free read instead of UB the sanitizer rightly flags.
+  struct Slot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> meta{0};  // tid | kind << 32
+  };
+  std::vector<Slot> slots;
   std::vector<std::atomic<uint64_t>> seqs;  // 0 = empty/in-progress
   std::atomic<uint64_t> head{0};            // next index (single writer)
   std::atomic<bool> retired{false};         // owning thread exited
@@ -293,12 +303,13 @@ void TraceRecorder::record(TraceKind k, uint64_t a, uint64_t b) {
   const uint64_t idx = r->head.load(std::memory_order_relaxed);
   const size_t slot = idx & r->mask;
   r->seqs[slot].store(0, std::memory_order_relaxed);
-  TraceEvent& e = r->slots[slot];
-  e.ts_ns = ns_between(impl_->epoch, Clock::now());
-  e.a = a;
-  e.b = b;
-  e.tid = r->tid;
-  e.kind = k;
+  Ring::Slot& e = r->slots[slot];
+  e.ts_ns.store(ns_between(impl_->epoch, Clock::now()),
+                std::memory_order_relaxed);
+  e.a.store(a, std::memory_order_relaxed);
+  e.b.store(b, std::memory_order_relaxed);
+  e.meta.store(uint64_t(r->tid) | (uint64_t(k) << 32),
+               std::memory_order_relaxed);
   r->seqs[slot].store(idx + 1, std::memory_order_release);
   r->head.store(idx + 1, std::memory_order_relaxed);
 }
@@ -328,7 +339,14 @@ TraceSnapshot TraceRecorder::snapshot() const {
       const size_t slot = idx & r->mask;
       const uint64_t s1 = r->seqs[slot].load(std::memory_order_acquire);
       if (s1 != idx + 1) continue;  // overwritten or in progress
-      TraceEvent e = r->slots[slot];
+      const Ring::Slot& src = r->slots[slot];
+      TraceEvent e;
+      e.ts_ns = src.ts_ns.load(std::memory_order_relaxed);
+      e.a = src.a.load(std::memory_order_relaxed);
+      e.b = src.b.load(std::memory_order_relaxed);
+      const uint64_t meta = src.meta.load(std::memory_order_relaxed);
+      e.tid = static_cast<uint32_t>(meta);
+      e.kind = static_cast<TraceKind>(meta >> 32);
       std::atomic_thread_fence(std::memory_order_acquire);
       const uint64_t s2 = r->seqs[slot].load(std::memory_order_relaxed);
       if (s2 != s1) continue;

@@ -1,0 +1,301 @@
+// Resource-certificate tests (src/lang/certify.hpp).
+//
+// Every Table-1 query is certified, then run over its golden-test workload
+// with per-op profiling on, and the observed behaviour is held to the
+// certified bounds: guard-trie key growth never exceeds the touched-leaf
+// width, total operator steps never exceed packets x the per-packet cost
+// bound, and (where the certificate claims bounded state) engine memory
+// stays within fixed + keys x bytes-per-key.  A certificate may be loose —
+// these are upper bounds — but it must never be wrong.
+//
+// The engine-tier decision is pinned as a golden file
+// (tests/golden/spec_reasons.txt): every query maps to specialized or
+// interpreted with a structured reason.  Regenerate after intentional
+// changes with NETQRE_UPDATE_GOLDEN=1, like the result snapshots.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/ops.hpp"
+#include "lang/certify.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+
+#ifndef NETQRE_GOLDEN_DIR
+#define NETQRE_GOLDEN_DIR "tests/golden"
+#endif
+#ifndef NETQRE_CORPUS_DIR
+#define NETQRE_CORPUS_DIR "tests/corpus"
+#endif
+
+// Same small fixed-seed workloads as the golden-result tests, so certified
+// bounds are checked on exactly the traffic whose results are pinned.
+std::vector<net::Packet> workload_for(const std::string& query_file) {
+  using namespace trafficgen;
+  if (query_file == "syn_flood.nqre") {
+    SynFloodConfig cfg;
+    cfg.benign_handshakes = 20;
+    cfg.attack_handshakes = 120;
+    return syn_flood_trace(cfg);
+  }
+  if (query_file == "slowloris.nqre") {
+    SlowlorisConfig cfg;
+    cfg.normal_conns = 12;
+    cfg.slow_conns = 18;
+    cfg.duration = 10.0;
+    return slowloris_trace(cfg);
+  }
+  if (query_file == "voip_count.nqre" || query_file == "voip_usage.nqre") {
+    SipConfig cfg;
+    cfg.n_users = 4;
+    cfg.n_calls = 12;
+    cfg.media_pkts_per_call = 8;
+    return sip_trace(cfg);
+  }
+  if (query_file == "email_keywords.nqre") {
+    SmtpConfig cfg;
+    cfg.n_mails = 40;
+    cfg.keyword_mails = 9;
+    return smtp_trace(cfg);
+  }
+  if (query_file == "dns_tunnel.nqre" ||
+      query_file == "dns_amplification.nqre") {
+    DnsConfig cfg;
+    cfg.normal_queries = 80;
+    cfg.tunnel_queries = 15;
+    cfg.amplification_pairs = 12;
+    return dns_trace(cfg);
+  }
+  BackboneConfig cfg;
+  cfg.n_packets = 2000;
+  cfg.n_flows = 50;
+  cfg.seed = 5;
+  return backbone_trace(cfg);
+}
+
+class CertifyTest : public ::testing::TestWithParam<apps::QueryInfo> {};
+
+// Structural invariants of every certificate: the tier matches the real
+// analyze_spec decision and every verdict carries its evidence.
+TEST_P(CertifyTest, CertificateIsWellFormed) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  const auto cert = lang::certify(prog, info.main);
+
+  EXPECT_TRUE(cert.tier == "specialized" || cert.tier == "interpreted");
+  EXPECT_FALSE(cert.tier_reason.empty());
+  const auto plan = core::analyze_spec(prog.query);
+  EXPECT_EQ(plan.has_value(), cert.tier == "specialized")
+      << info.main << ": certificate tier disagrees with analyze_spec";
+
+  EXPECT_EQ(cert.unambiguous, cert.ambiguities.empty());
+  for (const auto& a : cert.ambiguities) {
+    EXPECT_FALSE(a.witness.empty());
+    EXPECT_FALSE(a.detail.empty());
+  }
+  for (const auto& lv : cert.levels) {
+    if (lv.bounded) {
+      EXPECT_GT(lv.bytes_per_key, 0u) << info.main;
+    } else {
+      EXPECT_FALSE(lv.unbounded_reason.empty()) << info.main;
+      EXPECT_FALSE(cert.state_bounded) << info.main;
+    }
+  }
+  if (!cert.state_bounded) {
+    // NQ101 must carry a concrete reason, not a generic shrug.
+    bool reasoned = !cert.unbounded_reason.empty();
+    for (const auto& lv : cert.levels) reasoned |= !lv.unbounded_reason.empty();
+    EXPECT_TRUE(reasoned) << info.main;
+  }
+  // A specialized query is exactly one the certificate proved safe.
+  if (cert.tier == "specialized") {
+    EXPECT_TRUE(cert.unambiguous) << info.main;
+    EXPECT_TRUE(cert.state_bounded) << info.main;
+    EXPECT_TRUE(cert.cost_bounded) << info.main;
+  }
+}
+
+// The load-bearing property: observed execution never exceeds the
+// certificate.  Key growth, operator steps and memory are all checked
+// against the certified quotas on the golden workload.
+TEST_P(CertifyTest, ObservedNeverExceedsCertified) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  const auto cert = lang::certify(prog, info.main);
+
+  Engine eng(prog.query);
+  eng.enable_profiling();
+  for (const auto& p : workload_for(info.file)) eng.on_packet(p);
+  const uint64_t pkts = eng.packets();
+  ASSERT_GT(pkts, 0u);
+
+  if (cert.cost_bounded) {
+    const auto* prof = eng.profile();
+    ASSERT_NE(prof, nullptr);
+    uint64_t observed_steps = 0;
+    for (uint64_t s : prof->steps) observed_steps += s;
+    EXPECT_LE(observed_steps, pkts * cert.op_steps_per_packet)
+        << info.main << ": certified per-packet cost bound violated";
+  }
+
+  const auto* scope =
+      dynamic_cast<const core::ParamScopeOp*>(prog.query.root.get());
+  if (scope != nullptr && !cert.levels.empty() && cert.levels.front().sparse) {
+    const auto stats = scope->stats(eng.state());
+    // Each packet can materialize at most touched_per_packet guard-trie
+    // paths; +1 for the default chain that exists from the start.
+    EXPECT_LE(stats.leaves,
+              1 + pkts * cert.levels.front().touched_per_packet)
+        << info.main << ": certified key-growth bound violated";
+
+    if (cert.state_bounded && cert.levels.size() == 1) {
+      EXPECT_LE(eng.state_memory(),
+                cert.fixed_bytes + stats.leaves * cert.bytes_per_key)
+          << info.main << ": certified bytes-per-key quota violated ("
+          << eng.state_memory() << " B observed for " << stats.leaves
+          << " leaves)";
+    }
+  }
+  // Scope-free queries carry all state in the fixed part; queries whose
+  // scopes sit below a non-scope root can't attribute observed memory to
+  // key counts here (the trie isn't reachable for stats), so only the
+  // levels-free case is checked.
+  if (scope == nullptr && cert.state_bounded && cert.levels.empty()) {
+    EXPECT_LE(eng.state_memory(), cert.fixed_bytes)
+        << info.main << ": certified fixed-state quota violated";
+  }
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<apps::QueryInfo>& info) {
+  std::string n = info.param.main;
+  std::replace_if(
+      n.begin(), n.end(), [](char c) { return !std::isalnum(c); }, '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CertifyTest,
+                         ::testing::ValuesIn(apps::table1()), param_name);
+
+// Engine-tier decisions are golden-pinned: every non-specializing query
+// must produce a stable structured reason, and the specializing set must
+// not silently shrink.
+TEST(CertifySpecReasons, GoldenTierDecisions) {
+  std::ostringstream got;
+  int specialized = 0;
+  for (const auto& info : apps::table1()) {
+    auto prog = apps::compile_app(info.file, info.main);
+    const auto cert = lang::certify(prog, info.main);
+    got << info.main << ": " << cert.tier << " -- " << cert.tier_reason
+        << '\n';
+    if (cert.tier == "specialized") ++specialized;
+  }
+  EXPECT_GE(specialized, 2) << "specialized family unexpectedly empty";
+
+  const std::string path =
+      std::string(NETQRE_GOLDEN_DIR) + "/spec_reasons.txt";
+  if (std::getenv("NETQRE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got.str();
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with NETQRE_UPDATE_GOLDEN=1 to create it";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got.str())
+      << "tier decisions diverged — if intentional, regenerate with "
+         "NETQRE_UPDATE_GOLDEN=1 and review the diff";
+}
+
+// The deliberately ambiguous corpus queries must trip NQ100 with a concrete
+// witness naming the two parses.
+TEST(CertifyAmbiguity, CorpusQueriesYieldWitnesses) {
+  const std::string path = std::string(NETQRE_CORPUS_DIR) + "/ambiguous.nqre";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string source = buf.str();
+
+  struct Want {
+    const char* main;
+    bool iter;
+  };
+  for (const Want w : {Want{"syn_partition", false}, Want{"syn_run_count", true}}) {
+    auto prog = lang::compile_source(source, w.main);
+    const auto cert = lang::certify(prog, w.main);
+    EXPECT_FALSE(cert.unambiguous) << w.main;
+    ASSERT_FALSE(cert.ambiguities.empty()) << w.main;
+    bool found = false;
+    for (const auto& a : cert.ambiguities) {
+      if (a.is_iter != w.iter) continue;
+      found = true;
+      EXPECT_FALSE(a.witness.empty());
+      EXPECT_NE(a.witness, "(no concrete witness found)") << w.main;
+      EXPECT_NE(a.detail.find("packet"), std::string::npos) << w.main;
+    }
+    EXPECT_TRUE(found) << w.main << ": no finding for the expected operator";
+
+    const auto diags = lang::certificate_diagnostics(cert);
+    bool nq100 = false;
+    for (const auto& d : diags) nq100 |= d.code == "NQ100";
+    EXPECT_TRUE(nq100) << w.main;
+    for (const auto& d : diags) {
+      EXPECT_FALSE(d.is_error()) << "certificate rules must stay warnings";
+    }
+  }
+}
+
+// The certificate gate really gates: a refuted certificate forces the
+// interpreter tier even for a query whose structure specializes.
+TEST(CertifyGate, RefutedCertificateForcesInterpreter) {
+  auto prog = apps::compile_app("heavy_hitter.nqre", "hh");
+  ASSERT_TRUE(core::analyze_spec(prog.query).has_value());
+
+  core::SpecGate gate;
+  gate.unambiguous = false;
+  gate.detail = "forced for the test";
+  auto decision = core::analyze_spec_explained(prog.query, &gate);
+  EXPECT_FALSE(decision.specialized());
+  EXPECT_NE(decision.reason.find("certificate"), std::string::npos);
+
+  gate = core::SpecGate{};
+  gate.state_bounded = false;
+  decision = core::analyze_spec_explained(prog.query, &gate);
+  EXPECT_FALSE(decision.specialized());
+  EXPECT_NE(decision.reason.find("certificate"), std::string::npos);
+}
+
+// JSON serialization round-trips through a strict parser shape check: the
+// lint CI job consumes this, so the object must stay well-formed.
+TEST(CertifyJson, SerializesWellFormed) {
+  auto prog = apps::compile_app("heavy_hitter.nqre", "hh");
+  const auto cert = lang::certify(prog, "hh");
+  obs::JsonWriter w;
+  lang::certificate_json(cert, w);
+  const std::string js = w.str();
+  EXPECT_NE(js.find("\"tier\":\"specialized\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"bytes_per_key\""), std::string::npos);
+  EXPECT_EQ(std::count(js.begin(), js.end(), '{'),
+            std::count(js.begin(), js.end(), '}'));
+  EXPECT_EQ(std::count(js.begin(), js.end(), '['),
+            std::count(js.begin(), js.end(), ']'));
+}
+
+}  // namespace
+}  // namespace netqre
