@@ -11,10 +11,21 @@
 //   /healthz   200 while the engine thread is alive and making progress
 //   /tracez    the flight-recorder rings as Chrome trace JSON
 //   /dump      writes a flight-recorder dump file, returns its path
+//   /api/v1/contexts, /api/v1/data
+//              the time-series result store (DESIGN.md "Result store &
+//              streaming"): the query's result map sampled on a cadence
+//              into retention tiers, range-queried as JSON
 //
 // A TraceGovernor polls the registry once a second and snapshots the
 // flight recorder to --dump-dir automatically when an anomaly trips (p99
 // latency jump, shard queue saturation, truncated-record burst).
+//
+// Deployment shapes (netdata's "distribute the code, not the data"):
+// a plain invocation is an *edge* monitor — engine + local store.  Add
+// --stream-to HOST:PORT and every sampling round is also pushed to a
+// *parent* started with --parent, which runs no engine at all: it ingests
+// pushes under "<source>/<context>" and serves the same /api/v1 surface
+// over every child's series.
 //
 // Exit status: 0 on clean shutdown (SIGINT/SIGTERM/--max-seconds/--once),
 // 2 on usage or I/O problems.
@@ -23,6 +34,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -36,7 +48,11 @@
 #include "obs/http_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "store/series_store.hpp"
+#include "store/stream.hpp"
 #include "trafficgen/trafficgen.hpp"
+
+#include <unistd.h>
 
 namespace {
 
@@ -67,6 +83,16 @@ constexpr const char* kUsage =
     "  --state-budget B     warn at startup when the query's certified\n"
     "                       bytes-per-key quota times the expected key\n"
     "                       count exceeds B bytes (default 0 = off)\n"
+    "  --store-every MS     result-store sampling cadence in milliseconds\n"
+    "                       (default 1000; 0 disables sampling)\n"
+    "  --store-keys N       per-context key budget before eviction\n"
+    "                       (default 1024)\n"
+    "  --stream-to H:P      also push every sampling round to a parent\n"
+    "                       monitor at IPv4 host H, port P\n"
+    "  --source NAME        this edge's identity at the parent\n"
+    "                       (default edge-<pid>)\n"
+    "  --parent             run as an aggregator: no engine, ingest\n"
+    "                       POST /api/v1/push and serve the store\n"
     "  -h, --help           show this help\n";
 
 struct Options {
@@ -80,6 +106,11 @@ struct Options {
   std::string dump_dir = ".";
   int workers = 0;
   uint64_t state_budget = 0;  // bytes; 0 = no budget check
+  uint64_t store_every_ms = 1000;  // 0 = store sampling off
+  uint32_t store_keys = 1024;
+  std::string stream_to;  // "host:port", empty = no streaming
+  std::string source;     // identity at the parent; default edge-<pid>
+  bool parent = false;
 };
 
 std::atomic<bool> g_stop{false};
@@ -157,15 +188,73 @@ void check_state_budget(const lang::ResourceCertificate& cert,
   }
 }
 
+uint64_t unix_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Samples the running query's result map into the series store on a cadence
+// and optionally streams each round to a parent monitor.
+//
+// Threading: with a single engine the snapshot runs on the engine thread
+// itself between batches (enumerate on a live engine is only safe from the
+// thread that mutates it).  With a parallel engine the snapshot is a
+// control visit executed by each shard's own worker
+// (snapshot_results_async); `in_flight` keeps at most one round pending so
+// a stalled shard queue cannot pile up visits.
+struct StoreSampler {
+  store::SeriesStore* store = nullptr;
+  store::SeriesStore::ContextId ctx{};
+  std::string context_name;
+  store::StreamClient* client = nullptr;  // null when not streaming
+  std::chrono::nanoseconds every{1'000'000'000};
+  Clock::time_point next_sample{};  // default: sample on the first call
+  std::atomic<bool> in_flight{false};
+
+  void ingest_round(uint64_t t_ns,
+                    const std::vector<core::ResultSample>& results) {
+    std::vector<store::Sample> samples;
+    samples.reserve(results.size());
+    for (const auto& r : results) samples.push_back({r.key, r.value});
+    store->ingest(ctx, t_ns, samples);
+    if (client) client->push(context_name, t_ns, samples);
+  }
+
+  void maybe_sample(core::Engine* engine, core::ParallelEngine* parallel) {
+    const auto now = Clock::now();
+    if (now < next_sample) return;
+    next_sample = now + every;
+    sample(engine, parallel);
+  }
+
+  void sample(core::Engine* engine, core::ParallelEngine* parallel) {
+    const uint64_t t_ns = unix_now_ns();
+    if (engine) {
+      std::vector<core::ResultSample> results;
+      engine->snapshot_results(results);
+      ingest_round(t_ns, results);
+      return;
+    }
+    if (in_flight.exchange(true)) return;  // previous round still collecting
+    parallel->snapshot_results_async(
+        [this, t_ns](std::vector<core::ResultSample> results) {
+          ingest_round(t_ns, results);
+          in_flight.store(false);
+        });
+  }
+};
+
 // Replays `trace` through the engine(s) until stopped: batched, paced to
 // --pps, looping unless --once.  Updates the heartbeat every batch so
-// /healthz notices a wedged engine, and polls the governor about once a
-// second.
+// /healthz notices a wedged engine, polls the governor about once a
+// second, and samples the result store on its cadence.
 void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
                 core::Engine* engine, core::ParallelEngine* parallel,
                 std::atomic<uint64_t>& heartbeat_ns,
                 std::atomic<uint64_t>& packets_done,
-                obs::TraceGovernor& governor) {
+                obs::TraceGovernor& governor, StoreSampler* sampler) {
   obs::tracer().set_thread_name("engine");
   const auto start = Clock::now();
   auto next_governor_poll = start + std::chrono::seconds(1);
@@ -200,6 +289,7 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
         }
         next_governor_poll = now + std::chrono::seconds(1);
       }
+      if (sampler) sampler->maybe_sample(engine, parallel);
       if (g_stop.load(std::memory_order_relaxed) || now >= deadline) {
         g_stop.store(true);
         break;
@@ -218,6 +308,49 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
     }
   }
   if (parallel) parallel->finish();
+  // Final round after the replay drains, so a short --once run still leaves
+  // its end state in the store (post-finish() the visit is synchronous).
+  if (sampler) sampler->sample(engine, parallel);
+}
+
+// --parent: aggregator mode.  No query, no engine — just the HTTP surface
+// with the store's endpoints; children POST sampling rounds to
+// /api/v1/push and range queries over "<source>/<context>" come back out
+// of /api/v1/data.
+int run_parent(const Options& opt) {
+  store::StoreConfig scfg;
+  scfg.max_keys = opt.store_keys;
+  if (opt.store_every_ms > 0) {
+    scfg.update_every_ns = opt.store_every_ms * 1'000'000ull;
+  }
+  store::SeriesStore store(scfg);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  obs::HttpServer server;
+  obs::register_observability_endpoints(
+      server, [] { return true; }, nullptr);
+  store::register_store_endpoints(server, store);
+  server.start(opt.port);
+  std::fprintf(stderr,
+               "netqre-monitor: parent aggregator on http://127.0.0.1:%u  "
+               "[%u-key budget per context]\n",
+               server.port(), scfg.max_keys);
+
+  const auto deadline =
+      opt.max_seconds ? Clock::now() + std::chrono::seconds(opt.max_seconds)
+                      : Clock::time_point::max();
+  while (!g_stop.load(std::memory_order_relaxed) && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  std::fprintf(stderr,
+               "netqre-monitor: parent stopped after %llu http requests, "
+               "%llu resident store bytes\n",
+               static_cast<unsigned long long>(server.requests_served()),
+               static_cast<unsigned long long>(store.resident_bytes()));
+  return 0;
 }
 
 }  // namespace
@@ -247,9 +380,24 @@ int main(int argc, char** argv) {
       opt.workers = static_cast<int>(cli.value_u64());
     } else if (cli.is("--state-budget")) {
       opt.state_budget = cli.value_u64();
+    } else if (cli.is("--store-every")) {
+      opt.store_every_ms = cli.value_u64();
+    } else if (cli.is("--store-keys")) {
+      opt.store_keys = static_cast<uint32_t>(cli.value_u64());
+    } else if (cli.is("--stream-to")) {
+      opt.stream_to = cli.value();
+    } else if (cli.is("--source")) {
+      opt.source = cli.value();
+    } else if (cli.is("--parent")) {
+      opt.parent = true;
     } else {
       cli.unknown();
     }
+  }
+
+  if (opt.parent) return run_parent(opt);
+  if (opt.source.empty()) {
+    opt.source = "edge-" + std::to_string(::getpid());
   }
 
   const apps::QueryInfo info = resolve_query(query_spec, cli);
@@ -277,6 +425,36 @@ int main(int argc, char** argv) {
       engine = std::make_unique<core::Engine>(prog.query);
     }
 
+    // Result store: this query is one context, named by the query itself.
+    store::StoreConfig scfg;
+    scfg.max_keys = opt.store_keys;
+    if (opt.store_every_ms > 0) {
+      scfg.update_every_ns = opt.store_every_ms * 1'000'000ull;
+    }
+    store::SeriesStore store(scfg);
+    std::unique_ptr<store::StreamClient> stream_client;
+    if (!opt.stream_to.empty()) {
+      const size_t colon = opt.stream_to.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "netqre-monitor: --stream-to needs HOST:PORT\n";
+        return 2;
+      }
+      store::StreamClient::Config ccfg;
+      ccfg.host = opt.stream_to.substr(0, colon);
+      ccfg.port = static_cast<uint16_t>(
+          std::strtoul(opt.stream_to.c_str() + colon + 1, nullptr, 10));
+      ccfg.source = opt.source;
+      stream_client = std::make_unique<store::StreamClient>(ccfg);
+    }
+    StoreSampler sampler;
+    sampler.store = &store;
+    sampler.context_name = info.file + ":" + info.main;
+    sampler.ctx = store.context(sampler.context_name);
+    sampler.client = stream_client.get();
+    sampler.every =
+        std::chrono::nanoseconds(opt.store_every_ms * 1'000'000ull);
+    StoreSampler* sampler_ptr = opt.store_every_ms > 0 ? &sampler : nullptr;
+
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
 
@@ -285,7 +463,7 @@ int main(int argc, char** argv) {
     std::atomic<bool> engine_live{true};
     std::thread engine_thread([&] {
       run_engine(opt, trace, engine.get(), parallel.get(), heartbeat_ns,
-                 packets_done, governor);
+                 packets_done, governor, sampler_ptr);
       engine_live.store(false);
     });
 
@@ -305,6 +483,7 @@ int main(int argc, char** argv) {
           return now - hb < 5'000'000'000ull;
         },
         &governor);
+    store::register_store_endpoints(server, store);
     // The monitor's /statz wraps the registry snapshot together with the
     // query identity and its resource certificate (re-registering the path
     // replaces the default registry-only handler).
@@ -341,6 +520,7 @@ int main(int argc, char** argv) {
                  workers_note.c_str());
 
     engine_thread.join();
+    if (stream_client) stream_client->stop();  // flush queued rounds
     server.stop();
     std::fprintf(stderr,
                  "netqre-monitor: stopped after %llu packets, %llu dumps, "
@@ -348,6 +528,16 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(packets_done.load()),
                  static_cast<unsigned long long>(governor.dumps_written()),
                  static_cast<unsigned long long>(server.requests_served()));
+    if (stream_client) {
+      std::fprintf(
+          stderr,
+          "netqre-monitor: streamed %llu rounds to %s (%llu dropped, "
+          "%llu push failures)\n",
+          static_cast<unsigned long long>(stream_client->rounds_sent()),
+          opt.stream_to.c_str(),
+          static_cast<unsigned long long>(stream_client->rounds_dropped()),
+          static_cast<unsigned long long>(stream_client->push_failures()));
+    }
   } catch (const std::exception& e) {
     std::cerr << "netqre-monitor: " << e.what() << "\n";
     return 2;

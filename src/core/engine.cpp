@@ -163,6 +163,24 @@ void Engine::enumerate(const std::function<void(const std::vector<Value>&,
   top_scope_->enumerate(*state_, fn);
 }
 
+void Engine::snapshot_results(std::vector<ResultSample>& out) const {
+  if (top_scope_) {
+    top_scope_->enumerate(
+        *state_, [&](const std::vector<Value>& key, const Value& v) {
+          if (!v.defined()) return;
+          std::string name;
+          for (size_t i = 0; i < key.size(); ++i) {
+            if (i) name += ',';
+            name += key[i].to_string();
+          }
+          out.push_back({std::move(name), v.as_double()});
+        });
+    return;
+  }
+  const Value v = eval();
+  if (v.defined()) out.push_back({"value", v.as_double()});
+}
+
 void Engine::reset() {
   fired_.clear();
   state_ = query_.root->make_state();

@@ -24,6 +24,14 @@
 
 namespace netqre::core {
 
+// One row of a result snapshot: a rendered scope key (top-level parameter
+// values joined with ','; "value" for closed queries) and the numeric
+// result.  The shape the time-series store (src/store) ingests.
+struct ResultSample {
+  std::string key;
+  double value = 0.0;
+};
+
 class Engine {
  public:
   // Fired when the query's top-level action expression becomes defined.
@@ -57,6 +65,14 @@ class Engine {
                                           const Value&)>& fn) const;
 
   void set_action_handler(ActionFn fn) { action_ = std::move(fn); }
+
+  // Result snapshot hook for the time-series store: appends one
+  // ResultSample per currently-defined result.  Parameterized queries
+  // enumerate every observed valuation (key = values joined with ',');
+  // closed queries emit a single "value" dimension.  Undefined results are
+  // skipped — the store records them as gaps.  Must be called from the
+  // thread driving the engine (it reads live query state).
+  void snapshot_results(std::vector<ResultSample>& out) const;
 
   void reset();
 

@@ -1,9 +1,12 @@
 #include "core/parallel.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <ctime>
 #include <deque>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "net/flow.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +31,14 @@ obs::Histogram& backpressure_wait_ns() {
 }  // namespace
 
 struct ParallelEngine::Shard {
+  // One queue entry: either a packet batch, or a control visit the worker
+  // runs in-line against its own engine (the race-free live-observation
+  // hook behind visit_shards_async / the store's sampling cadence).
+  struct Item {
+    std::vector<net::Packet> batch;
+    std::function<void(Engine&)> ctl;
+  };
+
   Shard(const CompiledQuery& query, int index)
       : engine(query),
         index(index),
@@ -43,7 +54,7 @@ struct ParallelEngine::Shard {
   std::mutex mu;
   std::condition_variable cv;        // worker waits: queue non-empty/closing
   std::condition_variable cv_space;  // dispatcher waits: queue below bound
-  std::deque<std::vector<net::Packet>> queue;
+  std::deque<Item> queue;
   bool closing = false;
   double busy_seconds = 0;
   std::thread thread;
@@ -53,13 +64,13 @@ struct ParallelEngine::Shard {
       obs::tracer().set_thread_name("shard-" + std::to_string(index));
     }
     for (;;) {
-      std::vector<net::Packet> batch;
+      Item item;
       size_t depth = 0;
       {
         std::unique_lock lock(mu);
         cv.wait(lock, [&] { return !queue.empty() || closing; });
         if (queue.empty()) return;
-        batch = std::move(queue.front());
+        item = std::move(queue.front());
         queue.pop_front();
         depth = queue.size();
       }
@@ -69,15 +80,19 @@ struct ParallelEngine::Shard {
         obs::tracer().record(obs::TraceKind::ShardDequeue,
                              static_cast<uint64_t>(index), depth);
       }
+      if (item.ctl) {
+        item.ctl(engine);
+        continue;
+      }
       // Per-thread CPU time: immune to preemption when more workers than
       // cores share the machine (the attribution basis of Fig. 8 here).
       timespec t0{}, t1{};
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
-      engine.on_batch(batch);
+      engine.on_batch(item.batch);
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
       busy_seconds += static_cast<double>(t1.tv_sec - t0.tv_sec) +
                       1e-9 * static_cast<double>(t1.tv_nsec - t0.tv_nsec);
-      packets_total->inc(batch.size());
+      packets_total->inc(item.batch.size());
     }
   }
 
@@ -85,6 +100,16 @@ struct ParallelEngine::Shard {
   // backpressure rather than queueing the whole trace against a slow shard.
   // The wait, previously invisible, is recorded in the backpressure-wait
   // histogram and the flight recorder; the depth gauge tracks the backlog.
+  // Control visits skip the bound: they are rare, tiny, and must not block
+  // the sampling thread behind a saturated queue.
+  void push_ctl(std::function<void(Engine&)> fn) {
+    {
+      std::lock_guard lock(mu);
+      queue.push_back(Item{{}, std::move(fn)});
+    }
+    cv.notify_one();
+  }
+
   void push(std::vector<net::Packet> batch, size_t max_queued) {
     size_t depth = 0;
     {
@@ -103,7 +128,7 @@ struct ParallelEngine::Shard {
       } else {
         cv_space.wait(lock, [&] { return queue.size() < max_queued; });
       }
-      queue.push_back(std::move(batch));
+      queue.push_back(Item{std::move(batch), nullptr});
       depth = queue.size();
     }
     cv.notify_one();
@@ -170,6 +195,74 @@ void ParallelEngine::feed(const std::vector<net::Packet>& packets) {
       pending_[shard].clear();
     }
   }
+}
+
+void ParallelEngine::visit_shards_async(
+    std::function<void(int, const Engine&)> fn, std::function<void()> done) {
+  if (finished_) {
+    // Workers are gone and their engines quiescent: visit synchronously.
+    for (const auto& s : shards_) fn(s->index, s->engine);
+    if (done) done();
+    return;
+  }
+  // Shared completion latch: the worker that finishes the last shard's
+  // visit fires `done`.
+  struct Pending {
+    std::function<void(int, const Engine&)> fn;
+    std::function<void()> done;
+    std::atomic<size_t> remaining;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->fn = std::move(fn);
+  pending->done = std::move(done);
+  pending->remaining.store(shards_.size(), std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    const int index = s->index;
+    s->push_ctl([pending, index](Engine& engine) {
+      pending->fn(index, engine);
+      if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          pending->done) {
+        pending->done();
+      }
+    });
+  }
+}
+
+void ParallelEngine::snapshot_results_async(
+    std::function<void(std::vector<ResultSample>)> done) {
+  struct Collect {
+    std::mutex mu;
+    std::vector<ResultSample> merged;
+    std::unordered_map<std::string, size_t> index;
+  };
+  auto collect = std::make_shared<Collect>();
+  visit_shards_async(
+      [collect](int shard, const Engine& engine) {
+        std::vector<ResultSample> local;
+        engine.snapshot_results(local);
+        const bool scalar = engine.query().param_names.empty();
+        std::lock_guard lock(collect->mu);
+        for (auto& s : local) {
+          if (scalar) {
+            // One dimension per shard: merging scalars needs the query's
+            // aggregation operator, and per-shard series stay exact.
+            s.key = "shard" + std::to_string(shard);
+            collect->merged.push_back(std::move(s));
+            continue;
+          }
+          const auto [it, fresh] =
+              collect->index.emplace(s.key, collect->merged.size());
+          if (fresh) {
+            collect->merged.push_back(std::move(s));
+          } else {
+            // Non-partition-aligned scope keys land in several shards.
+            collect->merged[it->second].value += s.value;
+          }
+        }
+      },
+      [collect, done = std::move(done)] {
+        done(std::move(collect->merged));
+      });
 }
 
 void ParallelEngine::finish() {

@@ -49,6 +49,26 @@ class ParallelEngine {
   // Flushes all queues and waits for the workers to drain.
   void finish();
 
+  // Runs `fn(shard_index, engine)` on each shard's own worker thread,
+  // after everything queued ahead of it — the race-free way to observe a
+  // live shard's engine (the worker that mutates it executes the visit).
+  // `done` fires on whichever worker completes the last visit.  Control
+  // visits bypass the queue bound, so a sampling cadence never blocks the
+  // dispatcher.  After finish() the visits run synchronously on the
+  // calling thread (workers have exited; their engines are quiescent).
+  void visit_shards_async(std::function<void(int, const Engine&)> fn,
+                          std::function<void()> done = nullptr);
+
+  // Result-snapshot hook for the time-series store: collects the
+  // ResultSamples of every shard (disjoint key sets under hash
+  // partitioning; duplicates from non-partition-aligned scopes are summed)
+  // and hands the merged vector to `done` on the last-finishing worker.
+  // Closed (scalar) queries emit one "shardN" dimension per worker —
+  // merging them needs the query's aggregation operator, which the caller
+  // may not know, and per-shard series stay exact.
+  void snapshot_results_async(
+      std::function<void(std::vector<ResultSample>)> done);
+
   // Merged aggregate over all shards (valid for partition-disjoint
   // parameter groupings, which hash partitioning guarantees).
   [[nodiscard]] Value aggregate(AggOp op) const;

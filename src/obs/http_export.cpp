@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -24,6 +26,8 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
@@ -43,6 +47,40 @@ bool write_all_fd(int fd, std::string_view data) {
     off += static_cast<size_t>(n);
   }
   return true;
+}
+
+// Parses the Content-Length header out of a request head (case-insensitive
+// field name, as HTTP requires).  0 when absent or unparsable.
+size_t content_length(std::string_view headers) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    const std::string_view line = headers.substr(pos, eol - pos);
+    constexpr std::string_view kField = "content-length:";
+    if (line.size() > kField.size()) {
+      bool match = true;
+      for (size_t i = 0; i < kField.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) != kField[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t v = kField.size();
+        while (v < line.size() && line[v] == ' ') ++v;
+        size_t out = 0;
+        bool any = false;
+        for (; v < line.size() && line[v] >= '0' && line[v] <= '9'; ++v) {
+          out = out * 10 + static_cast<size_t>(line[v] - '0');
+          any = true;
+        }
+        return any ? out : 0;
+      }
+    }
+    pos = eol + 2;
+  }
+  return 0;
 }
 
 std::string render(const HttpResponse& r) {
@@ -70,6 +108,10 @@ HttpServer::~HttpServer() {
 
 void HttpServer::handle(std::string path, Handler fn) {
   handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpServer::handle_post(std::string path, Handler fn) {
+  post_handlers_[std::move(path)] = std::move(fn);
 }
 
 void HttpServer::start(uint16_t port) {
@@ -125,53 +167,130 @@ void HttpServer::serve_loop() {
       ::close(conn);
       return;
     }
-    // Read until the end of the request head (we never read a body).
-    std::string head;
-    char buf[2048];
-    while (head.find("\r\n\r\n") == std::string::npos &&
-           head.size() < 16 * 1024) {
-      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
-      if (n <= 0) break;
-      head.append(buf, static_cast<size_t>(n));
-    }
-    HttpResponse resp;
-    HttpRequest req;
-    const size_t line_end = head.find("\r\n");
-    const size_t sp1 = head.find(' ');
-    const size_t sp2 =
-        sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
-    if (line_end == std::string::npos || sp1 == std::string::npos ||
-        sp2 == std::string::npos || sp2 > line_end) {
-      resp = HttpResponse::text("malformed request\n", 400);
-    } else {
-      req.method = head.substr(0, sp1);
-      req.target = head.substr(sp1 + 1, sp2 - sp1 - 1);
-      const size_t q = req.target.find('?');
-      req.path = req.target.substr(0, q);
-      req.query =
-          q == std::string::npos ? std::string() : req.target.substr(q + 1);
-      if (req.method != "GET" && req.method != "HEAD") {
-        resp = HttpResponse::text("only GET is served here\n", 405);
-      } else {
-        const auto it = handlers_.find(req.path);
-        if (it == handlers_.end()) {
-          resp = HttpResponse::text("not found: " + req.path + "\n", 404);
-        } else {
-          try {
-            resp = it->second(req);
-          } catch (const std::exception& e) {
-            resp = HttpResponse::text(std::string("handler error: ") +
-                                          e.what() + "\n",
-                                      500);
-          }
-        }
-      }
-      if (req.method == "HEAD") resp.body.clear();
-    }
-    write_all_fd(conn, render(resp));
+    serve_one(conn);
     ::close(conn);
     impl_->served.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void HttpServer::serve_one(int conn) {
+  // Per-connection read timeout: a peer that connects and never finishes a
+  // request must not wedge the (single-threaded) accept loop.  recv()
+  // returns EAGAIN/EWOULDBLOCK on expiry and the peer gets an explicit 408.
+  if (read_timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = read_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((read_timeout_ms_ % 1000) * 1000);
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  std::string head;
+  char buf[2048];
+  bool timed_out = false;
+  size_t body_start = std::string::npos;
+  while ((body_start = head.find("\r\n\r\n")) == std::string::npos) {
+    if (head.size() >= kMaxHeadBytes) {
+      // Oversized request line/headers: tell the peer instead of parsing a
+      // truncated head into a misleading 400 (or worse, reading forever).
+      write_all_fd(conn,
+                   render(HttpResponse::text("request head too large\n", 413)));
+      return;
+    }
+    const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      timed_out = (errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    head.append(buf, static_cast<size_t>(n));
+  }
+  if (body_start == std::string::npos) {
+    if (timed_out) {
+      write_all_fd(conn,
+                   render(HttpResponse::text("request read timeout\n", 408)));
+    } else if (!head.empty()) {
+      write_all_fd(conn, render(HttpResponse::text("malformed request\n", 400)));
+    }
+    return;
+  }
+
+  HttpResponse resp;
+  HttpRequest req;
+  const size_t line_end = head.find("\r\n");
+  const size_t sp1 = head.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : head.find(' ', sp1 + 1);
+  if (line_end == std::string::npos || sp1 == std::string::npos ||
+      sp2 == std::string::npos || sp2 > line_end) {
+    write_all_fd(conn, render(HttpResponse::text("malformed request\n", 400)));
+    return;
+  }
+  req.method = head.substr(0, sp1);
+  req.target = head.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t q = req.target.find('?');
+  req.path = req.target.substr(0, q);
+  req.query =
+      q == std::string::npos ? std::string() : req.target.substr(q + 1);
+
+  if (req.method == "POST") {
+    const size_t length = content_length(head.substr(0, body_start));
+    if (length > kMaxBodyBytes) {
+      write_all_fd(conn,
+                   render(HttpResponse::text("request body too large\n", 413)));
+      return;
+    }
+    req.body = head.substr(body_start + 4);
+    while (req.body.size() < length) {
+      const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          write_all_fd(
+              conn, render(HttpResponse::text("request read timeout\n", 408)));
+          return;
+        }
+        break;
+      }
+      req.body.append(buf, static_cast<size_t>(n));
+    }
+    if (req.body.size() < length) {
+      write_all_fd(conn,
+                   render(HttpResponse::text("truncated request body\n", 400)));
+      return;
+    }
+    req.body.resize(length);
+    const auto it = post_handlers_.find(req.path);
+    if (it == post_handlers_.end()) {
+      resp = HttpResponse::text("no POST handler for: " + req.path + "\n",
+                                405);
+    } else {
+      try {
+        resp = it->second(req);
+      } catch (const std::exception& e) {
+        resp = HttpResponse::text(
+            std::string("handler error: ") + e.what() + "\n", 500);
+      }
+    }
+  } else if (req.method == "GET" || req.method == "HEAD") {
+    const auto it = handlers_.find(req.path);
+    if (it == handlers_.end()) {
+      resp = HttpResponse::text("not found: " + req.path + "\n", 404);
+    } else {
+      try {
+        resp = it->second(req);
+      } catch (const std::exception& e) {
+        resp = HttpResponse::text(
+            std::string("handler error: ") + e.what() + "\n", 500);
+      }
+    }
+    if (req.method == "HEAD") resp.body.clear();
+  } else {
+    resp = HttpResponse::text("only GET, HEAD and POST are served here\n",
+                              405);
+  }
+  write_all_fd(conn, render(resp));
 }
 
 void register_observability_endpoints(HttpServer& srv,

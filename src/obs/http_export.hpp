@@ -3,11 +3,20 @@
 //
 // Serves the observability surface of a long-running NetQRE process —
 // /metrics for Prometheus scrapes, /healthz for liveness probes, /tracez
-// and /dump for the flight recorder.  Deliberately from scratch on POSIX
-// sockets (the repo's from-scratch pcap precedent): no third-party
-// dependencies, GET-only, one connection at a time, Connection: close.
-// That is exactly the traffic profile of a scrape endpoint — a handful of
-// requests per minute from a collector — not a general web server.
+// and /dump for the flight recorder, and the result store's /api/v1
+// surface including the parent-side streaming ingest (POST /api/v1/push).
+// Deliberately from scratch on POSIX sockets (the repo's from-scratch pcap
+// precedent): no third-party dependencies, GET/HEAD plus explicitly
+// registered POST paths, one connection at a time, Connection: close.
+// That is exactly the traffic profile of a scrape endpoint plus a
+// low-frequency edge-push feed — a handful of requests per minute — not a
+// general web server.
+//
+// Robustness against misbehaving peers (the streaming client made these
+// reachable): each accepted connection carries a read timeout, so a peer
+// that connects and goes silent gets a 408 instead of wedging the accept
+// loop forever, and a request head that exceeds the cap is answered with
+// 413 instead of being silently truncated into a 400.
 //
 // Binds loopback only: the exposition surface carries operational detail
 // and is meant to be scraped locally or via a sidecar, not exposed raw.
@@ -22,10 +31,11 @@
 namespace netqre::obs {
 
 struct HttpRequest {
-  std::string method;  // "GET"
+  std::string method;  // "GET", "HEAD" or "POST"
   std::string target;  // raw request target, e.g. "/metrics?x=1"
   std::string path;    // target up to '?', e.g. "/metrics"
   std::string query;   // after '?', empty when absent
+  std::string body;    // POST payload (empty for GET/HEAD)
 };
 
 struct HttpResponse {
@@ -58,9 +68,25 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Registers an exact-path handler ("/metrics").  Call before start().
-  // A handler that throws produces a 500 with the exception message.
+  // Registers an exact-path handler ("/metrics") served on GET/HEAD.  Call
+  // before start().  A handler that throws produces a 500 with the
+  // exception message.
   void handle(std::string path, Handler fn);
+
+  // Registers an exact-path POST handler; the request carries the decoded
+  // body.  A path may have both a GET and a POST handler.  POST to a path
+  // without one is answered 405.
+  void handle_post(std::string path, Handler fn);
+
+  // Per-connection read timeout (both the request head and a POST body).
+  // A peer that stays silent past it gets 408 and the socket is closed.
+  // Call before start(); 0 disables the timeout.
+  void set_read_timeout_ms(uint32_t ms) { read_timeout_ms_ = ms; }
+
+  // Caps: request head (start line + headers) and POST body.  A request
+  // exceeding either is answered 413.
+  static constexpr size_t kMaxHeadBytes = 16 * 1024;
+  static constexpr size_t kMaxBodyBytes = 8 * 1024 * 1024;
 
   // Binds 127.0.0.1:port (0 = kernel-assigned ephemeral port), spawns the
   // accept thread and returns.  Throws std::runtime_error on bind/listen
@@ -80,11 +106,14 @@ class HttpServer {
  private:
   struct Impl;
   void serve_loop();
+  void serve_one(int conn);
 
   std::map<std::string, Handler> handlers_;
+  std::map<std::string, Handler> post_handlers_;
   Impl* impl_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  uint32_t read_timeout_ms_ = 5000;
 };
 
 class TraceGovernor;

@@ -25,6 +25,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::GapOpen: return "gap_open";
     case TraceKind::GapRelease: return "gap_release";
     case TraceKind::ActionFire: return "action_fire";
+    case TraceKind::StoreRotate: return "store_rotate";
     case TraceKind::Mark: return "mark";
   }
   return "unknown";

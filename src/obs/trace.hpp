@@ -43,6 +43,7 @@ enum class TraceKind : uint8_t {
   GapOpen,           // a: connection hash, b: sequence distance of the gap
   GapRelease,        // a: 1 when forced by buffer overflow/flush, b: segments
   ActionFire,        // a: distinct actions fired so far
+  StoreRotate,       // a: destination tier (1 or 2), b: keys folded
   Mark,              // free-form; a/b are caller-defined
 };
 

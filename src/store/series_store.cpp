@@ -1,0 +1,601 @@
+#include "store/series_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace netqre::store {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+int64_t to_seconds(uint64_t t_ns) {
+  return static_cast<int64_t>(t_ns / 1'000'000'000ull);
+}
+
+// Emits a nanosecond cadence as seconds: integral when whole (the common
+// 1 s+ case), fractional for sub-second cadences (0.2, not 0).
+void emit_update_every(obs::JsonWriter& w, uint64_t ns) {
+  if (ns % 1'000'000'000ull == 0) {
+    w.value(static_cast<uint64_t>(ns / 1'000'000'000ull));
+  } else {
+    w.value(static_cast<double>(ns) / 1e9);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- layout
+
+// One dimension's rings.  Ring slots are indexed by the *context's* global
+// sequence numbers modulo capacity, so every key of a context shares the
+// context's timestamp rings — per-point times are stored once per context,
+// not once per key (the netdata trick that makes a point cost sizeof(value),
+// not sizeof(value) + sizeof(time)).
+//
+// Rings grow lazily up to capacity (slots fill sequentially modulo cap, so
+// a ring only needs slots up to the highest one written).  Creating a key
+// costs one small allocation, not the full ~22 KB retention footprint —
+// which matters when a query's first sampling round materializes thousands
+// of keys at once on the engine thread.
+struct KeySeries {
+  std::vector<double> t0;      // raw samples; NaN = gap
+  std::vector<TierPoint> t1;   // aggregates of tier1_every t0 samples
+  std::vector<TierPoint> t2;   // aggregates of tier2_every t1 points
+  uint64_t first_seq = 0;      // t0 seq at creation (older slots = gaps)
+  uint64_t last_defined_seq = 0;  // eviction rank: stalest key goes first
+
+  explicit KeySeries(uint64_t created_seq)
+      : first_seq(created_seq), last_defined_seq(created_seq) {}
+
+  // Ensures slot `i` exists in `ring` (new slots are gaps / empty points).
+  static double& slot(std::vector<double>& ring, size_t i) {
+    if (i >= ring.size()) ring.resize(i + 1, kNaN);
+    return ring[i];
+  }
+  static TierPoint& slot(std::vector<TierPoint>& ring, size_t i) {
+    if (i >= ring.size()) ring.resize(i + 1);
+    return ring[i];
+  }
+  // Reads without growing: a slot never written is a gap / empty point.
+  [[nodiscard]] double t0_at(size_t i) const {
+    return i < t0.size() ? t0[i] : kNaN;
+  }
+  [[nodiscard]] TierPoint t1_at(size_t i) const {
+    return i < t1.size() ? t1[i] : TierPoint{};
+  }
+  [[nodiscard]] TierPoint t2_at(size_t i) const {
+    return i < t2.size() ? t2[i] : TierPoint{};
+  }
+
+  [[nodiscard]] size_t bytes() const {
+    return t0.capacity() * sizeof(double) +
+           (t1.capacity() + t2.capacity()) * sizeof(TierPoint) +
+           sizeof(*this);
+  }
+};
+
+struct SeriesStore::Context {
+  std::string name;
+  // Shared timestamp rings, one slot per retained point and tier.
+  std::vector<uint64_t> t0_times;
+  std::vector<uint64_t> t1_times;
+  std::vector<uint64_t> t2_times;
+  uint64_t t0_seq = 0;  // rounds ingested (== next slot's seq)
+  uint64_t t1_seq = 0;
+  uint64_t t2_seq = 0;
+  std::unordered_map<std::string, std::unique_ptr<KeySeries>> keys;
+  uint64_t evicted = 0;
+
+  // Cached registry handles (labels are per-context, bounded by the number
+  // of registered queries).
+  obs::Gauge* g_keys = nullptr;
+  obs::Gauge* g_bytes = nullptr;
+  obs::Gauge* g_tier_points[3] = {nullptr, nullptr, nullptr};
+  obs::Counter* c_evicted = nullptr;
+
+  explicit Context(const StoreConfig& cfg, std::string n)
+      : name(std::move(n)),
+        t0_times(cfg.tier0_points, 0),
+        t1_times(cfg.tier1_points, 0),
+        t2_times(cfg.tier2_points, 0) {
+    auto labeled = [this](const char* base) {
+      return obs::labeled_name(base, {{"context", name}});
+    };
+    g_keys = &obs::registry().gauge(labeled("netqre_store_keys"));
+    g_bytes = &obs::registry().gauge(labeled("netqre_store_resident_bytes"));
+    c_evicted =
+        &obs::registry().counter(labeled("netqre_store_evicted_keys_total"));
+    for (int tier = 0; tier < 3; ++tier) {
+      g_tier_points[tier] = &obs::registry().gauge(obs::labeled_name(
+          "netqre_store_tier_points",
+          {{"context", name}, {"tier", std::to_string(tier).c_str()}}));
+    }
+  }
+
+  // Number of retained (live) points at a tier right now.
+  [[nodiscard]] uint64_t live_points(int tier,
+                                     const StoreConfig& cfg) const {
+    switch (tier) {
+      case 0: return std::min<uint64_t>(t0_seq, cfg.tier0_points);
+      case 1: return std::min<uint64_t>(t1_seq, cfg.tier1_points);
+      default: return std::min<uint64_t>(t2_seq, cfg.tier2_points);
+    }
+  }
+
+  [[nodiscard]] size_t bytes() const {
+    size_t total = sizeof(*this) +
+                   (t0_times.capacity() + t1_times.capacity() +
+                    t2_times.capacity()) *
+                       sizeof(uint64_t);
+    for (const auto& [k, ks] : keys) total += k.size() + ks->bytes();
+    return total;
+  }
+};
+
+struct SeriesStore::Impl {
+  mutable std::mutex mu;
+  std::vector<std::unique_ptr<Context>> contexts;
+  std::unordered_map<std::string, ContextId> by_name;
+
+  Context* find(std::string_view name) {
+    const auto it = by_name.find(std::string(name));
+    return it == by_name.end() ? nullptr : contexts[it->second].get();
+  }
+  const Context* find(std::string_view name) const {
+    return const_cast<Impl*>(this)->find(name);
+  }
+};
+
+SeriesStore::SeriesStore(StoreConfig cfg)
+    : cfg_(cfg), impl_(std::make_unique<Impl>()) {
+  // Degenerate configs (zero-size rings) would turn every modulo below into
+  // UB; clamp to 1 so a misconfigured store degrades instead of crashing.
+  cfg_.tier0_points = std::max(1u, cfg_.tier0_points);
+  cfg_.tier1_every = std::max(1u, cfg_.tier1_every);
+  cfg_.tier1_points = std::max(1u, cfg_.tier1_points);
+  cfg_.tier2_every = std::max(1u, cfg_.tier2_every);
+  cfg_.tier2_points = std::max(1u, cfg_.tier2_points);
+  cfg_.max_keys = std::max(1u, cfg_.max_keys);
+  // Rotation reads the window it folds out of the lower tier's ring, so a
+  // window must never be wider than that ring.
+  cfg_.tier1_every = std::min(cfg_.tier1_every, cfg_.tier0_points);
+  cfg_.tier2_every = std::min(cfg_.tier2_every, cfg_.tier1_points);
+}
+
+SeriesStore::~SeriesStore() = default;
+
+SeriesStore::ContextId SeriesStore::context(std::string_view name) {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->by_name.find(std::string(name));
+  if (it != impl_->by_name.end()) return it->second;
+  impl_->contexts.push_back(
+      std::make_unique<Context>(cfg_, std::string(name)));
+  const ContextId id = impl_->contexts.size() - 1;
+  impl_->by_name.emplace(std::string(name), id);
+  return id;
+}
+
+void SeriesStore::ingest(ContextId ctx_id, uint64_t t_ns,
+                         const std::vector<Sample>& samples) {
+  std::lock_guard lock(impl_->mu);
+  Context& ctx = *impl_->contexts.at(ctx_id);
+
+  const uint64_t seq = ctx.t0_seq;
+  const size_t slot = seq % cfg_.tier0_points;
+  ctx.t0_times[slot] = t_ns;
+  // Pre-clear this round's slot for every known key: a key missing from
+  // `samples` records a gap, and a slot wrapping around drops its old
+  // value.  Slots a ring has not grown to yet already read as gaps.
+  for (auto& [k, ks] : ctx.keys) {
+    if (slot < ks->t0.size()) ks->t0[slot] = kNaN;
+  }
+
+  for (const auto& s : samples) {
+    auto it = ctx.keys.find(s.key);
+    if (it == ctx.keys.end()) {
+      if (ctx.keys.size() >= cfg_.max_keys) {
+        // Evict the stalest key: the one whose last defined sample is
+        // oldest.  A cardinality blowup recycles slots instead of growing.
+        auto victim = ctx.keys.begin();
+        for (auto cand = ctx.keys.begin(); cand != ctx.keys.end(); ++cand) {
+          if (cand->second->last_defined_seq <
+              victim->second->last_defined_seq) {
+            victim = cand;
+          }
+        }
+        ctx.keys.erase(victim);
+        ++ctx.evicted;
+        ctx.c_evicted->inc();
+      }
+      it = ctx.keys.emplace(s.key, std::make_unique<KeySeries>(seq)).first;
+    }
+    KeySeries::slot(it->second->t0, slot) = s.value;
+    it->second->last_defined_seq = seq;
+  }
+  ctx.t0_seq = seq + 1;
+
+  // ---- rotation: fold completed windows into the next tier up ----------
+  if (ctx.t0_seq % cfg_.tier1_every == 0) {
+    const size_t t1_slot = ctx.t1_seq % cfg_.tier1_points;
+    ctx.t1_times[t1_slot] = t_ns;  // window end time
+    for (auto& [k, ks] : ctx.keys) {
+      TierPoint p;
+      for (uint64_t s0 = ctx.t0_seq - cfg_.tier1_every; s0 < ctx.t0_seq;
+           ++s0) {
+        if (s0 < ks->first_seq) continue;  // before this key existed
+        const double v = ks->t0_at(s0 % cfg_.tier0_points);
+        if (!std::isnan(v)) p.add(v);
+      }
+      // An all-gap window need not grow the ring: unwritten reads as empty.
+      if (p.count > 0 || t1_slot < ks->t1.size()) {
+        KeySeries::slot(ks->t1, t1_slot) = p;
+      }
+    }
+    ctx.t1_seq++;
+    obs::tracer().record(obs::TraceKind::StoreRotate, 1, ctx.keys.size());
+
+    if (ctx.t1_seq % cfg_.tier2_every == 0) {
+      const size_t t2_slot = ctx.t2_seq % cfg_.tier2_points;
+      ctx.t2_times[t2_slot] = t_ns;
+      for (auto& [k, ks] : ctx.keys) {
+        TierPoint p;
+        for (uint64_t s1 = ctx.t1_seq - cfg_.tier2_every; s1 < ctx.t1_seq;
+             ++s1) {
+          p.merge(ks->t1_at(s1 % cfg_.tier1_points));
+        }
+        if (p.count > 0 || t2_slot < ks->t2.size()) {
+          KeySeries::slot(ks->t2, t2_slot) = p;
+        }
+      }
+      ctx.t2_seq++;
+      obs::tracer().record(obs::TraceKind::StoreRotate, 2, ctx.keys.size());
+    }
+  }
+
+  // ---- self-telemetry ---------------------------------------------------
+  ctx.g_keys->set(static_cast<int64_t>(ctx.keys.size()));
+  ctx.g_bytes->set(static_cast<int64_t>(ctx.bytes()));
+  for (int tier = 0; tier < 3; ++tier) {
+    ctx.g_tier_points[tier]->set(
+        static_cast<int64_t>(ctx.live_points(tier, cfg_)));
+  }
+}
+
+// ------------------------------------------------------------- querying
+
+namespace {
+
+// Iterates the live slots of one tier, oldest first, as (seq, time_s).
+template <typename Fn>
+void for_live_slots(uint64_t seq_end, uint32_t capacity,
+                    const std::vector<uint64_t>& times, Fn&& fn) {
+  const uint64_t live = std::min<uint64_t>(seq_end, capacity);
+  for (uint64_t seq = seq_end - live; seq < seq_end; ++seq) {
+    fn(seq, to_seconds(times[seq % capacity]));
+  }
+}
+
+}  // namespace
+
+bool SeriesStore::query(std::string_view name, const RangeQuery& q,
+                        RangeResult& out) const {
+  std::lock_guard lock(impl_->mu);
+  const Context* ctx = impl_->find(name);
+  if (!ctx) return false;
+
+  out = RangeResult{};
+  out.context = ctx->name;
+
+  // Resolve the window.  after/before <= 0 are relative to the latest
+  // ingested sample (not wall clock, so replayed/backfilled data queries
+  // the same way live data does).
+  int64_t latest_s = 0;
+  if (ctx->t0_seq > 0) {
+    latest_s =
+        to_seconds(ctx->t0_times[(ctx->t0_seq - 1) % cfg_.tier0_points]);
+  }
+  int64_t before_s = q.before_s > 0 ? q.before_s : latest_s + q.before_s;
+  int64_t after_s = q.after_s > 0 ? q.after_s : latest_s + q.after_s;
+  if (after_s > before_s) std::swap(after_s, before_s);
+  out.after_s = after_s;
+  out.before_s = before_s;
+
+  // Tier selection: the highest-resolution tier whose retained window
+  // still reaches back to `after`.  When no tier reaches that far — the
+  // store is younger than the window, or the window predates all retention
+  // — answer from whichever tier reaches back furthest (finest wins ties),
+  // so a 1-hour query against 3 seconds of history returns those 3 seconds
+  // of raw samples instead of an empty coarse tier.
+  int tier = 0;
+  {
+    int64_t oldest[3];
+    bool has[3];
+    for (int cand = 0; cand < 3; ++cand) {
+      const uint64_t live = ctx->live_points(cand, cfg_);
+      has[cand] = live > 0;
+      if (!has[cand]) {
+        oldest[cand] = std::numeric_limits<int64_t>::max();
+        continue;
+      }
+      const std::vector<uint64_t>& times = cand == 0   ? ctx->t0_times
+                                           : cand == 1 ? ctx->t1_times
+                                                       : ctx->t2_times;
+      const uint64_t seq_end = cand == 0   ? ctx->t0_seq
+                               : cand == 1 ? ctx->t1_seq
+                                           : ctx->t2_seq;
+      const uint32_t cap = cand == 0   ? cfg_.tier0_points
+                           : cand == 1 ? cfg_.tier1_points
+                                       : cfg_.tier2_points;
+      oldest[cand] = to_seconds(times[(seq_end - live) % cap]);
+    }
+    tier = -1;
+    for (int cand = 0; cand < 3; ++cand) {
+      if (has[cand] && oldest[cand] <= after_s) {
+        tier = cand;
+        break;
+      }
+    }
+    if (tier < 0) {
+      tier = 0;
+      for (int cand = 1; cand < 3; ++cand) {
+        if (oldest[cand] < oldest[tier]) tier = cand;
+      }
+    }
+  }
+  out.tier = tier;
+  const uint64_t every = tier == 0 ? 1
+                         : tier == 1
+                             ? cfg_.tier1_every
+                             : uint64_t{cfg_.tier1_every} * cfg_.tier2_every;
+  out.update_every_ns = cfg_.update_every_ns * every;
+
+  // Dimension selection, stable lexicographic order.
+  std::vector<const KeySeries*> series;
+  if (q.dimensions.empty()) {
+    out.dimensions.reserve(ctx->keys.size());
+    for (const auto& [k, ks] : ctx->keys) out.dimensions.push_back(k);
+  } else {
+    for (const auto& d : q.dimensions) {
+      if (ctx->keys.count(d)) out.dimensions.push_back(d);
+    }
+  }
+  std::sort(out.dimensions.begin(), out.dimensions.end());
+  out.dimensions.erase(
+      std::unique(out.dimensions.begin(), out.dimensions.end()),
+      out.dimensions.end());
+  series.reserve(out.dimensions.size());
+  for (const auto& d : out.dimensions) {
+    series.push_back(ctx->keys.at(d).get());
+  }
+
+  // Collect the tier's rows inside [after, before].
+  auto emit = [&](uint64_t seq, int64_t t_s, int which) {
+    if (t_s < after_s || t_s > before_s) return;
+    RangeResult::Row row;
+    row.t_s = t_s;
+    row.values.reserve(series.size());
+    for (const KeySeries* ks : series) {
+      double v = kNaN;
+      switch (which) {
+        case 0:
+          if (seq >= ks->first_seq) v = ks->t0_at(seq % cfg_.tier0_points);
+          break;
+        case 1: v = ks->t1_at(seq % cfg_.tier1_points).avg(); break;
+        default: v = ks->t2_at(seq % cfg_.tier2_points).avg(); break;
+      }
+      row.values.push_back(v);
+    }
+    out.rows.push_back(std::move(row));
+  };
+  switch (tier) {
+    case 0:
+      for_live_slots(ctx->t0_seq, cfg_.tier0_points, ctx->t0_times,
+                     [&](uint64_t seq, int64_t t) { emit(seq, t, 0); });
+      break;
+    case 1:
+      for_live_slots(ctx->t1_seq, cfg_.tier1_points, ctx->t1_times,
+                     [&](uint64_t seq, int64_t t) { emit(seq, t, 1); });
+      break;
+    default:
+      for_live_slots(ctx->t2_seq, cfg_.tier2_points, ctx->t2_times,
+                     [&](uint64_t seq, int64_t t) { emit(seq, t, 2); });
+      break;
+  }
+
+  // Group down to at most q.points rows (average within each group; a
+  // group's time is its last row's time, matching the tier rotation
+  // convention of stamping windows with their end).
+  if (q.points > 0 && out.rows.size() > q.points) {
+    const size_t group =
+        (out.rows.size() + q.points - 1) / q.points;  // ceil
+    std::vector<RangeResult::Row> grouped;
+    grouped.reserve(q.points);
+    for (size_t i = 0; i < out.rows.size(); i += group) {
+      const size_t end = std::min(i + group, out.rows.size());
+      RangeResult::Row row;
+      row.t_s = out.rows[end - 1].t_s;
+      row.values.assign(series.size(), 0.0);
+      std::vector<uint32_t> defined(series.size(), 0);
+      for (size_t r = i; r < end; ++r) {
+        for (size_t d = 0; d < series.size(); ++d) {
+          const double v = out.rows[r].values[d];
+          if (!std::isnan(v)) {
+            row.values[d] += v;
+            ++defined[d];
+          }
+        }
+      }
+      for (size_t d = 0; d < series.size(); ++d) {
+        row.values[d] =
+            defined[d] ? row.values[d] / defined[d] : kNaN;
+      }
+      grouped.push_back(std::move(row));
+    }
+    out.rows = std::move(grouped);
+    out.update_every_ns *= group;
+  }
+  return true;
+}
+
+std::string RangeResult::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("api").value(1);
+  w.key("context").value(context);
+  w.key("tier").value(tier);
+  w.key("update_every");
+  emit_update_every(w, update_every_ns);
+  w.key("after").value(after_s);
+  w.key("before").value(before_s);
+  w.key("points").value(static_cast<uint64_t>(rows.size()));
+  w.key("dimension_names").begin_array();
+  for (const auto& d : dimensions) w.value(d);
+  w.end_array();
+  w.key("labels").begin_array();
+  w.value("time");
+  for (const auto& d : dimensions) w.value(d);
+  w.end_array();
+  w.key("data").begin_array();
+  for (const auto& row : rows) {
+    w.begin_array();
+    w.value(row.t_s);
+    for (const double v : row.values) {
+      // JsonWriter renders non-finite doubles as null, but a defined
+      // integral sample should not pick up %.6g rounding, so emit
+      // integers exactly.
+      if (std::isnan(v)) {
+        w.null();
+      } else if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+        w.value(static_cast<int64_t>(v));
+      } else {
+        w.value(v);
+      }
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string SeriesStore::contexts_json() const {
+  std::lock_guard lock(impl_->mu);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("api").value(1);
+  w.key("contexts").begin_array();
+  // by_name is unordered; emit contexts sorted by name so discovery output
+  // is stable across runs.
+  std::vector<const Context*> ordered;
+  ordered.reserve(impl_->contexts.size());
+  for (const auto& c : impl_->contexts) ordered.push_back(c.get());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Context* a, const Context* b) {
+              return a->name < b->name;
+            });
+  for (const Context* ctx : ordered) {
+    w.begin_object();
+    w.key("name").value(ctx->name);
+    w.key("keys").value(static_cast<uint64_t>(ctx->keys.size()));
+    w.key("evicted_keys").value(ctx->evicted);
+    w.key("update_every");
+    emit_update_every(w, cfg_.update_every_ns);
+    int64_t first_s = 0, last_s = 0;
+    if (ctx->t0_seq > 0) {
+      const uint64_t live = ctx->live_points(0, cfg_);
+      first_s = to_seconds(
+          ctx->t0_times[(ctx->t0_seq - live) % cfg_.tier0_points]);
+      last_s = to_seconds(
+          ctx->t0_times[(ctx->t0_seq - 1) % cfg_.tier0_points]);
+    }
+    w.key("first_time").value(first_s);
+    w.key("last_time").value(last_s);
+    w.key("tiers").begin_array();
+    const uint64_t everies[3] = {1, cfg_.tier1_every,
+                                 uint64_t{cfg_.tier1_every} *
+                                     cfg_.tier2_every};
+    const uint32_t caps[3] = {cfg_.tier0_points, cfg_.tier1_points,
+                              cfg_.tier2_points};
+    for (int tier = 0; tier < 3; ++tier) {
+      w.begin_object();
+      w.key("tier").value(tier);
+      w.key("points").value(ctx->live_points(tier, cfg_));
+      w.key("capacity").value(static_cast<uint64_t>(caps[tier]));
+      w.key("samples_per_point").value(everies[tier]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<TierPointAt> SeriesStore::tier_points(std::string_view name,
+                                                  std::string_view key,
+                                                  int tier) const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<TierPointAt> out;
+  const Context* ctx = impl_->find(name);
+  if (!ctx) return out;
+  const auto it = ctx->keys.find(std::string(key));
+  if (it == ctx->keys.end()) return out;
+  const KeySeries& ks = *it->second;
+  switch (tier) {
+    case 0:
+      for_live_slots(ctx->t0_seq, cfg_.tier0_points, ctx->t0_times,
+                     [&](uint64_t seq, int64_t t) {
+                       if (seq < ks.first_seq) return;
+                       const double v = ks.t0_at(seq % cfg_.tier0_points);
+                       TierPointAt p;
+                       p.t_s = t;
+                       if (!std::isnan(v)) p.point.add(v);
+                       out.push_back(p);
+                     });
+      break;
+    case 1:
+      for_live_slots(ctx->t1_seq, cfg_.tier1_points, ctx->t1_times,
+                     [&](uint64_t seq, int64_t t) {
+                       out.push_back(
+                           {t, ks.t1_at(seq % cfg_.tier1_points)});
+                     });
+      break;
+    default:
+      for_live_slots(ctx->t2_seq, cfg_.tier2_points, ctx->t2_times,
+                     [&](uint64_t seq, int64_t t) {
+                       out.push_back(
+                           {t, ks.t2_at(seq % cfg_.tier2_points)});
+                     });
+      break;
+  }
+  return out;
+}
+
+size_t SeriesStore::resident_bytes() const {
+  std::lock_guard lock(impl_->mu);
+  size_t total = 0;
+  for (const auto& c : impl_->contexts) total += c->bytes();
+  return total;
+}
+
+uint64_t SeriesStore::evicted_keys() const {
+  std::lock_guard lock(impl_->mu);
+  uint64_t total = 0;
+  for (const auto& c : impl_->contexts) total += c->evicted;
+  return total;
+}
+
+size_t SeriesStore::keys(std::string_view name) const {
+  std::lock_guard lock(impl_->mu);
+  const Context* ctx = impl_->find(name);
+  return ctx ? ctx->keys.size() : 0;
+}
+
+}  // namespace netqre::store

@@ -1,0 +1,176 @@
+// Time-series result store with retention tiers (DESIGN.md "Result store &
+// streaming").
+//
+// NetQRE queries produce quantitative per-key result maps — heavy-hitter
+// counts, SYN-flood scores, per-flow aggregates — but an engine only holds
+// the *current* value.  The store keeps history at fixed memory cost,
+// netdata-style: every registered query ("context") samples its result map
+// on a cadence into tier0 raw rings, and rotation folds widening windows
+// into tier1/tier2 points carrying exact min/max/sum/count, so a range
+// query over the last minute reads raw samples while one over hours reads
+// aggregates, from the same bounded allocation.
+//
+// Memory math (defaults): per key, tier0 keeps 600 raw doubles (10 min at
+// 1 s cadence, 4.8 KB), tier1 keeps 360 aggregate points of 10 samples
+// each (1 h, 10.1 KB), tier2 keeps 240 points of 60 samples (4 h, 6.7 KB)
+// — ~22 KB/key, so the default 1024-key budget bounds a context at ~22 MB
+// plus one shared timestamp ring per tier.  A query whose key cardinality
+// blows past the budget evicts its stalest key (oldest last-defined
+// sample) instead of growing, so a scan or a malicious workload cannot OOM
+// the daemon; evictions are counted and exported.
+//
+// Threading: one mutex per store.  Ingest runs at sampling cadence (~1 Hz
+// per context) and queries come from the HTTP surface — both cold paths.
+// Never called from the per-packet hot path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netqre::store {
+
+// One downsampled point: the exact aggregate of the raw samples it covers.
+// `count` is the number of *defined* samples in the window (gaps — cadence
+// slots where the key had no value — are excluded), so avg = sum / count
+// and count == 0 marks an all-gap window.
+struct TierPoint {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  uint32_t count = 0;
+
+  void add(double v) {
+    if (v < min) min = v;
+    if (v > max) max = v;
+    sum += v;
+    ++count;
+  }
+  void merge(const TierPoint& o) {
+    if (o.count == 0) return;
+    if (o.min < min) min = o.min;
+    if (o.max > max) max = o.max;
+    sum += o.sum;
+    count += o.count;
+  }
+  [[nodiscard]] double avg() const {
+    return count ? sum / static_cast<double>(count)
+                 : std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+struct StoreConfig {
+  // Raw samples retained per key (tier0).
+  uint32_t tier0_points = 600;
+  // Tier0 samples folded into one tier1 point, and tier1 points retained.
+  uint32_t tier1_every = 10;
+  uint32_t tier1_points = 360;
+  // Tier1 points folded into one tier2 point, and tier2 points retained.
+  uint32_t tier2_every = 6;
+  uint32_t tier2_points = 240;
+  // Per-context key budget; the stalest key is evicted beyond this.
+  uint32_t max_keys = 1024;
+  // Nominal sampling cadence, reported through the API (the store derives
+  // actual point times from the ingest timestamps, not from this).
+  uint64_t update_every_ns = 1'000'000'000ull;
+};
+
+// One sampled (dimension, value) pair handed to ingest().
+struct Sample {
+  std::string key;
+  double value = 0.0;
+};
+
+// A range-query request, netdata /api/v1/data conventions: times are unix
+// seconds; after/before <= 0 mean "relative to the latest sample" (so
+// after=-60, before=0 is "the last minute").  points == 0 returns the
+// selected tier's native resolution; otherwise consecutive points are
+// grouped (averaged) down to at most `points` rows.  An empty dimension
+// list selects every key, in lexicographic order.
+struct RangeQuery {
+  int64_t after_s = -600;
+  int64_t before_s = 0;
+  uint32_t points = 0;
+  std::vector<std::string> dimensions;
+};
+
+struct RangeResult {
+  std::string context;
+  int tier = 0;                 // which retention tier answered
+  uint64_t update_every_ns = 0; // nominal cadence of that tier
+  int64_t after_s = 0;          // resolved absolute window
+  int64_t before_s = 0;
+  std::vector<std::string> dimensions;  // stable (lexicographic) order
+  // rows[i] = {t_s, v_0, ..., v_{dims-1}}; gaps are NaN (JSON null).
+  struct Row {
+    int64_t t_s = 0;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows;
+
+  // {"context":...,"labels":["time",...],"data":[[t,v,...],...]} — always
+  // a valid JSON document; NaN renders as null.
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Tier point with its resolved end timestamp — the introspection shape the
+// downsampling-invariant tests check against raw history.
+struct TierPointAt {
+  int64_t t_s = 0;  // unix seconds of the window's last covered sample
+  TierPoint point;
+};
+
+class SeriesStore {
+ public:
+  using ContextId = size_t;
+
+  explicit SeriesStore(StoreConfig cfg = {});
+  ~SeriesStore();
+
+  SeriesStore(const SeriesStore&) = delete;
+  SeriesStore& operator=(const SeriesStore&) = delete;
+
+  // Registers (or finds) a named series context — one per query per
+  // source.  Contexts are never removed; ids stay valid for the store's
+  // lifetime.
+  ContextId context(std::string_view name);
+
+  // Appends one sample round for every dimension of `ctx` at unix time
+  // `t_ns`.  Keys absent from `samples` record a gap for this slot; keys
+  // never seen before are created (evicting the stalest key at the
+  // budget).  Rotation into tier1/tier2 happens here when the round
+  // completes a window.
+  void ingest(ContextId ctx, uint64_t t_ns, const std::vector<Sample>& samples);
+
+  // Range query; returns false when `name` names no known context.
+  bool query(std::string_view name, const RangeQuery& q,
+             RangeResult& out) const;
+
+  // {"contexts":[{"name":...,"keys":N,"tiers":[...]}...]} discovery doc.
+  [[nodiscard]] std::string contexts_json() const;
+
+  // Raw history of one dimension at one tier (0 returns raw samples as
+  // count==1 points).  Oldest first.  Empty when key/context is unknown.
+  [[nodiscard]] std::vector<TierPointAt> tier_points(
+      std::string_view name, std::string_view key, int tier) const;
+
+  // Totals across all contexts (exported as netqre_store_* gauges too).
+  [[nodiscard]] size_t resident_bytes() const;
+  [[nodiscard]] uint64_t evicted_keys() const;
+  [[nodiscard]] size_t keys(std::string_view name) const;
+
+  [[nodiscard]] const StoreConfig& config() const { return cfg_; }
+
+ private:
+  struct Context;
+  struct Impl;
+
+  StoreConfig cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace netqre::store

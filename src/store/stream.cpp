@@ -1,0 +1,416 @@
+#include "store/stream.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "obs/http_export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace netqre::store {
+
+namespace {
+
+// Trims one line off `rest`; handles both \n and \r\n endings.
+bool next_line(std::string_view& rest, std::string_view& line) {
+  if (rest.empty()) return false;
+  const size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, nl);
+    rest = rest.substr(nl + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return true;
+}
+
+std::string format_value(double v) {
+  // Integral samples (the common case: counts) round-trip exactly; the
+  // rest keep enough digits for a double.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_push(std::string_view source, std::string_view context,
+                        uint64_t t_ns, const std::vector<Sample>& samples) {
+  std::string out = "NETQRE-STREAM v1\n";
+  out += "SOURCE ";
+  out += source;
+  out += "\nCONTEXT ";
+  out += context;
+  out += "\nBEGIN ";
+  out += std::to_string(t_ns);
+  out += '\n';
+  for (const auto& s : samples) {
+    out += "SET ";
+    out += s.key;
+    out += ' ';
+    out += format_value(s.value);
+    out += '\n';
+  }
+  out += "END\n";
+  return out;
+}
+
+PushResult apply_push(SeriesStore& store, std::string_view body) {
+  PushResult res;
+  std::string_view rest = body;
+  std::string_view line;
+
+  if (!next_line(rest, line) || line != "NETQRE-STREAM v1") {
+    res.error = "missing NETQRE-STREAM v1 header";
+    return res;
+  }
+
+  std::string source;
+  std::string context;
+  bool in_round = false;
+  uint64_t round_t_ns = 0;
+  std::vector<Sample> round;
+
+  while (next_line(rest, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("SOURCE ", 0) == 0) {
+      if (in_round) {
+        res.error = "SOURCE inside a BEGIN/END round";
+        return res;
+      }
+      source = std::string(line.substr(7));
+    } else if (line.rfind("CONTEXT ", 0) == 0) {
+      if (in_round) {
+        res.error = "CONTEXT inside a BEGIN/END round";
+        return res;
+      }
+      context = std::string(line.substr(8));
+    } else if (line.rfind("BEGIN ", 0) == 0) {
+      if (in_round || source.empty() || context.empty()) {
+        res.error = in_round ? "nested BEGIN" : "BEGIN before SOURCE/CONTEXT";
+        return res;
+      }
+      char* end = nullptr;
+      const std::string ts(line.substr(6));
+      round_t_ns = std::strtoull(ts.c_str(), &end, 10);
+      if (end == ts.c_str() || *end != '\0') {
+        res.error = "unparsable BEGIN timestamp: " + ts;
+        return res;
+      }
+      in_round = true;
+      round.clear();
+    } else if (line.rfind("SET ", 0) == 0) {
+      if (!in_round) {
+        res.error = "SET outside a BEGIN/END round";
+        return res;
+      }
+      // "SET <key> <value>": the value is the suffix after the *last*
+      // space, so keys may themselves contain spaces (rendered string
+      // parameters), as long as they don't end in one.
+      const std::string_view kv = line.substr(4);
+      const size_t sp = kv.rfind(' ');
+      if (sp == std::string_view::npos || sp == 0) {
+        res.error = "malformed SET line";
+        return res;
+      }
+      const std::string value_text(kv.substr(sp + 1));
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        res.error = "unparsable SET value: " + value_text;
+        return res;
+      }
+      round.push_back({std::string(kv.substr(0, sp)), value});
+    } else if (line == "END") {
+      if (!in_round) {
+        res.error = "END without BEGIN";
+        return res;
+      }
+      // Series from different children stay separated per source.
+      const auto ctx = store.context(source + "/" + context);
+      store.ingest(ctx, round_t_ns, round);
+      ++res.rounds;
+      in_round = false;
+    } else {
+      res.error = "unknown line: " + std::string(line.substr(0, 40));
+      return res;
+    }
+  }
+  if (in_round) res.error = "body ends inside a BEGIN/END round";
+  return res;
+}
+
+// ------------------------------------------------------------ endpoints
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Splits "a=1&b=2" into decoded (key, value) pairs and returns the value
+// for `want` (empty when absent).
+std::string query_param(std::string_view query, std::string_view want) {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (url_decode(pair.substr(0, eq)) == want) {
+      return url_decode(pair.substr(eq + 1));
+    }
+  }
+  return {};
+}
+
+int64_t parse_i64(const std::string& s, int64_t fallback) {
+  if (s.empty()) return fallback;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() || *end != '\0' ? fallback : v;
+}
+
+}  // namespace
+
+void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store) {
+  srv.handle("/api/v1/contexts", [&store](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(store.contexts_json());
+  });
+
+  srv.handle("/api/v1/data", [&store](const obs::HttpRequest& req) {
+    const std::string context = query_param(req.query, "context");
+    if (context.empty()) {
+      return obs::HttpResponse::json(
+          "{\"error\":\"missing required parameter: context\"}", 400);
+    }
+    RangeQuery q;
+    q.after_s = parse_i64(query_param(req.query, "after"), q.after_s);
+    q.before_s = parse_i64(query_param(req.query, "before"), q.before_s);
+    q.points = static_cast<uint32_t>(std::max<int64_t>(
+        0, parse_i64(query_param(req.query, "points"), 0)));
+    const std::string dims = query_param(req.query, "dimensions");
+    std::string_view rest = dims;
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string_view d =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      if (!d.empty()) q.dimensions.emplace_back(d);
+    }
+    RangeResult out;
+    if (!store.query(context, q, out)) {
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("error").value("unknown context: " + context);
+      w.key("see").value("/api/v1/contexts");
+      w.end_object();
+      return obs::HttpResponse::json(w.str(), 404);
+    }
+    return obs::HttpResponse::json(out.to_json());
+  });
+
+  srv.handle_post("/api/v1/push", [&store](const obs::HttpRequest& req) {
+    const PushResult res = apply_push(store, req.body);
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("rounds").value(static_cast<uint64_t>(res.rounds));
+    if (!res.error.empty()) w.key("error").value(res.error);
+    w.end_object();
+    return obs::HttpResponse::json(w.str(), res.error.empty() ? 200 : 400);
+  });
+}
+
+// ---------------------------------------------------------- StreamClient
+
+int http_post_once(const std::string& host, uint16_t port,
+                   const std::string& path, const std::string& body,
+                   uint32_t timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return 0;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+
+  std::string req = "POST " + path + " HTTP/1.1\r\nHost: " + host +
+                    "\r\nContent-Type: text/plain\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  req += body;
+  size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return 0;
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  // Only the status line matters to the sender.
+  std::string resp;
+  char buf[1024];
+  while (resp.find("\r\n") == std::string::npos && resp.size() < 4096) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t sp = resp.find(' ');
+  if (sp == std::string::npos) return 0;
+  return std::atoi(resp.c_str() + sp + 1);
+}
+
+struct StreamClient::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue;  // rendered push bodies
+  bool stopping = false;
+  std::thread thread;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> dropped{0};
+  std::atomic<uint64_t> failed{0};
+  obs::Counter* c_sent = nullptr;
+  obs::Counter* c_dropped = nullptr;
+  obs::Counter* c_failed = nullptr;
+};
+
+StreamClient::StreamClient(Config cfg)
+    : cfg_(std::move(cfg)), impl_(std::make_unique<Impl>()) {
+  impl_->c_sent =
+      &obs::registry().counter("netqre_stream_rounds_sent_total");
+  impl_->c_dropped =
+      &obs::registry().counter("netqre_stream_rounds_dropped_total");
+  impl_->c_failed =
+      &obs::registry().counter("netqre_stream_push_failures_total");
+  impl_->thread = std::thread([this] {
+    Impl& im = *impl_;
+    for (;;) {
+      std::string body;
+      {
+        std::unique_lock lock(im.mu);
+        im.cv.wait(lock, [&] { return !im.queue.empty() || im.stopping; });
+        if (im.queue.empty()) return;  // stopping with a drained queue
+        body = std::move(im.queue.front());
+        im.queue.pop_front();
+      }
+      const int status = http_post_once(cfg_.host, cfg_.port, "/api/v1/push",
+                                        body, cfg_.io_timeout_ms);
+      if (status == 200) {
+        im.sent.fetch_add(1, std::memory_order_relaxed);
+        im.c_sent->inc();
+      } else {
+        im.failed.fetch_add(1, std::memory_order_relaxed);
+        im.c_failed->inc();
+      }
+    }
+  });
+}
+
+StreamClient::~StreamClient() { stop(); }
+
+void StreamClient::push(std::string_view context, uint64_t t_ns,
+                        const std::vector<Sample>& samples) {
+  std::string body = render_push(cfg_.source, context, t_ns, samples);
+  bool dropped = false;
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->stopping) return;
+    if (impl_->queue.size() >= cfg_.max_queued) {
+      // The parent is away or slow: shed the oldest round, keep the
+      // freshest — the store semantics are "recent history", not a WAL.
+      impl_->queue.pop_front();
+      dropped = true;
+    }
+    impl_->queue.push_back(std::move(body));
+  }
+  if (dropped) {
+    impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+    impl_->c_dropped->inc();
+  }
+  impl_->cv.notify_one();
+}
+
+void StreamClient::stop() {
+  {
+    std::lock_guard lock(impl_->mu);
+    if (impl_->stopping) return;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_one();
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+uint64_t StreamClient::rounds_sent() const {
+  return impl_->sent.load(std::memory_order_relaxed);
+}
+uint64_t StreamClient::rounds_dropped() const {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+uint64_t StreamClient::push_failures() const {
+  return impl_->failed.load(std::memory_order_relaxed);
+}
+
+}  // namespace netqre::store

@@ -1,0 +1,114 @@
+// Edge → aggregator result streaming (DESIGN.md "Result store &
+// streaming").
+//
+// Netdata's deployment pattern — "distribute the code, instead of
+// centralizing the data" — applied to NetQRE result series: every edge
+// monitor keeps its own store and *additionally* pushes each sampling
+// round to a parent monitor, which ingests it into its own store under a
+// per-source context.  The parent then serves the same /api/v1 range-query
+// surface over every child's series, so dashboards talk to one aggregator
+// while the packet processing stays at the edges.
+//
+// Wire format v1 (the POST body of /api/v1/push; text, line-oriented, in
+// the spirit of netdata's BEGIN/SET/END streaming protocol):
+//
+//   NETQRE-STREAM v1
+//   SOURCE edge-1
+//   CONTEXT heavy_hitter.nqre:hh
+//   BEGIN 1723200000123456789      <- unix ns of the sampling round
+//   SET 10.0.0.1 42                <- key (no trailing spaces), value
+//   SET 10.0.0.9 17
+//   END
+//
+// A body may carry multiple BEGIN/END rounds (catch-up after a transient
+// parent outage) and may switch SOURCE/CONTEXT between rounds.  The parent
+// stores a round under the context "<source>/<context>", which is how
+// series from many edges stay separated ("merged per source").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/series_store.hpp"
+
+namespace netqre::obs {
+class HttpServer;
+}
+
+namespace netqre::store {
+
+// Renders one sampling round as a push body.
+[[nodiscard]] std::string render_push(std::string_view source,
+                                      std::string_view context,
+                                      uint64_t t_ns,
+                                      const std::vector<Sample>& samples);
+
+// Parses a push body and ingests every round into `store` (contexts are
+// created on demand).  Stops at the first malformed line.
+struct PushResult {
+  size_t rounds = 0;   // rounds ingested before any error
+  std::string error;   // empty on full success
+};
+PushResult apply_push(SeriesStore& store, std::string_view body);
+
+// Installs the store's HTTP surface onto `srv`:
+//   GET  /api/v1/contexts  series discovery (JSON)
+//   GET  /api/v1/data      range query: context=...&after=-60&before=0&
+//                          points=N&dimensions=a,b (JSON)
+//   POST /api/v1/push      streaming ingest (wire format above)
+void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store);
+
+// Decodes %XX and '+' in a URL query component.
+[[nodiscard]] std::string url_decode(std::string_view s);
+
+// Background push sender for an edge monitor.  push() renders the round
+// and enqueues it; a worker thread POSTs queued bodies to the parent with
+// connect/IO timeouts, so a dead or slow parent never stalls the engine's
+// sampling cadence — when the queue is full the oldest round is dropped
+// and counted (netqre_stream_rounds_dropped_total).
+class StreamClient {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";  // parent address (IPv4 dotted quad)
+    uint16_t port = 0;
+    std::string source = "edge";     // this child's identity at the parent
+    uint32_t io_timeout_ms = 2000;   // connect / send / response timeout
+    size_t max_queued = 64;          // rounds buffered while parent is away
+  };
+
+  explicit StreamClient(Config cfg);
+  ~StreamClient();  // stops the sender thread
+
+  StreamClient(const StreamClient&) = delete;
+  StreamClient& operator=(const StreamClient&) = delete;
+
+  // Enqueues one sampling round for delivery.  Never blocks.
+  void push(std::string_view context, uint64_t t_ns,
+            const std::vector<Sample>& samples);
+
+  // Flushes the queue (best effort within the IO timeout) and joins.
+  void stop();
+
+  [[nodiscard]] uint64_t rounds_sent() const;
+  [[nodiscard]] uint64_t rounds_dropped() const;
+  [[nodiscard]] uint64_t push_failures() const;
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  struct Impl;
+  Config cfg_;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One blocking HTTP POST to 127-reachable `host:port` with timeouts.
+// Returns the response status (0 on connect/IO failure).  Exposed for the
+// tests and the client's worker.
+int http_post_once(const std::string& host, uint16_t port,
+                   const std::string& path, const std::string& body,
+                   uint32_t timeout_ms);
+
+}  // namespace netqre::store

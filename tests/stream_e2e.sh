@@ -1,0 +1,75 @@
+#!/bin/sh
+# Two-process streaming test: a parent aggregator and one edge monitor,
+# real sockets, real processes.  The edge replays a small generated
+# workload, samples its result map every 200 ms and pushes each round to
+# the parent; the test then asserts the parent serves the child's series
+# through /api/v1/contexts and /api/v1/data.
+#
+# Usage: stream_e2e.sh <path-to-netqre-monitor>
+set -eu
+
+MONITOR=${1:?usage: stream_e2e.sh <netqre-monitor>}
+WORK=$(mktemp -d)
+PARENT_PID=""
+EDGE_PID=""
+cleanup() {
+  [ -n "$PARENT_PID" ] && kill "$PARENT_PID" 2>/dev/null || true
+  [ -n "$EDGE_PID" ] && kill "$EDGE_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# HTTP GET without curl/wget deps (CI images have curl, dev boxes vary).
+fetch() {
+  if command -v curl >/dev/null 2>&1; then
+    curl -sf --max-time 10 "$1"
+  else
+    wget -qO- -T 10 "$1"
+  fi
+}
+
+# --- parent: ephemeral port, grepped from its startup banner ------------
+"$MONITOR" --parent --port 0 --max-seconds 60 2>"$WORK/parent.log" &
+PARENT_PID=$!
+PARENT_PORT=""
+for _ in $(seq 1 50); do
+  PARENT_PORT=$(sed -n 's/.*http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$WORK/parent.log" | head -n1)
+  [ -n "$PARENT_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PARENT_PORT" ] || { echo "FAIL: parent never started"; cat "$WORK/parent.log"; exit 1; }
+
+# --- edge: replay, sample every 200 ms, stream to the parent ------------
+"$MONITOR" --port 0 --packets 20000 --pps 50000 --store-every 200 \
+  --stream-to 127.0.0.1:"$PARENT_PORT" --source edge-e2e \
+  --max-seconds 4 2>"$WORK/edge.log" &
+EDGE_PID=$!
+wait $EDGE_PID
+EDGE_PID=""
+
+grep -q "streamed [1-9]" "$WORK/edge.log" || {
+  echo "FAIL: edge streamed no rounds"; cat "$WORK/edge.log"; exit 1; }
+
+# --- the parent must now serve the child's series -----------------------
+CONTEXTS=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/contexts")
+echo "$CONTEXTS" | grep -q '"edge-e2e/heavy_hitter.nqre:hh"' || {
+  echo "FAIL: child context missing from parent /api/v1/contexts"
+  echo "$CONTEXTS"; exit 1; }
+
+DATA=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/data?context=edge-e2e%2Fheavy_hitter.nqre:hh&after=-600&points=10")
+echo "$DATA" | grep -q '"context":"edge-e2e/heavy_hitter.nqre:hh"' || {
+  echo "FAIL: parent /api/v1/data did not answer the child context"
+  echo "$DATA"; exit 1; }
+# At least one data row with a real (non-null) value must be present.
+echo "$DATA" | grep -Eq '"data":\[\[' || {
+  echo "FAIL: parent range query returned no rows"; echo "$DATA"; exit 1; }
+POINTS=$(echo "$DATA" | sed -n 's/.*"points":\([0-9]*\).*/\1/p')
+[ "${POINTS:-0}" -ge 1 ] || {
+  echo "FAIL: parent range query has points=$POINTS"; echo "$DATA"; exit 1; }
+
+kill $PARENT_PID
+wait $PARENT_PID 2>/dev/null || true
+PARENT_PID=""
+echo "PASS: parent served ${POINTS} points for the child's series"

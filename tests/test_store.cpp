@@ -1,0 +1,744 @@
+// Tests for the time-series result store (src/store): downsampling
+// invariants (a tier-1 point is the *exact* aggregate of the tier-0
+// samples it covers), key-budget eviction, range queries over the HTTP
+// surface, the NETQRE-STREAM push protocol, and the engine result-snapshot
+// hooks the sampler is built on.
+//
+// Everything here must hold in both telemetry builds: the store's data
+// path never depends on obs::kEnabled, only its self-telemetry does.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/parallel.hpp"
+#include "obs/http_export.hpp"
+#include "store/series_store.hpp"
+#include "store/stream.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using store::RangeQuery;
+using store::RangeResult;
+using store::Sample;
+using store::SeriesStore;
+using store::StoreConfig;
+using store::TierPointAt;
+
+constexpr uint64_t kBase = 1'700'000'000ull * 1'000'000'000ull;
+
+uint64_t at(uint64_t round) { return kBase + round * 1'000'000'000ull; }
+
+// A small geometry so rotations and ring wraps happen within a few dozen
+// rounds: tier1 folds 5 raw samples, tier2 folds 2 tier1 points.
+StoreConfig small_config() {
+  StoreConfig cfg;
+  cfg.tier0_points = 20;
+  cfg.tier1_every = 5;
+  cfg.tier1_points = 8;
+  cfg.tier2_every = 2;
+  cfg.tier2_points = 4;
+  cfg.max_keys = 4;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator: the API promises every response
+// is a *valid JSON document*, so the tests parse, not pattern-match.
+
+struct JsonValidator {
+  std::string_view s;
+  size_t i = 0;
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i == s.size();
+  }
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) != lit) return false;
+    i += lit.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        ++i;
+        if (i >= s.size()) return false;
+      }
+      ++i;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && (std::isdigit(s[i]) || s[i] == '.' ||
+                            s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+                            s[i] == '-')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool value() {
+    skip_ws();
+    if (i >= s.size()) return false;
+    switch (s[i]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+};
+
+bool valid_json(std::string_view doc) {
+  JsonValidator v{doc};
+  return v.parse();
+}
+
+// One-shot HTTP over a raw socket (mirrors what curl sends).
+std::string http_request(uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, raw.data(), raw.size(), 0),
+            static_cast<ssize_t>(raw.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(uint16_t port, const std::string& path) {
+  return http_request(port,
+                      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+int status_of(const std::string& response) {
+  const size_t sp = response.find(' ');
+  return sp == std::string::npos ? -1
+                                 : std::atoi(response.c_str() + sp + 1);
+}
+
+std::string body_of(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+// ---------------------------------------------------------------- tiers
+
+TEST(SeriesStore, Tier1PointIsExactAggregateOfCoveredTier0Samples) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // 10 rounds: two complete tier-1 windows of 5 samples each.
+  for (uint64_t r = 0; r < 10; ++r) {
+    store.ingest(ctx, at(r), {{"k", static_cast<double>(r * r)}});
+  }
+  const auto t0 = store.tier_points("q", "k", 0);
+  const auto t1 = store.tier_points("q", "k", 1);
+  ASSERT_EQ(t0.size(), 10u);
+  ASSERT_EQ(t1.size(), 2u);
+
+  for (size_t w = 0; w < 2; ++w) {
+    double mn = INFINITY, mx = -INFINITY, sum = 0;
+    uint32_t count = 0;
+    for (size_t j = w * 5; j < w * 5 + 5; ++j) {
+      const double v = t0[j].point.sum;  // count==1 points: sum == value
+      ASSERT_EQ(t0[j].point.count, 1u);
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sum += v;
+      ++count;
+    }
+    EXPECT_EQ(t1[w].point.min, mn);
+    EXPECT_EQ(t1[w].point.max, mx);
+    EXPECT_EQ(t1[w].point.sum, sum);
+    EXPECT_EQ(t1[w].point.count, count);
+    // The window is stamped with its last covered sample's time.
+    EXPECT_EQ(t1[w].t_s, t0[w * 5 + 4].t_s);
+  }
+}
+
+TEST(SeriesStore, Tier2PointIsExactMergeOfCoveredTier1Points) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // 10 rounds = 2 tier1 points = 1 tier2 point.
+  for (uint64_t r = 0; r < 10; ++r) {
+    store.ingest(ctx, at(r), {{"k", static_cast<double>(100 - r)}});
+  }
+  const auto t1 = store.tier_points("q", "k", 1);
+  const auto t2 = store.tier_points("q", "k", 2);
+  ASSERT_EQ(t1.size(), 2u);
+  ASSERT_EQ(t2.size(), 1u);
+  EXPECT_EQ(t2[0].point.min, std::min(t1[0].point.min, t1[1].point.min));
+  EXPECT_EQ(t2[0].point.max, std::max(t1[0].point.max, t1[1].point.max));
+  EXPECT_EQ(t2[0].point.sum, t1[0].point.sum + t1[1].point.sum);
+  EXPECT_EQ(t2[0].point.count, t1[0].point.count + t1[1].point.count);
+}
+
+TEST(SeriesStore, GapsAreExcludedFromAggregates) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // "k" is present only in rounds 0 and 3 of the first window.
+  for (uint64_t r = 0; r < 5; ++r) {
+    std::vector<Sample> round;
+    if (r == 0) round.push_back({"k", 10.0});
+    if (r == 3) round.push_back({"k", 30.0});
+    round.push_back({"other", 1.0});  // keeps the round non-empty
+    store.ingest(ctx, at(r), round);
+  }
+  const auto t1 = store.tier_points("q", "k", 1);
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_EQ(t1[0].point.count, 2u);  // gaps do not count
+  EXPECT_EQ(t1[0].point.sum, 40.0);
+  EXPECT_EQ(t1[0].point.min, 10.0);
+  EXPECT_EQ(t1[0].point.max, 30.0);
+  EXPECT_EQ(t1[0].point.avg(), 20.0);
+}
+
+TEST(SeriesStore, SamplesBeforeAKeyExistedAreNotCounted) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // "late" first appears in round 3; rounds 0-2 predate it entirely and
+  // must not read stale ring slots.
+  for (uint64_t r = 0; r < 5; ++r) {
+    std::vector<Sample> round{{"early", 1.0}};
+    if (r >= 3) round.push_back({"late", 5.0});
+    store.ingest(ctx, at(r), round);
+  }
+  const auto t1 = store.tier_points("q", "late", 1);
+  ASSERT_EQ(t1.size(), 1u);
+  EXPECT_EQ(t1[0].point.count, 2u);
+  EXPECT_EQ(t1[0].point.sum, 10.0);
+}
+
+// ------------------------------------------------------------- eviction
+
+TEST(SeriesStore, EvictionRespectsKeyBudgetAndPicksStalestKey) {
+  SeriesStore store(small_config());  // max_keys = 4
+  const auto ctx = store.context("q");
+  // Round 0: four keys fill the budget.
+  store.ingest(ctx, at(0),
+               {{"a", 1}, {"b", 1}, {"c", 1}, {"d", 1}});
+  // Rounds 1-2: everyone but "b" keeps reporting — "b" goes stalest.
+  store.ingest(ctx, at(1), {{"a", 2}, {"c", 2}, {"d", 2}});
+  store.ingest(ctx, at(2), {{"a", 3}, {"c", 3}, {"d", 3}});
+  EXPECT_EQ(store.keys("q"), 4u);
+  EXPECT_EQ(store.evicted_keys(), 0u);
+
+  // Round 3 introduces "e": the budget forces one eviction, and the victim
+  // must be "b".
+  store.ingest(ctx, at(3), {{"a", 4}, {"c", 4}, {"d", 4}, {"e", 4}});
+  EXPECT_EQ(store.keys("q"), 4u);
+  EXPECT_EQ(store.evicted_keys(), 1u);
+  EXPECT_TRUE(store.tier_points("q", "b", 0).empty());
+  EXPECT_FALSE(store.tier_points("q", "e", 0).empty());
+}
+
+TEST(SeriesStore, CardinalityBlowupIsBoundedByBudget) {
+  StoreConfig cfg = small_config();
+  cfg.max_keys = 8;
+  SeriesStore store(cfg);
+  const auto ctx = store.context("q");
+  for (uint64_t r = 0; r < 20; ++r) {
+    // Every round brings 4 brand-new keys — a key scan.
+    std::vector<Sample> round;
+    for (int k = 0; k < 4; ++k) {
+      round.push_back({"scan-" + std::to_string(r * 4 + k), 1.0});
+    }
+    store.ingest(ctx, at(r), round);
+  }
+  EXPECT_EQ(store.keys("q"), 8u);
+  EXPECT_EQ(store.evicted_keys(), 20u * 4u - 8u);
+  // Resident memory stays bounded once the budget is hit (rings grow
+  // lazily, so allow one slot's worth of growth across surviving keys).
+  const size_t bytes = store.resident_bytes();
+  store.ingest(ctx, at(20), {{"one-more", 1.0}});
+  EXPECT_LE(store.resident_bytes(), bytes + 4096);
+}
+
+// --------------------------------------------------------- range queries
+
+TEST(SeriesStore, RangeQueryWindowAndDimensionsAreStable) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  for (uint64_t r = 0; r < 8; ++r) {
+    store.ingest(ctx, at(r),
+                 {{"zeta", static_cast<double>(r)},
+                  {"alpha", static_cast<double>(10 * r)}});
+  }
+  RangeQuery q;
+  q.after_s = -3;  // relative to the latest sample: rounds 4..7
+  q.before_s = 0;
+  RangeResult out;
+  ASSERT_TRUE(store.query("q", q, out));
+  EXPECT_EQ(out.tier, 0);
+  // Dimensions in lexicographic order regardless of insertion order.
+  ASSERT_EQ(out.dimensions.size(), 2u);
+  EXPECT_EQ(out.dimensions[0], "alpha");
+  EXPECT_EQ(out.dimensions[1], "zeta");
+  ASSERT_EQ(out.rows.size(), 4u);
+  EXPECT_EQ(out.rows.front().t_s, static_cast<int64_t>(at(4) / 1'000'000'000ull));
+  EXPECT_EQ(out.rows.back().t_s, static_cast<int64_t>(at(7) / 1'000'000'000ull));
+  EXPECT_EQ(out.rows.back().values[0], 70.0);  // alpha at round 7
+  EXPECT_EQ(out.rows.back().values[1], 7.0);   // zeta at round 7
+
+  // Dimension filter: unknown names drop out, duplicates collapse.
+  q.dimensions = {"zeta", "nope", "zeta"};
+  ASSERT_TRUE(store.query("q", q, out));
+  ASSERT_EQ(out.dimensions.size(), 1u);
+  EXPECT_EQ(out.dimensions[0], "zeta");
+  ASSERT_EQ(out.rows.size(), 4u);
+  EXPECT_EQ(out.rows.back().values[0], 7.0);
+}
+
+TEST(SeriesStore, RangeQueryGroupsDownToRequestedPoints) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  for (uint64_t r = 0; r < 8; ++r) {
+    store.ingest(ctx, at(r), {{"k", static_cast<double>(r)}});
+  }
+  RangeQuery q;
+  q.after_s = -100;
+  q.points = 2;  // 8 raw rows -> 2 groups of 4
+  RangeResult out;
+  ASSERT_TRUE(store.query("q", q, out));
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[0].values[0], (0.0 + 1 + 2 + 3) / 4);
+  EXPECT_EQ(out.rows[1].values[0], (4.0 + 5 + 6 + 7) / 4);
+  // Group time = its last row's time (windows stamp their end).
+  EXPECT_EQ(out.rows[1].t_s, static_cast<int64_t>(at(7) / 1'000'000'000ull));
+}
+
+TEST(SeriesStore, WideWindowFallsBackToFinestAvailableHistory) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  for (uint64_t r = 0; r < 3; ++r) {
+    store.ingest(ctx, at(r), {{"k", 1.0}});
+  }
+  // An hour-wide window against 3 s of history must answer with the raw
+  // samples, not an empty coarse tier.
+  RangeQuery q;
+  q.after_s = -3600;
+  RangeResult out;
+  ASSERT_TRUE(store.query("q", q, out));
+  EXPECT_EQ(out.tier, 0);
+  EXPECT_EQ(out.rows.size(), 3u);
+}
+
+TEST(SeriesStore, LongWindowIsAnsweredByAHigherTier) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // 30 rounds with tier0 capacity 20: raw history starts at round 10, so
+  // a query reaching back to round 0 must climb tiers.
+  for (uint64_t r = 0; r < 30; ++r) {
+    store.ingest(ctx, at(r), {{"k", static_cast<double>(r)}});
+  }
+  RangeQuery q;
+  q.after_s = static_cast<int64_t>(at(0) / 1'000'000'000ull);
+  q.before_s = static_cast<int64_t>(at(29) / 1'000'000'000ull);
+  RangeResult out;
+  ASSERT_TRUE(store.query("q", q, out));
+  EXPECT_GT(out.tier, 0);
+  EXPECT_FALSE(out.rows.empty());
+  ASSERT_TRUE(store.query("nosuch", q, out) == false);
+}
+
+TEST(SeriesStore, RangeResultJsonIsValidAndOrdered) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("q");
+  // One gap (null) and a non-integral value exercise both emitters.
+  store.ingest(ctx, at(0), {{"b", 1.5}});
+  store.ingest(ctx, at(1), {{"a", 2.0}, {"b", 3.0}});
+  RangeQuery q;
+  q.after_s = -100;
+  RangeResult out;
+  ASSERT_TRUE(store.query("q", q, out));
+  const std::string doc = out.to_json();
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  // Stable order: "a" before "b" in both name lists.
+  EXPECT_NE(doc.find("\"dimension_names\":[\"a\",\"b\"]"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"labels\":[\"time\",\"a\",\"b\"]"), std::string::npos);
+  EXPECT_NE(doc.find("null"), std::string::npos);  // a's gap in round 0
+  EXPECT_TRUE(valid_json(store.contexts_json()));
+}
+
+// ------------------------------------------------------- the HTTP surface
+
+TEST(StoreHttp, DataAndContextsEndpointsServeValidJson) {
+  SeriesStore store(small_config());
+  const auto ctx = store.context("hh");
+  for (uint64_t r = 0; r < 6; ++r) {
+    store.ingest(ctx, at(r),
+                 {{"10.0.0.1", static_cast<double>(r)}, {"10.0.0.2", 1.0}});
+  }
+  obs::HttpServer srv;
+  store::register_store_endpoints(srv, store);
+  srv.start(0);
+
+  auto resp = http_get(srv.port(), "/api/v1/contexts");
+  EXPECT_EQ(status_of(resp), 200);
+  EXPECT_TRUE(valid_json(body_of(resp))) << body_of(resp);
+  EXPECT_NE(body_of(resp).find("\"hh\""), std::string::npos);
+
+  resp = http_get(srv.port(),
+                  "/api/v1/data?context=hh&after=-100&points=3&"
+                  "dimensions=10.0.0.1,10.0.0.2");
+  EXPECT_EQ(status_of(resp), 200);
+  const std::string doc = body_of(resp);
+  EXPECT_TRUE(valid_json(doc)) << doc;
+  EXPECT_NE(doc.find("\"10.0.0.1\""), std::string::npos);
+
+  // Same query twice must serialize identically (stable ordering).
+  const auto again = http_get(srv.port(),
+                              "/api/v1/data?context=hh&after=-100&points=3&"
+                              "dimensions=10.0.0.1,10.0.0.2");
+  EXPECT_EQ(body_of(again), doc);
+
+  resp = http_get(srv.port(), "/api/v1/data?context=unknown");
+  EXPECT_EQ(status_of(resp), 404);
+  EXPECT_TRUE(valid_json(body_of(resp)));
+  resp = http_get(srv.port(), "/api/v1/data");
+  EXPECT_EQ(status_of(resp), 400);
+  srv.stop();
+}
+
+TEST(StoreHttp, UrlDecodeHandlesEscapesAndPlus) {
+  EXPECT_EQ(store::url_decode("a%2Cb+c"), "a,b c");
+  EXPECT_EQ(store::url_decode("plain"), "plain");
+  EXPECT_EQ(store::url_decode("%zz"), "%zz");  // malformed escape passes through
+}
+
+TEST(HttpRobustness, OversizedRequestHeadGets413) {
+  obs::HttpServer srv;
+  srv.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("ok");
+  });
+  srv.start(0);
+  // A request line beyond kMaxHeadBytes with no terminator.
+  std::string raw = "GET /" + std::string(obs::HttpServer::kMaxHeadBytes, 'a');
+  const auto resp = http_request(srv.port(), raw + "\r\n\r\n");
+  EXPECT_EQ(status_of(resp), 413);
+  srv.stop();
+}
+
+TEST(HttpRobustness, SilentClientGets408) {
+  obs::HttpServer srv;
+  srv.set_read_timeout_ms(100);
+  srv.handle("/x", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("ok");
+  });
+  srv.start(0);
+  // Connect, send half a request, go silent.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string partial = "GET /x HTTP/1.1\r\n";
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  std::string out;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  EXPECT_EQ(status_of(out), 408);
+  srv.stop();
+}
+
+// --------------------------------------------------- the stream protocol
+
+TEST(Stream, RenderAndApplyRoundTrip) {
+  SeriesStore store(small_config());
+  const std::vector<Sample> round{{"10.0.0.1", 42.0}, {"10.0.0.2", 17.5}};
+  const std::string body = store::render_push("edge-1", "hh", at(0), round);
+  const auto res = store::apply_push(store, body);
+  EXPECT_TRUE(res.error.empty()) << res.error;
+  EXPECT_EQ(res.rounds, 1u);
+  // Series land under "<source>/<context>".
+  const auto pts = store.tier_points("edge-1/hh", "10.0.0.1", 0);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].point.sum, 42.0);
+  EXPECT_EQ(store.tier_points("edge-1/hh", "10.0.0.2", 0)[0].point.sum, 17.5);
+}
+
+TEST(Stream, MultiRoundBodyAndKeysWithSpaces) {
+  SeriesStore store(small_config());
+  std::string body = "NETQRE-STREAM v1\nSOURCE e\nCONTEXT c\n";
+  body += "BEGIN " + std::to_string(at(0)) + "\nSET a key 1\nEND\n";
+  body += "BEGIN " + std::to_string(at(1)) + "\nSET a key 2\nEND\n";
+  const auto res = store::apply_push(store, body);
+  EXPECT_TRUE(res.error.empty()) << res.error;
+  EXPECT_EQ(res.rounds, 2u);
+  const auto pts = store.tier_points("e/c", "a key", 0);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[1].point.sum, 2.0);
+}
+
+TEST(Stream, MalformedBodiesAreRejected) {
+  SeriesStore store(small_config());
+  EXPECT_FALSE(store::apply_push(store, "hello\n").error.empty());
+  EXPECT_FALSE(
+      store::apply_push(store, "NETQRE-STREAM v1\nBEGIN 1\nEND\n").error.empty());
+  EXPECT_FALSE(store::apply_push(store,
+                                 "NETQRE-STREAM v1\nSOURCE e\nCONTEXT c\n"
+                                 "SET k 1\n")
+                   .error.empty());
+  EXPECT_FALSE(store::apply_push(store,
+                                 "NETQRE-STREAM v1\nSOURCE e\nCONTEXT c\n"
+                                 "BEGIN 1\nSET k notanumber\nEND\n")
+                   .error.empty());
+  // A truncated body reports the rounds that did land.
+  const auto res = store::apply_push(
+      store, "NETQRE-STREAM v1\nSOURCE e\nCONTEXT c\nBEGIN " +
+                 std::to_string(at(0)) + "\nSET k 1\nEND\nBEGIN " +
+                 std::to_string(at(1)) + "\nSET k 2\n");
+  EXPECT_FALSE(res.error.empty());
+  EXPECT_EQ(res.rounds, 1u);
+}
+
+TEST(Stream, ClientPushesRoundsToParentStore) {
+  // In-process parent: a store behind the push endpoint.
+  SeriesStore parent(small_config());
+  obs::HttpServer srv;
+  store::register_store_endpoints(srv, parent);
+  srv.start(0);
+
+  store::StreamClient::Config ccfg;
+  ccfg.port = srv.port();
+  ccfg.source = "edge-t";
+  store::StreamClient client(ccfg);
+  for (uint64_t r = 0; r < 5; ++r) {
+    client.push("hh", at(r), {{"k", static_cast<double>(r)}});
+  }
+  client.stop();  // drains the queue
+  EXPECT_EQ(client.rounds_sent(), 5u);
+  EXPECT_EQ(client.push_failures(), 0u);
+  const auto pts = parent.tier_points("edge-t/hh", "k", 0);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_EQ(pts[4].point.sum, 4.0);
+
+  // The parent serves range queries over the streamed series.
+  const auto resp =
+      http_get(srv.port(), "/api/v1/data?context=edge-t%2Fhh&after=-100");
+  EXPECT_EQ(status_of(resp), 200);
+  EXPECT_TRUE(valid_json(body_of(resp)));
+  srv.stop();
+}
+
+TEST(Stream, DeadParentNeverBlocksAndCountsFailures) {
+  store::StreamClient::Config ccfg;
+  ccfg.port = 1;  // nothing listens there
+  ccfg.io_timeout_ms = 100;
+  ccfg.max_queued = 2;
+  store::StreamClient client(ccfg);
+  for (uint64_t r = 0; r < 10; ++r) {
+    client.push("hh", at(r), {{"k", 1.0}});  // must not block
+  }
+  client.stop();
+  EXPECT_EQ(client.rounds_sent(), 0u);
+  EXPECT_GT(client.push_failures(), 0u);
+}
+
+// ----------------------------------------------- engine snapshot hooks
+
+core::CompiledQuery heavy_hitter_query() {
+  static const auto app = apps::compile_app("heavy_hitter.nqre", "hh");
+  return app.query;
+}
+
+std::vector<net::Packet> small_trace() {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = 5000;
+  cfg.n_flows = 200;
+  return trafficgen::backbone_trace(cfg);
+}
+
+TEST(Snapshot, EngineSnapshotMatchesEnumerate) {
+  core::Engine engine(heavy_hitter_query());
+  engine.on_stream(small_trace());
+
+  std::vector<core::ResultSample> samples;
+  engine.snapshot_results(samples);
+  ASSERT_FALSE(samples.empty());
+
+  std::map<std::string, double> expected;
+  engine.enumerate([&](const std::vector<core::Value>& key,
+                       const core::Value& v) {
+    if (!v.defined()) return;
+    std::string name;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i) name += ',';
+      name += key[i].to_string();
+    }
+    expected[name] = v.as_double();
+  });
+  ASSERT_EQ(samples.size(), expected.size());
+  for (const auto& s : samples) {
+    const auto it = expected.find(s.key);
+    ASSERT_NE(it, expected.end()) << s.key;
+    EXPECT_EQ(it->second, s.value);
+  }
+}
+
+TEST(Snapshot, ParallelSnapshotAfterFinishMatchesEnumerateAll) {
+  core::ParallelEngine parallel(heavy_hitter_query(), 3);
+  const auto trace = small_trace();
+  parallel.feed(trace);
+  parallel.finish();
+
+  std::map<std::string, double> expected;
+  parallel.enumerate_all([&](const std::vector<core::Value>& key,
+                             const core::Value& v) {
+    if (!v.defined()) return;
+    std::string name;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i) name += ',';
+      name += key[i].to_string();
+    }
+    expected[name] += v.as_double();
+  });
+
+  std::vector<core::ResultSample> merged;
+  parallel.snapshot_results_async(
+      [&](std::vector<core::ResultSample> out) { merged = std::move(out); });
+  // Post-finish the callback is synchronous.
+  ASSERT_EQ(merged.size(), expected.size());
+  for (const auto& s : merged) {
+    const auto it = expected.find(s.key);
+    ASSERT_NE(it, expected.end()) << s.key;
+    EXPECT_EQ(it->second, s.value);
+  }
+}
+
+TEST(Snapshot, ParallelSnapshotMidStreamCompletesWithoutRace) {
+  core::ParallelEngine parallel(heavy_hitter_query(), 3);
+  const auto trace = small_trace();
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int completed = 0;
+  size_t last_size = 0;
+  // Interleave feeds and async snapshots: each visit runs on the shard's
+  // own worker, so the engine is never observed while another thread
+  // mutates it.
+  for (int round = 0; round < 4; ++round) {
+    parallel.feed(trace);
+    parallel.snapshot_results_async([&](std::vector<core::ResultSample> out) {
+      std::lock_guard lock(mu);
+      ++completed;
+      last_size = out.size();
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return completed == 4; });
+  }
+  parallel.finish();
+  EXPECT_GT(last_size, 0u);
+}
+
+// End-to-end in one process: engine results -> client -> parent store.
+TEST(Stream, EdgeRoundsAggregateUnderPerSourceContexts) {
+  StoreConfig pcfg = small_config();
+  pcfg.max_keys = 1024;  // the engine round carries a full flow table
+  SeriesStore parent(pcfg);
+  obs::HttpServer srv;
+  store::register_store_endpoints(srv, parent);
+  srv.start(0);
+
+  core::Engine engine(heavy_hitter_query());
+  engine.on_stream(small_trace());
+  std::vector<core::ResultSample> results;
+  engine.snapshot_results(results);
+  ASSERT_FALSE(results.empty());
+  std::vector<Sample> round;
+  for (const auto& r : results) round.push_back({r.key, r.value});
+
+  // Two edges push the same round under different identities.
+  for (const char* source : {"edge-1", "edge-2"}) {
+    const int status = store::http_post_once(
+        "127.0.0.1", srv.port(), "/api/v1/push",
+        store::render_push(source, "hh", at(0), round), 1000);
+    EXPECT_EQ(status, 200);
+  }
+  EXPECT_EQ(parent.keys("edge-1/hh"), round.size());
+  EXPECT_EQ(parent.keys("edge-2/hh"), round.size());
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace netqre
