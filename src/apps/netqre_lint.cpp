@@ -54,9 +54,22 @@ struct Options {
 // The analysis pass visits patterns from both the expression walk and the
 // pattern walk, so the same diagnostic can surface twice; report each
 // distinct (severity, code, line, message) once per file.
+//
+// Certificate diagnostics (NQ10x) additionally dedup on the message body
+// with the "'<sfun>': " prefix stripped: a shared helper's ambiguity or
+// unbounded split is certified once per wrapping sfun, and repeating the
+// identical root cause for every wrapper drowns the signal.
 class Dedup {
  public:
   bool fresh(const netqre::lang::Diagnostic& d) {
+    if (d.code.rfind("NQ10", 0) == 0) {
+      std::string body = d.message;
+      if (!body.empty() && body.front() == '\'') {
+        const size_t colon = body.find("': ");
+        if (colon != std::string::npos) body.erase(0, colon + 3);
+      }
+      if (!cert_seen_.emplace(d.code, std::move(body)).second) return false;
+    }
     return seen_
         .emplace(static_cast<int>(d.severity), d.code, d.line, d.message)
         .second;
@@ -64,6 +77,7 @@ class Dedup {
 
  private:
   std::set<std::tuple<int, std::string, int, std::string>> seen_;
+  std::set<std::pair<std::string, std::string>> cert_seen_;
 };
 
 void emit(const std::string& display, const netqre::lang::Diagnostic& d,

@@ -493,13 +493,34 @@ int main(int argc, char** argv) {
       lang::certificate_json(cert, w);
       cert_json = w.str();
     }
-    server.handle("/statz", [&info, cert_json](const obs::HttpRequest&) {
+    // Live tier selection: what the running engine actually chose (the
+    // certificate's tier is the static prediction; these agree unless a
+    // NETQRE_FORCE_TIER override or profiling pinned the interpreter).
+    // Tier fields are set at engine construction and immutable after, so
+    // reading them from the server thread is race-free.
+    std::string tier_json;
+    {
+      const core::Engine& eng =
+          parallel ? parallel->shard_engine(0) : *engine;
+      obs::JsonWriter w;
+      w.begin_object();
+      w.key("selected").value(eng.tier());
+      w.key("reason").value(eng.tier_reason());
+      w.key("chain").begin_array();
+      for (const std::string& step : eng.tier_chain()) w.value(step);
+      w.end_array();
+      w.end_object();
+      tier_json = w.str();
+    }
+    server.handle("/statz", [&info, cert_json,
+                             tier_json](const obs::HttpRequest&) {
       obs::JsonWriter w;
       w.begin_object();
       w.key("metrics").raw(obs::registry().snapshot().to_json());
       w.key("query").begin_object();
       w.key("file").value(info.file);
       w.key("main").value(info.main);
+      w.key("tier").raw(tier_json);
       w.key("certificate").raw(cert_json);
       w.end_object();
       w.end_object();

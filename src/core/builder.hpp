@@ -30,6 +30,17 @@ struct DecompSite {
   std::shared_ptr<const Dfa> right;  // g's domain (null for iter)
 };
 
+// Verdicts distilled from a ResourceCertificate (src/lang/certify), fed into
+// the specializer's eligibility proof without reversing the core → lang
+// layering.  The specialized back-end assumes an unambiguous query with
+// per-key O(1) state; a gate with either bit cleared vetoes specialization
+// even when the op-tree shape matches.
+struct SpecGate {
+  bool unambiguous = true;    // every split/iter decomposition proven (§3.3)
+  bool state_bounded = true;  // per-key register count proven finite
+  std::string detail;         // human-readable reason when a bit is false
+};
+
 // A fully compiled query ready to run on an Engine.
 struct CompiledQuery {
   OpPtr root;
@@ -44,6 +55,12 @@ struct CompiledQuery {
   // whose op was discarded before finish() keep node_id() == -1 and are
   // ignored by consumers.
   std::vector<DecompSite> decomp_sites;
+  // Certificate verdicts distilled by the lang layer (compile_program runs
+  // the static certifier and records its gate here).  Engines auto-select
+  // the compiled tier only when a gate is present and clean: a builder-only
+  // query (tests, fuzzing) carries no gate and defaults to the interpreter
+  // unless a tier is forced explicitly.
+  std::optional<SpecGate> gate;
 };
 
 class QueryBuilder {

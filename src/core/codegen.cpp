@@ -1,9 +1,22 @@
 #include "core/codegen.hpp"
 
+#include <algorithm>
+#include <cstring>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
+
+#include "core/aggop.hpp"
+#include "core/fields.hpp"
 
 namespace netqre::core {
 namespace {
+
+// Cap on the product machine so tables stay cache-resident: letters are
+// dense (create/upd tables are materialized per cell, unlike the borrowed
+// DFA of the old single-shape plan).
+constexpr int kMaxLetterBits = 10;
+constexpr int kMaxStates = 64;
 
 // C++ accessor on the generated packet struct for a numeric built-in field.
 std::optional<std::string> field_accessor(Field f) {
@@ -54,7 +67,7 @@ bool cmp_apply(CmpOp op, uint64_t a, uint64_t b) {
     case CmpOp::Le: return a <= b;
     case CmpOp::Gt: return a > b;
     case CmpOp::Ge: return a >= b;
-    case CmpOp::Contains: return false;  // rejected by analyze_spec
+    case CmpOp::Contains: return false;  // Generic atoms use Atom::eval
   }
   return false;
 }
@@ -71,16 +84,357 @@ std::string cmp_cpp(CmpOp op) {
   return "==";
 }
 
+uint64_t mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// ------------------------------------------------------------ shape parser
+//
+// The specializable body vocabulary, as a small tree distilled from the op
+// tree.  Every node owns nothing: DFAs are borrowed from the ops, which the
+// plan build flattens into owned tables before returning.
+
+struct Update {
+  SpecPlan::Upd kind = SpecPlan::Upd::None;
+  int64_t arg = 0;  // AddConst amount / AddField Field enum value
+};
+
+struct Shape {
+  enum class K { Fold, Classifier, Distinct, Filtered };
+  K k = K::Fold;
+  Update upd;  // Fold
+  struct Branch {
+    const Dfa* dfa;
+    Update upd;
+  };
+  std::vector<Branch> branches;  // Classifier cases, in chain order
+  const Dfa* dfa = nullptr;      // Distinct pattern / Filtered guard
+  int64_t then_v = 0;            // Distinct
+  int64_t else_v = 0;
+  bool has_else = false;
+  std::unique_ptr<Shape> inner;  // Filtered body
+};
+
+// True when `d` accepts only single-letter streams: every 2-letter prefix is
+// dead, and the empty stream is rejected (an empty-accepting classifier has
+// ambiguous iter decompositions and is not a per-packet case table).
+bool single_packet_only(const Dfa& d) {
+  if (d.accepts_empty()) return false;
+  for (uint64_t l1 : d.letters) {
+    const int q1 = d.step(d.start, l1);
+    for (uint64_t l2 : d.letters) {
+      if (!d.is_dead(d.step(q1, l2))) return false;
+    }
+  }
+  return true;
+}
+
+// Parses the scope body (or a closed query root) into a Shape.  On success
+// appends one proven-step line per recognized layer to `chain`; on failure
+// sets `err` and returns null, leaving the proven prefix in `chain`.
+std::unique_ptr<Shape> parse_shape(const Op* op, std::vector<std::string>& chain,
+                                   std::string& err) {
+  if (const auto* f = dynamic_cast<const FoldOp*>(op)) {
+    if (f->agg() != AggOp::Sum) {
+      err = "fold aggregates with " + agg_name(f->agg()) +
+            ", only sum is specialized";
+      return nullptr;
+    }
+    auto s = std::make_unique<Shape>();
+    s->k = Shape::K::Fold;
+    if (f->use_field()) {
+      if (!field_accessor(f->field().field)) {
+        err = "fold field '" + field_name(f->field()) +
+              "' has no specialized accessor";
+        return nullptr;
+      }
+      s->upd = {SpecPlan::Upd::AddField,
+                static_cast<int64_t>(f->field().field)};
+      chain.push_back("fold(sum): += " + field_name(f->field()) +
+                      " per forwarded packet");
+    } else {
+      if (f->constant().kind() != Value::Kind::Int) {
+        err = "fold constant is not an integer";
+        return nullptr;
+      }
+      s->upd = {SpecPlan::Upd::AddConst, f->constant().as_int()};
+      chain.push_back("fold(sum): += " + f->constant().to_string() +
+                      " per forwarded packet");
+    }
+    return s;
+  }
+
+  if (const auto* it = dynamic_cast<const IterOp*>(op)) {
+    if (it->agg() != AggOp::Sum) {
+      err = "iter aggregates with " + agg_name(it->agg()) +
+            ", only sum is specialized";
+      return nullptr;
+    }
+    auto s = std::make_unique<Shape>();
+    s->k = Shape::K::Classifier;
+    const Op* cur = it->f();
+    while (cur) {
+      const auto* c = dynamic_cast<const CondOp*>(cur);
+      if (!c) {
+        err = dynamic_cast<const ConstOp*>(cur)
+                  ? std::string("iter classifier ends in an unconditional "
+                                "value (defined on every stream, needs "
+                                "case-set simulation)")
+                  : "iter body is '" + std::string(cur->kind_name()) +
+                        "', not a chain of pattern conditionals";
+        return nullptr;
+      }
+      Update u;
+      if (const auto* k = dynamic_cast<const ConstOp*>(c->then_op())) {
+        if (k->value().kind() != Value::Kind::Int) {
+          err = "iter case value is not an integer constant";
+          return nullptr;
+        }
+        u = {SpecPlan::Upd::AddConst, k->value().as_int()};
+      } else if (const auto* lf =
+                     dynamic_cast<const LastFieldOp*>(c->then_op())) {
+        if (!field_accessor(lf->field().field)) {
+          err = "iter case field '" + field_name(lf->field()) +
+                "' has no specialized accessor";
+          return nullptr;
+        }
+        u = {SpecPlan::Upd::AddField,
+             static_cast<int64_t>(lf->field().field)};
+      } else {
+        err = "iter case value is '" + std::string(c->then_op()->kind_name()) +
+              "', not a constant or packet field";
+        return nullptr;
+      }
+      if (!single_packet_only(c->re())) {
+        err = "iter case pattern can match beyond a single packet (needs "
+              "case-set simulation)";
+        return nullptr;
+      }
+      s->branches.push_back({&c->re(), u});
+      cur = c->else_op();
+    }
+    chain.push_back("iter(sum): single-packet classifier, " +
+                    std::to_string(s->branches.size()) + " case(s)");
+    return s;
+  }
+
+  if (const auto* c = dynamic_cast<const CondOp*>(op)) {
+    // A terminal conditional (distinct family).  cond-with-value heads of a
+    // composition are handled by the CompOp case below, so reaching here
+    // means the conditional IS the per-key value.
+    const auto* thn = dynamic_cast<const ConstOp*>(c->then_op());
+    if (!thn || thn->value().kind() != Value::Kind::Int) {
+      err = "conditional's then-branch is not an integer constant";
+      return nullptr;
+    }
+    auto s = std::make_unique<Shape>();
+    s->k = Shape::K::Distinct;
+    s->dfa = &c->re();
+    s->then_v = thn->value().as_int();
+    if (c->else_op()) {
+      const auto* els = dynamic_cast<const ConstOp*>(c->else_op());
+      if (!els || els->value().kind() != Value::Kind::Int) {
+        err = "conditional's else-branch is not an integer constant";
+        return nullptr;
+      }
+      s->else_v = els->value().as_int();
+      s->has_else = true;
+    }
+    chain.push_back("conditional: " + std::to_string(c->re().n_states()) +
+                    "-state pattern reads out " +
+                    std::to_string(s->then_v) +
+                    (s->has_else ? "/" + std::to_string(s->else_v) : ""));
+    return s;
+  }
+
+  if (const auto* cp = dynamic_cast<const CompOp*>(op)) {
+    const auto* filt = dynamic_cast<const CondOp*>(cp->f());
+    if (!filt || filt->else_op()) {
+      err = "composition head is '" + std::string(cp->f()->kind_name()) +
+            "', not a filter (else-free conditional)";
+      return nullptr;
+    }
+    const auto* fv = dynamic_cast<const ConstOp*>(filt->then_op());
+    if (!fv || !fv->value().defined()) {
+      err = "filter condition carries a non-constant value";
+      return nullptr;
+    }
+    chain.push_back("filter: " + std::to_string(filt->re().n_states()) +
+                    "-state prefix pattern gates the body");
+    auto inner = parse_shape(cp->g(), chain, err);
+    if (!inner) return nullptr;
+    auto s = std::make_unique<Shape>();
+    s->k = Shape::K::Filtered;
+    s->dfa = &filt->re();
+    s->inner = std::move(inner);
+    return s;
+  }
+
+  if (dynamic_cast<const ParamScopeOp*>(op)) {
+    err = "parameter scope beneath a composition is not specialized";
+    return nullptr;
+  }
+  if (dynamic_cast<const SplitOp*>(op)) {
+    err = "split decomposition needs case-set simulation (interpreter tier)";
+    return nullptr;
+  }
+  err = "'" + std::string(op->kind_name()) + "' has no compiled form";
+  return nullptr;
+}
+
+void collect_dfas(const Shape& s, std::vector<const Dfa*>& out) {
+  switch (s.k) {
+    case Shape::K::Fold:
+      break;
+    case Shape::K::Classifier:
+      for (const auto& b : s.branches) out.push_back(b.dfa);
+      break;
+    case Shape::K::Distinct:
+      out.push_back(s.dfa);
+      break;
+    case Shape::K::Filtered:
+      out.push_back(s.dfa);
+      collect_dfas(*s.inner, out);
+      break;
+  }
+}
+
+// ------------------------------------------------- product machine builder
+
+struct Machine {
+  int n = 1;
+  int start = 0;
+  std::vector<int32_t> trans;  // (state << bits) | letter
+  std::vector<Update> upd;
+  bool value_is_acc = true;
+  std::vector<uint8_t> acc_defined;  // per state, when value_is_acc
+  std::vector<uint8_t> accept;       // per state, when !value_is_acc
+};
+
+// Translates a global letter into `d`'s local letter space.
+uint64_t local_letter(const Dfa& d, uint64_t letter,
+                      const std::unordered_map<int, int>& bit_of) {
+  uint64_t out = 0;
+  for (size_t j = 0; j < d.atom_ids.size(); ++j) {
+    out |= ((letter >> bit_of.at(d.atom_ids[j])) & 1u) << j;
+  }
+  return out;
+}
+
+Machine build_machine(const Shape& s, int n_bits,
+                      const std::unordered_map<int, int>& bit_of) {
+  const size_t n_letters = size_t{1} << n_bits;
+  Machine m;
+  switch (s.k) {
+    case Shape::K::Fold: {
+      m.n = 1;
+      m.trans.assign(n_letters, 0);
+      m.upd.assign(n_letters, s.upd);
+      m.acc_defined = {1};
+      break;
+    }
+    case Shape::K::Classifier: {
+      // State 0: live classifier; state 1: absorbing dead state reached on
+      // an unclassifiable packet (the interpreter's empty iter entry set —
+      // undefined on every extension).
+      m.n = 2;
+      m.trans.assign(2 * n_letters, 1);
+      m.upd.assign(2 * n_letters, Update{});
+      for (uint64_t letter = 0; letter < n_letters; ++letter) {
+        bool matched = false;
+        for (const auto& b : s.branches) {
+          const int q1 =
+              b.dfa->step(b.dfa->start, local_letter(*b.dfa, letter, bit_of));
+          if (b.dfa->accept[static_cast<size_t>(q1)]) {
+            m.trans[letter] = 0;
+            m.upd[letter] = b.upd;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) m.trans[letter] = 1;
+      }
+      m.acc_defined = {1, 0};
+      break;
+    }
+    case Shape::K::Distinct: {
+      const Dfa& d = *s.dfa;
+      m.n = d.n_states();
+      m.start = d.start;
+      m.trans.assign(static_cast<size_t>(m.n) * n_letters, 0);
+      m.upd.assign(static_cast<size_t>(m.n) * n_letters, Update{});
+      for (int q = 0; q < m.n; ++q) {
+        for (uint64_t letter = 0; letter < n_letters; ++letter) {
+          m.trans[(static_cast<size_t>(q) << n_bits) | letter] =
+              d.step(q, local_letter(d, letter, bit_of));
+        }
+      }
+      m.value_is_acc = false;
+      m.accept.resize(m.n);
+      for (int q = 0; q < m.n; ++q) m.accept[q] = d.accept[q] ? 1 : 0;
+      break;
+    }
+    case Shape::K::Filtered: {
+      const Dfa& f = *s.dfa;
+      Machine inner = build_machine(*s.inner, n_bits, bit_of);
+      m.n = f.n_states() * inner.n;
+      const auto idx = [&](int fq, int mq) { return fq * inner.n + mq; };
+      m.start = idx(f.start, inner.start);
+      m.trans.assign(static_cast<size_t>(m.n) * n_letters, 0);
+      m.upd.assign(static_cast<size_t>(m.n) * n_letters, Update{});
+      for (int fq = 0; fq < f.n_states(); ++fq) {
+        for (uint64_t letter = 0; letter < n_letters; ++letter) {
+          // Algorithm 4 order: the filter steps first, then forwards the
+          // current packet iff defined on the new prefix.
+          const int fq2 = f.step(fq, local_letter(f, letter, bit_of));
+          const bool fwd = f.accept[static_cast<size_t>(fq2)];
+          for (int mq = 0; mq < inner.n; ++mq) {
+            const size_t icell = (static_cast<size_t>(mq) << n_bits) | letter;
+            const size_t cell =
+                (static_cast<size_t>(idx(fq, mq)) << n_bits) | letter;
+            m.trans[cell] = idx(fq2, fwd ? inner.trans[icell] : mq);
+            if (fwd) m.upd[cell] = inner.upd[icell];
+          }
+        }
+      }
+      m.value_is_acc = inner.value_is_acc;
+      if (!inner.acc_defined.empty()) {
+        m.acc_defined.resize(m.n);
+        for (int fq = 0; fq < f.n_states(); ++fq) {
+          for (int mq = 0; mq < inner.n; ++mq) {
+            m.acc_defined[idx(fq, mq)] = inner.acc_defined[mq];
+          }
+        }
+      }
+      if (!inner.accept.empty()) {
+        m.accept.resize(m.n);
+        for (int fq = 0; fq < f.n_states(); ++fq) {
+          for (int mq = 0; mq < inner.n; ++mq) {
+            m.accept[idx(fq, mq)] = inner.accept[mq];
+          }
+        }
+      }
+      break;
+    }
+  }
+  return m;
+}
+
 }  // namespace
 
 SpecDecision analyze_spec_explained(const CompiledQuery& query,
                                     const SpecGate* gate) {
-  // Supported shapes, rooted at a parameter scope:
-  //   S1: scope(P){ comp(cond(dfa, const), fold) }       (counter family)
-  //   S2: scope(P1){ scope(P2){ cond[_else](dfa, c1, c0) } }
-  //       and its flat form scope(P){ cond[_else](...) }  (distinct family)
-  auto reject = [](std::string why) {
-    return SpecDecision{std::nullopt, std::move(why)};
+  SpecDecision d;
+  const auto reject = [&d](std::string why) {
+    d.chain.push_back("\xE2\x9C\x97 " + why);
+    d.reason = std::move(why);
+    d.plan.reset();
+    return std::move(d);
   };
 
   // Certificate gate: the specialized executors assume an unambiguous query
@@ -93,178 +447,240 @@ SpecDecision analyze_spec_explained(const CompiledQuery& query,
     return reject("certificate: per-key state not proven bounded" +
                   (gate->detail.empty() ? "" : " (" + gate->detail + ")"));
   }
-
-  const auto* scope = dynamic_cast<const ParamScopeOp*>(query.root.get());
-  if (!scope) {
-    return reject(std::string("root operator is '") +
-                  query.root->kind_name() +
-                  "', not a parameter scope (supported shapes are "
-                  "scope(P){...})");
-  }
-  if (scope->eager()) {
-    return reject("parameter scope runs eager updates (sparse-mode "
-                  "validation failed)");
-  }
-  for (size_t i = 0; i < scope->skip_param().size(); ++i) {
-    if (!scope->skip_param()[i]) {
-      return reject("partial-hit letters are not no-ops at guard-trie "
-                    "level " + std::to_string(i));
-    }
+  if (gate) {
+    d.chain.push_back(
+        "certificate: unambiguous decompositions, bounded per-key state");
   }
 
-  // Collect the (possibly nested) scope chain and the innermost expression.
-  std::vector<const ParamScopeOp*> scopes = {scope};
-  const Op* innermost = scope->inner();
-  while (const auto* nested = dynamic_cast<const ParamScopeOp*>(innermost)) {
-    if (nested->eager()) {
-      return reject("nested parameter scope runs eager updates");
-    }
-    for (size_t i = 0; i < nested->skip_param().size(); ++i) {
-      if (!nested->skip_param()[i]) {
-        return reject("nested scope: partial-hit letters are not no-ops at "
-                      "guard-trie level " + std::to_string(i));
-      }
-    }
-    scopes.push_back(nested);
-    innermost = nested->inner();
-  }
-
+  // Scope chain: directly nested parameter scopes around the body.
   SpecPlan plan;
-
-  // Key atoms across the whole chain (one per parameter, all numeric).
-  std::vector<Atom> key_atoms;
-  int slot_lo = scopes.front()->slot_lo();
-  int slot_hi = slot_lo;
-  for (const auto* sc : scopes) {
-    slot_hi = std::max(slot_hi, sc->slot_lo() + sc->n_params());
-    for (const auto& atoms : sc->cand_atoms()) {
-      if (atoms.size() != 1) {
-        return reject("a scope parameter has " +
-                      std::to_string(atoms.size()) +
-                      " candidate atoms (key extraction needs exactly 1)");
+  std::vector<const ParamScopeOp*> scopes;
+  const Op* body = query.root.get();
+  while (const auto* sc = dynamic_cast<const ParamScopeOp*>(body)) {
+    if (sc->eager()) {
+      return reject(
+          "parameter scope runs eager updates (sparse-mode validation "
+          "failed)");
+    }
+    for (size_t i = 0; i < sc->skip_param().size(); ++i) {
+      if (!sc->skip_param()[i]) {
+        return reject(
+            "partial-hit letters are not no-ops at guard-trie level " +
+            std::to_string(i));
       }
-      if (!field_accessor(atoms[0].field.field)) {
-        return reject("key field '" + field_name(atoms[0].field) +
-                      "' has no specialized accessor");
-      }
-      key_atoms.push_back(atoms[0]);
-      plan.key.push_back({atoms[0].field.field, atoms[0].offset});
     }
-  }
-  const int n_params = static_cast<int>(key_atoms.size());
-  if (n_params < 1 || n_params > 2) {
-    return reject(std::to_string(n_params) +
-                  " key parameters in the scope chain (supported: 1-2)");
-  }
-
-  // Innermost expression: S1 counter or S2 distinct.
-  const CondOp* cond = nullptr;
-  const FoldOp* fold = nullptr;
-  if (const auto* comp = dynamic_cast<const CompOp*>(innermost)) {
-    if (scopes.size() != 1) {
-      return reject("filter >> fold body under nested scopes (counter "
-                    "family supports a single scope level)");
+    if (sc->mode().kind == ScopeMode::Kind::EvalAt) {
+      return reject("scope instantiates per-packet keys (EvalAt mode)");
     }
-    cond = dynamic_cast<const CondOp*>(comp->f());
-    fold = dynamic_cast<const FoldOp*>(comp->g());
-    if (!cond || cond->else_op() || !fold) {
-      return reject("composition body is not filter >> fold");
-    }
-    if (!dynamic_cast<const ConstOp*>(cond->then_op())) {
-      return reject("filter condition carries a non-constant value");
-    }
-    if (fold->agg() != AggOp::Sum) {
-      return reject("fold aggregates with " + agg_name(fold->agg()) +
+    if (sc->mode().agg != AggOp::Sum) {
+      return reject("scope aggregates with " + agg_name(sc->mode().agg) +
                     ", only sum is specialized");
     }
-  } else if (const auto* c = dynamic_cast<const CondOp*>(innermost)) {
-    cond = c;
-    const auto* thn = dynamic_cast<const ConstOp*>(c->then_op());
-    if (!thn || thn->value().kind() != Value::Kind::Int) {
-      return reject("conditional's then-branch is not an integer constant");
-    }
-    plan.then_value = thn->value().as_int();
-    if (c->else_op()) {
-      const auto* els = dynamic_cast<const ConstOp*>(c->else_op());
-      if (!els || els->value().kind() != Value::Kind::Int) {
-        return reject("conditional's else-branch is not an integer constant");
-      }
-      plan.else_value = els->value().as_int();
-      plan.has_else = true;
-    }
-    // The distinct family aggregates with sum at every level.
-    for (const auto* sc : scopes) {
-      if (sc->mode().kind == ScopeMode::Kind::Aggregate &&
-          sc->mode().agg != AggOp::Sum) {
-        return reject("scope aggregates with " + agg_name(sc->mode().agg) +
-                      ", only sum is specialized");
-      }
-    }
-  } else {
-    return reject(std::string("scope body is '") + innermost->kind_name() +
-                  "', not filter >> fold or a conditional");
-  }
-  plan.dfa = &cond->re();
-  if (plan.dfa->n_bits() > 16) {
-    return reject("DFA alphabet uses " + std::to_string(plan.dfa->n_bits()) +
-                  " atoms (> 16-bit letter limit)");
+    scopes.push_back(sc);
+    body = sc->inner();
   }
 
-  // Atom descriptors: parameterized atoms are true by construction for the
-  // looked-up entry; others are evaluated concretely.
-  for (int id : plan.dfa->atom_ids) {
-    const Atom& a = query.table->at(id);
-    if (!field_accessor(a.field.field)) {
-      return reject("predicate field '" + field_name(a.field) +
-                    "' has no specialized accessor");
+  int slot_lo = 0;
+  int slot_hi = 0;
+  if (!scopes.empty()) {
+    slot_lo = scopes.front()->slot_lo();
+    slot_hi = slot_lo;
+    for (const auto* sc : scopes) {
+      slot_hi = std::max(slot_hi, sc->slot_lo() + sc->n_params());
+      std::string key_fields;
+      for (const auto& atoms : sc->cand_atoms()) {
+        if (atoms.size() != 1) {
+          return reject("a scope parameter has " +
+                        std::to_string(atoms.size()) +
+                        " candidate atoms (key extraction needs exactly 1)");
+        }
+        if (!field_accessor(atoms[0].field.field)) {
+          return reject("key field '" + field_name(atoms[0].field) +
+                        "' has no specialized accessor");
+        }
+        plan.key.push_back({atoms[0].field.field, atoms[0].offset, atoms[0]});
+        key_fields += (key_fields.empty() ? "" : ", ") +
+                      field_name(atoms[0].field);
+      }
+      d.chain.push_back("scope(" + std::to_string(sc->n_params()) +
+                        " param" + (sc->n_params() == 1 ? "" : "s") +
+                        "): sparse guard trie keyed by [" + key_fields + "]");
     }
+    const int n_params = static_cast<int>(plan.key.size());
+    if (n_params < 1 || n_params > 2) {
+      return reject(std::to_string(n_params) +
+                    " key parameters in the scope chain (supported: 1-2)");
+    }
+    if (n_params == 2) {
+      // Two parts pack into one uint64 as (k0 << 32) | uint32(k1): bijective
+      // only when each candidate stays inside 32 bits.  Raw built-in fields
+      // do, but an offset shifts the range (negative candidates alias their
+      // mod-2^32 twins, which the interpreter keeps distinct).
+      for (const auto& part : plan.key) {
+        if (part.offset != 0) {
+          return reject(
+              "2-part packed key with an offset parameter (candidate can "
+              "leave the 32-bit component range)");
+        }
+      }
+    }
+    plan.n_top_params = scopes.front()->n_params();
+  }
+
+  // Body shape.
+  std::string err;
+  auto shape = parse_shape(body, d.chain, err);
+  if (!shape) return reject(err);
+
+  // Global letter alphabet: union of all shape DFA atoms, first-seen order.
+  std::vector<const Dfa*> dfas;
+  collect_dfas(*shape, dfas);
+  std::unordered_map<int, int> bit_of;
+  std::vector<int> atom_order;
+  for (const Dfa* dfa : dfas) {
+    for (int id : dfa->atom_ids) {
+      if (bit_of.emplace(id, static_cast<int>(atom_order.size())).second) {
+        atom_order.push_back(id);
+      }
+    }
+  }
+  const int n_bits = static_cast<int>(atom_order.size());
+  if (n_bits > kMaxLetterBits) {
+    return reject("alphabet uses " + std::to_string(n_bits) +
+                  " distinct atoms (> " + std::to_string(kMaxLetterBits) +
+                  "-bit letter limit)");
+  }
+
+  // Atom evaluation strategy per letter bit.
+  for (int id : atom_order) {
+    const Atom& a = query.table->at(id);
     SpecPlan::AtomEval ae;
+    ae.atom = a;
     ae.field = a.field.field;
     if (a.is_param) {
-      if (a.param < slot_lo || a.param >= slot_hi) {
-        return reject("predicate references a parameter outside the scope "
-                      "chain");
+      if (scopes.empty() || a.param < slot_lo || a.param >= slot_hi) {
+        return reject(
+            "predicate references a parameter outside the scope chain");
       }
-      ae.is_param = true;
-    } else {
-      if (a.literal.kind() != Value::Kind::Int) {
-        return reject("predicate literal in '" + a.to_string() +
-                      "' is not an integer");
-      }
-      if (a.op == CmpOp::Contains) {
-        return reject("'contains' predicates need payload scans, not "
-                      "specialized");
-      }
+      ae.kind = SpecPlan::AtomEval::Kind::Param;
+      plan.param_mask |= uint64_t{1} << bit_of.at(id);
+    } else if (field_accessor(a.field.field) &&
+               a.literal.kind() == Value::Kind::Int &&
+               a.op != CmpOp::Contains) {
+      ae.kind = SpecPlan::AtomEval::Kind::FastCmp;
       ae.op = a.op;
       ae.literal = a.literal.as_int();
+    } else {
+      ae.kind = SpecPlan::AtomEval::Kind::Generic;
     }
     plan.atoms.push_back(ae);
   }
 
-  // Per-accept update.
-  if (fold) {
-    plan.has_fold = true;
-    if (fold->use_field()) {
-      if (!field_accessor(fold->field().field)) {
-        return reject("fold field '" + field_name(fold->field()) +
-                      "' has no specialized accessor");
+  // Product machine over the global alphabet.
+  Machine m = build_machine(*shape, n_bits, bit_of);
+  if (m.n > kMaxStates) {
+    return reject("product machine has " + std::to_string(m.n) +
+                  " states (> " + std::to_string(kMaxStates) + "-state limit)");
+  }
+  const uint64_t n_letters = uint64_t{1} << n_bits;
+  const auto col_equal = [&](uint64_t a, uint64_t b) {
+    for (int q = 0; q < m.n; ++q) {
+      const size_t ca = (static_cast<size_t>(q) << n_bits) | a;
+      const size_t cb = (static_cast<size_t>(q) << n_bits) | b;
+      if (m.trans[ca] != m.trans[cb] || m.upd[ca].kind != m.upd[cb].kind ||
+          m.upd[ca].arg != m.upd[cb].arg) {
+        return false;
       }
-      plan.fold_use_field = true;
-      plan.fold_field = fold->field().field;
-    } else {
-      if (fold->constant().kind() != Value::Kind::Int) {
-        return reject("fold constant is not an integer");
+    }
+    return true;
+  };
+
+  plan.create.assign(n_letters, 1);
+  if (!scopes.empty()) {
+    // The trie's default branch steps the body with every parameter unbound
+    // (param atoms false).  The flat table synthesizes missing keys from the
+    // start state, so the default branch must be inert...
+    for (uint64_t letter = 0; letter < n_letters; ++letter) {
+      if (letter & plan.param_mask) continue;
+      const size_t cell = (static_cast<size_t>(m.start) << n_bits) | letter;
+      if (m.trans[cell] != m.start ||
+          m.upd[cell].kind != SpecPlan::Upd::None) {
+        return reject(
+            "scope body advances on parameter-miss letters (default branch "
+            "is not inert)");
       }
-      plan.fold_const = fold->constant().as_int();
+    }
+    // ...and partial-hit letters (some but not all key atoms true — the
+    // trie's mixed default/candidate combos) must collapse to it, or the
+    // trie would grow branches the flat table cannot address.
+    for (uint64_t letter = 0; letter < n_letters; ++letter) {
+      const uint64_t pbits = letter & plan.param_mask;
+      if (pbits == 0 || pbits == plan.param_mask) continue;
+      if (!col_equal(letter, letter & ~plan.param_mask)) {
+        return reject(
+            "cross-parameter partial matches diverge from the default "
+            "branch");
+      }
+    }
+    // Entry creation mirrors the trie's letter-class materialization test:
+    // only letters whose machine column diverges from their parameter-miss
+    // column can distinguish the candidate key from the default branch.
+    for (uint64_t letter = 0; letter < n_letters; ++letter) {
+      plan.create[letter] =
+          col_equal(letter, letter & ~plan.param_mask) ? 0 : 1;
     }
   }
 
-  SpecDecision d;
-  d.reason = std::string("specialized: ") +
-             (fold ? "counter family (scope{filter >> fold})"
-                   : "distinct family (scope{conditional})") +
-             ", " + std::to_string(n_params) + "-part key, " +
-             std::to_string(plan.dfa->n_states()) + "-state DFA";
+  plan.n_states = m.n;
+  plan.start = m.start;
+  plan.n_bits = n_bits;
+  plan.trans = std::move(m.trans);
+  plan.upd.reserve(m.upd.size());
+  plan.upd_arg.reserve(m.upd.size());
+  for (const Update& u : m.upd) {
+    plan.upd.push_back(static_cast<uint8_t>(u.kind));
+    plan.upd_arg.push_back(u.arg);
+  }
+  plan.value_is_acc = m.value_is_acc;
+  plan.acc_defined = std::move(m.acc_defined);
+  plan.accept = std::move(m.accept);
+
+  const Shape* term = shape.get();
+  bool filtered = false;
+  while (term->k == Shape::K::Filtered) {
+    filtered = true;
+    term = term->inner.get();
+  }
+  if (term->k == Shape::K::Distinct) {
+    plan.then_value = term->then_v;
+    plan.else_value = term->else_v;
+    plan.has_else = term->has_else;
+  }
+
+  if (scopes.empty()) {
+    plan.family = term->k == Shape::K::Fold ? "closed fold"
+                  : term->k == Shape::K::Classifier ? "closed classifier"
+                                                    : "closed conditional";
+    if (filtered) plan.family += " (filter >> body)";
+  } else if (term->k == Shape::K::Fold) {
+    plan.family = filtered ? "counter family (scope{filter >> fold})"
+                           : "counter family (scope{fold})";
+  } else if (term->k == Shape::K::Classifier) {
+    plan.family = filtered ? "classifier family (scope{filter >> iter})"
+                           : "classifier family (scope{iter})";
+  } else {
+    plan.family = "distinct family (scope{conditional})";
+  }
+
+  d.chain.push_back("product machine: " + std::to_string(plan.n_states) +
+                    " state(s) over " + std::to_string(n_letters) +
+                    " letters");
+  d.reason = "specialized: " + plan.family +
+             (plan.key.empty()
+                  ? ""
+                  : ", " + std::to_string(plan.key.size()) + "-part key") +
+             ", " + std::to_string(plan.n_states) + "-state machine, " +
+             std::to_string(n_bits) + "-atom alphabet";
   d.plan = std::move(plan);
   return d;
 }
@@ -275,9 +691,23 @@ std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
 
 // ------------------------------------------------------- in-process monitor
 
+SpecializedMonitor::SpecializedMonitor(SpecPlan plan) : plan_(std::move(plan)) {
+  n_bits_ = plan_.n_bits;
+  closed_ = plan_.key.empty();
+  for (size_t i = 0; i < plan_.atoms.size(); ++i) {
+    const auto& a = plan_.atoms[i];
+    if (a.kind == SpecPlan::AtomEval::Kind::Param) continue;
+    eval_atoms_.push_back(
+        {static_cast<int>(i), a.kind, a.field, a.op, a.literal, a.atom});
+    has_generic_ |= a.kind == SpecPlan::AtomEval::Kind::Generic;
+  }
+  closed_state_.q = plan_.start;
+  if (!closed_) slots_.assign(1024, 0);
+}
+
 uint64_t SpecializedMonitor::key_of(const net::Packet& p) const {
-  // Same packing as the rendered code: 1 param `uint64(field) - offset`,
-  // 2 params `(k0 << 32) | uint32(k1)`.
+  // Same packing as the rendered code: 1 part `uint64(field) - offset`,
+  // 2 parts `(k0 << 32) | uint32(k1)`.
   const uint64_t k0 = raw_field(plan_.key[0].field, p) -
                       static_cast<uint64_t>(plan_.key[0].offset);
   if (plan_.key.size() == 1) return k0;
@@ -286,58 +716,264 @@ uint64_t SpecializedMonitor::key_of(const net::Packet& p) const {
   return (k0 << 32) | static_cast<uint32_t>(k1);
 }
 
-void SpecializedMonitor::on_packet(const net::Packet& p) {
-  const uint64_t key = key_of(p);
-  uint64_t letter = 0;
-  for (size_t i = 0; i < plan_.atoms.size(); ++i) {
-    const auto& a = plan_.atoms[i];
+uint64_t SpecializedMonitor::letter_of(const net::Packet& p) const {
+  // Param atoms are true by construction for the candidate-keyed entry.
+  uint64_t letter = plan_.param_mask;
+  for (const auto& a : eval_atoms_) {
     const bool bit =
-        a.is_param || cmp_apply(a.op, raw_field(a.field, p),
-                                static_cast<uint64_t>(a.literal));
-    letter |= static_cast<uint64_t>(bit) << i;
+        a.kind == SpecPlan::AtomEval::Kind::FastCmp
+            ? cmp_apply(a.op, raw_field(a.field, p),
+                        static_cast<uint64_t>(a.literal))
+            : a.atom.eval(p, no_params_);
+    letter |= static_cast<uint64_t>(bit) << a.bit;
   }
-  const Dfa& dfa = *plan_.dfa;
-  const int bits = dfa.n_bits();
-  auto it = table_.find(key);
-  if (it == table_.end()) {
-    // Prune-equivalent: do not create entries that would stay at the start
-    // state without output.
-    const int32_t q1 = dfa.trans[(static_cast<size_t>(dfa.start) << bits) |
-                                 letter];
-    if (q1 == dfa.start && !dfa.accept[static_cast<size_t>(q1)]) return;
-    it = table_.emplace(key, State{dfa.start, 0}).first;
-  }
-  State& s = it->second;
-  s.q = dfa.trans[(static_cast<size_t>(s.q) << bits) | letter];
-  if (plan_.has_fold && dfa.accept[static_cast<size_t>(s.q)]) {
-    s.acc += plan_.fold_use_field
-                 ? static_cast<long long>(raw_field(plan_.fold_field, p))
-                 : plan_.fold_const;
+  return letter;
+}
+
+void SpecializedMonitor::step_entry(Entry& e, uint64_t letter,
+                                    const net::Packet& p) {
+  const size_t cell = (static_cast<size_t>(e.q) << n_bits_) | letter;
+  e.q = plan_.trans[cell];
+  switch (static_cast<SpecPlan::Upd>(plan_.upd[cell])) {
+    case SpecPlan::Upd::None:
+      break;
+    case SpecPlan::Upd::AddConst:
+      e.acc += plan_.upd_arg[cell];
+      e.touched = 1;
+      break;
+    case SpecPlan::Upd::AddField:
+      e.acc += static_cast<long long>(
+          raw_field(static_cast<Field>(plan_.upd_arg[cell]), p));
+      e.touched = 1;
+      break;
   }
 }
 
-long long SpecializedMonitor::aggregate() const {
-  long long total = 0;
-  for (const auto& kv : table_) {
-    if (plan_.has_fold) {
-      total += kv.second.acc;
-    } else if (plan_.dfa->accept[static_cast<size_t>(kv.second.q)]) {
-      total += plan_.then_value;
-    } else if (plan_.has_else) {
-      total += plan_.else_value;
+const SpecializedMonitor::Entry* SpecializedMonitor::find(uint64_t key) const {
+  if (slots_.empty()) return nullptr;
+  const uint64_t mask = slots_.size() - 1;
+  size_t idx = mix64(key) & mask;
+  for (;;) {
+    const uint32_t ei = slots_[idx];
+    if (ei == 0) return nullptr;
+    if (entries_[ei - 1].key == key) return &entries_[ei - 1];
+    idx = (idx + 1) & mask;
+  }
+}
+
+void SpecializedMonitor::grow() {
+  std::vector<uint32_t> next(slots_.size() * 2, 0);
+  const uint64_t mask = next.size() - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t idx = mix64(entries_[i].key) & mask;
+    while (next[idx] != 0) idx = (idx + 1) & mask;
+    next[idx] = static_cast<uint32_t>(i + 1);
+  }
+  slots_ = std::move(next);
+}
+
+SpecializedMonitor::Entry& SpecializedMonitor::insert(uint64_t key,
+                                                      const net::Packet& p) {
+  if ((entries_.size() + 1) * 10 >= slots_.size() * 7) grow();
+  entries_.push_back(Entry{key, static_cast<int32_t>(plan_.start), 0, 0});
+  for (const auto& kp : plan_.key) key_vals_.push_back(kp.atom.candidate(p));
+  const uint64_t mask = slots_.size() - 1;
+  size_t idx = mix64(key) & mask;
+  while (slots_[idx] != 0) idx = (idx + 1) & mask;
+  slots_[idx] = static_cast<uint32_t>(entries_.size());
+  return entries_.back();
+}
+
+void SpecializedMonitor::on_packet(const net::Packet& p) {
+  // Generic atoms (payload scans, custom fields) read the per-packet field
+  // cache; standalone drivers (fuzzer, tests) never arm it themselves.
+  if (has_generic_) begin_packet_fields();
+  const uint64_t letter = letter_of(p);
+  if (closed_) {
+    step_entry(closed_state_, letter, p);
+    return;
+  }
+  const uint64_t key = key_of(p);
+  const uint64_t mask = slots_.size() - 1;
+  size_t idx = mix64(key) & mask;
+  Entry* e = nullptr;
+  for (;;) {
+    const uint32_t ei = slots_[idx];
+    if (ei == 0) break;
+    if (entries_[ei - 1].key == key) {
+      e = &entries_[ei - 1];
+      break;
     }
+    idx = (idx + 1) & mask;
+  }
+  if (e == nullptr) {
+    // Guard-trie materialization mirror: keys whose letter cannot diverge
+    // from the default branch are never instantiated.
+    if (!plan_.create[letter]) return;
+    e = &insert(key, p);
+  }
+  step_entry(*e, letter, p);
+}
+
+Value SpecializedMonitor::entry_value(const Entry& e) const {
+  if (plan_.value_is_acc) {
+    return plan_.acc_defined[static_cast<size_t>(e.q)]
+               ? Value::integer(e.acc)
+               : Value::undef();
+  }
+  if (plan_.accept[static_cast<size_t>(e.q)]) {
+    return Value::integer(plan_.then_value);
+  }
+  return plan_.has_else ? Value::integer(plan_.else_value) : Value::undef();
+}
+
+Value SpecializedMonitor::default_value() const {
+  // A never-observed key sits at the start state with an identity fold.
+  if (plan_.value_is_acc) {
+    return plan_.acc_defined[static_cast<size_t>(plan_.start)]
+               ? Value::integer(0)
+               : Value::undef();
+  }
+  if (plan_.accept[static_cast<size_t>(plan_.start)]) {
+    return Value::integer(plan_.then_value);
+  }
+  return plan_.has_else ? Value::integer(plan_.else_value) : Value::undef();
+}
+
+Value SpecializedMonitor::eval() const {
+  if (closed_) return entry_value(closed_state_);
+  AggAcc acc = AggAcc::identity(AggOp::Sum);
+  for (const auto& e : entries_) {
+    if (!live(e)) continue;
+    acc.add(entry_value(e));
+  }
+  return acc.result();
+}
+
+Value SpecializedMonitor::eval_at(const std::vector<Value>& key) const {
+  if (closed_) return eval();
+  const size_t parts = plan_.key.size();
+  const size_t n_top = static_cast<size_t>(plan_.n_top_params);
+  bool all_def = key.size() >= n_top;
+  for (size_t i = 0; i < n_top && all_def; ++i) all_def &= key[i].defined();
+  if (n_top == parts) {
+    // Flat chain: one entry per full key; undefined components take the
+    // trie's default branch.
+    if (!all_def) return default_value();
+    uint64_t packed = static_cast<uint64_t>(key[0].as_int());
+    if (parts == 2) {
+      // Stored components are offset-free raw fields, always in [0, 2^32);
+      // a probe outside that range can match no entry (and must not alias
+      // one after truncation).
+      const int64_t r0 = key[0].as_int();
+      const int64_t r1 = key[1].as_int();
+      constexpr int64_t kMax32 = 0xFFFFFFFFll;
+      if (r0 < 0 || r0 > kMax32 || r1 < 0 || r1 > kMax32) {
+        return default_value();
+      }
+      packed = (static_cast<uint64_t>(r0) << 32) |
+               static_cast<uint32_t>(static_cast<uint64_t>(r1));
+    }
+    const Entry* e = find(packed);
+    if (e == nullptr || !live(*e)) return default_value();
+    return entry_value(*e);
+  }
+  // Nested chain: the outer key addresses an inner scope whose eval() is a
+  // sum over its own live entries (identity when the prefix was never
+  // observed).
+  AggAcc acc = AggAcc::identity(AggOp::Sum);
+  if (all_def) {
+    const uint64_t prefix = static_cast<uint64_t>(key[0].as_int());
+    for (const auto& e : entries_) {
+      if (!live(e) || (e.key >> 32) != prefix) continue;
+      acc.add(entry_value(e));
+    }
+  }
+  return acc.result();
+}
+
+void SpecializedMonitor::enumerate(
+    const std::function<void(const std::vector<Value>&, const Value&)>& fn)
+    const {
+  if (closed_) return;
+  const size_t parts = plan_.key.size();
+  const size_t n_top = static_cast<size_t>(plan_.n_top_params);
+  std::vector<Value> vals(n_top);
+  if (n_top == parts) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (!live(e)) continue;
+      const Value v = entry_value(e);
+      if (!v.defined()) continue;
+      for (size_t k = 0; k < parts; ++k) vals[k] = key_vals_[i * parts + k];
+      fn(vals, v);
+    }
+    return;
+  }
+  // Nested chain: group live entries by the outer key prefix; each group is
+  // one outer-trie leaf whose value is the inner scope's sum.
+  std::unordered_map<uint64_t, size_t> group_of;
+  std::vector<std::pair<size_t, AggAcc>> groups;  // first entry idx, sum
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (!live(e)) continue;
+    const auto [it, fresh] = group_of.emplace(e.key >> 32, groups.size());
+    if (fresh) groups.emplace_back(i, AggAcc::identity(AggOp::Sum));
+    groups[it->second].second.add(entry_value(e));
+  }
+  for (auto& [first, acc] : groups) {
+    for (size_t k = 0; k < n_top; ++k) vals[k] = key_vals_[first * parts + k];
+    fn(vals, acc.result());
+  }
+}
+
+void SpecializedMonitor::reset() {
+  // Release capacity too: reset must drop the state footprint back to the
+  // freshly-constructed gauge (the engine resamples memory after reset).
+  std::vector<Entry>().swap(entries_);
+  std::vector<Value>().swap(key_vals_);
+  if (!closed_) std::vector<uint32_t>(1024, 0).swap(slots_);
+  closed_state_ = Entry{};
+  closed_state_.q = plan_.start;
+}
+
+size_t SpecializedMonitor::memory() const {
+  return sizeof(*this) + slots_.capacity() * sizeof(uint32_t) +
+         entries_.capacity() * sizeof(Entry) +
+         key_vals_.capacity() * sizeof(Value) +
+         plan_.trans.capacity() * sizeof(int32_t) +
+         plan_.upd.capacity() * sizeof(uint8_t) +
+         plan_.upd_arg.capacity() * sizeof(int64_t);
+}
+
+size_t SpecializedMonitor::entries() const {
+  if (closed_) return 0;
+  size_t n = 0;
+  for (const auto& e : entries_) n += live(e) ? 1 : 0;
+  return n;
+}
+
+long long SpecializedMonitor::aggregate() const {
+  if (closed_) {
+    const Value v = entry_value(closed_state_);
+    return v.defined() ? v.as_int() : 0;
+  }
+  long long total = 0;
+  for (const auto& e : entries_) {
+    if (!live(e)) continue;
+    const Value v = entry_value(e);
+    if (v.defined()) total += v.as_int();
   }
   return total;
 }
 
 long long SpecializedMonitor::at(uint64_t key) const {
-  auto it = table_.find(key);
-  if (plan_.has_fold) return it == table_.end() ? 0 : it->second.acc;
-  if (it == table_.end()) return plan_.has_else ? plan_.else_value : 0;
-  if (plan_.dfa->accept[static_cast<size_t>(it->second.q)]) {
-    return plan_.then_value;
-  }
-  return plan_.has_else ? plan_.else_value : 0;
+  const Entry* e = find(key);
+  if (plan_.value_is_acc) return e == nullptr ? 0 : e->acc;
+  if (e == nullptr) return plan_.has_else ? plan_.else_value : 0;
+  return plan_.accept[static_cast<size_t>(e->q)]
+             ? plan_.then_value
+             : (plan_.has_else ? plan_.else_value : 0);
 }
 
 // ------------------------------------------------------------ C++ renderer
@@ -347,25 +983,38 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
   auto plan_opt = analyze_spec(query);
   if (!plan_opt) return std::nullopt;
   const SpecPlan& plan = *plan_opt;
-  const Dfa& dfa = *plan.dfa;
 
-  // Atom expressions, one per DFA letter bit.
+  // The standalone pipeline has no payload/custom-field machinery and one
+  // inlined field expression per update table.
+  std::optional<Field> upd_field;
+  for (size_t cell = 0; cell < plan.upd.size(); ++cell) {
+    if (static_cast<SpecPlan::Upd>(plan.upd[cell]) != SpecPlan::Upd::AddField) {
+      continue;
+    }
+    const auto f = static_cast<Field>(plan.upd_arg[cell]);
+    if (upd_field && *upd_field != f) return std::nullopt;
+    upd_field = f;
+  }
   std::vector<std::string> atom_exprs;
   for (const auto& a : plan.atoms) {
-    if (a.is_param) {
-      atom_exprs.push_back("1u");  // true for the candidate-keyed entry
-    } else {
-      atom_exprs.push_back("(uint64_t(" + *field_accessor(a.field) + ") " +
-                           cmp_cpp(a.op) + " uint64_t(" +
-                           std::to_string(a.literal) + "))");
+    switch (a.kind) {
+      case SpecPlan::AtomEval::Kind::Param:
+        atom_exprs.push_back("1u");  // true for the candidate-keyed entry
+        break;
+      case SpecPlan::AtomEval::Kind::FastCmp:
+        atom_exprs.push_back("(uint64_t(" + *field_accessor(a.field) + ") " +
+                             cmp_cpp(a.op) + " uint64_t(" +
+                             std::to_string(a.literal) + "))");
+        break;
+      case SpecPlan::AtomEval::Kind::Generic:
+        return std::nullopt;
     }
   }
-  std::string fold_expr;
-  if (plan.has_fold) {
-    fold_expr = plan.fold_use_field
-                    ? "int64_t(" + *field_accessor(plan.fold_field) + ")"
-                    : std::to_string(plan.fold_const);
-  }
+
+  const size_t n_letters = size_t{1} << plan.n_bits;
+  const bool scoped = !plan.key.empty();
+  bool all_acc_defined = true;
+  for (const uint8_t def : plan.acc_defined) all_acc_defined &= def != 0;
 
   std::ostringstream out;
   out << "// Generated by the NetQRE compiler (specialized query: " << name
@@ -377,87 +1026,156 @@ std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
       << "};\n\n"
       << "class " << name << " {\n public:\n";
 
-  // Transition / accept tables.
-  const int bits = dfa.n_bits();
-  out << "  static constexpr int kBits = " << bits << ";\n";
-  out << "  static constexpr int32_t kTrans[] = {";
-  for (size_t i = 0; i < dfa.trans.size(); ++i) {
-    out << (i ? "," : "") << dfa.trans[i];
+  // Product machine tables.
+  out << "  static constexpr int kBits = " << plan.n_bits << ";\n"
+      << "  static constexpr int32_t kStart = " << plan.start << ";\n"
+      << "  static constexpr int32_t kTrans[] = {";
+  for (size_t i = 0; i < plan.trans.size(); ++i) {
+    out << (i ? "," : "") << plan.trans[i];
   }
-  out << "};\n  static constexpr bool kAccept[] = {";
-  for (size_t i = 0; i < dfa.accept.size(); ++i) {
-    out << (i ? "," : "") << (dfa.accept[i] ? "true" : "false");
+  out << "};\n  static constexpr uint8_t kUpd[] = {";
+  for (size_t i = 0; i < plan.upd.size(); ++i) {
+    out << (i ? "," : "") << static_cast<int>(plan.upd[i]);
   }
-  out << "};\n  static constexpr int32_t kStart = " << dfa.start << ";\n\n";
-
-  out << "  void on_packet(const NetqrePacket& p) {\n";
-  // Key from the candidate atoms.
-  if (plan.key.size() == 1) {
-    const auto& k = plan.key[0];
-    out << "    const uint64_t key = uint64_t(" << *field_accessor(k.field)
-        << ")" << (k.offset ? " - " + std::to_string(k.offset) : "") << ";\n";
-  } else {
-    const auto& k0 = plan.key[0];
-    const auto& k1 = plan.key[1];
-    out << "    const uint64_t key = (uint64_t(" << *field_accessor(k0.field)
-        << ")" << (k0.offset ? " - " + std::to_string(k0.offset) : "")
-        << " << 32) | uint32_t(uint64_t(" << *field_accessor(k1.field) << ")"
-        << (k1.offset ? " - " + std::to_string(k1.offset) : "") << ");\n";
+  out << "};\n  static constexpr long long kUpdC[] = {";
+  for (size_t i = 0; i < plan.upd_arg.size(); ++i) {
+    const bool is_const =
+        static_cast<SpecPlan::Upd>(plan.upd[i]) == SpecPlan::Upd::AddConst;
+    out << (i ? "," : "") << (is_const ? plan.upd_arg[i] : 0);
   }
-  // Letter (param atoms true for this key's entry).
+  out << "};\n";
+  if (!plan.value_is_acc) {
+    out << "  static constexpr bool kAccept[] = {";
+    for (size_t i = 0; i < plan.accept.size(); ++i) {
+      out << (i ? "," : "") << (plan.accept[i] ? "true" : "false");
+    }
+    out << "};\n";
+  } else if (!all_acc_defined) {
+    out << "  static constexpr bool kAccDef[] = {";
+    for (size_t i = 0; i < plan.acc_defined.size(); ++i) {
+      out << (i ? "," : "") << (plan.acc_defined[i] ? "true" : "false");
+    }
+    out << "};\n";
+  }
+  if (scoped) {
+    out << "  static constexpr bool kCreate[] = {";
+    for (size_t i = 0; i < n_letters; ++i) {
+      out << (i ? "," : "") << (plan.create[i] ? "true" : "false");
+    }
+    out << "};\n";
+  }
+  out << "\n  void on_packet(const NetqrePacket& p) {\n";
+  if (scoped) {
+    if (plan.key.size() == 1) {
+      const auto& k = plan.key[0];
+      out << "    const uint64_t key = uint64_t(" << *field_accessor(k.field)
+          << ")" << (k.offset ? " - " + std::to_string(k.offset) : "")
+          << ";\n";
+    } else {
+      const auto& k0 = plan.key[0];
+      const auto& k1 = plan.key[1];
+      out << "    const uint64_t key = (uint64_t("
+          << *field_accessor(k0.field) << ")"
+          << (k0.offset ? " - " + std::to_string(k0.offset) : "")
+          << " << 32) | uint32_t(uint64_t(" << *field_accessor(k1.field)
+          << ")" << (k1.offset ? " - " + std::to_string(k1.offset) : "")
+          << ");\n";
+    }
+  }
   out << "    const uint64_t letter =";
   for (size_t i = 0; i < atom_exprs.size(); ++i) {
     out << (i ? " |" : "") << " ((" << atom_exprs[i] << ") << " << i << ")";
   }
   if (atom_exprs.empty()) out << " 0";
   out << ";\n";
-  // Prune-equivalent: do not create entries that would stay at the start
-  // state without output.
-  out << "    auto it = table_.find(key);\n"
-      << "    if (it == table_.end()) {\n"
-      << "      const int32_t q1 = kTrans[(kStart << kBits) | letter];\n"
-      << "      if (q1 == kStart && !kAccept[q1]) return;\n"
-      << "      it = table_.emplace(key, State{}).first;\n"
-      << "    }\n"
-      << "    State& s = it->second;\n"
-      << "    s.q = kTrans[(s.q << kBits) | letter];\n";
-  if (plan.has_fold) {
-    out << "    if (kAccept[s.q]) s.acc += " << fold_expr << ";\n";
+  if (scoped) {
+    // Guard-trie materialization mirror (see SpecPlan::create).
+    out << "    auto it = table_.find(key);\n"
+        << "    if (it == table_.end()) {\n"
+        << "      if (!kCreate[letter]) return;\n"
+        << "      it = table_.emplace(key, State{}).first;\n"
+        << "    }\n"
+        << "    State& s = it->second;\n";
+  } else {
+    out << "    State& s = state_;\n";
+  }
+  out << "    const size_t cell = (size_t(s.q) << kBits) | letter;\n"
+      << "    s.q = kTrans[cell];\n"
+      << "    if (kUpd[cell] == 1) { s.acc += kUpdC[cell]; s.touched = true; "
+         "}\n";
+  if (upd_field) {
+    out << "    else if (kUpd[cell] == 2) { s.acc += int64_t("
+        << *field_accessor(*upd_field) << "); s.touched = true; }\n";
   }
   out << "  }\n\n";
 
-  out << "  // Sum over all observed instantiations (the scope's aggregate)\n"
+  // Per-entry read-out shared by aggregate() and at().
+  const std::string then_ll = std::to_string(plan.then_value) + "LL";
+  const std::string else_ll =
+      std::to_string(plan.has_else ? plan.else_value : 0) + "LL";
+  out << "  // Sum over all observed instantiations (the scope's "
+         "aggregate).\n"
       << "  long long aggregate() const {\n"
       << "    long long total = 0;\n";
-  if (plan.has_fold) {
-    out << "    for (const auto& kv : table_) total += kv.second.acc;\n";
-  } else if (plan.has_else) {
-    out << "    for (const auto& kv : table_)\n"
-        << "      total += kAccept[kv.second.q] ? " << plan.then_value
-        << "LL : " << plan.else_value << "LL;\n";
+  const auto emit_value_add = [&](const std::string& state,
+                                  const std::string& indent) {
+    if (plan.value_is_acc && all_acc_defined) {
+      out << indent << "total += " << state << ".acc;\n";
+    } else if (plan.value_is_acc) {
+      out << indent << "if (kAccDef[" << state << ".q]) total += " << state
+          << ".acc;\n";
+    } else if (plan.has_else) {
+      out << indent << "total += kAccept[" << state << ".q] ? " << then_ll
+          << " : " << else_ll << ";\n";
+    } else {
+      out << indent << "if (kAccept[" << state << ".q]) total += " << then_ll
+          << ";\n";
+    }
+  };
+  if (scoped) {
+    out << "    for (const auto& kv : table_) {\n"
+        << "      if (kv.second.q == kStart && !kv.second.touched) "
+           "continue;\n";
+    emit_value_add("kv.second", "      ");
+    out << "    }\n";
   } else {
-    out << "    for (const auto& kv : table_)\n"
-        << "      if (kAccept[kv.second.q]) total += " << plan.then_value
-        << "LL;\n";
+    emit_value_add("state_", "    ");
   }
-  out << "    return total;\n"
-      << "  }\n"
-      << "  long long at(uint64_t key) const {\n"
-      << "    auto it = table_.find(key);\n";
-  if (plan.has_fold) {
-    out << "    return it == table_.end() ? 0 : it->second.acc;\n";
+  out << "    return total;\n  }\n";
+
+  out << "  long long at(uint64_t key) const {\n";
+  if (!scoped) {
+    out << "    (void)key;\n    return aggregate();\n";
   } else {
-    out << "    if (it == table_.end()) return "
-        << (plan.has_else ? plan.else_value : 0) << "LL;\n"
-        << "    return kAccept[it->second.q] ? " << plan.then_value
-        << "LL : " << (plan.has_else ? plan.else_value : 0) << "LL;\n";
+    out << "    auto it = table_.find(key);\n";
+    if (plan.value_is_acc) {
+      out << "    return it == table_.end() ? 0 : it->second.acc;\n";
+    } else {
+      out << "    if (it == table_.end()) return " << else_ll << ";\n"
+          << "    return kAccept[it->second.q] ? " << then_ll << " : "
+          << else_ll << ";\n";
+    }
   }
   out << "  }\n"
-      << "  size_t entries() const { return table_.size(); }\n\n"
+      << "  size_t entries() const {\n";
+  if (scoped) {
+    out << "    size_t n = 0;\n"
+        << "    for (const auto& kv : table_)\n"
+        << "      if (kv.second.q != kStart || kv.second.touched) ++n;\n"
+        << "    return n;\n";
+  } else {
+    out << "    return 0;\n";
+  }
+  out << "  }\n\n"
       << " private:\n"
-      << "  struct State { int32_t q = kStart; long long acc = 0; };\n"
-      << "  std::unordered_map<uint64_t, State> table_;\n"
-      << "};\n";
+      << "  struct State { int32_t q = kStart; bool touched = false; "
+         "long long acc = 0; };\n";
+  if (scoped) {
+    out << "  std::unordered_map<uint64_t, State> table_;\n";
+  } else {
+    out << "  State state_;\n";
+  }
+  out << "};\n";
 
   GeneratedProgram prog;
   prog.source = out.str();

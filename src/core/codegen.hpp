@@ -4,121 +4,198 @@
 //
 // The back-end is split in two:
 //
-//   1. analyze_spec() proves that a compiled query fits the specializable
-//      shape and distills it into a SpecPlan — key atoms, DFA tables, atom
-//      evaluation descriptors, and the per-accept update.  The proof relies
-//      on the sparse-scope validation (every non-full-match letter is a
-//      no-op), so a plan's semantics are exactly those of the interpreted
-//      guard trie.
+//   1. analyze_spec() proves that a compiled query fits a specializable
+//      shape and distills it into a SpecPlan: a single product step machine
+//      (transition table + per-cell accumulator update) over a global atom
+//      alphabet, plus the key-extraction and entry-creation rules that make
+//      the flat table bit-identical to the interpreter's guard trie.  The
+//      proof relies on the sparse-scope validation (every non-full-match
+//      letter is a no-op) and, when a certificate gate is supplied, on the
+//      static certifier's unambiguity / state-boundedness verdicts.
 //   2. Two consumers of the plan: generate_cpp() renders it as a standalone
 //      C++ translation unit (the gcc pipeline of §6), and SpecializedMonitor
-//      executes it in-process with byte-for-byte identical key packing and
-//      transition logic.  The in-process monitor is what the differential
-//      fuzzer (src/fuzz) cross-checks on every iteration — invoking gcc per
-//      random program would be infeasible.
+//      executes it in-process.  The in-process monitor is both the fuzzer's
+//      codegen oracle and the engine's compiled execution tier (Engine
+//      auto-selects it behind the certificate gate).
 //
-// The supported shape is the common query family
+// Supported shapes — the operator vocabulary of the Table-1 query families:
 //
-//     scope(params){ filter(conjunction of param/literal atoms) >> fold }
+//     scope(P...){ filter >> ... >> fold }          counter family
+//     scope(P...){ filter >> iter(classifier) }     per-key classifiers
+//     scope(P){ scope(P'){ cond[_else] } }          distinct / superspreader
+//     fold | filter >> fold | iter(classifier)      closed (keyless) queries
 //
-// (heavy hitter, entropy, flow-size distribution, per-source byte counters,
-// the DNS counters, ...) plus the nested-scope distinct family.  Queries
-// outside the shape return nullopt and run on the interpreting runtime.
+// where filters may chain, classifiers are single-packet CondOp chains, and
+// scopes may nest (plan-within-plan key composition, 1-2 key parts total).
+// Queries outside the vocabulary — split decompositions, Conn-keyed scopes,
+// value-level ternaries — return a structured refutation chain and run on
+// the interpreting runtime.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/builder.hpp"
 
 namespace netqre::core {
 
-// Distilled execution plan for a specializable query.  Everything both
-// back-ends need, with the shape proofs already done.
+// Distilled execution plan for a specializable query.  Self-contained: DFA
+// products are flattened into owned tables, so a plan outlives the query it
+// was analyzed from and can be moved across shard threads freely.
 struct SpecPlan {
-  // How one DFA-alphabet atom is evaluated against a packet.
+  // How one alphabet atom is evaluated against a packet.
   struct AtomEval {
-    bool is_param = false;  // key atom: true by construction for the entry
+    enum class Kind : uint8_t {
+      Param,    // key atom: true by construction for the looked-up entry
+      FastCmp,  // raw numeric built-in field vs integer literal
+      Generic,  // full Atom::eval (contains-scans, custom fields)
+    };
+    Kind kind = Kind::FastCmp;
     Field field = Field::Len;
     CmpOp op = CmpOp::Eq;
     int64_t literal = 0;
+    Atom atom;  // Generic evaluation; also kept for diagnostics
   };
   // One scope parameter: key component extracted from a packet field.
   struct KeyPart {
     Field field = Field::Len;
     int64_t offset = 0;  // candidate = field_value - offset
+    Atom atom;           // for typed Value reconstruction (enumerate keys)
   };
+  // Per-cell accumulator update of the step machine.
+  enum class Upd : uint8_t { None = 0, AddConst = 1, AddField = 2 };
 
-  std::vector<KeyPart> key;          // 1 or 2 parts
-  std::vector<AtomEval> atoms;       // indexed by DFA letter bit
-  const Dfa* dfa = nullptr;          // owned by the CompiledQuery's op tree
-  // Per-accept update: S1 folds fold_expr into the entry accumulator; S2
-  // contributes then/else values at evaluation time instead.
-  bool has_fold = false;
-  bool fold_use_field = false;
-  Field fold_field = Field::Len;
-  int64_t fold_const = 0;
+  std::vector<KeyPart> key;  // 0 (closed query), 1 or 2 parts
+  int n_top_params = 0;      // arity of the outermost scope (enumerate keys)
+  std::vector<AtomEval> atoms;  // indexed by letter bit
+  uint64_t param_mask = 0;      // letter bits of Param-kind atoms
+
+  // Product step machine over the global alphabet.  Cell index is
+  // (state << n_bits) | letter.
+  int n_states = 1;
+  int start = 0;
+  int n_bits = 0;
+  std::vector<int32_t> trans;
+  std::vector<uint8_t> upd;      // Upd per cell
+  std::vector<int64_t> upd_arg;  // AddConst amount / AddField Field enum
+
+  // Per-entry value read-out.  Counter/classifier machines read the
+  // accumulator (undefined in dead classifier states); distinct machines
+  // read acceptance into then/else constants.
+  bool value_is_acc = true;
+  std::vector<uint8_t> acc_defined;  // per state, when value_is_acc
+  std::vector<uint8_t> accept;       // per state, when !value_is_acc
   int64_t then_value = 0;
   int64_t else_value = 0;
   bool has_else = false;
-};
 
-// Verdicts distilled from a ResourceCertificate (src/lang/certify), fed into
-// the eligibility proof without reversing the core → lang layering.  The
-// specialized back-end assumes an unambiguous query with per-key O(1) state;
-// a gate with either bit cleared vetoes specialization even when the op-tree
-// shape matches.
-struct SpecGate {
-  bool unambiguous = true;    // every split/iter decomposition proven (§3.3)
-  bool state_bounded = true;  // per-key register count proven finite
-  std::string detail;         // human-readable reason when a bit is false
+  // Entry creation: mirror of the guard trie's letter-class materialization
+  // test.  create[L] is true iff column L of the machine differs from the
+  // column of L with every Param bit cleared — i.e. the packet's candidate
+  // key can diverge from the default branch.  Entries are only created on
+  // such letters, which keeps the entry set identical to the trie's.
+  std::vector<uint8_t> create;
+
+  std::string family;  // human-readable shape family (reason strings)
 };
 
 // Outcome of the eligibility proof: a plan when the query specializes, plus
 // a structured reason either way — what shape was proven, or the first
 // obstruction found.  No silent nullopt: every rejection names its cause.
+// `chain` records the proof steps (proven sub-shapes in order, then the
+// obstruction marked with a leading "✗") for --explain-tier rendering.
 struct SpecDecision {
   std::optional<SpecPlan> plan;
   std::string reason;
+  std::vector<std::string> chain;
 
   [[nodiscard]] bool specialized() const { return plan.has_value(); }
 };
 
-// Proves `query` fits the specializable shape.  `gate` (optional) carries
+// Proves `query` fits a specializable shape.  `gate` (optional) carries
 // the certificate verdicts; when null only the structural proof runs.
 SpecDecision analyze_spec_explained(const CompiledQuery& query,
                                     const SpecGate* gate = nullptr);
 
-// Proves `query` fits the specializable shape and returns its plan, or
-// nullopt when the query must run on the interpreting runtime.  The plan
-// borrows the query's DFA; keep the query alive while using it.
+// Proves `query` fits a specializable shape and returns its plan, or
+// nullopt when the query must run on the interpreting runtime.
 std::optional<SpecPlan> analyze_spec(const CompiledQuery& query);
 
-// In-process executor for a SpecPlan.  Mirrors the generated C++ exactly:
-// same uint64 key packing, same start-state pruning, same accept/fold
-// updates.  This is the "codegen path" oracle used by the fuzzer.
+// In-process executor for a SpecPlan — the engine's compiled tier and the
+// fuzzer's codegen oracle.  Open-addressing flat table keyed by the packed
+// key; entry creation and liveness mirror the guard trie's materialization
+// and pruning rules, so enumerate()/eval()/eval_at() are bit-identical to
+// the interpreter on specialized queries.
 class SpecializedMonitor {
  public:
-  explicit SpecializedMonitor(const SpecPlan& plan) : plan_(plan) {}
+  explicit SpecializedMonitor(SpecPlan plan);
 
   void on_packet(const net::Packet& p);
-  // Sum over all observed instantiations (the scope's aggregate).
+
+  // Engine-facing surface (mirrors the interpreter's result API).
+  [[nodiscard]] Value eval() const;
+  [[nodiscard]] Value eval_at(const std::vector<Value>& key) const;
+  void enumerate(const std::function<void(const std::vector<Value>&,
+                                          const Value&)>& fn) const;
+  void reset();
+  [[nodiscard]] size_t memory() const;
+  // Entries distinguishable from the never-observed default (the guard
+  // trie's leaf count).
+  [[nodiscard]] size_t entries() const;
+
+  // Raw surface used by the differential fuzzer and the codegen tests:
+  // same packed keys and long-long read-out as the generated C++.
   [[nodiscard]] long long aggregate() const;
   [[nodiscard]] long long at(uint64_t key) const;
-  [[nodiscard]] size_t entries() const { return table_.size(); }
-  // The packed key the generated code would compute for this packet.
   [[nodiscard]] uint64_t key_of(const net::Packet& p) const;
 
+  [[nodiscard]] const SpecPlan& plan() const { return plan_; }
+
  private:
-  struct State {
-    int32_t q;
+  struct Entry {
+    uint64_t key = 0;
+    int32_t q = 0;
+    uint8_t touched = 0;  // an accumulator update fired at least once
     long long acc = 0;
   };
+
+  void step_entry(Entry& e, uint64_t letter, const net::Packet& p);
+  [[nodiscard]] uint64_t letter_of(const net::Packet& p) const;
+  [[nodiscard]] bool live(const Entry& e) const {
+    return e.touched || e.q != plan_.start;
+  }
+  [[nodiscard]] Value entry_value(const Entry& e) const;
+  [[nodiscard]] Value default_value() const;  // never-observed key read-out
+  [[nodiscard]] const Entry* find(uint64_t key) const;
+  Entry& insert(uint64_t key, const net::Packet& p);
+  void grow();
+
   SpecPlan plan_;
-  std::unordered_map<uint64_t, State> table_;
+  int n_bits_ = 0;
+  bool closed_ = false;
+  // Non-param atoms with their letter bit, for the per-packet letter loop.
+  struct EvalAtom {
+    int bit;
+    SpecPlan::AtomEval::Kind kind;
+    Field field;
+    CmpOp op;
+    int64_t literal;
+    Atom atom;
+  };
+  std::vector<EvalAtom> eval_atoms_;
+  bool has_generic_ = false;  // some atom needs the packet field cache
+  Valuation no_params_;       // empty valuation for Generic Atom::eval
+
+  // Closed-query state (key.empty()).
+  Entry closed_state_;
+
+  // Open addressing: slot -> entry index + 1; entries in insertion order.
+  std::vector<uint32_t> slots_;
+  std::vector<Entry> entries_;
+  std::vector<Value> key_vals_;  // plan_.key.size() Values per entry
 };
 
 struct GeneratedProgram {
@@ -127,7 +204,8 @@ struct GeneratedProgram {
 };
 
 // Generates specialized C++ for `query`, or nullopt when the query's shape
-// is not supported by the specializer.
+// is not supported by the renderer (no plan, Generic atoms that need the
+// runtime's payload/custom-field machinery, or multi-field updates).
 std::optional<GeneratedProgram> generate_cpp(const CompiledQuery& query,
                                              const std::string& name);
 

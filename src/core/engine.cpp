@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
@@ -12,13 +14,24 @@ namespace netqre::core {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+
+// NETQRE_FORCE_TIER=interpreted|compiled overrides Auto tier selection.
+EngineTier env_forced_tier() {
+  const char* e = std::getenv("NETQRE_FORCE_TIER");
+  if (e == nullptr || *e == '\0') return EngineTier::Auto;
+  if (std::strcmp(e, "interpreted") == 0) return EngineTier::Interpreted;
+  if (std::strcmp(e, "compiled") == 0) return EngineTier::Compiled;
+  return EngineTier::Auto;
+}
 }  // namespace
 
-Engine::Engine(CompiledQuery query) : query_(std::move(query)) {
+Engine::Engine(CompiledQuery query, EngineTier tier)
+    : query_(std::move(query)) {
   if (!query_.root) throw std::runtime_error("engine: empty query");
   state_ = query_.root->make_state();
   val_.assign(query_.n_slots, Value::undef());
   top_scope_ = dynamic_cast<const ParamScopeOp*>(query_.root.get());
+  select_tier(tier);
   auto& reg = obs::registry();
   packets_total_ = &reg.counter("netqre_engine_packets_total");
   actions_total_ = &reg.counter("netqre_engine_actions_fired_total");
@@ -28,7 +41,81 @@ Engine::Engine(CompiledQuery query) : query_(std::move(query)) {
   guarded_states_ = &reg.gauge("netqre_engine_guarded_states");
 }
 
+void Engine::select_tier(EngineTier tier) {
+  if (tier == EngineTier::Auto) tier = env_forced_tier();
+  switch (tier) {
+    case EngineTier::Interpreted:
+      decision_.reason = "interpreted: tier forced";
+      decision_.chain = {"\xE2\x9C\x97 tier forced to interpreted"};
+      return;
+    case EngineTier::Compiled:
+      // Forced: run the structural proof (with the gate when present) and
+      // fall back with the refutation when it does not go through.
+      decision_ = analyze_spec_explained(
+          query_, query_.gate ? &*query_.gate : nullptr);
+      if (!decision_.plan) {
+        decision_.reason =
+            "interpreted: forced compiled tier unavailable -- " +
+            decision_.reason;
+      }
+      break;
+    case EngineTier::Auto:
+      // Auto-selection requires the certificate gate: builder-compiled
+      // queries (tests, fuzzing) carry none and stay on the interpreter
+      // unless a tier is forced.
+      if (!query_.gate) {
+        decision_.reason =
+            "interpreted: no resource certificate (builder-compiled query)";
+        decision_.chain = {
+            "\xE2\x9C\x97 no resource certificate (builder-compiled query)"};
+        return;
+      }
+      decision_ = analyze_spec_explained(query_, &*query_.gate);
+      break;
+  }
+  if (decision_.plan) {
+    spec_ = std::make_unique<SpecializedMonitor>(*decision_.plan);
+  }
+}
+
+Value Engine::eval() const {
+  return spec_ ? spec_->eval() : query_.root->eval(*state_);
+}
+
+size_t Engine::state_memory() const {
+  return spec_ ? spec_->memory() : state_->memory();
+}
+
 void Engine::on_packet(const net::Packet& p) {
+  if (spec_) {
+    // Compiled tier: the monitor arms the field cache itself when needed;
+    // action-typed queries never specialize, so dispatch is step-only.
+    const bool sample =
+        obs::kEnabled && (n_packets_ & (kLatencySampleEvery - 1)) == 0;
+    Clock::time_point t0{};
+    if (sample) t0 = Clock::now();
+    spec_->on_packet(p);
+    if (sample) {
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+      latency_ns_->observe(ns);
+      if (ns > static_cast<double>(kSlowPacketTraceNs)) {
+        obs::tracer().record(obs::TraceKind::SlowPacket,
+                             static_cast<uint64_t>(ns), kSlowPacketTraceNs);
+      }
+    }
+    ++n_packets_;
+    packets_total_->inc();
+    if (obs::kEnabled && n_packets_ >= next_state_sample_) {
+      sample_state_metrics();
+      const uint64_t interval =
+          std::min(next_state_sample_, kStateSampleMaxInterval);
+      next_state_sample_ += interval;
+    }
+    return;
+  }
   begin_packet_fields();
   EvalContext ctx{&p, &val_, prof_.get()};
   // Sampled per-packet latency: two clock reads every kLatencySampleEvery
@@ -84,6 +171,55 @@ void Engine::on_batch(std::span<const net::Packet> batch) {
     // Action dispatch needs the firing packet: take the scalar path so the
     // handler sees exactly the packet that completed the pattern.
     for (const auto& p : batch) on_packet(p);
+    return;
+  }
+  if (spec_) {
+    Clock::time_point t0{};
+    double max_sampled_ns = 0;
+    uint64_t i = 0;
+    if constexpr (obs::kEnabled) {
+      t0 = Clock::now();
+      obs::tracer().record(obs::TraceKind::BatchBegin, batch.size());
+    }
+    for (const auto& p : batch) {
+      if constexpr (obs::kEnabled) {
+        if ((i++ & (kLatencySampleEvery - 1)) == 0) {
+          const auto s0 = Clock::now();
+          spec_->on_packet(p);
+          const double ns = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - s0)
+                  .count());
+          if (ns > max_sampled_ns) max_sampled_ns = ns;
+          continue;
+        }
+      }
+      spec_->on_packet(p);
+    }
+    if constexpr (obs::kEnabled) {
+      const auto dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - t0)
+                          .count();
+      latency_ns_->observe(static_cast<double>(dt) /
+                           static_cast<double>(batch.size()));
+      latency_ns_->observe(max_sampled_ns);
+      obs::tracer().record(obs::TraceKind::BatchEnd, batch.size(),
+                           static_cast<uint64_t>(dt));
+      if (max_sampled_ns > static_cast<double>(kSlowPacketTraceNs)) {
+        obs::tracer().record(obs::TraceKind::SlowPacket,
+                             static_cast<uint64_t>(max_sampled_ns),
+                             kSlowPacketTraceNs);
+      }
+    }
+    n_packets_ += batch.size();
+    packets_total_->inc(batch.size());
+    if (obs::kEnabled && n_packets_ >= next_state_sample_) {
+      sample_state_metrics();
+      while (n_packets_ >= next_state_sample_) {
+        next_state_sample_ +=
+            std::min(next_state_sample_, kStateSampleMaxInterval);
+      }
+    }
     return;
   }
   EvalContext ctx{nullptr, &val_, prof_.get()};
@@ -152,7 +288,7 @@ Value Engine::eval_at(const std::vector<Value>& key) const {
   if (!top_scope_) {
     throw std::runtime_error("eval_at: query has no top-level parameters");
   }
-  return top_scope_->eval_at(*state_, key);
+  return spec_ ? spec_->eval_at(key) : top_scope_->eval_at(*state_, key);
 }
 
 void Engine::enumerate(const std::function<void(const std::vector<Value>&,
@@ -160,21 +296,29 @@ void Engine::enumerate(const std::function<void(const std::vector<Value>&,
   if (!top_scope_) {
     throw std::runtime_error("enumerate: query has no top-level parameters");
   }
-  top_scope_->enumerate(*state_, fn);
+  if (spec_) {
+    spec_->enumerate(fn);
+  } else {
+    top_scope_->enumerate(*state_, fn);
+  }
 }
 
 void Engine::snapshot_results(std::vector<ResultSample>& out) const {
   if (top_scope_) {
-    top_scope_->enumerate(
-        *state_, [&](const std::vector<Value>& key, const Value& v) {
-          if (!v.defined()) return;
-          std::string name;
-          for (size_t i = 0; i < key.size(); ++i) {
-            if (i) name += ',';
-            name += key[i].to_string();
-          }
-          out.push_back({std::move(name), v.as_double()});
-        });
+    const auto emit = [&](const std::vector<Value>& key, const Value& v) {
+      if (!v.defined()) return;
+      std::string name;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (i) name += ',';
+        name += key[i].to_string();
+      }
+      out.push_back({std::move(name), v.as_double()});
+    };
+    if (spec_) {
+      spec_->enumerate(emit);
+    } else {
+      top_scope_->enumerate(*state_, emit);
+    }
     return;
   }
   const Value v = eval();
@@ -183,6 +327,7 @@ void Engine::snapshot_results(std::vector<ResultSample>& out) const {
 
 void Engine::reset() {
   fired_.clear();
+  if (spec_) spec_->reset();
   state_ = query_.root->make_state();
   val_.assign(query_.n_slots, Value::undef());
   n_packets_ = 0;
@@ -195,6 +340,11 @@ void Engine::reset() {
 }
 
 void Engine::sample_state_metrics() {
+  if (spec_) {
+    state_bytes_->set(static_cast<int64_t>(spec_->memory()));
+    guarded_states_->set(static_cast<int64_t>(spec_->entries()));
+    return;
+  }
   state_bytes_->set(static_cast<int64_t>(state_->memory()));
   if (top_scope_) {
     guarded_states_->set(
@@ -203,6 +353,12 @@ void Engine::sample_state_metrics() {
 }
 
 void Engine::enable_profiling() {
+  // Per-op profiles are an interpreter concept: profiling runs drop the
+  // compiled tier (call before feeding packets).
+  if (spec_) {
+    spec_.reset();
+    decision_.reason += " (profiling forces interpreter)";
+  }
   op_index_ = index_ops(*query_.root);
   prof_ = std::make_unique<OpProfile>();
   prof_->steps.assign(op_index_.size(), 0);

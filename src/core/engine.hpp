@@ -19,10 +19,18 @@
 #include <vector>
 
 #include "core/builder.hpp"
+#include "core/codegen.hpp"
 #include "net/packet.hpp"
 #include "obs/metrics.hpp"
 
 namespace netqre::core {
+
+// Which execution tier runs the query.  Auto consults the certificate gate
+// (CompiledQuery::gate) and the structural proof of analyze_spec_explained;
+// the NETQRE_FORCE_TIER environment variable ("interpreted" / "compiled")
+// overrides Auto for A/B runs.  An explicit Interpreted/Compiled argument
+// wins over the environment (tests pin tiers programmatically).
+enum class EngineTier : uint8_t { Auto, Interpreted, Compiled };
 
 // One row of a result snapshot: a rendered scope key (top-level parameter
 // values joined with ','; "value" for closed queries) and the numeric
@@ -38,7 +46,7 @@ class Engine {
   using ActionFn =
       std::function<void(const Value& action, const net::Packet& pkt)>;
 
-  explicit Engine(CompiledQuery query);
+  explicit Engine(CompiledQuery query, EngineTier tier = EngineTier::Auto);
 
   void on_packet(const net::Packet& p);
   // Batched ingestion: advances the query over every packet in the span
@@ -55,7 +63,7 @@ class Engine {
   void on_stream(const std::vector<net::Packet>& packets);
 
   // Current value of the query on the consumed stream.
-  [[nodiscard]] Value eval() const { return query_.root->eval(*state_); }
+  [[nodiscard]] Value eval() const;
 
   // For queries whose top level is a parameter scope (a parameterized sfun
   // or an aggregation): evaluate at a concrete valuation / enumerate all
@@ -77,9 +85,25 @@ class Engine {
   void reset();
 
   [[nodiscard]] uint64_t packets() const { return n_packets_; }
-  [[nodiscard]] size_t state_memory() const { return state_->memory(); }
+  [[nodiscard]] size_t state_memory() const;
   [[nodiscard]] const CompiledQuery& query() const { return query_; }
   [[nodiscard]] const OpState& state() const { return *state_; }
+
+  // ---- execution tier ----------------------------------------------------
+  // "specialized" when the compiled tier is live, else "interpreted".
+  [[nodiscard]] const char* tier() const {
+    return spec_ ? "specialized" : "interpreted";
+  }
+  // Why this tier was selected (structured reason from the eligibility
+  // proof, or the forced/gate short-circuit).
+  [[nodiscard]] const std::string& tier_reason() const {
+    return decision_.reason;
+  }
+  // Proof steps leading to the decision (proven sub-shapes, then the
+  // obstruction) — rendered by netqre-lint --explain-tier.
+  [[nodiscard]] const std::vector<std::string>& tier_chain() const {
+    return decision_.chain;
+  }
 
   // ---- profiling ---------------------------------------------------------
   // Starts recording per-op eval/transition counts (numbering the op tree in
@@ -117,8 +141,12 @@ class Engine {
   static constexpr uint64_t kStateSampleMaxInterval = 1ull << 20;
 
  private:
+  void select_tier(EngineTier tier);
+
   CompiledQuery query_;
   StateBox state_;
+  std::unique_ptr<SpecializedMonitor> spec_;  // compiled tier, when live
+  SpecDecision decision_;
   Valuation val_;
   ActionFn action_;
   uint64_t n_packets_ = 0;

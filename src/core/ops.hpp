@@ -204,6 +204,7 @@ class LastFieldOp final : public Op {
  public:
   explicit LastFieldOp(FieldRef field) : field_(field) {}
   [[nodiscard]] const char* kind_name() const override { return "last_field"; }
+  [[nodiscard]] FieldRef field() const { return field_; }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;
@@ -364,6 +365,8 @@ class IterOp final : public Op {
   void collect_children(std::vector<const Op*>& out) const override {
     out.push_back(f_.get());
   }
+  [[nodiscard]] const Op* f() const { return f_.get(); }
+  [[nodiscard]] AggOp agg() const { return agg_; }
   [[nodiscard]] StateBox make_state() const override;
   void step(OpState& s, const EvalContext& ctx) const override;
   [[nodiscard]] Value eval(const OpState& s) const override;

@@ -39,8 +39,8 @@ struct ParallelEngine::Shard {
     std::function<void(Engine&)> ctl;
   };
 
-  Shard(const CompiledQuery& query, int index)
-      : engine(query),
+  Shard(const CompiledQuery& query, int index, EngineTier tier)
+      : engine(query, tier),
         index(index),
         packets_total(&obs::registry().counter(
             shard_label("netqre_parallel_shard_packets_total", index))),
@@ -150,7 +150,7 @@ struct ParallelEngine::Shard {
 };
 
 ParallelEngine::ParallelEngine(const CompiledQuery& query, int n_workers,
-                               Partitioner partitioner)
+                               Partitioner partitioner, EngineTier tier)
     : partitioner_(std::move(partitioner)), pending_(n_workers) {
   if constexpr (obs::kEnabled) {
     backpressure_wait_ns();  // register even when no wait ever happens
@@ -162,7 +162,7 @@ ParallelEngine::ParallelEngine(const CompiledQuery& query, int n_workers,
   }
   shards_.reserve(n_workers);
   for (int i = 0; i < n_workers; ++i) {
-    shards_.push_back(std::make_unique<Shard>(query, i));
+    shards_.push_back(std::make_unique<Shard>(query, i, tier));
     Shard* s = shards_.back().get();
     s->thread = std::thread([s] { s->run(); });
   }
@@ -315,6 +315,14 @@ void ParallelEngine::enumerate_all(
     for (const auto& s : shards_) s->engine.enumerate(fn);
     return 0;
   });
+}
+
+const char* ParallelEngine::tier() const {
+  return shards_.front()->engine.tier();
+}
+
+const std::string& ParallelEngine::tier_reason() const {
+  return shards_.front()->engine.tier_reason();
 }
 
 const Engine& ParallelEngine::shard_engine(int shard) const {

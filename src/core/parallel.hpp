@@ -26,9 +26,12 @@ class ParallelEngine {
   using Partitioner = std::function<size_t(const net::Packet&)>;
 
   // Partitioner defaults to hashing the source IP, the scheme §6 describes
-  // for parameterized queries.
+  // for parameterized queries.  `tier` is forwarded to every shard engine;
+  // hash partitioning keeps per-shard key sets disjoint, so the compiled
+  // tier's per-shard flat tables merge exactly like the interpreter's tries.
   ParallelEngine(const CompiledQuery& query, int n_workers,
-                 Partitioner partitioner = nullptr);
+                 Partitioner partitioner = nullptr,
+                 EngineTier tier = EngineTier::Auto);
   ~ParallelEngine();
 
   ParallelEngine(const ParallelEngine&) = delete;
@@ -88,6 +91,9 @@ class ParallelEngine {
   [[nodiscard]] double total_busy_seconds() const;
   [[nodiscard]] uint64_t packets() const;
   [[nodiscard]] size_t state_memory() const;
+  // Tier selected by the shard engines (identical across shards).
+  [[nodiscard]] const char* tier() const;
+  [[nodiscard]] const std::string& tier_reason() const;
 
  private:
   struct Shard;

@@ -284,7 +284,9 @@ SNode scope_exists(Rng& rng, const AtomPool& pool) {
   return node("agg", {"sum", "0", "1"}, {std::move(inner)});
 }
 
-// Nested superspreader shape: agg A {x} . agg sum {y} . exists(x ∧ y).
+// Nested superspreader shape: agg A {x} . agg sum {y} . body, where body is
+// an exists/condelse distinct test or a filter >> fold counter (the latter
+// exercises the specializer's plan-within-plan key composition).
 SNode scope_nested(Rng& rng) {
   std::string f0 = choose(rng, key_fields());
   std::string f1;
@@ -292,29 +294,71 @@ SNode scope_nested(Rng& rng) {
     f1 = choose(rng, key_fields());
   } while (f1 == f0);
   SNode p = node("pand", {}, {param_atom(rng, f0, 0), param_atom(rng, f1, 1)});
-  SNode inner =
-      pick(rng, 2) == 0
-          ? node("exists", {}, {std::move(p)})
-          : node("condelse", {},
-                 {node("cat", {},
-                       {node("all"), node("ps", {}, {std::move(p)}),
-                        node("all")}),
-                  node("const", {"1"}), node("const", {"0"})});
+  SNode inner;
+  switch (pick(rng, 4)) {
+    case 0: inner = node("exists", {}, {std::move(p)}); break;
+    case 1:
+      inner = node("condelse", {},
+                   {node("cat", {},
+                         {node("all"), node("ps", {}, {std::move(p)}),
+                          node("all")}),
+                    node("const", {"1"}), node("const", {"0"})});
+      break;
+    default:
+      inner = node("comp", {},
+                   {node("filter", {}, {std::move(p)}),
+                    pick(rng, 2) == 0
+                        ? node("foldc", {"sum", num(1 + pick(rng, 3))})
+                        : node("foldf", {"sum", "len"})});
+      break;
+  }
   const auto outer =
-      choose(rng, std::vector<std::string>{"max", "max", "sum", "min"});
+      choose(rng, std::vector<std::string>{"max", "sum", "sum", "min"});
   return node("agg", {outer, "0", "1"},
               {node("agg", {"sum", "1", "1"}, {std::move(inner)})});
+}
+
+// Per-key classifier (dns/keyword family): agg sum {x} . filter(x[, lit])
+// >> iter(single-packet cond chain) — the shape the specializer compiles to
+// a product step machine over the classifier branches.
+SNode scope_classifier(Rng& rng, const AtomPool& pool) {
+  const std::string field = choose(rng, key_fields());
+  SNode pred = param_atom(rng, field, 0);
+  if (pick(rng, 3) == 0) {
+    pred = node("pand", {}, {std::move(pred), choose(rng, pool.atoms)});
+  }
+  // Chain of 1-2 single-packet branches with constant values; the last
+  // branch draws cond-vs-condelse so both total and partial classifiers
+  // (undef on unmatched packets) are exercised.
+  SNode last =
+      pick(rng, 2) == 0
+          ? node("cond", {}, {node("ps", {}, {pool.pred(rng, 1)}),
+                              node("const", {num(1 + pick(rng, 3))})})
+          : node("condelse", {},
+                 {node("ps", {}, {pool.pred(rng, 1)}),
+                  node("const", {num(1 + pick(rng, 3))}),
+                  node("const", {num(static_cast<int64_t>(pick(rng, 2)))})});
+  SNode chain =
+      pick(rng, 2) == 0
+          ? std::move(last)
+          : node("condelse", {},
+                 {node("ps", {}, {pool.pred(rng, 1)}),
+                  node("const", {num(1 + pick(rng, 3))}), std::move(last)});
+  return node("agg", {"sum", "0", "1"},
+              {node("comp", {}, {node("filter", {}, {std::move(pred)}),
+                                 node("iter", {"sum"}, {std::move(chain)})})});
 }
 
 }  // namespace
 
 SNode random_program(Rng& rng, const GenConfig& cfg) {
   const AtomPool pool = AtomPool::draw(rng, cfg.max_atoms);
-  const size_t r = pick(rng, 10);
+  const size_t r = pick(rng, 12);
   if (r < 5) return closed_expr(rng, pool, cfg.max_depth);
   if (r < 7) return scope_counter(rng, pool);
   if (r < 9) return scope_exists(rng, pool);
-  return scope_nested(rng);
+  if (r < 11) return scope_nested(rng);
+  return scope_classifier(rng, pool);
 }
 
 SNode next_program(Rng& rng, const GenConfig& cfg, uint64_t& rejected) {

@@ -212,24 +212,68 @@ OracleReport run_oracle(const SNode& prog, const std::vector<Packet>& trace,
       report.codegen_checked = true;
       core::SpecializedMonitor mon(*plan);
       for (const auto& p : trace) mon.on_packet(p);
-      check.expect("codegen-vs-engine", v_eng,
-                   Value::integer(mon.aggregate()));
-      // Per-key comparison only works for flat scopes: with nested scopes
-      // the plan's packed keys span the whole chain while enumerate() keys
-      // carry only the outer scope's parameters.
-      const bool flat =
-          scope && plan->key.size() == static_cast<size_t>(scope->n_params());
-      if (flat) {
+      check.expect("codegen-vs-engine", v_eng, mon.eval());
+      if (scope) {
         for (const auto& [key, v] : entries) {
-          // The generated code has no undef: a cond-without-else leaf that
-          // never matched reads as the else/absent value (0), exactly as it
-          // contributes to the sum aggregate.
-          Value want = v;
-          if (!v.defined() && !plan->has_fold) {
-            want = Value::integer(plan->has_else ? plan->else_value : 0);
+          check.expect("codegen-at @" + fmt_key(key), v, mon.eval_at(key));
+        }
+        // Cross-check the raw packed-key surface used by the generated C++
+        // on flat plans (nested plans pack the whole chain, so at() keys do
+        // not line up with the outer scope's enumerate keys).
+        const bool flat = plan->key.size() ==
+                          static_cast<size_t>(scope->n_params());
+        if (flat) {
+          for (const auto& [key, v] : entries) {
+            if (!v.defined()) continue;
+            check.expect("codegen-raw-at @" + fmt_key(key), v,
+                         Value::integer(mon.at(pack_key(key))));
           }
-          check.expect("codegen-at @" + fmt_key(key), want,
-                       Value::integer(mon.at(pack_key(key))));
+        }
+        std::map<std::string, std::string> mine;
+        mon.enumerate([&](const std::vector<Value>& key, const Value& v) {
+          mine[fmt_key(key)] = fmt(v);
+        });
+        std::map<std::string, std::string> theirs;
+        for (const auto& [key, v] : entries) {
+          if (v.defined()) theirs[fmt_key(key)] = fmt(v);
+        }
+        if (mine != theirs) {
+          report.mismatches.push_back(
+              "codegen-enumerate: " + std::to_string(mine.size()) +
+              " entries vs engine's " + std::to_string(theirs.size()));
+        }
+      }
+    }
+  }
+
+  // Path 6: the compiled execution tier — the SpecializedMonitor behind the
+  // full Engine surface, exactly as tier auto-selection runs it.  Forcing
+  // the tier makes the check independent of the certificate gate (builder
+  // queries carry none); the Engine silently interprets when no plan
+  // exists, so compare tier() first.
+  if (opt.check_codegen) {
+    Engine ceng(q, core::EngineTier::Compiled);
+    if (ceng.tier() == std::string("specialized")) {
+      report.compiled_tier_checked = true;
+      ceng.on_stream(trace);
+      check.expect("compiled-tier-vs-engine", v_eng, ceng.eval());
+      if (scope) {
+        for (const auto& [key, v] : entries) {
+          check.expect("compiled-tier-at @" + fmt_key(key), v,
+                       ceng.eval_at(key));
+        }
+        std::map<std::string, std::string> compiled;
+        ceng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+          compiled[fmt_key(key)] = fmt(v);
+        });
+        std::map<std::string, std::string> interp;
+        for (const auto& [key, v] : entries) {
+          if (v.defined()) interp[fmt_key(key)] = fmt(v);
+        }
+        if (compiled != interp) {
+          report.mismatches.push_back(
+              "compiled-tier-enumerate: " + std::to_string(compiled.size()) +
+              " entries vs engine's " + std::to_string(interp.size()));
         }
       }
     }

@@ -1,4 +1,4 @@
-// Differential oracle: one (program, trace) pair through five independent
+// Differential oracle: one (program, trace) pair through six independent
 // evaluation paths, every disagreement reported.
 //
 // Paths and the claims they witness (DESIGN.md "Testing & oracles"):
@@ -10,6 +10,10 @@
 //                            the 1-shard run ingests via feed(PacketBatch&&).
 //   5. batched Engine      — on_batch chunked ingestion, which must leave
 //                            state bit-identical to per-packet on_packet.
+//   6. compiled-tier Engine — Engine(q, EngineTier::Compiled): the full
+//                            engine surface (eval/eval_at/enumerate) riding
+//                            the SpecializedMonitor, as tier auto-selection
+//                            runs it in production.
 //
 // For parameter scopes, per-leaf checks sharpen the top-level comparison:
 // every enumerated valuation's value must equal the *reference* evaluation
@@ -47,6 +51,7 @@ struct OracleReport {
   // "path: expected X got Y" lines; empty means all paths agree.
   std::vector<std::string> mismatches;
   bool codegen_checked = false;    // analyze_spec produced a plan
+  bool compiled_tier_checked = false;  // forced-compiled Engine ran (path 6)
   bool parallel_sharded = false;   // 2/4-shard runs were partition-safe
 
   [[nodiscard]] bool ok() const { return mismatches.empty(); }

@@ -674,6 +674,7 @@ ResourceCertificate certify(const CompiledProgram& prog,
       core::analyze_spec_explained(prog.query, &gate);
   cert.tier = decision.specialized() ? "specialized" : "interpreted";
   cert.tier_reason = decision.reason;
+  cert.tier_chain = decision.chain;
   return cert;
 }
 
@@ -788,6 +789,9 @@ void certificate_json(const ResourceCertificate& cert, obs::JsonWriter& w) {
 
   w.key("tier").value(cert.tier);
   w.key("tier_reason").value(cert.tier_reason);
+  w.key("tier_chain").begin_array();
+  for (const std::string& step : cert.tier_chain) w.value(step);
+  w.end_array();
   w.end_object();
 }
 
@@ -795,6 +799,9 @@ std::string certificate_summary(const ResourceCertificate& cert) {
   std::ostringstream out;
   if (!cert.main.empty()) out << cert.main << ":\n";
   out << "  tier: " << cert.tier << " — " << cert.tier_reason << "\n";
+  for (const std::string& step : cert.tier_chain) {
+    out << "    " << step << "\n";
+  }
   out << "  unambiguous: " << (cert.unambiguous ? "yes" : "no") << "\n";
   for (const AmbiguityFinding& a : cert.ambiguities) {
     out << "    " << (a.is_iter ? "iter" : "split") << " witness " << a.witness

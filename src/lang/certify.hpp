@@ -91,6 +91,9 @@ struct ResourceCertificate {
   // Engine-tier selection (checked against core::analyze_spec_explained).
   std::string tier;  // "specialized" | "interpreted"
   std::string tier_reason;
+  // Proof/refutation steps from analyze_spec_explained: proven sub-shapes in
+  // order, then (on refutation) the obstruction marked with a leading "✗".
+  std::vector<std::string> tier_chain;
 };
 
 struct CertifyOptions {

@@ -1,5 +1,7 @@
 #include "lang/lower.hpp"
 
+#include "lang/certify.hpp"
+
 #include <algorithm>
 #include <map>
 #include <optional>
@@ -615,7 +617,12 @@ sfun packet filter_udp(Conn c) = /.*[is_udp(c)]/ ? last;
 CompiledProgram compile_program(const Program& prog,
                                 const std::string& main) {
   Lowerer lowerer(prog);
-  return lowerer.compile(main);
+  CompiledProgram out = lowerer.compile(main);
+  // Run the static certifier and record its gate on the query: engines
+  // auto-select the compiled tier only behind a clean certificate, and
+  // builder-compiled queries (no gate) always default to the interpreter.
+  out.query.gate = certificate_gate(certify(out, main));
+  return out;
 }
 
 CompiledProgram compile_source(const std::string& source,

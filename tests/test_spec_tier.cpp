@@ -1,0 +1,259 @@
+// Tier-equivalence differential suite: every Table-1 query runs its golden
+// workload through the interpreter and the compiled tier — single-shard and
+// 4-shard — and the full snapshots (top-level result + sorted per-key
+// enumeration) must be bit-identical.  The compiled tier is only correct if
+// it is indistinguishable from the interpreter on every query it claims.
+//
+// Also pins the tier census: the eight queries the analyzer specializes
+// today must never silently regress to the interpreter (a regression here
+// is a perf cliff that no functional test would catch).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/ops.hpp"
+#include "core/parallel.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::Engine;
+using core::EngineTier;
+using core::ParallelEngine;
+using core::Value;
+
+// Same small fixed-seed workloads as the golden-result tests.
+std::vector<net::Packet> workload_for(const std::string& query_file) {
+  using namespace trafficgen;
+  if (query_file == "syn_flood.nqre") {
+    SynFloodConfig cfg;
+    cfg.benign_handshakes = 20;
+    cfg.attack_handshakes = 120;
+    return syn_flood_trace(cfg);
+  }
+  if (query_file == "slowloris.nqre") {
+    SlowlorisConfig cfg;
+    cfg.normal_conns = 12;
+    cfg.slow_conns = 18;
+    cfg.duration = 10.0;
+    return slowloris_trace(cfg);
+  }
+  if (query_file == "voip_count.nqre" || query_file == "voip_usage.nqre") {
+    SipConfig cfg;
+    cfg.n_users = 4;
+    cfg.n_calls = 12;
+    cfg.media_pkts_per_call = 8;
+    return sip_trace(cfg);
+  }
+  if (query_file == "email_keywords.nqre") {
+    SmtpConfig cfg;
+    cfg.n_mails = 40;
+    cfg.keyword_mails = 9;
+    return smtp_trace(cfg);
+  }
+  if (query_file == "dns_tunnel.nqre" ||
+      query_file == "dns_amplification.nqre") {
+    DnsConfig cfg;
+    cfg.normal_queries = 80;
+    cfg.tunnel_queries = 15;
+    cfg.amplification_pairs = 12;
+    return dns_trace(cfg);
+  }
+  BackboneConfig cfg;
+  cfg.n_packets = 2000;
+  cfg.n_flows = 50;
+  cfg.seed = 5;
+  return backbone_trace(cfg);
+}
+
+std::string snapshot(const core::CompiledQuery& q, Engine& eng) {
+  std::ostringstream out;
+  out << "result " << eng.eval().to_string() << '\n';
+  std::vector<std::string> entries;
+  if (dynamic_cast<const core::ParamScopeOp*>(q.root.get()) != nullptr) {
+    eng.enumerate([&](const std::vector<Value>& key, const Value& v) {
+      std::ostringstream line;
+      line << "entry";
+      for (const auto& k : key) line << ' ' << k.to_string();
+      line << " = " << v.to_string();
+      entries.push_back(line.str());
+    });
+  }
+  std::sort(entries.begin(), entries.end());
+  out << "entries " << entries.size() << '\n';
+  for (const auto& e : entries) out << e << '\n';
+  return out.str();
+}
+
+// Per-shard snapshots plus the merged enumeration: both tiers run behind
+// the same partitioner, so shard-by-shard state must match exactly.
+std::string parallel_snapshot(const core::CompiledQuery& q,
+                              const ParallelEngine& pe) {
+  std::ostringstream out;
+  std::vector<std::string> entries;
+  const auto* scope = dynamic_cast<const core::ParamScopeOp*>(q.root.get());
+  if (scope != nullptr) {
+    pe.enumerate_all([&](const std::vector<Value>& key, const Value& v) {
+      std::ostringstream line;
+      line << "entry";
+      for (const auto& k : key) line << ' ' << k.to_string();
+      line << " = " << v.to_string();
+      entries.push_back(line.str());
+    });
+    if (scope->mode().kind == core::ScopeMode::Kind::Aggregate) {
+      out << "merged " << pe.aggregate(scope->mode().agg).to_string() << '\n';
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  out << "entries " << entries.size() << '\n';
+  for (const auto& e : entries) out << e << '\n';
+  for (int s = 0; s < pe.workers(); ++s) {
+    out << "shard " << s << " result "
+        << pe.shard_engine(s).eval().to_string() << '\n';
+  }
+  return out.str();
+}
+
+class SpecTierTest : public ::testing::TestWithParam<apps::QueryInfo> {};
+
+// Single shard: forced-interpreted vs auto vs forced-compiled.  Auto must
+// agree with the interpreter on every query; forced-compiled additionally
+// proves the fallback path is inert (it interprets when no plan exists).
+TEST_P(SpecTierTest, SingleShardSnapshotsAreTierInvariant) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  const auto trace = workload_for(info.file);
+
+  Engine interp(prog.query, EngineTier::Interpreted);
+  ASSERT_STREQ(interp.tier(), "interpreted");
+  for (const auto& p : trace) interp.on_packet(p);
+  const std::string want = snapshot(prog.query, interp);
+
+  Engine autoe(prog.query);  // tier auto-selected behind the gate
+  for (const auto& p : trace) autoe.on_packet(p);
+  EXPECT_EQ(want, snapshot(prog.query, autoe))
+      << info.title << ": auto tier (" << autoe.tier()
+      << ") diverged from the interpreter";
+
+  Engine forced(prog.query, EngineTier::Compiled);
+  for (const auto& p : trace) forced.on_packet(p);
+  EXPECT_EQ(want, snapshot(prog.query, forced))
+      << info.title << ": forced compiled tier (" << forced.tier()
+      << ") diverged from the interpreter";
+
+  // eval_at must agree on every enumerated key and on a fresh one.
+  if (const auto* scope =
+          dynamic_cast<const core::ParamScopeOp*>(prog.query.root.get())) {
+    interp.enumerate([&](const std::vector<Value>& key, const Value& v) {
+      EXPECT_EQ(v.to_string(), autoe.eval_at(key).to_string())
+          << info.title << ": eval_at diverged";
+    });
+    const std::vector<Value> fresh(static_cast<size_t>(scope->n_params()),
+                                   Value::integer(999983));
+    EXPECT_EQ(interp.eval_at(fresh).to_string(),
+              autoe.eval_at(fresh).to_string())
+        << info.title << ": fresh-key eval_at diverged";
+  }
+}
+
+// 4-shard parallel runtime: the same hash partitioner feeds both tiers, so
+// every shard sees the same sub-stream and must hold identical state.
+TEST_P(SpecTierTest, FourShardSnapshotsAreTierInvariant) {
+  const auto& info = GetParam();
+  auto prog = apps::compile_app(info.file, info.main);
+  const auto trace = workload_for(info.file);
+
+  ParallelEngine interp(prog.query, 4, nullptr, EngineTier::Interpreted);
+  interp.feed(trace);
+  interp.finish();
+
+  ParallelEngine compiled(prog.query, 4, nullptr, EngineTier::Compiled);
+  compiled.feed(trace);
+  compiled.finish();
+
+  EXPECT_EQ(parallel_snapshot(prog.query, interp),
+            parallel_snapshot(prog.query, compiled))
+      << info.title << ": 4-shard compiled tier (" << compiled.tier()
+      << ") diverged from the interpreter";
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<apps::QueryInfo>& info) {
+  std::string n = info.param.main;
+  std::replace_if(
+      n.begin(), n.end(), [](char c) { return !std::isalnum(c); }, '_');
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SpecTierTest,
+                         ::testing::ValuesIn(apps::table1()), param_name);
+
+// Saves NETQRE_FORCE_TIER around a test and clears it on entry: census
+// tests assert the *Auto* decision, which the CI tier-matrix (running the
+// whole suite under a forced tier) would otherwise override.
+class ScopedTierEnv {
+ public:
+  ScopedTierEnv() {
+    if (const char* v = ::getenv("NETQRE_FORCE_TIER")) saved_ = v;
+    ::unsetenv("NETQRE_FORCE_TIER");
+  }
+  ~ScopedTierEnv() {
+    if (saved_.empty()) {
+      ::unsetenv("NETQRE_FORCE_TIER");
+    } else {
+      ::setenv("NETQRE_FORCE_TIER", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+// The specialized census: these eight queries carry a clean certificate
+// gate and a proven plan today.  If any of them shows up "interpreted"
+// under auto selection, the analyzer lost a shape — fail loudly instead of
+// silently falling back to the slow tier.
+TEST(SpecTierCensus, CompiledSetNeverShrinks) {
+  ScopedTierEnv env_guard;
+  const std::set<std::string> must_compile = {
+      "hh",        "ss",           "src_pkts",         "flow_pkts",
+      "total_bytes", "recent_src_bytes", "dns_long_queries", "keyword_pkts"};
+  for (const auto& info : apps::table1()) {
+    if (must_compile.count(info.main) == 0) continue;
+    auto prog = apps::compile_app(info.file, info.main);
+    Engine eng(prog.query);  // Auto: gate + structural proof
+    EXPECT_STREQ(eng.tier(), "specialized")
+        << info.main << " regressed to the interpreter: "
+        << eng.tier_reason();
+  }
+}
+
+// NETQRE_FORCE_TIER is the CI tier-matrix hook: it must override Auto in
+// both directions but never a programmatic tier choice.
+TEST(SpecTierCensus, ForceTierEnvOverridesAuto) {
+  ScopedTierEnv env_guard;
+  auto prog = apps::compile_app("heavy_hitter.nqre", "hh");
+  ::setenv("NETQRE_FORCE_TIER", "interpreted", 1);
+  {
+    Engine eng(prog.query);
+    EXPECT_STREQ(eng.tier(), "interpreted");
+    Engine pinned(prog.query, EngineTier::Compiled);
+    EXPECT_STREQ(pinned.tier(), "specialized")
+        << "explicit ctor tier must win over the environment";
+  }
+  ::setenv("NETQRE_FORCE_TIER", "compiled", 1);
+  {
+    Engine eng(prog.query);
+    EXPECT_STREQ(eng.tier(), "specialized");
+  }
+}
+
+}  // namespace
+}  // namespace netqre
