@@ -91,7 +91,9 @@ int main() {
     }
     // Baseline on the identical capture (heavy hitter structure: per-key
     // byte/packet counts — representative of all four shapes).
-    auto packets = net::read_all(pcap);
+    net::PacketBatch loaded;
+    net::read_all(pcap, loaded);
+    const auto packets = std::move(loaded).take();
     baselines::HeavyHitter base;
     const auto t0 = std::chrono::steady_clock::now();
     for (const auto& p : packets) base.on_packet(p);

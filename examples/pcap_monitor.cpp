@@ -1,11 +1,15 @@
-// pcap_monitor: run any Table-1 NetQRE application over a pcap capture file,
-// with TCP reordering handled by the runtime preprocessor (§2).
+// pcap_monitor: run Table-1 NetQRE applications — several at once, as one
+// QuerySet — over a pcap capture file, with TCP reordering handled by the
+// runtime preprocessor (§2).
 //
-//   pcap_monitor <capture.pcap> [query-file [main-sfun]]
+//   pcap_monitor <capture.pcap> [query-file[:main-sfun]...]
 //
-// With no capture on hand, generate one first with examples/make_traces.
+// Every named query is loaded into one QuerySet, so the capture is decoded
+// and classified once no matter how many queries run.  With no capture on
+// hand, generate one first with examples/make_traces.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/queries.hpp"
 #include "netqre.hpp"
@@ -14,40 +18,58 @@ int main(int argc, char** argv) {
   using namespace netqre;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <capture.pcap> [query-file [main-sfun]]\n",
+                 "usage: %s <capture.pcap> [query-file[:main-sfun]...]\n",
                  argv[0]);
     return 2;
   }
   const std::string pcap_path = argv[1];
-  const std::string query_file = argc > 2 ? argv[2] : "heavy_hitter.nqre";
-  const std::string main_sfun = argc > 3 ? argv[3] : "hh";
+  std::vector<std::string> specs(argv + 2, argv + argc);
+  if (specs.empty()) specs.push_back("heavy_hitter.nqre:hh");
 
-  auto program = apps::compile_app(query_file, main_sfun);
-  core::Engine engine(program.query);
+  QuerySet set;
+  for (const auto& spec : specs) {
+    const size_t colon = spec.find(':');
+    const std::string file = spec.substr(0, colon);
+    std::string main_sfun =
+        colon != std::string::npos ? spec.substr(colon + 1) : "";
+    if (main_sfun.empty()) {
+      for (const auto& q : apps::table1()) {
+        if (q.file == file) main_sfun = q.main;
+      }
+    }
+    auto program = apps::compile_app(file, main_sfun);
+    if (!set.load(main_sfun, std::move(program.query))) {
+      std::fprintf(stderr, "duplicate query name '%s'\n", main_sfun.c_str());
+      return 2;
+    }
+  }
 
-  // The runtime handles reordering/retransmissions before the query (§2).
-  // mmap reader -> reorderer -> engine compose over the batched
+  // The runtime handles reordering/retransmissions before the queries (§2).
+  // mmap reader -> reorderer -> query set compose over the batched
   // PacketSource interface; no per-packet glue.
   net::MappedPcapReader reader(pcap_path);
   net::TcpReorderer reorder;
   net::ReorderingSource source(reader, reorder);
-  const uint64_t n = run_source(engine, source);
+  const uint64_t n = run_source(set, source);
 
-  std::printf("%llu packets processed (%llu reordered, %llu retransmits "
-              "dropped)\n",
-              static_cast<unsigned long long>(n),
+  std::printf("%llu packets processed through %zu quer%s (%llu reordered, "
+              "%llu retransmits dropped)\n",
+              static_cast<unsigned long long>(n), set.size(),
+              set.size() == 1 ? "y" : "ies",
               static_cast<unsigned long long>(reorder.stats().reordered),
               static_cast<unsigned long long>(
                   reorder.stats().retransmits_dropped));
 
-  if (program.query.param_names.empty()) {
-    std::printf("%s = %s\n", main_sfun.c_str(),
-                engine.eval().to_string().c_str());
-  } else {
-    std::printf("%s per instantiation:\n", main_sfun.c_str());
+  for (const auto& name : set.names()) {
+    if (set.is_scalar(name)) {
+      std::printf("%s = %s\n", name.c_str(),
+                  set.eval(name).to_string().c_str());
+      continue;
+    }
+    std::printf("%s per instantiation:\n", name.c_str());
     int shown = 0;
-    engine.enumerate([&](const std::vector<core::Value>& key,
-                         const core::Value& value) {
+    set.enumerate(name, [&](const std::vector<core::Value>& key,
+                            const core::Value& value) {
       if (++shown > 20) return;
       std::string k;
       for (const auto& v : key) k += v.to_string() + " ";

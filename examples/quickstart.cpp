@@ -1,9 +1,11 @@
-// Quickstart: compile a NetQRE program from source text and run it over a
-// packet stream.
+// Quickstart: compile NetQRE programs from source text and run them — as a
+// QuerySet, the primary embedding shape — over a packet stream.
 //
-// The program is the paper's opening example family: count per-flow bytes
-// (heavy hitter, §4.1).  Packets here are built in memory; see
-// examples/pcap_monitor.cpp for reading capture files.
+// The programs are the paper's opening example family: per-flow byte counts
+// (heavy hitter, §4.1) and per-source distinct destinations (super
+// spreader).  Both queries share each packet's decode and predicate
+// classification; add a third with one more load() call.  Packets here are
+// built in memory; see examples/pcap_monitor.cpp for reading capture files.
 #include <cstdio>
 
 #include "net/ipv4.hpp"
@@ -12,22 +14,25 @@
 int main() {
   using namespace netqre;
 
-  // 1. A NetQRE program (the prelude provides count_size and filter).
-  const std::string source = R"(
+  // 1. NetQRE programs (the prelude provides count_size and filter).
+  const std::string hh_source = R"(
     sfun int hh(IP x, IP y) =
       filter(srcip == x, dstip == y) >> count_size;
   )";
+  const std::string ss_source = R"(
+    sfun int ss(IP x) = sum{ exists(srcip == x && dstip == y) | IP y };
+  )";
 
-  // 2. Compile it: parsing, type-directed lowering, PSRE -> DFA compilation,
-  //    unambiguity checks and the guarded-state plan all happen here.
-  lang::CompiledProgram program = netqre::compile(source, "hh");
-  for (const auto& w : program.query.warnings) {
-    std::printf("compile warning: %s\n", w.c_str());
-  }
+  // 2. Compile and load.  compile() runs parsing, type-directed lowering,
+  //    PSRE -> DFA compilation, unambiguity checks and the guarded-state
+  //    plan; load() puts the query into the live set under a name.
+  QuerySet set;
+  set.load("hh", netqre::compile(hh_source, "hh").query);
+  set.load("ss", netqre::compile(ss_source, "ss").query);
 
-  // 3. Feed packets.  The engine maintains one guarded state per observed
-  //    (x, y) instantiation - no manual per-flow bookkeeping.
-  core::Engine engine(program.query);
+  // 3. Feed packets.  One pass evaluates every loaded query; each maintains
+  //    one guarded state per observed parameter instantiation — no manual
+  //    per-flow bookkeeping.
   auto packet = [](const char* src, const char* dst, uint32_t len) {
     net::Packet p;
     p.src_ip = *net::parse_ip(src);
@@ -36,21 +41,28 @@ int main() {
     p.wire_len = len;
     return p;
   };
-  engine.on_packet(packet("10.0.0.1", "10.0.0.2", 1500));
-  engine.on_packet(packet("10.0.0.1", "10.0.0.2", 900));
-  engine.on_packet(packet("10.0.0.3", "10.0.0.2", 64));
+  set.on_packet(packet("10.0.0.1", "10.0.0.2", 1500));
+  set.on_packet(packet("10.0.0.1", "10.0.0.2", 900));
+  set.on_packet(packet("10.0.0.3", "10.0.0.2", 64));
 
-  // 4. Query results: at a concrete instantiation, or all observed flows.
-  core::Value v = engine.eval_at(
-      {core::Value::ip(*net::parse_ip("10.0.0.1")),
-       core::Value::ip(*net::parse_ip("10.0.0.2"))});
+  // 4. Query results by name: at a concrete instantiation, or all observed
+  //    instantiations of one query.
+  core::Value v = set.eval_at(
+      "hh", {core::Value::ip(*net::parse_ip("10.0.0.1")),
+             core::Value::ip(*net::parse_ip("10.0.0.2"))});
   std::printf("hh(10.0.0.1, 10.0.0.2) = %s bytes\n", v.to_string().c_str());
 
   std::printf("all observed flows:\n");
-  engine.enumerate([](const std::vector<core::Value>& key,
-                      const core::Value& value) {
+  set.enumerate("hh", [](const std::vector<core::Value>& key,
+                         const core::Value& value) {
     std::printf("  %s -> %s : %s bytes\n", key[0].to_string().c_str(),
                 key[1].to_string().c_str(), value.to_string().c_str());
+  });
+  std::printf("distinct destinations per source:\n");
+  set.enumerate("ss", [](const std::vector<core::Value>& key,
+                         const core::Value& value) {
+    std::printf("  %s : %s\n", key[0].to_string().c_str(),
+                value.to_string().c_str());
   });
   return 0;
 }

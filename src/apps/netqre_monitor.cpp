@@ -1,27 +1,35 @@
-// netqre-monitor — a long-running NetQRE monitoring daemon with a live
-// observability surface (DESIGN.md "Tracing & live monitoring").
+// netqre-monitor — a long-running multi-tenant NetQRE monitoring daemon
+// with a live observability surface (DESIGN.md "Tracing & live monitoring",
+// §7 "Multi-tenant QuerySet runtime").
 //
-// Runs one compiled query continuously over a packet source — a pcap
-// capture or a generated workload, replayed with pacing and (by default)
-// looped so the process behaves like a monitor on live traffic — and
-// serves, on 127.0.0.1:<port>:
+// Runs a QuerySet of compiled queries continuously over a packet source —
+// a pcap capture or a generated workload, replayed with pacing and (by
+// default) looped so the process behaves like a monitor on live traffic —
+// and serves, on 127.0.0.1:<port>:
 //
-//   /metrics   Prometheus text exposition of the metrics registry
-//   /statz     the same snapshot as JSON
-//   /healthz   200 while the engine thread is alive and making progress
-//   /tracez    the flight-recorder rings as Chrome trace JSON
-//   /dump      writes a flight-recorder dump file, returns its path
-//   /api/v1/contexts, /api/v1/data
-//              the time-series result store (DESIGN.md "Result store &
-//              streaming"): the query's result map sampled on a cadence
-//              into retention tiers, range-queried as JSON
+//   /api/v1/metrics  Prometheus text exposition (alias: /metrics)
+//   /api/v1/statz    metrics + per-query tier/certificate JSON (/statz)
+//   /api/v1/tracez   flight-recorder rings, Chrome trace JSON (/tracez)
+//   /api/v1/dump     writes a flight-recorder dump, returns its path
+//   /api/v1/queries  GET: per-query status; POST: load a query into the
+//                    live set (lint → certify → compile → atomic swap at a
+//                    batch boundary, zero packets dropped); DELETE: unload
+//   /api/v1/contexts, /api/v1/data, /api/v1/push
+//                    the time-series result store: every loaded query is
+//                    one context, sampled on a cadence into retention tiers
+//   /healthz         200 while the engine thread is alive and progressing
 //
-// A TraceGovernor polls the registry once a second and snapshots the
-// flight recorder to --dump-dir automatically when an anomaly trips (p99
-// latency jump, shard queue saturation, truncated-record burst).
+// Bare /metrics, /statz, /tracez, /dump remain as deprecated aliases that
+// answer with a `Deprecation` header.
+//
+// Queries share per-batch work (decode once, pooled predicate-atom
+// classification) and are isolated by per-query state quotas (--quota)
+// with stalest-key eviction, so one tenant's key blowup cannot OOM the
+// daemon.  A TraceGovernor polls the registry once a second and snapshots
+// the flight recorder to --dump-dir when an anomaly trips.
 //
 // Deployment shapes (netdata's "distribute the code, not the data"):
-// a plain invocation is an *edge* monitor — engine + local store.  Add
+// a plain invocation is an *edge* monitor — queryset + local store.  Add
 // --stream-to HOST:PORT and every sampling round is also pushed to a
 // *parent* started with --parent, which runs no engine at all: it ingests
 // pushes under "<source>/<context>" and serves the same /api/v1 surface
@@ -43,6 +51,7 @@
 
 #include "apps/cli.hpp"
 #include "apps/queries.hpp"
+#include "apps/queryset_admin.hpp"
 #include "lang/certify.hpp"
 #include "netqre.hpp"
 #include "obs/http_export.hpp"
@@ -62,12 +71,13 @@ using Clock = std::chrono::steady_clock;
 constexpr const char* kUsage =
     "usage: netqre-monitor [options]\n"
     "\n"
-    "Long-running NetQRE monitor: replays traffic through one compiled\n"
-    "query and serves /metrics, /healthz, /tracez and /dump over HTTP on\n"
-    "127.0.0.1.\n"
+    "Long-running multi-tenant NetQRE monitor: replays traffic through a\n"
+    "set of compiled queries (load/unload at runtime over HTTP) and serves\n"
+    "the /api/v1 observability surface on 127.0.0.1.\n"
     "\n"
     "options:\n"
-    "  --query FILE[:MAIN]  shipped query to run (default heavy_hitter.nqre)\n"
+    "  --query FILE[:MAIN]  shipped query to load at startup; repeatable\n"
+    "                       (default heavy_hitter.nqre)\n"
     "  --pcap FILE          replay this capture (tolerant mode) instead of\n"
     "                       the generated backbone workload\n"
     "  --packets N          generated workload size (default 100000)\n"
@@ -78,9 +88,12 @@ constexpr const char* kUsage =
     "                       of looping\n"
     "  --max-seconds N      stop after N seconds (0 = run until signalled)\n"
     "  --dump-dir DIR       flight-recorder dump directory (default \".\")\n"
-    "  --workers N          shard the query across N worker threads\n"
-    "                       (default 0 = single engine)\n"
-    "  --state-budget B     warn at startup when the query's certified\n"
+    "  --workers N          shard the query set across N worker threads\n"
+    "                       (default 0 = single-threaded set)\n"
+    "  --quota B            default per-query state-memory quota in bytes;\n"
+    "                       breaches evict stalest keys (compiled tier) or\n"
+    "                       reset the query (interpreted). 0 = unlimited\n"
+    "  --state-budget B     warn at startup when a query's certified\n"
     "                       bytes-per-key quota times the expected key\n"
     "                       count exceeds B bytes (default 0 = off)\n"
     "  --store-every MS     result-store sampling cadence in milliseconds\n"
@@ -96,7 +109,7 @@ constexpr const char* kUsage =
     "  -h, --help           show this help\n";
 
 struct Options {
-  std::string query = "heavy_hitter.nqre";
+  std::vector<std::string> queries;  // FILE[:MAIN] specs; empty = default
   std::string pcap;
   uint64_t packets = 100'000;
   uint16_t port = 9901;
@@ -105,6 +118,7 @@ struct Options {
   uint64_t max_seconds = 0;
   std::string dump_dir = ".";
   int workers = 0;
+  uint64_t quota = 0;         // default per-query state quota; 0 = unlimited
   uint64_t state_budget = 0;  // bytes; 0 = no budget check
   uint64_t store_every_ms = 1000;  // 0 = store sampling off
   uint32_t store_keys = 1024;
@@ -142,7 +156,9 @@ Workload load_workload(const Options& opt) {
   if (!opt.pcap.empty()) {
     net::PcapOptions popt;
     popt.tolerant = true;
-    w.trace = net::read_all(opt.pcap, popt);
+    net::PacketBatch batch;
+    net::read_all(opt.pcap, batch, popt);
+    w.trace = std::move(batch).take();
     w.expected_keys = w.trace.size();
     return w;
   }
@@ -159,15 +175,16 @@ Workload load_workload(const Options& opt) {
 // the expected key count and window panes, against the configured budget.
 // A warning, not an error: the monitor still starts (the estimate is an
 // upper bound), but the operator is told before memory grows, not after.
-void check_state_budget(const lang::ResourceCertificate& cert,
+void check_state_budget(const std::string& name,
+                        const lang::ResourceCertificate& cert,
                         uint64_t expected_keys, uint64_t budget) {
   if (budget == 0) return;
   if (!cert.state_bounded) {
     std::fprintf(stderr,
-                 "netqre-monitor: warning: --state-budget %llu set but the "
-                 "query's per-key state is not statically bounded; the "
+                 "netqre-monitor: warning: --state-budget %llu set but "
+                 "query '%s' has no statically bounded per-key state; the "
                  "certificate cannot guarantee any budget\n",
-                 static_cast<unsigned long long>(budget));
+                 static_cast<unsigned long long>(budget), name.c_str());
     return;
   }
   const uint64_t panes = static_cast<uint64_t>(cert.window_instances);
@@ -176,10 +193,10 @@ void check_state_budget(const lang::ResourceCertificate& cert,
   if (expected > budget) {
     std::fprintf(
         stderr,
-        "netqre-monitor: warning: expected state %llu B (%llu keys x %llu "
-        "B/key + %llu B fixed, x%llu window panes) exceeds --state-budget "
-        "%llu B\n",
-        static_cast<unsigned long long>(expected),
+        "netqre-monitor: warning: query '%s' expected state %llu B (%llu "
+        "keys x %llu B/key + %llu B fixed, x%llu window panes) exceeds "
+        "--state-budget %llu B\n",
+        name.c_str(), static_cast<unsigned long long>(expected),
         static_cast<unsigned long long>(expected_keys),
         static_cast<unsigned long long>(cert.bytes_per_key),
         static_cast<unsigned long long>(cert.fixed_bytes),
@@ -195,63 +212,66 @@ uint64_t unix_now_ns() {
           .count());
 }
 
-// Samples the running query's result map into the series store on a cadence
-// and optionally streams each round to a parent monitor.
+// Samples every loaded query's result map into its series-store context on
+// a cadence and optionally streams each round to a parent monitor.
 //
-// Threading: with a single engine the snapshot runs on the engine thread
-// itself between batches (enumerate on a live engine is only safe from the
-// thread that mutates it).  With a parallel engine the snapshot is a
-// control visit executed by each shard's own worker
-// (snapshot_results_async); `in_flight` keeps at most one round pending so
-// a stalled shard queue cannot pile up visits.
+// Threading: with a single-threaded set the snapshot runs on the engine
+// thread itself between batches (enumerate on live state is only safe from
+// the thread that mutates it).  With a sharded set the snapshot is a
+// control visit executed by each shard's own worker (snapshot_all_async);
+// `in_flight` keeps at most one round pending so a stalled shard queue
+// cannot pile up visits.  Contexts are created lazily, so queries loaded
+// over HTTP mid-run get series too.
 struct StoreSampler {
   store::SeriesStore* store = nullptr;
-  store::SeriesStore::ContextId ctx{};
-  std::string context_name;
   store::StreamClient* client = nullptr;  // null when not streaming
   std::chrono::nanoseconds every{1'000'000'000};
   Clock::time_point next_sample{};  // default: sample on the first call
   std::atomic<bool> in_flight{false};
 
-  void ingest_round(uint64_t t_ns,
-                    const std::vector<core::ResultSample>& results) {
-    std::vector<store::Sample> samples;
-    samples.reserve(results.size());
-    for (const auto& r : results) samples.push_back({r.key, r.value});
-    store->ingest(ctx, t_ns, samples);
-    if (client) client->push(context_name, t_ns, samples);
+  using Round =
+      std::vector<std::pair<std::string, std::vector<core::ResultSample>>>;
+
+  void ingest_round(uint64_t t_ns, const Round& round) {
+    for (const auto& [query, results] : round) {
+      std::vector<store::Sample> samples;
+      samples.reserve(results.size());
+      for (const auto& r : results) samples.push_back({r.key, r.value});
+      store->ingest(store->context(query), t_ns, samples);
+      if (client) client->push(query, t_ns, samples);
+    }
   }
 
-  void maybe_sample(core::Engine* engine, core::ParallelEngine* parallel) {
+  void maybe_sample(core::QuerySet* set, core::ParallelQuerySet* parallel) {
     const auto now = Clock::now();
     if (now < next_sample) return;
     next_sample = now + every;
-    sample(engine, parallel);
+    sample(set, parallel);
   }
 
-  void sample(core::Engine* engine, core::ParallelEngine* parallel) {
+  void sample(core::QuerySet* set, core::ParallelQuerySet* parallel) {
     const uint64_t t_ns = unix_now_ns();
-    if (engine) {
-      std::vector<core::ResultSample> results;
-      engine->snapshot_results(results);
-      ingest_round(t_ns, results);
+    if (set) {
+      Round round;
+      set->snapshot_all(round);
+      ingest_round(t_ns, round);
       return;
     }
     if (in_flight.exchange(true)) return;  // previous round still collecting
-    parallel->snapshot_results_async(
-        [this, t_ns](std::vector<core::ResultSample> results) {
-          ingest_round(t_ns, results);
-          in_flight.store(false);
-        });
+    parallel->snapshot_all_async([this, t_ns](Round round) {
+      ingest_round(t_ns, round);
+      in_flight.store(false);
+    });
   }
 };
 
-// Replays `trace` through the engine(s) until stopped: batched, paced to
+// Replays `trace` through the query set until stopped: batched, paced to
 // --pps, looping unless --once.  Updates the heartbeat every batch so
-// /healthz notices a wedged engine, polls the governor about once a
-// second, and samples the result store on its cadence.
+// /healthz notices a wedged engine, polls the governor about once a second
+// (also refreshing the per-query state gauges), and samples the result
+// store on its cadence.
 void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
-                core::Engine* engine, core::ParallelEngine* parallel,
+                core::QuerySet* set, core::ParallelQuerySet* parallel,
                 std::atomic<uint64_t>& heartbeat_ns,
                 std::atomic<uint64_t>& packets_done,
                 obs::TraceGovernor& governor, StoreSampler* sampler) {
@@ -267,12 +287,13 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
   while (!g_stop.load(std::memory_order_relaxed)) {
     net::VectorSource source(trace);
     while (source.fill(batch, kDefaultBatch) > 0) {
+      const size_t n = batch.size();
       if (parallel) {
-        parallel->feed(std::move(batch));
+        parallel->feed(std::move(batch));  // leaves `batch` empty, reusable
       } else {
-        engine->on_batch(batch.packets());
+        set->on_batch(batch.packets());
       }
-      replayed += batch.size();
+      replayed += n;
       packets_done.store(replayed, std::memory_order_relaxed);
 
       const auto now = Clock::now();
@@ -287,9 +308,10 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
           std::fprintf(stderr, "netqre-monitor: anomaly dump written: %s\n",
                        path->c_str());
         }
+        if (set) set->sample_state_metrics();
         next_governor_poll = now + std::chrono::seconds(1);
       }
-      if (sampler) sampler->maybe_sample(engine, parallel);
+      if (sampler) sampler->maybe_sample(set, parallel);
       if (g_stop.load(std::memory_order_relaxed) || now >= deadline) {
         g_stop.store(true);
         break;
@@ -310,7 +332,7 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
   if (parallel) parallel->finish();
   // Final round after the replay drains, so a short --once run still leaves
   // its end state in the store (post-finish() the visit is synchronous).
-  if (sampler) sampler->sample(engine, parallel);
+  if (sampler) sampler->sample(set, parallel);
 }
 
 // --parent: aggregator mode.  No query, no engine — just the HTTP surface
@@ -358,10 +380,9 @@ int run_parent(const Options& opt) {
 int main(int argc, char** argv) {
   Options opt;
   apps::CliArgs cli(argc, argv, "netqre-monitor", kUsage);
-  std::string query_spec = opt.query;
   while (cli.next()) {
     if (cli.is("--query")) {
-      query_spec = cli.value();
+      opt.queries.push_back(cli.value());
     } else if (cli.is("--pcap")) {
       opt.pcap = cli.value();
     } else if (cli.is("--packets")) {
@@ -378,6 +399,8 @@ int main(int argc, char** argv) {
       opt.dump_dir = cli.value();
     } else if (cli.is("--workers")) {
       opt.workers = static_cast<int>(cli.value_u64());
+    } else if (cli.is("--quota")) {
+      opt.quota = cli.value_u64();
     } else if (cli.is("--state-budget")) {
       opt.state_budget = cli.value_u64();
     } else if (cli.is("--store-every")) {
@@ -399,33 +422,38 @@ int main(int argc, char** argv) {
   if (opt.source.empty()) {
     opt.source = "edge-" + std::to_string(::getpid());
   }
+  if (opt.queries.empty()) opt.queries.push_back("heavy_hitter.nqre");
 
-  const apps::QueryInfo info = resolve_query(query_spec, cli);
+  // Resolve the startup specs before doing any heavy work, so a typo'd
+  // query name fails fast with a usage error.
+  std::vector<apps::QueryInfo> infos;
+  infos.reserve(opt.queries.size());
+  for (const auto& spec : opt.queries) {
+    infos.push_back(resolve_query(spec, cli));
+  }
+
   try {
-    auto prog = apps::compile_app(info.file, info.main);
-    const lang::ResourceCertificate cert = lang::certify(prog, info.main);
     const auto workload = load_workload(opt);
     const auto& trace = workload.trace;
     if (trace.empty()) {
       std::cerr << "netqre-monitor: workload is empty\n";
       return 2;
     }
-    check_state_budget(cert, workload.expected_keys, opt.state_budget);
 
     obs::GovernorConfig gcfg;
     gcfg.dump_dir = opt.dump_dir;
     obs::TraceGovernor governor(gcfg);
 
-    std::unique_ptr<core::Engine> engine;
-    std::unique_ptr<core::ParallelEngine> parallel;
+    std::unique_ptr<core::QuerySet> set;
+    std::unique_ptr<core::ParallelQuerySet> parallel;
     if (opt.workers > 0) {
-      parallel =
-          std::make_unique<core::ParallelEngine>(prog.query, opt.workers);
+      parallel = std::make_unique<core::ParallelQuerySet>(opt.workers,
+                                                          opt.quota);
     } else {
-      engine = std::make_unique<core::Engine>(prog.query);
+      set = std::make_unique<core::QuerySet>(opt.quota);
     }
 
-    // Result store: this query is one context, named by the query itself.
+    // Result store: every loaded query is one context, named by the query.
     store::StoreConfig scfg;
     scfg.max_keys = opt.store_keys;
     if (opt.store_every_ms > 0) {
@@ -446,10 +474,32 @@ int main(int argc, char** argv) {
       ccfg.source = opt.source;
       stream_client = std::make_unique<store::StreamClient>(ccfg);
     }
+
+    apps::QuerySetRuntime runtime;
+    runtime.set = set.get();
+    runtime.parallel = parallel.get();
+    runtime.store = &store;
+    runtime.default_quota = opt.quota;
+
+    // Initial loads go through the same lint → certify → compile → swap
+    // chain as POST /api/v1/queries.  The query name is its file name
+    // (matching the admin surface's default).
+    for (const auto& info : infos) {
+      const apps::LoadOutcome out = apps::load_query(
+          runtime, info.file, info.file, info.main, "", 0);
+      if (out.status != 200) {
+        std::cerr << "netqre-monitor: --query " << info.file << ": "
+                  << out.error << "\n";
+        return 2;
+      }
+      // Certificate-based budget warning, as before, per query.
+      const auto prog = apps::compile_app(info.file, info.main);
+      check_state_budget(info.file, lang::certify(prog, info.main),
+                         workload.expected_keys, opt.state_budget);
+    }
+
     StoreSampler sampler;
     sampler.store = &store;
-    sampler.context_name = info.file + ":" + info.main;
-    sampler.ctx = store.context(sampler.context_name);
     sampler.client = stream_client.get();
     sampler.every =
         std::chrono::nanoseconds(opt.store_every_ms * 1'000'000ull);
@@ -462,7 +512,7 @@ int main(int argc, char** argv) {
     std::atomic<uint64_t> packets_done{0};
     std::atomic<bool> engine_live{true};
     std::thread engine_thread([&] {
-      run_engine(opt, trace, engine.get(), parallel.get(), heartbeat_ns,
+      run_engine(opt, trace, set.get(), parallel.get(), heartbeat_ns,
                  packets_done, governor, sampler_ptr);
       engine_live.store(false);
     });
@@ -484,56 +534,17 @@ int main(int argc, char** argv) {
         },
         &governor);
     store::register_store_endpoints(server, store);
-    // The monitor's /statz wraps the registry snapshot together with the
-    // query identity and its resource certificate (re-registering the path
-    // replaces the default registry-only handler).
-    std::string cert_json;
-    {
-      obs::JsonWriter w;
-      lang::certificate_json(cert, w);
-      cert_json = w.str();
-    }
-    // Live tier selection: what the running engine actually chose (the
-    // certificate's tier is the static prediction; these agree unless a
-    // NETQRE_FORCE_TIER override or profiling pinned the interpreter).
-    // Tier fields are set at engine construction and immutable after, so
-    // reading them from the server thread is race-free.
-    std::string tier_json;
-    {
-      const core::Engine& eng =
-          parallel ? parallel->shard_engine(0) : *engine;
-      obs::JsonWriter w;
-      w.begin_object();
-      w.key("selected").value(eng.tier());
-      w.key("reason").value(eng.tier_reason());
-      w.key("chain").begin_array();
-      for (const std::string& step : eng.tier_chain()) w.value(step);
-      w.end_array();
-      w.end_object();
-      tier_json = w.str();
-    }
-    server.handle("/statz", [&info, cert_json,
-                             tier_json](const obs::HttpRequest&) {
-      obs::JsonWriter w;
-      w.begin_object();
-      w.key("metrics").raw(obs::registry().snapshot().to_json());
-      w.key("query").begin_object();
-      w.key("file").value(info.file);
-      w.key("main").value(info.main);
-      w.key("tier").raw(tier_json);
-      w.key("certificate").raw(cert_json);
-      w.end_object();
-      w.end_object();
-      return obs::HttpResponse::json(w.str());
-    });
+    // Queries admin API + the extended statz (metrics + per-query tier and
+    // certificate sections).
+    apps::register_queryset_admin(server, runtime);
     server.start(opt.port);
     const std::string workers_note =
         opt.workers > 0 ? ", " + std::to_string(opt.workers) + " workers"
                         : "";
     std::fprintf(stderr,
-                 "netqre-monitor: %s (%s : %s) on http://127.0.0.1:%u  "
+                 "netqre-monitor: %zu quer%s on http://127.0.0.1:%u  "
                  "[%llu-packet workload%s, %llu pps%s]\n",
-                 info.title.c_str(), info.file.c_str(), info.main.c_str(),
+                 infos.size(), infos.size() == 1 ? "y" : "ies",
                  server.port(),
                  static_cast<unsigned long long>(trace.size()),
                  opt.once ? ", one pass" : ", looped",

@@ -551,7 +551,9 @@ int main(int argc, char** argv) {
     try {
       net::PcapOptions popt;
       popt.tolerant = true;
-      pcap_trace = net::read_all(opt.pcap, popt);
+      net::PacketBatch batch;
+      net::read_all(opt.pcap, batch, popt);
+      pcap_trace = std::move(batch).take();
       pcap_ptr = &pcap_trace;
     } catch (const std::exception& e) {
       std::cerr << "netqre-profile: " << e.what() << "\n";

@@ -1,0 +1,215 @@
+#include "apps/queryset_admin.hpp"
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "lang/analysis.hpp"
+#include "lang/certify.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "store/stream.hpp"
+
+namespace netqre::apps {
+
+namespace {
+
+// Decoded key=value pairs of a query string (no repeats expected on this
+// surface; the last occurrence wins).
+std::map<std::string, std::string> parse_query_params(std::string_view q) {
+  std::map<std::string, std::string> out;
+  size_t pos = 0;
+  while (pos < q.size()) {
+    size_t amp = q.find('&', pos);
+    if (amp == std::string_view::npos) amp = q.size();
+    const std::string_view pair = q.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      out[store::url_decode(pair.substr(0, eq))] =
+          store::url_decode(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      out[store::url_decode(pair)] = "";
+    }
+    pos = amp + 1;
+  }
+  return out;
+}
+
+void status_json(obs::JsonWriter& w, const core::QueryStatus& st,
+                 const QueryAdminMeta* meta, bool with_certificate) {
+  w.begin_object();
+  w.key("name").value(st.name);
+  if (meta) {
+    w.key("file").value(meta->file);
+    w.key("main").value(meta->main);
+  }
+  w.key("tier").value(st.tier);
+  w.key("reason").value(st.reason);
+  w.key("packets").value(static_cast<int64_t>(st.packets));
+  w.key("state_bytes").value(static_cast<int64_t>(st.state_bytes));
+  w.key("quota_bytes").value(static_cast<int64_t>(st.quota_bytes));
+  w.key("evicted_keys").value(static_cast<int64_t>(st.evicted_keys));
+  w.key("quota_resets").value(static_cast<int64_t>(st.quota_resets));
+  if (with_certificate && meta && !meta->cert_json.empty()) {
+    w.key("certificate").raw(meta->cert_json);
+  }
+  w.end_object();
+}
+
+std::string queries_json(QuerySetRuntime& rt, bool with_certificates) {
+  const auto statuses = rt.status();
+  std::lock_guard lock(rt.mu);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("queries").begin_array();
+  for (const auto& st : statuses) {
+    const auto it = rt.meta.find(st.name);
+    status_json(w, st, it != rt.meta.end() ? &it->second : nullptr,
+                with_certificates);
+  }
+  w.end_array();
+  const core::QuerySet& any_set =
+      rt.set ? *rt.set : rt.parallel->shard_set(0);
+  w.key("atom_pool").value(static_cast<int64_t>(any_set.atom_pool_size()));
+  w.key("atom_refs").value(static_cast<int64_t>(any_set.atom_refs()));
+  if (rt.parallel) {
+    w.key("workers").value(static_cast<int64_t>(rt.parallel->workers()));
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+LoadOutcome load_query(QuerySetRuntime& rt, const std::string& name,
+                       const std::string& file, const std::string& main,
+                       const std::string& source, size_t quota_bytes) {
+  if (name.empty()) return {400, "missing query name"};
+  const bool inline_source = !source.empty();
+  std::string entry = main;
+  std::string file_label = inline_source ? "(inline)" : file;
+  std::string text = source;
+  if (!inline_source) {
+    const auto& table = table1();
+    const QueryInfo* info = nullptr;
+    for (const auto& q : table) {
+      if (q.file == file) {
+        info = &q;
+        break;
+      }
+    }
+    if (!info) return {404, "unknown query file '" + file + "'"};
+    if (entry.empty()) entry = info->main;
+    try {
+      text = load_source(file);
+    } catch (const std::exception& e) {
+      return {404, e.what()};
+    }
+  } else if (entry.empty()) {
+    return {400, "inline source needs an explicit main="};
+  }
+
+  // lint → certify → compile, then the atomic swap into the live set.
+  const auto diags = lang::analyze_source(text);
+  if (lang::has_errors(diags)) {
+    std::string msg = "lint failed:";
+    for (const auto& d : diags) msg += "\n  " + d.to_string();
+    return {400, msg};
+  }
+  lang::CompiledProgram prog;
+  lang::ResourceCertificate cert;
+  try {
+    prog = lang::compile_source(text, entry);
+    cert = lang::certify(prog, entry);
+  } catch (const std::exception& e) {
+    return {400, std::string("compile failed: ") + e.what()};
+  }
+  core::QuerySet::LoadOptions lopt;
+  lopt.state_quota_bytes = quota_bytes != 0 ? quota_bytes : rt.default_quota;
+  const bool loaded =
+      rt.set ? rt.set->load(name, std::move(prog.query), lopt)
+             : rt.parallel->load(name, prog.query, lopt);
+  if (!loaded) return {409, "query '" + name + "' is already loaded"};
+  if (rt.store) rt.store->context(name);
+
+  obs::JsonWriter cw;
+  lang::certificate_json(cert, cw);
+  std::lock_guard lock(rt.mu);
+  rt.meta[name] = QueryAdminMeta{file_label, entry, cw.str()};
+  return {};
+}
+
+LoadOutcome unload_query(QuerySetRuntime& rt, const std::string& name) {
+  const bool removed =
+      rt.set ? rt.set->unload(name) : rt.parallel->unload(name);
+  if (!removed) return {404, "no query named '" + name + "'"};
+  // The store context (historical samples) survives the unload on purpose:
+  // the series is the record that the query ran.
+  std::lock_guard lock(rt.mu);
+  rt.meta.erase(name);
+  return {};
+}
+
+void register_queryset_admin(obs::HttpServer& srv, QuerySetRuntime& rt) {
+  srv.handle("/api/v1/queries", [&rt](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(queries_json(rt, false));
+  });
+
+  srv.handle_post("/api/v1/queries", [&rt](const obs::HttpRequest& req) {
+    const auto params = parse_query_params(req.query);
+    const auto get = [&params](const char* k) {
+      const auto it = params.find(k);
+      return it != params.end() ? it->second : std::string();
+    };
+    size_t quota = 0;
+    if (const std::string q = get("quota"); !q.empty()) {
+      quota = static_cast<size_t>(std::strtoull(q.c_str(), nullptr, 10));
+    }
+    std::string name = get("name");
+    const std::string file = get("file");
+    if (name.empty()) name = file;  // shipped file: the file names the query
+    const LoadOutcome out =
+        load_query(rt, name, file, get("main"), req.body, quota);
+    if (out.status != 200) {
+      return obs::HttpResponse::text(out.error + "\n", out.status);
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("loaded").value(name);
+    w.end_object();
+    return obs::HttpResponse::json(w.str());
+  });
+
+  srv.handle_delete("/api/v1/queries", [&rt](const obs::HttpRequest& req) {
+    const auto params = parse_query_params(req.query);
+    const auto it = params.find("name");
+    if (it == params.end() || it->second.empty()) {
+      return obs::HttpResponse::text("missing ?name=\n", 400);
+    }
+    const LoadOutcome out = unload_query(rt, it->second);
+    if (out.status != 200) {
+      return obs::HttpResponse::text(out.error + "\n", out.status);
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("unloaded").value(it->second);
+    w.end_object();
+    return obs::HttpResponse::json(w.str());
+  });
+
+  // Extended statz: the registry snapshot plus one section per query with
+  // its certificate.  Overrides the registry-only default at both the
+  // canonical and the deprecated path.
+  obs::handle_get_versioned(srv, "/statz", [&rt](const obs::HttpRequest&) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("metrics").raw(obs::registry().snapshot().to_json());
+    w.key("queryset").raw(queries_json(rt, true));
+    w.end_object();
+    return obs::HttpResponse::json(w.str());
+  });
+}
+
+}  // namespace netqre::apps

@@ -1,0 +1,80 @@
+// HTTP admin surface for the multi-tenant QuerySet runtime (DESIGN.md §7).
+//
+// Factored out of netqre-monitor so the daemon and the in-process system
+// tests register the same handlers:
+//
+//   GET    /api/v1/queries   one JSON row per loaded query (tier, packets,
+//                            state bytes, quota, evictions) plus the shared
+//                            atom-pool diagnostics
+//   POST   /api/v1/queries   load a query: ?name=&file=&main=&quota= for a
+//                            shipped queries/*.nqre file, or an inline
+//                            NetQRE source as the request body with
+//                            ?name=&main=.  The load path is the full
+//                            lint → certify → compile chain; the swap into
+//                            the live set is atomic at a batch boundary
+//                            (zero packets dropped).  409 when the name is
+//                            taken, 400 with diagnostics when the source
+//                            does not lint/compile.
+//   DELETE /api/v1/queries   ?name= unloads (drops all state of) a query
+//
+// and overrides /api/v1/statz (plus the deprecated /statz alias) with the
+// monitor's extended snapshot: the metrics registry plus one section per
+// loaded query carrying its tier decision and resource certificate.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/queryset.hpp"
+#include "obs/http_export.hpp"
+#include "store/series_store.hpp"
+
+namespace netqre::apps {
+
+// Language-layer metadata the core QuerySet does not keep.
+struct QueryAdminMeta {
+  std::string file;       // shipped file name, or "(inline)"
+  std::string main;       // entry sfun
+  std::string cert_json;  // rendered resource certificate
+};
+
+// Shared handle between the HTTP admin surface, the initial CLI loads and
+// the replay loop.  Exactly one of `set` / `parallel` is non-null.
+struct QuerySetRuntime {
+  core::QuerySet* set = nullptr;
+  core::ParallelQuerySet* parallel = nullptr;
+  store::SeriesStore* store = nullptr;  // null = result store off
+  size_t default_quota = 0;             // bytes; 0 = unlimited
+
+  std::mutex mu;  // guards meta
+  std::map<std::string, QueryAdminMeta> meta;
+
+  [[nodiscard]] std::vector<core::QueryStatus> status() const {
+    return set ? set->status() : parallel->status();
+  }
+};
+
+struct LoadOutcome {
+  int status = 200;  // HTTP status semantics: 200/400/404/409
+  std::string error;  // empty on success
+};
+
+// Loads `name` into the runtime through the full lint → certify → compile →
+// swap chain.  `file` names a shipped queries/*.nqre file (with `main`
+// defaulting to its Table-1 entry sfun); a non-empty `source` compiles
+// inline instead (then `main` is required and `file` ignored).
+// `quota_bytes` = 0 inherits the runtime default.
+LoadOutcome load_query(QuerySetRuntime& rt, const std::string& name,
+                       const std::string& file, const std::string& main,
+                       const std::string& source, size_t quota_bytes);
+
+// Unloads `name`; 404 outcome when absent.
+LoadOutcome unload_query(QuerySetRuntime& rt, const std::string& name);
+
+// Registers the /api/v1/queries handlers and the extended statz snapshot.
+// Call after register_observability_endpoints (the statz override replaces
+// the registry-only default).  `rt` must outlive the server.
+void register_queryset_admin(obs::HttpServer& srv, QuerySetRuntime& rt);
+
+}  // namespace netqre::apps

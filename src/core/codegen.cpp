@@ -689,6 +689,17 @@ std::optional<SpecPlan> analyze_spec(const CompiledQuery& query) {
   return analyze_spec_explained(query).plan;
 }
 
+bool eval_spec_atom(const SpecPlan::AtomEval& a, const net::Packet& p,
+                    const Valuation& no_params) {
+  // Mirror of letter_of()'s per-atom branch: FastCmp goes through the same
+  // raw_field/cmp_apply pair as the rendered C++, anything else through the
+  // interpreter's Atom::eval.
+  return a.kind == SpecPlan::AtomEval::Kind::FastCmp
+             ? cmp_apply(a.op, raw_field(a.field, p),
+                         static_cast<uint64_t>(a.literal))
+             : a.atom.eval(p, no_params);
+}
+
 // ------------------------------------------------------- in-process monitor
 
 SpecializedMonitor::SpecializedMonitor(SpecPlan plan) : plan_(std::move(plan)) {
@@ -775,7 +786,7 @@ void SpecializedMonitor::grow() {
 SpecializedMonitor::Entry& SpecializedMonitor::insert(uint64_t key,
                                                       const net::Packet& p) {
   if ((entries_.size() + 1) * 10 >= slots_.size() * 7) grow();
-  entries_.push_back(Entry{key, static_cast<int32_t>(plan_.start), 0, 0});
+  entries_.push_back(Entry{key, static_cast<int32_t>(plan_.start), 0, 0, 0});
   for (const auto& kp : plan_.key) key_vals_.push_back(kp.atom.candidate(p));
   const uint64_t mask = slots_.size() - 1;
   size_t idx = mix64(key) & mask;
@@ -788,11 +799,70 @@ void SpecializedMonitor::on_packet(const net::Packet& p) {
   // Generic atoms (payload scans, custom fields) read the per-packet field
   // cache; standalone drivers (fuzzer, tests) never arm it themselves.
   if (has_generic_) begin_packet_fields();
-  const uint64_t letter = letter_of(p);
+  on_letter(p, letter_of(p));
+}
+
+void SpecializedMonitor::on_letters(std::span<const net::Packet> batch,
+                                    const uint64_t* letters,
+                                    const uint64_t* keys) {
+  const size_t n = batch.size();
+  if (closed_) {
+    for (size_t i = 0; i < n; ++i) {
+      step_entry(closed_state_, letters[i], batch[i]);
+    }
+    return;
+  }
+  if (keys == nullptr) {
+    keys_scratch_.resize(n);
+    for (size_t i = 0; i < n; ++i) keys_scratch_[i] = key_of(batch[i]);
+    keys = keys_scratch_.data();
+  }
+  // Software pipeline over the probe's two dependent loads: pull the slot
+  // index's cache line kSlotAhead packets early, then peek the (usually
+  // final) first slot kEntryAhead packets early to pull the entry's line.
+  // Consecutive probes then overlap instead of serializing on misses.  Both
+  // touches are hints — an insert may grow the table mid-batch, which only
+  // makes a pending prefetch stale, never the probe below wrong.
+  constexpr size_t kSlotAhead = 12;
+  constexpr size_t kEntryAhead = 4;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t mask = slots_.size() - 1;
+    if (i + kSlotAhead < n) {
+      __builtin_prefetch(&slots_[mix64(keys[i + kSlotAhead]) & mask]);
+    }
+    if (i + kEntryAhead < n) {
+      const uint32_t ahead = slots_[mix64(keys[i + kEntryAhead]) & mask];
+      if (ahead != 0) __builtin_prefetch(&entries_[ahead - 1]);
+    }
+    ++tick_;
+    const uint64_t letter = letters[i];
+    const uint64_t key = keys[i];
+    size_t idx = mix64(key) & mask;
+    Entry* e = nullptr;
+    for (;;) {
+      const uint32_t ei = slots_[idx];
+      if (ei == 0) break;
+      if (entries_[ei - 1].key == key) {
+        e = &entries_[ei - 1];
+        break;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (e == nullptr) {
+      if (!plan_.create[letter]) continue;
+      e = &insert(key, batch[i]);
+    }
+    e->seen = tick_;
+    step_entry(*e, letter, batch[i]);
+  }
+}
+
+void SpecializedMonitor::on_letter(const net::Packet& p, uint64_t letter) {
   if (closed_) {
     step_entry(closed_state_, letter, p);
     return;
   }
+  ++tick_;
   const uint64_t key = key_of(p);
   const uint64_t mask = slots_.size() - 1;
   size_t idx = mix64(key) & mask;
@@ -812,6 +882,7 @@ void SpecializedMonitor::on_packet(const net::Packet& p) {
     if (!plan_.create[letter]) return;
     e = &insert(key, p);
   }
+  e->seen = tick_;
   step_entry(*e, letter, p);
 }
 
@@ -951,6 +1022,51 @@ size_t SpecializedMonitor::entries() const {
   size_t n = 0;
   for (const auto& e : entries_) n += live(e) ? 1 : 0;
   return n;
+}
+
+size_t SpecializedMonitor::evict_stalest(size_t target_bytes) {
+  if (closed_) return 0;
+  const size_t parts = plan_.key.size();
+  size_t evicted = 0;
+  while (memory() > target_bytes && !entries_.empty()) {
+    // Halving round: keep the most-recently-touched half (floor(n/2), so a
+    // single survivor still converges to zero), rebuilt into exact-size
+    // tables so capacity is actually released.
+    const size_t keep = entries_.size() / 2;
+    std::vector<size_t> order(entries_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::nth_element(order.begin(), order.begin() + static_cast<long>(keep),
+                     order.end(), [&](size_t a, size_t b) {
+                       return entries_[a].seen > entries_[b].seen;
+                     });
+    order.resize(keep);
+    // Survivors stay in insertion order: enumerate()'s output order (and
+    // the nested-chain grouping) must not depend on eviction history.
+    std::sort(order.begin(), order.end());
+    std::vector<Entry> kept;
+    kept.reserve(keep);
+    std::vector<Value> kept_vals;
+    kept_vals.reserve(keep * parts);
+    for (const size_t i : order) {
+      kept.push_back(entries_[i]);
+      for (size_t k = 0; k < parts; ++k) {
+        kept_vals.push_back(key_vals_[i * parts + k]);
+      }
+    }
+    evicted += entries_.size() - keep;
+    entries_ = std::move(kept);
+    key_vals_ = std::move(kept_vals);
+    size_t n_slots = 1024;
+    while ((entries_.size() + 1) * 10 >= n_slots * 7) n_slots <<= 1;
+    std::vector<uint32_t>(n_slots, 0).swap(slots_);
+    const uint64_t mask = slots_.size() - 1;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      size_t idx = mix64(entries_[i].key) & mask;
+      while (slots_[idx] != 0) idx = (idx + 1) & mask;
+      slots_[idx] = static_cast<uint32_t>(i + 1);
+    }
+  }
+  return evicted;
 }
 
 long long SpecializedMonitor::aggregate() const {

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,15 @@ SpecDecision analyze_spec_explained(const CompiledQuery& query,
 // nullopt when the query must run on the interpreting runtime.
 std::optional<SpecPlan> analyze_spec(const CompiledQuery& query);
 
+// Evaluates one non-Param alphabet atom against a packet — the truth bit a
+// letter carries for that atom.  Shared by SpecializedMonitor::letter_of and
+// the QuerySet's deduplicated atom pool, so pooled classification stays
+// bit-identical to a standalone monitor.  `no_params` is the (empty)
+// valuation Generic atoms receive; Param atoms must not be passed here.
+[[nodiscard]] bool eval_spec_atom(const SpecPlan::AtomEval& a,
+                                  const net::Packet& p,
+                                  const Valuation& no_params);
+
 // In-process executor for a SpecPlan — the engine's compiled tier and the
 // fuzzer's codegen oracle.  Open-addressing flat table keyed by the packed
 // key; entry creation and liveness mirror the guard trie's materialization
@@ -135,6 +145,24 @@ class SpecializedMonitor {
 
   void on_packet(const net::Packet& p);
 
+  // Steps the machine with a letter the caller already classified (the
+  // QuerySet path: atoms are evaluated once per packet for all queries and
+  // letters assembled from the shared pool).  The letter must equal what
+  // letter_of(p) would return — the caller owns arming the per-packet field
+  // cache before classifying Generic atoms.  on_packet(p) is exactly
+  // classify + on_letter.
+  void on_letter(const net::Packet& p, uint64_t letter);
+
+  // Batched on_letter: letters[i] is packet i's classified letter.  The
+  // table's two dependent loads (slot index, then entry) are prefetched a
+  // few packets ahead, so consecutive probes overlap instead of serializing
+  // on cache misses — the QuerySet's query-major hot path.  `keys`, when
+  // non-null, supplies precomputed packed keys (keys[i] == key_of(batch[i]));
+  // QuerySet shares one key array across every query with the same key
+  // shape.  Equivalent to on_letter(batch[i], letters[i]) for all i.
+  void on_letters(std::span<const net::Packet> batch, const uint64_t* letters,
+                  const uint64_t* keys = nullptr);
+
   // Engine-facing surface (mirrors the interpreter's result API).
   [[nodiscard]] Value eval() const;
   [[nodiscard]] Value eval_at(const std::vector<Value>& key) const;
@@ -145,6 +173,14 @@ class SpecializedMonitor {
   // Entries distinguishable from the never-observed default (the guard
   // trie's leaf count).
   [[nodiscard]] size_t entries() const;
+
+  // Quota enforcement: drops least-recently-touched entries (halving rounds)
+  // until memory() fits under `target_bytes`, releasing table capacity, and
+  // returns the number of entries evicted.  Evicted keys read back as
+  // never-observed defaults — a documented lossy degradation under memory
+  // pressure, bounded per query by the QuerySet's quota accounting.  Closed
+  // queries hold no keyed state and never evict.
+  size_t evict_stalest(size_t target_bytes);
 
   // Raw surface used by the differential fuzzer and the codegen tests:
   // same packed keys and long-long read-out as the generated C++.
@@ -159,6 +195,7 @@ class SpecializedMonitor {
     uint64_t key = 0;
     int32_t q = 0;
     uint8_t touched = 0;  // an accumulator update fired at least once
+    uint64_t seen = 0;    // tick of the last step (stalest-key eviction)
     long long acc = 0;
   };
 
@@ -191,8 +228,10 @@ class SpecializedMonitor {
 
   // Closed-query state (key.empty()).
   Entry closed_state_;
+  uint64_t tick_ = 0;  // keyed steps so far; stamps Entry::seen
 
   // Open addressing: slot -> entry index + 1; entries in insertion order.
+  std::vector<uint64_t> keys_scratch_;  // on_letters fallback key buffer
   std::vector<uint32_t> slots_;
   std::vector<Entry> entries_;
   std::vector<Value> key_vals_;  // plan_.key.size() Values per entry

@@ -14,6 +14,7 @@ namespace netqre::core {
 
 namespace {
 using Clock = std::chrono::steady_clock;
+}  // namespace
 
 // NETQRE_FORCE_TIER=interpreted|compiled overrides Auto tier selection.
 EngineTier env_forced_tier() {
@@ -23,7 +24,41 @@ EngineTier env_forced_tier() {
   if (std::strcmp(e, "compiled") == 0) return EngineTier::Compiled;
   return EngineTier::Auto;
 }
-}  // namespace
+
+SpecDecision decide_tier(const CompiledQuery& query, EngineTier tier) {
+  SpecDecision decision;
+  if (tier == EngineTier::Auto) tier = env_forced_tier();
+  switch (tier) {
+    case EngineTier::Interpreted:
+      decision.reason = "interpreted: tier forced";
+      decision.chain = {"\xE2\x9C\x97 tier forced to interpreted"};
+      break;
+    case EngineTier::Compiled:
+      // Forced: run the structural proof (with the gate when present) and
+      // fall back with the refutation when it does not go through.
+      decision =
+          analyze_spec_explained(query, query.gate ? &*query.gate : nullptr);
+      if (!decision.plan) {
+        decision.reason = "interpreted: forced compiled tier unavailable -- " +
+                          decision.reason;
+      }
+      break;
+    case EngineTier::Auto:
+      // Auto-selection requires the certificate gate: builder-compiled
+      // queries (tests, fuzzing) carry none and stay on the interpreter
+      // unless a tier is forced.
+      if (!query.gate) {
+        decision.reason =
+            "interpreted: no resource certificate (builder-compiled query)";
+        decision.chain = {
+            "\xE2\x9C\x97 no resource certificate (builder-compiled query)"};
+        break;
+      }
+      decision = analyze_spec_explained(query, &*query.gate);
+      break;
+  }
+  return decision;
+}
 
 Engine::Engine(CompiledQuery query, EngineTier tier)
     : query_(std::move(query)) {
@@ -42,37 +77,7 @@ Engine::Engine(CompiledQuery query, EngineTier tier)
 }
 
 void Engine::select_tier(EngineTier tier) {
-  if (tier == EngineTier::Auto) tier = env_forced_tier();
-  switch (tier) {
-    case EngineTier::Interpreted:
-      decision_.reason = "interpreted: tier forced";
-      decision_.chain = {"\xE2\x9C\x97 tier forced to interpreted"};
-      return;
-    case EngineTier::Compiled:
-      // Forced: run the structural proof (with the gate when present) and
-      // fall back with the refutation when it does not go through.
-      decision_ = analyze_spec_explained(
-          query_, query_.gate ? &*query_.gate : nullptr);
-      if (!decision_.plan) {
-        decision_.reason =
-            "interpreted: forced compiled tier unavailable -- " +
-            decision_.reason;
-      }
-      break;
-    case EngineTier::Auto:
-      // Auto-selection requires the certificate gate: builder-compiled
-      // queries (tests, fuzzing) carry none and stay on the interpreter
-      // unless a tier is forced.
-      if (!query_.gate) {
-        decision_.reason =
-            "interpreted: no resource certificate (builder-compiled query)";
-        decision_.chain = {
-            "\xE2\x9C\x97 no resource certificate (builder-compiled query)"};
-        return;
-      }
-      decision_ = analyze_spec_explained(query_, &*query_.gate);
-      break;
-  }
+  decision_ = decide_tier(query_, tier);
   if (decision_.plan) {
     spec_ = std::make_unique<SpecializedMonitor>(*decision_.plan);
   }

@@ -32,6 +32,18 @@ namespace netqre::core {
 // wins over the environment (tests pin tiers programmatically).
 enum class EngineTier : uint8_t { Auto, Interpreted, Compiled };
 
+// Resolves the NETQRE_FORCE_TIER environment override; Auto when unset or
+// unrecognized.  Exposed so every runtime (Engine, QuerySet) applies the
+// same A/B override.
+[[nodiscard]] EngineTier env_forced_tier();
+
+// Tier selection shared by Engine and QuerySet::load: resolves Auto through
+// the environment override and the certificate gate, runs the structural
+// proof when the compiled tier is requested or allowed, and returns the
+// decision (plan present = compiled tier) with its structured reason chain.
+[[nodiscard]] SpecDecision decide_tier(const CompiledQuery& query,
+                                       EngineTier tier);
+
 // One row of a result snapshot: a rendered scope key (top-level parameter
 // values joined with ','; "value" for closed queries) and the numeric
 // result.  The shape the time-series store (src/store) ingests.

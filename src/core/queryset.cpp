@@ -1,0 +1,769 @@
+#include "core/queryset.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "core/fields.hpp"
+#include "net/flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace netqre::core {
+
+namespace {
+
+std::string query_label(const char* base, const std::string& name) {
+  return obs::labeled_name(base, {{"query", name}});
+}
+
+std::string shard_label(const char* base, int index) {
+  return obs::labeled_name(base, {{"shard", std::to_string(index)}});
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- QuerySet
+
+// One loaded query: a self-contained mini-runtime (state, tier, telemetry).
+// Stepped only by the feeding thread; the atomics are the cross-thread
+// status surface.
+struct QuerySet::Slot {
+  std::string name;
+  CompiledQuery query;
+  SpecDecision decision;
+  std::unique_ptr<SpecializedMonitor> spec;  // compiled tier, when selected
+  StateBox state;                            // interpreter state
+  Valuation val;
+  const ParamScopeOp* top_scope = nullptr;
+  size_t quota = 0;  // bytes; 0 = unlimited
+  uint64_t next_quota_check = QuerySet::kQuotaCheckEvery;
+
+  std::atomic<uint64_t> packets{0};
+  std::atomic<uint64_t> state_bytes{0};
+  std::atomic<uint64_t> evicted{0};
+  std::atomic<uint64_t> quota_resets{0};
+
+  obs::Counter* packets_total = nullptr;
+  obs::Gauge* state_gauge = nullptr;
+
+  [[nodiscard]] size_t memory() const {
+    return spec ? spec->memory() : state->memory();
+  }
+};
+
+// Immutable per-batch execution snapshot.  on_batch() grabs the current
+// roster once per batch; load()/unload() publish a new one (sharing the
+// untouched Slot objects), so membership changes land exactly on a batch
+// boundary and never tear mid-packet.
+struct QuerySet::Roster {
+  std::vector<std::shared_ptr<Slot>> slots;  // insertion order
+
+  // Deduplicated pool of non-Param alphabet atoms across every compiled
+  // slot, evaluated once per packet.
+  std::vector<SpecPlan::AtomEval> pool;
+  struct CompiledRef {
+    Slot* slot = nullptr;
+    uint64_t base_letter = 0;  // Param bits, true by construction
+    struct BitRef {
+      uint32_t pool;  // index into Roster::pool
+      uint8_t bit;    // letter bit in this slot's plan alphabet
+    };
+    std::vector<BitRef> bits;
+    int key_group = -1;  // index into key_groups; -1 = closed (no key)
+  };
+  std::vector<CompiledRef> compiled;
+  // Keyed compiled queries grouped by key shape (same fields and offsets
+  // extract the same packed key): one representative per distinct shape,
+  // whose key_of fills a batch-wide key array every group member reads.
+  std::vector<Slot*> key_groups;
+  std::vector<Slot*> interpreted;
+  bool needs_fields = false;  // arm the per-packet field cache
+  size_t atom_refs = 0;       // pre-dedup atom references (diagnostics)
+
+  static std::shared_ptr<const Roster> build(
+      std::vector<std::shared_ptr<Slot>> slots) {
+    auto r = std::make_shared<Roster>();
+    r->slots = std::move(slots);
+    for (const auto& sp : r->slots) {
+      if (!sp->spec) {
+        // Interpreted queries read the shared field cache (payload scans,
+        // custom fields) — armed once per packet for all of them.
+        r->interpreted.push_back(sp.get());
+        r->needs_fields = true;
+        continue;
+      }
+      const SpecPlan& plan = sp->spec->plan();
+      CompiledRef ref;
+      ref.slot = sp.get();
+      ref.base_letter = plan.param_mask;
+      for (size_t i = 0; i < plan.atoms.size(); ++i) {
+        const auto& a = plan.atoms[i];
+        if (a.kind == SpecPlan::AtomEval::Kind::Param) continue;
+        ++r->atom_refs;
+        size_t pool_idx = r->pool.size();
+        for (size_t j = 0; j < r->pool.size(); ++j) {
+          if (r->pool[j].kind == a.kind && r->pool[j].atom == a.atom) {
+            pool_idx = j;
+            break;
+          }
+        }
+        if (pool_idx == r->pool.size()) {
+          r->pool.push_back(a);
+          r->needs_fields |= a.kind == SpecPlan::AtomEval::Kind::Generic;
+        }
+        ref.bits.push_back({static_cast<uint32_t>(pool_idx),
+                            static_cast<uint8_t>(i)});
+      }
+      if (!plan.key.empty()) {
+        const auto same_shape = [&](const Slot* other) {
+          const auto& a = other->spec->plan().key;
+          if (a.size() != plan.key.size()) return false;
+          for (size_t j = 0; j < a.size(); ++j) {
+            if (a[j].field != plan.key[j].field ||
+                a[j].offset != plan.key[j].offset) {
+              return false;
+            }
+          }
+          return true;
+        };
+        for (size_t g = 0; g < r->key_groups.size(); ++g) {
+          if (same_shape(r->key_groups[g])) {
+            ref.key_group = static_cast<int>(g);
+            break;
+          }
+        }
+        if (ref.key_group < 0) {
+          ref.key_group = static_cast<int>(r->key_groups.size());
+          r->key_groups.push_back(sp.get());
+        }
+      }
+      r->compiled.push_back(std::move(ref));
+    }
+    return r;
+  }
+};
+
+QuerySet::QuerySet(size_t default_quota_bytes)
+    : default_quota_(default_quota_bytes) {
+  roster_ = Roster::build({});
+}
+
+QuerySet::~QuerySet() = default;
+
+std::shared_ptr<const QuerySet::Roster> QuerySet::roster() const {
+  std::lock_guard lock(mu_);
+  return roster_;
+}
+
+std::shared_ptr<QuerySet::Slot> QuerySet::find_slot(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& s : roster_->slots) {
+    if (s->name == name) return s;
+  }
+  return nullptr;
+}
+
+bool QuerySet::load(const std::string& name, CompiledQuery query,
+                    LoadOptions opt) {
+  if (!query.root) throw std::runtime_error("queryset: empty query");
+  auto slot = std::make_shared<Slot>();
+  slot->name = name;
+  slot->query = std::move(query);
+  slot->decision = decide_tier(slot->query, opt.tier);
+  if (slot->decision.plan) {
+    slot->spec = std::make_unique<SpecializedMonitor>(*slot->decision.plan);
+  }
+  slot->state = slot->query.root->make_state();
+  slot->val.assign(slot->query.n_slots, Value::undef());
+  slot->top_scope = dynamic_cast<const ParamScopeOp*>(slot->query.root.get());
+  slot->quota = opt.state_quota_bytes != 0 ? opt.state_quota_bytes
+                                           : default_quota_;
+  slot->packets_total = &obs::registry().counter(
+      query_label("netqre_query_packets_total", name));
+  slot->state_gauge =
+      &obs::registry().gauge(query_label("netqre_query_state_bytes", name));
+  slot->state_bytes.store(slot->memory(), std::memory_order_relaxed);
+  slot->state_gauge->set(static_cast<int64_t>(slot->memory()));
+
+  std::lock_guard lock(mu_);
+  for (const auto& s : roster_->slots) {
+    if (s->name == name) return false;
+  }
+  auto slots = roster_->slots;
+  slots.push_back(std::move(slot));
+  roster_ = Roster::build(std::move(slots));
+  return true;
+}
+
+bool QuerySet::unload(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto slots = roster_->slots;
+  const auto it = std::find_if(slots.begin(), slots.end(),
+                               [&](const auto& s) { return s->name == name; });
+  if (it == slots.end()) return false;
+  slots.erase(it);
+  roster_ = Roster::build(std::move(slots));
+  return true;
+}
+
+bool QuerySet::contains(std::string_view name) const {
+  return find_slot(name) != nullptr;
+}
+
+std::vector<std::string> QuerySet::names() const {
+  const auto r = roster();
+  std::vector<std::string> out;
+  out.reserve(r->slots.size());
+  for (const auto& s : r->slots) out.push_back(s->name);
+  return out;
+}
+
+size_t QuerySet::size() const { return roster()->slots.size(); }
+
+void QuerySet::on_batch(std::span<const net::Packet> batch) {
+  const std::shared_ptr<const Roster> r = roster();
+  total_packets_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (r->slots.empty()) return;
+  if (r->pool.size() <= 64) {
+    on_batch_columnar(*r, batch);
+  } else {
+    on_batch_rowwise(*r, batch);
+  }
+  for (const auto& sp : r->slots) {
+    Slot& s = *sp;
+    const uint64_t n =
+        s.packets.fetch_add(batch.size(), std::memory_order_relaxed) +
+        batch.size();
+    if (obs::kEnabled) s.packets_total->inc(batch.size());
+    if (n >= s.next_quota_check) {
+      s.next_quota_check = n + kQuotaCheckEvery;
+      enforce_quota(s);
+    }
+  }
+}
+
+// The hot layout: column passes in pool-atom-major then query-major order,
+// so one predicate's branch pattern and one query's hash table stay hot
+// across the whole batch instead of ten tables thrashing per packet.
+// Requires the pool to fit one uint64_t truth mask per packet.
+void QuerySet::on_batch_columnar(const Roster& r,
+                                 std::span<const net::Packet> batch) {
+  atom_masks_.assign(batch.size(), 0);
+
+  // Pass 1 — classification, atom-major: each non-Generic pool atom sweeps
+  // the batch (Param atoms never pool; FastCmp reads raw fields and needs
+  // no field cache).
+  bool generic_pool = false;
+  for (size_t j = 0; j < r.pool.size(); ++j) {
+    const SpecPlan::AtomEval& a = r.pool[j];
+    if (a.kind == SpecPlan::AtomEval::Kind::Generic) {
+      generic_pool = true;
+      continue;
+    }
+    const uint64_t bit = uint64_t{1} << j;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (eval_spec_atom(a, batch[i], no_params_)) atom_masks_[i] |= bit;
+    }
+  }
+
+  // Pass 2 — the field-cache pass, packet-major: one arming per packet
+  // covers every Generic pool atom and every interpreted query (payload
+  // scans and custom fields parse once however many queries read them).
+  if (generic_pool || !r.interpreted.empty()) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const net::Packet& p = batch[i];
+      begin_packet_fields();
+      if (generic_pool) {
+        for (size_t j = 0; j < r.pool.size(); ++j) {
+          const SpecPlan::AtomEval& a = r.pool[j];
+          if (a.kind == SpecPlan::AtomEval::Kind::Generic &&
+              a.atom.eval(p, no_params_)) {
+            atom_masks_[i] |= uint64_t{1} << j;
+          }
+        }
+      }
+      for (Slot* s : r.interpreted) {
+        EvalContext ctx{&p, &s->val, nullptr};
+        s->query.root->step(*s->state, ctx);
+      }
+    }
+  }
+
+  // Pass 3 — key extraction, key-shape-major: every srcip-keyed (or
+  // (srcip,dstip)-keyed, ...) query reads one shared key array instead of
+  // re-extracting and re-packing the same fields per query.
+  if (key_scratch_.size() < r.key_groups.size()) {
+    key_scratch_.resize(r.key_groups.size());
+  }
+  for (size_t g = 0; g < r.key_groups.size(); ++g) {
+    const SpecializedMonitor* rep = r.key_groups[g]->spec.get();
+    auto& keys = key_scratch_[g];
+    keys.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) keys[i] = rep->key_of(batch[i]);
+  }
+
+  // Pass 4 — compiled dispatch, query-major: assemble each query's letters
+  // from the pooled truth masks and step its whole batch in one on_letters
+  // call, which pipelines the table probe's cache misses.
+  letters_scratch_.resize(batch.size());
+  for (const auto& c : r.compiled) {
+    if (c.bits.empty()) {
+      std::fill(letters_scratch_.begin(), letters_scratch_.end(),
+                c.base_letter);
+    } else {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        uint64_t letter = c.base_letter;
+        const uint64_t m = atom_masks_[i];
+        for (const auto& b : c.bits) {
+          letter |= ((m >> b.pool) & uint64_t{1}) << b.bit;
+        }
+        letters_scratch_[i] = letter;
+      }
+    }
+    c.slot->spec->on_letters(
+        batch, letters_scratch_.data(),
+        c.key_group >= 0 ? key_scratch_[c.key_group].data() : nullptr);
+  }
+}
+
+// Fallback for pools past 64 atoms: the original packet-major order with a
+// byte of truth per pool atom.
+void QuerySet::on_batch_rowwise(const Roster& r,
+                                std::span<const net::Packet> batch) {
+  if (atom_bits_.size() < r.pool.size()) atom_bits_.resize(r.pool.size());
+  for (const net::Packet& p : batch) {
+    if (r.needs_fields) begin_packet_fields();
+    for (size_t i = 0; i < r.pool.size(); ++i) {
+      atom_bits_[i] = eval_spec_atom(r.pool[i], p, no_params_) ? 1 : 0;
+    }
+    for (const auto& c : r.compiled) {
+      uint64_t letter = c.base_letter;
+      for (const auto& b : c.bits) {
+        letter |= static_cast<uint64_t>(atom_bits_[b.pool]) << b.bit;
+      }
+      c.slot->spec->on_letter(p, letter);
+    }
+    for (Slot* s : r.interpreted) {
+      EvalContext ctx{&p, &s->val, nullptr};
+      s->query.root->step(*s->state, ctx);
+    }
+  }
+}
+
+void QuerySet::enforce_quota(Slot& s) {
+  size_t bytes = s.memory();
+  if (s.quota != 0 && bytes > s.quota) {
+    if (s.spec) {
+      // Compiled tier: drop stalest keys until the table fits.  Evicted
+      // keys read back as never-observed defaults.
+      s.evicted.fetch_add(s.spec->evict_stalest(s.quota),
+                          std::memory_order_relaxed);
+    } else {
+      // The interpreter's guard trie records no per-leaf age, so the only
+      // bounded response is a full state reset — counted, so operators see
+      // the query is being degraded rather than silently lying.
+      s.state = s.query.root->make_state();
+      s.val.assign(s.query.n_slots, Value::undef());
+      s.quota_resets.fetch_add(1, std::memory_order_relaxed);
+    }
+    bytes = s.memory();
+  }
+  s.state_bytes.store(bytes, std::memory_order_relaxed);
+  if (obs::kEnabled) s.state_gauge->set(static_cast<int64_t>(bytes));
+}
+
+void QuerySet::sample_state_metrics() {
+  const auto r = roster();
+  for (const auto& sp : r->slots) enforce_quota(*sp);
+}
+
+namespace {
+[[noreturn]] void throw_unknown(std::string_view name) {
+  throw std::runtime_error("queryset: no query named '" + std::string(name) +
+                           "'");
+}
+}  // namespace
+
+Value QuerySet::eval(std::string_view name) const {
+  const auto s = find_slot(name);
+  if (!s) throw_unknown(name);
+  return s->spec ? s->spec->eval() : s->query.root->eval(*s->state);
+}
+
+Value QuerySet::eval_at(std::string_view name,
+                        const std::vector<Value>& key) const {
+  const auto s = find_slot(name);
+  if (!s) throw_unknown(name);
+  if (!s->top_scope) {
+    throw std::runtime_error("eval_at: query has no top-level parameters");
+  }
+  if (s->spec) return s->spec->eval_at(key);
+  return s->top_scope->eval_at(*s->state, key);
+}
+
+void QuerySet::enumerate(
+    std::string_view name,
+    const std::function<void(const std::vector<Value>&, const Value&)>& fn)
+    const {
+  const auto s = find_slot(name);
+  if (!s) throw_unknown(name);
+  if (!s->top_scope) {
+    throw std::runtime_error("enumerate: query has no top-level parameters");
+  }
+  if (s->spec) {
+    s->spec->enumerate(fn);
+  } else {
+    s->top_scope->enumerate(*s->state, fn);
+  }
+}
+
+namespace {
+// Engine::snapshot_results' shape, per slot.
+void snapshot_slot_impl(const CompiledQuery& query,
+                        const SpecializedMonitor* spec, const OpState* state,
+                        const ParamScopeOp* top_scope,
+                        std::vector<ResultSample>& out) {
+  if (top_scope) {
+    const auto emit = [&](const std::vector<Value>& key, const Value& v) {
+      if (!v.defined()) return;
+      std::string name;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (i) name += ',';
+        name += key[i].to_string();
+      }
+      out.push_back({std::move(name), v.as_double()});
+    };
+    if (spec) {
+      spec->enumerate(emit);
+    } else {
+      top_scope->enumerate(*state, emit);
+    }
+    return;
+  }
+  const Value v = spec ? spec->eval() : query.root->eval(*state);
+  if (v.defined()) out.push_back({"value", v.as_double()});
+}
+}  // namespace
+
+void QuerySet::snapshot_results(std::string_view name,
+                                std::vector<ResultSample>& out) const {
+  const auto s = find_slot(name);
+  if (!s) throw_unknown(name);
+  snapshot_slot_impl(s->query, s->spec.get(), s->state.get(), s->top_scope,
+                     out);
+}
+
+void QuerySet::snapshot_all(
+    std::vector<std::pair<std::string, std::vector<ResultSample>>>& out)
+    const {
+  const auto r = roster();
+  for (const auto& s : r->slots) {
+    std::vector<ResultSample> samples;
+    snapshot_slot_impl(s->query, s->spec.get(), s->state.get(), s->top_scope,
+                       samples);
+    out.emplace_back(s->name, std::move(samples));
+  }
+}
+
+bool QuerySet::is_scalar(std::string_view name) const {
+  const auto s = find_slot(name);
+  if (!s) throw_unknown(name);
+  return s->query.param_names.empty();
+}
+
+QueryStatus QuerySet::status_of(const Slot& s) {
+  QueryStatus st;
+  st.name = s.name;
+  st.tier = s.spec ? "specialized" : "interpreted";
+  st.reason = s.decision.reason;
+  st.packets = s.packets.load(std::memory_order_relaxed);
+  st.state_bytes = s.state_bytes.load(std::memory_order_relaxed);
+  st.quota_bytes = s.quota;
+  st.evicted_keys = s.evicted.load(std::memory_order_relaxed);
+  st.quota_resets = s.quota_resets.load(std::memory_order_relaxed);
+  return st;
+}
+
+std::vector<QueryStatus> QuerySet::status() const {
+  const auto r = roster();
+  std::vector<QueryStatus> out;
+  out.reserve(r->slots.size());
+  for (const auto& s : r->slots) out.push_back(status_of(*s));
+  return out;
+}
+
+std::optional<QueryStatus> QuerySet::status(std::string_view name) const {
+  const auto s = find_slot(name);
+  if (!s) return std::nullopt;
+  return status_of(*s);
+}
+
+size_t QuerySet::atom_pool_size() const { return roster()->pool.size(); }
+
+size_t QuerySet::atom_refs() const { return roster()->atom_refs; }
+
+// ------------------------------------------------------- ParallelQuerySet
+
+// ParallelEngine's shard topology (bounded mutex+cv queue, one worker per
+// shard, control visits bypassing the bound) with a QuerySet instead of a
+// single Engine.
+struct ParallelQuerySet::Shard {
+  struct Item {
+    std::vector<net::Packet> batch;
+    std::function<void(QuerySet&)> ctl;
+  };
+
+  Shard(int index, size_t default_quota)
+      : set(default_quota),
+        index(index),
+        packets_total(&obs::registry().counter(
+            shard_label("netqre_parallel_shard_packets_total", index))),
+        queue_depth(&obs::registry().gauge(
+            shard_label("netqre_parallel_shard_queue_depth", index))) {}
+
+  QuerySet set;
+  int index;
+  obs::Counter* packets_total;
+  obs::Gauge* queue_depth;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::condition_variable cv_space;
+  std::deque<Item> queue;
+  bool closing = false;
+  std::thread thread;
+
+  void run() {
+    if constexpr (obs::kEnabled) {
+      obs::tracer().set_thread_name("qs-shard-" + std::to_string(index));
+    }
+    for (;;) {
+      Item item;
+      size_t depth = 0;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !queue.empty() || closing; });
+        if (queue.empty()) return;
+        item = std::move(queue.front());
+        queue.pop_front();
+        depth = queue.size();
+      }
+      cv_space.notify_one();
+      if constexpr (obs::kEnabled) {
+        queue_depth->set(static_cast<int64_t>(depth));
+      }
+      if (item.ctl) {
+        item.ctl(set);
+        continue;
+      }
+      set.on_batch(item.batch);
+      packets_total->inc(item.batch.size());
+    }
+  }
+
+  void push_ctl(std::function<void(QuerySet&)> fn) {
+    {
+      std::lock_guard lock(mu);
+      queue.push_back(Item{{}, std::move(fn)});
+    }
+    cv.notify_one();
+  }
+
+  void push(std::vector<net::Packet> batch, size_t max_queued) {
+    size_t depth = 0;
+    {
+      std::unique_lock lock(mu);
+      cv_space.wait(lock, [&] { return queue.size() < max_queued; });
+      queue.push_back(Item{std::move(batch), nullptr});
+      depth = queue.size();
+    }
+    cv.notify_one();
+    if constexpr (obs::kEnabled) {
+      queue_depth->set(static_cast<int64_t>(depth));
+    }
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu);
+      closing = true;
+    }
+    cv.notify_one();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+ParallelQuerySet::ParallelQuerySet(int n_workers, size_t default_quota_bytes,
+                                   Partitioner partitioner)
+    : partitioner_(std::move(partitioner)), pending_(n_workers) {
+  if (!partitioner_) {
+    partitioner_ = [](const net::Packet& p) {
+      return static_cast<size_t>(net::mix64(p.src_ip));
+    };
+  }
+  shards_.reserve(n_workers);
+  for (int i = 0; i < n_workers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, default_quota_bytes));
+    Shard* s = shards_.back().get();
+    s->thread = std::thread([s] { s->run(); });
+  }
+}
+
+ParallelQuerySet::~ParallelQuerySet() {
+  if (!finished_) finish();
+}
+
+bool ParallelQuerySet::load(const std::string& name,
+                            const CompiledQuery& query,
+                            QuerySet::LoadOptions opt) {
+  // QuerySet::load is COW-safe against a concurrent feed; each shard picks
+  // the new query up at its own next batch boundary.  Names stay identical
+  // across shards because every load/unload broadcasts.
+  if (shards_.front()->set.contains(name)) return false;
+  for (auto& s : shards_) s->set.load(name, query, opt);
+  return true;
+}
+
+bool ParallelQuerySet::unload(std::string_view name) {
+  bool any = false;
+  for (auto& s : shards_) any |= s->set.unload(name);
+  return any;
+}
+
+bool ParallelQuerySet::contains(std::string_view name) const {
+  return shards_.front()->set.contains(name);
+}
+
+std::vector<std::string> ParallelQuerySet::names() const {
+  return shards_.front()->set.names();
+}
+
+void ParallelQuerySet::feed(net::PacketBatch&& batch) {
+  const size_t n = shards_.size();
+  for (net::Packet& p : batch.packets()) {
+    const size_t shard = partitioner_(p) % n;
+    pending_[shard].push_back(std::move(p));
+    if (pending_[shard].size() >= kBatch) {
+      shards_[shard]->push(std::move(pending_[shard]), kMaxQueuedBatches);
+      pending_[shard].clear();
+    }
+  }
+  batch.clear();
+}
+
+void ParallelQuerySet::feed(const std::vector<net::Packet>& packets) {
+  const size_t n = shards_.size();
+  for (const auto& p : packets) {
+    const size_t shard = partitioner_(p) % n;
+    pending_[shard].push_back(p);
+    if (pending_[shard].size() >= kBatch) {
+      shards_[shard]->push(std::move(pending_[shard]), kMaxQueuedBatches);
+      pending_[shard].clear();
+    }
+  }
+}
+
+void ParallelQuerySet::finish() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!pending_[i].empty()) {
+      shards_[i]->push(std::move(pending_[i]), kMaxQueuedBatches);
+      pending_[i].clear();
+    }
+  }
+  for (auto& s : shards_) s->close();
+  finished_ = true;
+}
+
+void ParallelQuerySet::snapshot_all_async(
+    std::function<void(
+        std::vector<std::pair<std::string, std::vector<ResultSample>>>)>
+        done) {
+  struct Collect {
+    std::mutex mu;
+    std::vector<std::pair<std::string, std::vector<ResultSample>>> merged;
+    std::unordered_map<std::string, size_t> query_index;
+    // Per query: sample key -> index into its sample vector.
+    std::vector<std::unordered_map<std::string, size_t>> key_index;
+    std::atomic<size_t> remaining{0};
+  };
+  auto collect = std::make_shared<Collect>();
+  const auto visit = [collect](int shard, QuerySet& set) {
+    std::vector<std::pair<std::string, std::vector<ResultSample>>> local;
+    set.snapshot_all(local);
+    std::lock_guard lock(collect->mu);
+    for (auto& [qname, samples] : local) {
+      const bool scalar = set.is_scalar(qname);
+      const auto [qit, qfresh] =
+          collect->query_index.emplace(qname, collect->merged.size());
+      if (qfresh) {
+        collect->merged.emplace_back(qname, std::vector<ResultSample>{});
+        collect->key_index.emplace_back();
+      }
+      auto& merged = collect->merged[qit->second].second;
+      auto& keys = collect->key_index[qit->second];
+      for (auto& s : samples) {
+        if (scalar) {
+          // One dimension per shard (merging scalars needs the query's
+          // aggregation operator, which this layer does not know).
+          s.key = "shard" + std::to_string(shard);
+          merged.push_back(std::move(s));
+          continue;
+        }
+        const auto [kit, kfresh] = keys.emplace(s.key, merged.size());
+        if (kfresh) {
+          merged.push_back(std::move(s));
+        } else {
+          merged[kit->second].value += s.value;
+        }
+      }
+    }
+  };
+  if (finished_) {
+    for (auto& s : shards_) visit(s->index, s->set);
+    done(std::move(collect->merged));
+    return;
+  }
+  collect->remaining.store(shards_.size(), std::memory_order_relaxed);
+  for (auto& s : shards_) {
+    const int index = s->index;
+    s->push_ctl([collect, visit, index, done](QuerySet& set) {
+      visit(index, set);
+      if (collect->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        done(std::move(collect->merged));
+      }
+    });
+  }
+}
+
+std::vector<QueryStatus> ParallelQuerySet::status() const {
+  std::vector<QueryStatus> merged = shards_.front()->set.status();
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    const auto shard_status = shards_[i]->set.status();
+    for (auto& st : merged) {
+      for (const auto& other : shard_status) {
+        if (other.name != st.name) continue;
+        st.packets += other.packets;
+        st.state_bytes += other.state_bytes;
+        st.evicted_keys += other.evicted_keys;
+        st.quota_resets += other.quota_resets;
+      }
+    }
+  }
+  return merged;
+}
+
+uint64_t ParallelQuerySet::packets() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->set.packets();
+  return n;
+}
+
+const QuerySet& ParallelQuerySet::shard_set(int shard) const {
+  return shards_[shard]->set;
+}
+
+}  // namespace netqre::core

@@ -1,0 +1,228 @@
+// Multi-tenant QuerySet runtime (ROADMAP "multi-tenant query server").
+//
+// Production monitoring runs many tenants' queries over one packet feed —
+// CoMo's core-vs-modules split and netdata's many-collectors-one-daemon
+// model are the exemplars.  A QuerySet evaluates N compiled queries per
+// PacketBatch with the per-packet work shared across tenants:
+//
+//   - decode once: one pass over the batch feeds every query;
+//   - classify once: the non-Param predicate atoms of every compiled-tier
+//     query are deduplicated into one pool, evaluated once per packet, and
+//     each query's letter is assembled from the pooled truth bits (a query
+//     references atom results by pool index);
+//   - the per-packet field cache is armed once per packet for all
+//     interpreted queries and Generic atoms, so payload scans and custom
+//     fields parse once no matter how many queries read them.
+//
+// Each query keeps its own state, tier (SpecializedMonitor or interpreter,
+// selected by the same certificate-gated decide_tier as Engine), obs
+// counters, and a state-memory quota with stalest-key eviction so one
+// tenant's key blowup cannot OOM the daemon.
+//
+// Dynamic lifecycle: load()/unload() swap an immutable Roster snapshot
+// (copy-on-write behind a small mutex) that on_batch() reads once per
+// batch.  Loads and unloads therefore take effect at a batch boundary
+// without pausing the feed — no packet is ever dropped or double-counted —
+// and a freshly loaded query starts from the same blank state a new Engine
+// would, which is exactly the semantics of attaching a monitor mid-stream.
+// Query state is only ever stepped by the feeding thread; any thread may
+// load/unload or read status().
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/packet_view.hpp"
+
+namespace netqre::core {
+
+// Cross-thread-readable view of one loaded query (the /api/v1/queries row).
+struct QueryStatus {
+  std::string name;
+  std::string tier;    // "specialized" | "interpreted"
+  std::string reason;  // structured tier-selection reason
+  uint64_t packets = 0;
+  size_t state_bytes = 0;
+  size_t quota_bytes = 0;  // 0 = unlimited
+  uint64_t evicted_keys = 0;   // compiled tier: stalest keys dropped
+  uint64_t quota_resets = 0;   // interpreted tier: full-state resets
+};
+
+class QuerySet {
+ public:
+  struct LoadOptions {
+    EngineTier tier = EngineTier::Auto;
+    // Per-query state-memory budget in bytes; 0 inherits the set default.
+    // On breach the compiled tier evicts stalest keys, the interpreted tier
+    // (whose guard trie has no per-leaf age) resets the query's state and
+    // counts a quota_reset.
+    size_t state_quota_bytes = 0;
+  };
+
+  // `default_quota_bytes` applies to queries loaded without an explicit
+  // quota; 0 = unlimited.
+  explicit QuerySet(size_t default_quota_bytes = 0);
+  ~QuerySet();
+
+  QuerySet(const QuerySet&) = delete;
+  QuerySet& operator=(const QuerySet&) = delete;
+
+  // Loads a compiled query under `name`; false (and no change) when the
+  // name is taken.  Callable from any thread, including while another
+  // thread feeds packets: the new query joins at the next batch boundary
+  // with blank state.  Throws when the query is empty.
+  bool load(const std::string& name, CompiledQuery query, LoadOptions opt);
+  bool load(const std::string& name, CompiledQuery query) {
+    return load(name, std::move(query), LoadOptions());
+  }
+
+  // Unloads (drops all state of) `name`; false when absent.  Takes effect
+  // at the next batch boundary.
+  bool unload(std::string_view name);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] size_t size() const;
+
+  // Feeds a decoded batch to every loaded query (one caller thread at a
+  // time; this is the stepping thread).
+  void on_batch(std::span<const net::Packet> batch);
+  void on_packet(const net::Packet& p) { on_batch({&p, 1}); }
+
+  // Packets ingested by the set (counted once, not per query).
+  [[nodiscard]] uint64_t packets() const {
+    return total_packets_.load(std::memory_order_relaxed);
+  }
+
+  // ---- per-query results (stepping thread, or any thread while no feed
+  // ---- is running; these read live query state) --------------------------
+  [[nodiscard]] Value eval(std::string_view name) const;
+  [[nodiscard]] Value eval_at(std::string_view name,
+                              const std::vector<Value>& key) const;
+  void enumerate(std::string_view name,
+                 const std::function<void(const std::vector<Value>&,
+                                          const Value&)>& fn) const;
+  // Appends one ResultSample per defined result of `name` (same shape as
+  // Engine::snapshot_results).
+  void snapshot_results(std::string_view name,
+                        std::vector<ResultSample>& out) const;
+  // Snapshot of every loaded query, keyed by query name.
+  void snapshot_all(
+      std::vector<std::pair<std::string, std::vector<ResultSample>>>& out)
+      const;
+
+  // True when `name` is loaded and closed (no top-level parameters): its
+  // snapshot emits the single "value" dimension.
+  [[nodiscard]] bool is_scalar(std::string_view name) const;
+
+  // Refreshes every query's state-size gauge (and enforces quotas) now —
+  // also done automatically every kQuotaCheckEvery packets per query.
+  // Stepping thread only.
+  void sample_state_metrics();
+
+  // ---- cross-thread status ----------------------------------------------
+  [[nodiscard]] std::vector<QueryStatus> status() const;
+  [[nodiscard]] std::optional<QueryStatus> status(std::string_view name) const;
+
+  // Shared-work diagnostics: deduplicated pool size vs the total atom
+  // references of the loaded compiled-tier queries.
+  [[nodiscard]] size_t atom_pool_size() const;
+  [[nodiscard]] size_t atom_refs() const;
+
+  // Packet interval between quota checks (power of two; a breach is
+  // detected within this many packets of occurring).
+  static constexpr uint64_t kQuotaCheckEvery = 8192;
+
+ private:
+  struct Slot;
+  struct Roster;
+
+  [[nodiscard]] std::shared_ptr<const Roster> roster() const;
+  [[nodiscard]] std::shared_ptr<Slot> find_slot(std::string_view name) const;
+  void on_batch_columnar(const Roster& r, std::span<const net::Packet> batch);
+  void on_batch_rowwise(const Roster& r, std::span<const net::Packet> batch);
+  void rebuild_roster_locked();
+  static void enforce_quota(Slot& s);
+  static QueryStatus status_of(const Slot& s);
+
+  mutable std::mutex mu_;                  // guards roster_ swaps
+  std::shared_ptr<const Roster> roster_;   // immutable; COW on load/unload
+  size_t default_quota_ = 0;
+  std::atomic<uint64_t> total_packets_{0};
+  std::vector<uint8_t> atom_bits_;    // per-packet scratch (pool > 64 path)
+  std::vector<uint64_t> atom_masks_;  // per-batch pool truths, one mask/pkt
+  std::vector<uint64_t> letters_scratch_;           // per-query batch letters
+  std::vector<std::vector<uint64_t>> key_scratch_;  // per key-group keys
+  Valuation no_params_;               // empty valuation for pool atoms
+};
+
+// Sharded QuerySet: the ParallelEngine topology (dispatcher thread feeding
+// bounded per-worker queues, one worker per shard) with a full QuerySet per
+// shard, so N queries share each shard's decode/classify pass.  Hash
+// partitioning keeps per-shard key sets disjoint; results merge exactly
+// like ParallelEngine's.  load()/unload() broadcast to every shard and are
+// safe against a concurrent feed (each shard swaps at its own batch
+// boundary; a packet is never split across two roster versions because
+// partitioning is per-packet).
+class ParallelQuerySet {
+ public:
+  using Partitioner = std::function<size_t(const net::Packet&)>;
+
+  explicit ParallelQuerySet(int n_workers, size_t default_quota_bytes = 0,
+                            Partitioner partitioner = nullptr);
+  ~ParallelQuerySet();
+
+  ParallelQuerySet(const ParallelQuerySet&) = delete;
+  ParallelQuerySet& operator=(const ParallelQuerySet&) = delete;
+
+  // Loads into every shard; false when the name is already taken.
+  bool load(const std::string& name, const CompiledQuery& query,
+            QuerySet::LoadOptions opt = {});
+  bool unload(std::string_view name);
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  // Dispatcher-side feed (moves packets into shard queues; blocks on a
+  // saturated shard — same backpressure contract as ParallelEngine).
+  void feed(net::PacketBatch&& batch);
+  void feed(const std::vector<net::Packet>& packets);
+  // Flushes the queues and joins the workers.
+  void finish();
+
+  // Merged snapshot of every loaded query, delivered to `done` on the last
+  // worker to finish (after finish(): synchronously).  Scalar queries emit
+  // per-shard "shardN" dimensions, parameterized keys merge by sum — the
+  // ParallelEngine::snapshot_results_async contract, per query.
+  void snapshot_all_async(
+      std::function<void(
+          std::vector<std::pair<std::string, std::vector<ResultSample>>>)>
+          done);
+
+  // Merged per-query status (packets/state/evictions summed across shards;
+  // tier fields from shard 0 — identical everywhere by construction).
+  [[nodiscard]] std::vector<QueryStatus> status() const;
+  [[nodiscard]] uint64_t packets() const;
+  [[nodiscard]] int workers() const { return static_cast<int>(shards_.size()); }
+  // One shard's set, for post-finish() inspection in tests.
+  [[nodiscard]] const QuerySet& shard_set(int shard) const;
+
+ private:
+  struct Shard;
+  static constexpr size_t kBatch = 4096;
+  static constexpr size_t kMaxQueuedBatches = 8;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Partitioner partitioner_;
+  std::vector<std::vector<net::Packet>> pending_;
+  bool finished_ = false;
+};
+
+}  // namespace netqre::core

@@ -122,9 +122,11 @@ class MappedPcapReader final : public PacketSource {
 };
 
 // Reads an entire capture into memory (the benchmark replay path), through
-// the mapped reader.  Prefer the PacketBatch overload: it reuses slot
-// capacity across refills; this copy-returning variant allocates a fresh
-// vector and is kept for existing callers.
+// the mapped reader.  Deprecated: the PacketBatch overload below reuses
+// slot capacity across refills and composes with `std::move(batch).take()`
+// when a vector is genuinely needed; this copy-returning variant allocates
+// a fresh vector per call.  Slated for removal — see DESIGN.md §7.
+[[deprecated("use read_all(path, PacketBatch&) and std::move(batch).take()")]]
 std::vector<Packet> read_all(const std::string& path, PcapOptions opt = {});
 
 // Batch variant: appends every decodable packet in the capture to `out`

@@ -7,16 +7,22 @@
 //                                                ▼
 //   capture ── net::MappedPcapReader::fill ──► net::PacketBatch
 //                                                │
-//            core::Engine::on_batch  /  core::ParallelEngine::feed
+//       core::QuerySet::on_batch  /  core::ParallelQuerySet::feed
 //                                                │
-//            eval() / enumerate() / aggregate() ─► core::Value results
+//       eval() / enumerate() / snapshot_all() ──► core::Value results
 //
-// Minimal embedding (see README "Embedding" for the worked example):
+// The primary embedding shape is a QuerySet: N compiled queries sharing
+// each batch's decode and predicate-atom classification, loadable and
+// unloadable while packets flow (see README "Embedding"):
 //
-//   auto prog = netqre::compile(source, "hh");
-//   netqre::Engine engine(prog.query);
-//   netqre::run_pcap(engine, "trace.pcap");
-//   std::cout << engine.eval().to_string() << "\n";
+//   netqre::QuerySet set;
+//   set.load("hh", netqre::compile(hh_source, "hh").query);
+//   set.load("ss", netqre::compile(ss_source, "ss").query);
+//   netqre::run_pcap(set, "trace.pcap");
+//   set.enumerate("hh", [](auto key, const auto& v) { ... });
+//
+// A single-query embedding can still hold a bare core::Engine; the Engine
+// overloads below remain supported.
 //
 // Everything reachable from here is the supported surface; headers under
 // src/core, src/lang and src/net remain includable but are internal layout.
@@ -24,6 +30,7 @@
 
 #include "core/engine.hpp"
 #include "core/parallel.hpp"
+#include "core/queryset.hpp"
 #include "core/window.hpp"
 #include "lang/analysis.hpp"
 #include "lang/lower.hpp"
@@ -37,6 +44,9 @@ namespace netqre {
 // The embedding-facing names, re-exported at namespace scope.
 using core::Engine;
 using core::ParallelEngine;
+using core::ParallelQuerySet;
+using core::QuerySet;
+using core::QueryStatus;
 using core::TumblingWindow;
 using core::Value;
 using lang::CompiledProgram;
@@ -76,6 +86,25 @@ inline uint64_t run_pcap(core::Engine& engine, const std::string& path,
                          net::PcapOptions opt = {}) {
   net::MappedPcapReader reader(path, opt);
   return run_source(engine, reader);
+}
+
+// QuerySet overloads: one pass over the source evaluates every loaded
+// query (decode and atom classification shared per batch).
+inline uint64_t run_source(core::QuerySet& set, net::PacketSource& source,
+                           size_t batch_size = kDefaultBatch) {
+  net::PacketBatch batch(batch_size);
+  uint64_t n = 0;
+  while (source.fill(batch, batch_size) > 0) {
+    set.on_batch(batch.packets());
+    n += batch.size();
+  }
+  return n;
+}
+
+inline uint64_t run_pcap(core::QuerySet& set, const std::string& path,
+                         net::PcapOptions opt = {}) {
+  net::MappedPcapReader reader(path, opt);
+  return run_source(set, reader);
 }
 
 }  // namespace netqre

@@ -83,15 +83,22 @@ size_t content_length(std::string_view headers) {
   return 0;
 }
 
-std::string render(const HttpResponse& r) {
+// `announced_length` lets HEAD advertise the Content-Length the same GET
+// would have returned while sending no body (RFC 9110 §9.3.2).
+std::string render(const HttpResponse& r, size_t announced_length) {
   std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
                     status_text(r.status) + "\r\n";
   out += "Content-Type: " + r.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(r.body.size()) + "\r\n";
+  out += "Content-Length: " + std::to_string(announced_length) + "\r\n";
+  for (const auto& [name, value] : r.headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "Connection: close\r\n\r\n";
   out += r.body;
   return out;
 }
+
+std::string render(const HttpResponse& r) { return render(r, r.body.size()); }
 
 }  // namespace
 
@@ -112,6 +119,23 @@ void HttpServer::handle(std::string path, Handler fn) {
 
 void HttpServer::handle_post(std::string path, Handler fn) {
   post_handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpServer::handle_delete(std::string path, Handler fn) {
+  delete_handlers_[std::move(path)] = std::move(fn);
+}
+
+std::string HttpServer::allow_header(const std::string& path) const {
+  // Methods the path actually serves, in the order RFC 9110 examples use.
+  std::string allow;
+  const auto add = [&allow](const char* m) {
+    if (!allow.empty()) allow += ", ";
+    allow += m;
+  };
+  if (handlers_.count(path) != 0) add("GET, HEAD");
+  if (post_handlers_.count(path) != 0) add("POST");
+  if (delete_handlers_.count(path) != 0) add("DELETE");
+  return allow;
 }
 
 void HttpServer::start(uint16_t port) {
@@ -261,36 +285,59 @@ void HttpServer::serve_one(int conn) {
       return;
     }
     req.body.resize(length);
-    const auto it = post_handlers_.find(req.path);
-    if (it == post_handlers_.end()) {
-      resp = HttpResponse::text("no POST handler for: " + req.path + "\n",
-                                405);
-    } else {
-      try {
-        resp = it->second(req);
-      } catch (const std::exception& e) {
-        resp = HttpResponse::text(
-            std::string("handler error: ") + e.what() + "\n", 500);
-      }
-    }
-  } else if (req.method == "GET" || req.method == "HEAD") {
-    const auto it = handlers_.find(req.path);
-    if (it == handlers_.end()) {
+  }
+
+  // Method routing: a known path hit with a method it does not serve is a
+  // 405 naming the methods it does (Allow, RFC 9110 §15.5.6); only a path
+  // no method serves is a 404.
+  const std::map<std::string, Handler>* table = nullptr;
+  if (req.method == "GET" || req.method == "HEAD") {
+    table = &handlers_;
+  } else if (req.method == "POST") {
+    table = &post_handlers_;
+  } else if (req.method == "DELETE") {
+    table = &delete_handlers_;
+  }
+  const Handler* handler = nullptr;
+  if (table != nullptr) {
+    const auto it = table->find(req.path);
+    if (it != table->end()) handler = &it->second;
+  }
+  if (handler == nullptr) {
+    const std::string allow = allow_header(req.path);
+    if (allow.empty()) {
       resp = HttpResponse::text("not found: " + req.path + "\n", 404);
     } else {
-      try {
-        resp = it->second(req);
-      } catch (const std::exception& e) {
-        resp = HttpResponse::text(
-            std::string("handler error: ") + e.what() + "\n", 500);
-      }
+      resp = HttpResponse::text(
+          req.method + " not allowed for: " + req.path + "\n", 405);
+      resp.headers.emplace_back("Allow", allow);
     }
-    if (req.method == "HEAD") resp.body.clear();
   } else {
-    resp = HttpResponse::text("only GET, HEAD and POST are served here\n",
-                              405);
+    try {
+      resp = (*handler)(req);
+    } catch (const std::exception& e) {
+      resp = HttpResponse::text(
+          std::string("handler error: ") + e.what() + "\n", 500);
+    }
   }
-  write_all_fd(conn, render(resp));
+  const size_t full_length = resp.body.size();
+  if (req.method == "HEAD") resp.body.clear();
+  write_all_fd(conn, render(resp, full_length));
+}
+
+void handle_get_versioned(HttpServer& srv, const std::string& suffix,
+                          HttpServer::Handler fn) {
+  const std::string canonical = "/api/v1" + suffix;
+  srv.handle(canonical, fn);
+  // Legacy alias: same handler, stamped with the deprecation headers so
+  // scrapers can find the successor path mechanically.
+  srv.handle(suffix, [fn = std::move(fn), canonical](const HttpRequest& req) {
+    HttpResponse r = fn(req);
+    r.headers.emplace_back("Deprecation", "true");
+    r.headers.emplace_back("Link",
+                           "<" + canonical + ">; rel=\"successor-version\"");
+    return r;
+  });
 }
 
 void register_observability_endpoints(HttpServer& srv,
@@ -299,30 +346,31 @@ void register_observability_endpoints(HttpServer& srv,
   srv.handle("/", [](const HttpRequest&) {
     return HttpResponse::text(
         "netqre observability endpoints:\n"
-        "  /metrics  Prometheus exposition\n"
-        "  /statz    metrics snapshot (JSON)\n"
-        "  /healthz  liveness probe\n"
-        "  /tracez   flight recorder (Chrome trace JSON)\n"
-        "  /dump     write a flight-recorder dump to disk\n");
+        "  /api/v1/metrics  Prometheus exposition\n"
+        "  /api/v1/statz    metrics snapshot (JSON)\n"
+        "  /api/v1/tracez   flight recorder (Chrome trace JSON)\n"
+        "  /api/v1/dump     write a flight-recorder dump to disk\n"
+        "  /healthz         liveness probe\n"
+        "(bare /metrics, /statz, /tracez, /dump are deprecated aliases)\n");
   });
-  srv.handle("/metrics", [](const HttpRequest&) {
+  handle_get_versioned(srv, "/metrics", [](const HttpRequest&) {
     HttpResponse r;
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
     r.body = registry().snapshot().to_prometheus();
     return r;
   });
-  srv.handle("/statz", [](const HttpRequest&) {
+  handle_get_versioned(srv, "/statz", [](const HttpRequest&) {
     return HttpResponse::json(registry().snapshot().to_json());
   });
   srv.handle("/healthz", [healthy = std::move(healthy)](const HttpRequest&) {
     return healthy() ? HttpResponse::text("ok\n")
                      : HttpResponse::text("engine not live\n", 503);
   });
-  srv.handle("/tracez", [](const HttpRequest&) {
+  handle_get_versioned(srv, "/tracez", [](const HttpRequest&) {
     return HttpResponse::json(
         tracer().snapshot().to_chrome_json("/tracez request"));
   });
-  srv.handle("/dump", [governor](const HttpRequest&) {
+  handle_get_versioned(srv, "/dump", [governor](const HttpRequest&) {
     if (!governor) {
       return HttpResponse::text("no trace governor wired\n", 503);
     }

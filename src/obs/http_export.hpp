@@ -27,21 +27,26 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace netqre::obs {
 
 struct HttpRequest {
-  std::string method;  // "GET", "HEAD" or "POST"
+  std::string method;  // "GET", "HEAD", "POST" or "DELETE"
   std::string target;  // raw request target, e.g. "/metrics?x=1"
   std::string path;    // target up to '?', e.g. "/metrics"
   std::string query;   // after '?', empty when absent
-  std::string body;    // POST payload (empty for GET/HEAD)
+  std::string body;    // POST payload (empty for GET/HEAD/DELETE)
 };
 
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::string body;
+  // Extra response headers (e.g. Allow on a 405, Deprecation on a legacy
+  // alias), rendered verbatim after Content-Type/Content-Length.
+  std::vector<std::pair<std::string, std::string>> headers;
 
   static HttpResponse text(std::string body, int status = 200) {
     HttpResponse r;
@@ -74,9 +79,14 @@ class HttpServer {
   void handle(std::string path, Handler fn);
 
   // Registers an exact-path POST handler; the request carries the decoded
-  // body.  A path may have both a GET and a POST handler.  POST to a path
-  // without one is answered 405.
+  // body.  A path may have several method handlers.  A known path hit with
+  // a method it has no handler for is answered 405 with an Allow header
+  // listing the methods it does serve; an unknown path is a 404.
   void handle_post(std::string path, Handler fn);
+
+  // Registers an exact-path DELETE handler (the admin surface's
+  // resource-removal verb, e.g. DELETE /api/v1/queries).
+  void handle_delete(std::string path, Handler fn);
 
   // Per-connection read timeout (both the request head and a POST body).
   // A peer that stays silent past it gets 408 and the socket is closed.
@@ -108,8 +118,11 @@ class HttpServer {
   void serve_loop();
   void serve_one(int conn);
 
+  [[nodiscard]] std::string allow_header(const std::string& path) const;
+
   std::map<std::string, Handler> handlers_;
   std::map<std::string, Handler> post_handlers_;
+  std::map<std::string, Handler> delete_handlers_;
   Impl* impl_ = nullptr;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -118,15 +131,27 @@ class HttpServer {
 
 class TraceGovernor;
 
+// Registers `fn` under its canonical versioned path ("/api/v1" + suffix)
+// and under the legacy unversioned alias (`suffix` itself), which serves
+// the same handler but stamps a `Deprecation: true` header plus a Link to
+// the successor path, per the HTTP deprecation-header draft.  Scrapers
+// migrate on their own schedule; new integrations use /api/v1/*.
+void handle_get_versioned(HttpServer& srv, const std::string& suffix,
+                          HttpServer::Handler fn);
+
 // Installs the standard observability surface onto `srv` (shared between
-// netqre-monitor and the in-process system tests):
-//   /          text index of the endpoints below
-//   /metrics   Prometheus exposition of the global metrics registry
-//   /statz     the same registry snapshot as JSON
-//   /healthz   200 "ok" while healthy() returns true, 503 otherwise
-//   /tracez    flight-recorder snapshot as Chrome trace JSON
-//   /dump      writes a flight-recorder dump via `governor` and returns
-//              its path (503 when no governor is wired)
+// netqre-monitor and the in-process system tests).  Admin/diagnostic
+// endpoints live under the versioned API prefix; the bare legacy paths are
+// deprecated aliases (Deprecation header, see handle_get_versioned):
+//   /                 text index of the endpoints below
+//   /healthz          200 "ok" while healthy() returns true, 503 otherwise
+//   /api/v1/metrics   Prometheus exposition (alias: /metrics)
+//   /api/v1/statz     the same registry snapshot as JSON (alias: /statz)
+//   /api/v1/tracez    flight recorder, Chrome trace JSON (alias: /tracez)
+//   /api/v1/dump      writes a flight-recorder dump via `governor` and
+//                     returns its path; 503 when none wired (alias: /dump)
+// `/` and `/healthz` stay unversioned: the index is a human landing page
+// and liveness probes are configured by infrastructure conventions.
 void register_observability_endpoints(HttpServer& srv,
                                       std::function<bool()> healthy,
                                       TraceGovernor* governor);

@@ -54,12 +54,12 @@ grep -q "streamed [1-9]" "$WORK/edge.log" || {
 
 # --- the parent must now serve the child's series -----------------------
 CONTEXTS=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/contexts")
-echo "$CONTEXTS" | grep -q '"edge-e2e/heavy_hitter.nqre:hh"' || {
+echo "$CONTEXTS" | grep -q '"edge-e2e/heavy_hitter.nqre"' || {
   echo "FAIL: child context missing from parent /api/v1/contexts"
   echo "$CONTEXTS"; exit 1; }
 
-DATA=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/data?context=edge-e2e%2Fheavy_hitter.nqre:hh&after=-600&points=10")
-echo "$DATA" | grep -q '"context":"edge-e2e/heavy_hitter.nqre:hh"' || {
+DATA=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/data?context=edge-e2e%2Fheavy_hitter.nqre&after=-600&points=10")
+echo "$DATA" | grep -q '"context":"edge-e2e/heavy_hitter.nqre"' || {
   echo "FAIL: parent /api/v1/data did not answer the child context"
   echo "$DATA"; exit 1; }
 # At least one data row with a real (non-null) value must be present.

@@ -14,13 +14,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "apps/queries.hpp"
+#include "apps/queryset_admin.hpp"
 #include "core/parallel.hpp"
+#include "core/queryset.hpp"
 #include "obs/http_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +51,31 @@ std::string http_get(uint16_t port, const std::string& path) {
             0);
   const std::string req =
       "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+// Same raw-socket one-shot, any method (+ optional body).
+std::string http_request(uint16_t port, const std::string& method,
+                         const std::string& path,
+                         const std::string& body = "") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req = method + " " + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
   EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
             static_cast<ssize_t>(req.size()));
   std::string out;
@@ -288,6 +319,228 @@ TEST(MonitorEndToEnd, LiveEngineServesScrapeableMetricsAndDump) {
   obs::registry().reset();
   obs::tracer().clear();
   fs::remove_all(dir);
+}
+
+// RFC 9110 method dispatch: a known path hit with the wrong method is 405
+// with an Allow header listing what the path does support; only a path no
+// method knows is 404.
+TEST(HttpServer, WrongMethodOnKnownPathIs405WithAllow) {
+  obs::HttpServer srv;
+  srv.handle("/read", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("r");
+  });
+  srv.handle_post("/write", [](const obs::HttpRequest& req) {
+    return obs::HttpResponse::text("w" + req.body);
+  });
+  srv.handle_delete("/gone", [](const obs::HttpRequest&) {
+    return obs::HttpResponse::text("d");
+  });
+  srv.start(0);
+
+  const auto post_read = http_request(srv.port(), "POST", "/read");
+  EXPECT_EQ(status_of(post_read), 405);
+  EXPECT_NE(post_read.find("Allow: GET, HEAD"), std::string::npos);
+
+  const auto get_write = http_request(srv.port(), "GET", "/write");
+  EXPECT_EQ(status_of(get_write), 405);
+  EXPECT_NE(get_write.find("Allow: POST"), std::string::npos);
+
+  const auto get_gone = http_request(srv.port(), "GET", "/gone");
+  EXPECT_EQ(status_of(get_gone), 405);
+  EXPECT_NE(get_gone.find("Allow: DELETE"), std::string::npos);
+
+  // Unknown method on a known path: still 405, not 404.
+  EXPECT_EQ(status_of(http_request(srv.port(), "PUT", "/read")), 405);
+  // Unknown path: 404 whatever the method.
+  EXPECT_EQ(status_of(http_request(srv.port(), "POST", "/nowhere")), 404);
+  EXPECT_EQ(status_of(http_request(srv.port(), "DELETE", "/nowhere")), 404);
+
+  // The supported methods still work.
+  EXPECT_EQ(body_of(http_request(srv.port(), "POST", "/write", "x")), "wx");
+  EXPECT_EQ(body_of(http_request(srv.port(), "DELETE", "/gone")), "d");
+  // HEAD answers like GET with the body elided but the length preserved.
+  const auto head = http_request(srv.port(), "HEAD", "/read");
+  EXPECT_EQ(status_of(head), 200);
+  EXPECT_NE(head.find("Content-Length: 1"), std::string::npos);
+  EXPECT_EQ(body_of(head), "");
+  srv.stop();
+}
+
+// /api/v1 is canonical; the original bare paths answer identically but
+// announce their deprecation per draft-ietf-httpapi-deprecation-header.
+TEST(ObservabilityEndpoints, BareAliasesCarryDeprecationHeaders) {
+  obs::registry().reset();
+  obs::HttpServer srv;
+  obs::register_observability_endpoints(
+      srv, [] { return true; }, nullptr);
+  srv.start(0);
+
+  for (const std::string suffix : {"/metrics", "/statz", "/tracez"}) {
+    const auto canonical = http_get(srv.port(), "/api/v1" + suffix);
+    EXPECT_EQ(status_of(canonical), 200) << suffix;
+    EXPECT_EQ(canonical.find("Deprecation:"), std::string::npos) << suffix;
+
+    const auto alias = http_get(srv.port(), suffix);
+    EXPECT_EQ(status_of(alias), 200) << suffix;
+    EXPECT_NE(alias.find("Deprecation: true"), std::string::npos) << suffix;
+    EXPECT_NE(alias.find("Link: </api/v1" + suffix +
+                         ">; rel=\"successor-version\""),
+              std::string::npos)
+        << suffix;
+    EXPECT_EQ(body_of(alias), body_of(canonical)) << suffix;
+  }
+  // /healthz is unversioned on purpose (probe contract): no deprecation.
+  const auto healthz = http_get(srv.port(), "/healthz");
+  EXPECT_EQ(status_of(healthz), 200);
+  EXPECT_EQ(healthz.find("Deprecation:"), std::string::npos);
+  srv.stop();
+  obs::registry().reset();
+}
+
+// The /api/v1/queries admin surface against a live QuerySet: load through
+// the full lint -> certify -> compile chain, observe status rows, unload.
+TEST(QueryAdmin, LoadEvalUnloadOverHttp) {
+  // The tier row asserted below is the Auto decision; clear the CI
+  // tier-matrix override for the duration (same guard as test_spec_tier).
+  std::string saved_tier;
+  if (const char* v = ::getenv("NETQRE_FORCE_TIER")) saved_tier = v;
+  ::unsetenv("NETQRE_FORCE_TIER");
+
+  obs::registry().reset();
+  core::QuerySet set;
+  apps::QuerySetRuntime rt;
+  rt.set = &set;
+
+  obs::HttpServer srv;
+  obs::register_observability_endpoints(
+      srv, [] { return true; }, nullptr);
+  apps::register_queryset_admin(srv, rt);
+  srv.start(0);
+
+  // Empty set: a well-formed empty roster.
+  auto list = http_get(srv.port(), "/api/v1/queries");
+  EXPECT_EQ(status_of(list), 200);
+  EXPECT_NE(body_of(list).find("\"queries\":[]"), std::string::npos);
+
+  // Load a shipped query; the file names the query by default.
+  const auto loaded = http_request(
+      srv.port(), "POST", "/api/v1/queries?file=heavy_hitter.nqre");
+  EXPECT_EQ(status_of(loaded), 200);
+  EXPECT_NE(body_of(loaded).find("\"loaded\":\"heavy_hitter.nqre\""),
+            std::string::npos);
+  ASSERT_TRUE(set.contains("heavy_hitter.nqre"));
+
+  // Re-loading the same name is a conflict, not a silent replace.
+  EXPECT_EQ(status_of(http_request(
+                srv.port(), "POST",
+                "/api/v1/queries?file=heavy_hitter.nqre")),
+            409);
+  // Unknown shipped file: 404.  Inline garbage: 400 with diagnostics.
+  EXPECT_EQ(status_of(http_request(srv.port(), "POST",
+                                   "/api/v1/queries?file=nope.nqre")),
+            404);
+  const auto bad = http_request(srv.port(), "POST",
+                                "/api/v1/queries?name=bad&main=b",
+                                "sfun int b( = nonsense");
+  EXPECT_EQ(status_of(bad), 400);
+
+  // Feed traffic, then the row reflects real execution.
+  trafficgen::BackboneConfig tcfg;
+  tcfg.n_packets = 4000;
+  tcfg.n_flows = 200;
+  set.on_batch(trafficgen::backbone_trace(tcfg));
+  list = http_get(srv.port(), "/api/v1/queries");
+  EXPECT_NE(body_of(list).find("\"packets\":4000"), std::string::npos);
+  EXPECT_NE(body_of(list).find("\"tier\":\"specialized\""),
+            std::string::npos);
+
+  // The extended statz carries the certificate for the loaded query.
+  const auto statz = http_get(srv.port(), "/api/v1/statz");
+  EXPECT_EQ(status_of(statz), 200);
+  EXPECT_NE(body_of(statz).find("\"queryset\""), std::string::npos);
+  EXPECT_NE(body_of(statz).find("\"certificate\""), std::string::npos);
+
+  // Unload; absent names are 404; a bare DELETE without ?name= is 400.
+  EXPECT_EQ(status_of(http_request(
+                srv.port(), "DELETE",
+                "/api/v1/queries?name=heavy_hitter.nqre")),
+            200);
+  EXPECT_FALSE(set.contains("heavy_hitter.nqre"));
+  EXPECT_EQ(status_of(http_request(
+                srv.port(), "DELETE",
+                "/api/v1/queries?name=heavy_hitter.nqre")),
+            404);
+  EXPECT_EQ(status_of(http_request(srv.port(), "DELETE", "/api/v1/queries")),
+            400);
+  srv.stop();
+  obs::registry().reset();
+  if (!saved_tier.empty()) {
+    ::setenv("NETQRE_FORCE_TIER", saved_tier.c_str(), 1);
+  }
+}
+
+// Load/unload churn while packets flow: a replay thread feeds the set
+// continuously while this thread loads and unloads a second query over
+// HTTP.  Every packet must be counted exactly once (the swap happens at a
+// batch boundary, never dropping or double-feeding), and the resident
+// query's results must be bit-identical to an undisturbed engine — i.e. no
+// state leaks between tenants across the churn.  Run under TSan in CI.
+TEST(QueryAdmin, ChurnDuringReplayDropsNoPacketsAndMixesNoState) {
+  obs::registry().reset();
+  trafficgen::BackboneConfig tcfg;
+  tcfg.n_packets = 2000;
+  tcfg.n_flows = 150;
+  const auto trace = trafficgen::backbone_trace(tcfg);
+
+  core::QuerySet set;
+  apps::QuerySetRuntime rt;
+  rt.set = &set;
+  ASSERT_TRUE(set.load("hh", apps::compile_app("heavy_hitter.nqre", "hh")
+                                 .query));
+
+  obs::HttpServer srv;
+  apps::register_queryset_admin(srv, rt);
+  srv.start(0);
+
+  constexpr int kRounds = 40;
+  std::thread replay([&] {
+    for (int i = 0; i < kRounds; ++i) set.on_batch(trace);
+  });
+
+  // Churn the second tenant for as long as the replay runs (at least a few
+  // cycles even if the replay outpaces the HTTP round-trips).
+  int churns = 0;
+  while (churns < 5 || set.packets() < uint64_t{kRounds} * trace.size()) {
+    EXPECT_EQ(status_of(http_request(
+                  srv.port(), "POST",
+                  "/api/v1/queries?file=super_spreader.nqre&name=churn")),
+              200);
+    EXPECT_EQ(status_of(http_request(srv.port(), "DELETE",
+                                     "/api/v1/queries?name=churn")),
+              200);
+    ++churns;
+  }
+  replay.join();
+  srv.stop();
+  EXPECT_GE(churns, 5);
+
+  // Packet parity: nothing dropped, nothing double-fed across the swaps.
+  EXPECT_EQ(set.packets(), uint64_t{kRounds} * trace.size());
+  ASSERT_TRUE(set.status("hh").has_value());
+  EXPECT_EQ(set.status("hh")->packets, uint64_t{kRounds} * trace.size());
+
+  // State purity: the resident query saw exactly the replayed stream.
+  core::Engine undisturbed(apps::compile_app("heavy_hitter.nqre", "hh")
+                               .query);
+  for (int i = 0; i < kRounds; ++i) undisturbed.on_batch(trace);
+  std::vector<core::ResultSample> got, want;
+  set.snapshot_results("hh", got);
+  undisturbed.snapshot_results(want);
+  std::map<std::string, double> got_map, want_map;
+  for (const auto& s : got) got_map[s.key] = s.value;
+  for (const auto& s : want) want_map[s.key] = s.value;
+  EXPECT_EQ(got_map, want_map);
+  obs::registry().reset();
 }
 
 }  // namespace

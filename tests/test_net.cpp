@@ -108,7 +108,9 @@ TEST(Pcap, WriteReadRoundTrip) {
     packets.back().ts = 1000.0 + i * 0.125;
   }
   write_all(path.string(), packets);
-  auto loaded = read_all(path.string());
+  PacketBatch round_trip;
+  read_all(path.string(), round_trip);
+  const auto loaded = std::move(round_trip).take();
   ASSERT_EQ(loaded.size(), packets.size());
   for (size_t i = 0; i < packets.size(); ++i) {
     EXPECT_EQ(loaded[i].src_port, packets[i].src_port);
@@ -375,7 +377,13 @@ TEST(Pcap, BatchReadAllMatchesVectorReadAll) {
   const auto packets = mixed_trace(64);
   write_all(path.string(), packets);
 
+  // Parity with the deprecated copy-returning overload, on purpose: this
+  // test is the record that both paths decode identically until the old
+  // one is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto vec = read_all(path.string());
+#pragma GCC diagnostic pop
   PacketBatch batch;
   EXPECT_EQ(read_all(path.string(), batch), vec.size());
   ASSERT_EQ(batch.size(), vec.size());
@@ -393,7 +401,9 @@ TEST(Pcap, WriteAllSpanOverloadRoundTrips) {
   const auto packets = mixed_trace(16);
   write_all(path.string(),
             std::span<const Packet>(packets.data() + 4, size_t{8}));
-  const auto loaded = read_all(path.string());
+  PacketBatch batch;
+  read_all(path.string(), batch);
+  const auto loaded = std::move(batch).take();
   ASSERT_EQ(loaded.size(), 8u);
   for (size_t i = 0; i < loaded.size(); ++i) {
     expect_packet_eq(loaded[i], packets[i + 4], i);

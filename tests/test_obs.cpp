@@ -561,7 +561,8 @@ TEST(PcapTolerant, TruncatedFileStopsAtLastWholeRecord) {
   }
 
   // read_all in tolerant mode returns the decodable prefix.
-  const auto recovered = net::read_all(path.string(), opt);
+  net::PacketBatch recovered;
+  net::read_all(path.string(), recovered, opt);
   EXPECT_EQ(recovered.size(), packets.size() - 1);
   fs::remove(path);
 }

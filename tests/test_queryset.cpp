@@ -1,0 +1,273 @@
+// Multi-tenant QuerySet runtime (DESIGN.md §7): per-query results must be
+// bit-identical to a standalone Engine on the same trace in both tiers,
+// loads/unloads must join and leave at batch boundaries without touching
+// the other tenants, the shared atom pool must actually deduplicate, and a
+// quota breach must stay confined to the breaching query.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/queries.hpp"
+#include "core/engine.hpp"
+#include "core/queryset.hpp"
+#include "trafficgen/trafficgen.hpp"
+
+namespace netqre {
+namespace {
+
+using core::CompiledQuery;
+using core::Engine;
+using core::EngineTier;
+using core::ParallelQuerySet;
+using core::QuerySet;
+using core::ResultSample;
+
+// Clears NETQRE_FORCE_TIER for tests that assert the Auto tier decision
+// (the CI tier-matrix runs the whole suite under a forced tier), restoring
+// it on exit — the same guard test_spec_tier.cpp uses.
+class ScopedTierEnv {
+ public:
+  ScopedTierEnv() {
+    if (const char* v = ::getenv("NETQRE_FORCE_TIER")) saved_ = v;
+    ::unsetenv("NETQRE_FORCE_TIER");
+  }
+  ~ScopedTierEnv() {
+    if (saved_.empty()) {
+      ::unsetenv("NETQRE_FORCE_TIER");
+    } else {
+      ::setenv("NETQRE_FORCE_TIER", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+std::vector<net::Packet> workload(uint64_t n_packets) {
+  trafficgen::BackboneConfig cfg;
+  cfg.n_packets = n_packets;
+  cfg.n_flows = static_cast<uint32_t>(std::max<uint64_t>(64, n_packets / 20));
+  return trafficgen::backbone_trace(cfg);
+}
+
+CompiledQuery compile(const char* file, const char* main) {
+  return apps::compile_app(file, main).query;
+}
+
+// key -> value map of a snapshot, for order-insensitive comparison.
+std::map<std::string, double> as_map(
+    const std::vector<ResultSample>& samples) {
+  std::map<std::string, double> out;
+  for (const auto& s : samples) out[s.key] = s.value;
+  return out;
+}
+
+std::map<std::string, double> engine_results(const CompiledQuery& q,
+                                             EngineTier tier,
+                                             std::span<const net::Packet>
+                                                 trace) {
+  Engine engine(q, tier);
+  engine.on_batch(trace);
+  std::vector<ResultSample> out;
+  engine.snapshot_results(out);
+  return as_map(out);
+}
+
+std::map<std::string, double> set_results(const QuerySet& set,
+                                          std::string_view name) {
+  std::vector<ResultSample> out;
+  set.snapshot_results(name, out);
+  return as_map(out);
+}
+
+TEST(QuerySet, MatchesStandaloneEngineBothTiers) {
+  ScopedTierEnv tier_env;
+  const auto trace = workload(20'000);
+  // One query per tier family: hh specializes under the certificate gate,
+  // syn_flood stays interpreted.
+  const auto hh = compile("heavy_hitter.nqre", "hh");
+  const auto syn = compile("syn_flood.nqre", "syn_flood");
+
+  for (const EngineTier tier :
+       {EngineTier::Interpreted, EngineTier::Auto}) {
+    QuerySet set;
+    QuerySet::LoadOptions opt;
+    opt.tier = tier;
+    ASSERT_TRUE(set.load("hh", hh, opt));
+    ASSERT_TRUE(set.load("syn", syn, opt));
+    set.on_batch(trace);
+
+    EXPECT_EQ(set_results(set, "hh"), engine_results(hh, tier, trace));
+    EXPECT_EQ(set_results(set, "syn"), engine_results(syn, tier, trace));
+    EXPECT_EQ(set.packets(), trace.size());
+  }
+
+  // The two tiers agree with each other through the set as well.
+  QuerySet interp, compiled;
+  QuerySet::LoadOptions force_interp;
+  force_interp.tier = EngineTier::Interpreted;
+  ASSERT_TRUE(interp.load("hh", hh, force_interp));
+  ASSERT_TRUE(compiled.load("hh", hh));
+  interp.on_batch(trace);
+  compiled.on_batch(trace);
+  ASSERT_EQ(compiled.status("hh")->tier, "specialized");
+  EXPECT_EQ(set_results(interp, "hh"), set_results(compiled, "hh"));
+}
+
+TEST(QuerySet, RejectsDuplicateNamesAndUnloadsCleanly) {
+  QuerySet set;
+  ASSERT_TRUE(set.load("hh", compile("heavy_hitter.nqre", "hh")));
+  EXPECT_FALSE(set.load("hh", compile("super_spreader.nqre", "ss")));
+  EXPECT_TRUE(set.contains("hh"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.unload("hh"));
+  EXPECT_FALSE(set.unload("hh"));
+  EXPECT_FALSE(set.contains("hh"));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(QuerySet, AtomPoolDeduplicatesAcrossQueries) {
+  // email_keywords and dns_tunnel both specialize with non-Param atoms
+  // (payload / parsed-field predicates).
+  ScopedTierEnv tier_env;
+  QuerySet set;
+  ASSERT_TRUE(set.load("a", compile("email_keywords.nqre", "keyword_pkts")));
+  const size_t pool_one = set.atom_pool_size();
+  const size_t refs_one = set.atom_refs();
+  ASSERT_GT(pool_one, 0u);
+
+  // The same query under a second name adds references but no atoms.
+  ASSERT_TRUE(set.load("b", compile("email_keywords.nqre", "keyword_pkts")));
+  EXPECT_EQ(set.atom_pool_size(), pool_one);
+  EXPECT_EQ(set.atom_refs(), 2 * refs_one);
+
+  // A different query grows the pool by at most its own atom count.
+  ASSERT_TRUE(set.load("c", compile("dns_tunnel.nqre", "dns_long_queries")));
+  EXPECT_GE(set.atom_refs(), set.atom_pool_size());
+
+  // Pool shrinks back when the queries leave.
+  set.unload("b");
+  set.unload("c");
+  EXPECT_EQ(set.atom_pool_size(), pool_one);
+  EXPECT_EQ(set.atom_refs(), refs_one);
+}
+
+TEST(QuerySet, MidStreamLoadStartsBlankAndUnloadLeavesOthersUntouched) {
+  const auto trace = workload(20'000);
+  const auto half = trace.size() / 2;
+  const std::span<const net::Packet> first(trace.data(), half);
+  const std::span<const net::Packet> second(trace.data() + half,
+                                            trace.size() - half);
+  const auto hh = compile("heavy_hitter.nqre", "hh");
+  const auto ss = compile("super_spreader.nqre", "ss");
+
+  QuerySet set;
+  ASSERT_TRUE(set.load("hh", hh));
+  set.on_batch(first);
+  // ss joins mid-stream: it must see only the second half.
+  ASSERT_TRUE(set.load("ss", ss));
+  set.on_batch(second);
+
+  EXPECT_EQ(set_results(set, "hh"),
+            engine_results(hh, EngineTier::Auto, trace));
+  EXPECT_EQ(set_results(set, "ss"),
+            engine_results(ss, EngineTier::Auto, second));
+
+  // Unloading ss must not disturb hh's state.
+  const auto hh_before = set_results(set, "hh");
+  ASSERT_TRUE(set.unload("ss"));
+  EXPECT_EQ(set_results(set, "hh"), hh_before);
+  EXPECT_THROW((void)set.eval("ss"), std::runtime_error);
+}
+
+TEST(QuerySet, QuotaEvictionIsConfinedToTheBreachingQuery) {
+  // Enough packets for several quota checks (every kQuotaCheckEvery).
+  ScopedTierEnv tier_env;
+  const auto trace = workload(60'000);
+  const auto hh = compile("heavy_hitter.nqre", "hh");
+  const auto ss = compile("super_spreader.nqre", "ss");
+
+  QuerySet set;
+  QuerySet::LoadOptions tight;
+  tight.state_quota_bytes = 16 * 1024;
+  ASSERT_TRUE(set.load("tight", hh, tight));
+  ASSERT_TRUE(set.load("roomy", ss));
+  set.on_batch(trace);
+  set.sample_state_metrics();
+
+  const auto tight_st = *set.status("tight");
+  const auto roomy_st = *set.status("roomy");
+  ASSERT_EQ(tight_st.tier, "specialized");
+
+  // The tight query breached and evicted; after the final enforcement its
+  // state is back under budget.
+  EXPECT_GT(tight_st.evicted_keys, 0u);
+  EXPECT_LE(tight_st.state_bytes, tight_st.quota_bytes);
+
+  // The roomy query lost nothing: no evictions, and its results are
+  // bit-identical to a standalone engine over the same trace.
+  EXPECT_EQ(roomy_st.evicted_keys, 0u);
+  EXPECT_EQ(roomy_st.quota_resets, 0u);
+  EXPECT_EQ(set_results(set, "roomy"),
+            engine_results(ss, EngineTier::Auto, trace));
+}
+
+TEST(QuerySet, InterpretedTierQuotaResetsState) {
+  const auto trace = workload(40'000);
+  QuerySet set;
+  QuerySet::LoadOptions opt;
+  opt.tier = EngineTier::Interpreted;
+  opt.state_quota_bytes = 8 * 1024;
+  ASSERT_TRUE(set.load("hh", compile("heavy_hitter.nqre", "hh"), opt));
+  set.on_batch(trace);
+  set.sample_state_metrics();
+
+  const auto st = *set.status("hh");
+  EXPECT_EQ(st.tier, "interpreted");
+  EXPECT_GT(st.quota_resets, 0u);
+  EXPECT_EQ(st.evicted_keys, 0u);
+  EXPECT_LE(st.state_bytes, st.quota_bytes);
+}
+
+TEST(ParallelQuerySet, MergedSnapshotMatchesSingleSet) {
+  const auto trace = workload(20'000);
+  const auto hh = compile("heavy_hitter.nqre", "hh");
+  const auto ss = compile("super_spreader.nqre", "ss");
+
+  QuerySet single;
+  ASSERT_TRUE(single.load("hh", hh));
+  ASSERT_TRUE(single.load("ss", ss));
+  single.on_batch(trace);
+
+  ParallelQuerySet par(4);
+  ASSERT_TRUE(par.load("hh", hh));
+  ASSERT_TRUE(par.load("ss", ss));
+  EXPECT_FALSE(par.load("hh", hh));
+  par.feed(trace);
+  par.finish();
+  EXPECT_EQ(par.packets(), trace.size());
+
+  std::vector<std::pair<std::string, std::vector<ResultSample>>> merged;
+  par.snapshot_all_async([&](auto rounds) { merged = std::move(rounds); });
+  ASSERT_EQ(merged.size(), 2u);
+  for (const auto& [name, samples] : merged) {
+    std::vector<ResultSample> want;
+    single.snapshot_results(name, want);
+    EXPECT_EQ(as_map(samples), as_map(want)) << "query " << name;
+  }
+
+  // Merged status: packet counts sum to one trace per query, tiers agree
+  // with the single set.
+  for (const auto& st : par.status()) {
+    EXPECT_EQ(st.packets, trace.size()) << st.name;
+    EXPECT_EQ(st.tier, single.status(st.name)->tier);
+  }
+}
+
+}  // namespace
+}  // namespace netqre

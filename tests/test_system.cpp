@@ -255,7 +255,9 @@ TEST_F(CodegenTest, GeneratedHeavyHitterMatchesEngine) {
 
   Engine eng(query);
   // Replay through the same pcap to normalize wire_len handling.
-  for (const auto& p : net::read_all(pcap.string())) eng.on_packet(p);
+  net::PacketBatch replay;
+  net::read_all(pcap.string(), replay);
+  for (const auto& p : replay.packets()) eng.on_packet(p);
   EXPECT_EQ(aggregate, eng.eval().as_int());
   std::filesystem::remove_all(dir);
 }
