@@ -1,0 +1,143 @@
+// Health-engine overhead: the same heavy-hitter replay with store sampling
+// on in both legs, and the health engine's rule evaluation off vs on
+// (DESIGN.md §8 "Health & alerting").
+//
+// The engine evaluates right after every ingest round — exactly where
+// netqre-monitor calls it — so this measures the full per-cadence cost:
+// the tier-aware range query, the window fold, the state machine, and the
+// built-in self-monitoring rules over a registry snapshot.  The metric is
+// packet throughput per CPU second of the replay thread (the fig8
+// busy-time convention); the acceptance bar is <1% (CI gates on the
+// same-run off/on ratio).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+#include "bench/common.hpp"
+#include "obs/health.hpp"
+#include "store/series_store.hpp"
+
+namespace {
+
+using namespace netqre;
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kMeasureWall = std::chrono::milliseconds(2000);
+constexpr auto kCadence = std::chrono::milliseconds(1000);
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+// Replays the trace for kMeasureWall, sampling into the store on the
+// wall-clock cadence; with `health`, evaluates every rule after each
+// ingest round like the monitor's engine loop.  Returns packets per CPU
+// second of this thread.
+double replay_pps(core::Engine& engine, const std::vector<net::Packet>& trace,
+                  store::SeriesStore& st, store::SeriesStore::ContextId ctx,
+                  health::HealthEngine* health) {
+  uint64_t packets = 0;
+  uint64_t t_ns = 1'700'000'000ull * 1'000'000'000ull;
+  std::vector<core::ResultSample> results;
+  std::vector<store::Sample> round;
+  const auto t0 = Clock::now();
+  const double cpu0 = thread_cpu_seconds();
+  const auto deadline = t0 + kMeasureWall;
+  auto next_sample = t0 + kCadence;
+  bool done = false;
+  while (!done) {
+    bench::for_each_batch(trace, [&](std::span<const net::Packet> batch) {
+      if (done) return;
+      engine.on_batch(batch);
+      packets += batch.size();
+      const auto now = Clock::now();
+      if (now >= next_sample) {
+        next_sample = now + kCadence;
+        results.clear();
+        engine.snapshot_results(results);
+        round.clear();
+        round.reserve(results.size());
+        for (const auto& r : results) round.push_back({r.key, r.value});
+        st.ingest(ctx, t_ns, round);
+        if (health) health->evaluate(t_ns);
+        t_ns += 1'000'000'000ull;
+      }
+      if (now >= deadline) done = true;
+    });
+  }
+  return static_cast<double>(packets) / (thread_cpu_seconds() - cpu0);
+}
+
+store::StoreConfig store_config(size_t trace_size) {
+  store::StoreConfig scfg;
+  scfg.max_keys =
+      static_cast<uint32_t>(std::max<size_t>(1024, trace_size));
+  return scfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReporter report("fig_health_overhead");
+  const auto& trace = bench::backbone();
+  const auto query = bench::compile("heavy_hitter.nqre", "hh");
+
+  std::printf("Health overhead: heavy hitter, %zu-packet trace looped for "
+              "%lld ms per run, 1 s sampling cadence, store on in both "
+              "legs\n\n",
+              trace.size(),
+              static_cast<long long>(kMeasureWall.count()));
+
+  // The monitor's rule load: the built-in self-monitoring alarms plus one
+  // aggregate alarm over the replayed query's context.
+  health::HealthRule agg;
+  agg.name = "bench_hh_total";
+  agg.source = health::HealthRule::Source::Store;
+  agg.selector = "heavy_hitter.nqre:hh";
+  agg.method = health::HealthRule::Method::Max;
+  agg.window_s = 60;
+  agg.crit = {health::Threshold::Op::Gt, 1e18};  // never fires: cost only
+  agg.info = "bench aggregate rule";
+
+  // Interleave OFF/ON pairs and keep each side's best run so a one-off
+  // scheduling hiccup cannot fake an overhead regression.
+  double best_off = 0, best_on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      core::Engine engine(query);
+      store::SeriesStore st(store_config(trace.size()));
+      const auto ctx = st.context("heavy_hitter.nqre:hh");
+      best_off =
+          std::max(best_off, replay_pps(engine, trace, st, ctx, nullptr));
+    }
+    {
+      core::Engine engine(query);
+      store::SeriesStore st(store_config(trace.size()));
+      const auto ctx = st.context("heavy_hitter.nqre:hh");
+      health::HealthEngine healthd(&st, nullptr);
+      healthd.add_rules(health::builtin_rules());
+      healthd.add_rule(agg);
+      best_on =
+          std::max(best_on, replay_pps(engine, trace, st, ctx, &healthd));
+    }
+  }
+
+  const double overhead_pct = 100.0 * (best_off / best_on - 1.0);
+  std::printf("  %-12s %10.3f Mpps\n", "health off", best_off / 1e6);
+  std::printf("  %-12s %10.3f Mpps\n", "health on", best_on / 1e6);
+  std::printf("  overhead     %+9.2f%%\n", overhead_pct);
+
+  report.record({"heavy_hitter/health_off", "backbone", trace.size(),
+                 static_cast<uint64_t>(static_cast<double>(trace.size()) *
+                                       1e9 / best_off),
+                 0});
+  report.record({"heavy_hitter/health_on", "backbone", trace.size(),
+                 static_cast<uint64_t>(static_cast<double>(trace.size()) *
+                                       1e9 / best_on),
+                 0});
+  return 0;
+}

@@ -43,7 +43,9 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -54,6 +56,7 @@
 #include "apps/queryset_admin.hpp"
 #include "lang/certify.hpp"
 #include "netqre.hpp"
+#include "obs/health.hpp"
 #include "obs/http_export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -102,6 +105,9 @@ constexpr const char* kUsage =
     "                       (default 1024)\n"
     "  --stream-to H:P      also push every sampling round to a parent\n"
     "                       monitor at IPv4 host H, port P\n"
+    "  --health FILE        load alert rules from FILE (.health stanzas,\n"
+    "                       see queries/*.health); the built-in\n"
+    "                       self-monitoring alarms load either way\n"
     "  --source NAME        this edge's identity at the parent\n"
     "                       (default edge-<pid>)\n"
     "  --parent             run as an aggregator: no engine, ingest\n"
@@ -124,6 +130,7 @@ struct Options {
   uint32_t store_keys = 1024;
   std::string stream_to;  // "host:port", empty = no streaming
   std::string source;     // identity at the parent; default edge-<pid>
+  std::string health;     // .health rule file; empty = builtins only
   bool parent = false;
 };
 
@@ -224,7 +231,8 @@ uint64_t unix_now_ns() {
 // over HTTP mid-run get series too.
 struct StoreSampler {
   store::SeriesStore* store = nullptr;
-  store::StreamClient* client = nullptr;  // null when not streaming
+  store::StreamClient* client = nullptr;   // null when not streaming
+  health::HealthEngine* health = nullptr;  // evaluated after each round
   std::chrono::nanoseconds every{1'000'000'000};
   Clock::time_point next_sample{};  // default: sample on the first call
   std::atomic<bool> in_flight{false};
@@ -240,6 +248,11 @@ struct StoreSampler {
       store->ingest(store->context(query), t_ns, samples);
       if (client) client->push(query, t_ns, samples);
     }
+    // Evaluate right after ingest, so an alert fires on the round that
+    // crossed the threshold — and so the golden replay's transition log
+    // depends only on the ingested data, never on wall-clock cadence
+    // (store windows anchor on the latest ingested sample).
+    if (health) health->evaluate(t_ns);
   }
 
   void maybe_sample(core::QuerySet* set, core::ParallelQuerySet* parallel) {
@@ -274,7 +287,8 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
                 core::QuerySet* set, core::ParallelQuerySet* parallel,
                 std::atomic<uint64_t>& heartbeat_ns,
                 std::atomic<uint64_t>& packets_done,
-                obs::TraceGovernor& governor, StoreSampler* sampler) {
+                obs::TraceGovernor& governor, StoreSampler* sampler,
+                health::HealthEngine* health) {
   obs::tracer().set_thread_name("engine");
   const auto start = Clock::now();
   auto next_governor_poll = start + std::chrono::seconds(1);
@@ -309,6 +323,11 @@ void run_engine(const Options& opt, const std::vector<net::Packet>& trace,
                        path->c_str());
         }
         if (set) set->sample_state_metrics();
+        // Metric rules (the self-monitoring alarms) re-evaluate on the
+        // governor cadence too, so they fire even when store sampling is
+        // off or slow.  Store-rule windows anchor on ingested data, so
+        // the extra evaluations are idempotent for them.
+        if (health) health->evaluate(unix_now_ns());
         next_governor_poll = now + std::chrono::seconds(1);
       }
       if (sampler) sampler->maybe_sample(set, parallel);
@@ -346,6 +365,9 @@ int run_parent(const Options& opt) {
     scfg.update_every_ns = opt.store_every_ms * 1'000'000ull;
   }
   store::SeriesStore store(scfg);
+  // Fleet alert view: ALERT lines arriving on the push feed land here,
+  // grouped by source, and come back out of /api/v1/alerts.
+  health::FleetAlertView alerts;
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -353,7 +375,12 @@ int run_parent(const Options& opt) {
   obs::HttpServer server;
   obs::register_observability_endpoints(
       server, [] { return true; }, nullptr);
-  store::register_store_endpoints(server, store);
+  store::register_store_endpoints(
+      server, store,
+      [&alerts](std::string_view source, const store::AlertLine& line) {
+        alerts.ingest(source, line);
+      });
+  health::register_fleet_alert_endpoints(server, alerts);
   server.start(opt.port);
   std::fprintf(stderr,
                "netqre-monitor: parent aggregator on http://127.0.0.1:%u  "
@@ -411,6 +438,8 @@ int main(int argc, char** argv) {
       opt.stream_to = cli.value();
     } else if (cli.is("--source")) {
       opt.source = cli.value();
+    } else if (cli.is("--health")) {
+      opt.health = cli.value();
     } else if (cli.is("--parent")) {
       opt.parent = true;
     } else {
@@ -498,9 +527,48 @@ int main(int argc, char** argv) {
                          workload.expected_keys, opt.state_budget);
     }
 
+    // Health engine: the built-in self-monitoring alarms always load;
+    // --health adds the operator's rules on top.  CRITICAL transitions
+    // correlate a flight-recorder dump via the governor, and every
+    // transition streams to the parent when --stream-to is set.
+    health::HealthEngine healthd(&store, &governor);
+    healthd.add_rules(health::builtin_rules());
+    if (!opt.health.empty()) {
+      std::ifstream in(opt.health);
+      if (!in) {
+        std::cerr << "netqre-monitor: --health: cannot open " << opt.health
+                  << "\n";
+        return 2;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      health::ParseResult parsed = health::parse_health_rules(buf.str());
+      if (!parsed.error.empty()) {
+        std::cerr << "netqre-monitor: --health " << opt.health << ": "
+                  << parsed.error << "\n";
+        return 2;
+      }
+      healthd.add_rules(std::move(parsed.rules));
+    }
+    if (stream_client) {
+      store::StreamClient* sc = stream_client.get();
+      healthd.set_transition_hook([sc](const health::AlertTransition& tr) {
+        store::AlertLine line;
+        line.t_ns = tr.t_ns;
+        line.seq = tr.seq;
+        line.rule = tr.rule;
+        line.from = health::alert_status_name(tr.from);
+        line.to = health::alert_status_name(tr.to);
+        line.value = tr.value;
+        line.key = tr.key;
+        sc->push_alert(line);
+      });
+    }
+
     StoreSampler sampler;
     sampler.store = &store;
     sampler.client = stream_client.get();
+    sampler.health = &healthd;
     sampler.every =
         std::chrono::nanoseconds(opt.store_every_ms * 1'000'000ull);
     StoreSampler* sampler_ptr = opt.store_every_ms > 0 ? &sampler : nullptr;
@@ -513,7 +581,7 @@ int main(int argc, char** argv) {
     std::atomic<bool> engine_live{true};
     std::thread engine_thread([&] {
       run_engine(opt, trace, set.get(), parallel.get(), heartbeat_ns,
-                 packets_done, governor, sampler_ptr);
+                 packets_done, governor, sampler_ptr, &healthd);
       engine_live.store(false);
     });
 
@@ -534,6 +602,7 @@ int main(int argc, char** argv) {
         },
         &governor);
     store::register_store_endpoints(server, store);
+    health::register_health_endpoints(server, healthd);
     // Queries admin API + the extended statz (metrics + per-query tier and
     // certificate sections).
     apps::register_queryset_admin(server, runtime);
@@ -560,6 +629,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(packets_done.load()),
                  static_cast<unsigned long long>(governor.dumps_written()),
                  static_cast<unsigned long long>(server.requests_served()));
+    {
+      const auto counts = healthd.counts();
+      std::fprintf(
+          stderr,
+          "netqre-monitor: health: %llu transitions (%llu suppressed), "
+          "%zu warning, %zu critical\n",
+          static_cast<unsigned long long>(healthd.transitions_total()),
+          static_cast<unsigned long long>(healthd.suppressed_total()),
+          counts.warning, counts.critical);
+      // The stable transition log ("#<seq> ..." lines, no timestamps) —
+      // CI diffs these lines across golden replays.
+      std::fputs(healthd.log_text().c_str(), stderr);
+    }
     if (stream_client) {
       std::fprintf(
           stderr,

@@ -52,6 +52,7 @@ void status_json(obs::JsonWriter& w, const core::QueryStatus& st,
   w.key("quota_bytes").value(static_cast<int64_t>(st.quota_bytes));
   w.key("evicted_keys").value(static_cast<int64_t>(st.evicted_keys));
   w.key("quota_resets").value(static_cast<int64_t>(st.quota_resets));
+  w.key("cpu_share_ppm").value(static_cast<int64_t>(st.cpu_share_ppm));
   if (with_certificate && meta && !meta->cert_json.empty()) {
     w.key("certificate").raw(meta->cert_json);
   }
@@ -203,6 +204,7 @@ void register_queryset_admin(obs::HttpServer& srv, QuerySetRuntime& rt) {
   // its certificate.  Overrides the registry-only default at both the
   // canonical and the deprecated path.
   obs::handle_get_versioned(srv, "/statz", [&rt](const obs::HttpRequest&) {
+    obs::touch_uptime();
     obs::JsonWriter w;
     w.begin_object();
     w.key("metrics").raw(obs::registry().snapshot().to_json());

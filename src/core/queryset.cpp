@@ -46,9 +46,11 @@ struct QuerySet::Slot {
   std::atomic<uint64_t> state_bytes{0};
   std::atomic<uint64_t> evicted{0};
   std::atomic<uint64_t> quota_resets{0};
+  std::atomic<uint32_t> cpu_share_ppm{0};  // recomputed on every roster swap
 
   obs::Counter* packets_total = nullptr;
   obs::Gauge* state_gauge = nullptr;
+  obs::Gauge* share_gauge = nullptr;
 
   [[nodiscard]] size_t memory() const {
     return spec ? spec->memory() : state->memory();
@@ -143,7 +145,50 @@ struct QuerySet::Roster {
       }
       r->compiled.push_back(std::move(ref));
     }
+    r->attribute_cost();
     return r;
+  }
+
+  // Cost attribution: split the shared per-packet work across tenants so
+  // operators can see *which* query a hot pool is serving (and alert on a
+  // noisy tenant before quota eviction fires).  The model mirrors how
+  // on_batch actually spends cycles:
+  //   - every query pays 1.0 for the shared decode/dispatch baseline;
+  //   - a pooled atom's evaluation cost (1.0) splits evenly across the
+  //     compiled queries referencing it — dedup makes atoms cheaper for
+  //     everyone, and the split keeps the books consistent with that;
+  //   - an interpreted query pays a flat 4.0 on top: its per-packet tree
+  //     step costs on the order of several pooled predicate evaluations.
+  // Shares are published in parts per million (they sum to ~1e6 modulo
+  // rounding) on each slot and its netqre_query_cpu_share gauge.
+  static constexpr double kInterpretedStepCost = 4.0;
+  void attribute_cost() {
+    std::vector<uint32_t> pool_users(pool.size(), 0);
+    for (const auto& c : compiled) {
+      for (const auto& b : c.bits) ++pool_users[b.pool];
+    }
+    std::vector<double> weight(slots.size(), 1.0);
+    for (size_t s = 0; s < slots.size(); ++s) {
+      Slot* slot = slots[s].get();
+      if (!slot->spec) {
+        weight[s] += kInterpretedStepCost;
+        continue;
+      }
+      for (const auto& c : compiled) {
+        if (c.slot != slot) continue;
+        for (const auto& b : c.bits) weight[s] += 1.0 / pool_users[b.pool];
+      }
+    }
+    double total = 0;
+    for (const double w : weight) total += w;
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const auto ppm = static_cast<uint32_t>(
+          total > 0 ? weight[s] / total * 1e6 + 0.5 : 0);
+      slots[s]->cpu_share_ppm.store(ppm, std::memory_order_relaxed);
+      if (obs::kEnabled && slots[s]->share_gauge) {
+        slots[s]->share_gauge->set(static_cast<int64_t>(ppm));
+      }
+    }
   }
 };
 
@@ -177,6 +222,10 @@ bool QuerySet::load(const std::string& name, CompiledQuery query,
   slot->decision = decide_tier(slot->query, opt.tier);
   if (slot->decision.plan) {
     slot->spec = std::make_unique<SpecializedMonitor>(*slot->decision.plan);
+  } else if (opt.tier == EngineTier::Auto) {
+    // Auto asked for the compiled tier and the certificate gate said no —
+    // count it so the self-monitoring alarms can watch for regressions.
+    obs::registry().counter("netqre_query_tier_downgrades_total").inc();
   }
   slot->state = slot->query.root->make_state();
   slot->val.assign(slot->query.n_slots, Value::undef());
@@ -187,6 +236,8 @@ bool QuerySet::load(const std::string& name, CompiledQuery query,
       query_label("netqre_query_packets_total", name));
   slot->state_gauge =
       &obs::registry().gauge(query_label("netqre_query_state_bytes", name));
+  slot->share_gauge =
+      &obs::registry().gauge(query_label("netqre_query_cpu_share", name));
   slot->state_bytes.store(slot->memory(), std::memory_order_relaxed);
   slot->state_gauge->set(static_cast<int64_t>(slot->memory()));
 
@@ -486,6 +537,7 @@ QueryStatus QuerySet::status_of(const Slot& s) {
   st.quota_bytes = s.quota;
   st.evicted_keys = s.evicted.load(std::memory_order_relaxed);
   st.quota_resets = s.quota_resets.load(std::memory_order_relaxed);
+  st.cpu_share_ppm = s.cpu_share_ppm.load(std::memory_order_relaxed);
   return st;
 }
 

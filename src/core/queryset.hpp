@@ -54,6 +54,10 @@ struct QueryStatus {
   size_t quota_bytes = 0;  // 0 = unlimited
   uint64_t evicted_keys = 0;   // compiled tier: stalest keys dropped
   uint64_t quota_resets = 0;   // interpreted tier: full-state resets
+  // Attributed share of the set's shared per-packet work (decode +
+  // deduplicated atom pool), in parts per million; shares sum to ~1e6
+  // across the loaded queries.  See the cost model at Roster::build.
+  uint32_t cpu_share_ppm = 0;
 };
 
 class QuerySet {

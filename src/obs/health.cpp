@@ -1,0 +1,963 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "obs/http_export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace netqre::health {
+
+const char* alert_status_name(AlertStatus s) {
+  switch (s) {
+    case AlertStatus::Clear: return "CLEAR";
+    case AlertStatus::Warning: return "WARNING";
+    case AlertStatus::Critical: return "CRITICAL";
+  }
+  return "CLEAR";
+}
+
+bool parse_alert_status(std::string_view name, AlertStatus& out) {
+  if (name == "CLEAR") {
+    out = AlertStatus::Clear;
+  } else if (name == "WARNING") {
+    out = AlertStatus::Warning;
+  } else if (name == "CRITICAL") {
+    out = AlertStatus::Critical;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool Threshold::crossed(double v) const {
+  switch (op) {
+    case Op::None: return false;
+    case Op::Gt: return v > value;
+    case Op::Ge: return v >= value;
+    case Op::Lt: return v < value;
+    case Op::Le: return v <= value;
+    case Op::Eq: return v == value;
+    case Op::Ne: return v != value;
+  }
+  return false;
+}
+
+bool Threshold::holds(double v, double band) const {
+  switch (op) {
+    case Op::None: return false;
+    case Op::Gt: return v > value - band;
+    case Op::Ge: return v >= value - band;
+    case Op::Lt: return v < value + band;
+    case Op::Le: return v <= value + band;
+    case Op::Eq: return v == value;
+    case Op::Ne: return v != value;
+  }
+  return false;
+}
+
+const char* method_name(HealthRule::Method m) {
+  switch (m) {
+    case HealthRule::Method::Avg: return "avg";
+    case HealthRule::Method::Min: return "min";
+    case HealthRule::Method::Max: return "max";
+    case HealthRule::Method::Sum: return "sum";
+    case HealthRule::Method::Value: return "value";
+    case HealthRule::Method::Delta: return "delta";
+    case HealthRule::Method::P99: return "p99";
+  }
+  return "avg";
+}
+
+// -------------------------------------------------------------- parsing
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_method(std::string_view word, HealthRule::Method& out) {
+  for (const auto m :
+       {HealthRule::Method::Avg, HealthRule::Method::Min,
+        HealthRule::Method::Max, HealthRule::Method::Sum,
+        HealthRule::Method::Value, HealthRule::Method::Delta,
+        HealthRule::Method::P99}) {
+    if (word == method_name(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+// "-60s", "60s", "5m" (minutes), "60" (seconds) -> absolute seconds.
+bool parse_seconds(std::string_view word, int64_t& out) {
+  if (word.empty()) return false;
+  if (word.front() == '-') word.remove_prefix(1);
+  if (word.empty()) return false;
+  int64_t scale = 1;
+  if (word.back() == 's') {
+    word.remove_suffix(1);
+  } else if (word.back() == 'm') {
+    scale = 60;
+    word.remove_suffix(1);
+  } else if (word.back() == 'h') {
+    scale = 3600;
+    word.remove_suffix(1);
+  }
+  if (word.empty()) return false;
+  const std::string text(word);
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0) return false;
+  out = static_cast<int64_t>(v) * scale;
+  return true;
+}
+
+// "> 50", ">= 1.5", "== 0" -> Threshold.
+bool parse_threshold(std::string_view text, Threshold& out) {
+  text = trim(text);
+  using Op = Threshold::Op;
+  Op op = Op::None;
+  size_t oplen = 0;
+  if (text.rfind(">=", 0) == 0) {
+    op = Op::Ge;
+    oplen = 2;
+  } else if (text.rfind("<=", 0) == 0) {
+    op = Op::Le;
+    oplen = 2;
+  } else if (text.rfind("==", 0) == 0) {
+    op = Op::Eq;
+    oplen = 2;
+  } else if (text.rfind("!=", 0) == 0) {
+    op = Op::Ne;
+    oplen = 2;
+  } else if (text.rfind(">", 0) == 0) {
+    op = Op::Gt;
+    oplen = 1;
+  } else if (text.rfind("<", 0) == 0) {
+    op = Op::Lt;
+    oplen = 1;
+  } else {
+    return false;
+  }
+  const std::string num(trim(text.substr(oplen)));
+  if (num.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  if (end == num.c_str() || *end != '\0') return false;
+  out.op = op;
+  out.value = v;
+  return true;
+}
+
+// Same exact-round-trip formatting as the stream wire format, so the
+// transition log and the ALERT line agree byte-for-byte on values.
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+ParseResult parse_health_rules(std::string_view text) {
+  ParseResult res;
+  HealthRule cur;
+  bool open = false;
+  bool has_source = false;
+  size_t line_no = 0;
+
+  const auto fail = [&](const std::string& msg) {
+    res.error = "line " + std::to_string(line_no) + ": " + msg;
+    res.rules.clear();
+    return res;
+  };
+  const auto finish = [&]() -> std::string {
+    if (!open) return {};
+    if (!has_source) return "alarm '" + cur.name + "' has no on:/metric:";
+    if (cur.warn.op == Threshold::Op::None &&
+        cur.crit.op == Threshold::Op::None) {
+      return "alarm '" + cur.name + "' has no warn:/crit:";
+    }
+    res.rules.push_back(std::move(cur));
+    cur = HealthRule{};
+    has_source = false;
+    open = false;
+    return {};
+  };
+
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    ++line_no;
+    const size_t nl = rest.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? rest : rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return fail("expected 'field: value'");
+    const std::string_view field = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+
+    if (field == "alarm") {
+      if (const std::string err = finish(); !err.empty()) return fail(err);
+      if (value.empty()) return fail("alarm: needs a name");
+      cur.name = std::string(value);
+      open = true;
+      continue;
+    }
+    if (!open) return fail("'" + std::string(field) + ":' before any alarm:");
+
+    if (field == "on") {
+      cur.source = HealthRule::Source::Store;
+      cur.selector = std::string(value);
+      has_source = true;
+    } else if (field == "metric") {
+      cur.source = HealthRule::Source::Metric;
+      cur.selector = std::string(value);
+      has_source = true;
+    } else if (field == "key") {
+      cur.key = std::string(value);
+    } else if (field == "lookup") {
+      // "METHOD [-]WINDOW", e.g. "max -60s".
+      const size_t sp = value.find(' ');
+      const std::string_view method_word =
+          trim(sp == std::string_view::npos ? value : value.substr(0, sp));
+      if (!parse_method(method_word, cur.method)) {
+        return fail("unknown lookup method '" + std::string(method_word) +
+                    "'");
+      }
+      if (sp != std::string_view::npos) {
+        if (!parse_seconds(trim(value.substr(sp + 1)), cur.window_s)) {
+          return fail("unparsable lookup window");
+        }
+      }
+    } else if (field == "warn") {
+      if (!parse_threshold(value, cur.warn)) return fail("unparsable warn:");
+    } else if (field == "crit") {
+      if (!parse_threshold(value, cur.crit)) return fail("unparsable crit:");
+    } else if (field == "for") {
+      int64_t s = 0;
+      if (!parse_seconds(value, s)) return fail("unparsable for:");
+      cur.for_ns = static_cast<uint64_t>(s) * 1'000'000'000ull;
+    } else if (field == "hysteresis") {
+      const std::string num(value);
+      char* end = nullptr;
+      cur.hysteresis = std::strtod(num.c_str(), &end);
+      if (end == num.c_str() || *end != '\0' || cur.hysteresis < 0) {
+        return fail("unparsable hysteresis:");
+      }
+    } else if (field == "info") {
+      cur.info = std::string(value);
+    } else {
+      return fail("unknown field '" + std::string(field) + ":'");
+    }
+  }
+  ++line_no;
+  if (const std::string err = finish(); !err.empty()) return fail(err);
+  if (res.rules.empty()) res.error = "no alarm: stanzas found";
+  return res;
+}
+
+std::vector<HealthRule> builtin_rules() {
+  const auto metric_rule = [](std::string name, std::string selector,
+                              HealthRule::Method method, Threshold warn,
+                              Threshold crit, std::string info) {
+    HealthRule r;
+    r.name = std::move(name);
+    r.source = HealthRule::Source::Metric;
+    r.selector = std::move(selector);
+    r.method = method;
+    r.warn = warn;
+    r.crit = crit;
+    r.info = std::move(info);
+    return r;
+  };
+  using Op = Threshold::Op;
+  using M = HealthRule::Method;
+  std::vector<HealthRule> out;
+  // Defaults track GovernorConfig: warn below the governor's dump trigger,
+  // crit at it.
+  out.push_back(metric_rule(
+      "self_shard_queue", "netqre_parallel_shard_queue_depth", M::Value,
+      {Op::Ge, 6}, {Op::Ge, 8},
+      "a shard queue is backing up toward the backpressure bound"));
+  out.push_back(metric_rule(
+      "self_backpressure_p99", "netqre_parallel_backpressure_wait_ns",
+      M::P99, {Op::Gt, 1e6}, {Op::Gt, 1e7},
+      "dispatcher waits on saturated shard queues (p99 ns)"));
+  out.push_back(metric_rule(
+      "self_store_evictions", "netqre_store_evicted_keys_total", M::Delta,
+      {Op::Gt, 0}, {Op::Gt, 100},
+      "the result store is evicting keys; raise --store-keys"));
+  out.push_back(metric_rule(
+      "self_stream_failures", "netqre_stream_push_failures_total", M::Delta,
+      {Op::Gt, 0}, {Op::Ge, 5},
+      "pushes to the parent are failing; check --stream-to"));
+  out.push_back(metric_rule(
+      "self_tier_downgrades", "netqre_query_tier_downgrades_total",
+      M::Delta, {Op::Gt, 0}, {Op::None, 0},
+      "a query expected to compile fell back to the interpreted tier"));
+  return out;
+}
+
+// --------------------------------------------------------- HealthEngine
+
+namespace {
+
+// Per-(rule,key) alert state machine.
+struct KeyState {
+  AlertStatus status = AlertStatus::Clear;
+  double last_value = 0;
+  uint64_t since_ns = 0;  // when `status` committed (0 = never transitioned)
+  uint64_t no_data_evals = 0;
+
+  // Escalation debounce (`for:`).
+  bool pending_valid = false;
+  AlertStatus pending = AlertStatus::Clear;
+  uint64_t pending_since_ns = 0;
+
+  // Flap suppression: recent commit times inside the flap window.
+  std::deque<uint64_t> commits_ns;
+  bool flapping = false;
+  uint64_t suppressed = 0;
+
+  // Metric Delta baseline (baseline-first: the first sighting never
+  // alerts, so a restart cannot fire on pre-existing counter values).
+  bool baseline_valid = false;
+  double baseline = 0;
+};
+
+AlertStatus compute_target(const HealthRule& r, AlertStatus cur, double v) {
+  if (r.crit.crossed(v)) return AlertStatus::Critical;
+  if (cur == AlertStatus::Critical && r.crit.holds(v, r.hysteresis)) {
+    return AlertStatus::Critical;
+  }
+  if (r.warn.crossed(v)) return AlertStatus::Warning;
+  if (cur >= AlertStatus::Warning && r.warn.holds(v, r.hysteresis)) {
+    return AlertStatus::Warning;
+  }
+  return AlertStatus::Clear;
+}
+
+// Folds one series of per-row values (NaN = gap) by the rule's method.
+// Returns false when the window holds no defined point (a gap).
+bool fold_series(const std::vector<double>& vals, HealthRule::Method method,
+                 double& out) {
+  store::TierPoint agg;
+  double first = 0, last = 0;
+  bool any = false;
+  for (const double v : vals) {
+    if (std::isnan(v)) continue;
+    agg.add(v);
+    if (!any) first = v;
+    last = v;
+    any = true;
+  }
+  if (!any) return false;
+  switch (method) {
+    case HealthRule::Method::Avg: out = agg.avg(); break;
+    case HealthRule::Method::Min: out = agg.min; break;
+    case HealthRule::Method::Max: out = agg.max; break;
+    case HealthRule::Method::Sum: out = agg.sum; break;
+    case HealthRule::Method::Value: out = last; break;
+    case HealthRule::Method::Delta:
+      if (agg.count < 2) return false;
+      out = last - first;
+      break;
+    case HealthRule::Method::P99: out = agg.max; break;  // no raw quantile
+  }
+  return true;
+}
+
+}  // namespace
+
+struct HealthEngine::Impl {
+  const store::SeriesStore* store;
+  obs::TraceGovernor* governor;
+  HealthConfig cfg;
+
+  mutable std::mutex mu;
+  struct RuleState {
+    HealthRule rule;
+    // Ordered by key: deterministic gauge/json/evaluation order.
+    std::map<std::string, KeyState> keys;
+  };
+  std::vector<RuleState> rules;
+  std::deque<AlertTransition> log;
+  TransitionHook hook;
+
+  uint64_t next_seq = 0;
+  uint64_t evaluations = 0;
+  uint64_t transitions = 0;
+  uint64_t suppressed = 0;
+
+  obs::Gauge* g_clear;
+  obs::Gauge* g_warning;
+  obs::Gauge* g_critical;
+  obs::Counter* c_transitions;
+  obs::Counter* c_suppressed;
+  obs::Counter* c_evals;
+
+  Impl(const store::SeriesStore* store, obs::TraceGovernor* governor,
+       HealthConfig cfg)
+      : store(store), governor(governor), cfg(cfg) {
+    auto status_gauge = [](const char* status) -> obs::Gauge* {
+      return &obs::registry().gauge(
+          obs::labeled_name("netqre_alerts", {{"status", status}}));
+    };
+    g_clear = status_gauge("clear");
+    g_warning = status_gauge("warning");
+    g_critical = status_gauge("critical");
+    c_transitions =
+        &obs::registry().counter("netqre_alert_transitions_total");
+    c_suppressed =
+        &obs::registry().counter("netqre_alerts_suppressed_total");
+    c_evals = &obs::registry().counter("netqre_health_evaluations_total");
+  }
+
+  // One observation for one (rule,key).  Runs the full state machine;
+  // locked by the caller.
+  void step(RuleState& rs, const std::string& key, double v,
+            uint64_t now_ns) {
+    KeyState& st = rs.keys[key];
+    const HealthRule& rule = rs.rule;
+
+    double value = v;
+    if (rule.source == HealthRule::Source::Metric &&
+        rule.method == HealthRule::Method::Delta) {
+      if (!st.baseline_valid) {
+        st.baseline = v;
+        st.baseline_valid = true;
+        st.last_value = 0;
+        return;
+      }
+      value = v - st.baseline;
+      st.baseline = v;
+    }
+    st.last_value = value;
+
+    const AlertStatus target = compute_target(rule, st.status, value);
+
+    // Prune the flap window; a pair quiet for a full window unfreezes.
+    while (!st.commits_ns.empty() &&
+           now_ns - st.commits_ns.front() > cfg.flap_window_ns) {
+      st.commits_ns.pop_front();
+    }
+    if (st.flapping && st.commits_ns.empty()) st.flapping = false;
+
+    if (target == st.status) {
+      st.pending_valid = false;
+      return;
+    }
+
+    if (target > st.status && rule.for_ns > 0) {
+      if (!st.pending_valid || st.pending != target) {
+        st.pending = target;
+        st.pending_since_ns = now_ns;
+        st.pending_valid = true;
+        return;
+      }
+      if (now_ns - st.pending_since_ns < rule.for_ns) return;
+    }
+    st.pending_valid = false;
+
+    if (st.flapping) {
+      ++st.suppressed;
+      ++suppressed;
+      c_suppressed->inc();
+      return;
+    }
+
+    commit(rs, key, st, target, value, now_ns);
+    st.commits_ns.push_back(now_ns);
+    if (st.commits_ns.size() > cfg.flap_transitions) st.flapping = true;
+  }
+
+  void commit(RuleState& rs, const std::string& key, KeyState& st,
+              AlertStatus target, double value, uint64_t now_ns) {
+    AlertTransition tr;
+    tr.seq = next_seq++;
+    tr.t_ns = now_ns;
+    tr.rule = rs.rule.name;
+    tr.key = key;
+    tr.from = st.status;
+    tr.to = target;
+    tr.value = value;
+    if (target == AlertStatus::Critical && governor) {
+      const std::string reason = "alert: " + rs.rule.name + "[" + key +
+                                 "] CRITICAL value=" + format_value(value);
+      if (const auto path = governor->request_dump("alert", reason)) {
+        tr.dump_path = *path;
+      }
+    }
+    obs::tracer().record(obs::TraceKind::AlertTransition, tr.seq,
+                         static_cast<uint64_t>(target));
+    st.status = target;
+    st.since_ns = now_ns;
+    ++transitions;
+    c_transitions->inc();
+    log.push_back(tr);
+    while (log.size() > cfg.max_transitions) log.pop_front();
+    if (hook) hook(log.back());
+  }
+
+  void gap(RuleState& rs, const std::string& key) {
+    const auto it = rs.keys.find(key);
+    if (it == rs.keys.end()) return;  // never had data: no alarm to hold
+    KeyState& st = it->second;
+    ++st.no_data_evals;
+    // Data loss is a telemetry problem, not recovery: hold the status and
+    // drop any in-flight escalation (its evidence went away).
+    st.pending_valid = false;
+  }
+
+  void evaluate_store_rule(RuleState& rs, uint64_t now_ns) {
+    const HealthRule& rule = rs.rule;
+    if (!store) return;
+    const bool aggregate = rule.key.empty();
+    const bool fan_out = rule.key == "*";
+    store::RangeQuery q;
+    q.after_s = -rule.window_s;
+    q.before_s = 0;
+    if (!aggregate && !fan_out) q.dimensions.push_back(rule.key);
+    store::RangeResult rr;
+    if (!store->query(rule.selector, q, rr) || rr.dimensions.empty()) {
+      for (const auto& [key, _] : rs.keys) gap(rs, key);
+      return;
+    }
+
+    if (aggregate) {
+      // Reduce each row to the sum of its defined dimensions, then fold
+      // the per-row totals: one alarm over the whole context.
+      std::vector<double> totals;
+      totals.reserve(rr.rows.size());
+      for (const auto& row : rr.rows) {
+        double total = 0;
+        bool defined = false;
+        for (const double v : row.values) {
+          if (std::isnan(v)) continue;
+          total += v;
+          defined = true;
+        }
+        totals.push_back(defined
+                             ? total
+                             : std::numeric_limits<double>::quiet_NaN());
+      }
+      double v = 0;
+      if (fold_series(totals, rule.method, v)) {
+        step(rs, "total", v, now_ns);
+      } else {
+        gap(rs, "total");
+      }
+      return;
+    }
+
+    std::vector<double> col_vals(rr.rows.size());
+    size_t used = 0;
+    for (size_t col = 0; col < rr.dimensions.size(); ++col) {
+      const std::string& key = rr.dimensions[col];
+      const bool known = rs.keys.find(key) != rs.keys.end();
+      if (!known && used >= cfg.max_keys_per_rule) continue;
+      for (size_t i = 0; i < rr.rows.size(); ++i) {
+        col_vals[i] = rr.rows[i].values[col];
+      }
+      double v = 0;
+      if (!fold_series(col_vals, rule.method, v)) {
+        gap(rs, key);
+        continue;
+      }
+      ++used;
+      step(rs, key, v, now_ns);
+    }
+    // Known keys absent from this result (evicted, or dimension filter
+    // mismatch) count their gap too.
+    for (auto& [key, _] : rs.keys) {
+      if (std::find(rr.dimensions.begin(), rr.dimensions.end(), key) ==
+          rr.dimensions.end()) {
+        gap(rs, key);
+      }
+    }
+  }
+
+  void evaluate_metric_rule(RuleState& rs, const obs::Snapshot& snap,
+                            uint64_t now_ns) {
+    const HealthRule& rule = rs.rule;
+    const std::string labeled_prefix = rule.selector + "{";
+    bool matched = false;
+    for (const auto& m : snap.metrics) {
+      std::string key;
+      if (m.name == rule.selector) {
+        key = "value";
+      } else if (m.name.rfind(labeled_prefix, 0) == 0 &&
+                 m.name.back() == '}') {
+        // The label block is the key: base{shard="0"} -> shard="0".
+        key = m.name.substr(labeled_prefix.size(),
+                            m.name.size() - labeled_prefix.size() - 1);
+      } else {
+        continue;
+      }
+      matched = true;
+      double raw = 0;
+      switch (m.kind) {
+        case obs::MetricKind::Counter: {
+          raw = static_cast<double>(m.count);
+          break;
+        }
+        case obs::MetricKind::Gauge: {
+          raw = static_cast<double>(m.value);
+          break;
+        }
+        case obs::MetricKind::Histogram: {
+          // Delta watches the observation count; everything else reads the
+          // interpolated p99 (the tail is what self-monitoring alarms on).
+          raw = rule.method == HealthRule::Method::Delta
+                    ? static_cast<double>(m.count)
+                    : obs::histogram_quantile(m, 0.99);
+          break;
+        }
+      }
+      step(rs, key, raw, now_ns);
+    }
+    if (!matched) {
+      for (const auto& [key, _] : rs.keys) gap(rs, key);
+    }
+  }
+
+  Counts counts_locked() const {
+    Counts c;
+    for (const auto& rs : rules) {
+      for (const auto& [_, st] : rs.keys) {
+        switch (st.status) {
+          case AlertStatus::Clear: ++c.clear; break;
+          case AlertStatus::Warning: ++c.warning; break;
+          case AlertStatus::Critical: ++c.critical; break;
+        }
+      }
+    }
+    return c;
+  }
+};
+
+HealthEngine::HealthEngine(const store::SeriesStore* store,
+                           obs::TraceGovernor* governor, HealthConfig cfg)
+    : impl_(std::make_unique<Impl>(store, governor, cfg)) {}
+
+HealthEngine::~HealthEngine() = default;
+
+void HealthEngine::add_rule(HealthRule rule) {
+  std::lock_guard lock(impl_->mu);
+  impl_->rules.push_back({std::move(rule), {}});
+}
+
+void HealthEngine::add_rules(std::vector<HealthRule> rules) {
+  std::lock_guard lock(impl_->mu);
+  for (auto& r : rules) impl_->rules.push_back({std::move(r), {}});
+}
+
+size_t HealthEngine::rule_count() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->rules.size();
+}
+
+void HealthEngine::set_transition_hook(TransitionHook hook) {
+  std::lock_guard lock(impl_->mu);
+  impl_->hook = std::move(hook);
+}
+
+void HealthEngine::evaluate(uint64_t now_ns) {
+  std::lock_guard lock(impl_->mu);
+  bool any_metric_rule = false;
+  for (const auto& rs : impl_->rules) {
+    any_metric_rule |= rs.rule.source == HealthRule::Source::Metric;
+  }
+  obs::Snapshot snap;
+  if (any_metric_rule) snap = obs::registry().snapshot();
+  for (auto& rs : impl_->rules) {
+    if (rs.rule.source == HealthRule::Source::Store) {
+      impl_->evaluate_store_rule(rs, now_ns);
+    } else {
+      impl_->evaluate_metric_rule(rs, snap, now_ns);
+    }
+  }
+  ++impl_->evaluations;
+  impl_->c_evals->inc();
+  const Counts c = impl_->counts_locked();
+  impl_->g_clear->set(static_cast<int64_t>(c.clear));
+  impl_->g_warning->set(static_cast<int64_t>(c.warning));
+  impl_->g_critical->set(static_cast<int64_t>(c.critical));
+}
+
+std::optional<AlertStatus> HealthEngine::status(std::string_view rule,
+                                                std::string_view key) const {
+  std::lock_guard lock(impl_->mu);
+  for (const auto& rs : impl_->rules) {
+    if (rs.rule.name != rule) continue;
+    const auto it = rs.keys.find(std::string(key));
+    if (it != rs.keys.end()) return it->second.status;
+  }
+  return std::nullopt;
+}
+
+HealthEngine::Counts HealthEngine::counts() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->counts_locked();
+}
+
+uint64_t HealthEngine::evaluations() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->evaluations;
+}
+
+uint64_t HealthEngine::transitions_total() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->transitions;
+}
+
+uint64_t HealthEngine::suppressed_total() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->suppressed;
+}
+
+namespace {
+
+void transition_json(obs::JsonWriter& w, const AlertTransition& tr) {
+  w.begin_object();
+  w.key("seq").value(tr.seq);
+  w.key("t_ns").value(tr.t_ns);
+  w.key("rule").value(tr.rule);
+  w.key("key").value(tr.key);
+  w.key("from").value(alert_status_name(tr.from));
+  w.key("to").value(alert_status_name(tr.to));
+  w.key("value").value(tr.value);
+  if (!tr.dump_path.empty()) w.key("dump").value(tr.dump_path);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string HealthEngine::alerts_json() const {
+  std::lock_guard lock(impl_->mu);
+  const Counts c = impl_->counts_locked();
+  obs::JsonWriter w;
+  w.begin_object();
+  const obs::BuildInfo bi = obs::build_info();
+  w.key("version").value(bi.version);
+  w.key("counts").begin_object();
+  w.key("clear").value(static_cast<uint64_t>(c.clear));
+  w.key("warning").value(static_cast<uint64_t>(c.warning));
+  w.key("critical").value(static_cast<uint64_t>(c.critical));
+  w.end_object();
+  w.key("rules").value(static_cast<uint64_t>(impl_->rules.size()));
+  w.key("evaluations").value(impl_->evaluations);
+  w.key("transitions").value(impl_->transitions);
+  w.key("suppressed").value(impl_->suppressed);
+  w.key("alarms").begin_array();
+  for (const auto& rs : impl_->rules) {
+    for (const auto& [key, st] : rs.keys) {
+      w.begin_object();
+      w.key("rule").value(rs.rule.name);
+      w.key("key").value(key);
+      w.key("status").value(alert_status_name(st.status));
+      w.key("value").value(st.last_value);
+      w.key("since_ns").value(st.since_ns);
+      w.key("flapping").value(st.flapping);
+      w.key("no_data_evals").value(st.no_data_evals);
+      if (!rs.rule.info.empty()) w.key("info").value(rs.rule.info);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string HealthEngine::log_json() const {
+  std::lock_guard lock(impl_->mu);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("transitions").begin_array();
+  for (const auto& tr : impl_->log) transition_json(w, tr);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string HealthEngine::log_text() const {
+  std::lock_guard lock(impl_->mu);
+  std::string out;
+  for (const auto& tr : impl_->log) {
+    out += '#';
+    out += std::to_string(tr.seq);
+    out += ' ';
+    out += tr.rule;
+    out += '[';
+    out += tr.key;
+    out += "] ";
+    out += alert_status_name(tr.from);
+    out += "->";
+    out += alert_status_name(tr.to);
+    out += " value=";
+    out += format_value(tr.value);
+    out += '\n';
+  }
+  return out;
+}
+
+// ------------------------------------------------------- FleetAlertView
+
+struct FleetAlertView::Impl {
+  size_t max_per_source;
+
+  mutable std::mutex mu;
+  struct SourceState {
+    // (rule, key) -> latest transition.
+    std::map<std::pair<std::string, std::string>, store::AlertLine> current;
+    std::deque<store::AlertLine> log;
+  };
+  std::map<std::string, SourceState> by_source;
+};
+
+FleetAlertView::FleetAlertView(size_t max_transitions_per_source)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->max_per_source = max_transitions_per_source;
+}
+
+FleetAlertView::~FleetAlertView() = default;
+
+void FleetAlertView::ingest(std::string_view source,
+                            const store::AlertLine& line) {
+  std::lock_guard lock(impl_->mu);
+  auto& st = impl_->by_source[std::string(source)];
+  st.current[{line.rule, line.key}] = line;
+  st.log.push_back(line);
+  while (st.log.size() > impl_->max_per_source) st.log.pop_front();
+}
+
+size_t FleetAlertView::sources() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->by_source.size();
+}
+
+namespace {
+
+void alert_line_json(obs::JsonWriter& w, const store::AlertLine& a) {
+  w.begin_object();
+  w.key("seq").value(a.seq);
+  w.key("t_ns").value(a.t_ns);
+  w.key("rule").value(a.rule);
+  w.key("key").value(a.key);
+  w.key("from").value(a.from);
+  w.key("to").value(a.to);
+  w.key("value").value(a.value);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string FleetAlertView::alerts_json() const {
+  std::lock_guard lock(impl_->mu);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("sources").begin_array();
+  for (const auto& [source, st] : impl_->by_source) {
+    w.begin_object();
+    w.key("source").value(source);
+    w.key("alarms").begin_array();
+    for (const auto& [rule_key, line] : st.current) {
+      w.begin_object();
+      w.key("rule").value(rule_key.first);
+      w.key("key").value(rule_key.second);
+      w.key("status").value(line.to);
+      w.key("value").value(line.value);
+      w.key("t_ns").value(line.t_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string FleetAlertView::log_json() const {
+  std::lock_guard lock(impl_->mu);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("sources").begin_array();
+  for (const auto& [source, st] : impl_->by_source) {
+    w.begin_object();
+    w.key("source").value(source);
+    w.key("transitions").begin_array();
+    for (const auto& line : st.log) alert_line_json(w, line);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+// ----------------------------------------------------------- endpoints
+
+namespace {
+
+bool wants_text(const obs::HttpRequest& req) {
+  // The only parameter this surface takes; a full query parser would be
+  // overkill for "format=text".
+  return req.query.find("format=text") != std::string::npos;
+}
+
+}  // namespace
+
+void register_health_endpoints(obs::HttpServer& srv, HealthEngine& engine) {
+  srv.handle("/api/v1/alerts", [&engine](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(engine.alerts_json());
+  });
+  srv.handle("/api/v1/alerts/log", [&engine](const obs::HttpRequest& req) {
+    if (wants_text(req)) {
+      return obs::HttpResponse::text(engine.log_text());
+    }
+    return obs::HttpResponse::json(engine.log_json());
+  });
+}
+
+void register_fleet_alert_endpoints(obs::HttpServer& srv,
+                                    FleetAlertView& view) {
+  srv.handle("/api/v1/alerts", [&view](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(view.alerts_json());
+  });
+  srv.handle("/api/v1/alerts/log", [&view](const obs::HttpRequest&) {
+    return obs::HttpResponse::json(view.log_json());
+  });
+}
+
+}  // namespace netqre::health

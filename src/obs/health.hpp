@@ -1,0 +1,253 @@
+// Health & alerting engine over the series store (DESIGN.md §8 "Health &
+// alerting").
+//
+// The store (store/series_store.hpp) remembers what every query produced;
+// this layer decides whether anyone should be paged about it.  The model is
+// netdata's health engine: declarative alarms ("alarm: syn_flood / on:
+// syn_flood.nqre / lookup: max -60s / crit: > 50"), each driving a
+// per-(rule,key) state machine CLEAR → WARNING → CRITICAL with
+//
+//   - hysteresis: a raised state only releases once the value has left the
+//     threshold by the configured band, so a value oscillating *at* the
+//     threshold cannot ring;
+//   - `for`-duration debounce: an escalation must hold continuously for the
+//     configured duration before it commits (de-escalation is immediate —
+//     hysteresis is the noise filter on the way down);
+//   - flap suppression: a (rule,key) pair that transitions more than
+//     `flap_transitions` times inside `flap_window_ns` is frozen (further
+//     transitions are counted as suppressed, not committed) until it has
+//     been quiet for a full window;
+//   - store gaps: a rule whose context/key yields no data holds its current
+//     state and counts the miss — absence of data is a telemetry problem,
+//     not recovery.
+//
+// Rules read from two sources: `on:` rules issue tier-aware range queries
+// against the SeriesStore (windows resolve relative to the latest ingested
+// sample, so re-evaluating without new data is idempotent — this is what
+// makes the transition log byte-stable across identical replays), and
+// `metric:` rules read the obs metrics registry, which is how the built-in
+// self-monitoring alarms (shard-queue saturation, backpressure p99, store
+// evictions, stream push failures, tier downgrades) watch the daemon
+// itself.
+//
+// Every transition lands in a bounded log, updates the
+// netqre_alerts{status=...} gauges, and invokes the transition hook (the
+// monitor wires it to StreamClient::push_alert so parents see edge alarms);
+// a transition *to* CRITICAL additionally asks the TraceGovernor for a
+// flight-recorder dump, so every page arrives with the trace of what the
+// daemon was doing when it fired.
+//
+// Threading: evaluate() and every reader take one mutex.  Evaluation runs
+// at sampling cadence (~1 Hz) and readers are HTTP handlers — all cold
+// paths, never the per-packet hot path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/series_store.hpp"
+#include "store/stream.hpp"
+
+namespace netqre::obs {
+class HttpServer;
+class TraceGovernor;
+}  // namespace netqre::obs
+
+namespace netqre::health {
+
+enum class AlertStatus : uint8_t { Clear = 0, Warning = 1, Critical = 2 };
+
+// Stable wire/display name: "CLEAR" | "WARNING" | "CRITICAL".
+[[nodiscard]] const char* alert_status_name(AlertStatus s);
+// Inverse of alert_status_name; false on anything else.
+bool parse_alert_status(std::string_view name, AlertStatus& out);
+
+// One comparison against a rule's aggregated value.  `holds` is the
+// hysteresis side: once raised, the state persists until the value has left
+// the threshold by `band` (Gt/Ge release below value - band, Lt/Le above
+// value + band; Eq/Ne ignore the band).
+struct Threshold {
+  enum class Op : uint8_t { None = 0, Gt, Ge, Lt, Le, Eq, Ne };
+  Op op = Op::None;
+  double value = 0;
+
+  [[nodiscard]] bool crossed(double v) const;
+  [[nodiscard]] bool holds(double v, double band) const;
+};
+
+// One declarative alarm.  Parsed from the .health format (see
+// parse_health_rules) or built in code (builtin_rules).
+struct HealthRule {
+  std::string name;
+
+  enum class Source : uint8_t { Store, Metric };
+  Source source = Source::Store;
+  // Store rules: the series context ("syn_flood.nqre").  Metric rules: the
+  // metric base name — labeled instances ("base{shard=...}") all match and
+  // each becomes its own keyed alarm.
+  std::string selector;
+  // Store rules only: one dimension name; "*" = every key in the context
+  // (each becomes its own (rule,key) alarm, capped by max_keys_per_rule);
+  // empty = aggregate — each row is first reduced to the sum of its
+  // defined dimensions, `lookup:` folds those totals, and the alarm runs
+  // under the single key "total" (netdata's default lookup semantics —
+  // right for "the flood total crossed the line" alarms over
+  // per-connection contexts).
+  std::string key;
+
+  // How the looked-up window folds to one value.  Store rules fold the
+  // range-query rows (Avg/Min/Max/Sum over defined points, Value = last
+  // defined point, Delta = last - first).  Metric rules: Value reads the
+  // current counter/gauge, Delta the change since the previous evaluation
+  // (baseline-first: the first sighting only sets the baseline), P99 the
+  // interpolated histogram quantile.
+  enum class Method : uint8_t { Avg, Min, Max, Sum, Value, Delta, P99 };
+  Method method = Method::Avg;
+  int64_t window_s = 60;  // store rules: lookback window, seconds
+
+  Threshold warn;
+  Threshold crit;
+  double hysteresis = 0;  // release band on de-escalation
+  uint64_t for_ns = 0;    // escalation must hold this long to commit
+  std::string info;       // operator-facing one-liner
+};
+
+[[nodiscard]] const char* method_name(HealthRule::Method m);
+
+// Parses the .health stanza format.  Stanzas are separated by `alarm:`
+// lines; '#' starts a comment; unknown or malformed lines fail the whole
+// file with a line-numbered error:
+//
+//   alarm: syn_flood
+//   on: syn_flood.nqre            # or  metric: netqre_store_evicted_...
+//   key: value                    # dimension; "*" fans out per key;
+//                                 # omitted = aggregate over the context
+//   lookup: max -60s              # method + window
+//   warn: > 20
+//   crit: > 50
+//   for: 5s                      # optional debounce
+//   hysteresis: 5                # optional release band
+//   info: half-open handshakes over the flood threshold
+struct ParseResult {
+  std::vector<HealthRule> rules;
+  std::string error;  // empty on success
+};
+[[nodiscard]] ParseResult parse_health_rules(std::string_view text);
+
+// The daemon's self-monitoring alarms over its own telemetry (always
+// loaded by netqre-monitor, with or without --health).
+[[nodiscard]] std::vector<HealthRule> builtin_rules();
+
+// One committed state change, as kept in the bounded log.
+struct AlertTransition {
+  uint64_t seq = 0;   // monotonic per engine, dense from 0
+  uint64_t t_ns = 0;  // evaluation time (unix ns)
+  std::string rule;
+  std::string key;
+  AlertStatus from = AlertStatus::Clear;
+  AlertStatus to = AlertStatus::Clear;
+  double value = 0;        // the aggregated value that committed it
+  std::string dump_path;   // correlated trace dump (CRITICAL only)
+};
+
+struct HealthConfig {
+  size_t max_transitions = 256;  // bounded log; oldest dropped beyond this
+  uint32_t flap_transitions = 6;
+  uint64_t flap_window_ns = 60'000'000'000ull;  // 60 s
+  size_t max_keys_per_rule = 256;  // wildcard store rules stop here
+};
+
+// The engine.  Construct once per daemon, add rules, then call evaluate()
+// on a cadence; all other members are thread-safe readers.
+class HealthEngine {
+ public:
+  using TransitionHook = std::function<void(const AlertTransition&)>;
+
+  // `store` may be null (metric rules only); `governor` may be null (no
+  // dump correlation).  Both must outlive the engine.
+  HealthEngine(const store::SeriesStore* store,
+               obs::TraceGovernor* governor, HealthConfig cfg = {});
+  ~HealthEngine();
+
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  void add_rule(HealthRule rule);
+  void add_rules(std::vector<HealthRule> rules);
+  [[nodiscard]] size_t rule_count() const;
+
+  // Called on every committed transition, after the log/gauges update and
+  // (for CRITICAL) the dump correlation.  Invoked with the engine's mutex
+  // held — keep it cheap and never call back into the engine.
+  void set_transition_hook(TransitionHook hook);
+
+  // Evaluates every rule at unix time `now_ns`.  `now_ns` must be
+  // monotonically non-decreasing across calls (it anchors the `for` and
+  // flap clocks).
+  void evaluate(uint64_t now_ns);
+
+  // Current status of one alarm; nullopt when the (rule,key) pair has
+  // never been evaluated with data.
+  [[nodiscard]] std::optional<AlertStatus> status(std::string_view rule,
+                                                 std::string_view key) const;
+
+  struct Counts {
+    size_t clear = 0;
+    size_t warning = 0;
+    size_t critical = 0;
+  };
+  [[nodiscard]] Counts counts() const;
+  [[nodiscard]] uint64_t evaluations() const;
+  [[nodiscard]] uint64_t transitions_total() const;
+  [[nodiscard]] uint64_t suppressed_total() const;  // flap-suppressed
+
+  // {"counts":{...},"alarms":[{rule,key,status,value,since_ns,...}]}
+  [[nodiscard]] std::string alerts_json() const;
+  // {"transitions":[{seq,t_ns,rule,key,from,to,value,dump}...]}
+  [[nodiscard]] std::string log_json() const;
+  // One line per transition, no timestamps — byte-stable across identical
+  // replays: "#<seq> <rule>[<key>] <FROM>-><TO> value=<v>".
+  [[nodiscard]] std::string log_text() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Parent-side fleet view: run_parent ingests ALERT lines (store/stream.hpp)
+// from every child and serves them grouped by source.
+class FleetAlertView {
+ public:
+  explicit FleetAlertView(size_t max_transitions_per_source = 256);
+  ~FleetAlertView();
+
+  FleetAlertView(const FleetAlertView&) = delete;
+  FleetAlertView& operator=(const FleetAlertView&) = delete;
+
+  // Thread-safe (called from the HTTP push handler).
+  void ingest(std::string_view source, const store::AlertLine& line);
+
+  [[nodiscard]] size_t sources() const;
+  // {"sources":[{"source":...,"alarms":[...]}...]} — current status per
+  // (source,rule,key), latest transition wins.
+  [[nodiscard]] std::string alerts_json() const;
+  // Transition history, newest last, across all sources.
+  [[nodiscard]] std::string log_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// GET /api/v1/alerts and /api/v1/alerts/log (?format=text for the stable
+// text log) over `engine` / `view`.  The referent must outlive the server.
+void register_health_endpoints(obs::HttpServer& srv, HealthEngine& engine);
+void register_fleet_alert_endpoints(obs::HttpServer& srv,
+                                    FleetAlertView& view);
+
+}  // namespace netqre::health

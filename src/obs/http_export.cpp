@@ -343,6 +343,8 @@ void handle_get_versioned(HttpServer& srv, const std::string& suffix,
 void register_observability_endpoints(HttpServer& srv,
                                       std::function<bool()> healthy,
                                       TraceGovernor* governor) {
+  // Scrapes and alert payloads identify the emitting daemon by these.
+  register_build_info();
   srv.handle("/", [](const HttpRequest&) {
     return HttpResponse::text(
         "netqre observability endpoints:\n"
@@ -354,12 +356,14 @@ void register_observability_endpoints(HttpServer& srv,
         "(bare /metrics, /statz, /tracez, /dump are deprecated aliases)\n");
   });
   handle_get_versioned(srv, "/metrics", [](const HttpRequest&) {
+    touch_uptime();
     HttpResponse r;
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
     r.body = registry().snapshot().to_prometheus();
     return r;
   });
   handle_get_versioned(srv, "/statz", [](const HttpRequest&) {
+    touch_uptime();
     return HttpResponse::json(registry().snapshot().to_json());
   });
   srv.handle("/healthz", [healthy = std::move(healthy)](const HttpRequest&) {

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,6 +96,47 @@ std::string labeled_name(std::string_view base,
   }
   out += '}';
   return out;
+}
+
+BuildInfo build_info() {
+#if defined(NETQRE_VERSION)
+  constexpr const char* kVersion = NETQRE_VERSION;
+#else
+  constexpr const char* kVersion = "unknown";
+#endif
+#if defined(NETQRE_GIT_SHA)
+  constexpr const char* kGitSha = NETQRE_GIT_SHA;
+#else
+  constexpr const char* kGitSha = "unknown";
+#endif
+  return {kVersion, kGitSha};
+}
+
+namespace {
+
+// Uptime epoch: pinned at the first register_build_info/touch_uptime call
+// (process start for any daemon that exports metrics).
+std::chrono::steady_clock::time_point uptime_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+void register_build_info() {
+  const BuildInfo bi = build_info();
+  registry()
+      .gauge(labeled_name("netqre_build_info",
+                          {{"version", bi.version}, {"git_sha", bi.git_sha}}))
+      .set(1);
+  touch_uptime();
+}
+
+void touch_uptime() {
+  const auto up = std::chrono::steady_clock::now() - uptime_epoch();
+  registry()
+      .gauge("netqre_uptime_seconds")
+      .set(std::chrono::duration_cast<std::chrono::seconds>(up).count());
 }
 
 std::span<const double> latency_bounds_ns() {

@@ -89,6 +89,26 @@ struct LabelView {
 // Default latency bucket bounds: powers of two from 16 ns to ~67 ms.
 [[nodiscard]] std::span<const double> latency_bounds_ns();
 
+// ---- build identity -------------------------------------------------------
+
+// Compile-time build identity (CMake project version + git short sha;
+// "unknown" when built outside a checkout).
+struct BuildInfo {
+  const char* version;
+  const char* git_sha;
+};
+[[nodiscard]] BuildInfo build_info();
+
+// Registers netqre_build_info{version=...,git_sha=...} (a gauge pinned to
+// 1, the Prometheus build-identity convention) and starts the uptime
+// clock.  Idempotent; called by register_observability_endpoints.
+void register_build_info();
+
+// Refreshes the netqre_uptime_seconds gauge (seconds since the first
+// register_build_info/touch_uptime call).  Scrape handlers call this so
+// every exposition carries a current value.
+void touch_uptime();
+
 #if !defined(NETQRE_TELEMETRY_DISABLED)
 
 class Counter {

@@ -26,6 +26,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::GapRelease: return "gap_release";
     case TraceKind::ActionFire: return "action_fire";
     case TraceKind::StoreRotate: return "store_rotate";
+    case TraceKind::AlertTransition: return "alert_transition";
     case TraceKind::Mark: return "mark";
   }
   return "unknown";
@@ -48,6 +49,8 @@ std::pair<const char*, const char*> arg_names(TraceKind k) {
     case TraceKind::GapOpen: return {"conn_hash", "seq_distance"};
     case TraceKind::GapRelease: return {"forced", "segments"};
     case TraceKind::ActionFire: return {"actions", nullptr};
+    case TraceKind::StoreRotate: return {"tier", "keys"};
+    case TraceKind::AlertTransition: return {"seq", "status"};
     case TraceKind::Mark: return {"a", "b"};
   }
   return {"a", "b"};
@@ -400,6 +403,7 @@ std::string TraceGovernor::check(const Snapshot& snap) {
                       "p99 latency jump: %.0f ns vs %.0f ns baseline", p99,
                       p99_baseline_);
         reason = buf;
+        last_trip_kind_ = "latency";
       }
       p99_baseline_ = baseline_valid_
                           ? (1 - cfg_.p99_alpha) * p99_baseline_ +
@@ -416,6 +420,7 @@ std::string TraceGovernor::check(const Snapshot& snap) {
     if (m.value >= cfg_.queue_saturation_depth) {
       reason = "shard queue saturated: " + m.name + " depth " +
                std::to_string(m.value);
+      last_trip_kind_ = "queue";
       break;
     }
   }
@@ -428,6 +433,7 @@ std::string TraceGovernor::check(const Snapshot& snap) {
     if (delta >= cfg_.truncated_burst && cfg_.truncated_burst > 0) {
       reason = "truncated-record burst: " + std::to_string(delta) +
                " this interval";
+      last_trip_kind_ = "truncated";
     }
   }
   return reason;
@@ -436,11 +442,17 @@ std::string TraceGovernor::check(const Snapshot& snap) {
 std::optional<std::string> TraceGovernor::poll() {
   const std::string reason = check(registry().snapshot());
   if (reason.empty()) return std::nullopt;
+  return request_dump(last_trip_kind_, reason);
+}
+
+std::optional<std::string> TraceGovernor::request_dump(
+    std::string_view kind, const std::string& reason) {
   const uint64_t now = steady_ns();
-  if (last_dump_ns_ != 0 && now - last_dump_ns_ < cfg_.cooldown_ns) {
+  const auto it = last_dump_ns_.find(kind);
+  if (it != last_dump_ns_.end() && now - it->second < cfg_.cooldown_ns) {
     return std::nullopt;
   }
-  last_dump_ns_ = now;
+  last_dump_ns_[std::string(kind)] = now;
   return dump_now(reason);
 }
 

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -44,6 +46,7 @@ enum class TraceKind : uint8_t {
   GapRelease,        // a: 1 when forced by buffer overflow/flush, b: segments
   ActionFire,        // a: distinct actions fired so far
   StoreRotate,       // a: destination tier (1 or 2), b: keys folded
+  AlertTransition,   // a: transition seq, b: new status (0/1/2)
   Mark,              // free-form; a/b are caller-defined
 };
 
@@ -178,7 +181,10 @@ struct GovernorConfig {
   int64_t queue_saturation_depth = 8;
   // netqre_pcap_truncated_records_total delta per poll at/above this.
   uint64_t truncated_burst = 64;
-  // Minimum ns between automatic dumps.
+  // Minimum ns between automatic dumps *of the same trigger kind*
+  // ("latency", "queue", "truncated", "alert", ...).  Kinds cool down
+  // independently, so an alert-triggered dump is never starved by an
+  // earlier latency-jump dump or vice versa.
   uint64_t cooldown_ns = 10'000'000'000ull;  // 10 s
 };
 
@@ -194,9 +200,17 @@ class TraceGovernor {
   // otherwise.  Pure decision logic — never writes a dump (testable).
   [[nodiscard]] std::string check(const Snapshot& snap);
 
-  // check(registry().snapshot()); on a trip outside the cooldown window,
-  // writes the ring snapshot to disk and returns the dump path.
+  // check(registry().snapshot()); on a trip outside the tripped kind's
+  // cooldown window, writes the ring snapshot to disk and returns the dump
+  // path.
   std::optional<std::string> poll();
+
+  // Cooldown-gated dump for an external trigger (the health engine's
+  // CRITICAL transitions use kind "alert").  Writes a dump unless a dump
+  // of the same `kind` happened within cooldown_ns; other kinds' dumps
+  // never suppress it.  Returns the path, or nullopt when cooling down.
+  std::optional<std::string> request_dump(std::string_view kind,
+                                          const std::string& reason);
 
   // Unconditionally dumps the rings now (the /dump endpoint).  Returns the
   // written path.  Throws std::runtime_error when the file cannot be
@@ -205,6 +219,11 @@ class TraceGovernor {
 
   [[nodiscard]] uint64_t dumps_written() const { return n_dumps_; }
   [[nodiscard]] const GovernorConfig& config() const { return cfg_; }
+  // Trigger kind of the last check() trip ("latency" | "queue" |
+  // "truncated"); empty when check never tripped.
+  [[nodiscard]] const std::string& last_trip_kind() const {
+    return last_trip_kind_;
+  }
 
  private:
   GovernorConfig cfg_;
@@ -212,7 +231,9 @@ class TraceGovernor {
   bool baseline_valid_ = false;
   uint64_t last_latency_count_ = 0;
   uint64_t last_truncated_ = 0;
-  uint64_t last_dump_ns_ = 0;      // steady-clock ns; 0 = never
+  std::string last_trip_kind_;
+  // steady-clock ns of the last dump, per trigger kind (absent = never).
+  std::map<std::string, uint64_t, std::less<>> last_dump_ns_;
   uint64_t n_dumps_ = 0;
 };
 

@@ -74,7 +74,79 @@ std::string render_push(std::string_view source, std::string_view context,
   return out;
 }
 
-PushResult apply_push(SeriesStore& store, std::string_view body) {
+std::string render_alert(std::string_view source, const AlertLine& alert) {
+  std::string out = "NETQRE-STREAM v1\n";
+  out += "SOURCE ";
+  out += source;
+  out += "\nALERT ";
+  out += std::to_string(alert.t_ns);
+  out += ' ';
+  out += std::to_string(alert.seq);
+  out += ' ';
+  out += alert.rule;
+  out += ' ';
+  out += alert.from;
+  out += ' ';
+  out += alert.to;
+  out += ' ';
+  out += format_value(alert.value);
+  if (!alert.key.empty()) {
+    out += ' ';
+    out += alert.key;
+  }
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+// Splits the next space-delimited token off `rest`; false when empty.
+bool next_token(std::string_view& rest, std::string_view& tok) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty()) return false;
+  const size_t sp = rest.find(' ');
+  if (sp == std::string_view::npos) {
+    tok = rest;
+    rest = {};
+  } else {
+    tok = rest.substr(0, sp);
+    rest = rest.substr(sp + 1);
+  }
+  return true;
+}
+
+// "ALERT <t_ns> <seq> <rule> <from> <to> <value> <key...>"; the key is the
+// remainder (may contain spaces, may be absent).
+bool parse_alert_line(std::string_view payload, AlertLine& out) {
+  std::string_view rest = payload;
+  std::string_view t_ns, seq, rule, from, to, value;
+  if (!next_token(rest, t_ns) || !next_token(rest, seq) ||
+      !next_token(rest, rule) || !next_token(rest, from) ||
+      !next_token(rest, to) || !next_token(rest, value)) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::string t_ns_s(t_ns);
+  out.t_ns = std::strtoull(t_ns_s.c_str(), &end, 10);
+  if (end == t_ns_s.c_str() || *end != '\0') return false;
+  const std::string seq_s(seq);
+  out.seq = std::strtoull(seq_s.c_str(), &end, 10);
+  if (end == seq_s.c_str() || *end != '\0') return false;
+  const std::string value_s(value);
+  out.value = std::strtod(value_s.c_str(), &end);
+  if (end == value_s.c_str() || *end != '\0') return false;
+  out.rule = std::string(rule);
+  out.from = std::string(from);
+  out.to = std::string(to);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  out.key = std::string(rest);
+  return true;
+}
+
+}  // namespace
+
+PushResult apply_push(SeriesStore& store, std::string_view body,
+                      const AlertHandler& on_alert) {
   PushResult res;
   std::string_view rest = body;
   std::string_view line;
@@ -140,6 +212,22 @@ PushResult apply_push(SeriesStore& store, std::string_view body) {
         return res;
       }
       round.push_back({std::string(kv.substr(0, sp)), value});
+    } else if (line.rfind("ALERT ", 0) == 0) {
+      if (in_round) {
+        res.error = "ALERT inside a BEGIN/END round";
+        return res;
+      }
+      if (source.empty()) {
+        res.error = "ALERT before SOURCE";
+        return res;
+      }
+      AlertLine alert;
+      if (!parse_alert_line(line.substr(6), alert)) {
+        res.error = "malformed ALERT line";
+        return res;
+      }
+      if (on_alert) on_alert(source, alert);
+      ++res.alerts;
     } else if (line == "END") {
       if (!in_round) {
         res.error = "END without BEGIN";
@@ -219,7 +307,8 @@ int64_t parse_i64(const std::string& s, int64_t fallback) {
 
 }  // namespace
 
-void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store) {
+void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store,
+                              AlertHandler on_alert) {
   srv.handle("/api/v1/contexts", [&store](const obs::HttpRequest&) {
     return obs::HttpResponse::json(store.contexts_json());
   });
@@ -257,11 +346,15 @@ void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store) {
     return obs::HttpResponse::json(out.to_json());
   });
 
-  srv.handle_post("/api/v1/push", [&store](const obs::HttpRequest& req) {
-    const PushResult res = apply_push(store, req.body);
+  srv.handle_post("/api/v1/push", [&store, on_alert = std::move(on_alert)](
+                                      const obs::HttpRequest& req) {
+    const PushResult res = apply_push(store, req.body, on_alert);
     obs::JsonWriter w;
     w.begin_object();
     w.key("rounds").value(static_cast<uint64_t>(res.rounds));
+    if (res.alerts > 0) {
+      w.key("alerts").value(static_cast<uint64_t>(res.alerts));
+    }
     if (!res.error.empty()) w.key("error").value(res.error);
     w.end_object();
     return obs::HttpResponse::json(w.str(), res.error.empty() ? 200 : 400);
@@ -373,7 +466,14 @@ StreamClient::~StreamClient() { stop(); }
 
 void StreamClient::push(std::string_view context, uint64_t t_ns,
                         const std::vector<Sample>& samples) {
-  std::string body = render_push(cfg_.source, context, t_ns, samples);
+  enqueue(render_push(cfg_.source, context, t_ns, samples));
+}
+
+void StreamClient::push_alert(const AlertLine& alert) {
+  enqueue(render_alert(cfg_.source, alert));
+}
+
+void StreamClient::enqueue(std::string body) {
   bool dropped = false;
   {
     std::lock_guard lock(impl_->mu);

@@ -19,15 +19,24 @@
 //   SET 10.0.0.1 42                <- key (no trailing spaces), value
 //   SET 10.0.0.9 17
 //   END
+//   ALERT 1723200000123456789 3 syn_flood CLEAR CRITICAL 2000 value
 //
 // A body may carry multiple BEGIN/END rounds (catch-up after a transient
 // parent outage) and may switch SOURCE/CONTEXT between rounds.  The parent
 // stores a round under the context "<source>/<context>", which is how
 // series from many edges stay separated ("merged per source").
+//
+// ALERT lines (v1 extension) carry health-engine transitions: valid after
+// SOURCE, outside BEGIN/END rounds, fields
+// `<t_ns> <seq> <rule> <from> <to> <value> <key>` where the key is the
+// line's tail (it may contain spaces, like SET keys).  The store layer
+// treats the payload as opaque strings; the parent's fleet alert view
+// (obs/health.hpp) interprets them.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -47,20 +56,47 @@ namespace netqre::store {
                                       uint64_t t_ns,
                                       const std::vector<Sample>& samples);
 
+// One health-engine alert transition on the wire (ALERT line payload).
+// `from`/`to` are the status names ("CLEAR"/"WARNING"/"CRITICAL"), opaque
+// to this layer.
+struct AlertLine {
+  uint64_t t_ns = 0;
+  uint64_t seq = 0;
+  std::string rule;
+  std::string from;
+  std::string to;
+  double value = 0;
+  std::string key;  // line tail; may contain spaces, may be empty
+};
+
+// Renders one transition as a push body (header + SOURCE + ALERT line).
+[[nodiscard]] std::string render_alert(std::string_view source,
+                                       const AlertLine& alert);
+
+// Called for each ALERT line a push body carries, with the body's current
+// SOURCE.
+using AlertHandler =
+    std::function<void(std::string_view source, const AlertLine& alert)>;
+
 // Parses a push body and ingests every round into `store` (contexts are
-// created on demand).  Stops at the first malformed line.
+// created on demand).  ALERT lines go to `on_alert` (dropped when empty).
+// Stops at the first malformed line.
 struct PushResult {
   size_t rounds = 0;   // rounds ingested before any error
+  size_t alerts = 0;   // ALERT lines delivered
   std::string error;   // empty on full success
 };
-PushResult apply_push(SeriesStore& store, std::string_view body);
+PushResult apply_push(SeriesStore& store, std::string_view body,
+                      const AlertHandler& on_alert = {});
 
 // Installs the store's HTTP surface onto `srv`:
 //   GET  /api/v1/contexts  series discovery (JSON)
 //   GET  /api/v1/data      range query: context=...&after=-60&before=0&
 //                          points=N&dimensions=a,b (JSON)
-//   POST /api/v1/push      streaming ingest (wire format above)
-void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store);
+//   POST /api/v1/push      streaming ingest (wire format above); ALERT
+//                          lines are forwarded to `on_alert`
+void register_store_endpoints(obs::HttpServer& srv, SeriesStore& store,
+                              AlertHandler on_alert = {});
 
 // Decodes %XX and '+' in a URL query component.
 [[nodiscard]] std::string url_decode(std::string_view s);
@@ -90,6 +126,10 @@ class StreamClient {
   void push(std::string_view context, uint64_t t_ns,
             const std::vector<Sample>& samples);
 
+  // Enqueues one alert transition (rendered as its own one-line push).
+  // Never blocks; same drop-oldest policy as push().
+  void push_alert(const AlertLine& alert);
+
   // Flushes the queue (best effort within the IO timeout) and joins.
   void stop();
 
@@ -100,6 +140,8 @@ class StreamClient {
 
  private:
   struct Impl;
+  void enqueue(std::string body);
+
   Config cfg_;
   std::unique_ptr<Impl> impl_;
 };

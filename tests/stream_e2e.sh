@@ -42,8 +42,18 @@ done
 [ -n "$PARENT_PORT" ] || { echo "FAIL: parent never started"; cat "$WORK/parent.log"; exit 1; }
 
 # --- edge: replay, sample every 200 ms, stream to the parent ------------
+# An always-firing alarm over the replayed query's context, so the run
+# also exercises the edge -> parent ALERT path.
+cat >"$WORK/e2e.health" <<'EOF'
+alarm: e2e_always
+on: heavy_hitter.nqre
+lookup: max -60s
+crit: > 0
+info: e2e synthetic alarm
+EOF
 "$MONITOR" --port 0 --packets 20000 --pps 50000 --store-every 200 \
   --stream-to 127.0.0.1:"$PARENT_PORT" --source edge-e2e \
+  --health "$WORK/e2e.health" \
   --max-seconds 4 2>"$WORK/edge.log" &
 EDGE_PID=$!
 wait $EDGE_PID
@@ -69,7 +79,22 @@ POINTS=$(echo "$DATA" | sed -n 's/.*"points":\([0-9]*\).*/\1/p')
 [ "${POINTS:-0}" -ge 1 ] || {
   echo "FAIL: parent range query has points=$POINTS"; echo "$DATA"; exit 1; }
 
+# --- and the child's alert must have propagated -------------------------
+grep -q "CLEAR->CRITICAL" "$WORK/edge.log" || {
+  echo "FAIL: edge never raised the synthetic alarm"
+  cat "$WORK/edge.log"; exit 1; }
+ALERTS=$(fetch "http://127.0.0.1:$PARENT_PORT/api/v1/alerts")
+echo "$ALERTS" | grep -q '"source":"edge-e2e"' || {
+  echo "FAIL: edge source missing from parent /api/v1/alerts"
+  echo "$ALERTS"; exit 1; }
+echo "$ALERTS" | grep -q '"rule":"e2e_always"' || {
+  echo "FAIL: edge alarm missing from parent /api/v1/alerts"
+  echo "$ALERTS"; exit 1; }
+echo "$ALERTS" | grep -q '"status":"CRITICAL"' || {
+  echo "FAIL: edge alarm not CRITICAL on the parent"
+  echo "$ALERTS"; exit 1; }
+
 kill $PARENT_PID
 wait $PARENT_PID 2>/dev/null || true
 PARENT_PID=""
-echo "PASS: parent served ${POINTS} points for the child's series"
+echo "PASS: parent served ${POINTS} points and the edge-e2e alert"

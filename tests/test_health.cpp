@@ -1,0 +1,547 @@
+// Tests for the health & alerting engine (src/obs/health): the .health
+// rule parser, the per-(rule,key) state machine (hysteresis boundaries,
+// `for`-duration debounce, flap suppression, store-gap handling), metric
+// rules over the obs registry, the CRITICAL → TraceGovernor dump
+// correlation, the ALERT wire extension round-trip into a parent's
+// FleetAlertView, and the /api/v1/alerts HTTP surface.
+//
+// Store-driven rules must behave identically in both telemetry builds (the
+// engine's own gauges become no-ops, the state machine does not); tests
+// that read the metrics registry skip when telemetry is compiled out.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/http_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "store/series_store.hpp"
+#include "store/stream.hpp"
+
+namespace netqre {
+namespace {
+
+using health::AlertStatus;
+using health::AlertTransition;
+using health::HealthConfig;
+using health::HealthEngine;
+using health::HealthRule;
+using health::Threshold;
+using obs::kEnabled;
+
+constexpr uint64_t kSecond = 1'000'000'000ull;
+constexpr uint64_t kBase = 1'700'000'000ull * kSecond;
+
+uint64_t at(uint64_t s) { return kBase + s * kSecond; }
+
+// One-key store rule over context "q": Value of dimension "value",
+// warn > 10, crit > 20.
+HealthRule value_rule(double hysteresis = 0, uint64_t for_ns = 0) {
+  HealthRule r;
+  r.name = "r";
+  r.source = HealthRule::Source::Store;
+  r.selector = "q";
+  r.key = "value";
+  r.method = HealthRule::Method::Value;
+  r.window_s = 60;
+  r.warn = {Threshold::Op::Gt, 10};
+  r.crit = {Threshold::Op::Gt, 20};
+  r.hysteresis = hysteresis;
+  r.for_ns = for_ns;
+  return r;
+}
+
+// Ingests one scalar sample into the store's "q" context at round `s`.
+void put(store::SeriesStore& store, uint64_t s, double v) {
+  store.ingest(store.context("q"), at(s), {{"value", v}});
+}
+
+// ------------------------------------------------------------------ parser
+
+TEST(HealthParse, FullStanzaRoundTrips) {
+  const auto res = health::parse_health_rules(
+      "# comment\n"
+      "alarm: syn_flood\n"
+      "on: syn_flood.nqre\n"
+      "key: value\n"
+      "lookup: max -60s\n"
+      "warn: > 20\n"
+      "crit: > 50\n"
+      "for: 5s\n"
+      "hysteresis: 5\n"
+      "info: too many half-open handshakes\n"
+      "\n"
+      "alarm: evictions\n"
+      "metric: netqre_store_evicted_keys_total\n"
+      "lookup: delta\n"
+      "warn: > 0\n");
+  ASSERT_TRUE(res.error.empty()) << res.error;
+  ASSERT_EQ(res.rules.size(), 2u);
+  const HealthRule& r = res.rules[0];
+  EXPECT_EQ(r.name, "syn_flood");
+  EXPECT_EQ(r.source, HealthRule::Source::Store);
+  EXPECT_EQ(r.selector, "syn_flood.nqre");
+  EXPECT_EQ(r.key, "value");
+  EXPECT_EQ(r.method, HealthRule::Method::Max);
+  EXPECT_EQ(r.window_s, 60);
+  EXPECT_EQ(r.warn.op, Threshold::Op::Gt);
+  EXPECT_EQ(r.warn.value, 20.0);
+  EXPECT_EQ(r.crit.value, 50.0);
+  EXPECT_EQ(r.for_ns, 5 * kSecond);
+  EXPECT_EQ(r.hysteresis, 5.0);
+  EXPECT_EQ(r.info, "too many half-open handshakes");
+  EXPECT_EQ(res.rules[1].source, HealthRule::Source::Metric);
+  EXPECT_EQ(res.rules[1].method, HealthRule::Method::Delta);
+}
+
+TEST(HealthParse, ErrorsAreLineNumberedAndAtomic) {
+  // Line 3 is malformed: the whole file is rejected, not partially loaded.
+  const auto res = health::parse_health_rules(
+      "alarm: a\n"
+      "on: ctx\n"
+      "warn: >>> nonsense\n");
+  EXPECT_TRUE(res.rules.empty());
+  EXPECT_NE(res.error.find("line 3"), std::string::npos) << res.error;
+
+  EXPECT_FALSE(health::parse_health_rules("on: ctx\n").error.empty());
+  EXPECT_FALSE(health::parse_health_rules("alarm: a\non: c\n").error.empty())
+      << "a rule without thresholds must be rejected";
+  EXPECT_FALSE(health::parse_health_rules("").error.empty());
+}
+
+TEST(HealthParse, BuiltinRulesCoverTheDaemonTelemetry) {
+  const auto rules = health::builtin_rules();
+  ASSERT_GE(rules.size(), 5u);
+  for (const auto& r : rules) {
+    EXPECT_EQ(r.source, HealthRule::Source::Metric);
+    EXPECT_FALSE(r.selector.empty());
+    EXPECT_FALSE(r.info.empty());
+  }
+}
+
+// ------------------------------------------------------------ state machine
+
+TEST(HealthStateMachine, EscalatesAndStatusNamesRoundTrip) {
+  store::SeriesStore store;
+  HealthEngine eng(&store, nullptr);
+  eng.add_rule(value_rule());
+
+  put(store, 0, 5);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+
+  put(store, 1, 15);
+  eng.evaluate(at(1));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Warning);
+
+  put(store, 2, 25);
+  eng.evaluate(at(2));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+  EXPECT_EQ(eng.transitions_total(), 2u);
+
+  AlertStatus s;
+  ASSERT_TRUE(health::parse_alert_status("CRITICAL", s));
+  EXPECT_EQ(s, AlertStatus::Critical);
+  EXPECT_FALSE(health::parse_alert_status("bogus", s));
+}
+
+TEST(HealthStateMachine, HysteresisBoundary) {
+  store::SeriesStore store;
+  HealthEngine eng(&store, nullptr);
+  eng.add_rule(value_rule(/*hysteresis=*/5));
+
+  // Raise at the boundary: > 20 crosses only past the threshold.
+  put(store, 0, 20);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Warning);
+  put(store, 1, 21);
+  eng.evaluate(at(1));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+
+  // Inside the release band (20-5=15 < v <= 20): Critical holds.
+  put(store, 2, 16);
+  eng.evaluate(at(2));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+
+  // Below the band: releases to Warning (11 > warn 10 still).
+  put(store, 3, 11);
+  eng.evaluate(at(3));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Warning);
+
+  // Warning's own band (10-5=5 < v <= 10) holds, then releases.
+  put(store, 4, 6);
+  eng.evaluate(at(4));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Warning);
+  put(store, 5, 5);
+  eng.evaluate(at(5));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+}
+
+TEST(HealthStateMachine, ForDurationDebouncesEscalationOnly) {
+  store::SeriesStore store;
+  HealthEngine eng(&store, nullptr);
+  eng.add_rule(value_rule(/*hysteresis=*/0, /*for_ns=*/5 * kSecond));
+
+  // Breach at t=0: pending, not committed.
+  put(store, 0, 25);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+  EXPECT_EQ(eng.transitions_total(), 0u);
+
+  // Still breached at +2s: still pending.
+  eng.evaluate(at(2));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+
+  // A dip resets the pending clock.
+  put(store, 3, 5);
+  eng.evaluate(at(3));
+  put(store, 4, 25);
+  eng.evaluate(at(4));
+  eng.evaluate(at(8));  // 4s after the re-breach: not yet
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+
+  // Held the full 5s: commits.
+  eng.evaluate(at(9));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+  EXPECT_EQ(eng.transitions_total(), 1u);
+
+  // De-escalation is immediate (no `for` on the way down).
+  put(store, 10, 1);
+  eng.evaluate(at(10));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+}
+
+TEST(HealthStateMachine, FlapSuppressionFreezesAndRecovers) {
+  store::SeriesStore store;
+  HealthConfig cfg;
+  cfg.flap_transitions = 2;
+  cfg.flap_window_ns = 60 * kSecond;
+  HealthEngine eng(&store, nullptr, cfg);
+  eng.add_rule(value_rule());
+
+  // Three committed transitions inside the window trip the flap latch.
+  put(store, 0, 25);
+  eng.evaluate(at(0));  // Clear -> Critical
+  put(store, 1, 1);
+  eng.evaluate(at(1));  // Critical -> Clear
+  put(store, 2, 25);
+  eng.evaluate(at(2));  // Clear -> Critical (3rd commit: now flapping)
+  EXPECT_EQ(eng.transitions_total(), 3u);
+
+  // Frozen: further oscillation is suppressed, status stays put.
+  put(store, 3, 1);
+  eng.evaluate(at(3));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+  EXPECT_EQ(eng.transitions_total(), 3u);
+  EXPECT_GE(eng.suppressed_total(), 1u);
+
+  // Quiet for a full window: the latch releases and transitions resume.
+  eng.evaluate(at(70));
+  put(store, 71, 1);
+  eng.evaluate(at(71));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Clear);
+  EXPECT_EQ(eng.transitions_total(), 4u);
+}
+
+TEST(HealthStateMachine, StoreGapHoldsStateAndCountsMiss) {
+  store::SeriesStore store;
+  HealthEngine eng(&store, nullptr);
+  HealthRule r = value_rule();
+  r.window_s = 10;  // tight window so silence becomes a gap
+  eng.add_rule(r);
+
+  put(store, 0, 25);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+
+  // A different dimension keeps the clock moving; "value" goes silent.
+  // 20s later its window holds no defined point — the alarm HOLDS (data
+  // loss is a telemetry problem, not recovery).
+  store.ingest(store.context("q"), at(20), {{"other", 1.0}});
+  eng.evaluate(at(20));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+  EXPECT_NE(eng.alerts_json().find("\"no_data_evals\":1"), std::string::npos)
+      << eng.alerts_json();
+
+  // A rule over a context that never existed evaluates to no keys at all.
+  HealthRule ghost = value_rule();
+  ghost.name = "ghost";
+  ghost.selector = "missing";
+  eng.add_rule(ghost);
+  eng.evaluate(at(21));
+  EXPECT_FALSE(eng.status("ghost", "value").has_value());
+}
+
+TEST(HealthStateMachine, AggregateAndWildcardKeys) {
+  store::SeriesStore store;
+  const auto ctx = store.context("q");
+  store.ingest(ctx, at(0), {{"a", 30.0}, {"b", 40.0}});
+
+  // No key: one alarm over the per-row sum of all dimensions.
+  HealthRule agg = value_rule();
+  agg.key.clear();
+  HealthEngine eng(&store, nullptr);
+  eng.add_rule(agg);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("r", "total"), AlertStatus::Critical);
+  EXPECT_NE(eng.alerts_json().find("\"value\":70"), std::string::npos)
+      << eng.alerts_json();
+
+  // key "*": one alarm per dimension.
+  HealthRule fan = value_rule();
+  fan.name = "fan";
+  fan.key = "*";
+  eng.add_rule(fan);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("fan", "a"), AlertStatus::Critical);
+  EXPECT_EQ(eng.status("fan", "b"), AlertStatus::Critical);
+  const auto counts = eng.counts();
+  EXPECT_EQ(counts.critical, 3u);
+}
+
+// ------------------------------------------------------------- metric rules
+
+TEST(HealthMetricRules, LabeledMetricsFanOutPerLabelSet) {
+  if (!kEnabled) GTEST_SKIP() << "no metrics registry in no-op build";
+  obs::registry().reset();
+  auto& g0 = obs::registry().gauge(obs::labeled_name(
+      "netqre_health_test_depth", {{"shard", "0"}}));
+  auto& g1 = obs::registry().gauge(obs::labeled_name(
+      "netqre_health_test_depth", {{"shard", "1"}}));
+  g0.set(2);
+  g1.set(9);
+
+  HealthRule r;
+  r.name = "depth";
+  r.source = HealthRule::Source::Metric;
+  r.selector = "netqre_health_test_depth";
+  r.method = HealthRule::Method::Value;
+  r.crit = {Threshold::Op::Ge, 8};
+  HealthEngine eng(nullptr, nullptr);
+  eng.add_rule(r);
+  eng.evaluate(at(0));
+  EXPECT_EQ(eng.status("depth", "shard=\"0\""), AlertStatus::Clear);
+  EXPECT_EQ(eng.status("depth", "shard=\"1\""), AlertStatus::Critical);
+  obs::registry().reset();
+}
+
+TEST(HealthMetricRules, DeltaIsBaselineFirst) {
+  if (!kEnabled) GTEST_SKIP() << "no metrics registry in no-op build";
+  obs::registry().reset();
+  auto& c = obs::registry().counter("netqre_health_test_events_total");
+  c.inc(1000);  // pre-existing count must never fire on first sight
+
+  HealthRule r;
+  r.name = "events";
+  r.source = HealthRule::Source::Metric;
+  r.selector = "netqre_health_test_events_total";
+  r.method = HealthRule::Method::Delta;
+  r.crit = {Threshold::Op::Gt, 10};
+  HealthEngine eng(nullptr, nullptr);
+  eng.add_rule(r);
+
+  eng.evaluate(at(0));  // baseline-setting sighting
+  EXPECT_EQ(eng.status("events", "value"), AlertStatus::Clear);
+
+  c.inc(5);  // small delta: still clear
+  eng.evaluate(at(1));
+  EXPECT_EQ(eng.status("events", "value"), AlertStatus::Clear);
+
+  c.inc(100);  // burst: fires on the change, not the absolute value
+  eng.evaluate(at(2));
+  EXPECT_EQ(eng.status("events", "value"), AlertStatus::Critical);
+  obs::registry().reset();
+}
+
+// ------------------------------------------- transitions, log, correlation
+
+TEST(HealthLog, TransitionLogIsStableBoundedAndSequenced) {
+  store::SeriesStore store;
+  HealthConfig cfg;
+  cfg.max_transitions = 2;
+  HealthEngine eng(&store, nullptr, cfg);
+  eng.add_rule(value_rule());
+
+  put(store, 0, 15);
+  eng.evaluate(at(0));
+  put(store, 1, 25);
+  eng.evaluate(at(1));
+  put(store, 2, 1);
+  eng.evaluate(at(2));
+
+  // Three transitions happened; the bounded log keeps the last two, and
+  // log_text carries no timestamps (byte-stable across identical replays).
+  EXPECT_EQ(eng.transitions_total(), 3u);
+  EXPECT_EQ(eng.log_text(),
+            "#1 r[value] WARNING->CRITICAL value=25\n"
+            "#2 r[value] CRITICAL->CLEAR value=1\n");
+  EXPECT_NE(eng.log_json().find("\"seq\":2"), std::string::npos);
+
+  // Idempotence: re-evaluating without new data commits nothing.
+  const std::string before = eng.log_text();
+  eng.evaluate(at(30));
+  eng.evaluate(at(60));
+  EXPECT_EQ(eng.log_text(), before);
+}
+
+TEST(HealthGovernor, CriticalTransitionCorrelatesDump) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "netqre_health_dump_test";
+  fs::remove_all(dir);
+  obs::GovernorConfig gcfg;
+  gcfg.dump_dir = dir.string();
+  gcfg.prefix = "alert";
+  obs::TraceGovernor governor(gcfg);
+
+  store::SeriesStore store;
+  HealthEngine eng(&store, &governor);
+  eng.add_rule(value_rule());
+
+  put(store, 0, 15);
+  eng.evaluate(at(0));  // Warning: no dump
+  EXPECT_EQ(governor.dumps_written(), 0u);
+
+  put(store, 1, 25);
+  eng.evaluate(at(1));  // Critical: dump, recorded on the transition
+  EXPECT_EQ(governor.dumps_written(), 1u);
+  const std::string log = eng.log_json();
+  const size_t dump_at = log.find("\"dump\":\"");
+  ASSERT_NE(dump_at, std::string::npos) << log;
+  std::ifstream in(dir / "alert_0.json");
+  ASSERT_TRUE(in.good());
+  std::string dump((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(dump.find("alert: r[value] CRITICAL"), std::string::npos);
+
+  // A second CRITICAL inside the "alert" cooldown commits its transition
+  // but correlates no new dump.
+  put(store, 2, 1);
+  eng.evaluate(at(2));
+  put(store, 3, 25);
+  eng.evaluate(at(3));
+  EXPECT_EQ(eng.status("r", "value"), AlertStatus::Critical);
+  EXPECT_EQ(governor.dumps_written(), 1u);
+  fs::remove_all(dir);
+}
+
+// --------------------------------------------- wire round-trip + fleet view
+
+TEST(HealthStream, AlertLineRoundTripsIntoFleetView) {
+  // Edge side: transitions feed the hook, which renders ALERT lines.
+  store::SeriesStore edge_store;
+  HealthEngine eng(&edge_store, nullptr);
+  eng.add_rule(value_rule());
+  std::vector<std::string> bodies;
+  eng.set_transition_hook([&bodies](const AlertTransition& tr) {
+    store::AlertLine line;
+    line.t_ns = tr.t_ns;
+    line.seq = tr.seq;
+    line.rule = tr.rule;
+    line.from = health::alert_status_name(tr.from);
+    line.to = health::alert_status_name(tr.to);
+    line.value = tr.value;
+    line.key = tr.key;
+    bodies.push_back(store::render_alert("edge-test", line));
+  });
+  put(edge_store, 0, 25.5);
+  eng.evaluate(at(0));
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_NE(bodies[0].find("ALERT "), std::string::npos);
+
+  // Parent side: apply_push parses the line and hands it to the view.
+  store::SeriesStore parent_store;
+  health::FleetAlertView view;
+  const auto res = store::apply_push(
+      parent_store, bodies[0],
+      [&view](std::string_view source, const store::AlertLine& line) {
+        view.ingest(source, line);
+      });
+  EXPECT_TRUE(res.error.empty()) << res.error;
+  EXPECT_EQ(res.alerts, 1u);
+  EXPECT_EQ(view.sources(), 1u);
+  const std::string json = view.alerts_json();
+  EXPECT_NE(json.find("\"source\":\"edge-test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"r\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"CRITICAL\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":25.5"), std::string::npos);
+  EXPECT_NE(view.log_json().find("\"from\":\"CLEAR\""), std::string::npos);
+}
+
+TEST(HealthStream, MalformedAlertLinesAreRejected) {
+  store::SeriesStore s;
+  const auto bad = [&s](const std::string& body) {
+    return store::apply_push(s, "NETQRE-STREAM v1\n" + body).error;
+  };
+  EXPECT_FALSE(bad("ALERT 1 0 r CLEAR CRITICAL 2\n").empty())
+      << "ALERT before SOURCE must be rejected";
+  EXPECT_FALSE(bad("SOURCE e\nALERT 1 0 r CLEAR\n").empty());
+  EXPECT_FALSE(bad("SOURCE e\nALERT x 0 r CLEAR CRITICAL 2\n").empty());
+  EXPECT_FALSE(bad("SOURCE e\nCONTEXT c\nBEGIN 1\n"
+                   "ALERT 1 0 r CLEAR CRITICAL 2\nEND\n")
+                   .empty())
+      << "ALERT inside a round must be rejected";
+  // Keys may contain spaces (the tail of the line).
+  const auto ok = store::apply_push(
+      s, "NETQRE-STREAM v1\nSOURCE e\nALERT 1 0 r CLEAR WARNING 2 a b c\n");
+  EXPECT_TRUE(ok.error.empty()) << ok.error;
+  EXPECT_EQ(ok.alerts, 1u);
+}
+
+// ----------------------------------------------------------- HTTP endpoints
+
+std::string http_get(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+TEST(HealthHttp, AlertsEndpointsServeEngineState) {
+  store::SeriesStore store;
+  HealthEngine eng(&store, nullptr);
+  eng.add_rule(value_rule());
+  put(store, 0, 25);
+  eng.evaluate(at(0));
+
+  obs::HttpServer srv;
+  health::register_health_endpoints(srv, eng);
+  srv.start(0);
+  const std::string alerts = http_get(srv.port(), "/api/v1/alerts");
+  EXPECT_NE(alerts.find("200"), std::string::npos);
+  EXPECT_NE(alerts.find("\"status\":\"CRITICAL\""), std::string::npos)
+      << alerts;
+  const std::string log = http_get(srv.port(), "/api/v1/alerts/log");
+  EXPECT_NE(log.find("\"to\":\"CRITICAL\""), std::string::npos);
+  const std::string text =
+      http_get(srv.port(), "/api/v1/alerts/log?format=text");
+  EXPECT_NE(text.find("#0 r[value] CLEAR->CRITICAL value=25"),
+            std::string::npos)
+      << text;
+  srv.stop();
+}
+
+}  // namespace
+}  // namespace netqre

@@ -240,6 +240,34 @@ TEST(TraceGovernor, QueueSaturationTriggersDump) {
   fs::remove_all(dir);
 }
 
+TEST(TraceGovernor, CooldownsArePerTriggerKind) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "netqre_gov_kind_test";
+  fs::remove_all(dir);
+
+  obs::GovernorConfig cfg;
+  cfg.dump_dir = dir.string();
+  cfg.prefix = "kind";
+  obs::TraceGovernor governor(cfg);
+
+  // A queue-kind dump must not starve an alert-kind dump: kinds cool down
+  // independently.
+  ASSERT_TRUE(governor.request_dump("queue", "queue test").has_value());
+  EXPECT_FALSE(governor.request_dump("queue", "again").has_value());
+  const auto alert = governor.request_dump("alert", "alert test");
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_FALSE(governor.request_dump("alert", "again").has_value());
+  EXPECT_EQ(governor.dumps_written(), 2u);
+
+  std::ifstream in(*alert);
+  ASSERT_TRUE(in.good());
+  std::string dump((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(dump.find("alert test"), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
 TEST(TraceGovernor, TruncatedRecordBurstTriggers) {
   if (!kEnabled) GTEST_SKIP() << "governor never fires in no-op build";
   obs::registry().reset();

@@ -149,6 +149,53 @@ TEST(ObsRegistry, ResetZeroesButKeepsInstances) {
   EXPECT_EQ(c.value(), expected(1));
 }
 
+TEST(ObsRegistry, PrometheusBucketsAreCumulativeAndMergeLabels) {
+  if (!kEnabled) GTEST_SKIP() << "empty exposition in no-op build";
+  auto& reg = obs::registry();
+  const std::vector<double> bounds{10, 100};
+  auto& h = reg.histogram(
+      obs::labeled_name("netqre_test_expo_ns", {{"shard", "0"}}), bounds);
+  h.observe(5);    // <= 10
+  h.observe(50);   // <= 100
+  h.observe(500);  // +Inf overflow
+  const std::string text = reg.snapshot().to_prometheus();
+  // Buckets are cumulative (1, 2, 3), the le label merges after the
+  // existing ones, and +Inf/_sum/_count close the family.
+  EXPECT_NE(text.find("netqre_test_expo_ns_bucket{shard=\"0\",le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("netqre_test_expo_ns_bucket{shard=\"0\",le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("netqre_test_expo_ns_bucket{shard=\"0\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("netqre_test_expo_ns_sum{shard=\"0\"} 555"),
+            std::string::npos);
+  EXPECT_NE(text.find("netqre_test_expo_ns_count{shard=\"0\"} 3"),
+            std::string::npos);
+  // `# TYPE` names the base metric, not the labeled instance.
+  EXPECT_NE(text.find("# TYPE netqre_test_expo_ns histogram"),
+            std::string::npos);
+}
+
+TEST(ObsRegistry, BuildInfoAndUptimeExport) {
+  obs::register_build_info();
+  const obs::BuildInfo bi = obs::build_info();
+  EXPECT_NE(std::string_view(bi.version), "");
+  EXPECT_NE(std::string_view(bi.git_sha), "");
+  if (!kEnabled) return;
+  const std::string text = obs::registry().snapshot().to_prometheus();
+  const std::string expected_line =
+      obs::labeled_name("netqre_build_info", {{"version", bi.version},
+                                              {"git_sha", bi.git_sha}}) +
+      " 1";
+  EXPECT_NE(text.find(expected_line), std::string::npos) << text;
+  EXPECT_NE(text.find("netqre_uptime_seconds"), std::string::npos);
+  // A later touch refreshes rather than re-registers.
+  obs::touch_uptime();
+  EXPECT_GE(obs::registry().gauge("netqre_uptime_seconds").value(), 0);
+}
+
 // ---- engine instrumentation ------------------------------------------------
 
 std::vector<net::Packet> small_backbone() {

@@ -157,6 +157,39 @@ TEST(QuerySet, AtomPoolDeduplicatesAcrossQueries) {
   EXPECT_EQ(set.atom_refs(), refs_one);
 }
 
+TEST(QuerySet, CpuShareAttributionSumsToOneMillion) {
+  ScopedTierEnv tier_env;
+  QuerySet set;
+
+  // A lone query owns the whole set's work.
+  ASSERT_TRUE(set.load("hh", compile("heavy_hitter.nqre", "hh")));
+  ASSERT_TRUE(set.status("hh").has_value());
+  EXPECT_EQ(set.status("hh")->cpu_share_ppm, 1'000'000u);
+
+  // Shares re-split on every roster change and stay a partition of the
+  // whole (ppm rounding allows a hair of slack around 1e6).
+  ASSERT_TRUE(set.load("syn", compile("syn_flood.nqre", "syn_flood")));
+  ASSERT_TRUE(set.load("ss", compile("super_spreader.nqre", "ss")));
+  uint64_t total = 0;
+  for (const char* name : {"hh", "syn", "ss"}) {
+    const auto st = set.status(name);
+    ASSERT_TRUE(st.has_value()) << name;
+    EXPECT_GT(st->cpu_share_ppm, 0u) << name;
+    total += st->cpu_share_ppm;
+  }
+  EXPECT_NEAR(static_cast<double>(total), 1e6, 3.0);
+
+  // The interpreted tier is costed heavier than a pooled compiled query:
+  // syn_flood stays interpreted while hh specializes.
+  ASSERT_EQ(set.status("syn")->tier, "interpreted");
+  ASSERT_EQ(set.status("hh")->tier, "specialized");
+  EXPECT_GT(set.status("syn")->cpu_share_ppm, set.status("hh")->cpu_share_ppm);
+
+  set.unload("syn");
+  set.unload("ss");
+  EXPECT_EQ(set.status("hh")->cpu_share_ppm, 1'000'000u);
+}
+
 TEST(QuerySet, MidStreamLoadStartsBlankAndUnloadLeavesOthersUntouched) {
   const auto trace = workload(20'000);
   const auto half = trace.size() / 2;
